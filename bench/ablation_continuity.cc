@@ -1,0 +1,144 @@
+// Ablation bench: recommendation continuity (challenge C3).
+//
+// The paper motivates LWP by the "flicker" problem: per-step re-solving
+// makes surrounding friends blink in and out of the viewport, destroying
+// social presence. This bench measures, with and without the
+// preservation gate, (i) the average number of recommendation-set
+// changes per step (flicker), (ii) the average consecutive-visibility
+// streak length of rendered users, and (iii) the resulting social
+// presence utility.
+//
+// Expected shape: Full POSHGNN flickers less, holds users on screen for
+// longer streaks, and converts that into higher social presence than the
+// gate-less variant.
+
+#include <cstdio>
+
+#include "core/evaluator.h"
+#include "core/poshgnn.h"
+#include "core/session.h"
+#include "data/dataset.h"
+#include "eval/table_printer.h"
+#include "graph/occlusion_converter.h"
+
+namespace {
+
+using namespace after;
+
+struct ContinuityStats {
+  double flicker_per_step = 0.0;
+  double mean_streak_length = 0.0;
+  double social_presence = 0.0;
+};
+
+ContinuityStats MeasureContinuity(Poshgnn& model, const Dataset& dataset,
+                                  const std::vector<int>& targets) {
+  ContinuityStats stats;
+  const int n = dataset.num_users();
+  double flicker = 0.0, steps = 0.0;
+  double streak_total = 0.0, streak_count = 0.0;
+
+  for (int target : targets) {
+    model.BeginSession(n, target);
+    std::vector<bool> prev(n, false), prev_visible(n, false);
+    std::vector<int> streak(n, 0);
+    const XrWorld& world = dataset.sessions.back();
+    const bool target_mr = world.interface_of(target) == Interface::kMR;
+
+    ForEachSessionStep(
+        dataset, static_cast<int>(dataset.sessions.size()) - 1, target, 0.5,
+        [&](const StepContext& context) {
+          const std::vector<bool> rec = model.Recommend(context);
+          std::vector<bool> rendered = rec;
+          if (target_mr) {
+            for (int w = 0; w < n; ++w)
+              if (w != target && world.interface_of(w) == Interface::kMR)
+                rendered[w] = true;
+          }
+          const std::vector<bool> visible = ComputeVisibility(
+              *context.positions, target, context.body_radius, rendered);
+
+          int changes = 0;
+          for (int w = 0; w < n; ++w) {
+            if (context.t > 0 && rec[w] != prev[w]) ++changes;
+            if (rec[w] && visible[w]) {
+              if (prev[w] && prev_visible[w]) {
+                stats.social_presence +=
+                    0.5 * dataset.social_presence.At(target, w);
+              }
+              ++streak[w];
+            } else if (streak[w] > 0) {
+              streak_total += streak[w];
+              streak_count += 1.0;
+              streak[w] = 0;
+            }
+          }
+          if (context.t > 0) {
+            flicker += changes;
+            steps += 1.0;
+          }
+          prev = rec;
+          prev_visible = visible;
+        });
+    for (int w = 0; w < n; ++w) {
+      if (streak[w] > 0) {
+        streak_total += streak[w];
+        streak_count += 1.0;
+      }
+    }
+  }
+  stats.flicker_per_step = steps > 0 ? flicker / steps : 0.0;
+  stats.mean_streak_length =
+      streak_count > 0 ? streak_total / streak_count : 0.0;
+  stats.social_presence /= targets.size();
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  using namespace after;
+
+  DatasetConfig config;
+  config.num_users = 150;
+  config.num_steps = 81;
+  config.room_side = 10.0;
+  config.num_sessions = 2;
+  config.seed = 1201;
+  const Dataset dataset = GenerateTimikLike(config);
+
+  TrainOptions train;
+  train.epochs = 14;
+  train.targets_per_epoch = 5;
+  train.seed = 12;
+
+  const std::vector<int> targets = DefaultEvalTargets(
+      dataset.num_users(), 10, 13);
+
+  std::vector<std::string> columns;
+  std::vector<double> flicker, streaks, presence;
+  for (bool use_lwp : {true, false}) {
+    PoshgnnConfig model_config;
+    model_config.use_lwp = use_lwp;
+    model_config.seed = 14;
+    Poshgnn model(model_config);
+    std::printf("[continuity] training %s...\n", model.name().c_str());
+    model.Train(dataset, train);
+    const ContinuityStats stats =
+        MeasureContinuity(model, dataset, targets);
+    columns.push_back(model.name());
+    flicker.push_back(stats.flicker_per_step);
+    streaks.push_back(stats.mean_streak_length);
+    presence.push_back(stats.social_presence);
+  }
+
+  std::fputs(RenderGenericTable(
+                 "Ablation: continuity with vs without the LWP gate",
+                 {"Set changes / step (down)",
+                  "Mean visible streak, steps (up)",
+                  "Social presence utility (up)"},
+                 columns, {flicker, streaks, presence}, 2)
+                 .c_str(),
+             stdout);
+  return 0;
+}

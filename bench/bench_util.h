@@ -1,0 +1,54 @@
+#ifndef AFTER_BENCH_BENCH_UTIL_H_
+#define AFTER_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "core/recommender.h"
+#include "data/dataset.h"
+
+namespace after {
+namespace bench {
+
+/// Shared harness for the Table II/III/IV comparison benches: builds all
+/// eight methods (POSHGNN + 7 baselines), trains the learned ones on the
+/// leading sessions, evaluates everything on the held-out session, prints
+/// the paper-style table plus significance notes.
+struct ComparisonOptions {
+  /// Display budget for the fixed-size baselines (Random, Nearest,
+  /// GraFrank).
+  int k = 10;
+  /// POSHGNN / recurrent-baseline training budget.
+  int train_epochs = 16;
+  int train_targets_per_epoch = 5;
+  /// Evaluation targets (shared across methods for paired comparisons).
+  int num_eval_targets = 16;
+  /// COMURNet is orders of magnitude slower; it is evaluated on this many
+  /// of the shared targets (>= 2) and its utilities reported over those.
+  int comurnet_targets = 2;
+  int comurnet_iterations = 10000;
+  /// Staleness of COMURNet's pipeline in steps (see Comurnet::Options).
+  int comurnet_delay_steps = 44;
+  double beta = 0.5;
+  double alpha = 0.01;
+  uint64_t seed = 17;
+  bool verbose_training = false;
+};
+
+/// Runs the comparison and prints the table; returns the rendered text.
+std::string RunComparisonBench(const Dataset& dataset,
+                               const ComparisonOptions& options,
+                               const std::string& title);
+
+/// Evaluates a pre-built recommender set on a dataset (used by the
+/// sensitivity benches). Returns results in method order.
+std::vector<EvalResult> EvaluateAll(
+    const std::vector<Recommender*>& methods, const Dataset& dataset,
+    const EvalOptions& eval);
+
+}  // namespace bench
+}  // namespace after
+
+#endif  // AFTER_BENCH_BENCH_UTIL_H_

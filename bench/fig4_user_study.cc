@@ -1,0 +1,79 @@
+// Reproduces Fig. 4 and Table VIII: the 48-participant user study.
+//
+// Fig. 4 (three panels): per-method average utility per time step paired
+// with average Likert feedback for overall satisfaction (AFTER utility),
+// display customization (preference utility) and the feeling of being
+// with friends (social presence utility).
+//
+// Table VIII: Pearson / Spearman correlations between each utility and
+// the corresponding feedback across all (participant, method) pairs.
+//
+// Expected shape: POSHGNN leads both utility and feedback on all three
+// panels; COMURNet scores well on customization but poorly on social
+// presence; correlations are strongly positive (paper: Pearson ~0.9).
+
+#include <cstdio>
+
+#include "eval/table_printer.h"
+#include "userstudy/user_study.h"
+
+int main() {
+  using namespace after;
+
+  UserStudyConfig config;
+  config.num_participants = 48;
+  config.seed = 2024;
+  std::printf("[fig4] running the simulated 48-participant study...\n");
+  const UserStudyResult study = RunUserStudy(config);
+
+  std::vector<std::string> columns;
+  std::vector<double> after_utility, satisfaction;
+  std::vector<double> preference, customization;
+  std::vector<double> presence, togetherness;
+  for (const auto& m : study.methods) {
+    columns.push_back(m.method);
+    after_utility.push_back(m.avg_after_per_step);
+    satisfaction.push_back(m.satisfaction_likert);
+    preference.push_back(m.avg_preference_per_step);
+    customization.push_back(m.customization_likert);
+    presence.push_back(m.avg_presence_per_step);
+    togetherness.push_back(m.togetherness_likert);
+  }
+
+  std::fputs(RenderGenericTable(
+                 "Fig. 4 (top): overall utility & satisfaction feedback",
+                 {"AFTER utility / render", "Satisfaction (Likert 1-5)"},
+                 columns, {after_utility, satisfaction}, 3)
+                 .c_str(),
+             stdout);
+  std::fputs(RenderGenericTable(
+                 "Fig. 4 (middle): preference utility & customization",
+                 {"Preference / render", "Customization (Likert 1-5)"},
+                 columns, {preference, customization}, 3)
+                 .c_str(),
+             stdout);
+  std::fputs(RenderGenericTable(
+                 "Fig. 4 (bottom): social presence & togetherness",
+                 {"Social presence / render", "Togetherness (Likert 1-5)"},
+                 columns, {presence, togetherness}, 3)
+                 .c_str(),
+             stdout);
+
+  std::fputs(RenderGenericTable(
+                 "Table VIII: correlation of utilities vs feedback",
+                 {"Pearson", "Spearman"},
+                 {"Preference", "Social Presence", "AFTER (satisf.)"},
+                 {{study.pearson_preference, study.pearson_presence,
+                   study.pearson_after},
+                  {study.spearman_preference, study.spearman_presence,
+                   study.spearman_after}},
+                 3)
+                 .c_str(),
+             stdout);
+
+  std::printf(
+      "  POSHGNN vs baselines, paired t-test on satisfaction: max "
+      "p-value = %.4g (paper reports p <= 0.004)\n",
+      study.max_p_value_vs_poshgnn);
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Micro-benchmarks (google-benchmark) for the kernels behind the paper's
+// "Running Time" rows: dense matmul, occlusion-graph conversion, MWIS
+// heuristics, MIA aggregation and a full POSHGNN inference step. These
+// explain where the ~5-8 ms per-step budget of Tables II-IV goes.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/poshgnn.h"
+#include "data/dataset.h"
+#include "graph/mwis.h"
+#include "graph/occlusion_converter.h"
+#include "tensor/matrix.h"
+
+namespace after {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  const Matrix a = Matrix::Randn(n, n, 1.0, rng);
+  const Matrix b = Matrix::Randn(n, 8, 1.0, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.MatMul(b));
+  }
+}
+BENCHMARK(BM_MatMul)->Arg(50)->Arg(200)->Arg(500);
+
+void BM_OcclusionGraphBuild(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(2);
+  std::vector<Vec2> positions;
+  for (int i = 0; i < n; ++i)
+    positions.emplace_back(rng.Uniform(0, 10), rng.Uniform(0, 10));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildOcclusionGraph(positions, 0, 0.25));
+  }
+}
+BENCHMARK(BM_OcclusionGraphBuild)->Arg(50)->Arg(200)->Arg(500);
+
+void BM_GreedyMwis(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(3);
+  std::vector<Vec2> positions;
+  for (int i = 0; i < n; ++i)
+    positions.emplace_back(rng.Uniform(0, 10), rng.Uniform(0, 10));
+  const OcclusionGraph graph = BuildOcclusionGraph(positions, 0, 0.25);
+  std::vector<double> weights(n);
+  for (auto& w : weights) w = rng.Uniform();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GreedyMwis(graph, weights));
+  }
+}
+BENCHMARK(BM_GreedyMwis)->Arg(50)->Arg(200);
+
+void BM_LocalSearchMwis(benchmark::State& state) {
+  const int n = 200;
+  const int iterations = static_cast<int>(state.range(0));
+  Rng rng(4);
+  std::vector<Vec2> positions;
+  for (int i = 0; i < n; ++i)
+    positions.emplace_back(rng.Uniform(0, 10), rng.Uniform(0, 10));
+  const OcclusionGraph graph = BuildOcclusionGraph(positions, 0, 0.25);
+  std::vector<double> weights(n);
+  for (auto& w : weights) w = rng.Uniform();
+  Rng search_rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        LocalSearchMwis(graph, weights, iterations, search_rng));
+  }
+}
+BENCHMARK(BM_LocalSearchMwis)->Arg(100)->Arg(1000)->Arg(10000);
+
+/// Shared fixture state for POSHGNN inference benchmarks.
+struct PoshgnnBench {
+  Dataset dataset;
+  Poshgnn model;
+
+  explicit PoshgnnBench(int n)
+      : dataset([n] {
+          DatasetConfig config;
+          config.num_users = n;
+          config.num_steps = 5;
+          config.num_sessions = 1;
+          config.seed = 6;
+          return GenerateTimikLike(config);
+        }()),
+        model(PoshgnnConfig()) {}
+};
+
+void BM_PoshgnnInferenceStep(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  PoshgnnBench bench(n);
+  const XrWorld& world = bench.dataset.sessions[0];
+  const OcclusionGraph occlusion =
+      BuildOcclusionGraph(world.PositionsAt(0), 0, world.body_radius());
+  StepContext context;
+  context.target = 0;
+  context.positions = &world.PositionsAt(0);
+  context.occlusion = &occlusion;
+  context.interfaces = &world.interfaces();
+  context.preference = &bench.dataset.preference;
+  context.social_presence = &bench.dataset.social_presence;
+  context.body_radius = world.body_radius();
+
+  bench.model.BeginSession(n, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench.model.Recommend(context));
+  }
+}
+BENCHMARK(BM_PoshgnnInferenceStep)->Arg(30)->Arg(200)->Arg(500);
+
+void BM_MiaAggregation(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  PoshgnnBench bench(n);
+  const XrWorld& world = bench.dataset.sessions[0];
+  const OcclusionGraph occlusion =
+      BuildOcclusionGraph(world.PositionsAt(0), 0, world.body_radius());
+  StepContext context;
+  context.target = 0;
+  context.positions = &world.PositionsAt(0);
+  context.occlusion = &occlusion;
+  context.interfaces = &world.interfaces();
+  context.preference = &bench.dataset.preference;
+  context.social_presence = &bench.dataset.social_presence;
+  context.body_radius = world.body_radius();
+
+  Mia mia;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mia.Process(context));
+  }
+}
+BENCHMARK(BM_MiaAggregation)->Arg(200)->Arg(500);
+
+}  // namespace
+}  // namespace after
+
+BENCHMARK_MAIN();

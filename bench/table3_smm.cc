@@ -1,0 +1,24 @@
+// Reproduces Table III: POSHGNN vs baselines on the SMM(-like) dataset.
+// Same protocol as Table II (N = 200, T = 100, beta = 0.5, alpha = 0.01,
+// 50% VR) on the community-structured SMM social network.
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace after;
+
+  DatasetConfig config;
+  config.num_users = 200;
+  config.vr_fraction = 0.5;
+  config.num_steps = 101;
+  config.room_side = 10.0;
+  config.num_sessions = 2;
+  config.seed = 3302;
+  const Dataset dataset = GenerateSmmLike(config);
+
+  bench::ComparisonOptions options;
+  options.seed = 33;
+  bench::RunComparisonBench(dataset, options,
+                            "Table III: SMM dataset (N=200, T=100)");
+  return 0;
+}

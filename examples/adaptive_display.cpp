@@ -1,0 +1,150 @@
+// Adaptive-display example (the paper's F2/P2 opportunity and Fig. 2).
+//
+// Recreates the paper's illustrative comparison: for one target user we
+// replay the same scene under four strategies -- render-all ("Original"),
+// a static personalized top-k, an occlusion-free MWIS solve, and POSHGNN
+// -- and print, step by step, the "flicker" (set churn) and the wasted
+// renders (recommended-but-occluded users) each strategy produces.
+//
+// Run:  ./build/examples/adaptive_display
+
+#include <cstdio>
+#include <memory>
+#include <numeric>
+
+#include "baselines/comurnet.h"
+#include "baselines/grafrank.h"
+#include "baselines/original_recommender.h"
+#include "core/evaluator.h"
+#include "core/poshgnn.h"
+#include "data/dataset.h"
+#include "graph/occlusion_converter.h"
+
+namespace {
+
+struct Churn {
+  double flicker = 0.0;   // avg set changes per step
+  double wasted = 0.0;    // avg recommended-but-occluded per step
+  double utility = 0.0;   // total AFTER utility
+};
+
+Churn Replay(after::Recommender& rec, const after::Dataset& dataset,
+             int target) {
+  using namespace after;
+  const XrWorld& world = dataset.sessions[1];
+  const int n = dataset.num_users();
+  rec.BeginSession(n, target);
+  Churn churn;
+  std::vector<bool> prev_rec(n, false), prev_visible(n, false);
+  const bool target_mr = world.interface_of(target) == Interface::kMR;
+
+  for (int t = 0; t < world.num_steps(); ++t) {
+    const auto& positions = world.PositionsAt(t);
+    const OcclusionGraph occlusion =
+        BuildOcclusionGraph(positions, target, world.body_radius());
+    StepContext context;
+    context.t = t;
+    context.target = target;
+    context.positions = &positions;
+    context.occlusion = &occlusion;
+    context.interfaces = &world.interfaces();
+    context.preference = &dataset.preference;
+    context.social_presence = &dataset.social_presence;
+    context.body_radius = world.body_radius();
+
+    const auto recommended = rec.Recommend(context);
+    std::vector<bool> rendered = recommended;
+    if (target_mr) {
+      for (int w = 0; w < n; ++w)
+        if (w != target && world.interface_of(w) == Interface::kMR)
+          rendered[w] = true;
+    }
+    const auto visible =
+        ComputeVisibility(positions, target, world.body_radius(), rendered);
+
+    int changes = 0, wasted = 0;
+    for (int w = 0; w < n; ++w) {
+      if (t > 0 && recommended[w] != prev_rec[w]) ++changes;
+      if (recommended[w] && !visible[w]) ++wasted;
+      if (recommended[w] && visible[w]) {
+        churn.utility += 0.5 * dataset.preference.At(target, w);
+        if (prev_rec[w] && prev_visible[w])
+          churn.utility += 0.5 * dataset.social_presence.At(target, w);
+      }
+    }
+    churn.flicker += changes;
+    churn.wasted += wasted;
+    prev_rec = recommended;
+    prev_visible = visible;
+  }
+  churn.flicker /= world.num_steps();
+  churn.wasted /= world.num_steps();
+  return churn;
+}
+
+}  // namespace
+
+int main() {
+  using namespace after;
+
+  DatasetConfig data_config;
+  data_config.num_users = 60;
+  data_config.vr_fraction = 0.5;
+  data_config.num_steps = 41;
+  data_config.room_side = 8.0;
+  data_config.num_sessions = 2;
+  data_config.seed = 21;
+  const Dataset dataset = GenerateTimikLike(data_config);
+  const std::vector<int> targets = {3, 5, 12, 20, 33, 47};
+
+  TrainOptions train;
+  train.epochs = 14;
+  train.targets_per_epoch = 4;
+
+  PoshgnnConfig poshgnn_config;
+  poshgnn_config.max_recommendations = 8;
+  Poshgnn poshgnn(poshgnn_config);
+  poshgnn.Train(dataset, train);
+
+  GraFrank::Options gf_options;
+  gf_options.k = 8;
+  GraFrank grafrank(gf_options);
+  grafrank.Train(dataset, train);
+
+  Comurnet::Options cm_options;
+  cm_options.iterations = 500;
+  cm_options.max_recommendations = 8;
+  cm_options.delay_steps = 3;  // small-room solve latency
+  Comurnet comurnet(cm_options);
+
+  OriginalRecommender original;
+
+  auto report = [&](const char* label, Recommender& rec) {
+    Churn total;
+    for (int target : targets) {
+      const Churn churn = Replay(rec, dataset, target);
+      total.flicker += churn.flicker;
+      total.wasted += churn.wasted;
+      total.utility += churn.utility;
+    }
+    const double count = static_cast<double>(targets.size());
+    std::printf("%-18s %8.2f %16.2f %14.1f\n", label, total.flicker / count,
+                total.wasted / count, total.utility / count);
+  };
+
+  std::printf(
+      "strategy         flicker/step  wasted renders/step  AFTER utility\n");
+  report("Original", original);
+  report("GraFrank", grafrank);
+  report("COMURNet", comurnet);
+  report("POSHGNN", poshgnn);
+
+  std::printf(
+      "\nEach strategy fails differently (cf. Fig. 2 in the paper): "
+      "Original wastes most of its renders on occluded users, the static "
+      "ranker never adapts, and the per-step re-solver flickers -- its "
+      "sets churn several users every step, which is what destroys "
+      "social presence at scale. POSHGNN balances all three via the "
+      "preservation gate and the soft occlusion penalty.\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Dataset utility: generates the synthetic Timik/SMM/Hubs stand-ins,
+// prints their statistics, and archives them to disk so experiments can
+// be replayed bit-exactly (see data/dataset_io.h).
+//
+// Usage:
+//   dataset_tool                      # print stats for all three
+//   dataset_tool <timik|smm|hub>      # one dataset
+//   dataset_tool <name> <directory>   # ...and save it there
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "data/dataset.h"
+#include "data/dataset_io.h"
+#include "eval/stats.h"
+
+namespace {
+
+using namespace after;
+
+Dataset Generate(const std::string& name) {
+  DatasetConfig config;
+  config.num_users = 200;
+  config.num_steps = 101;
+  config.num_sessions = 2;
+  config.seed = 1;
+  if (name == "smm") return GenerateSmmLike(config);
+  if (name == "hub") {
+    DatasetConfig hub = HubsDefaultConfig();
+    hub.num_steps = 101;
+    hub.num_sessions = 2;
+    hub.seed = 1;
+    return GenerateHubsLike(hub);
+  }
+  return GenerateTimikLike(config);
+}
+
+void PrintStats(const Dataset& dataset) {
+  const int n = dataset.num_users();
+  int max_degree = 0;
+  double total_degree = 0.0;
+  for (int u = 0; u < n; ++u) {
+    max_degree = std::max(max_degree, dataset.social.Degree(u));
+    total_degree += dataset.social.Degree(u);
+  }
+
+  std::vector<double> preferences;
+  preferences.reserve(static_cast<size_t>(n) * (n - 1));
+  for (int v = 0; v < n; ++v)
+    for (int w = 0; w < n; ++w)
+      if (v != w) preferences.push_back(dataset.preference.At(v, w));
+
+  int vr = 0;
+  for (int u = 0; u < n; ++u)
+    if (dataset.sessions[0].interface_of(u) == Interface::kVR) ++vr;
+
+  double avg_step = 0.0;
+  const XrWorld& world = dataset.sessions[0];
+  for (int t = 1; t < world.num_steps(); ++t)
+    for (int u = 0; u < n; ++u)
+      avg_step += Distance(world.PositionsAt(t)[u],
+                           world.PositionsAt(t - 1)[u]);
+  avg_step /= (world.num_steps() - 1) * n;
+
+  std::printf("dataset '%s'\n", dataset.name.c_str());
+  std::printf("  users: %d (%d VR / %d MR)\n", n, vr, n - vr);
+  std::printf("  social edges: %d (avg degree %.2f, max %d)\n",
+              dataset.social.num_edges(), total_degree / n, max_degree);
+  std::printf("  preference: mean %.3f, sd %.3f\n", Mean(preferences),
+              std::sqrt(Variance(preferences)));
+  std::printf("  sessions: %zu x %d steps; avg per-step movement %.3f m\n",
+              dataset.sessions.size(), world.num_steps(), avg_step);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace after;
+
+  if (argc <= 1) {
+    for (const char* name : {"timik", "smm", "hub"})
+      PrintStats(Generate(name));
+    return 0;
+  }
+
+  const std::string name = argv[1];
+  const Dataset dataset = Generate(name);
+  PrintStats(dataset);
+
+  if (argc >= 3) {
+    const std::string directory = argv[2];
+    if (!SaveDataset(dataset, directory)) {
+      std::fprintf(stderr, "failed to save to %s\n", directory.c_str());
+      return 1;
+    }
+    std::printf("saved to %s\n", directory.c_str());
+
+    Dataset reloaded;
+    if (!LoadDataset(directory, &reloaded) ||
+        !reloaded.preference.AllClose(dataset.preference)) {
+      std::fprintf(stderr, "round-trip verification failed\n");
+      return 1;
+    }
+    std::printf("round-trip verified\n");
+  }
+  return 0;
+}

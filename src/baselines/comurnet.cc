@@ -1,0 +1,75 @@
+#include "baselines/comurnet.h"
+
+#include <algorithm>
+
+#include "core/mia.h"
+#include "graph/mwis.h"
+
+namespace after {
+
+Comurnet::Comurnet(const Options& options)
+    : options_(options), rng_(options.seed) {}
+
+void Comurnet::BeginSession(int num_users, int target) {
+  (void)num_users;
+  (void)target;
+  pipeline_.clear();
+}
+
+std::vector<bool> Comurnet::Solve(const StepContext& context) {
+  const int n = static_cast<int>(context.positions->size());
+  const int v = context.target;
+
+  // Hard feasibility: candidates physically blocked by nearer co-located
+  // MR bodies can never be seen, so they are pre-pruned; everything else
+  // competes by preference weight only (COMURNet ignores social
+  // presence and continuity).
+  const std::vector<bool> blocked = Mia::PhysicallyBlocked(context);
+  std::vector<double> weights(n, 0.0);
+  for (int w = 0; w < n; ++w) {
+    if (w == v || blocked[w]) continue;
+    weights[w] = (1.0 - context.beta) * context.preference->At(v, w);
+  }
+
+  // Independent re-solve every step with random restarts.
+  MwisResult result =
+      LocalSearchMwis(*context.occlusion, weights, options_.iterations, rng_);
+  result.selected[v] = false;
+
+  // Apply the shared display budget: keep the heaviest selected users.
+  std::vector<int> chosen;
+  for (int w = 0; w < n; ++w)
+    if (result.selected[w]) chosen.push_back(w);
+  if (options_.max_recommendations > 0 &&
+      static_cast<int>(chosen.size()) > options_.max_recommendations) {
+    std::sort(chosen.begin(), chosen.end(),
+              [&](int a, int b) { return weights[a] > weights[b]; });
+    chosen.resize(options_.max_recommendations);
+    std::fill(result.selected.begin(), result.selected.end(), false);
+    for (int w : chosen) result.selected[w] = true;
+  }
+  return result.selected;
+}
+
+std::vector<bool> Comurnet::Recommend(const StepContext& context) {
+  const int n = static_cast<int>(context.positions->size());
+
+  // The policy starts a fresh solve on the current scene every step...
+  pipeline_.push_back(Solve(context));
+
+  // ...but what reaches the display is the solution whose computation
+  // began delay_steps ago; before the first solve completes nothing is
+  // recommended (paper Sec. I: the t=0 result is only ready after t=2).
+  if (options_.delay_steps <= 0) {
+    std::vector<bool> fresh = pipeline_.back();
+    pipeline_.clear();
+    return fresh;
+  }
+  if (static_cast<int>(pipeline_.size()) <= options_.delay_steps)
+    return std::vector<bool>(n, false);
+  std::vector<bool> stale = pipeline_.front();
+  pipeline_.erase(pipeline_.begin());
+  return stale;
+}
+
+}  // namespace after

@@ -1,0 +1,67 @@
+#include "baselines/dcrnn_recommender.h"
+
+#include "common/rng.h"
+
+namespace after {
+namespace {
+
+constexpr int kFeatureDim = 4;
+
+Rng SeedRng(uint64_t seed) { return Rng(seed * 0xBF58476D1CE4E5B9ULL); }
+
+}  // namespace
+
+DcrnnRecommender::DcrnnRecommender(double alpha, double beta, int hidden_dim,
+                                   double threshold, int max_hops,
+                                   uint64_t seed)
+    : RecurrentGnnRecommender(alpha, beta, hidden_dim, threshold),
+      update_gate_([&] {
+        Rng rng = SeedRng(seed);
+        return DiffusionConv(kFeatureDim + hidden_dim, hidden_dim, max_hops,
+                             rng);
+      }()),
+      reset_gate_([&] {
+        Rng rng = SeedRng(seed + 1);
+        return DiffusionConv(kFeatureDim + hidden_dim, hidden_dim, max_hops,
+                             rng);
+      }()),
+      candidate_([&] {
+        Rng rng = SeedRng(seed + 2);
+        return DiffusionConv(kFeatureDim + hidden_dim, hidden_dim, max_hops,
+                             rng);
+      }()),
+      readout_([&] {
+        Rng rng = SeedRng(seed + 3);
+        return Linear(hidden_dim, 1, rng);
+      }()) {}
+
+RecurrentGnnRecommender::StepOutput DcrnnRecommender::StepOnTape(
+    const MiaOutput& mia, const Variable& h_prev) const {
+  Variable features = Variable::Constant(mia.features);
+  Variable transition = Variable::Constant(
+      DiffusionConv::RandomWalkTransition(mia.adjacency));
+
+  Variable xh = Variable::ConcatCols(features, h_prev);
+  Variable z = Variable::Sigmoid(update_gate_.Forward(xh, transition));
+  Variable r = Variable::Sigmoid(reset_gate_.Forward(xh, transition));
+  Variable xrh =
+      Variable::ConcatCols(features, Variable::Hadamard(r, h_prev));
+  Variable c = Variable::Tanh(candidate_.Forward(xrh, transition));
+
+  StepOutput out;
+  Variable zh = Variable::Hadamard(z, h_prev);
+  Variable zc = Variable::Hadamard(z, c);
+  out.hidden = zh + (c - zc);
+  out.recommendation = Variable::Sigmoid(readout_.Forward(out.hidden));
+  return out;
+}
+
+std::vector<Variable> DcrnnRecommender::Parameters() const {
+  std::vector<Variable> params = update_gate_.Parameters();
+  for (const auto& p : reset_gate_.Parameters()) params.push_back(p);
+  for (const auto& p : candidate_.Parameters()) params.push_back(p);
+  for (const auto& p : readout_.Parameters()) params.push_back(p);
+  return params;
+}
+
+}  // namespace after

@@ -1,0 +1,37 @@
+#ifndef AFTER_BASELINES_DCRNN_RECOMMENDER_H_
+#define AFTER_BASELINES_DCRNN_RECOMMENDER_H_
+
+#include <cstdint>
+
+#include "baselines/recurrent_base.h"
+#include "nn/diffusion_conv.h"
+#include "nn/linear.h"
+
+namespace after {
+
+/// DCRNN baseline (Li et al., ICLR'18): a diffusion-convolutional GRU
+/// (DCGRU) cell whose gates replace the dense projections of a GRU with
+/// K-hop diffusion convolutions over the random-walk transition matrix of
+/// the occlusion graph. Trained with the POSHGNN loss over MIA inputs.
+class DcrnnRecommender : public RecurrentGnnRecommender {
+ public:
+  DcrnnRecommender(double alpha, double beta, int hidden_dim,
+                   double threshold, int max_hops, uint64_t seed);
+
+  std::string name() const override { return "DCRNN"; }
+
+ protected:
+  StepOutput StepOnTape(const MiaOutput& mia,
+                        const Variable& h_prev) const override;
+  std::vector<Variable> Parameters() const override;
+
+ private:
+  DiffusionConv update_gate_;
+  DiffusionConv reset_gate_;
+  DiffusionConv candidate_;
+  Linear readout_;
+};
+
+}  // namespace after
+
+#endif  // AFTER_BASELINES_DCRNN_RECOMMENDER_H_

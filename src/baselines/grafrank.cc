@@ -1,0 +1,162 @@
+#include "baselines/grafrank.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "nn/adam.h"
+
+namespace after {
+namespace {
+
+Rng SeedRng(uint64_t seed) { return Rng(seed * 0x94D049BB133111EBULL); }
+
+}  // namespace
+
+GraFrank::GraFrank(const Options& options)
+    : options_(options),
+      pref_encoder_([&] {
+        Rng rng = SeedRng(options.seed);
+        return Linear(2, options.encode_dim, rng);
+      }()),
+      social_encoder_([&] {
+        Rng rng = SeedRng(options.seed + 1);
+        return Linear(2, options.encode_dim, rng);
+      }()),
+      attention_([&] {
+        Rng rng = SeedRng(options.seed + 2);
+        return Linear(2 * options.encode_dim, options.encode_dim, rng);
+      }()),
+      scorer_([&] {
+        Rng rng = SeedRng(options.seed + 3);
+        return Linear(options.encode_dim, 1, rng);
+      }()) {}
+
+Variable GraFrank::ScoreOnTape(const Matrix& facet_pref,
+                               const Matrix& facet_social) const {
+  Variable pref = Variable::Relu(
+      pref_encoder_.Forward(Variable::Constant(facet_pref)));
+  Variable social = Variable::Relu(
+      social_encoder_.Forward(Variable::Constant(facet_social)));
+  // Cross-facet attention gate: convex per-dimension mixture of facets.
+  Variable gate = Variable::Sigmoid(
+      attention_.Forward(Variable::ConcatCols(pref, social)));
+  Variable one_minus_gate = Variable::AddScalar(-1.0 * gate, 1.0);
+  Variable fused = Variable::Hadamard(gate, pref) +
+                   Variable::Hadamard(one_minus_gate, social);
+  return scorer_.Forward(fused);
+}
+
+std::vector<Variable> GraFrank::Parameters() const {
+  std::vector<Variable> params = pref_encoder_.Parameters();
+  for (const auto& p : social_encoder_.Parameters()) params.push_back(p);
+  for (const auto& p : attention_.Parameters()) params.push_back(p);
+  for (const auto& p : scorer_.Parameters()) params.push_back(p);
+  return params;
+}
+
+void GraFrank::Train(const Dataset& dataset, const TrainOptions& options) {
+  (void)options;
+  trained_on_ = &dataset;
+  const int n = dataset.num_users();
+  max_degree_ = 1.0;
+  for (int u = 0; u < n; ++u)
+    max_degree_ =
+        std::max(max_degree_, static_cast<double>(dataset.social.Degree(u)));
+
+  Rng rng(options_.seed + 100);
+  Adam::Options adam_options;
+  adam_options.learning_rate = options_.learning_rate;
+  Adam optimizer(Parameters(), adam_options);
+
+  // Ground-truth affinity a ranker on a social platform would learn from:
+  // an even blend of preference and tie strength.
+  auto affinity = [&](int v, int w) {
+    return 0.5 * dataset.preference.At(v, w) +
+           0.5 * dataset.social_presence.At(v, w);
+  };
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    const int batch = options_.pairs_per_epoch;
+    Matrix pos_pref(batch, 2), pos_social(batch, 2);
+    Matrix neg_pref(batch, 2), neg_social(batch, 2);
+    for (int b = 0; b < batch; ++b) {
+      // Rejection-sample an ordered pair for a random target.
+      int v = rng.UniformInt(n);
+      int w_pos = rng.UniformInt(n);
+      int w_neg = rng.UniformInt(n);
+      int guard = 0;
+      while ((w_pos == v || w_neg == v || w_pos == w_neg ||
+              affinity(v, w_pos) <= affinity(v, w_neg)) &&
+             guard++ < 200) {
+        v = rng.UniformInt(n);
+        w_pos = rng.UniformInt(n);
+        w_neg = rng.UniformInt(n);
+      }
+      pos_pref.At(b, 0) = dataset.preference.At(v, w_pos);
+      pos_pref.At(b, 1) = dataset.preference.At(w_pos, v);
+      pos_social.At(b, 0) = dataset.social_presence.At(v, w_pos);
+      pos_social.At(b, 1) = dataset.social.Degree(w_pos) / max_degree_;
+      neg_pref.At(b, 0) = dataset.preference.At(v, w_neg);
+      neg_pref.At(b, 1) = dataset.preference.At(w_neg, v);
+      neg_social.At(b, 0) = dataset.social_presence.At(v, w_neg);
+      neg_social.At(b, 1) = dataset.social.Degree(w_neg) / max_degree_;
+    }
+
+    // Margin ranking loss (squared hinge), a BPR surrogate expressible
+    // with the available tape ops: sum(relu(1 - (s+ - s-))²) / batch.
+    Variable diff = ScoreOnTape(pos_pref, pos_social) -
+                    ScoreOnTape(neg_pref, neg_social);
+    Variable hinge = Variable::Relu(Variable::AddScalar(-1.0 * diff, 1.0));
+    Variable loss = (1.0 / batch) *
+                    Variable::Sum(Variable::Hadamard(hinge, hinge));
+    optimizer.ZeroGrad();
+    loss.Backward();
+    optimizer.Step();
+  }
+}
+
+double GraFrank::Score(const Dataset& dataset, int v, int w) const {
+  Matrix facet_pref(1, 2), facet_social(1, 2);
+  facet_pref.At(0, 0) = dataset.preference.At(v, w);
+  facet_pref.At(0, 1) = dataset.preference.At(w, v);
+  facet_social.At(0, 0) = dataset.social_presence.At(v, w);
+  facet_social.At(0, 1) = dataset.social.Degree(w) / max_degree_;
+  return ScoreOnTape(facet_pref, facet_social).value().At(0, 0);
+}
+
+std::vector<bool> GraFrank::Recommend(const StepContext& context) {
+  AFTER_CHECK(trained_on_ != nullptr);
+  const Dataset& dataset = *trained_on_;
+  const int n = static_cast<int>(context.positions->size());
+  const int v = context.target;
+
+  // Score all candidates in one batched forward pass.
+  Matrix facet_pref(n, 2), facet_social(n, 2);
+  for (int w = 0; w < n; ++w) {
+    facet_pref.At(w, 0) = context.preference->At(v, w);
+    facet_pref.At(w, 1) = context.preference->At(w, v);
+    facet_social.At(w, 0) = context.social_presence->At(v, w);
+    facet_social.At(w, 1) = dataset.social.Degree(w) / max_degree_;
+  }
+  const Matrix scores = ScoreOnTape(facet_pref, facet_social).value();
+
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return scores.At(a, 0) > scores.At(b, 0);
+  });
+
+  std::vector<bool> selected(n, false);
+  int chosen = 0;
+  for (int w : order) {
+    if (w == v) continue;
+    selected[w] = true;
+    if (++chosen >= options_.k) break;
+  }
+  return selected;
+}
+
+}  // namespace after

@@ -1,0 +1,58 @@
+#ifndef AFTER_BASELINES_GRAFRANK_H_
+#define AFTER_BASELINES_GRAFRANK_H_
+
+#include <cstdint>
+
+#include "core/recommender.h"
+#include "nn/linear.h"
+
+namespace after {
+
+class Rng;
+
+/// GraFrank baseline (Sankar et al., WWW'21): multi-faceted personalized
+/// friend ranking. Two facets per candidate pair (preference facet and
+/// social facet) are encoded, fused with a learned attention gate, and
+/// scored; training uses Bayesian pairwise ranking (BPR) against the
+/// users' ground-truth affinities. The ranker is static: it ignores
+/// trajectories and occlusion and recommends its top-k every step.
+class GraFrank : public TrainableRecommender {
+ public:
+  struct Options {
+    int k = 10;             // display budget
+    int encode_dim = 8;     // facet encoder width
+    int pairs_per_epoch = 512;
+    int epochs = 30;
+    double learning_rate = 5e-3;
+    uint64_t seed = 11;
+  };
+
+  explicit GraFrank(const Options& options);
+
+  std::string name() const override { return "GraFrank"; }
+  void Train(const Dataset& dataset, const TrainOptions& options) override;
+  std::vector<bool> Recommend(const StepContext& context) override;
+
+  /// Learned ranking score for candidate w from the view of target v.
+  double Score(const Dataset& dataset, int v, int w) const;
+
+ private:
+  /// Facet tensors for a (v, w) pair: preference facet [p(v,w), p(w,v)],
+  /// social facet [s(v,w), deg(w)/max_deg].
+  Variable ScoreOnTape(const Matrix& facet_pref,
+                       const Matrix& facet_social) const;
+
+  std::vector<Variable> Parameters() const;
+
+  Options options_;
+  Linear pref_encoder_;
+  Linear social_encoder_;
+  Linear attention_;
+  Linear scorer_;
+  const Dataset* trained_on_ = nullptr;
+  double max_degree_ = 1.0;
+};
+
+}  // namespace after
+
+#endif  // AFTER_BASELINES_GRAFRANK_H_

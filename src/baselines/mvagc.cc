@@ -1,0 +1,148 @@
+#include "baselines/mvagc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "tensor/matrix.h"
+
+namespace after {
+namespace {
+
+/// Symmetrically-normalized low-pass filter step:
+/// X <- (X + D^{-1/2} A D^{-1/2} X) / 2, i.e., (I - L_sym/2) X.
+Matrix LowPassFilter(const SocialGraph& graph, Matrix features, int order) {
+  const int n = graph.num_nodes();
+  std::vector<double> inv_sqrt_degree(n, 0.0);
+  for (int u = 0; u < n; ++u) {
+    const int d = graph.Degree(u);
+    if (d > 0) inv_sqrt_degree[u] = 1.0 / std::sqrt(static_cast<double>(d));
+  }
+  for (int step = 0; step < order; ++step) {
+    Matrix propagated(n, features.cols());
+    for (int u = 0; u < n; ++u) {
+      for (const auto& nbr : graph.Neighbors(u)) {
+        const double coeff =
+            inv_sqrt_degree[u] * inv_sqrt_degree[nbr.node];
+        for (int c = 0; c < features.cols(); ++c)
+          propagated.At(u, c) += coeff * features.At(nbr.node, c);
+      }
+    }
+    features = (features + propagated) * 0.5;
+  }
+  return features;
+}
+
+double DistanceSq(const Matrix& points, int row, const Matrix& centers,
+                  int center) {
+  double total = 0.0;
+  for (int c = 0; c < points.cols(); ++c) {
+    const double diff = points.At(row, c) - centers.At(center, c);
+    total += diff * diff;
+  }
+  return total;
+}
+
+std::vector<int> KMeans(const Matrix& points, int k, int iterations,
+                        Rng& rng) {
+  const int n = points.rows();
+  const int dim = points.cols();
+  k = std::min(k, n);
+  Matrix centers(k, dim);
+  const std::vector<int> seeds = rng.SampleWithoutReplacement(n, k);
+  for (int c = 0; c < k; ++c)
+    for (int d = 0; d < dim; ++d) centers.At(c, d) = points.At(seeds[c], d);
+
+  std::vector<int> assignment(n, 0);
+  for (int iter = 0; iter < iterations; ++iter) {
+    bool changed = false;
+    for (int i = 0; i < n; ++i) {
+      int best = 0;
+      double best_dist = std::numeric_limits<double>::max();
+      for (int c = 0; c < k; ++c) {
+        const double dist = DistanceSq(points, i, centers, c);
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = c;
+        }
+      }
+      if (assignment[i] != best) {
+        assignment[i] = best;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+    // Recompute centers.
+    Matrix sums(k, dim);
+    std::vector<int> counts(k, 0);
+    for (int i = 0; i < n; ++i) {
+      ++counts[assignment[i]];
+      for (int d = 0; d < dim; ++d)
+        sums.At(assignment[i], d) += points.At(i, d);
+    }
+    for (int c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // keep stale center for empty cluster
+      for (int d = 0; d < dim; ++d)
+        centers.At(c, d) = sums.At(c, d) / counts[c];
+    }
+  }
+  return assignment;
+}
+
+}  // namespace
+
+MvAgc::MvAgc(const Options& options) : options_(options) {}
+
+void MvAgc::Train(const Dataset& dataset, const TrainOptions& options) {
+  (void)options;
+  const int n = dataset.num_users();
+  // Multi-view attributes: preference profile view and social presence
+  // view, concatenated after graph filtering.
+  Matrix view1 = LowPassFilter(dataset.social, dataset.preference,
+                               options_.filter_order);
+  Matrix view2 = LowPassFilter(dataset.social, dataset.social_presence,
+                               options_.filter_order);
+  Matrix features = view1.ConcatCols(view2);
+  Rng rng(options_.seed);
+  assignment_ =
+      KMeans(features, std::min(options_.num_groups, n),
+             options_.kmeans_iterations, rng);
+  filtered_features_ = std::move(features);
+}
+
+std::vector<bool> MvAgc::Recommend(const StepContext& context) {
+  const int n = static_cast<int>(context.positions->size());
+  AFTER_CHECK_EQ(static_cast<int>(assignment_.size()), n);
+  const int group = assignment_[context.target];
+  std::vector<int> members;
+  for (int w = 0; w < n; ++w)
+    if (w != context.target && assignment_[w] == group) members.push_back(w);
+
+  if (options_.max_recommendations > 0 &&
+      static_cast<int>(members.size()) > options_.max_recommendations) {
+    // Keep the co-members closest to the target in filtered feature
+    // space (still purely social — no spatial information).
+    const int v = context.target;
+    auto distance_sq = [&](int w) {
+      double total = 0.0;
+      for (int c = 0; c < filtered_features_.cols(); ++c) {
+        const double diff =
+            filtered_features_.At(v, c) - filtered_features_.At(w, c);
+        total += diff * diff;
+      }
+      return total;
+    };
+    std::sort(members.begin(), members.end(),
+              [&](int a, int b) { return distance_sq(a) < distance_sq(b); });
+    members.resize(options_.max_recommendations);
+  }
+
+  std::vector<bool> selected(n, false);
+  for (int w : members) selected[w] = true;
+  return selected;
+}
+
+}  // namespace after

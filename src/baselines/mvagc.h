@@ -1,0 +1,47 @@
+#ifndef AFTER_BASELINES_MVAGC_H_
+#define AFTER_BASELINES_MVAGC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/recommender.h"
+
+namespace after {
+
+/// MvAGC baseline (Lin & Kang, IJCAI'21): graph-filter-based multi-view
+/// attributed graph clustering. Node attributes (preference and presence
+/// profiles) are smoothed by a k-order low-pass graph filter over the
+/// social network, then clustered with k-means; each user is always shown
+/// the members of her own cluster (grouping-based recommendation,
+/// oblivious to trajectories and occlusion).
+class MvAgc : public TrainableRecommender {
+ public:
+  struct Options {
+    /// Number of clusters (paper: k << N).
+    int num_groups = 10;
+    /// Low-pass filter order.
+    int filter_order = 2;
+    int kmeans_iterations = 25;
+    /// Display budget: at most this many co-members are shown (the ones
+    /// closest in filtered feature space). <= 0 shows the whole group.
+    int max_recommendations = 10;
+    uint64_t seed = 5;
+  };
+
+  explicit MvAgc(const Options& options);
+
+  std::string name() const override { return "MvAGC"; }
+  void Train(const Dataset& dataset, const TrainOptions& options) override;
+  std::vector<bool> Recommend(const StepContext& context) override;
+
+  const std::vector<int>& assignments() const { return assignment_; }
+
+ private:
+  Options options_;
+  std::vector<int> assignment_;  // cluster id per user
+  Matrix filtered_features_;     // smoothed attributes used for clustering
+};
+
+}  // namespace after
+
+#endif  // AFTER_BASELINES_MVAGC_H_

@@ -1,0 +1,30 @@
+#include "baselines/nearest_recommender.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace after {
+
+NearestRecommender::NearestRecommender(int k) : k_(k) {}
+
+std::vector<bool> NearestRecommender::Recommend(const StepContext& context) {
+  const auto& positions = *context.positions;
+  const int n = static_cast<int>(positions.size());
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  const Vec2 here = positions[context.target];
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return (positions[a] - here).NormSq() < (positions[b] - here).NormSq();
+  });
+
+  std::vector<bool> selected(n, false);
+  int chosen = 0;
+  for (int w : order) {
+    if (w == context.target) continue;
+    selected[w] = true;
+    if (++chosen >= k_) break;
+  }
+  return selected;
+}
+
+}  // namespace after

@@ -1,0 +1,24 @@
+#ifndef AFTER_BASELINES_NEAREST_RECOMMENDER_H_
+#define AFTER_BASELINES_NEAREST_RECOMMENDER_H_
+
+#include "core/recommender.h"
+
+namespace after {
+
+/// Nearest baseline: recommends the top-k users closest to the target at
+/// time t. Spatially aware (nearest users are rarely occluded) but blind
+/// to preference and social ties.
+class NearestRecommender : public Recommender {
+ public:
+  explicit NearestRecommender(int k);
+
+  std::string name() const override { return "Nearest"; }
+  std::vector<bool> Recommend(const StepContext& context) override;
+
+ private:
+  int k_;
+};
+
+}  // namespace after
+
+#endif  // AFTER_BASELINES_NEAREST_RECOMMENDER_H_

@@ -1,0 +1,58 @@
+#include "baselines/oracle_recommender.h"
+
+#include <algorithm>
+
+#include "core/mia.h"
+#include "graph/arc_mwis.h"
+#include "graph/occlusion_converter.h"
+
+namespace after {
+
+OracleRecommender::OracleRecommender(int max_recommendations)
+    : max_recommendations_(max_recommendations) {}
+
+void OracleRecommender::BeginSession(int num_users, int target) {
+  (void)target;
+  prev_selected_.assign(num_users, false);
+}
+
+std::vector<bool> OracleRecommender::Recommend(const StepContext& context) {
+  const int n = static_cast<int>(context.positions->size());
+  const int v = context.target;
+  if (static_cast<int>(prev_selected_.size()) != n)
+    BeginSession(n, v);
+
+  const std::vector<ViewArc> arcs =
+      ComputeViewArcs(*context.positions, v, context.body_radius);
+  const std::vector<bool> blocked = Mia::PhysicallyBlocked(context);
+
+  std::vector<double> weights(n, 0.0);
+  for (int w = 0; w < n; ++w) {
+    if (w == v || blocked[w]) continue;
+    double weight = (1.0 - context.beta) * context.preference->At(v, w);
+    if (prev_selected_[w])
+      weight += context.beta * context.social_presence->At(v, w);
+    weights[w] = weight;
+  }
+
+  MwisResult result = CircularArcMwis(arcs, weights);
+  result.selected[v] = false;
+
+  if (max_recommendations_ > 0) {
+    std::vector<int> chosen;
+    for (int w = 0; w < n; ++w)
+      if (result.selected[w]) chosen.push_back(w);
+    if (static_cast<int>(chosen.size()) > max_recommendations_) {
+      std::sort(chosen.begin(), chosen.end(),
+                [&](int a, int b) { return weights[a] > weights[b]; });
+      chosen.resize(max_recommendations_);
+      std::fill(result.selected.begin(), result.selected.end(), false);
+      for (int w : chosen) result.selected[w] = true;
+    }
+  }
+
+  prev_selected_ = result.selected;
+  return result.selected;
+}
+
+}  // namespace after

@@ -1,0 +1,40 @@
+#ifndef AFTER_BASELINES_ORACLE_RECOMMENDER_H_
+#define AFTER_BASELINES_ORACLE_RECOMMENDER_H_
+
+#include <vector>
+
+#include "core/recommender.h"
+
+namespace after {
+
+/// Myopic per-step oracle: at every step it solves the single-step AFTER
+/// objective *exactly* using the polynomial circular-arc MWIS (the static
+/// occlusion graph of Sec. III-B is a circular-arc graph), with weights
+///
+///   w(u) = (1-beta) * p(v,u) + beta * 1[u seen at t-1] * s(v,u),
+///
+/// after pruning physically blocked candidates. Its selections are fully
+/// visible by construction (0% occlusion) and it upper-bounds what any
+/// real-time recommender can earn per step (it is not a global optimum
+/// over T, which is NP-hard per Theorem 1 as soon as the geometry is
+/// richer, nor optimal under a display budget; the budget truncation is
+/// applied post hoc like everywhere else).
+///
+/// Used by bench/oracle_gap to quantify the paper's C2 dilemma: how close
+/// POSHGNN's real-time solutions get to the per-step optimum.
+class OracleRecommender : public Recommender {
+ public:
+  explicit OracleRecommender(int max_recommendations);
+
+  std::string name() const override { return "Oracle"; }
+  void BeginSession(int num_users, int target) override;
+  std::vector<bool> Recommend(const StepContext& context) override;
+
+ private:
+  int max_recommendations_;
+  std::vector<bool> prev_selected_;
+};
+
+}  // namespace after
+
+#endif  // AFTER_BASELINES_ORACLE_RECOMMENDER_H_

@@ -1,0 +1,26 @@
+#ifndef AFTER_BASELINES_ORIGINAL_RECOMMENDER_H_
+#define AFTER_BASELINES_ORIGINAL_RECOMMENDER_H_
+
+#include "core/recommender.h"
+
+namespace after {
+
+/// "Original" condition from the user study: render every surrounding
+/// user, exactly as today's social XR applications do. Maximal candidate
+/// coverage, maximal occlusion.
+class OriginalRecommender : public Recommender {
+ public:
+  OriginalRecommender() = default;
+
+  std::string name() const override { return "Original"; }
+
+  std::vector<bool> Recommend(const StepContext& context) override {
+    std::vector<bool> selected(context.positions->size(), true);
+    selected[context.target] = false;
+    return selected;
+  }
+};
+
+}  // namespace after
+
+#endif  // AFTER_BASELINES_ORIGINAL_RECOMMENDER_H_

@@ -1,0 +1,31 @@
+#include "baselines/random_recommender.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace after {
+
+RandomRecommender::RandomRecommender(int k, uint64_t seed)
+    : k_(k), rng_(seed) {}
+
+void RandomRecommender::BeginSession(int num_users, int target) {
+  selection_.assign(num_users, false);
+  const int want = std::min(k_, num_users - 1);
+  int chosen = 0;
+  while (chosen < want) {
+    const int w = rng_.UniformInt(num_users);
+    if (w == target || selection_[w]) continue;
+    selection_[w] = true;
+    ++chosen;
+  }
+}
+
+std::vector<bool> RandomRecommender::Recommend(const StepContext& context) {
+  const int n = static_cast<int>(context.positions->size());
+  if (static_cast<int>(selection_.size()) != n)
+    BeginSession(n, context.target);
+  return selection_;
+}
+
+}  // namespace after

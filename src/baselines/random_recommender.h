@@ -1,0 +1,30 @@
+#ifndef AFTER_BASELINES_RANDOM_RECOMMENDER_H_
+#define AFTER_BASELINES_RANDOM_RECOMMENDER_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "core/recommender.h"
+
+namespace after {
+
+/// Random baseline: selects k surrounding users uniformly at random when
+/// a session starts and keeps displaying them, ignoring preferences,
+/// social ties and occlusion.
+class RandomRecommender : public Recommender {
+ public:
+  RandomRecommender(int k, uint64_t seed);
+
+  std::string name() const override { return "Random"; }
+  void BeginSession(int num_users, int target) override;
+  std::vector<bool> Recommend(const StepContext& context) override;
+
+ private:
+  int k_;
+  Rng rng_;
+  std::vector<bool> selection_;
+};
+
+}  // namespace after
+
+#endif  // AFTER_BASELINES_RANDOM_RECOMMENDER_H_

@@ -1,0 +1,131 @@
+#include "baselines/recurrent_base.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "core/loss.h"
+#include "core/session.h"
+#include "data/dataset.h"
+#include "graph/occlusion_converter.h"
+#include "nn/adam.h"
+
+namespace after {
+
+RecurrentGnnRecommender::RecurrentGnnRecommender(double alpha, double beta,
+                                                 int hidden_dim,
+                                                 double threshold,
+                                                 int max_recommendations)
+    : alpha_(alpha),
+      beta_(beta),
+      hidden_dim_(hidden_dim),
+      threshold_(threshold),
+      max_recommendations_(max_recommendations) {}
+
+void RecurrentGnnRecommender::BeginSession(int num_users, int target) {
+  (void)target;
+  mia_.Reset();
+  state_hidden_ = Matrix(num_users, hidden_dim_);
+  state_recommendation_ = Matrix(num_users, 1);
+}
+
+std::vector<bool> RecurrentGnnRecommender::Recommend(
+    const StepContext& context) {
+  const int n = static_cast<int>(context.positions->size());
+  if (state_hidden_.rows() != n) BeginSession(n, context.target);
+
+  const MiaOutput mia = mia_.Process(context);
+  const StepOutput step =
+      StepOnTape(mia, Variable::Constant(state_hidden_));
+  state_hidden_ = step.hidden.value();
+  const Matrix previous = state_recommendation_;
+  state_recommendation_ = step.recommendation.value();
+
+  // Same objective-guided decoding as POSHGNN (see Poshgnn::Recommend)
+  // so the recurrent baselines compete on equal footing.
+  const Matrix& r = state_recommendation_;
+  std::vector<int> candidates;
+  for (int w = 0; w < n; ++w) {
+    if (w == context.target) continue;
+    if (r.At(w, 0) > threshold_) candidates.push_back(w);
+  }
+  if (max_recommendations_ > 0 &&
+      static_cast<int>(candidates.size()) > max_recommendations_) {
+    std::vector<double> decode_score(n, 0.0);
+    for (int w : candidates) {
+      const double gain = (1.0 - beta_) * mia.p_hat.At(w, 0) +
+                          beta_ * previous.At(w, 0) * mia.s_hat.At(w, 0);
+      decode_score[w] = r.At(w, 0) * gain;
+    }
+    std::sort(candidates.begin(), candidates.end(), [&](int a, int b) {
+      return decode_score[a] > decode_score[b];
+    });
+    candidates.resize(max_recommendations_);
+  }
+  std::vector<bool> selected(n, false);
+  for (int w : candidates) selected[w] = true;
+  return selected;
+}
+
+void RecurrentGnnRecommender::Train(const Dataset& dataset,
+                                    const TrainOptions& options) {
+  Rng rng(options.seed);
+  const int n = dataset.num_users();
+  AFTER_CHECK(!dataset.sessions.empty());
+
+  std::vector<int> train_sessions = options.train_sessions;
+  if (train_sessions.empty()) {
+    const int limit =
+        std::max(1, static_cast<int>(dataset.sessions.size()) - 1);
+    for (int s = 0; s < limit; ++s) train_sessions.push_back(s);
+  }
+
+  Adam::Options adam_options;
+  adam_options.learning_rate = options.learning_rate;
+  Adam optimizer(Parameters(), adam_options);
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    int rollouts = 0;
+    const std::vector<int> targets = rng.SampleWithoutReplacement(
+        n, std::min(n, options.targets_per_epoch));
+    for (int session_index : train_sessions) {
+      const XrWorld& world = dataset.sessions[session_index];
+      for (int target : targets) {
+        Mia mia_state;
+        Variable r_prev = Variable::Constant(Matrix(n, 1));
+        Variable h_prev = Variable::Constant(Matrix(n, hidden_dim_));
+        Variable total_loss;
+        ForEachSessionStep(
+            dataset, session_index, target, beta_,
+            [&](const StepContext& context) {
+              const MiaOutput mia = mia_state.Process(context);
+              const StepOutput step = StepOnTape(mia, h_prev);
+              Variable loss = PoshgnnStepLoss(
+                  step.recommendation, r_prev,
+                  Variable::Constant(mia.p_hat),
+                  Variable::Constant(mia.s_hat),
+                  Variable::Constant(mia.adjacency), alpha_, beta_);
+              total_loss = total_loss.defined() ? total_loss + loss : loss;
+              r_prev = step.recommendation;
+              h_prev = step.hidden;
+            });
+        total_loss =
+            (1.0 / static_cast<double>(world.num_steps())) * total_loss;
+        optimizer.ZeroGrad();
+        total_loss.Backward();
+        optimizer.Step();
+        epoch_loss += total_loss.value().At(0, 0);
+        ++rollouts;
+      }
+    }
+    last_training_loss_ = epoch_loss / std::max(1, rollouts);
+    if (options.verbose) {
+      std::printf("[%s] epoch %d/%d loss %.4f\n", name().c_str(), epoch + 1,
+                  options.epochs, last_training_loss_);
+    }
+  }
+}
+
+}  // namespace after

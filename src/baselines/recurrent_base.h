@@ -1,0 +1,55 @@
+#ifndef AFTER_BASELINES_RECURRENT_BASE_H_
+#define AFTER_BASELINES_RECURRENT_BASE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/mia.h"
+#include "core/recommender.h"
+#include "tensor/autograd.h"
+
+namespace after {
+
+/// Shared machinery for the recurrent GNN baselines (TGCN, DCRNN). As in
+/// the paper's experimental setup, they consume the same MIA-aggregated
+/// inputs as POSHGNN and are trained with the POSHGNN loss; only the
+/// recurrent kernel differs (implemented by subclasses via StepOnTape).
+class RecurrentGnnRecommender : public TrainableRecommender {
+ public:
+  struct StepOutput {
+    Variable recommendation;  // r_t (n x 1), in [0, 1]
+    Variable hidden;          // h_t (n x hidden_dim)
+  };
+
+  RecurrentGnnRecommender(double alpha, double beta, int hidden_dim,
+                          double threshold, int max_recommendations = 10);
+
+  void BeginSession(int num_users, int target) override;
+  std::vector<bool> Recommend(const StepContext& context) override;
+  void Train(const Dataset& dataset, const TrainOptions& options) override;
+
+  double last_training_loss() const { return last_training_loss_; }
+
+ protected:
+  /// One recurrent step on the tape.
+  virtual StepOutput StepOnTape(const MiaOutput& mia,
+                                const Variable& h_prev) const = 0;
+  virtual std::vector<Variable> Parameters() const = 0;
+
+  double alpha_;
+  double beta_;
+  int hidden_dim_;
+  double threshold_;
+  /// Display budget shared with POSHGNN (see PoshgnnConfig).
+  int max_recommendations_;
+
+ private:
+  Mia mia_;
+  Matrix state_hidden_;
+  Matrix state_recommendation_;
+  double last_training_loss_ = 0.0;
+};
+
+}  // namespace after
+
+#endif  // AFTER_BASELINES_RECURRENT_BASE_H_

@@ -1,0 +1,48 @@
+#include "baselines/tgcn_recommender.h"
+
+#include "common/rng.h"
+
+namespace after {
+namespace {
+
+constexpr int kFeatureDim = 4;
+
+Rng SeedRng(uint64_t seed) { return Rng(seed * 0xD1342543DE82EF95ULL); }
+
+}  // namespace
+
+TgcnRecommender::TgcnRecommender(double alpha, double beta, int hidden_dim,
+                                 double threshold, uint64_t seed)
+    : RecurrentGnnRecommender(alpha, beta, hidden_dim, threshold),
+      spatial_([&] {
+        Rng rng = SeedRng(seed);
+        return GcnLayer(kFeatureDim, hidden_dim, Activation::kRelu, rng);
+      }()),
+      recurrent_([&] {
+        Rng rng = SeedRng(seed + 1);
+        return GruCell(hidden_dim, hidden_dim, rng);
+      }()),
+      readout_([&] {
+        Rng rng = SeedRng(seed + 2);
+        return Linear(hidden_dim, 1, rng);
+      }()) {}
+
+RecurrentGnnRecommender::StepOutput TgcnRecommender::StepOnTape(
+    const MiaOutput& mia, const Variable& h_prev) const {
+  Variable features = Variable::Constant(mia.features);
+  Variable adjacency = Variable::Constant(mia.adjacency);
+  Variable spatial = spatial_.Forward(features, adjacency);
+  StepOutput out;
+  out.hidden = recurrent_.Forward(spatial, h_prev);
+  out.recommendation = Variable::Sigmoid(readout_.Forward(out.hidden));
+  return out;
+}
+
+std::vector<Variable> TgcnRecommender::Parameters() const {
+  std::vector<Variable> params = spatial_.Parameters();
+  for (const auto& p : recurrent_.Parameters()) params.push_back(p);
+  for (const auto& p : readout_.Parameters()) params.push_back(p);
+  return params;
+}
+
+}  // namespace after

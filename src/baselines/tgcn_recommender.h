@@ -1,0 +1,36 @@
+#ifndef AFTER_BASELINES_TGCN_RECOMMENDER_H_
+#define AFTER_BASELINES_TGCN_RECOMMENDER_H_
+
+#include <cstdint>
+
+#include "baselines/recurrent_base.h"
+#include "nn/gcn_layer.h"
+#include "nn/gru_cell.h"
+#include "nn/linear.h"
+
+namespace after {
+
+/// TGCN baseline (Zhao et al., T-ITS'20): a graph convolution captures
+/// spatial structure and a GRU captures temporal dynamics. Trained with
+/// the POSHGNN loss over MIA inputs, as in the paper's setup.
+class TgcnRecommender : public RecurrentGnnRecommender {
+ public:
+  TgcnRecommender(double alpha, double beta, int hidden_dim,
+                  double threshold, uint64_t seed);
+
+  std::string name() const override { return "TGCN"; }
+
+ protected:
+  StepOutput StepOnTape(const MiaOutput& mia,
+                        const Variable& h_prev) const override;
+  std::vector<Variable> Parameters() const override;
+
+ private:
+  GcnLayer spatial_;
+  GruCell recurrent_;
+  Linear readout_;
+};
+
+}  // namespace after
+
+#endif  // AFTER_BASELINES_TGCN_RECOMMENDER_H_

@@ -1,0 +1,51 @@
+#ifndef AFTER_COMMON_CHECK_H_
+#define AFTER_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace after {
+
+/// Terminates the program with a message. Used by the AFTER_CHECK macros;
+/// the library treats check failures as unrecoverable programming errors
+/// (consistent with a no-exceptions style).
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const std::string& message) {
+  std::fprintf(stderr, "[AFTER CHECK FAILED] %s:%d: %s\n", file, line,
+               message.c_str());
+  std::abort();
+}
+
+}  // namespace after
+
+/// Aborts with a diagnostic if `condition` is false.
+#define AFTER_CHECK(condition)                                        \
+  do {                                                                \
+    if (!(condition)) {                                               \
+      ::after::CheckFailed(__FILE__, __LINE__, "expected " #condition); \
+    }                                                                 \
+  } while (0)
+
+/// Aborts with a diagnostic including both operand values.
+#define AFTER_CHECK_OP(op, a, b)                                     \
+  do {                                                               \
+    auto va_ = (a);                                                  \
+    auto vb_ = (b);                                                  \
+    if (!(va_ op vb_)) {                                             \
+      std::ostringstream oss_;                                       \
+      oss_ << "expected " #a " " #op " " #b " (" << va_ << " vs "    \
+           << vb_ << ")";                                            \
+      ::after::CheckFailed(__FILE__, __LINE__, oss_.str());          \
+    }                                                                \
+  } while (0)
+
+#define AFTER_CHECK_EQ(a, b) AFTER_CHECK_OP(==, a, b)
+#define AFTER_CHECK_NE(a, b) AFTER_CHECK_OP(!=, a, b)
+#define AFTER_CHECK_LT(a, b) AFTER_CHECK_OP(<, a, b)
+#define AFTER_CHECK_LE(a, b) AFTER_CHECK_OP(<=, a, b)
+#define AFTER_CHECK_GT(a, b) AFTER_CHECK_OP(>, a, b)
+#define AFTER_CHECK_GE(a, b) AFTER_CHECK_OP(>=, a, b)
+
+#endif  // AFTER_COMMON_CHECK_H_

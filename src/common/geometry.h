@@ -1,0 +1,54 @@
+#ifndef AFTER_COMMON_GEOMETRY_H_
+#define AFTER_COMMON_GEOMETRY_H_
+
+#include <cmath>
+
+namespace after {
+
+/// 2D vector used for positions and velocities in the (flat) social XR
+/// space W. Following Sec. III-B of the paper, the occlusion-graph
+/// converter assumes a flat environment, i.e., trajectories live in the
+/// y=0 plane, so 2D coordinates (x, z) suffice.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  Vec2() = default;
+  Vec2(double x_in, double y_in) : x(x_in), y(y_in) {}
+
+  Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+  Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+  Vec2 operator*(double s) const { return {x * s, y * s}; }
+  Vec2& operator+=(const Vec2& o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+
+  double Dot(const Vec2& o) const { return x * o.x + y * o.y; }
+  /// 2D cross product (z-component of the 3D cross product).
+  double Cross(const Vec2& o) const { return x * o.y - y * o.x; }
+  double NormSq() const { return x * x + y * y; }
+  double Norm() const { return std::sqrt(NormSq()); }
+
+  /// Unit vector in this direction (zero vector maps to zero).
+  Vec2 Normalized() const {
+    const double n = Norm();
+    if (n < 1e-12) return {0.0, 0.0};
+    return {x / n, y / n};
+  }
+
+  /// Counter-clockwise perpendicular.
+  Vec2 Perpendicular() const { return {-y, x}; }
+
+  /// Angle in radians in (-pi, pi].
+  double Angle() const { return std::atan2(y, x); }
+};
+
+inline Vec2 operator*(double s, const Vec2& v) { return v * s; }
+
+inline double Distance(const Vec2& a, const Vec2& b) { return (a - b).Norm(); }
+
+}  // namespace after
+
+#endif  // AFTER_COMMON_GEOMETRY_H_

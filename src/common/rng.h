@@ -1,0 +1,63 @@
+#ifndef AFTER_COMMON_RNG_H_
+#define AFTER_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace after {
+
+/// Deterministic pseudo-random number generator (xoshiro256**) used
+/// everywhere in the library so that dataset generation, simulation and
+/// training are exactly reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  Rng(const Rng&) = default;
+  Rng& operator=(const Rng&) = default;
+
+  /// Next raw 64-bit value.
+  uint64_t NextUint64();
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  int UniformInt(int n);
+
+  /// Standard normal variate (Box-Muller).
+  double Normal();
+
+  /// Normal variate with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p);
+
+  /// Fisher-Yates shuffle of `items`.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (int i = static_cast<int>(items.size()) - 1; i > 0; --i) {
+      int j = UniformInt(i + 1);
+      std::swap(items[i], items[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) without replacement.
+  std::vector<int> SampleWithoutReplacement(int n, int k);
+
+  /// Samples an index proportionally to the non-negative weights.
+  int SampleWeighted(const std::vector<double>& weights);
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace after
+
+#endif  // AFTER_COMMON_RNG_H_

@@ -1,0 +1,33 @@
+#ifndef AFTER_COMMON_TIMER_H_
+#define AFTER_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace after {
+
+/// Simple wall-clock stopwatch used to measure per-step recommendation
+/// latency in the evaluation harness.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in milliseconds since construction or the last Reset().
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time in seconds.
+  double ElapsedSeconds() const { return ElapsedMs() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace after
+
+#endif  // AFTER_COMMON_TIMER_H_

@@ -1,0 +1,145 @@
+#include "core/evaluator.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "graph/occlusion_converter.h"
+
+namespace after {
+
+std::vector<int> DefaultEvalTargets(int num_users, int num_targets,
+                                    uint64_t seed) {
+  Rng rng(seed);
+  return rng.SampleWithoutReplacement(num_users,
+                                      std::min(num_users, num_targets));
+}
+
+EvalResult EvaluateRecommender(Recommender& recommender,
+                               const Dataset& dataset,
+                               const EvalOptions& options) {
+  AFTER_CHECK(!dataset.sessions.empty());
+  const int session_index =
+      options.session >= 0
+          ? options.session
+          : static_cast<int>(dataset.sessions.size()) - 1;
+  const XrWorld& world = dataset.sessions[session_index];
+  const int n = world.num_users();
+  const double body_radius = world.body_radius();
+
+  std::vector<int> targets = options.targets;
+  if (targets.empty())
+    targets = DefaultEvalTargets(n, options.num_targets, options.target_seed);
+
+  EvalResult result;
+  result.method = recommender.name();
+  result.steps_per_session = world.num_steps();
+
+  double total_steps_timed = 0.0;
+  double total_time_ms = 0.0;
+  double occlusion_numerator = 0.0;
+  double occlusion_denominator = 0.0;
+  double recommended_total = 0.0;
+
+  for (int target : targets) {
+    recommender.BeginSession(n, target);
+    std::vector<bool> prev_visible(n, false);
+    std::vector<bool> prev_recommended(n, false);
+    double target_after = 0.0;
+    double target_preference = 0.0;
+    double target_presence = 0.0;
+
+    for (int t = 0; t < world.num_steps(); ++t) {
+      const auto& positions = world.PositionsAt(t);
+      const OcclusionGraph occlusion =
+          BuildOcclusionGraph(positions, target, body_radius);
+
+      StepContext context;
+      context.t = t;
+      context.target = target;
+      context.positions = &positions;
+      context.occlusion = &occlusion;
+      context.interfaces = &world.interfaces();
+      context.preference = &dataset.preference;
+      context.social_presence = &dataset.social_presence;
+      context.beta = options.beta;
+      context.body_radius = body_radius;
+
+      WallTimer timer;
+      std::vector<bool> recommended = recommender.Recommend(context);
+      total_time_ms += timer.ElapsedMs();
+      total_steps_timed += 1.0;
+
+      AFTER_CHECK_EQ(static_cast<int>(recommended.size()), n);
+      recommended[target] = false;
+
+      // Rendered = recommended plus, for MR targets, the physically
+      // present co-located MR participants.
+      std::vector<bool> rendered = recommended;
+      const bool target_is_mr =
+          world.interface_of(target) == Interface::kMR;
+      if (target_is_mr) {
+        for (int w = 0; w < n; ++w)
+          if (w != target && world.interface_of(w) == Interface::kMR)
+            rendered[w] = true;
+      }
+
+      const std::vector<bool> visible =
+          ComputeVisibility(positions, target, body_radius, rendered);
+
+      int recommended_count = 0;
+      int occluded_count = 0;
+      for (int w = 0; w < n; ++w) {
+        if (!recommended[w]) continue;
+        ++recommended_count;
+        const bool sees_now = visible[w];  // 1[v => w at t]
+        if (!sees_now) ++occluded_count;
+        if (sees_now) {
+          const double p = dataset.preference.At(target, w);
+          target_preference += p;
+          target_after += (1.0 - options.beta) * p;
+          const bool seen_before = prev_recommended[w] && prev_visible[w];
+          if (seen_before) {
+            const double s = dataset.social_presence.At(target, w);
+            target_presence += s;
+            target_after += options.beta * s;
+          }
+        }
+      }
+      if (recommended_count > 0) {
+        occlusion_numerator +=
+            static_cast<double>(occluded_count) / recommended_count;
+        occlusion_denominator += 1.0;
+      }
+      recommended_total += recommended_count;
+
+      prev_visible = visible;
+      prev_recommended = recommended;
+    }
+
+    result.per_target_after.push_back(target_after);
+    result.per_target_preference.push_back(target_preference);
+    result.per_target_presence.push_back(target_presence);
+    result.evaluated_targets.push_back(target);
+    result.after_utility += target_after;
+    result.preference_utility += target_preference;
+    result.social_presence_utility += target_presence;
+  }
+
+  const double num_targets = static_cast<double>(targets.size());
+  result.after_utility /= num_targets;
+  result.preference_utility /= num_targets;
+  result.social_presence_utility /= num_targets;
+  result.view_occlusion_rate =
+      occlusion_denominator > 0.0
+          ? occlusion_numerator / occlusion_denominator
+          : 0.0;
+  result.running_time_ms =
+      total_steps_timed > 0.0 ? total_time_ms / total_steps_timed : 0.0;
+  result.avg_recommended_per_step =
+      total_steps_timed > 0.0 ? recommended_total / total_steps_timed : 0.0;
+  return result;
+}
+
+}  // namespace after

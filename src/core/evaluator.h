@@ -1,0 +1,68 @@
+#ifndef AFTER_CORE_EVALUATOR_H_
+#define AFTER_CORE_EVALUATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/recommender.h"
+#include "data/dataset.h"
+
+namespace after {
+
+/// Options for replaying a session through a recommender and scoring it
+/// with the AFTER utility (Definitions 2 and 3).
+struct EvalOptions {
+  /// Session index into Dataset::sessions; -1 = last (the held-out test
+  /// session under the paper's 80/20 split).
+  int session = -1;
+  /// Target users to evaluate; empty = deterministic sample below.
+  std::vector<int> targets;
+  /// Number of targets sampled (seeded) when `targets` is empty.
+  int num_targets = 8;
+  uint64_t target_seed = 1234;
+  /// Preference / social-presence trade-off.
+  double beta = 0.5;
+};
+
+/// Aggregated metrics matching the rows of Tables II-VII.
+struct EvalResult {
+  std::string method;
+  /// Mean over targets of the total AFTER utility over the session.
+  double after_utility = 0.0;
+  /// Total preference utility: sum of 1[v=>w at t] * p(v,w).
+  double preference_utility = 0.0;
+  /// Total social presence utility: sum of 1[v=>w at t-1,t] * s(v,w).
+  double social_presence_utility = 0.0;
+  /// Fraction of recommended users that were occluded, averaged per step.
+  double view_occlusion_rate = 0.0;
+  /// Mean wall-clock per Recommend() call, milliseconds.
+  double running_time_ms = 0.0;
+  /// Mean number of users recommended per step (display-budget usage).
+  double avg_recommended_per_step = 0.0;
+  /// Per-target totals (for significance tests and the user study).
+  std::vector<double> per_target_after;
+  std::vector<double> per_target_preference;
+  std::vector<double> per_target_presence;
+  /// The targets evaluated, parallel to the per-target vectors.
+  std::vector<int> evaluated_targets;
+  /// Steps per session (to convert totals into per-step averages).
+  int steps_per_session = 0;
+};
+
+/// Replays one session of `dataset` through `recommender` for each target
+/// user and accumulates the AFTER metrics. Rendering semantics: for an MR
+/// target, co-located MR participants are always physically rendered;
+/// visibility is depth-ordered arc blocking (see ComputeVisibility).
+/// Utility is earned only by recommended, visible users.
+EvalResult EvaluateRecommender(Recommender& recommender,
+                               const Dataset& dataset,
+                               const EvalOptions& options);
+
+/// Deterministic evaluation targets for a dataset size (shared across
+/// methods so comparisons are paired).
+std::vector<int> DefaultEvalTargets(int num_users, int num_targets,
+                                    uint64_t seed);
+
+}  // namespace after
+
+#endif  // AFTER_CORE_EVALUATOR_H_

@@ -1,0 +1,39 @@
+#include "core/loss.h"
+
+namespace after {
+
+Variable PoshgnnStepLoss(const Variable& r_t, const Variable& r_prev,
+                         const Variable& p_hat, const Variable& s_hat,
+                         const Variable& adjacency, double alpha,
+                         double beta) {
+  // Preference gain: r_t · p̂_t.
+  Variable preference_gain =
+      Variable::Sum(Variable::Hadamard(r_t, p_hat));
+  // Social presence gain: (r_t ⊗ r_{t-1}) · ŝ_t.
+  Variable presence_gain = Variable::Sum(
+      Variable::Hadamard(Variable::Hadamard(r_t, r_prev), s_hat));
+  // Occlusion penalty: r_tᵀ A_t r_t.
+  Variable penalty = Variable::Sum(Variable::Hadamard(
+      r_t, Variable::MatMul(adjacency, r_t)));
+
+  const double gamma =
+      (1.0 - beta) * p_hat.value().Sum() + beta * s_hat.value().Sum();
+
+  Variable loss = (-(1.0 - beta)) * preference_gain +
+                  (-beta) * presence_gain + alpha * penalty;
+  return Variable::AddScalar(loss, gamma);
+}
+
+double PoshgnnStepLossValue(const Matrix& r_t, const Matrix& r_prev,
+                            const Matrix& p_hat, const Matrix& s_hat,
+                            const Matrix& adjacency, double alpha,
+                            double beta) {
+  const double preference_gain = r_t.Hadamard(p_hat).Sum();
+  const double presence_gain = r_t.Hadamard(r_prev).Hadamard(s_hat).Sum();
+  const double penalty = r_t.Hadamard(adjacency.MatMul(r_t)).Sum();
+  const double gamma = (1.0 - beta) * p_hat.Sum() + beta * s_hat.Sum();
+  return -(1.0 - beta) * preference_gain - beta * presence_gain +
+         alpha * penalty + gamma;
+}
+
+}  // namespace after

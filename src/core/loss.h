@@ -1,0 +1,32 @@
+#ifndef AFTER_CORE_LOSS_H_
+#define AFTER_CORE_LOSS_H_
+
+#include "tensor/autograd.h"
+
+namespace after {
+
+/// POSHGNN loss for a single time step (Definition 7):
+///
+///   L_t = -(1-β)·r_tᵀ·p̂_t - β·(r_t ⊗ r_{t-1})ᵀ·ŝ_t + α·r_tᵀ·A_t·r_t + γ
+///
+/// with γ = Σ_w [(1-β)·p̂_t + β·ŝ_t] keeping the loss positive. The total
+/// POSHGNN loss is the sum of L_t over t = 0..T; r_{t-1} at t = 0 is the
+/// zero vector (nothing was rendered before the conference started).
+///
+/// r_t, r_prev: (n x 1) recommendation probability columns (tape
+/// variables); p_hat, s_hat: constants (n x 1); adjacency: constant
+/// (n x n). Returns a 1x1 variable.
+Variable PoshgnnStepLoss(const Variable& r_t, const Variable& r_prev,
+                         const Variable& p_hat, const Variable& s_hat,
+                         const Variable& adjacency, double alpha, double beta);
+
+/// Non-differentiable convenience overload for plain matrices, used by
+/// tests and by baselines that only need the loss value.
+double PoshgnnStepLossValue(const Matrix& r_t, const Matrix& r_prev,
+                            const Matrix& p_hat, const Matrix& s_hat,
+                            const Matrix& adjacency, double alpha,
+                            double beta);
+
+}  // namespace after
+
+#endif  // AFTER_CORE_LOSS_H_

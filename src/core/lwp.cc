@@ -1,0 +1,36 @@
+#include "core/lwp.h"
+
+#include "common/rng.h"
+
+namespace after {
+
+Lwp::Lwp(int in_features, int hidden_dim, Rng& rng)
+    : layer1_(in_features, hidden_dim, Activation::kRelu, rng),
+      layer2_(hidden_dim, hidden_dim, Activation::kRelu, rng),
+      layer3_(hidden_dim, 1, Activation::kSigmoid, rng) {}
+
+Variable Lwp::Forward(const Variable& x, const Variable& adjacency) const {
+  Variable h = layer1_.Forward(x, adjacency);
+  h = layer2_.Forward(h, adjacency);
+  return layer3_.Forward(h, adjacency);
+}
+
+std::vector<Variable> Lwp::Parameters() const {
+  std::vector<Variable> params = layer1_.Parameters();
+  for (const auto& p : layer2_.Parameters()) params.push_back(p);
+  for (const auto& p : layer3_.Parameters()) params.push_back(p);
+  return params;
+}
+
+Variable PreservationGate(const Variable& mask, const Variable& sigma,
+                          const Variable& prototype,
+                          const Variable& previous) {
+  // (1 - σ) ⊗ r̃_t + σ ⊗ r_{t-1}
+  Variable one_minus_sigma =
+      Variable::AddScalar(-1.0 * sigma, 1.0);
+  Variable blended = Variable::Hadamard(one_minus_sigma, prototype) +
+                     Variable::Hadamard(sigma, previous);
+  return Variable::Hadamard(mask, blended);
+}
+
+}  // namespace after

@@ -1,0 +1,43 @@
+#ifndef AFTER_CORE_LWP_H_
+#define AFTER_CORE_LWP_H_
+
+#include <vector>
+
+#include "nn/gcn_layer.h"
+#include "tensor/autograd.h"
+
+namespace after {
+
+class Rng;
+
+/// Learning Which to Preserve (Sec. IV-C): a three-layer GCN that decides,
+/// per user, what fraction of the previous recommendation to inherit.
+/// Its input concatenates [x̂_t | Δ_t | h_{t-1} | r_{t-1}]; it outputs the
+/// preservation vector σ in [0,1]^{|V|} consumed by the preservation gate
+///
+///   r_t = m_t ⊗ [(1-σ) ⊗ r̃_t + σ ⊗ r_{t-1}].
+class Lwp {
+ public:
+  /// in_features must equal feature_dim + delta_dim + hidden_dim + 1.
+  Lwp(int in_features, int hidden_dim, Rng& rng);
+
+  /// Returns σ (n x 1).
+  Variable Forward(const Variable& x, const Variable& adjacency) const;
+
+  std::vector<Variable> Parameters() const;
+
+ private:
+  GcnLayer layer1_;
+  GcnLayer layer2_;
+  GcnLayer layer3_;
+};
+
+/// Preservation gate combining the prototype recommendation with the
+/// previous recommendation under mask m_t.
+Variable PreservationGate(const Variable& mask, const Variable& sigma,
+                          const Variable& prototype,
+                          const Variable& previous);
+
+}  // namespace after
+
+#endif  // AFTER_CORE_LWP_H_

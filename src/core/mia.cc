@@ -1,0 +1,121 @@
+#include "core/mia.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "graph/occlusion_converter.h"
+
+namespace after {
+
+void Mia::Reset() {
+  has_previous_ = false;
+  previous_adjacency_ = Matrix();
+}
+
+std::vector<bool> Mia::PhysicallyBlocked(const StepContext& context) {
+  const auto& positions = *context.positions;
+  const auto& interfaces = *context.interfaces;
+  const int n = static_cast<int>(positions.size());
+  std::vector<bool> blocked(n, false);
+  if (interfaces[context.target] != Interface::kMR) return blocked;
+
+  const std::vector<ViewArc> arcs =
+      ComputeViewArcs(positions, context.target, context.body_radius);
+  for (int w = 0; w < n; ++w) {
+    if (w == context.target) continue;
+    for (int u = 0; u < n; ++u) {
+      if (u == w || u == context.target) continue;
+      if (interfaces[u] != Interface::kMR) continue;  // only physical bodies
+      if (arcs[u].distance < arcs[w].distance &&
+          ArcsOverlap(arcs[u], arcs[w])) {
+        blocked[w] = true;
+        break;
+      }
+    }
+  }
+  return blocked;
+}
+
+MiaOutput Mia::Process(const StepContext& context) {
+  AFTER_CHECK(context.positions != nullptr);
+  AFTER_CHECK(context.occlusion != nullptr);
+  AFTER_CHECK(context.interfaces != nullptr);
+  AFTER_CHECK(context.preference != nullptr);
+  AFTER_CHECK(context.social_presence != nullptr);
+
+  const auto& positions = *context.positions;
+  const auto& interfaces = *context.interfaces;
+  const int n = static_cast<int>(positions.size());
+  const int v = context.target;
+
+  MiaOutput out;
+  out.adjacency = context.occlusion->ToAdjacencyMatrix();
+
+  // Hybrid-participation mask, plus the user's blocklist (footnote 8).
+  const std::vector<bool> blocked = PhysicallyBlocked(context);
+  out.mask = Matrix(n, 1, 1.0);
+  out.mask.At(v, 0) = 0.0;
+  for (int w = 0; w < n; ++w) {
+    if (blocked[w]) out.mask.At(w, 0) = 0.0;
+    if (context.blocklist != nullptr && (*context.blocklist)[w])
+      out.mask.At(w, 0) = 0.0;
+  }
+
+  // Normalized utilities and features.
+  out.features = Matrix(n, 4);
+  out.p_hat = Matrix(n, 1);
+  out.s_hat = Matrix(n, 1);
+  const double scale =
+      context.distance_scale > 0.0 ? context.distance_scale : 1.0;
+  for (int w = 0; w < n; ++w) {
+    if (w == v) continue;
+    const double dist = Distance(positions[v], positions[w]);
+    const double denom = 1.0 + (dist / scale) * (dist / scale);
+    double p_hat = context.preference->At(v, w) / denom;
+    double s_hat = context.social_presence->At(v, w) / denom;
+    // Physically occluded users are pruned by zeroing their utilities.
+    if (out.mask.At(w, 0) == 0.0) {
+      p_hat = 0.0;
+      s_hat = 0.0;
+    }
+    out.p_hat.At(w, 0) = p_hat;
+    out.s_hat.At(w, 0) = s_hat;
+    out.features.At(w, 0) = p_hat;
+    out.features.At(w, 1) = s_hat;
+    out.features.At(w, 2) = dist;
+    out.features.At(w, 3) = interfaces[w] == Interface::kMR ? 1.0 : 0.0;
+  }
+
+  // Structural differences Δ_t = [e0 || e1 || e2].
+  out.delta = Matrix(n, 3);
+  for (int w = 0; w < n; ++w) out.delta.At(w, 0) = 1.0;  // e0: all-one
+  if (has_previous_) {
+    // e1 = (A_t - A_{t-1}) · 1  (row sums of the difference).
+    for (int r = 0; r < n; ++r) {
+      double e1 = 0.0;
+      for (int c = 0; c < n; ++c)
+        e1 += out.adjacency.At(r, c) - previous_adjacency_.At(r, c);
+      out.delta.At(r, 1) = e1;
+    }
+    // e2 = (A_t² - A_{t-1}²) · 1. Computed as A·(A·1) per matrix to stay
+    // O(n²) instead of forming the squares.
+    auto two_hop_row_sums = [n](const Matrix& a) {
+      std::vector<double> degree(n, 0.0);
+      for (int r = 0; r < n; ++r)
+        for (int c = 0; c < n; ++c) degree[r] += a.At(r, c);
+      std::vector<double> result(n, 0.0);
+      for (int r = 0; r < n; ++r)
+        for (int c = 0; c < n; ++c) result[r] += a.At(r, c) * degree[c];
+      return result;
+    };
+    const std::vector<double> now = two_hop_row_sums(out.adjacency);
+    const std::vector<double> before = two_hop_row_sums(previous_adjacency_);
+    for (int r = 0; r < n; ++r) out.delta.At(r, 2) = now[r] - before[r];
+  }
+
+  previous_adjacency_ = out.adjacency;
+  has_previous_ = true;
+  return out;
+}
+
+}  // namespace after

@@ -1,0 +1,58 @@
+#ifndef AFTER_CORE_MIA_H_
+#define AFTER_CORE_MIA_H_
+
+#include <vector>
+
+#include "core/recommender.h"
+#include "tensor/matrix.h"
+
+namespace after {
+
+/// Output of the Multi-modal Information Aggregator at one time step.
+struct MiaOutput {
+  /// Normalized node features x̂_t (N x 4): [p̂, ŝ, relative distance,
+  /// interface flag (1 = MR)]. p̂/ŝ are the preference / social presence
+  /// utilities divided by (1 + d²) so that POSHGNN focuses on nearby,
+  /// reachable candidates rather than raw distance.
+  Matrix features;
+  /// Structural-difference embedding Δ_t = [e0 || e1 || e2] (N x 3) with
+  /// e1 = (A_t - A_{t-1})·1 and e2 = (A_t² - A_{t-1}²)·1.
+  Matrix delta;
+  /// Hybrid-participation mask m_t (N x 1): 0 for the target user and for
+  /// candidates whose view is physically blocked by a nearer co-located
+  /// MR participant (only when the target uses MR); 1 otherwise.
+  Matrix mask;
+  /// Dense adjacency A_t of the occlusion graph.
+  Matrix adjacency;
+  /// p̂_t and ŝ_t as N x 1 columns (inputs to the POSHGNN loss).
+  Matrix p_hat;
+  Matrix s_hat;
+};
+
+/// MIA (Sec. IV-A): fuses users' social embeddings, trajectories and
+/// device information into an attributed dynamic occlusion graph,
+/// computes inter-step structural differences, and prunes physically
+/// occluded candidates for hybrid participation.
+class Mia {
+ public:
+  Mia() = default;
+
+  /// Clears the remembered previous-step adjacency (call per session).
+  void Reset();
+
+  /// Aggregates one step. Maintains A_{t-1} internally for Δ_t.
+  MiaOutput Process(const StepContext& context);
+
+  /// Stand-alone HP mask computation (exposed for tests): blocked[w] is
+  /// true when a strictly nearer co-located MR participant's arc covers
+  /// w's arc center from the target's viewpoint.
+  static std::vector<bool> PhysicallyBlocked(const StepContext& context);
+
+ private:
+  bool has_previous_ = false;
+  Matrix previous_adjacency_;
+};
+
+}  // namespace after
+
+#endif  // AFTER_CORE_MIA_H_

@@ -1,0 +1,25 @@
+#include "core/pdr.h"
+
+#include "common/rng.h"
+
+namespace after {
+
+Pdr::Pdr(int in_features, int hidden_dim, Rng& rng)
+    : hidden_dim_(hidden_dim),
+      layer1_(in_features, hidden_dim, Activation::kRelu, rng),
+      layer2_(hidden_dim, 1, Activation::kSigmoid, rng) {}
+
+Pdr::Output Pdr::Forward(const Variable& x, const Variable& adjacency) const {
+  Output out;
+  out.hidden = layer1_.Forward(x, adjacency);
+  out.recommendation = layer2_.Forward(out.hidden, adjacency);
+  return out;
+}
+
+std::vector<Variable> Pdr::Parameters() const {
+  std::vector<Variable> params = layer1_.Parameters();
+  for (const auto& p : layer2_.Parameters()) params.push_back(p);
+  return params;
+}
+
+}  // namespace after

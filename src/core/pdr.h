@@ -1,0 +1,44 @@
+#ifndef AFTER_CORE_PDR_H_
+#define AFTER_CORE_PDR_H_
+
+#include <vector>
+
+#include "nn/gcn_layer.h"
+#include "tensor/autograd.h"
+
+namespace after {
+
+class Rng;
+
+/// Partial view De-occlusion Recommender (Sec. IV-B): a light two-layer
+/// GCN that maps the aggregated scene features x̂_t and the occlusion
+/// graph A_t to (i) a prototype recommendation r̃_t in [0,1]^{|V|} and
+/// (ii) a hidden state h_t in R^{|V| x k} carrying recommendation
+/// uncertainty to the next time step.
+class Pdr {
+ public:
+  struct Output {
+    /// Hidden state h_t (n x hidden_dim).
+    Variable hidden;
+    /// Prototype recommendation r̃_t (n x 1), sigmoid-activated.
+    Variable recommendation;
+  };
+
+  Pdr(int in_features, int hidden_dim, Rng& rng);
+
+  /// x: (n x in_features), adjacency: constant (n x n).
+  Output Forward(const Variable& x, const Variable& adjacency) const;
+
+  std::vector<Variable> Parameters() const;
+
+  int hidden_dim() const { return hidden_dim_; }
+
+ private:
+  int hidden_dim_;
+  GcnLayer layer1_;  // h_t^1 = ReLU(...) = h_t
+  GcnLayer layer2_;  // h_t^2 = sigmoid(...) = r̃_t
+};
+
+}  // namespace after
+
+#endif  // AFTER_CORE_PDR_H_

@@ -1,0 +1,231 @@
+#include "core/poshgnn.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "core/loss.h"
+#include "core/session.h"
+#include "nn/adam.h"
+#include "nn/serialize.h"
+#include "data/dataset.h"
+#include "graph/occlusion_converter.h"
+
+namespace after {
+namespace {
+
+constexpr int kFeatureDim = 4;  // [p̂, ŝ, distance, interface]
+constexpr int kDeltaDim = 3;    // [e0, e1, e2]
+
+Rng MakeInitRng(uint64_t seed) { return Rng(seed * 0xA24BAED4963EE407ULL); }
+
+}  // namespace
+
+Poshgnn::Poshgnn(const PoshgnnConfig& config)
+    : config_(config),
+      pdr_([&] {
+        Rng rng = MakeInitRng(config.seed);
+        return Pdr(kFeatureDim, config.hidden_dim, rng);
+      }()),
+      lwp_([&] {
+        Rng rng = MakeInitRng(config.seed + 1);
+        return Lwp(kFeatureDim + kDeltaDim + config.hidden_dim + 1,
+                   config.hidden_dim, rng);
+      }()) {}
+
+std::string Poshgnn::name() const {
+  if (config_.use_mia && config_.use_lwp) return "POSHGNN";
+  if (config_.use_mia) return "PDR w/ MIA";
+  return "Only PDR";
+}
+
+void Poshgnn::BeginSession(int num_users, int target) {
+  (void)target;
+  mia_.Reset();
+  state_recommendation_ = Matrix(num_users, 1);
+  state_hidden_ = Matrix(num_users, config_.hidden_dim);
+}
+
+MiaOutput Poshgnn::AggregateRaw(const StepContext& context) const {
+  const auto& positions = *context.positions;
+  const auto& interfaces = *context.interfaces;
+  const int n = static_cast<int>(positions.size());
+  const int v = context.target;
+
+  MiaOutput out;
+  out.adjacency = context.occlusion->ToAdjacencyMatrix();
+  out.mask = Matrix(n, 1, 1.0);
+  out.mask.At(v, 0) = 0.0;
+  out.features = Matrix(n, kFeatureDim);
+  out.p_hat = Matrix(n, 1);
+  out.s_hat = Matrix(n, 1);
+  for (int w = 0; w < n; ++w) {
+    if (w == v) continue;
+    const double p = context.preference->At(v, w);
+    const double s = context.social_presence->At(v, w);
+    out.p_hat.At(w, 0) = p;
+    out.s_hat.At(w, 0) = s;
+    out.features.At(w, 0) = p;
+    out.features.At(w, 1) = s;
+    out.features.At(w, 2) = Distance(positions[v], positions[w]);
+    out.features.At(w, 3) = interfaces[w] == Interface::kMR ? 1.0 : 0.0;
+  }
+  out.delta = Matrix(n, kDeltaDim);
+  for (int w = 0; w < n; ++w) out.delta.At(w, 0) = 1.0;
+  return out;
+}
+
+MiaOutput Poshgnn::Aggregate(const StepContext& context) {
+  return config_.use_mia ? mia_.Process(context) : AggregateRaw(context);
+}
+
+Poshgnn::StepResult Poshgnn::StepOnTape(const MiaOutput& mia,
+                                        const Variable& r_prev,
+                                        const Variable& h_prev) const {
+  Variable features = Variable::Constant(mia.features);
+  Variable adjacency = Variable::Constant(mia.adjacency);
+  Variable mask = Variable::Constant(mia.mask);
+
+  Pdr::Output pdr_out = pdr_.Forward(features, adjacency);
+
+  StepResult result;
+  result.hidden = pdr_out.hidden;
+  if (config_.use_lwp) {
+    Variable lwp_input = Variable::ConcatCols(
+        Variable::ConcatCols(features, Variable::Constant(mia.delta)),
+        Variable::ConcatCols(h_prev, r_prev));
+    Variable sigma = lwp_.Forward(lwp_input, adjacency);
+    result.recommendation =
+        PreservationGate(mask, sigma, pdr_out.recommendation, r_prev);
+  } else {
+    result.recommendation =
+        Variable::Hadamard(mask, pdr_out.recommendation);
+  }
+  return result;
+}
+
+std::vector<bool> Poshgnn::Recommend(const StepContext& context) {
+  const int n = static_cast<int>(context.positions->size());
+  if (state_recommendation_.rows() != n)
+    BeginSession(n, context.target);
+
+  const MiaOutput mia = Aggregate(context);
+  // Detached step: the recurrent state enters as constants so the tape of
+  // one step is dropped immediately after thresholding.
+  const StepResult step =
+      StepOnTape(mia, Variable::Constant(state_recommendation_),
+                 Variable::Constant(state_hidden_));
+
+  const Matrix previous = state_recommendation_;
+  state_recommendation_ = step.recommendation.value();
+  state_hidden_ = step.hidden.value();
+
+  // Decode the display set from the probabilities. Following the
+  // objective-guided decoding of the neural MIS literature the framework
+  // builds on (Ahn et al. 2020), the budgeted set is the top-k by
+  // r_w * (expected marginal AFTER gain); the threshold gates which
+  // users are considered recommended at all.
+  std::vector<int> candidates;
+  for (int w = 0; w < n; ++w) {
+    if (w == context.target) continue;
+    if (state_recommendation_.At(w, 0) > config_.threshold)
+      candidates.push_back(w);
+  }
+  if (config_.max_recommendations > 0 &&
+      static_cast<int>(candidates.size()) > config_.max_recommendations) {
+    std::vector<double> decode_score(n, 0.0);
+    for (int w : candidates) {
+      // The continuity term exists only when the model actually carries
+      // its previous recommendation (LWP); the ablated variants are
+      // memoryless and decode on preference alone.
+      double gain = (1.0 - config_.beta) * mia.p_hat.At(w, 0);
+      if (config_.use_lwp)
+        gain += config_.beta * previous.At(w, 0) * mia.s_hat.At(w, 0);
+      decode_score[w] = state_recommendation_.At(w, 0) * gain;
+    }
+    std::sort(candidates.begin(), candidates.end(), [&](int a, int b) {
+      return decode_score[a] > decode_score[b];
+    });
+    candidates.resize(config_.max_recommendations);
+  }
+  std::vector<bool> selected(n, false);
+  for (int w : candidates) selected[w] = true;
+  return selected;
+}
+
+std::vector<Variable> Poshgnn::Parameters() const {
+  std::vector<Variable> params = pdr_.Parameters();
+  if (config_.use_lwp) {
+    for (const auto& p : lwp_.Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+bool Poshgnn::SaveWeights(const std::string& path) const {
+  return SaveParameters(path, Parameters());
+}
+
+bool Poshgnn::LoadWeights(const std::string& path) {
+  std::vector<Variable> params = Parameters();
+  return LoadParameters(path, params);
+}
+
+void Poshgnn::Train(const Dataset& dataset, const TrainOptions& options) {
+  Rng rng(options.seed);
+  const int n = dataset.num_users();
+  AFTER_CHECK(!dataset.sessions.empty());
+
+  std::vector<int> train_sessions = options.train_sessions;
+  if (train_sessions.empty()) {
+    const int limit = std::max(1, static_cast<int>(dataset.sessions.size()) - 1);
+    for (int s = 0; s < limit; ++s) train_sessions.push_back(s);
+  }
+
+  Adam::Options adam_options;
+  adam_options.learning_rate = options.learning_rate;
+  Adam optimizer(Parameters(), adam_options);
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    int rollouts = 0;
+    const std::vector<int> targets = rng.SampleWithoutReplacement(
+        n, std::min(n, options.targets_per_epoch));
+    for (int session_index : train_sessions) {
+      const XrWorld& world = dataset.sessions[session_index];
+      for (int target : targets) {
+        mia_.Reset();
+        Variable r_prev = Variable::Constant(Matrix(n, 1));
+        Variable h_prev = Variable::Constant(Matrix(n, config_.hidden_dim));
+        Variable total_loss;
+        ForEachSessionStep(
+            dataset, session_index, target, config_.beta,
+            [&](const StepContext& context) {
+              const MiaOutput mia = Aggregate(context);
+              const StepResult step = StepOnTape(mia, r_prev, h_prev);
+              Variable loss = PoshgnnStepLoss(
+                  step.recommendation, r_prev,
+                  Variable::Constant(mia.p_hat),
+                  Variable::Constant(mia.s_hat),
+                  Variable::Constant(mia.adjacency), config_.alpha,
+                  config_.beta);
+              total_loss = total_loss.defined() ? total_loss + loss : loss;
+              r_prev = step.recommendation;
+              h_prev = step.hidden;
+            });
+        total_loss =
+            (1.0 / static_cast<double>(world.num_steps())) * total_loss;
+        optimizer.ZeroGrad();
+        total_loss.Backward();
+        optimizer.Step();
+        epoch_loss += total_loss.value().At(0, 0);
+        ++rollouts;
+      }
+    }
+    last_training_loss_ = epoch_loss / std::max(1, rollouts);
+    if (options.verbose) {
+      std::printf("[%s] epoch %d/%d loss %.4f\n", name().c_str(), epoch + 1,
+                  options.epochs, last_training_loss_);
+    }
+  }
+}
+
+}  // namespace after

@@ -1,0 +1,95 @@
+#ifndef AFTER_CORE_POSHGNN_H_
+#define AFTER_CORE_POSHGNN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/lwp.h"
+#include "core/mia.h"
+#include "core/pdr.h"
+#include "core/recommender.h"
+
+namespace after {
+
+/// Configuration of the POSHGNN framework (Sec. IV). The `use_*` flags
+/// realize the Table V ablations: Full = both true; "PDR w/ MIA" =
+/// use_lwp false; "Only PDR" = both false (raw features, no Δ, no mask
+/// beyond the target, no distance normalization).
+struct PoshgnnConfig {
+  int hidden_dim = 8;
+  /// Trade-off between preference and social presence (Definition 2).
+  double beta = 0.5;
+  /// Occlusion penalty weight in the POSHGNN loss (Definition 7).
+  double alpha = 0.01;
+  bool use_mia = true;
+  bool use_lwp = true;
+  /// A user is recommended when its final probability exceeds this.
+  double threshold = 0.5;
+  /// Display budget: at most this many users are rendered per step (the
+  /// highest-probability ones above the threshold). Rendering cost and
+  /// cognitive load bound the set size in a real XR client; every method
+  /// in the benches shares the same budget for fairness.
+  int max_recommendations = 10;
+  uint64_t seed = 42;
+};
+
+/// POSHGNN: the paper's deep temporal graph-learning recommender.
+/// MIA fuses multi-modal inputs into an attributed occlusion graph, PDR
+/// produces a prototype de-occlusion recommendation, and LWP gates how
+/// much of the previous recommendation to preserve.
+class Poshgnn : public TrainableRecommender {
+ public:
+  /// Result of one recurrent step on the autograd tape.
+  struct StepResult {
+    Variable recommendation;  // r_t (n x 1)
+    Variable hidden;          // h_t (n x hidden_dim)
+  };
+
+  explicit Poshgnn(const PoshgnnConfig& config);
+
+  std::string name() const override;
+  void BeginSession(int num_users, int target) override;
+  std::vector<bool> Recommend(const StepContext& context) override;
+  void Train(const Dataset& dataset, const TrainOptions& options) override;
+
+  /// One differentiable step given MIA output and previous-state
+  /// variables; used by the trainer (BPTT) and by Recommend (detached).
+  StepResult StepOnTape(const MiaOutput& mia, const Variable& r_prev,
+                        const Variable& h_prev) const;
+
+  /// Builds MIA output for a step, honoring the use_mia ablation flag.
+  MiaOutput Aggregate(const StepContext& context);
+
+  std::vector<Variable> Parameters() const;
+
+  /// Persists / restores trained weights (see nn/serialize.h). Loading
+  /// requires a model constructed with the same architecture flags.
+  bool SaveWeights(const std::string& path) const;
+  bool LoadWeights(const std::string& path);
+
+  const PoshgnnConfig& config() const { return config_; }
+
+  /// Average training loss of the last Train() call's final epoch.
+  double last_training_loss() const { return last_training_loss_; }
+
+ private:
+  /// Raw (un-normalized, un-masked) aggregation for the "Only PDR"
+  /// ablation.
+  MiaOutput AggregateRaw(const StepContext& context) const;
+
+  PoshgnnConfig config_;
+  Mia mia_;
+  Pdr pdr_;
+  Lwp lwp_;
+  double last_training_loss_ = 0.0;
+
+  // Detached recurrent state for inference.
+  Matrix state_recommendation_;
+  Matrix state_hidden_;
+};
+
+}  // namespace after
+
+#endif  // AFTER_CORE_POSHGNN_H_

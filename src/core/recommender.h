@@ -1,0 +1,92 @@
+#ifndef AFTER_CORE_RECOMMENDER_H_
+#define AFTER_CORE_RECOMMENDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/geometry.h"
+#include "graph/occlusion_graph.h"
+#include "sim/xr_world.h"
+#include "tensor/matrix.h"
+
+namespace after {
+
+struct Dataset;
+
+/// Everything an AFTER recommender may consult at one time step for one
+/// target user (Definition 1: F_t(v) -> 2^V).
+struct StepContext {
+  int t = 0;
+  int target = 0;
+  /// Positions of every user at time t.
+  const std::vector<Vec2>* positions = nullptr;
+  /// Static occlusion graph for the target at time t (Definition 4).
+  const OcclusionGraph* occlusion = nullptr;
+  /// Interface (MR/VR) of every user.
+  const std::vector<Interface>* interfaces = nullptr;
+  /// Global preference matrix p(v, w).
+  const Matrix* preference = nullptr;
+  /// Global social presence matrix s(v, w).
+  const Matrix* social_presence = nullptr;
+  /// Importance of social presence relative to preference (Definition 2).
+  double beta = 0.5;
+  /// Body radius used by the occlusion model.
+  double body_radius = 0.25;
+  /// Length scale (meters) of MIA's distance normalization:
+  /// p̂ = p / (1 + (d / distance_scale)²). Keeps the normalization from
+  /// drowning preference in distance (Sec. IV-A: the model should focus
+  /// on preference and social presence rather than relative distance).
+  double distance_scale = 5.0;
+  /// Optional per-target blocklist (paper footnote 8: "an inter-user
+  /// blocklist or allowlist could easily be achieved by a slight
+  /// modification of the MIA mask"). blocklist[w] == true means user w
+  /// must never be rendered for the target; MIA zeroes its mask slot and
+  /// utilities. nullptr = no blocklist.
+  const std::vector<bool>* blocklist = nullptr;
+};
+
+/// Options controlling offline training of learned recommenders.
+struct TrainOptions {
+  int epochs = 12;
+  /// Target users sampled per training epoch.
+  int targets_per_epoch = 4;
+  /// Sessions (by index into Dataset::sessions) used for training; the
+  /// evaluation harness holds out the last session. Empty = all but last.
+  std::vector<int> train_sessions;
+  double learning_rate = 1e-2;
+  uint64_t seed = 7;
+  /// If true, prints the loss once per epoch.
+  bool verbose = false;
+};
+
+/// Abstract AFTER recommender (Definition 1). Implementations are
+/// stateful across a session rollout (BeginSession resets recurrent
+/// state); Recommend must be callable at 'real time', i.e., it is the
+/// code path whose latency the benchmarks measure.
+class Recommender {
+ public:
+  virtual ~Recommender() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Called before replaying a session for a given target user.
+  virtual void BeginSession(int num_users, int target) {
+    (void)num_users;
+    (void)target;
+  }
+
+  /// Returns the set of users rendered for the target at this step
+  /// (true = recommended). The target's own slot must be false.
+  virtual std::vector<bool> Recommend(const StepContext& context) = 0;
+};
+
+/// A recommender with an offline training phase (POSHGNN, DCRNN, TGCN,
+/// GraFrank).
+class TrainableRecommender : public Recommender {
+ public:
+  virtual void Train(const Dataset& dataset, const TrainOptions& options) = 0;
+};
+
+}  // namespace after
+
+#endif  // AFTER_CORE_RECOMMENDER_H_

@@ -1,0 +1,34 @@
+#include "core/session.h"
+
+#include "common/check.h"
+#include "graph/occlusion_converter.h"
+
+namespace after {
+
+void ForEachSessionStep(
+    const Dataset& dataset, int session_index, int target, double beta,
+    const std::function<void(const StepContext&)>& step_fn) {
+  AFTER_CHECK_GE(session_index, 0);
+  AFTER_CHECK_LT(session_index, static_cast<int>(dataset.sessions.size()));
+  const XrWorld& world = dataset.sessions[session_index];
+  AFTER_CHECK_GE(target, 0);
+  AFTER_CHECK_LT(target, world.num_users());
+
+  for (int t = 0; t < world.num_steps(); ++t) {
+    const OcclusionGraph occlusion = BuildOcclusionGraph(
+        world.PositionsAt(t), target, world.body_radius());
+    StepContext context;
+    context.t = t;
+    context.target = target;
+    context.positions = &world.PositionsAt(t);
+    context.occlusion = &occlusion;
+    context.interfaces = &world.interfaces();
+    context.preference = &dataset.preference;
+    context.social_presence = &dataset.social_presence;
+    context.beta = beta;
+    context.body_radius = world.body_radius();
+    step_fn(context);
+  }
+}
+
+}  // namespace after

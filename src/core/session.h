@@ -1,0 +1,23 @@
+#ifndef AFTER_CORE_SESSION_H_
+#define AFTER_CORE_SESSION_H_
+
+#include <functional>
+
+#include "core/recommender.h"
+#include "data/dataset.h"
+
+namespace after {
+
+/// Replays one session of a dataset for one target user, building the
+/// per-step occlusion graph and a fully-populated StepContext, and
+/// invoking `step_fn` at every time step. This is the single place where
+/// the raw scene (trajectories + interfaces + utilities) is turned into
+/// Definition 4's dynamic occlusion graph view; the evaluator, the
+/// trainers and the examples all replay sessions through it.
+void ForEachSessionStep(
+    const Dataset& dataset, int session_index, int target, double beta,
+    const std::function<void(const StepContext&)>& step_fn);
+
+}  // namespace after
+
+#endif  // AFTER_CORE_SESSION_H_

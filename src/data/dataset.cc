@@ -1,0 +1,124 @@
+#include "data/dataset.h"
+
+#include "common/rng.h"
+#include "data/preference_model.h"
+#include "graph/generators.h"
+
+namespace after {
+namespace {
+
+std::vector<XrWorld> GenerateSessions(const DatasetConfig& config,
+                                      const XrWorld::Config& world_config,
+                                      Rng& rng) {
+  std::vector<XrWorld> sessions;
+  sessions.reserve(config.num_sessions);
+  for (int s = 0; s < config.num_sessions; ++s)
+    sessions.push_back(XrWorld::Generate(world_config, rng));
+  return sessions;
+}
+
+XrWorld::Config BaseWorldConfig(const DatasetConfig& config) {
+  XrWorld::Config world_config;
+  world_config.num_users = config.num_users;
+  world_config.vr_fraction = config.vr_fraction;
+  world_config.num_steps = config.num_steps;
+  world_config.room_side = config.room_side;
+  return world_config;
+}
+
+}  // namespace
+
+Dataset GenerateTimikLike(const DatasetConfig& config) {
+  Rng rng(config.seed * 0x51ED2701ULL + 17);
+  Dataset dataset;
+  dataset.name = "timik";
+
+  // Heavy-tailed metaverse friendship network.
+  dataset.social = BarabasiAlbert(config.num_users, /*edges_per_node=*/3, rng);
+
+  PreferenceModelOptions pref_options;
+  pref_options.latent_dim = 8;
+  pref_options.celebrity_fraction = 0.05;  // idols and influencers
+  pref_options.celebrity_boost = 2.0;
+  pref_options.factor_weight = 0.6;
+  pref_options.idiosyncratic_stddev = 1.0;
+  dataset.preference = BuildPreferenceModel(config.num_users, pref_options,
+                                            rng)
+                           .preference;
+  dataset.social_presence = SocialPresenceFromGraph(
+      dataset.social, /*friend_lo=*/0.6, /*friend_hi=*/1.0,
+      /*stranger=*/0.15, rng);
+
+  XrWorld::Config world_config = BaseWorldConfig(config);
+  world_config.num_gathering_spots = 4;
+  dataset.sessions = GenerateSessions(config, world_config, rng);
+  return dataset;
+}
+
+Dataset GenerateSmmLike(const DatasetConfig& config) {
+  Rng rng(config.seed * 0x9D3F7A21ULL + 23);
+  Dataset dataset;
+  dataset.name = "smm";
+
+  // Community-structured gamer network (nationalities / map communities).
+  std::vector<int> community;
+  const int num_blocks = std::max(2, config.num_users / 25);
+  dataset.social = StochasticBlockModel(
+      config.num_users, num_blocks, /*p_in=*/0.25,
+      /*p_out=*/0.01, rng, &community);
+
+  PreferenceModelOptions pref_options;
+  pref_options.latent_dim = 8;
+  pref_options.community = &community;
+  pref_options.community_boost = 1.0;  // homophily within communities
+  pref_options.factor_weight = 0.6;
+  pref_options.idiosyncratic_stddev = 1.0;
+  dataset.preference = BuildPreferenceModel(config.num_users, pref_options,
+                                            rng)
+                           .preference;
+  // Likes/plays make presence utilities denser and stronger than Timik.
+  dataset.social_presence = SocialPresenceFromGraph(
+      dataset.social, /*friend_lo=*/0.7, /*friend_hi=*/1.0,
+      /*stranger=*/0.15, rng);
+
+  XrWorld::Config world_config = BaseWorldConfig(config);
+  world_config.num_gathering_spots = num_blocks;  // communities cluster
+  dataset.sessions = GenerateSessions(config, world_config, rng);
+  return dataset;
+}
+
+Dataset GenerateHubsLike(const DatasetConfig& config) {
+  Rng rng(config.seed * 0x1B56C4E9ULL + 29);
+  Dataset dataset;
+  dataset.name = "hub";
+
+  // Small-world workshop acquaintance graph.
+  dataset.social = WattsStrogatz(config.num_users, /*k=*/3,
+                                 /*rewire_prob=*/0.2, rng);
+
+  PreferenceModelOptions pref_options;
+  pref_options.latent_dim = 8;
+  pref_options.factor_weight = 0.7;
+  pref_options.idiosyncratic_stddev = 0.8;
+  dataset.preference = BuildPreferenceModel(config.num_users, pref_options,
+                                            rng)
+                           .preference;
+  dataset.social_presence = SocialPresenceFromGraph(
+      dataset.social, /*friend_lo=*/0.6, /*friend_hi=*/1.0,
+      /*stranger=*/0.15, rng);
+
+  XrWorld::Config world_config = BaseWorldConfig(config);
+  world_config.num_gathering_spots = 2;
+  world_config.max_speed = 0.8;  // workshop attendees amble
+  dataset.sessions = GenerateSessions(config, world_config, rng);
+  return dataset;
+}
+
+DatasetConfig HubsDefaultConfig() {
+  DatasetConfig config;
+  config.num_users = 30;   // "only dozens of candidates exist in a Hub room"
+  config.room_side = 6.0;  // small workshop space
+  return config;
+}
+
+}  // namespace after

@@ -1,0 +1,68 @@
+#ifndef AFTER_DATA_DATASET_H_
+#define AFTER_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/social_graph.h"
+#include "sim/xr_world.h"
+#include "tensor/matrix.h"
+
+namespace after {
+
+/// A social-XR dataset: the participants' social network, pairwise
+/// preference / social-presence utilities, and one or more simulated
+/// conferencing sessions (trajectories + interfaces). Stands in for the
+/// gated Timik / SMM / Hubs data; see DESIGN.md for the substitution
+/// rationale.
+struct Dataset {
+  std::string name;
+  SocialGraph social;
+  /// preference.At(v, w) = p(v, w) in [0, 1]; diagonal is 0.
+  Matrix preference;
+  /// social_presence.At(v, w) = s(v, w) in [0, 1]; diagonal is 0.
+  Matrix social_presence;
+  /// Independent conferencing sessions over the same population. The
+  /// paper's 80/20 split is realized by training on the leading sessions
+  /// and evaluating on the trailing ones.
+  std::vector<XrWorld> sessions;
+
+  int num_users() const { return social.num_nodes(); }
+  double body_radius() const {
+    return sessions.empty() ? 0.25 : sessions.front().body_radius();
+  }
+};
+
+/// Generation parameters shared by the three dataset builders.
+struct DatasetConfig {
+  int num_users = 200;
+  double vr_fraction = 0.5;
+  /// Recorded steps per session: T + 1 with T = 100 as in the paper.
+  int num_steps = 101;
+  double room_side = 10.0;
+  int num_sessions = 2;
+  uint64_t seed = 1;
+};
+
+/// Timik-like: preferential-attachment (heavy-tailed) social metaverse
+/// network with a small set of celebrity users that many participants
+/// find attractive.
+Dataset GenerateTimikLike(const DatasetConfig& config);
+
+/// SMM-like: community-structured (stochastic block model) game social
+/// network; preferences are homophilous within communities and
+/// interaction-count-driven presence utilities are denser.
+Dataset GenerateSmmLike(const DatasetConfig& config);
+
+/// Hubs-like: a small VR-workshop room (dozens of users, small-world
+/// acquaintance graph, slower motion). `config.num_users` is still
+/// honored; use HubsDefaultConfig() for paper-scale defaults.
+Dataset GenerateHubsLike(const DatasetConfig& config);
+
+/// Paper-scale defaults for the Hub dataset (a few dozen candidates).
+DatasetConfig HubsDefaultConfig();
+
+}  // namespace after
+
+#endif  // AFTER_DATA_DATASET_H_

@@ -1,0 +1,160 @@
+#include "data/dataset_io.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace after {
+namespace {
+
+bool WriteMatrix(const std::string& path, const Matrix& m) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out.precision(17);
+  out << m.rows() << " " << m.cols() << "\n";
+  for (int r = 0; r < m.rows(); ++r) {
+    for (int c = 0; c < m.cols(); ++c) {
+      if (c > 0) out << " ";
+      out << m.At(r, c);
+    }
+    out << "\n";
+  }
+  return static_cast<bool>(out);
+}
+
+bool ReadMatrix(const std::string& path, Matrix* m) {
+  std::ifstream in(path);
+  if (!in) return false;
+  int rows = 0, cols = 0;
+  if (!(in >> rows >> cols) || rows < 0 || cols < 0) return false;
+  *m = Matrix(rows, cols);
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c)
+      if (!(in >> m->At(r, c))) return false;
+  return true;
+}
+
+bool WriteSession(const std::string& path, const XrWorld& world) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out.precision(17);
+  out << world.num_users() << " " << world.num_steps() << " "
+      << world.body_radius() << "\n";
+  for (int u = 0; u < world.num_users(); ++u) {
+    out << (world.interface_of(u) == Interface::kMR ? 1 : 0);
+    out << (u + 1 == world.num_users() ? "\n" : " ");
+  }
+  for (int t = 0; t < world.num_steps(); ++t) {
+    for (int u = 0; u < world.num_users(); ++u) {
+      const Vec2& p = world.PositionsAt(t)[u];
+      out << p.x << " " << p.y;
+      out << (u + 1 == world.num_users() ? "\n" : " ");
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+bool ReadSession(const std::string& path, XrWorld* world) {
+  std::ifstream in(path);
+  if (!in) return false;
+  int num_users = 0, num_steps = 0;
+  double body_radius = 0.0;
+  if (!(in >> num_users >> num_steps >> body_radius)) return false;
+  if (num_users <= 0 || num_steps <= 0) return false;
+
+  std::vector<Interface> interfaces(num_users);
+  for (int u = 0; u < num_users; ++u) {
+    int flag = 0;
+    if (!(in >> flag)) return false;
+    interfaces[u] = flag == 1 ? Interface::kMR : Interface::kVR;
+  }
+  std::vector<std::vector<Vec2>> trajectory(
+      num_steps, std::vector<Vec2>(num_users));
+  for (int t = 0; t < num_steps; ++t)
+    for (int u = 0; u < num_users; ++u)
+      if (!(in >> trajectory[t][u].x >> trajectory[t][u].y)) return false;
+
+  *world = XrWorld::FromRecorded(std::move(interfaces),
+                                 std::move(trajectory), body_radius);
+  return true;
+}
+
+}  // namespace
+
+bool SaveDataset(const Dataset& dataset, const std::string& directory) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    std::fprintf(stderr, "SaveDataset: cannot create %s: %s\n",
+                 directory.c_str(), ec.message().c_str());
+    return false;
+  }
+
+  {
+    std::ofstream meta(directory + "/meta.txt");
+    if (!meta) return false;
+    meta << dataset.name << "\n"
+         << dataset.num_users() << " " << dataset.sessions.size() << "\n";
+  }
+  {
+    std::ofstream social(directory + "/social.txt");
+    if (!social) return false;
+    social.precision(17);
+    social << dataset.social.num_nodes() << "\n";
+    for (int u = 0; u < dataset.social.num_nodes(); ++u)
+      for (const auto& nbr : dataset.social.Neighbors(u))
+        if (nbr.node > u)
+          social << u << " " << nbr.node << " " << nbr.weight << "\n";
+  }
+  if (!WriteMatrix(directory + "/preference.txt", dataset.preference))
+    return false;
+  if (!WriteMatrix(directory + "/presence.txt", dataset.social_presence))
+    return false;
+  for (size_t s = 0; s < dataset.sessions.size(); ++s) {
+    if (!WriteSession(directory + "/session_" + std::to_string(s) + ".txt",
+                      dataset.sessions[s]))
+      return false;
+  }
+  return true;
+}
+
+bool LoadDataset(const std::string& directory, Dataset* dataset) {
+  *dataset = Dataset();
+  int num_users = 0;
+  size_t num_sessions = 0;
+  {
+    std::ifstream meta(directory + "/meta.txt");
+    if (!meta) return false;
+    if (!std::getline(meta, dataset->name)) return false;
+    if (!(meta >> num_users >> num_sessions)) return false;
+  }
+  {
+    std::ifstream social(directory + "/social.txt");
+    if (!social) return false;
+    int n = 0;
+    if (!(social >> n) || n != num_users) return false;
+    dataset->social = SocialGraph(n);
+    int u, v;
+    double weight;
+    while (social >> u >> v >> weight) dataset->social.AddEdge(u, v, weight);
+  }
+  if (!ReadMatrix(directory + "/preference.txt", &dataset->preference))
+    return false;
+  if (!ReadMatrix(directory + "/presence.txt", &dataset->social_presence))
+    return false;
+  if (dataset->preference.rows() != num_users ||
+      dataset->social_presence.rows() != num_users)
+    return false;
+  for (size_t s = 0; s < num_sessions; ++s) {
+    XrWorld world;
+    if (!ReadSession(directory + "/session_" + std::to_string(s) + ".txt",
+                     &world))
+      return false;
+    if (world.num_users() != num_users) return false;
+    dataset->sessions.push_back(std::move(world));
+  }
+  return true;
+}
+
+}  // namespace after

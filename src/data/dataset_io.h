@@ -1,0 +1,28 @@
+#ifndef AFTER_DATA_DATASET_IO_H_
+#define AFTER_DATA_DATASET_IO_H_
+
+#include <string>
+
+#include "data/dataset.h"
+
+namespace after {
+
+/// Plain-text persistence for datasets so generated benchmarks inputs can
+/// be archived and replayed bit-exactly (one directory per dataset):
+///
+///   <dir>/meta.txt        name, counts
+///   <dir>/social.txt      u v weight   (one undirected edge per line)
+///   <dir>/preference.txt  N x N matrix, row per line
+///   <dir>/presence.txt    N x N matrix, row per line
+///   <dir>/session_<k>.txt per step: interface flags then positions
+///
+/// Returns false (and logs to stderr) on I/O failure.
+bool SaveDataset(const Dataset& dataset, const std::string& directory);
+
+/// Loads a dataset previously written by SaveDataset. Returns false on
+/// missing/corrupt files; `dataset` is left unspecified on failure.
+bool LoadDataset(const std::string& directory, Dataset* dataset);
+
+}  // namespace after
+
+#endif  // AFTER_DATA_DATASET_IO_H_

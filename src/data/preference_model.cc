@@ -1,0 +1,63 @@
+#include "data/preference_model.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace after {
+
+PreferenceModel BuildPreferenceModel(int num_users,
+                                     const PreferenceModelOptions& options,
+                                     Rng& rng) {
+  AFTER_CHECK_GE(num_users, 1);
+  PreferenceModel model;
+  model.factors = Matrix::Randn(num_users, options.latent_dim, 1.0, rng);
+
+  std::vector<bool> celebrity(num_users, false);
+  const int num_celebrities =
+      static_cast<int>(options.celebrity_fraction * num_users);
+  for (int idx : rng.SampleWithoutReplacement(num_users, num_celebrities))
+    celebrity[idx] = true;
+
+  const double inv_sqrt_dim =
+      1.0 / std::sqrt(static_cast<double>(options.latent_dim));
+  model.preference = Matrix(num_users, num_users);
+  for (int v = 0; v < num_users; ++v) {
+    for (int w = 0; w < num_users; ++w) {
+      if (v == w) continue;
+      double score = 0.0;
+      for (int d = 0; d < options.latent_dim; ++d)
+        score += model.factors.At(v, d) * model.factors.At(w, d);
+      score *= inv_sqrt_dim * options.factor_weight;
+      if (options.idiosyncratic_stddev > 0.0)
+        score += rng.Normal(0.0, options.idiosyncratic_stddev);
+      if (celebrity[w]) score += options.celebrity_boost;
+      if (options.community != nullptr &&
+          (*options.community)[v] == (*options.community)[w])
+        score += options.community_boost;
+      model.preference.At(v, w) = 1.0 / (1.0 + std::exp(-score));
+    }
+  }
+  return model;
+}
+
+Matrix SocialPresenceFromGraph(const SocialGraph& graph, double friend_lo,
+                               double friend_hi, double stranger, Rng& rng) {
+  const int n = graph.num_nodes();
+  Matrix presence(n, n, stranger);
+  for (int v = 0; v < n; ++v) presence.At(v, v) = 0.0;
+  for (int v = 0; v < n; ++v) {
+    for (const auto& neighbor : graph.Neighbors(v)) {
+      if (neighbor.node < v) continue;  // handle each undirected edge once
+      const double base = rng.Uniform(friend_lo, friend_hi);
+      const double value =
+          std::min(1.0, std::max(0.0, base * neighbor.weight));
+      presence.At(v, neighbor.node) = value;
+      presence.At(neighbor.node, v) = value;
+    }
+  }
+  return presence;
+}
+
+}  // namespace after

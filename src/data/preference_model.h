@@ -1,0 +1,59 @@
+#ifndef AFTER_DATA_PREFERENCE_MODEL_H_
+#define AFTER_DATA_PREFERENCE_MODEL_H_
+
+#include <vector>
+
+#include "graph/social_graph.h"
+#include "tensor/matrix.h"
+
+namespace after {
+
+class Rng;
+
+/// Latent-factor preference model. The paper estimates p(v, w) with
+/// pre-trained personalized recommenders (GraFrank etc.); here the ground
+/// truth itself is generated from user latent factors, which the learned
+/// recommenders then consume as pre-trained embeddings.
+struct PreferenceModelOptions {
+  int latent_dim = 8;
+  /// Weight of the latent-factor similarity term. Lower values make
+  /// taste more idiosyncratic (harder for grouping methods to exploit).
+  double factor_weight = 1.0;
+  /// Std-dev of per-pair idiosyncratic taste noise added before
+  /// squashing. Individual taste that no clustering of profiles can
+  /// recover — the paper's "personally preferred candidates may not be
+  /// suitable for grouping" effect.
+  double idiosyncratic_stddev = 0.0;
+  /// Fraction of users that are "celebrities": broadly attractive
+  /// regardless of factor similarity (Timik-style idols).
+  double celebrity_fraction = 0.0;
+  /// Additional attractiveness of celebrities, added before squashing.
+  double celebrity_boost = 2.0;
+  /// Optional community assignment; members of the same community get a
+  /// similarity bonus (SMM-style homophily).
+  const std::vector<int>* community = nullptr;
+  double community_boost = 1.0;
+};
+
+struct PreferenceModel {
+  /// Row-per-user latent factors (n x latent_dim).
+  Matrix factors;
+  /// p(v, w) matrix in [0, 1], zero diagonal.
+  Matrix preference;
+};
+
+/// Samples latent factors and derives the pairwise preference matrix
+/// p(v, w) = sigmoid(<f_v, f_w>/sqrt(d) + boosts).
+PreferenceModel BuildPreferenceModel(int num_users,
+                                     const PreferenceModelOptions& options,
+                                     Rng& rng);
+
+/// Derives s(v, w) from the social graph: friends yield presence utility
+/// scaled by tie strength in [friend_lo, friend_hi]; non-friends yield
+/// `stranger` (usually 0; the paper couples s with friendship).
+Matrix SocialPresenceFromGraph(const SocialGraph& graph, double friend_lo,
+                               double friend_hi, double stranger, Rng& rng);
+
+}  // namespace after
+
+#endif  // AFTER_DATA_PREFERENCE_MODEL_H_

@@ -1,0 +1,77 @@
+#include "eval/ascii_view.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+#include "graph/occlusion_converter.h"
+
+namespace after {
+namespace {
+
+char UserLetter(int user, bool visible) {
+  const char base = visible ? 'A' : 'a';
+  return static_cast<char>(base + (user % 26));
+}
+
+}  // namespace
+
+std::string RenderViewportStrip(const std::vector<Vec2>& positions,
+                                int target,
+                                const std::vector<bool>& rendered,
+                                const AsciiViewOptions& options) {
+  const int n = static_cast<int>(positions.size());
+  AFTER_CHECK_EQ(static_cast<int>(rendered.size()), n);
+  AFTER_CHECK_GT(options.width, 0);
+
+  const std::vector<ViewArc> arcs =
+      ComputeViewArcs(positions, target, options.body_radius);
+  const std::vector<bool> visible =
+      ComputeVisibility(positions, target, options.body_radius, rendered);
+
+  std::string strip(options.width, '.');
+  for (int column = 0; column < options.width; ++column) {
+    const double theta =
+        -M_PI + (column + 0.5) * (2.0 * M_PI / options.width);
+    int nearest = -1;
+    for (int w = 0; w < n; ++w) {
+      if (w == target || !rendered[w] || !arcs[w].valid) continue;
+      double diff = std::fmod(std::abs(arcs[w].center - theta), 2.0 * M_PI);
+      if (diff > M_PI) diff = 2.0 * M_PI - diff;
+      if (diff > arcs[w].half_width) continue;
+      if (nearest < 0 || arcs[w].distance < arcs[nearest].distance)
+        nearest = w;
+    }
+    if (nearest >= 0)
+      strip[column] = UserLetter(nearest, visible[nearest]);
+  }
+  return strip;
+}
+
+std::string RenderViewportWithLegend(const std::vector<Vec2>& positions,
+                                     int target,
+                                     const std::vector<bool>& rendered,
+                                     const std::vector<std::string>& labels,
+                                     const AsciiViewOptions& options) {
+  const int n = static_cast<int>(positions.size());
+  AFTER_CHECK_EQ(static_cast<int>(labels.size()), n);
+  std::ostringstream out;
+  out << "[" << RenderViewportStrip(positions, target, rendered, options)
+      << "]\n";
+
+  const std::vector<bool> visible =
+      ComputeVisibility(positions, target, options.body_radius, rendered);
+  out << " visible:";
+  bool any = false;
+  for (int w = 0; w < n; ++w) {
+    if (w == target || !rendered[w] || !visible[w]) continue;
+    out << " " << UserLetter(w, true) << "=" << w;
+    if (!labels[w].empty()) out << "(" << labels[w] << ")";
+    any = true;
+  }
+  if (!any) out << " (none)";
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace after

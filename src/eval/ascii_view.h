@@ -1,0 +1,46 @@
+#ifndef AFTER_EVAL_ASCII_VIEW_H_
+#define AFTER_EVAL_ASCII_VIEW_H_
+
+#include <string>
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace after {
+
+/// Renders a target user's 360-degree viewport as a text strip for
+/// debugging and the example applications. Each column is an angular
+/// bucket of the view circle; the character shows the nearest *rendered*
+/// user whose arc covers the bucket:
+///
+///   'A'..'Z'  visible rendered user (letter = user index mod 26)
+///   'a'..'z'  rendered user present in the bucket but hidden behind a
+///             nearer rendered user
+///   '.'       empty direction
+///
+/// A second line can mark which users are recommended vs merely
+/// physically present. Purely observational — uses the same arc geometry
+/// as the occlusion converter, so what the strip shows is exactly what
+/// the evaluator scores.
+struct AsciiViewOptions {
+  int width = 72;           // angular buckets
+  double body_radius = 0.25;
+};
+
+/// One-line viewport strip for `target` given the rendered set.
+std::string RenderViewportStrip(const std::vector<Vec2>& positions,
+                                int target,
+                                const std::vector<bool>& rendered,
+                                const AsciiViewOptions& options);
+
+/// Convenience: strip plus a legend of visible users ("A=17(0.82) ...")
+/// using `labels[w]` as the per-user annotation (may be empty).
+std::string RenderViewportWithLegend(const std::vector<Vec2>& positions,
+                                     int target,
+                                     const std::vector<bool>& rendered,
+                                     const std::vector<std::string>& labels,
+                                     const AsciiViewOptions& options);
+
+}  // namespace after
+
+#endif  // AFTER_EVAL_ASCII_VIEW_H_

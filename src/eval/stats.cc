@@ -1,0 +1,174 @@
+#include "eval/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace after {
+namespace {
+
+/// Continued-fraction helper for the incomplete beta (Numerical-Recipes
+/// style modified Lentz algorithm).
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIterations = 300;
+  constexpr double kEpsilon = 1e-14;
+  constexpr double kTiny = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::abs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < kEpsilon) break;
+  }
+  return h;
+}
+
+std::vector<double> Ranks(const std::vector<double>& values) {
+  const int n = static_cast<int>(values.size());
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return values[a] < values[b]; });
+  std::vector<double> ranks(n, 0.0);
+  int i = 0;
+  while (i < n) {
+    int j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    const double average_rank = (i + j) / 2.0 + 1.0;  // 1-based
+    for (int k = i; k <= j; ++k) ranks[order[k]] = average_rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double total = 0.0;
+  for (double v : values) total += v;
+  return total / static_cast<double>(values.size());
+}
+
+double Variance(const std::vector<double>& values) {
+  const int n = static_cast<int>(values.size());
+  if (n < 2) return 0.0;
+  const double mean = Mean(values);
+  double total = 0.0;
+  for (double v : values) total += (v - mean) * (v - mean);
+  return total / static_cast<double>(n - 1);
+}
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  AFTER_CHECK_GT(a, 0.0);
+  AFTER_CHECK_GT(b, 0.0);
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double log_beta = std::lgamma(a + b) - std::lgamma(a) -
+                          std::lgamma(b) + a * std::log(x) +
+                          b * std::log(1.0 - x);
+  const double front = std::exp(log_beta);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double StudentTCdf(double t, double df) {
+  AFTER_CHECK_GT(df, 0.0);
+  const double x = df / (df + t * t);
+  const double tail = 0.5 * RegularizedIncompleteBeta(df / 2.0, 0.5, x);
+  return t >= 0.0 ? 1.0 - tail : tail;
+}
+
+TTestResult WelchTTest(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  TTestResult result;
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  if (a.size() < 2 || b.size() < 2) return result;
+  const double va = Variance(a) / na;
+  const double vb = Variance(b) / nb;
+  const double denom = std::sqrt(va + vb);
+  if (denom < 1e-300) return result;
+  result.t_statistic = (Mean(a) - Mean(b)) / denom;
+  result.degrees_of_freedom =
+      (va + vb) * (va + vb) /
+      (va * va / (na - 1.0) + vb * vb / (nb - 1.0));
+  const double tail =
+      1.0 - StudentTCdf(std::abs(result.t_statistic),
+                        result.degrees_of_freedom);
+  result.p_value = std::min(1.0, 2.0 * tail);
+  return result;
+}
+
+TTestResult PairedTTest(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  AFTER_CHECK_EQ(a.size(), b.size());
+  TTestResult result;
+  const int n = static_cast<int>(a.size());
+  if (n < 2) return result;
+  std::vector<double> diff(n);
+  for (int i = 0; i < n; ++i) diff[i] = a[i] - b[i];
+  const double sd = std::sqrt(Variance(diff));
+  if (sd < 1e-300) {
+    result.p_value = Mean(diff) == 0.0 ? 1.0 : 0.0;
+    return result;
+  }
+  result.t_statistic = Mean(diff) / (sd / std::sqrt(static_cast<double>(n)));
+  result.degrees_of_freedom = n - 1;
+  const double tail =
+      1.0 - StudentTCdf(std::abs(result.t_statistic),
+                        result.degrees_of_freedom);
+  result.p_value = std::min(1.0, 2.0 * tail);
+  return result;
+}
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  AFTER_CHECK_EQ(x.size(), y.size());
+  const int n = static_cast<int>(x.size());
+  if (n < 2) return 0.0;
+  const double mx = Mean(x);
+  const double my = Mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  const double denom = std::sqrt(sxx * syy);
+  if (denom < 1e-300) return 0.0;
+  return sxy / denom;
+}
+
+double SpearmanCorrelation(const std::vector<double>& x,
+                           const std::vector<double>& y) {
+  AFTER_CHECK_EQ(x.size(), y.size());
+  return PearsonCorrelation(Ranks(x), Ranks(y));
+}
+
+}  // namespace after

@@ -1,0 +1,50 @@
+#ifndef AFTER_EVAL_STATS_H_
+#define AFTER_EVAL_STATS_H_
+
+#include <vector>
+
+namespace after {
+
+/// Statistical utilities for the evaluation section: significance tests
+/// between methods (Tables II-IV report p <= 0.0003; the user study
+/// reports p <= 0.004) and utility/feedback correlations (Table VIII).
+
+/// Sample mean.
+double Mean(const std::vector<double>& values);
+
+/// Unbiased sample variance (n-1 denominator); 0 for fewer than 2 points.
+double Variance(const std::vector<double>& values);
+
+struct TTestResult {
+  double t_statistic = 0.0;
+  double degrees_of_freedom = 0.0;
+  /// Two-sided p-value.
+  double p_value = 1.0;
+};
+
+/// Welch's two-sample t-test (unequal variances).
+TTestResult WelchTTest(const std::vector<double>& a,
+                       const std::vector<double>& b);
+
+/// Paired t-test (same subjects measured under two methods).
+TTestResult PairedTTest(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// Pearson linear correlation coefficient.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// Spearman rank correlation (average ranks for ties).
+double SpearmanCorrelation(const std::vector<double>& x,
+                           const std::vector<double>& y);
+
+/// Regularized incomplete beta function I_x(a, b) via the continued
+/// fraction expansion (exposed for tests).
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+/// CDF of Student's t distribution with `df` degrees of freedom.
+double StudentTCdf(double t, double df);
+
+}  // namespace after
+
+#endif  // AFTER_EVAL_STATS_H_

@@ -1,0 +1,106 @@
+#include "eval/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace after {
+namespace {
+
+std::string FormatCell(double value, int precision, bool best) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f%s", precision, value,
+                best ? "*" : "");
+  return buffer;
+}
+
+void AppendRow(std::ostringstream& out, const std::string& label,
+               const std::vector<std::string>& cells, size_t width) {
+  out << "  ";
+  out.width(24);
+  out.setf(std::ios::left, std::ios::adjustfield);
+  out << label;
+  for (const auto& cell : cells) {
+    out.width(static_cast<std::streamsize>(width));
+    out.setf(std::ios::right, std::ios::adjustfield);
+    out << cell;
+  }
+  out << "\n";
+}
+
+}  // namespace
+
+TablePrinter::TablePrinter(std::string title) : title_(std::move(title)) {}
+
+void TablePrinter::AddResult(const EvalResult& result) {
+  results_.push_back(result);
+}
+
+std::string TablePrinter::Render() const {
+  std::ostringstream out;
+  out << "== " << title_ << " ==\n";
+  if (results_.empty()) return out.str();
+
+  std::vector<std::string> headers;
+  for (const auto& r : results_) headers.push_back(r.method);
+
+  struct RowSpec {
+    const char* label;
+    int precision;
+    bool higher_better;
+    double (*get)(const EvalResult&);
+  };
+  const RowSpec rows[] = {
+      {"AFTER Utility (up)", 1, true,
+       [](const EvalResult& r) { return r.after_utility; }},
+      {"Preference (up)", 1, true,
+       [](const EvalResult& r) { return r.preference_utility; }},
+      {"Social Presence (up)", 1, true,
+       [](const EvalResult& r) { return r.social_presence_utility; }},
+      {"View Occlusion % (down)", 1, false,
+       [](const EvalResult& r) { return r.view_occlusion_rate * 100.0; }},
+      {"Running Time ms (down)", 3, false,
+       [](const EvalResult& r) { return r.running_time_ms; }},
+  };
+
+  size_t width = 12;
+  for (const auto& h : headers) width = std::max(width, h.size() + 2);
+
+  AppendRow(out, "Metric", headers, width);
+  for (const auto& row : rows) {
+    std::vector<double> values;
+    for (const auto& r : results_) values.push_back(row.get(r));
+    const double best =
+        row.higher_better
+            ? *std::max_element(values.begin(), values.end())
+            : *std::min_element(values.begin(), values.end());
+    std::vector<std::string> cells;
+    for (double v : values)
+      cells.push_back(FormatCell(v, row.precision, v == best));
+    AppendRow(out, row.label, cells, width);
+  }
+  return out.str();
+}
+
+void TablePrinter::Print() const { std::fputs(Render().c_str(), stdout); }
+
+std::string RenderGenericTable(
+    const std::string& title, const std::vector<std::string>& row_labels,
+    const std::vector<std::string>& column_labels,
+    const std::vector<std::vector<double>>& cells, int precision) {
+  std::ostringstream out;
+  out << "== " << title << " ==\n";
+  size_t width = 12;
+  for (const auto& c : column_labels) width = std::max(width, c.size() + 2);
+
+  AppendRow(out, "", column_labels, width);
+  for (size_t r = 0; r < row_labels.size(); ++r) {
+    std::vector<std::string> row_cells;
+    for (double v : cells[r])
+      row_cells.push_back(FormatCell(v, precision, false));
+    AppendRow(out, row_labels[r], row_cells, width);
+  }
+  return out.str();
+}
+
+}  // namespace after

@@ -1,0 +1,45 @@
+#ifndef AFTER_EVAL_TABLE_PRINTER_H_
+#define AFTER_EVAL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/evaluator.h"
+
+namespace after {
+
+/// Formats evaluation results in the layout of the paper's tables:
+/// metric rows (AFTER Utility, Preference, Social Presence, View
+/// Occlusion %, Running Time ms) against method columns, with the best
+/// value per row marked by '*'.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::string title);
+
+  /// Appends one method column.
+  void AddResult(const EvalResult& result);
+
+  /// Renders the table to a string (also used by benches to tee output).
+  std::string Render() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+  const std::vector<EvalResult>& results() const { return results_; }
+
+ private:
+  std::string title_;
+  std::vector<EvalResult> results_;
+};
+
+/// Renders a generic numeric table: one row label per row, one column
+/// label per column. Used by sensitivity tables (VI, VII) and the user
+/// study figure data.
+std::string RenderGenericTable(
+    const std::string& title, const std::vector<std::string>& row_labels,
+    const std::vector<std::string>& column_labels,
+    const std::vector<std::vector<double>>& cells, int precision = 1);
+
+}  // namespace after
+
+#endif  // AFTER_EVAL_TABLE_PRINTER_H_

@@ -1,0 +1,171 @@
+#include "graph/arc_mwis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace after {
+namespace {
+
+constexpr double kTwoPi = 2.0 * M_PI;
+
+/// Smallest absolute angular difference, in [0, pi].
+double AngularDistance(double a, double b) {
+  double diff = std::fmod(std::abs(a - b), kTwoPi);
+  if (diff > M_PI) diff = kTwoPi - diff;
+  return diff;
+}
+
+bool ArcCoversPoint(const ViewArc& arc, double theta) {
+  return AngularDistance(arc.center, theta) <= arc.half_width;
+}
+
+/// Normalizes an angle into [0, 2*pi).
+double Normalize(double angle) {
+  double a = std::fmod(angle, kTwoPi);
+  if (a < 0.0) a += kTwoPi;
+  return a;
+}
+
+}  // namespace
+
+MwisResult IntervalMwis(const std::vector<double>& starts,
+                        const std::vector<double>& ends,
+                        const std::vector<double>& weights) {
+  const int n = static_cast<int>(starts.size());
+  AFTER_CHECK_EQ(static_cast<int>(ends.size()), n);
+  AFTER_CHECK_EQ(static_cast<int>(weights.size()), n);
+
+  MwisResult result;
+  result.selected.assign(n, false);
+  if (n == 0) return result;
+
+  // Indices of positive-weight intervals sorted by end.
+  std::vector<int> order;
+  for (int i = 0; i < n; ++i)
+    if (weights[i] > 0.0) order.push_back(i);
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return ends[a] < ends[b]; });
+  const int m = static_cast<int>(order.size());
+  if (m == 0) return result;
+
+  // prev[i]: largest j < i with ends[order[j]] < starts[order[i]]
+  // (strict: touching intervals conflict), or -1.
+  std::vector<int> prev(m, -1);
+  std::vector<double> sorted_ends(m);
+  for (int i = 0; i < m; ++i) sorted_ends[i] = ends[order[i]];
+  for (int i = 0; i < m; ++i) {
+    const double s = starts[order[i]];
+    const int idx = static_cast<int>(
+        std::lower_bound(sorted_ends.begin(), sorted_ends.end(), s) -
+        sorted_ends.begin());
+    prev[i] = idx - 1;
+  }
+
+  // dp[i]: best weight using the first i sorted intervals.
+  std::vector<double> dp(m + 1, 0.0);
+  for (int i = 1; i <= m; ++i) {
+    const double take = weights[order[i - 1]] + dp[prev[i - 1] + 1];
+    dp[i] = std::max(dp[i - 1], take);
+  }
+  result.weight = dp[m];
+
+  // Backtrack.
+  int i = m;
+  while (i > 0) {
+    const double take = weights[order[i - 1]] + dp[prev[i - 1] + 1];
+    if (take >= dp[i - 1]) {
+      result.selected[order[i - 1]] = true;
+      i = prev[i - 1] + 1;
+    } else {
+      --i;
+    }
+  }
+  return result;
+}
+
+MwisResult CircularArcMwis(const std::vector<ViewArc>& arcs,
+                           const std::vector<double>& weights) {
+  const int n = static_cast<int>(arcs.size());
+  AFTER_CHECK_EQ(static_cast<int>(weights.size()), n);
+
+  MwisResult best;
+  best.selected.assign(n, false);
+
+  std::vector<int> candidates;
+  for (int i = 0; i < n; ++i)
+    if (arcs[i].valid && weights[i] > 0.0) candidates.push_back(i);
+  if (candidates.empty()) return best;
+
+  // Full-circle arcs conflict with everything: they can only appear as a
+  // singleton solution; handle them directly and exclude them below.
+  std::vector<int> normal;
+  for (int i : candidates) {
+    if (arcs[i].half_width >= M_PI) {
+      if (weights[i] > best.weight) {
+        best.selected.assign(n, false);
+        best.selected[i] = true;
+        best.weight = weights[i];
+      }
+    } else {
+      normal.push_back(i);
+    }
+  }
+  if (normal.empty()) return best;
+
+  // Helper: interval MWIS over a subset of arcs mapped to a cut at
+  // `origin` (all arcs given must not cross the origin).
+  auto solve_interval = [&](const std::vector<int>& subset, double origin) {
+    std::vector<double> starts, ends, subset_weights;
+    starts.reserve(subset.size());
+    for (int i : subset) {
+      const double start = Normalize(arcs[i].center - arcs[i].half_width -
+                                     origin);
+      starts.push_back(start);
+      ends.push_back(start + 2.0 * arcs[i].half_width);
+      subset_weights.push_back(weights[i]);
+    }
+    return IntervalMwis(starts, ends, subset_weights);
+  };
+
+  const double theta0 = arcs[normal.front()].center;
+
+  // Case (a): no selected arc covers theta0.
+  {
+    std::vector<int> subset;
+    for (int i : normal)
+      if (!ArcCoversPoint(arcs[i], theta0)) subset.push_back(i);
+    // Cut just after theta0; arcs not covering theta0 cannot cross it.
+    const MwisResult sub = solve_interval(subset, theta0);
+    if (sub.weight > best.weight) {
+      best.weight = sub.weight;
+      best.selected.assign(n, false);
+      for (size_t k = 0; k < subset.size(); ++k)
+        if (sub.selected[k]) best.selected[subset[k]] = true;
+    }
+  }
+
+  // Case (b): some selected arc a covers theta0. Enumerate it; the rest
+  // of the solution lives in a's complementary interval.
+  for (int a : normal) {
+    if (!ArcCoversPoint(arcs[a], theta0)) continue;
+    std::vector<int> subset;
+    for (int i : normal)
+      if (i != a && !ArcsOverlap(arcs[i], arcs[a])) subset.push_back(i);
+    const double a_end = arcs[a].center + arcs[a].half_width;
+    const MwisResult sub = solve_interval(subset, a_end);
+    const double total = weights[a] + sub.weight;
+    if (total > best.weight) {
+      best.weight = total;
+      best.selected.assign(n, false);
+      best.selected[a] = true;
+      for (size_t k = 0; k < subset.size(); ++k)
+        if (sub.selected[k]) best.selected[subset[k]] = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace after

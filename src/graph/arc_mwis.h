@@ -1,0 +1,42 @@
+#ifndef AFTER_GRAPH_ARC_MWIS_H_
+#define AFTER_GRAPH_ARC_MWIS_H_
+
+#include <vector>
+
+#include "graph/mwis.h"
+#include "graph/occlusion_converter.h"
+
+namespace after {
+
+/// Exact polynomial MWIS for circular-arc graphs.
+///
+/// The static occlusion graph of Sec. III-B is by construction a
+/// circular-arc graph (plus the isolated target vertex). While MWIS is
+/// NP-hard on general geometric intersection graphs (Theorem 1 uses unit
+/// disks), it is polynomial on circular-arc graphs: either the optimum
+/// avoids a chosen cut point θ0 — reducing to weighted interval
+/// scheduling — or it contains one of the arcs covering θ0, whose
+/// complement is again an interval domain. Complexity O(k · n log n)
+/// with k arcs covering the cut.
+///
+/// This gives the exact *per-step* optimum of the AFTER objective at a
+/// single time step, i.e., the quantity COMURNet approximates with its
+/// expensive search and POSHGNN approximates in real time (challenge C2).
+///
+/// `arcs[i].valid == false` (the target user) and non-positive weights
+/// are never selected. Overlap semantics match ArcsOverlap exactly
+/// (touching arcs conflict), so the result is an independent set of the
+/// corresponding OcclusionGraph.
+MwisResult CircularArcMwis(const std::vector<ViewArc>& arcs,
+                           const std::vector<double>& weights);
+
+/// Exact weighted interval scheduling (MWIS on an interval graph):
+/// intervals are closed [start, end]; touching intervals conflict.
+/// Exposed for tests. `selected` output is indexed like the inputs.
+MwisResult IntervalMwis(const std::vector<double>& starts,
+                        const std::vector<double>& ends,
+                        const std::vector<double>& weights);
+
+}  // namespace after
+
+#endif  // AFTER_GRAPH_ARC_MWIS_H_

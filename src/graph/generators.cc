@@ -1,0 +1,91 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace after {
+
+SocialGraph BarabasiAlbert(int num_nodes, int edges_per_node, Rng& rng) {
+  AFTER_CHECK_GE(num_nodes, 2);
+  AFTER_CHECK_GE(edges_per_node, 1);
+  SocialGraph graph(num_nodes);
+
+  // Seed clique of edges_per_node + 1 nodes.
+  const int seed = std::min(num_nodes, edges_per_node + 1);
+  std::vector<int> attachment_targets;  // node repeated once per degree
+  for (int u = 0; u < seed; ++u) {
+    for (int v = u + 1; v < seed; ++v) {
+      graph.AddEdge(u, v, 1.0);
+      attachment_targets.push_back(u);
+      attachment_targets.push_back(v);
+    }
+  }
+
+  for (int u = seed; u < num_nodes; ++u) {
+    std::vector<int> chosen;
+    int guard = 0;
+    while (static_cast<int>(chosen.size()) < edges_per_node &&
+           guard++ < 100 * edges_per_node) {
+      const int pick = attachment_targets[rng.UniformInt(
+          static_cast<int>(attachment_targets.size()))];
+      if (std::find(chosen.begin(), chosen.end(), pick) == chosen.end())
+        chosen.push_back(pick);
+    }
+    for (int v : chosen) {
+      graph.AddEdge(u, v, 1.0);
+      attachment_targets.push_back(u);
+      attachment_targets.push_back(v);
+    }
+  }
+  return graph;
+}
+
+SocialGraph StochasticBlockModel(int num_nodes, int num_blocks, double p_in,
+                                 double p_out, Rng& rng,
+                                 std::vector<int>* block_of) {
+  AFTER_CHECK_GE(num_nodes, 1);
+  AFTER_CHECK_GE(num_blocks, 1);
+  SocialGraph graph(num_nodes);
+  std::vector<int> blocks(num_nodes);
+  for (int u = 0; u < num_nodes; ++u) blocks[u] = u % num_blocks;
+  rng.Shuffle(blocks);
+
+  for (int u = 0; u < num_nodes; ++u) {
+    for (int v = u + 1; v < num_nodes; ++v) {
+      const double p = blocks[u] == blocks[v] ? p_in : p_out;
+      if (rng.Bernoulli(p)) graph.AddEdge(u, v, 1.0);
+    }
+  }
+  if (block_of != nullptr) *block_of = std::move(blocks);
+  return graph;
+}
+
+SocialGraph WattsStrogatz(int num_nodes, int k, double rewire_prob, Rng& rng) {
+  AFTER_CHECK_GE(num_nodes, 3);
+  AFTER_CHECK_GE(k, 1);
+  AFTER_CHECK_LT(2 * k, num_nodes);
+  SocialGraph graph(num_nodes);
+  // Ring lattice.
+  for (int u = 0; u < num_nodes; ++u) {
+    for (int offset = 1; offset <= k; ++offset) {
+      int v = (u + offset) % num_nodes;
+      if (rng.Bernoulli(rewire_prob)) {
+        // Rewire to a random non-neighbor.
+        int guard = 0;
+        int w = rng.UniformInt(num_nodes);
+        while ((w == u || graph.HasEdge(u, w)) && guard++ < 100)
+          w = rng.UniformInt(num_nodes);
+        if (w != u && !graph.HasEdge(u, w)) {
+          graph.AddEdge(u, w, 1.0);
+          continue;
+        }
+      }
+      if (!graph.HasEdge(u, v)) graph.AddEdge(u, v, 1.0);
+    }
+  }
+  return graph;
+}
+
+}  // namespace after

@@ -1,0 +1,36 @@
+#ifndef AFTER_GRAPH_GENERATORS_H_
+#define AFTER_GRAPH_GENERATORS_H_
+
+#include <vector>
+
+#include "graph/social_graph.h"
+
+namespace after {
+
+class Rng;
+
+/// Random social-network generators used by the synthetic dataset builders
+/// that stand in for the gated Timik / SMM / Hubs data (see DESIGN.md).
+
+/// Barabasi-Albert preferential attachment: each new node attaches to
+/// `edges_per_node` existing nodes with probability proportional to
+/// degree. Produces the heavy-tailed degree distribution typical of the
+/// Timik social metaverse network.
+SocialGraph BarabasiAlbert(int num_nodes, int edges_per_node, Rng& rng);
+
+/// Stochastic block model with `num_blocks` equal-size communities;
+/// within-community edges appear with probability `p_in`, across with
+/// `p_out`. Models SMM's nationality/interest communities.
+/// Returns the graph and writes each node's block id to `block_of`.
+SocialGraph StochasticBlockModel(int num_nodes, int num_blocks, double p_in,
+                                 double p_out, Rng& rng,
+                                 std::vector<int>* block_of = nullptr);
+
+/// Watts-Strogatz small world: ring lattice with `k` neighbors per side,
+/// each edge rewired with probability `rewire_prob`. Models the
+/// small-workshop acquaintance structure of the Hubs dataset.
+SocialGraph WattsStrogatz(int num_nodes, int k, double rewire_prob, Rng& rng);
+
+}  // namespace after
+
+#endif  // AFTER_GRAPH_GENERATORS_H_

@@ -1,0 +1,38 @@
+#ifndef AFTER_GRAPH_GIG_H_
+#define AFTER_GRAPH_GIG_H_
+
+#include <vector>
+
+#include "common/geometry.h"
+#include "graph/occlusion_graph.h"
+
+namespace after {
+
+class Rng;
+
+/// Geometric Intersection Graph machinery from Definition 6 / Lemma 1.
+/// Vertices are compact connected objects (disks here); an edge exists
+/// when two objects intersect. Lemma 1: any GIG is a DOG with T = 0, which
+/// underlies the NP-hardness reduction of Theorem 1.
+
+/// A closed disk in R^2.
+struct Disk {
+  Vec2 center;
+  double radius = 0.0;
+};
+
+/// True iff the two closed disks intersect.
+bool DisksIntersect(const Disk& a, const Disk& b);
+
+/// Builds the geometric intersection graph over the disks.
+OcclusionGraph BuildGeometricIntersectionGraph(const std::vector<Disk>& disks);
+
+/// Samples `count` random disks inside [0, extent]^2 with radii in
+/// [min_radius, max_radius] (used by property tests and the hardness
+/// reduction bench).
+std::vector<Disk> RandomDisks(int count, double extent, double min_radius,
+                              double max_radius, Rng& rng);
+
+}  // namespace after
+
+#endif  // AFTER_GRAPH_GIG_H_

@@ -1,0 +1,193 @@
+#include "graph/mwis.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace after {
+namespace {
+
+struct BranchState {
+  const OcclusionGraph* graph;
+  const std::vector<double>* weights;
+  std::vector<bool> alive;
+  std::vector<bool> selected;
+  double current = 0.0;
+  MwisResult best;
+};
+
+double RemainingUpperBound(const BranchState& state) {
+  double bound = 0.0;
+  for (int u = 0; u < state.graph->num_nodes(); ++u)
+    if (state.alive[u] && (*state.weights)[u] > 0.0)
+      bound += (*state.weights)[u];
+  return bound;
+}
+
+void Branch(BranchState& state) {
+  if (state.current + RemainingUpperBound(state) <= state.best.weight)
+    return;
+
+  // Pick the alive positive-weight vertex with maximum degree among alive.
+  int pivot = -1;
+  int pivot_degree = -1;
+  for (int u = 0; u < state.graph->num_nodes(); ++u) {
+    if (!state.alive[u] || (*state.weights)[u] <= 0.0) continue;
+    int degree = 0;
+    for (int v : state.graph->Neighbors(u))
+      if (state.alive[v]) ++degree;
+    if (degree > pivot_degree) {
+      pivot_degree = degree;
+      pivot = u;
+    }
+  }
+  if (pivot < 0) {
+    if (state.current > state.best.weight) {
+      state.best.weight = state.current;
+      state.best.selected = state.selected;
+    }
+    return;
+  }
+
+  // Branch 1: include pivot, kill its closed neighborhood.
+  std::vector<int> killed;
+  state.alive[pivot] = false;
+  killed.push_back(pivot);
+  for (int v : state.graph->Neighbors(pivot)) {
+    if (state.alive[v]) {
+      state.alive[v] = false;
+      killed.push_back(v);
+    }
+  }
+  state.selected[pivot] = true;
+  state.current += (*state.weights)[pivot];
+  Branch(state);
+  state.current -= (*state.weights)[pivot];
+  state.selected[pivot] = false;
+  for (int v : killed) state.alive[v] = true;
+
+  // Branch 2: exclude pivot.
+  state.alive[pivot] = false;
+  Branch(state);
+  state.alive[pivot] = true;
+}
+
+}  // namespace
+
+MwisResult ExactMwis(const OcclusionGraph& graph,
+                     const std::vector<double>& weights) {
+  AFTER_CHECK_EQ(static_cast<int>(weights.size()), graph.num_nodes());
+  BranchState state;
+  state.graph = &graph;
+  state.weights = &weights;
+  state.alive.assign(graph.num_nodes(), true);
+  state.selected.assign(graph.num_nodes(), false);
+  state.best.selected.assign(graph.num_nodes(), false);
+  state.best.weight = 0.0;
+  Branch(state);
+  return state.best;
+}
+
+MwisResult GreedyMwis(const OcclusionGraph& graph,
+                      const std::vector<double>& weights) {
+  AFTER_CHECK_EQ(static_cast<int>(weights.size()), graph.num_nodes());
+  const int n = graph.num_nodes();
+  std::vector<bool> alive(n, true);
+  MwisResult result;
+  result.selected.assign(n, false);
+
+  while (true) {
+    int best = -1;
+    double best_score = 0.0;
+    for (int u = 0; u < n; ++u) {
+      if (!alive[u] || weights[u] <= 0.0) continue;
+      int degree = 0;
+      for (int v : graph.Neighbors(u))
+        if (alive[v]) ++degree;
+      const double score = weights[u] / static_cast<double>(degree + 1);
+      if (best < 0 || score > best_score) {
+        best = u;
+        best_score = score;
+      }
+    }
+    if (best < 0) break;
+    result.selected[best] = true;
+    result.weight += weights[best];
+    alive[best] = false;
+    for (int v : graph.Neighbors(best)) alive[v] = false;
+  }
+  return result;
+}
+
+MwisResult LocalSearchMwis(const OcclusionGraph& graph,
+                           const std::vector<double>& weights, int iterations,
+                           Rng& rng) {
+  const int n = graph.num_nodes();
+  MwisResult best = GreedyMwis(graph, weights);
+  MwisResult current = best;
+
+  auto try_add = [&](MwisResult& sol, int u) {
+    if (sol.selected[u] || weights[u] <= 0.0) return false;
+    for (int v : graph.Neighbors(u))
+      if (sol.selected[v]) return false;
+    sol.selected[u] = true;
+    sol.weight += weights[u];
+    return true;
+  };
+
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+
+  for (int iter = 0; iter < iterations; ++iter) {
+    // Perturb: drop a random selected vertex (if any).
+    std::vector<int> chosen;
+    for (int u = 0; u < n; ++u)
+      if (current.selected[u]) chosen.push_back(u);
+    if (!chosen.empty()) {
+      const int drop =
+          chosen[rng.UniformInt(static_cast<int>(chosen.size()))];
+      current.selected[drop] = false;
+      current.weight -= weights[drop];
+    }
+    // Greedy re-completion in random order.
+    rng.Shuffle(order);
+    for (int u : order) try_add(current, u);
+
+    // (1,2)-swap: replace a selected vertex by a heavier non-neighbor pair
+    // is approximated here by single-swap improvement: select u when its
+    // weight exceeds the total weight of its selected neighbors.
+    for (int u : order) {
+      if (current.selected[u] || weights[u] <= 0.0) continue;
+      double blocked_weight = 0.0;
+      for (int v : graph.Neighbors(u))
+        if (current.selected[v]) blocked_weight += weights[v];
+      if (weights[u] > blocked_weight) {
+        for (int v : graph.Neighbors(u)) {
+          if (current.selected[v]) {
+            current.selected[v] = false;
+            current.weight -= weights[v];
+          }
+        }
+        current.selected[u] = true;
+        current.weight += weights[u];
+      }
+    }
+
+    if (current.weight > best.weight) best = current;
+  }
+  return best;
+}
+
+double SelectionWeight(const OcclusionGraph& graph,
+                       const std::vector<double>& weights,
+                       const std::vector<bool>& selected, bool check) {
+  AFTER_CHECK_EQ(static_cast<int>(selected.size()), graph.num_nodes());
+  if (check) AFTER_CHECK_EQ(graph.CountConflicts(selected), 0);
+  double total = 0.0;
+  for (int u = 0; u < graph.num_nodes(); ++u)
+    if (selected[u]) total += weights[u];
+  return total;
+}
+
+}  // namespace after

@@ -1,0 +1,48 @@
+#ifndef AFTER_GRAPH_MWIS_H_
+#define AFTER_GRAPH_MWIS_H_
+
+#include <vector>
+
+#include "graph/occlusion_graph.h"
+
+namespace after {
+
+class Rng;
+
+/// Maximum Weighted Independent Set solvers (Definition 5). The AFTER
+/// problem at T = 0 reduces to MWIS on the occlusion graph (Theorem 1);
+/// these solvers power the COMURNet baseline, the hardness-reduction
+/// tests, and offline-optimal references.
+
+struct MwisResult {
+  std::vector<bool> selected;
+  double weight = 0.0;
+};
+
+/// Exact branch-and-bound MWIS. Exponential worst case; intended for
+/// graphs up to a few dozen vertices (tests, Hub-sized rooms).
+/// Negative-weight vertices are never selected.
+MwisResult ExactMwis(const OcclusionGraph& graph,
+                     const std::vector<double>& weights);
+
+/// Greedy MWIS: repeatedly picks the vertex maximizing
+/// weight / (degree + 1) among remaining vertices, then deletes its
+/// closed neighborhood. Linear-ish; used for large graphs.
+MwisResult GreedyMwis(const OcclusionGraph& graph,
+                      const std::vector<double>& weights);
+
+/// Iterated local search on top of a greedy start: random restarts plus
+/// (1,2)-swap improvements for `iterations` rounds. This is the engine of
+/// the COMURNet baseline, whose per-step cost scales with `iterations`.
+MwisResult LocalSearchMwis(const OcclusionGraph& graph,
+                           const std::vector<double>& weights, int iterations,
+                           Rng& rng);
+
+/// Total weight of a selection (checks independence when `check` is true).
+double SelectionWeight(const OcclusionGraph& graph,
+                       const std::vector<double>& weights,
+                       const std::vector<bool>& selected, bool check = false);
+
+}  // namespace after
+
+#endif  // AFTER_GRAPH_MWIS_H_

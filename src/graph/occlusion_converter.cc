@@ -1,0 +1,105 @@
+#include "graph/occlusion_converter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace after {
+namespace {
+
+/// Smallest absolute angular difference between two angles, in [0, pi].
+double AngularDistance(double a, double b) {
+  double diff = std::fmod(std::abs(a - b), 2.0 * M_PI);
+  if (diff > M_PI) diff = 2.0 * M_PI - diff;
+  return diff;
+}
+
+}  // namespace
+
+ViewArc ComputeViewArc(const Vec2& target, const Vec2& other,
+                       double body_radius) {
+  ViewArc arc;
+  const Vec2 delta = other - target;
+  const double distance = delta.Norm();
+  arc.distance = distance;
+  arc.valid = true;
+  if (distance <= body_radius) {
+    // The other user's body encloses the target: full-circle arc.
+    arc.center = 0.0;
+    arc.half_width = M_PI;
+    return arc;
+  }
+  arc.center = delta.Angle();
+  arc.half_width = std::asin(body_radius / distance);
+  return arc;
+}
+
+bool ArcsOverlap(const ViewArc& a, const ViewArc& b) {
+  if (!a.valid || !b.valid) return false;
+  return AngularDistance(a.center, b.center) <= a.half_width + b.half_width;
+}
+
+std::vector<ViewArc> ComputeViewArcs(const std::vector<Vec2>& positions,
+                                     int target, double body_radius) {
+  AFTER_CHECK_GE(target, 0);
+  AFTER_CHECK_LT(target, static_cast<int>(positions.size()));
+  std::vector<ViewArc> arcs(positions.size());
+  for (size_t i = 0; i < positions.size(); ++i) {
+    if (static_cast<int>(i) == target) continue;  // stays invalid
+    arcs[i] =
+        ComputeViewArc(positions[target], positions[i], body_radius);
+  }
+  return arcs;
+}
+
+OcclusionGraph BuildOcclusionGraph(const std::vector<Vec2>& positions,
+                                   int target, double body_radius) {
+  const int n = static_cast<int>(positions.size());
+  const std::vector<ViewArc> arcs =
+      ComputeViewArcs(positions, target, body_radius);
+  OcclusionGraph graph(n);
+  for (int i = 0; i < n; ++i) {
+    if (!arcs[i].valid) continue;
+    for (int j = i + 1; j < n; ++j) {
+      if (!arcs[j].valid) continue;
+      if (ArcsOverlap(arcs[i], arcs[j])) graph.AddEdge(i, j);
+    }
+  }
+  return graph;
+}
+
+DynamicOcclusionGraph BuildDynamicOcclusionGraph(
+    const std::vector<std::vector<Vec2>>& trajectory, int target,
+    double body_radius) {
+  DynamicOcclusionGraph dog;
+  for (const auto& positions : trajectory)
+    dog.Append(BuildOcclusionGraph(positions, target, body_radius));
+  return dog;
+}
+
+std::vector<bool> ComputeVisibility(const std::vector<Vec2>& positions,
+                                    int target, double body_radius,
+                                    const std::vector<bool>& rendered) {
+  const int n = static_cast<int>(positions.size());
+  AFTER_CHECK_EQ(static_cast<int>(rendered.size()), n);
+  const std::vector<ViewArc> arcs =
+      ComputeViewArcs(positions, target, body_radius);
+  std::vector<bool> visible(n, false);
+  for (int w = 0; w < n; ++w) {
+    if (w == target || !rendered[w]) continue;
+    bool blocked = false;
+    for (int u = 0; u < n; ++u) {
+      if (u == w || u == target || !rendered[u]) continue;
+      if (arcs[u].distance < arcs[w].distance &&
+          ArcsOverlap(arcs[u], arcs[w])) {
+        blocked = true;
+        break;
+      }
+    }
+    visible[w] = !blocked;
+  }
+  return visible;
+}
+
+}  // namespace after

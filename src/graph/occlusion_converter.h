@@ -1,0 +1,65 @@
+#ifndef AFTER_GRAPH_OCCLUSION_CONVERTER_H_
+#define AFTER_GRAPH_OCCLUSION_CONVERTER_H_
+
+#include <vector>
+
+#include "common/geometry.h"
+#include "graph/occlusion_graph.h"
+
+namespace after {
+
+/// Occlusion-graph converter from Sec. III-B of the paper: the target user
+/// v is placed at the center of a circle and every surrounding user w
+/// occupies an arc I_t^w of v's 360-degree view. The circular-arc graph
+/// over those arcs (plus v as an isolated node) is v's static occlusion
+/// graph at time t.
+
+/// The arc a user occupies in the target's 360-degree view.
+struct ViewArc {
+  /// Angular center in radians, in (-pi, pi].
+  double center = 0.0;
+  /// Angular half-width in radians, in [0, pi].
+  double half_width = 0.0;
+  /// Euclidean distance from the target (depth; used for visibility).
+  double distance = 0.0;
+  /// False for the target itself (no arc).
+  bool valid = false;
+};
+
+/// Computes the arc `other` occupies in `target`'s view, modeling each
+/// user as a disk of `body_radius`. If the disk contains the target the
+/// arc covers the full circle.
+ViewArc ComputeViewArc(const Vec2& target, const Vec2& other,
+                       double body_radius);
+
+/// True when the two arcs intersect on the circle (I_a ∩ I_b != ∅).
+bool ArcsOverlap(const ViewArc& a, const ViewArc& b);
+
+/// Arcs for all users from the perspective of `positions[target]`.
+/// Index `target` gets an invalid arc.
+std::vector<ViewArc> ComputeViewArcs(const std::vector<Vec2>& positions,
+                                     int target, double body_radius);
+
+/// Builds the static occlusion graph for `target` at one time instant:
+/// an edge between w_i and w_j iff their arcs overlap. The target itself
+/// is an isolated node (Sec. III-B).
+OcclusionGraph BuildOcclusionGraph(const std::vector<Vec2>& positions,
+                                   int target, double body_radius);
+
+/// Builds the dynamic occlusion graph over a trajectory: one static graph
+/// per time step. `trajectory[t][i]` is user i's position at time t.
+DynamicOcclusionGraph BuildDynamicOcclusionGraph(
+    const std::vector<std::vector<Vec2>>& trajectory, int target,
+    double body_radius);
+
+/// Visibility indicator 1[v => w at t] for a set of rendered users: w is
+/// visible iff w is rendered and no strictly-nearer rendered user's arc
+/// overlaps w's arc (the nearer user's image blocks w). The target index
+/// is never visible (it is the viewer).
+std::vector<bool> ComputeVisibility(const std::vector<Vec2>& positions,
+                                    int target, double body_radius,
+                                    const std::vector<bool>& rendered);
+
+}  // namespace after
+
+#endif  // AFTER_GRAPH_OCCLUSION_CONVERTER_H_

@@ -1,0 +1,70 @@
+#ifndef AFTER_GRAPH_OCCLUSION_CONVERTER_3D_H_
+#define AFTER_GRAPH_OCCLUSION_CONVERTER_3D_H_
+
+#include <vector>
+
+#include "graph/occlusion_graph.h"
+
+namespace after {
+
+/// 3D occlusion-graph converter. Definition 4 formulates the social XR
+/// space as W ⊂ R³; the paper's Sec. III-B converter assumes a flat
+/// environment "without loss of generality". This module supplies the
+/// general case: each surrounding user, modeled as a sphere of
+/// body_radius, subtends a spherical cap of the target's view sphere;
+/// two users occlude iff their caps intersect, i.e., iff the great-circle
+/// angle between their directions is at most the sum of the caps'
+/// angular radii.
+
+/// 3D position in W = {(x, y, z) ∈ R³}.
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  Vec3() = default;
+  Vec3(double x_in, double y_in, double z_in) : x(x_in), y(y_in), z(z_in) {}
+
+  Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  double Dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  double NormSq() const { return Dot(*this); }
+  double Norm() const;
+};
+
+/// The spherical cap a user occupies on the target's view sphere.
+struct ViewCap {
+  /// Unit direction from the target to the user.
+  Vec3 direction;
+  /// Angular radius of the cap, in [0, pi].
+  double angular_radius = 0.0;
+  /// Euclidean distance (depth).
+  double distance = 0.0;
+  /// False for the target itself.
+  bool valid = false;
+};
+
+/// Computes the cap `other` subtends in `target`'s view. If the body
+/// sphere contains the target, the cap covers the whole sphere.
+ViewCap ComputeViewCap(const Vec3& target, const Vec3& other,
+                       double body_radius);
+
+/// True when the two caps intersect on the view sphere.
+bool CapsOverlap(const ViewCap& a, const ViewCap& b);
+
+/// Caps for all users from `positions[target]`'s perspective.
+std::vector<ViewCap> ComputeViewCaps(const std::vector<Vec3>& positions,
+                                     int target, double body_radius);
+
+/// Static 3D occlusion graph: an edge between w_i and w_j iff their caps
+/// overlap; the target is an isolated node.
+OcclusionGraph BuildOcclusionGraph3d(const std::vector<Vec3>& positions,
+                                     int target, double body_radius);
+
+/// Depth-ordered cap visibility, the 3D analogue of ComputeVisibility.
+std::vector<bool> ComputeVisibility3d(const std::vector<Vec3>& positions,
+                                      int target, double body_radius,
+                                      const std::vector<bool>& rendered);
+
+}  // namespace after
+
+#endif  // AFTER_GRAPH_OCCLUSION_CONVERTER_3D_H_

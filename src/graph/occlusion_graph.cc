@@ -1,0 +1,74 @@
+#include "graph/occlusion_graph.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace after {
+
+OcclusionGraph::OcclusionGraph(int num_nodes) : adjacency_(num_nodes) {
+  AFTER_CHECK_GE(num_nodes, 0);
+}
+
+void OcclusionGraph::AddEdge(int u, int v) {
+  AFTER_CHECK_GE(u, 0);
+  AFTER_CHECK_LT(u, num_nodes());
+  AFTER_CHECK_GE(v, 0);
+  AFTER_CHECK_LT(v, num_nodes());
+  AFTER_CHECK_NE(u, v);
+  if (HasEdge(u, v)) return;
+  adjacency_[u].push_back(v);
+  adjacency_[v].push_back(u);
+  edges_.emplace_back(std::min(u, v), std::max(u, v));
+}
+
+bool OcclusionGraph::HasEdge(int u, int v) const {
+  const auto& nbrs = adjacency_[u];
+  return std::find(nbrs.begin(), nbrs.end(), v) != nbrs.end();
+}
+
+Matrix OcclusionGraph::ToAdjacencyMatrix() const {
+  Matrix adjacency(num_nodes(), num_nodes());
+  for (const auto& [u, v] : edges_) {
+    adjacency.At(u, v) = 1.0;
+    adjacency.At(v, u) = 1.0;
+  }
+  return adjacency;
+}
+
+int OcclusionGraph::CountConflicts(const std::vector<bool>& selected) const {
+  AFTER_CHECK_EQ(static_cast<int>(selected.size()), num_nodes());
+  int conflicts = 0;
+  for (const auto& [u, v] : edges_)
+    if (selected[u] && selected[v]) ++conflicts;
+  return conflicts;
+}
+
+DynamicOcclusionGraph::DynamicOcclusionGraph(int num_nodes, int num_steps)
+    : num_nodes_(num_nodes) {
+  steps_.reserve(num_steps);
+  for (int t = 0; t < num_steps; ++t) steps_.emplace_back(num_nodes);
+}
+
+OcclusionGraph& DynamicOcclusionGraph::At(int t) {
+  AFTER_CHECK_GE(t, 0);
+  AFTER_CHECK_LT(t, num_steps());
+  return steps_[t];
+}
+
+const OcclusionGraph& DynamicOcclusionGraph::At(int t) const {
+  AFTER_CHECK_GE(t, 0);
+  AFTER_CHECK_LT(t, num_steps());
+  return steps_[t];
+}
+
+void DynamicOcclusionGraph::Append(OcclusionGraph graph) {
+  if (steps_.empty()) {
+    num_nodes_ = graph.num_nodes();
+  } else {
+    AFTER_CHECK_EQ(graph.num_nodes(), num_nodes_);
+  }
+  steps_.push_back(std::move(graph));
+}
+
+}  // namespace after

@@ -1,0 +1,69 @@
+#ifndef AFTER_GRAPH_OCCLUSION_GRAPH_H_
+#define AFTER_GRAPH_OCCLUSION_GRAPH_H_
+
+#include <utility>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace after {
+
+/// Static occlusion graph O_t^v = (V, E_t^v) from Definition 4: a simple
+/// undirected graph over the users whose edges are pairwise view overlaps
+/// from the target user's perspective at a single time step. Also serves
+/// as the general simple-graph type consumed by the MWIS solvers and
+/// produced by the geometric-intersection-graph builder (Lemma 1).
+class OcclusionGraph {
+ public:
+  OcclusionGraph() = default;
+  explicit OcclusionGraph(int num_nodes);
+
+  int num_nodes() const { return static_cast<int>(adjacency_.size()); }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+
+  /// Adds an undirected edge (deduplicated).
+  void AddEdge(int u, int v);
+
+  bool HasEdge(int u, int v) const;
+
+  const std::vector<int>& Neighbors(int u) const { return adjacency_[u]; }
+  const std::vector<std::pair<int, int>>& edges() const { return edges_; }
+
+  int Degree(int u) const { return static_cast<int>(adjacency_[u].size()); }
+
+  /// Dense symmetric 0/1 adjacency matrix A_t (used by MIA and the
+  /// POSHGNN loss quadratic form).
+  Matrix ToAdjacencyMatrix() const;
+
+  /// Number of edges with both endpoints selected; 0 means `selected`
+  /// is an independent set.
+  int CountConflicts(const std::vector<bool>& selected) const;
+
+ private:
+  std::vector<std::vector<int>> adjacency_;
+  std::vector<std::pair<int, int>> edges_;
+};
+
+/// Dynamic occlusion graph O^v = (V, E^v, T) from Definition 4: one static
+/// occlusion graph per time step t in {0, ..., T}.
+class DynamicOcclusionGraph {
+ public:
+  DynamicOcclusionGraph() = default;
+  DynamicOcclusionGraph(int num_nodes, int num_steps);
+
+  int num_nodes() const { return num_nodes_; }
+  int num_steps() const { return static_cast<int>(steps_.size()); }
+
+  OcclusionGraph& At(int t);
+  const OcclusionGraph& At(int t) const;
+
+  void Append(OcclusionGraph graph);
+
+ private:
+  int num_nodes_ = 0;
+  std::vector<OcclusionGraph> steps_;
+};
+
+}  // namespace after
+
+#endif  // AFTER_GRAPH_OCCLUSION_GRAPH_H_

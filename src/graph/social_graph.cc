@@ -1,0 +1,51 @@
+#include "graph/social_graph.h"
+
+#include "common/check.h"
+
+namespace after {
+
+SocialGraph::SocialGraph(int num_nodes) : adjacency_(num_nodes) {
+  AFTER_CHECK_GE(num_nodes, 0);
+}
+
+void SocialGraph::AddEdge(int u, int v, double weight) {
+  AFTER_CHECK_GE(u, 0);
+  AFTER_CHECK_LT(u, num_nodes());
+  AFTER_CHECK_GE(v, 0);
+  AFTER_CHECK_LT(v, num_nodes());
+  AFTER_CHECK_NE(u, v);
+  for (auto& n : adjacency_[u]) {
+    if (n.node == v) {
+      n.weight = weight;
+      for (auto& m : adjacency_[v]) {
+        if (m.node == u) m.weight = weight;
+      }
+      return;
+    }
+  }
+  adjacency_[u].push_back({v, weight});
+  adjacency_[v].push_back({u, weight});
+  ++num_edges_;
+}
+
+bool SocialGraph::HasEdge(int u, int v) const {
+  for (const auto& n : adjacency_[u])
+    if (n.node == v) return true;
+  return false;
+}
+
+double SocialGraph::EdgeWeight(int u, int v) const {
+  for (const auto& n : adjacency_[u])
+    if (n.node == v) return n.weight;
+  return 0.0;
+}
+
+int SocialGraph::Degree(int u) const {
+  return static_cast<int>(adjacency_[u].size());
+}
+
+const std::vector<SocialGraph::Neighbor>& SocialGraph::Neighbors(int u) const {
+  return adjacency_[u];
+}
+
+}  // namespace after

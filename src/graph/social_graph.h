@@ -1,0 +1,43 @@
+#ifndef AFTER_GRAPH_SOCIAL_GRAPH_H_
+#define AFTER_GRAPH_SOCIAL_GRAPH_H_
+
+#include <vector>
+
+namespace after {
+
+/// Undirected weighted social network G = (V, E) from the AFTER problem
+/// definition. Vertices are users; edge weights encode social tie
+/// strength in [0, 1] (used to derive the social presence utility s).
+class SocialGraph {
+ public:
+  struct Neighbor {
+    int node;
+    double weight;
+  };
+
+  SocialGraph() = default;
+  explicit SocialGraph(int num_nodes);
+
+  int num_nodes() const { return static_cast<int>(adjacency_.size()); }
+  int num_edges() const { return num_edges_; }
+
+  /// Adds an undirected edge; if it already exists the weight is replaced.
+  void AddEdge(int u, int v, double weight = 1.0);
+
+  bool HasEdge(int u, int v) const;
+
+  /// Edge weight, or 0 if the edge does not exist.
+  double EdgeWeight(int u, int v) const;
+
+  int Degree(int u) const;
+
+  const std::vector<Neighbor>& Neighbors(int u) const;
+
+ private:
+  std::vector<std::vector<Neighbor>> adjacency_;
+  int num_edges_ = 0;
+};
+
+}  // namespace after
+
+#endif  // AFTER_GRAPH_SOCIAL_GRAPH_H_

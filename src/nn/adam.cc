@@ -1,0 +1,60 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+namespace after {
+
+Adam::Adam(std::vector<Variable> parameters)
+    : Adam(std::move(parameters), Options()) {}
+
+Adam::Adam(std::vector<Variable> parameters, Options options)
+    : parameters_(std::move(parameters)), options_(options) {
+  for (const auto& p : parameters_) {
+    AFTER_CHECK(p.requires_grad());
+    first_moment_.emplace_back(p.value().rows(), p.value().cols());
+    second_moment_.emplace_back(p.value().rows(), p.value().cols());
+  }
+}
+
+void Adam::ZeroGrad() {
+  for (auto& p : parameters_) p.ZeroGrad();
+}
+
+void Adam::Step() {
+  ++step_count_;
+
+  double scale = 1.0;
+  if (options_.clip_norm > 0.0) {
+    double total_sq = 0.0;
+    for (const auto& p : parameters_) {
+      const double n = p.grad().Norm();
+      total_sq += n * n;
+    }
+    const double total = std::sqrt(total_sq);
+    if (total > options_.clip_norm) scale = options_.clip_norm / total;
+  }
+
+  const double bias1 = 1.0 - std::pow(options_.beta1, step_count_);
+  const double bias2 = 1.0 - std::pow(options_.beta2, step_count_);
+
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    Variable& p = parameters_[i];
+    Matrix value = p.value();
+    const Matrix& grad = p.grad();
+    Matrix& m = first_moment_[i];
+    Matrix& v = second_moment_[i];
+    for (int j = 0; j < value.size(); ++j) {
+      const size_t idx = static_cast<size_t>(j);
+      const double g = grad[idx] * scale;
+      m[idx] = options_.beta1 * m[idx] + (1.0 - options_.beta1) * g;
+      v[idx] = options_.beta2 * v[idx] + (1.0 - options_.beta2) * g * g;
+      const double m_hat = m[idx] / bias1;
+      const double v_hat = v[idx] / bias2;
+      value[idx] -= options_.learning_rate * m_hat /
+                    (std::sqrt(v_hat) + options_.epsilon);
+    }
+    p.SetValue(std::move(value));
+  }
+}
+
+}  // namespace after

@@ -1,0 +1,46 @@
+#ifndef AFTER_NN_ADAM_H_
+#define AFTER_NN_ADAM_H_
+
+#include <vector>
+
+#include "tensor/autograd.h"
+
+namespace after {
+
+/// Adam optimizer (Kingma & Ba) over a fixed set of Variable parameters.
+/// POSHGNN and the learned baselines train with lr = 1e-2 as in the paper.
+class Adam {
+ public:
+  struct Options {
+    double learning_rate = 1e-2;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double epsilon = 1e-8;
+    /// If > 0, gradients are globally clipped to this L2 norm before the
+    /// update (stabilizes BPTT over T=100 steps).
+    double clip_norm = 5.0;
+  };
+
+  explicit Adam(std::vector<Variable> parameters);
+  Adam(std::vector<Variable> parameters, Options options);
+
+  /// Zeroes the gradient accumulators of all parameters.
+  void ZeroGrad();
+
+  /// Applies one Adam update from the accumulated gradients.
+  void Step();
+
+  int step_count() const { return step_count_; }
+  const std::vector<Variable>& parameters() const { return parameters_; }
+
+ private:
+  std::vector<Variable> parameters_;
+  Options options_;
+  std::vector<Matrix> first_moment_;
+  std::vector<Matrix> second_moment_;
+  int step_count_ = 0;
+};
+
+}  // namespace after
+
+#endif  // AFTER_NN_ADAM_H_

@@ -1,0 +1,52 @@
+#include "nn/diffusion_conv.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace after {
+
+DiffusionConv::DiffusionConv(int in_features, int out_features, int max_hops,
+                             Rng& rng)
+    : max_hops_(max_hops) {
+  AFTER_CHECK_GE(max_hops, 0);
+  const double stddev = 1.0 / std::sqrt(static_cast<double>(in_features));
+  for (int k = 0; k <= max_hops; ++k) {
+    hop_weights_.push_back(Variable::Parameter(
+        Matrix::Randn(in_features, out_features, stddev, rng)));
+  }
+  bias_ = Variable::Parameter(Matrix(1, out_features));
+}
+
+Variable DiffusionConv::Forward(const Variable& x,
+                                const Variable& transition) const {
+  Variable diffused = x;  // hop 0: identity
+  Variable total = Variable::MatMul(diffused, hop_weights_[0]);
+  for (int k = 1; k <= max_hops_; ++k) {
+    diffused = Variable::MatMul(transition, diffused);
+    total = total + Variable::MatMul(diffused, hop_weights_[k]);
+  }
+  return Variable::AddRowBroadcast(total, bias_);
+}
+
+std::vector<Variable> DiffusionConv::Parameters() const {
+  std::vector<Variable> params = hop_weights_;
+  params.push_back(bias_);
+  return params;
+}
+
+Matrix DiffusionConv::RandomWalkTransition(const Matrix& adjacency) {
+  AFTER_CHECK_EQ(adjacency.rows(), adjacency.cols());
+  Matrix transition = adjacency;
+  for (int r = 0; r < adjacency.rows(); ++r) {
+    double degree = 0.0;
+    for (int c = 0; c < adjacency.cols(); ++c) degree += adjacency.At(r, c);
+    if (degree > 0.0) {
+      for (int c = 0; c < adjacency.cols(); ++c)
+        transition.At(r, c) /= degree;
+    }
+  }
+  return transition;
+}
+
+}  // namespace after

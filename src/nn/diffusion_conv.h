@@ -1,0 +1,40 @@
+#ifndef AFTER_NN_DIFFUSION_CONV_H_
+#define AFTER_NN_DIFFUSION_CONV_H_
+
+#include <vector>
+
+#include "tensor/autograd.h"
+
+namespace after {
+
+class Rng;
+
+/// Diffusion convolution from DCRNN (Li et al., ICLR'18):
+///
+///   DConv(X) = sum_{k=0..K} (D^{-1} A)^k X W_k + b
+///
+/// On the undirected occlusion graphs used here the forward and backward
+/// random-walk transitions coincide, so a single set of filters per hop
+/// suffices.
+class DiffusionConv {
+ public:
+  DiffusionConv(int in_features, int out_features, int max_hops, Rng& rng);
+
+  /// x: (n x in), transition: constant (n x n) row-normalized adjacency.
+  Variable Forward(const Variable& x, const Variable& transition) const;
+
+  std::vector<Variable> Parameters() const;
+
+  /// Builds the row-normalized random-walk transition matrix D^{-1}A from
+  /// a (possibly weighted) adjacency matrix. Isolated nodes get a zero row.
+  static Matrix RandomWalkTransition(const Matrix& adjacency);
+
+ private:
+  int max_hops_;
+  std::vector<Variable> hop_weights_;  // one (in x out) filter per hop
+  Variable bias_;
+};
+
+}  // namespace after
+
+#endif  // AFTER_NN_DIFFUSION_CONV_H_

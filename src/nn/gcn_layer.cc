@@ -1,0 +1,44 @@
+#include "nn/gcn_layer.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace after {
+
+Variable ApplyActivation(const Variable& x, Activation activation) {
+  switch (activation) {
+    case Activation::kNone:
+      return x;
+    case Activation::kRelu:
+      return Variable::Relu(x);
+    case Activation::kSigmoid:
+      return Variable::Sigmoid(x);
+    case Activation::kTanh:
+      return Variable::Tanh(x);
+  }
+  return x;
+}
+
+GcnLayer::GcnLayer(int in_features, int out_features, Activation activation,
+                   Rng& rng)
+    : activation_(activation) {
+  const double stddev = 1.0 / std::sqrt(static_cast<double>(in_features));
+  self_weight_ = Variable::Parameter(
+      Matrix::Randn(in_features, out_features, stddev, rng));
+  neighbor_weight_ = Variable::Parameter(
+      Matrix::Randn(in_features, out_features, stddev, rng));
+  bias_ = Variable::Parameter(Matrix(1, out_features));
+}
+
+Variable GcnLayer::Forward(const Variable& h,
+                           const Variable& adjacency) const {
+  Variable self_term = Variable::MatMul(h, self_weight_);
+  Variable neighbor_term =
+      Variable::MatMul(Variable::MatMul(adjacency, h), neighbor_weight_);
+  Variable out =
+      Variable::AddRowBroadcast(self_term + neighbor_term, bias_);
+  return ApplyActivation(out, activation_);
+}
+
+}  // namespace after

@@ -1,0 +1,44 @@
+#ifndef AFTER_NN_GCN_LAYER_H_
+#define AFTER_NN_GCN_LAYER_H_
+
+#include <vector>
+
+#include "tensor/autograd.h"
+
+namespace after {
+
+class Rng;
+
+/// Activation applied by graph layers.
+enum class Activation { kNone, kRelu, kSigmoid, kTanh };
+
+/// Applies the given activation as a tape operation.
+Variable ApplyActivation(const Variable& x, Activation activation);
+
+/// Graph convolution layer matching POSHGNN Eq. (1):
+///
+///   h_i^{l+1} = act( M1 * h_i^l + M2 * sum_{j in N(i)} h_j^l + b )
+///
+/// expressed in matrix form as act(H*M1 + (A*H)*M2 + b), where A is the
+/// (binary, symmetric) adjacency matrix of the occlusion graph at time t.
+class GcnLayer {
+ public:
+  GcnLayer(int in_features, int out_features, Activation activation, Rng& rng);
+
+  /// h: (n x in), adjacency: constant (n x n). Returns (n x out).
+  Variable Forward(const Variable& h, const Variable& adjacency) const;
+
+  std::vector<Variable> Parameters() const {
+    return {self_weight_, neighbor_weight_, bias_};
+  }
+
+ private:
+  Activation activation_;
+  Variable self_weight_;      // M1
+  Variable neighbor_weight_;  // M2
+  Variable bias_;
+};
+
+}  // namespace after
+
+#endif  // AFTER_NN_GCN_LAYER_H_

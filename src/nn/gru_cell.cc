@@ -1,0 +1,32 @@
+#include "nn/gru_cell.h"
+
+#include "common/rng.h"
+
+namespace after {
+
+GruCell::GruCell(int input_size, int hidden_size, Rng& rng)
+    : hidden_size_(hidden_size),
+      update_gate_(input_size + hidden_size, hidden_size, rng),
+      reset_gate_(input_size + hidden_size, hidden_size, rng),
+      candidate_(input_size + hidden_size, hidden_size, rng) {}
+
+Variable GruCell::Forward(const Variable& x, const Variable& h) const {
+  Variable xh = Variable::ConcatCols(x, h);
+  Variable z = Variable::Sigmoid(update_gate_.Forward(xh));
+  Variable r = Variable::Sigmoid(reset_gate_.Forward(xh));
+  Variable xrh = Variable::ConcatCols(x, Variable::Hadamard(r, h));
+  Variable c = Variable::Tanh(candidate_.Forward(xrh));
+  // h' = z*h + (1-z)*c = z*h + c - z*c
+  Variable zh = Variable::Hadamard(z, h);
+  Variable zc = Variable::Hadamard(z, c);
+  return zh + (c - zc);
+}
+
+std::vector<Variable> GruCell::Parameters() const {
+  std::vector<Variable> params = update_gate_.Parameters();
+  for (const auto& p : reset_gate_.Parameters()) params.push_back(p);
+  for (const auto& p : candidate_.Parameters()) params.push_back(p);
+  return params;
+}
+
+}  // namespace after

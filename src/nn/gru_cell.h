@@ -1,0 +1,42 @@
+#ifndef AFTER_NN_GRU_CELL_H_
+#define AFTER_NN_GRU_CELL_H_
+
+#include <vector>
+
+#include "nn/linear.h"
+#include "tensor/autograd.h"
+
+namespace after {
+
+class Rng;
+
+/// Standard gated recurrent unit applied row-wise (per graph node):
+///
+///   z = sigmoid([x|h] Wz + bz)
+///   r = sigmoid([x|h] Wr + br)
+///   c = tanh([x | r*h] Wc + bc)
+///   h' = z * h + (1-z) * c
+///
+/// Used by the TGCN baseline (on GCN-transformed inputs) and reusable for
+/// any recurrent recommender.
+class GruCell {
+ public:
+  GruCell(int input_size, int hidden_size, Rng& rng);
+
+  /// x: (n x input), h: (n x hidden). Returns new hidden (n x hidden).
+  Variable Forward(const Variable& x, const Variable& h) const;
+
+  std::vector<Variable> Parameters() const;
+
+  int hidden_size() const { return hidden_size_; }
+
+ private:
+  int hidden_size_;
+  Linear update_gate_;
+  Linear reset_gate_;
+  Linear candidate_;
+};
+
+}  // namespace after
+
+#endif  // AFTER_NN_GRU_CELL_H_

@@ -1,0 +1,21 @@
+#include "nn/linear.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace after {
+
+Linear::Linear(int in_features, int out_features, Rng& rng)
+    : in_features_(in_features), out_features_(out_features) {
+  const double stddev = 1.0 / std::sqrt(static_cast<double>(in_features));
+  weight_ = Variable::Parameter(
+      Matrix::Randn(in_features, out_features, stddev, rng));
+  bias_ = Variable::Parameter(Matrix(1, out_features));
+}
+
+Variable Linear::Forward(const Variable& x) const {
+  return Variable::AddRowBroadcast(Variable::MatMul(x, weight_), bias_);
+}
+
+}  // namespace after

@@ -1,0 +1,37 @@
+#ifndef AFTER_NN_LINEAR_H_
+#define AFTER_NN_LINEAR_H_
+
+#include <vector>
+
+#include "tensor/autograd.h"
+
+namespace after {
+
+class Rng;
+
+/// Fully-connected layer: y = x * W + b, with W in R^{in x out} and a
+/// broadcast bias row b in R^{1 x out}. Weights use Xavier-style
+/// initialization scaled by 1/sqrt(in).
+class Linear {
+ public:
+  Linear(int in_features, int out_features, Rng& rng);
+
+  /// x has shape (n x in_features); returns (n x out_features).
+  Variable Forward(const Variable& x) const;
+
+  /// Trainable parameters (weight, bias).
+  std::vector<Variable> Parameters() const { return {weight_, bias_}; }
+
+  int in_features() const { return in_features_; }
+  int out_features() const { return out_features_; }
+
+ private:
+  int in_features_;
+  int out_features_;
+  Variable weight_;
+  Variable bias_;
+};
+
+}  // namespace after
+
+#endif  // AFTER_NN_LINEAR_H_

@@ -1,0 +1,50 @@
+#include "nn/serialize.h"
+
+#include <fstream>
+#include <string>
+
+namespace after {
+
+bool SaveParameters(const std::string& path,
+                    const std::vector<Variable>& parameters) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out.precision(17);
+  out << "after-params " << parameters.size() << "\n";
+  for (const auto& p : parameters) {
+    const Matrix& value = p.value();
+    out << value.rows() << " " << value.cols() << "\n";
+    for (int r = 0; r < value.rows(); ++r) {
+      for (int c = 0; c < value.cols(); ++c) {
+        if (c > 0) out << " ";
+        out << value.At(r, c);
+      }
+      out << "\n";
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+bool LoadParameters(const std::string& path,
+                    std::vector<Variable>& parameters) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string magic;
+  size_t count = 0;
+  if (!(in >> magic >> count) || magic != "after-params" ||
+      count != parameters.size())
+    return false;
+  for (auto& p : parameters) {
+    int rows = 0, cols = 0;
+    if (!(in >> rows >> cols)) return false;
+    if (rows != p.value().rows() || cols != p.value().cols()) return false;
+    Matrix value(rows, cols);
+    for (int r = 0; r < rows; ++r)
+      for (int c = 0; c < cols; ++c)
+        if (!(in >> value.At(r, c))) return false;
+    p.SetValue(std::move(value));
+  }
+  return true;
+}
+
+}  // namespace after

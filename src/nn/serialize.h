@@ -1,0 +1,30 @@
+#ifndef AFTER_NN_SERIALIZE_H_
+#define AFTER_NN_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/autograd.h"
+
+namespace after {
+
+/// Plain-text parameter persistence: stores the shapes and values of a
+/// parameter list so a trained model (POSHGNN, the recurrent baselines,
+/// GraFrank) can be saved once and reloaded into a freshly-constructed
+/// model with the same architecture.
+///
+/// Format: first line "after-params <count>", then per parameter a line
+/// "rows cols" followed by the row-major values. Returns false on I/O
+/// failure.
+bool SaveParameters(const std::string& path,
+                    const std::vector<Variable>& parameters);
+
+/// Loads values into `parameters` (same count and shapes as saved;
+/// returns false on mismatch or I/O failure, leaving parameters
+/// unspecified).
+bool LoadParameters(const std::string& path,
+                    std::vector<Variable>& parameters);
+
+}  // namespace after
+
+#endif  // AFTER_NN_SERIALIZE_H_

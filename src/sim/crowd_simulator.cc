@@ -1,0 +1,303 @@
+#include "sim/crowd_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace after {
+namespace {
+
+constexpr double kEpsilon = 1e-9;
+
+double Det(const Vec2& a, const Vec2& b) { return a.Cross(b); }
+
+}  // namespace
+
+CrowdSimulator::CrowdSimulator(double time_step) : time_step_(time_step) {
+  AFTER_CHECK_GT(time_step, 0.0);
+}
+
+int CrowdSimulator::AddAgent(const Vec2& position) {
+  return AddAgent(position, AgentParams());
+}
+
+int CrowdSimulator::AddAgent(const Vec2& position, const AgentParams& params) {
+  Agent agent;
+  agent.position = position;
+  agent.goal = position;
+  agent.params = params;
+  agents_.push_back(agent);
+  return static_cast<int>(agents_.size()) - 1;
+}
+
+void CrowdSimulator::SetGoal(int agent, const Vec2& goal) {
+  agents_[agent].goal = goal;
+  agents_[agent].has_explicit_pref = false;
+}
+
+void CrowdSimulator::SetPreferredVelocity(int agent, const Vec2& velocity) {
+  agents_[agent].preferred_velocity = velocity;
+  agents_[agent].has_explicit_pref = true;
+}
+
+const Vec2& CrowdSimulator::Position(int agent) const {
+  return agents_[agent].position;
+}
+
+const Vec2& CrowdSimulator::Velocity(int agent) const {
+  return agents_[agent].velocity;
+}
+
+const Vec2& CrowdSimulator::Goal(int agent) const {
+  return agents_[agent].goal;
+}
+
+bool CrowdSimulator::ReachedGoal(int agent, double tolerance) const {
+  return Distance(agents_[agent].position, agents_[agent].goal) <= tolerance;
+}
+
+void CrowdSimulator::ComputePreferredVelocity(Agent& agent) const {
+  if (agent.has_explicit_pref) return;
+  const Vec2 to_goal = agent.goal - agent.position;
+  const double dist = to_goal.Norm();
+  if (dist < kEpsilon) {
+    agent.preferred_velocity = Vec2(0.0, 0.0);
+    return;
+  }
+  // Slow down close to the goal to avoid overshoot oscillation.
+  const double speed = std::min(agent.params.max_speed, dist / time_step_);
+  agent.preferred_velocity = to_goal.Normalized() * speed;
+}
+
+void CrowdSimulator::Step() {
+  for (size_t i = 0; i < agents_.size(); ++i) {
+    Agent& agent = agents_[i];
+    ComputePreferredVelocity(agent);
+    if (agent.params.right_of_way_bias != 0.0 && !agent.has_explicit_pref) {
+      // Apply the bias only under congestion (a neighbor within 4 body
+      // diameters) so open-field paths stay straight.
+      bool congested = false;
+      const double range = 8.0 * agent.params.radius;
+      for (size_t j = 0; j < agents_.size() && !congested; ++j) {
+        if (j == i) continue;
+        if ((agents_[j].position - agent.position).NormSq() < range * range)
+          congested = true;
+      }
+      if (congested) {
+        const double c = std::cos(-agent.params.right_of_way_bias);
+        const double s = std::sin(-agent.params.right_of_way_bias);
+        const Vec2 v = agent.preferred_velocity;
+        agent.preferred_velocity = Vec2(c * v.x - s * v.y,
+                                        s * v.x + c * v.y);
+      }
+    }
+  }
+
+  std::vector<Vec2> new_velocities(agents_.size());
+  for (int i = 0; i < num_agents(); ++i)
+    new_velocities[i] = ComputeNewVelocity(i);
+
+  for (int i = 0; i < num_agents(); ++i) {
+    agents_[i].velocity = new_velocities[i];
+    agents_[i].position += agents_[i].velocity * time_step_;
+    agents_[i].has_explicit_pref = false;
+  }
+}
+
+Vec2 CrowdSimulator::ComputeNewVelocity(int index) const {
+  const Agent& self = agents_[index];
+  std::vector<Line> lines;
+
+  const double inv_time_horizon = 1.0 / self.params.time_horizon;
+  const double neighbor_range_sq =
+      self.params.neighbor_dist * self.params.neighbor_dist;
+
+  for (int j = 0; j < num_agents(); ++j) {
+    if (j == index) continue;
+    const Agent& other = agents_[j];
+    const Vec2 relative_position = other.position - self.position;
+    if (relative_position.NormSq() > neighbor_range_sq) continue;
+
+    const Vec2 relative_velocity = self.velocity - other.velocity;
+    const double dist_sq = relative_position.NormSq();
+    const double combined_radius = self.params.radius + other.params.radius;
+    const double combined_radius_sq = combined_radius * combined_radius;
+
+    Line line;
+    Vec2 u;
+
+    if (dist_sq > combined_radius_sq) {
+      // No current collision.
+      const Vec2 w =
+          relative_velocity - inv_time_horizon * relative_position;
+      const double w_length_sq = w.NormSq();
+      const double dot1 = w.Dot(relative_position);
+
+      if (dot1 < 0.0 && dot1 * dot1 > combined_radius_sq * w_length_sq) {
+        // Project on cut-off circle.
+        const double w_length = std::sqrt(w_length_sq);
+        const Vec2 unit_w = w * (1.0 / std::max(w_length, kEpsilon));
+        line.direction = Vec2(unit_w.y, -unit_w.x);
+        u = (combined_radius * inv_time_horizon - w_length) * unit_w;
+      } else {
+        // Project on legs.
+        const double leg = std::sqrt(std::max(0.0, dist_sq - combined_radius_sq));
+        if (Det(relative_position, w) > 0.0) {
+          // Left leg.
+          line.direction =
+              Vec2(relative_position.x * leg -
+                       relative_position.y * combined_radius,
+                   relative_position.x * combined_radius +
+                       relative_position.y * leg) *
+              (1.0 / dist_sq);
+        } else {
+          // Right leg.
+          line.direction =
+              Vec2(relative_position.x * leg +
+                       relative_position.y * combined_radius,
+                   -relative_position.x * combined_radius +
+                       relative_position.y * leg) *
+              (-1.0 / dist_sq);
+        }
+        const double dot2 = relative_velocity.Dot(line.direction);
+        u = dot2 * line.direction - relative_velocity;
+      }
+    } else {
+      // Already colliding: resolve within one time step.
+      const double inv_time_step = 1.0 / time_step_;
+      const Vec2 w = relative_velocity - inv_time_step * relative_position;
+      const double w_length = w.Norm();
+      const Vec2 unit_w = w * (1.0 / std::max(w_length, kEpsilon));
+      line.direction = Vec2(unit_w.y, -unit_w.x);
+      u = (combined_radius * inv_time_step - w_length) * unit_w;
+    }
+
+    // Reciprocity: each agent takes half the responsibility.
+    line.point = self.velocity + 0.5 * u;
+    lines.push_back(line);
+  }
+
+  Vec2 result;
+  const int fail_line =
+      LinearProgram2(lines, self.params.max_speed, self.preferred_velocity,
+                     /*direction_opt=*/false, result);
+  if (fail_line < static_cast<int>(lines.size())) {
+    LinearProgram3(lines, 0, fail_line, self.params.max_speed, result);
+  }
+  return result;
+}
+
+bool CrowdSimulator::LinearProgram1(const std::vector<Line>& lines,
+                                    int line_index, double radius,
+                                    const Vec2& opt_velocity,
+                                    bool direction_opt, Vec2& result) {
+  const Line& line = lines[line_index];
+  const double dot = line.point.Dot(line.direction);
+  const double discriminant =
+      dot * dot + radius * radius - line.point.NormSq();
+  if (discriminant < 0.0) return false;  // max-speed circle misses the line
+
+  const double sqrt_disc = std::sqrt(discriminant);
+  double t_left = -dot - sqrt_disc;
+  double t_right = -dot + sqrt_disc;
+
+  for (int i = 0; i < line_index; ++i) {
+    const double denominator = Det(line.direction, lines[i].direction);
+    const double numerator =
+        Det(lines[i].direction, line.point - lines[i].point);
+    if (std::abs(denominator) <= kEpsilon) {
+      if (numerator < 0.0) return false;  // parallel and fully infeasible
+      continue;
+    }
+    const double t = numerator / denominator;
+    if (denominator >= 0.0) {
+      t_right = std::min(t_right, t);
+    } else {
+      t_left = std::max(t_left, t);
+    }
+    if (t_left > t_right) return false;
+  }
+
+  if (direction_opt) {
+    if (opt_velocity.Dot(line.direction) > 0.0) {
+      result = line.point + t_right * line.direction;
+    } else {
+      result = line.point + t_left * line.direction;
+    }
+  } else {
+    const double t = line.direction.Dot(opt_velocity - line.point);
+    if (t < t_left) {
+      result = line.point + t_left * line.direction;
+    } else if (t > t_right) {
+      result = line.point + t_right * line.direction;
+    } else {
+      result = line.point + t * line.direction;
+    }
+  }
+  return true;
+}
+
+int CrowdSimulator::LinearProgram2(const std::vector<Line>& lines,
+                                   double radius, const Vec2& opt_velocity,
+                                   bool direction_opt, Vec2& result) {
+  if (direction_opt) {
+    result = opt_velocity * radius;  // opt_velocity is a unit direction
+  } else if (opt_velocity.NormSq() > radius * radius) {
+    result = opt_velocity.Normalized() * radius;
+  } else {
+    result = opt_velocity;
+  }
+
+  for (int i = 0; i < static_cast<int>(lines.size()); ++i) {
+    if (Det(lines[i].direction, lines[i].point - result) > 0.0) {
+      // result violates constraint i; re-optimize on that line.
+      const Vec2 saved = result;
+      if (!LinearProgram1(lines, i, radius, opt_velocity, direction_opt,
+                          result)) {
+        result = saved;
+        return i;
+      }
+    }
+  }
+  return static_cast<int>(lines.size());
+}
+
+void CrowdSimulator::LinearProgram3(const std::vector<Line>& lines,
+                                    int num_obst, int begin_line,
+                                    double radius, Vec2& result) {
+  double distance = 0.0;
+  for (int i = begin_line; i < static_cast<int>(lines.size()); ++i) {
+    if (Det(lines[i].direction, lines[i].point - result) <= distance)
+      continue;
+    // result violates constraint i beyond current penetration distance.
+    std::vector<Line> projected(lines.begin(), lines.begin() + num_obst);
+    for (int j = num_obst; j < i; ++j) {
+      Line line;
+      const double determinant = Det(lines[i].direction, lines[j].direction);
+      if (std::abs(determinant) <= kEpsilon) {
+        if (lines[i].direction.Dot(lines[j].direction) > 0.0) continue;
+        line.point = 0.5 * (lines[i].point + lines[j].point);
+      } else {
+        line.point =
+            lines[i].point +
+            (Det(lines[j].direction, lines[i].point - lines[j].point) /
+             determinant) *
+                lines[i].direction;
+      }
+      line.direction = (lines[j].direction - lines[i].direction).Normalized();
+      projected.push_back(line);
+    }
+
+    const Vec2 saved = result;
+    if (LinearProgram2(projected, radius,
+                       Vec2(-lines[i].direction.y, lines[i].direction.x),
+                       /*direction_opt=*/true,
+                       result) < static_cast<int>(projected.size())) {
+      result = saved;
+    }
+    distance = Det(lines[i].direction, lines[i].point - result);
+  }
+}
+
+}  // namespace after

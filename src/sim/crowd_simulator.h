@@ -1,0 +1,95 @@
+#ifndef AFTER_SIM_CROWD_SIMULATOR_H_
+#define AFTER_SIM_CROWD_SIMULATOR_H_
+
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace after {
+
+/// Reciprocal-velocity-obstacle crowd simulator (ORCA; van den Berg et
+/// al.), written from scratch as the stand-in for the RVO2 library the
+/// paper uses to synthesize Timik/SMM trajectories. Each step every agent
+/// computes the optimal collision-free velocity closest to its preferred
+/// velocity subject to the ORCA half-plane constraints induced by its
+/// neighbors, then integrates.
+class CrowdSimulator {
+ public:
+  struct AgentParams {
+    double radius = 0.25;        // body radius in meters
+    double max_speed = 1.4;      // comfortable walking speed
+    double time_horizon = 2.0;   // seconds of collision anticipation
+    double neighbor_dist = 5.0;  // interaction range
+    /// Small clockwise rotation (radians) applied to the preferred
+    /// velocity when other agents are nearby. Breaks the symmetric
+    /// deadlocks reciprocal avoidance is prone to (agents implicitly
+    /// agree to pass on one side), mirroring the perturbation used by
+    /// RVO2's examples.
+    double right_of_way_bias = 0.08;
+  };
+
+  explicit CrowdSimulator(double time_step);
+
+  /// Adds an agent at `position`; returns its index.
+  int AddAgent(const Vec2& position);
+  int AddAgent(const Vec2& position, const AgentParams& params);
+
+  int num_agents() const { return static_cast<int>(agents_.size()); }
+
+  /// Sets the agent's navigation goal; the preferred velocity each step
+  /// points at the goal with at most max_speed.
+  void SetGoal(int agent, const Vec2& goal);
+
+  /// Directly sets the preferred velocity (overrides the goal this step).
+  void SetPreferredVelocity(int agent, const Vec2& velocity);
+
+  /// Advances the simulation by one time step.
+  void Step();
+
+  const Vec2& Position(int agent) const;
+  const Vec2& Velocity(int agent) const;
+  const Vec2& Goal(int agent) const;
+
+  /// True when the agent is within `tolerance` of its goal.
+  bool ReachedGoal(int agent, double tolerance = 0.1) const;
+
+  double time_step() const { return time_step_; }
+
+ private:
+  struct Agent {
+    Vec2 position;
+    Vec2 velocity;
+    Vec2 goal;
+    Vec2 preferred_velocity;
+    bool has_explicit_pref = false;
+    AgentParams params;
+  };
+
+  /// Directed line for ORCA half-plane constraints: permitted velocities
+  /// lie to the LEFT of the line through `point` with direction
+  /// `direction`.
+  struct Line {
+    Vec2 point;
+    Vec2 direction;
+  };
+
+  void ComputePreferredVelocity(Agent& agent) const;
+  Vec2 ComputeNewVelocity(int index) const;
+
+  // 2D linear programs from the ORCA paper.
+  static bool LinearProgram1(const std::vector<Line>& lines, int line_index,
+                             double radius, const Vec2& opt_velocity,
+                             bool direction_opt, Vec2& result);
+  static int LinearProgram2(const std::vector<Line>& lines, double radius,
+                            const Vec2& opt_velocity, bool direction_opt,
+                            Vec2& result);
+  static void LinearProgram3(const std::vector<Line>& lines, int num_obst,
+                             int begin_line, double radius, Vec2& result);
+
+  double time_step_;
+  std::vector<Agent> agents_;
+};
+
+}  // namespace after
+
+#endif  // AFTER_SIM_CROWD_SIMULATOR_H_

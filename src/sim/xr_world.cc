@@ -1,0 +1,80 @@
+#include "sim/xr_world.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "sim/crowd_simulator.h"
+
+namespace after {
+
+XrWorld XrWorld::FromRecorded(std::vector<Interface> interfaces,
+                              std::vector<std::vector<Vec2>> trajectory,
+                              double body_radius) {
+  XrWorld world;
+  for (const auto& step : trajectory)
+    AFTER_CHECK_EQ(step.size(), interfaces.size());
+  world.interfaces_ = std::move(interfaces);
+  world.trajectory_ = std::move(trajectory);
+  world.body_radius_ = body_radius;
+  return world;
+}
+
+XrWorld XrWorld::Generate(const Config& config, Rng& rng) {
+  AFTER_CHECK_GE(config.num_users, 1);
+  AFTER_CHECK_GE(config.num_steps, 1);
+
+  XrWorld world;
+  world.body_radius_ = config.body_radius;
+  world.interfaces_.resize(config.num_users);
+  const int num_vr = static_cast<int>(config.vr_fraction *
+                                      static_cast<double>(config.num_users));
+  for (int u = 0; u < config.num_users; ++u)
+    world.interfaces_[u] = u < num_vr ? Interface::kVR : Interface::kMR;
+  rng.Shuffle(world.interfaces_);
+
+  // Gathering spots: points of social attraction inside the room.
+  std::vector<Vec2> spots;
+  for (int s = 0; s < config.num_gathering_spots; ++s) {
+    spots.emplace_back(rng.Uniform(0.15, 0.85) * config.room_side,
+                       rng.Uniform(0.15, 0.85) * config.room_side);
+  }
+
+  CrowdSimulator sim(config.time_step);
+  CrowdSimulator::AgentParams params;
+  params.radius = config.body_radius;
+  params.max_speed = config.max_speed;
+
+  auto random_waypoint = [&]() {
+    if (!spots.empty() && rng.Bernoulli(config.gathering_bias)) {
+      const Vec2& spot = spots[rng.UniformInt(static_cast<int>(spots.size()))];
+      // Scatter around the spot so agents form loose clusters.
+      return Vec2(spot.x + rng.Normal(0.0, 0.08 * config.room_side),
+                  spot.y + rng.Normal(0.0, 0.08 * config.room_side));
+    }
+    return Vec2(rng.Uniform(0.0, config.room_side),
+                rng.Uniform(0.0, config.room_side));
+  };
+
+  for (int u = 0; u < config.num_users; ++u) {
+    const Vec2 start(rng.Uniform(0.0, config.room_side),
+                     rng.Uniform(0.0, config.room_side));
+    sim.AddAgent(start, params);
+    sim.SetGoal(u, random_waypoint());
+  }
+
+  world.trajectory_.reserve(config.num_steps);
+  for (int t = 0; t < config.num_steps; ++t) {
+    std::vector<Vec2> positions(config.num_users);
+    for (int u = 0; u < config.num_users; ++u) positions[u] = sim.Position(u);
+    world.trajectory_.push_back(std::move(positions));
+    if (t + 1 == config.num_steps) break;
+    // Re-target agents that arrived; occasionally change mind.
+    for (int u = 0; u < config.num_users; ++u) {
+      if (sim.ReachedGoal(u, 0.3) || rng.Bernoulli(0.02))
+        sim.SetGoal(u, random_waypoint());
+    }
+    sim.Step();
+  }
+  return world;
+}
+
+}  // namespace after

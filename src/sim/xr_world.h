@@ -1,0 +1,78 @@
+#ifndef AFTER_SIM_XR_WORLD_H_
+#define AFTER_SIM_XR_WORLD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace after {
+
+class Rng;
+
+/// XR interface used by a participant (Sec. III-A): MR users are in-person
+/// participants who are physically present and therefore always rendered
+/// for co-located MR viewers; VR users are remote.
+enum class Interface { kVR, kMR };
+
+/// The simulated social-XR conferencing room: participants with their
+/// interfaces and collision-free trajectories produced by the ORCA crowd
+/// simulator (the paper's RVO2 substitute). Agents mingle by repeatedly
+/// walking to random waypoints, biased toward their social group's
+/// gathering spots.
+class XrWorld {
+ public:
+  struct Config {
+    int num_users = 200;
+    /// Proportion of remote (VR) participants; the rest are MR.
+    double vr_fraction = 0.5;
+    /// Number of recorded time steps T+1 (t = 0..T).
+    int num_steps = 101;
+    /// Side length of the square conferencing room, meters.
+    double room_side = 10.0;
+    /// Seconds per time step.
+    double time_step = 0.5;
+    /// Body radius used by both collision avoidance and occlusion arcs.
+    double body_radius = 0.25;
+    /// Number of "gathering spots" agents are attracted to (0 = pure
+    /// random waypoints).
+    int num_gathering_spots = 4;
+    /// Probability a new waypoint is a gathering spot vs. uniform.
+    double gathering_bias = 0.6;
+    /// Walking speed, m/s.
+    double max_speed = 1.2;
+  };
+
+  /// Simulates a conferencing session. Interfaces are assigned uniformly
+  /// at random according to vr_fraction.
+  static XrWorld Generate(const Config& config, Rng& rng);
+
+  /// Wraps pre-recorded interfaces and trajectories (dataset loading,
+  /// tests with hand-crafted scenes).
+  static XrWorld FromRecorded(std::vector<Interface> interfaces,
+                              std::vector<std::vector<Vec2>> trajectory,
+                              double body_radius);
+
+  int num_users() const { return static_cast<int>(interfaces_.size()); }
+  int num_steps() const { return static_cast<int>(trajectory_.size()); }
+
+  const std::vector<Interface>& interfaces() const { return interfaces_; }
+  Interface interface_of(int user) const { return interfaces_[user]; }
+
+  /// trajectory()[t][u] is user u's position at time t (tau_t^u).
+  const std::vector<std::vector<Vec2>>& trajectory() const {
+    return trajectory_;
+  }
+  const std::vector<Vec2>& PositionsAt(int t) const { return trajectory_[t]; }
+
+  double body_radius() const { return body_radius_; }
+
+ private:
+  std::vector<Interface> interfaces_;
+  std::vector<std::vector<Vec2>> trajectory_;
+  double body_radius_ = 0.25;
+};
+
+}  // namespace after
+
+#endif  // AFTER_SIM_XR_WORLD_H_

@@ -1,0 +1,292 @@
+#include "tensor/autograd.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace after {
+namespace {
+
+void EnsureGrad(Variable::Node& node) {
+  if (node.grad.rows() != node.value.rows() ||
+      node.grad.cols() != node.value.cols()) {
+    node.grad = Matrix(node.value.rows(), node.value.cols());
+  }
+}
+
+}  // namespace
+
+Variable Variable::Constant(Matrix value) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->requires_grad = false;
+  return Variable(std::move(node));
+}
+
+Variable Variable::Parameter(Matrix value) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->requires_grad = true;
+  EnsureGrad(*node);
+  return Variable(std::move(node));
+}
+
+void Variable::SetValue(Matrix value) {
+  AFTER_CHECK(node_ != nullptr);
+  AFTER_CHECK(node_->parents.empty());
+  node_->value = std::move(value);
+  EnsureGrad(*node_);
+}
+
+void Variable::ZeroGrad() {
+  AFTER_CHECK(node_ != nullptr);
+  EnsureGrad(*node_);
+  node_->grad.Fill(0.0);
+}
+
+Variable Variable::MakeOp(Matrix value,
+                          std::vector<std::shared_ptr<Node>> parents,
+                          std::function<void(Node&)> backward) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->parents = std::move(parents);
+  node->backward = std::move(backward);
+  for (const auto& p : node->parents) {
+    if (p->requires_grad) {
+      node->requires_grad = true;
+      break;
+    }
+  }
+  return Variable(std::move(node));
+}
+
+void Variable::Backward() {
+  AFTER_CHECK(node_ != nullptr);
+  AFTER_CHECK_EQ(node_->value.rows(), 1);
+  AFTER_CHECK_EQ(node_->value.cols(), 1);
+
+  // Iterative DFS topological sort (recursion would overflow on long
+  // BPTT chains over T=100 time steps).
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<Node*, size_t>> stack;
+  stack.emplace_back(node_.get(), 0);
+  visited.insert(node_.get());
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    if (next_child < node->parents.size()) {
+      Node* child = node->parents[next_child].get();
+      ++next_child;
+      if (child->requires_grad && !visited.count(child)) {
+        visited.insert(child);
+        stack.emplace_back(child, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+
+  // Intermediate (non-leaf) grads are scratch space for this pass and are
+  // zeroed; leaf grads accumulate across Backward() calls until ZeroGrad.
+  for (Node* node : order) {
+    EnsureGrad(*node);
+    if (!node->parents.empty()) node->grad.Fill(0.0);
+  }
+  node_->grad.Fill(0.0);
+  node_->grad.At(0, 0) = 1.0;
+
+  // `order` is children-before-parents reversed; iterate from the end
+  // (root first).
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* node = *it;
+    if (node->backward && node->requires_grad) node->backward(*node);
+  }
+}
+
+Variable operator+(const Variable& a, const Variable& b) {
+  AFTER_CHECK_EQ(a.rows(), b.rows());
+  AFTER_CHECK_EQ(a.cols(), b.cols());
+  auto pa = a.node_;
+  auto pb = b.node_;
+  return Variable::MakeOp(a.value() + b.value(), {pa, pb},
+                          [pa, pb](Variable::Node& out) {
+                            if (pa->requires_grad) pa->grad += out.grad;
+                            if (pb->requires_grad) pb->grad += out.grad;
+                          });
+}
+
+Variable operator-(const Variable& a, const Variable& b) {
+  AFTER_CHECK_EQ(a.rows(), b.rows());
+  AFTER_CHECK_EQ(a.cols(), b.cols());
+  auto pa = a.node_;
+  auto pb = b.node_;
+  return Variable::MakeOp(a.value() - b.value(), {pa, pb},
+                          [pa, pb](Variable::Node& out) {
+                            if (pa->requires_grad) pa->grad += out.grad;
+                            if (pb->requires_grad) pb->grad -= out.grad;
+                          });
+}
+
+Variable operator*(double scalar, const Variable& a) {
+  auto pa = a.node_;
+  return Variable::MakeOp(a.value() * scalar, {pa},
+                          [pa, scalar](Variable::Node& out) {
+                            if (pa->requires_grad)
+                              pa->grad += out.grad * scalar;
+                          });
+}
+
+Variable Variable::MatMul(const Variable& a, const Variable& b) {
+  auto pa = a.node_;
+  auto pb = b.node_;
+  return MakeOp(a.value().MatMul(b.value()), {pa, pb},
+                [pa, pb](Node& out) {
+                  if (pa->requires_grad)
+                    pa->grad += out.grad.MatMul(pb->value.Transposed());
+                  if (pb->requires_grad)
+                    pb->grad += pa->value.Transposed().MatMul(out.grad);
+                });
+}
+
+Variable Variable::Hadamard(const Variable& a, const Variable& b) {
+  auto pa = a.node_;
+  auto pb = b.node_;
+  return MakeOp(a.value().Hadamard(b.value()), {pa, pb},
+                [pa, pb](Node& out) {
+                  if (pa->requires_grad)
+                    pa->grad += out.grad.Hadamard(pb->value);
+                  if (pb->requires_grad)
+                    pb->grad += out.grad.Hadamard(pa->value);
+                });
+}
+
+Variable Variable::Relu(const Variable& a) {
+  auto pa = a.node_;
+  return MakeOp(a.value().Map([](double x) { return x > 0.0 ? x : 0.0; }),
+                {pa}, [pa](Node& out) {
+                  if (!pa->requires_grad) return;
+                  for (int i = 0; i < pa->value.size(); ++i) {
+                    if (pa->value[static_cast<size_t>(i)] > 0.0) {
+                      pa->grad[static_cast<size_t>(i)] +=
+                          out.grad[static_cast<size_t>(i)];
+                    }
+                  }
+                });
+}
+
+Variable Variable::Sigmoid(const Variable& a) {
+  auto pa = a.node_;
+  Matrix value =
+      a.value().Map([](double x) { return 1.0 / (1.0 + std::exp(-x)); });
+  return MakeOp(value, {pa}, [pa](Node& out) {
+    if (!pa->requires_grad) return;
+    for (int i = 0; i < out.value.size(); ++i) {
+      const double s = out.value[static_cast<size_t>(i)];
+      pa->grad[static_cast<size_t>(i)] +=
+          out.grad[static_cast<size_t>(i)] * s * (1.0 - s);
+    }
+  });
+}
+
+Variable Variable::Tanh(const Variable& a) {
+  auto pa = a.node_;
+  Matrix value = a.value().Map([](double x) { return std::tanh(x); });
+  return MakeOp(value, {pa}, [pa](Node& out) {
+    if (!pa->requires_grad) return;
+    for (int i = 0; i < out.value.size(); ++i) {
+      const double t = out.value[static_cast<size_t>(i)];
+      pa->grad[static_cast<size_t>(i)] +=
+          out.grad[static_cast<size_t>(i)] * (1.0 - t * t);
+    }
+  });
+}
+
+Variable Variable::AddScalar(const Variable& a, double scalar) {
+  auto pa = a.node_;
+  return MakeOp(a.value().Map([scalar](double x) { return x + scalar; }),
+                {pa}, [pa](Node& out) {
+                  if (pa->requires_grad) pa->grad += out.grad;
+                });
+}
+
+Variable Variable::Sum(const Variable& a) {
+  auto pa = a.node_;
+  Matrix value(1, 1);
+  value.At(0, 0) = a.value().Sum();
+  return MakeOp(value, {pa}, [pa](Node& out) {
+    if (!pa->requires_grad) return;
+    const double g = out.grad.At(0, 0);
+    for (int i = 0; i < pa->grad.size(); ++i)
+      pa->grad[static_cast<size_t>(i)] += g;
+  });
+}
+
+Variable Variable::Transpose(const Variable& a) {
+  auto pa = a.node_;
+  return MakeOp(a.value().Transposed(), {pa}, [pa](Node& out) {
+    if (pa->requires_grad) pa->grad += out.grad.Transposed();
+  });
+}
+
+Variable Variable::ConcatCols(const Variable& a, const Variable& b) {
+  AFTER_CHECK_EQ(a.rows(), b.rows());
+  auto pa = a.node_;
+  auto pb = b.node_;
+  const int a_cols = a.cols();
+  const int b_cols = b.cols();
+  return MakeOp(a.value().ConcatCols(b.value()), {pa, pb},
+                [pa, pb, a_cols, b_cols](Node& out) {
+                  if (pa->requires_grad)
+                    pa->grad += out.grad.SliceCols(0, a_cols);
+                  if (pb->requires_grad)
+                    pb->grad += out.grad.SliceCols(a_cols, b_cols);
+                });
+}
+
+Variable Variable::SliceCols(const Variable& a, int begin, int count) {
+  auto pa = a.node_;
+  return MakeOp(a.value().SliceCols(begin, count), {pa},
+                [pa, begin, count](Node& out) {
+                  if (!pa->requires_grad) return;
+                  for (int r = 0; r < out.grad.rows(); ++r)
+                    for (int c = 0; c < count; ++c)
+                      pa->grad.At(r, begin + c) += out.grad.At(r, c);
+                });
+}
+
+Variable Variable::AddRowBroadcast(const Variable& a, const Variable& row) {
+  AFTER_CHECK_EQ(row.rows(), 1);
+  AFTER_CHECK_EQ(a.cols(), row.cols());
+  auto pa = a.node_;
+  auto prow = row.node_;
+  Matrix value = a.value();
+  for (int r = 0; r < value.rows(); ++r)
+    for (int c = 0; c < value.cols(); ++c)
+      value.At(r, c) += row.value().At(0, c);
+  return MakeOp(value, {pa, prow}, [pa, prow](Node& out) {
+    if (pa->requires_grad) pa->grad += out.grad;
+    if (prow->requires_grad) {
+      for (int r = 0; r < out.grad.rows(); ++r)
+        for (int c = 0; c < out.grad.cols(); ++c)
+          prow->grad.At(0, c) += out.grad.At(r, c);
+    }
+  });
+}
+
+Matrix NumericalGradient(const std::function<double(const Matrix&)>& fn,
+                         const Matrix& point, double epsilon) {
+  Matrix grad(point.rows(), point.cols());
+  Matrix probe = point;
+  for (int i = 0; i < point.size(); ++i) {
+    const double original = probe[static_cast<size_t>(i)];
+    probe[static_cast<size_t>(i)] = original + epsilon;
+    const double plus = fn(probe);
+    probe[static_cast<size_t>(i)] = original - epsilon;
+    const double minus = fn(probe);
+    probe[static_cast<size_t>(i)] = original;
+    grad[static_cast<size_t>(i)] = (plus - minus) / (2.0 * epsilon);
+  }
+  return grad;
+}
+
+}  // namespace after

@@ -1,0 +1,109 @@
+#ifndef AFTER_TENSOR_AUTOGRAD_H_
+#define AFTER_TENSOR_AUTOGRAD_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace after {
+
+/// Reverse-mode automatic differentiation over Matrix values.
+///
+/// A `Variable` is a lightweight handle to a node in a dynamically built
+/// computation tape. Operations (MatMul, Relu, ...) record a backward
+/// closure; calling `Backward()` on a scalar output runs the tape in
+/// reverse topological order and accumulates gradients into every node
+/// with `requires_grad`. This is the training substrate for POSHGNN and
+/// the learned baselines (TGCN, DCRNN, GraFrank).
+class Variable {
+ public:
+  struct Node {
+    Matrix value;
+    Matrix grad;
+    bool requires_grad = false;
+    std::vector<std::shared_ptr<Node>> parents;
+    // Propagates `grad` of this node into the parents' grads.
+    std::function<void(Node&)> backward;
+  };
+
+  /// Invalid/empty variable.
+  Variable() = default;
+
+  /// Leaf with no gradient tracking (inputs, adjacency matrices, masks).
+  static Variable Constant(Matrix value);
+
+  /// Leaf with gradient tracking (trainable parameters).
+  static Variable Parameter(Matrix value);
+
+  bool defined() const { return node_ != nullptr; }
+  const Matrix& value() const { return node_->value; }
+  const Matrix& grad() const { return node_->grad; }
+  bool requires_grad() const { return node_ && node_->requires_grad; }
+  int rows() const { return node_->value.rows(); }
+  int cols() const { return node_->value.cols(); }
+
+  /// Overwrites the value of a leaf (parameter update). The tape built on
+  /// the old value must no longer be used.
+  void SetValue(Matrix value);
+
+  /// Zeroes this node's gradient accumulator.
+  void ZeroGrad();
+
+  /// Runs backpropagation from this node, which must hold a 1x1 scalar.
+  /// Gradients accumulate into every reachable `requires_grad` node.
+  void Backward();
+
+  std::shared_ptr<Node> node() const { return node_; }
+
+  // ---- Differentiable operations ------------------------------------
+
+  /// Element-wise sum. Shapes must match.
+  friend Variable operator+(const Variable& a, const Variable& b);
+  /// Element-wise difference.
+  friend Variable operator-(const Variable& a, const Variable& b);
+  /// Scalar scale.
+  friend Variable operator*(double scalar, const Variable& a);
+
+  /// Matrix product.
+  static Variable MatMul(const Variable& a, const Variable& b);
+  /// Element-wise product.
+  static Variable Hadamard(const Variable& a, const Variable& b);
+  /// max(x, 0).
+  static Variable Relu(const Variable& a);
+  /// Logistic sigmoid.
+  static Variable Sigmoid(const Variable& a);
+  /// Hyperbolic tangent.
+  static Variable Tanh(const Variable& a);
+  /// Adds `scalar` to every element.
+  static Variable AddScalar(const Variable& a, double scalar);
+  /// Sum of all elements as a 1x1 variable.
+  static Variable Sum(const Variable& a);
+  /// Transpose.
+  static Variable Transpose(const Variable& a);
+  /// Column-wise concatenation [a | b]. Row counts must match.
+  static Variable ConcatCols(const Variable& a, const Variable& b);
+  /// Columns [begin, begin+count).
+  static Variable SliceCols(const Variable& a, int begin, int count);
+  /// Adds a 1 x cols row vector to every row of a (bias broadcast).
+  static Variable AddRowBroadcast(const Variable& a, const Variable& row);
+
+ private:
+  explicit Variable(std::shared_ptr<Node> node) : node_(std::move(node)) {}
+
+  static Variable MakeOp(Matrix value,
+                         std::vector<std::shared_ptr<Node>> parents,
+                         std::function<void(Node&)> backward);
+
+  std::shared_ptr<Node> node_;
+};
+
+/// Numerically estimates d(fn)/d(input) at `point` via central differences.
+/// `fn` must be a pure function of the matrix. Used by gradient-check tests.
+Matrix NumericalGradient(const std::function<double(const Matrix&)>& fn,
+                         const Matrix& point, double epsilon = 1e-6);
+
+}  // namespace after
+
+#endif  // AFTER_TENSOR_AUTOGRAD_H_

@@ -1,0 +1,217 @@
+#include "tensor/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/rng.h"
+
+namespace after {
+
+Matrix::Matrix(int rows, int cols)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<size_t>(rows) * static_cast<size_t>(cols), 0.0) {
+  AFTER_CHECK_GE(rows, 0);
+  AFTER_CHECK_GE(cols, 0);
+}
+
+Matrix::Matrix(int rows, int cols, double fill)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<size_t>(rows) * static_cast<size_t>(cols), fill) {
+  AFTER_CHECK_GE(rows, 0);
+  AFTER_CHECK_GE(cols, 0);
+}
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(static_cast<int>(rows.size()), static_cast<int>(rows[0].size()));
+  for (int r = 0; r < m.rows_; ++r) {
+    AFTER_CHECK_EQ(static_cast<int>(rows[r].size()), m.cols_);
+    for (int c = 0; c < m.cols_; ++c) m.At(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+Matrix Matrix::Identity(int n) {
+  Matrix m(n, n);
+  for (int i = 0; i < n; ++i) m.At(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Randn(int rows, int cols, double stddev, Rng& rng) {
+  Matrix m(rows, cols);
+  for (auto& x : m.data_) x = rng.Normal(0.0, stddev);
+  return m;
+}
+
+Matrix Matrix::ColumnVector(const std::vector<double>& values) {
+  Matrix m(static_cast<int>(values.size()), 1);
+  m.data_ = values;
+  return m;
+}
+
+Matrix Matrix::operator+(const Matrix& other) const {
+  Matrix result = *this;
+  result += other;
+  return result;
+}
+
+Matrix Matrix::operator-(const Matrix& other) const {
+  Matrix result = *this;
+  result -= other;
+  return result;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  AFTER_CHECK_EQ(rows_, other.rows_);
+  AFTER_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  AFTER_CHECK_EQ(rows_, other.rows_);
+  AFTER_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix Matrix::operator*(double scalar) const {
+  Matrix result = *this;
+  result *= scalar;
+  return result;
+}
+
+Matrix& Matrix::operator*=(double scalar) {
+  for (auto& x : data_) x *= scalar;
+  return *this;
+}
+
+Matrix Matrix::Hadamard(const Matrix& other) const {
+  AFTER_CHECK_EQ(rows_, other.rows_);
+  AFTER_CHECK_EQ(cols_, other.cols_);
+  Matrix result = *this;
+  for (size_t i = 0; i < data_.size(); ++i) result.data_[i] *= other.data_[i];
+  return result;
+}
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  AFTER_CHECK_EQ(cols_, other.rows_);
+  Matrix result(rows_, other.cols_);
+  const int m = rows_;
+  const int k = cols_;
+  const int n = other.cols_;
+  // i-k-j loop order for row-major cache friendliness.
+  for (int i = 0; i < m; ++i) {
+    const double* a_row = &data_[static_cast<size_t>(i) * k];
+    double* out_row = &result.data_[static_cast<size_t>(i) * n];
+    for (int kk = 0; kk < k; ++kk) {
+      const double a = a_row[kk];
+      if (a == 0.0) continue;
+      const double* b_row = &other.data_[static_cast<size_t>(kk) * n];
+      for (int j = 0; j < n; ++j) out_row[j] += a * b_row[j];
+    }
+  }
+  return result;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix result(cols_, rows_);
+  for (int r = 0; r < rows_; ++r)
+    for (int c = 0; c < cols_; ++c) result.At(c, r) = At(r, c);
+  return result;
+}
+
+Matrix Matrix::Map(const std::function<double(double)>& fn) const {
+  Matrix result = *this;
+  for (auto& x : result.data_) x = fn(x);
+  return result;
+}
+
+double Matrix::Sum() const {
+  double total = 0.0;
+  for (double x : data_) total += x;
+  return total;
+}
+
+double Matrix::Mean() const {
+  if (data_.empty()) return 0.0;
+  return Sum() / static_cast<double>(data_.size());
+}
+
+double Matrix::Norm() const {
+  double total = 0.0;
+  for (double x : data_) total += x * x;
+  return std::sqrt(total);
+}
+
+double Matrix::MaxAbs() const {
+  double best = 0.0;
+  for (double x : data_) best = std::max(best, std::abs(x));
+  return best;
+}
+
+Matrix Matrix::ConcatCols(const Matrix& other) const {
+  AFTER_CHECK_EQ(rows_, other.rows_);
+  Matrix result(rows_, cols_ + other.cols_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) result.At(r, c) = At(r, c);
+    for (int c = 0; c < other.cols_; ++c)
+      result.At(r, cols_ + c) = other.At(r, c);
+  }
+  return result;
+}
+
+Matrix Matrix::SliceCols(int begin, int count) const {
+  AFTER_CHECK_GE(begin, 0);
+  AFTER_CHECK_GE(count, 0);
+  AFTER_CHECK_LE(begin + count, cols_);
+  Matrix result(rows_, count);
+  for (int r = 0; r < rows_; ++r)
+    for (int c = 0; c < count; ++c) result.At(r, c) = At(r, begin + c);
+  return result;
+}
+
+Matrix Matrix::Row(int r) const {
+  Matrix result(1, cols_);
+  for (int c = 0; c < cols_; ++c) result.At(0, c) = At(r, c);
+  return result;
+}
+
+Matrix Matrix::Col(int c) const {
+  Matrix result(rows_, 1);
+  for (int r = 0; r < rows_; ++r) result.At(r, 0) = At(r, c);
+  return result;
+}
+
+void Matrix::Fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+bool Matrix::operator==(const Matrix& other) const {
+  return rows_ == other.rows_ && cols_ == other.cols_ && data_ == other.data_;
+}
+
+bool Matrix::AllClose(const Matrix& other, double tolerance) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (size_t i = 0; i < data_.size(); ++i)
+    if (std::abs(data_[i] - other.data_[i]) > tolerance) return false;
+  return true;
+}
+
+std::string Matrix::ToString() const {
+  std::ostringstream oss;
+  oss << "Matrix(" << rows_ << "x" << cols_ << ")[";
+  for (int r = 0; r < rows_; ++r) {
+    oss << (r == 0 ? "[" : ", [");
+    for (int c = 0; c < cols_; ++c) {
+      if (c > 0) oss << ", ";
+      oss << At(r, c);
+    }
+    oss << "]";
+  }
+  oss << "]";
+  return oss.str();
+}
+
+}  // namespace after

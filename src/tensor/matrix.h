@@ -1,0 +1,140 @@
+#ifndef AFTER_TENSOR_MATRIX_H_
+#define AFTER_TENSOR_MATRIX_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace after {
+
+class Rng;
+
+/// Dense row-major matrix of doubles. This is the numeric workhorse under
+/// the autograd engine; all POSHGNN math (GCN propagation, the loss
+/// quadratic form, Adam updates) is expressed in terms of it.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// Zero-initialized rows x cols matrix.
+  Matrix(int rows, int cols);
+
+  /// rows x cols matrix with every entry set to `fill`.
+  Matrix(int rows, int cols, double fill);
+
+  Matrix(const Matrix&) = default;
+  Matrix& operator=(const Matrix&) = default;
+  Matrix(Matrix&&) = default;
+  Matrix& operator=(Matrix&&) = default;
+
+  /// Builds a matrix from nested initializer-style data (used in tests).
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+
+  /// Identity matrix of size n.
+  static Matrix Identity(int n);
+
+  /// Matrix with i.i.d. N(0, stddev^2) entries.
+  static Matrix Randn(int rows, int cols, double stddev, Rng& rng);
+
+  /// Column vector (n x 1) from values.
+  static Matrix ColumnVector(const std::vector<double>& values);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int size() const { return rows_ * cols_; }
+
+  double& At(int r, int c) {
+    AFTER_CHECK_GE(r, 0);
+    AFTER_CHECK_LT(r, rows_);
+    AFTER_CHECK_GE(c, 0);
+    AFTER_CHECK_LT(c, cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  double At(int r, int c) const {
+    AFTER_CHECK_GE(r, 0);
+    AFTER_CHECK_LT(r, rows_);
+    AFTER_CHECK_GE(c, 0);
+    AFTER_CHECK_LT(c, cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  /// Unchecked flat accessors (hot loops).
+  double& operator[](size_t i) { return data_[i]; }
+  double operator[](size_t i) const { return data_[i]; }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  /// Element-wise arithmetic. Shapes must match.
+  Matrix operator+(const Matrix& other) const;
+  Matrix operator-(const Matrix& other) const;
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+
+  /// Scalar operations.
+  Matrix operator*(double scalar) const;
+  Matrix& operator*=(double scalar);
+
+  /// Hadamard (element-wise) product.
+  Matrix Hadamard(const Matrix& other) const;
+
+  /// Matrix product: (m x k) * (k x n) -> (m x n).
+  Matrix MatMul(const Matrix& other) const;
+
+  /// Transpose.
+  Matrix Transposed() const;
+
+  /// Applies `fn` to every element, returning a new matrix.
+  Matrix Map(const std::function<double(double)>& fn) const;
+
+  /// Sum of all elements.
+  double Sum() const;
+
+  /// Mean of all elements (0 for an empty matrix).
+  double Mean() const;
+
+  /// Frobenius norm.
+  double Norm() const;
+
+  /// Maximum absolute element (0 for an empty matrix).
+  double MaxAbs() const;
+
+  /// Concatenates columns: [this | other]. Row counts must match.
+  Matrix ConcatCols(const Matrix& other) const;
+
+  /// Returns the sub-matrix of columns [begin, begin + count).
+  Matrix SliceCols(int begin, int count) const;
+
+  /// Returns row r as a 1 x cols matrix.
+  Matrix Row(int r) const;
+
+  /// Returns column c as a rows x 1 matrix.
+  Matrix Col(int c) const;
+
+  /// Sets every element to `value`.
+  void Fill(double value);
+
+  /// True if shapes and all elements match exactly.
+  bool operator==(const Matrix& other) const;
+
+  /// True if shapes match and all elements are within `tolerance`.
+  bool AllClose(const Matrix& other, double tolerance = 1e-9) const;
+
+  /// Compact debug representation.
+  std::string ToString() const;
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<double> data_;
+};
+
+/// Scalar * matrix convenience overload.
+inline Matrix operator*(double scalar, const Matrix& m) { return m * scalar; }
+
+}  // namespace after
+
+#endif  // AFTER_TENSOR_MATRIX_H_

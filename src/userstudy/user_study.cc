@@ -1,0 +1,218 @@
+#include "userstudy/user_study.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "baselines/comurnet.h"
+#include "baselines/grafrank.h"
+#include "baselines/mvagc.h"
+#include "baselines/original_recommender.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "core/evaluator.h"
+#include "core/poshgnn.h"
+#include "data/dataset.h"
+#include "eval/stats.h"
+
+namespace after {
+namespace {
+
+/// Maps a participant's experienced utility to a 1-5 Likert response:
+/// min-max scaling across the methods this participant tried, plus an
+/// individual leniency bias and response noise, rounded to the scale.
+double LikertResponse(double value, double lo, double hi, double bias,
+                      double noise) {
+  double scaled = 3.0;
+  if (hi - lo > 1e-12) scaled = 1.0 + 4.0 * (value - lo) / (hi - lo);
+  const double response = std::round(scaled + bias + noise);
+  return std::clamp(response, 1.0, 5.0);
+}
+
+}  // namespace
+
+UserStudyResult RunUserStudy(const UserStudyConfig& config) {
+  Rng rng(config.seed);
+
+  // The conferencing room the participants share.
+  DatasetConfig data_config = HubsDefaultConfig();
+  data_config.num_users = config.num_participants;
+  data_config.vr_fraction = config.vr_fraction;
+  data_config.num_steps = config.num_steps;
+  data_config.room_side = config.room_side;
+  data_config.num_sessions = 2;  // train on the first, run on the second
+  data_config.seed = config.seed;
+  const Dataset dataset = GenerateHubsLike(data_config);
+
+  // Participant response model.
+  std::vector<double> beta(config.num_participants);
+  std::vector<double> leniency(config.num_participants);
+  for (int i = 0; i < config.num_participants; ++i) {
+    beta[i] = rng.Uniform(config.beta_lo, config.beta_hi);
+    leniency[i] = rng.Normal(0.0, config.leniency_stddev);
+  }
+
+  TrainOptions train;
+  train.epochs = config.train_epochs;
+  train.targets_per_epoch = config.train_targets_per_epoch;
+  train.seed = config.seed + 1;
+
+  // The five conditions of the study.
+  PoshgnnConfig poshgnn_config;
+  poshgnn_config.seed = config.seed + 2;
+  poshgnn_config.max_recommendations = config.display_budget;
+  auto poshgnn = std::make_unique<Poshgnn>(poshgnn_config);
+  poshgnn->Train(dataset, train);
+
+  GraFrank::Options grafrank_options;
+  grafrank_options.seed = config.seed + 3;
+  grafrank_options.k = config.display_budget;
+  auto grafrank = std::make_unique<GraFrank>(grafrank_options);
+  grafrank->Train(dataset, train);
+
+  MvAgc::Options mvagc_options;
+  mvagc_options.num_groups =
+      std::max(2, config.num_participants / 8);
+  mvagc_options.max_recommendations = config.display_budget;
+  mvagc_options.seed = config.seed + 4;
+  auto mvagc = std::make_unique<MvAgc>(mvagc_options);
+  mvagc->Train(dataset, train);
+
+  Comurnet::Options comurnet_options;
+  comurnet_options.iterations = config.comurnet_iterations;
+  comurnet_options.delay_steps = config.comurnet_delay_steps;
+  comurnet_options.max_recommendations = config.display_budget;
+  comurnet_options.seed = config.seed + 5;
+  auto comurnet = std::make_unique<Comurnet>(comurnet_options);
+
+  auto original = std::make_unique<OriginalRecommender>();
+
+  std::vector<Recommender*> methods = {poshgnn.get(), grafrank.get(),
+                                       mvagc.get(), comurnet.get(),
+                                       original.get()};
+
+  UserStudyResult study;
+  const double steps = static_cast<double>(config.num_steps);
+
+  for (Recommender* method : methods) {
+    MethodFeedback feedback;
+    feedback.method = method->name();
+    for (int participant = 0; participant < config.num_participants;
+         ++participant) {
+      EvalOptions eval;
+      eval.session = 1;
+      eval.targets = {participant};
+      eval.beta = beta[participant];
+      const EvalResult result =
+          EvaluateRecommender(*method, dataset, eval);
+      // Effective utility per rendered user: satisfaction tracks how well
+      // the viewport's attention budget is spent, so a render-all
+      // condition cannot win by sheer volume of visible strangers.
+      const double per_render =
+          std::max(1.0, result.avg_recommended_per_step);
+      feedback.per_participant_after.push_back(result.after_utility / steps /
+                                               per_render);
+      feedback.per_participant_preference.push_back(
+          result.preference_utility / steps / per_render);
+      feedback.per_participant_presence.push_back(
+          result.social_presence_utility / steps / per_render);
+    }
+    study.methods.push_back(std::move(feedback));
+  }
+
+  // Likert responses: each participant compares the methods they tried.
+  const int num_methods = static_cast<int>(study.methods.size());
+  for (int participant = 0; participant < config.num_participants;
+       ++participant) {
+    auto range_over_methods = [&](auto getter) {
+      double lo = 1e300, hi = -1e300;
+      for (const auto& m : study.methods) {
+        const double v = getter(m);
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      return std::pair<double, double>(lo, hi);
+    };
+    const auto [after_lo, after_hi] = range_over_methods(
+        [&](const MethodFeedback& m) {
+          return m.per_participant_after[participant];
+        });
+    const auto [pref_lo, pref_hi] = range_over_methods(
+        [&](const MethodFeedback& m) {
+          return m.per_participant_preference[participant];
+        });
+    const auto [pres_lo, pres_hi] = range_over_methods(
+        [&](const MethodFeedback& m) {
+          return m.per_participant_presence[participant];
+        });
+
+    for (int mi = 0; mi < num_methods; ++mi) {
+      MethodFeedback& m = study.methods[mi];
+      m.per_participant_satisfaction.push_back(LikertResponse(
+          m.per_participant_after[participant], after_lo, after_hi,
+          leniency[participant],
+          rng.Normal(0.0, config.response_noise_stddev)));
+      m.per_participant_customization.push_back(LikertResponse(
+          m.per_participant_preference[participant], pref_lo, pref_hi,
+          leniency[participant],
+          rng.Normal(0.0, config.response_noise_stddev)));
+      m.per_participant_togetherness.push_back(LikertResponse(
+          m.per_participant_presence[participant], pres_lo, pres_hi,
+          leniency[participant],
+          rng.Normal(0.0, config.response_noise_stddev)));
+    }
+  }
+
+  for (auto& m : study.methods) {
+    m.avg_after_per_step = Mean(m.per_participant_after);
+    m.avg_preference_per_step = Mean(m.per_participant_preference);
+    m.avg_presence_per_step = Mean(m.per_participant_presence);
+    m.satisfaction_likert = Mean(m.per_participant_satisfaction);
+    m.customization_likert = Mean(m.per_participant_customization);
+    m.togetherness_likert = Mean(m.per_participant_togetherness);
+  }
+
+  // Table VIII: correlations across all (method, participant) pairs.
+  std::vector<double> all_after, all_satisfaction;
+  std::vector<double> all_pref, all_customization;
+  std::vector<double> all_pres, all_togetherness;
+  for (const auto& m : study.methods) {
+    all_after.insert(all_after.end(), m.per_participant_after.begin(),
+                     m.per_participant_after.end());
+    all_satisfaction.insert(all_satisfaction.end(),
+                            m.per_participant_satisfaction.begin(),
+                            m.per_participant_satisfaction.end());
+    all_pref.insert(all_pref.end(), m.per_participant_preference.begin(),
+                    m.per_participant_preference.end());
+    all_customization.insert(all_customization.end(),
+                             m.per_participant_customization.begin(),
+                             m.per_participant_customization.end());
+    all_pres.insert(all_pres.end(), m.per_participant_presence.begin(),
+                    m.per_participant_presence.end());
+    all_togetherness.insert(all_togetherness.end(),
+                            m.per_participant_togetherness.begin(),
+                            m.per_participant_togetherness.end());
+  }
+  study.pearson_after = PearsonCorrelation(all_after, all_satisfaction);
+  study.spearman_after = SpearmanCorrelation(all_after, all_satisfaction);
+  study.pearson_preference = PearsonCorrelation(all_pref, all_customization);
+  study.spearman_preference =
+      SpearmanCorrelation(all_pref, all_customization);
+  study.pearson_presence = PearsonCorrelation(all_pres, all_togetherness);
+  study.spearman_presence =
+      SpearmanCorrelation(all_pres, all_togetherness);
+
+  // Significance of POSHGNN vs. every other condition.
+  AFTER_CHECK(!study.methods.empty());
+  const MethodFeedback& ours = study.methods.front();
+  for (size_t i = 1; i < study.methods.size(); ++i) {
+    const TTestResult t = PairedTTest(
+        ours.per_participant_satisfaction,
+        study.methods[i].per_participant_satisfaction);
+    study.max_p_value_vs_poshgnn =
+        std::max(study.max_p_value_vs_poshgnn, t.p_value);
+  }
+  return study;
+}
+
+}  // namespace after

@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include "baselines/comurnet.h"
+#include "baselines/grafrank.h"
+#include "baselines/mvagc.h"
+#include "baselines/nearest_recommender.h"
+#include "baselines/original_recommender.h"
+#include "baselines/random_recommender.h"
+#include "common/rng.h"
+#include "core/evaluator.h"
+#include "data/dataset.h"
+#include "eval/stats.h"
+#include "graph/occlusion_converter.h"
+
+namespace after {
+namespace {
+
+DatasetConfig SmallConfig() {
+  DatasetConfig config;
+  config.num_users = 30;
+  config.num_steps = 15;
+  config.num_sessions = 2;
+  config.room_side = 7.0;
+  config.seed = 17;
+  return config;
+}
+
+StepContext MakeContext(const Dataset& dataset, const OcclusionGraph& occ,
+                        int target, int t) {
+  StepContext context;
+  context.t = t;
+  context.target = target;
+  context.positions = &dataset.sessions[0].PositionsAt(t);
+  context.occlusion = &occ;
+  context.interfaces = &dataset.sessions[0].interfaces();
+  context.preference = &dataset.preference;
+  context.social_presence = &dataset.social_presence;
+  context.body_radius = dataset.body_radius();
+  return context;
+}
+
+int CountSelected(const std::vector<bool>& selection) {
+  int count = 0;
+  for (bool b : selection) count += b ? 1 : 0;
+  return count;
+}
+
+TEST(RandomRecommenderTest, ExactlyKAndFixedPerSession) {
+  const Dataset dataset = GenerateTimikLike(SmallConfig());
+  RandomRecommender rec(5, 9);
+  rec.BeginSession(30, 3);
+  const OcclusionGraph occ = BuildOcclusionGraph(
+      dataset.sessions[0].PositionsAt(0), 3, dataset.body_radius());
+  const auto first = rec.Recommend(MakeContext(dataset, occ, 3, 0));
+  EXPECT_EQ(CountSelected(first), 5);
+  EXPECT_FALSE(first[3]);
+  // Fixed within a session.
+  const auto second = rec.Recommend(MakeContext(dataset, occ, 3, 1));
+  EXPECT_EQ(first, second);
+  // Re-sampled across sessions.
+  rec.BeginSession(30, 3);
+  const auto third = rec.Recommend(MakeContext(dataset, occ, 3, 0));
+  EXPECT_EQ(CountSelected(third), 5);
+}
+
+TEST(NearestRecommenderTest, PicksClosestUsers) {
+  const Dataset dataset = GenerateTimikLike(SmallConfig());
+  NearestRecommender rec(4);
+  const int target = 2;
+  const auto& positions = dataset.sessions[0].PositionsAt(0);
+  const OcclusionGraph occ =
+      BuildOcclusionGraph(positions, target, dataset.body_radius());
+  const auto selection = rec.Recommend(MakeContext(dataset, occ, target, 0));
+  EXPECT_EQ(CountSelected(selection), 4);
+  EXPECT_FALSE(selection[target]);
+
+  // Every selected user must be at least as close as every unselected.
+  double max_selected = 0.0;
+  double min_unselected = 1e18;
+  for (int w = 0; w < 30; ++w) {
+    if (w == target) continue;
+    const double d = Distance(positions[target], positions[w]);
+    if (selection[w]) {
+      max_selected = std::max(max_selected, d);
+    } else {
+      min_unselected = std::min(min_unselected, d);
+    }
+  }
+  EXPECT_LE(max_selected, min_unselected + 1e-12);
+}
+
+TEST(MvAgcTest, PartitionsUsersIntoGroups) {
+  const Dataset dataset = GenerateSmmLike(SmallConfig());
+  MvAgc::Options options;
+  options.num_groups = 5;
+  MvAgc rec(options);
+  rec.Train(dataset, TrainOptions());
+  const auto& assignment = rec.assignments();
+  ASSERT_EQ(assignment.size(), 30u);
+  for (int a : assignment) {
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, 5);
+  }
+}
+
+TEST(MvAgcTest, RecommendsOwnGroupOnly) {
+  const Dataset dataset = GenerateSmmLike(SmallConfig());
+  MvAgc::Options options;
+  options.num_groups = 4;
+  options.max_recommendations = 0;  // whole group
+  MvAgc rec(options);
+  rec.Train(dataset, TrainOptions());
+  const OcclusionGraph occ = BuildOcclusionGraph(
+      dataset.sessions[0].PositionsAt(0), 1, dataset.body_radius());
+  const auto selection = rec.Recommend(MakeContext(dataset, occ, 1, 0));
+  const int group = rec.assignments()[1];
+  for (int w = 0; w < 30; ++w) {
+    if (w == 1) {
+      EXPECT_FALSE(selection[w]);
+    } else {
+      EXPECT_EQ(selection[w], rec.assignments()[w] == group);
+    }
+  }
+}
+
+TEST(MvAgcTest, BudgetCapsGroupSize) {
+  const Dataset dataset = GenerateSmmLike(SmallConfig());
+  MvAgc::Options options;
+  options.num_groups = 2;  // big groups
+  options.max_recommendations = 3;
+  MvAgc rec(options);
+  rec.Train(dataset, TrainOptions());
+  const OcclusionGraph occ = BuildOcclusionGraph(
+      dataset.sessions[0].PositionsAt(0), 0, dataset.body_radius());
+  const auto selection = rec.Recommend(MakeContext(dataset, occ, 0, 0));
+  EXPECT_LE(CountSelected(selection), 3);
+}
+
+TEST(GraFrankTest, LearnsAffinityRanking) {
+  const Dataset dataset = GenerateTimikLike(SmallConfig());
+  GraFrank::Options options;
+  options.k = 5;
+  options.epochs = 40;
+  GraFrank rec(options);
+  rec.Train(dataset, TrainOptions());
+
+  // Scores must correlate with the affinity the ranker was trained on.
+  std::vector<double> scores, affinity;
+  for (int w = 0; w < 30; ++w) {
+    if (w == 4) continue;
+    scores.push_back(rec.Score(dataset, 4, w));
+    affinity.push_back(0.5 * dataset.preference.At(4, w) +
+                       0.5 * dataset.social_presence.At(4, w));
+  }
+  EXPECT_GT(SpearmanCorrelation(scores, affinity), 0.5);
+}
+
+TEST(GraFrankTest, StaticAcrossTime) {
+  const Dataset dataset = GenerateTimikLike(SmallConfig());
+  GraFrank::Options options;
+  options.k = 5;
+  GraFrank rec(options);
+  rec.Train(dataset, TrainOptions());
+  const OcclusionGraph occ0 = BuildOcclusionGraph(
+      dataset.sessions[0].PositionsAt(0), 2, dataset.body_radius());
+  const OcclusionGraph occ5 = BuildOcclusionGraph(
+      dataset.sessions[0].PositionsAt(5), 2, dataset.body_radius());
+  const auto a = rec.Recommend(MakeContext(dataset, occ0, 2, 0));
+  auto context5 = MakeContext(dataset, occ5, 2, 5);
+  context5.positions = &dataset.sessions[0].PositionsAt(5);
+  const auto b = rec.Recommend(context5);
+  EXPECT_EQ(a, b);  // ignores trajectories entirely
+  EXPECT_EQ(CountSelected(a), 5);
+}
+
+TEST(ComurnetTest, FreshSolveIsIndependentSet) {
+  const Dataset dataset = GenerateTimikLike(SmallConfig());
+  Comurnet::Options options;
+  options.iterations = 100;
+  options.delay_steps = 0;  // idealized: no staleness
+  options.max_recommendations = 0;
+  Comurnet rec(options);
+  rec.BeginSession(30, 0);
+  const OcclusionGraph occ = BuildOcclusionGraph(
+      dataset.sessions[0].PositionsAt(0), 0, dataset.body_radius());
+  const auto selection = rec.Recommend(MakeContext(dataset, occ, 0, 0));
+  EXPECT_EQ(occ.CountConflicts(selection), 0);
+  EXPECT_FALSE(selection[0]);
+  EXPECT_GT(CountSelected(selection), 0);
+}
+
+TEST(ComurnetTest, StalenessDelaysOutput) {
+  const Dataset dataset = GenerateTimikLike(SmallConfig());
+  Comurnet::Options options;
+  options.iterations = 50;
+  options.delay_steps = 3;
+  Comurnet rec(options);
+  rec.BeginSession(30, 0);
+  for (int t = 0; t < 3; ++t) {
+    const OcclusionGraph occ = BuildOcclusionGraph(
+        dataset.sessions[0].PositionsAt(t), 0, dataset.body_radius());
+    const auto selection = rec.Recommend(MakeContext(dataset, occ, 0, t));
+    EXPECT_EQ(CountSelected(selection), 0) << "t=" << t;
+  }
+  const OcclusionGraph occ3 = BuildOcclusionGraph(
+      dataset.sessions[0].PositionsAt(3), 0, dataset.body_radius());
+  const auto late = rec.Recommend(MakeContext(dataset, occ3, 0, 3));
+  EXPECT_GT(CountSelected(late), 0);
+  // The late set is the t=0 solve: independent in the t=0 graph.
+  const OcclusionGraph occ0 = BuildOcclusionGraph(
+      dataset.sessions[0].PositionsAt(0), 0, dataset.body_radius());
+  EXPECT_EQ(occ0.CountConflicts(late), 0);
+}
+
+TEST(ComurnetTest, BudgetRespected) {
+  const Dataset dataset = GenerateTimikLike(SmallConfig());
+  Comurnet::Options options;
+  options.iterations = 100;
+  options.delay_steps = 0;
+  options.max_recommendations = 4;
+  Comurnet rec(options);
+  rec.BeginSession(30, 0);
+  const OcclusionGraph occ = BuildOcclusionGraph(
+      dataset.sessions[0].PositionsAt(0), 0, dataset.body_radius());
+  const auto selection = rec.Recommend(MakeContext(dataset, occ, 0, 0));
+  EXPECT_LE(CountSelected(selection), 4);
+  EXPECT_EQ(occ.CountConflicts(selection), 0);  // subset stays independent
+}
+
+TEST(OriginalRecommenderTest, RendersEveryoneButTarget) {
+  const Dataset dataset = GenerateTimikLike(SmallConfig());
+  OriginalRecommender rec;
+  const OcclusionGraph occ = BuildOcclusionGraph(
+      dataset.sessions[0].PositionsAt(0), 7, dataset.body_radius());
+  const auto selection = rec.Recommend(MakeContext(dataset, occ, 7, 0));
+  EXPECT_EQ(CountSelected(selection), 29);
+  EXPECT_FALSE(selection[7]);
+}
+
+}  // namespace
+}  // namespace after

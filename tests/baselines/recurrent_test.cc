@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "baselines/dcrnn_recommender.h"
+#include "baselines/tgcn_recommender.h"
+#include "data/dataset.h"
+#include "graph/occlusion_converter.h"
+
+namespace after {
+namespace {
+
+DatasetConfig TinyConfig() {
+  DatasetConfig config;
+  config.num_users = 18;
+  config.num_steps = 10;
+  config.num_sessions = 2;
+  config.room_side = 6.0;
+  config.seed = 23;
+  return config;
+}
+
+StepContext MakeContext(const Dataset& dataset, const OcclusionGraph& occ,
+                        int target, int t, int session = 0) {
+  StepContext context;
+  context.t = t;
+  context.target = target;
+  context.positions = &dataset.sessions[session].PositionsAt(t);
+  context.occlusion = &occ;
+  context.interfaces = &dataset.sessions[session].interfaces();
+  context.preference = &dataset.preference;
+  context.social_presence = &dataset.social_presence;
+  context.body_radius = dataset.body_radius();
+  return context;
+}
+
+template <typename Model>
+void CheckBasicRecommenderContract(Model& model, const Dataset& dataset) {
+  model.BeginSession(dataset.num_users(), 1);
+  for (int t = 0; t < 5; ++t) {
+    const OcclusionGraph occ = BuildOcclusionGraph(
+        dataset.sessions[0].PositionsAt(t), 1, dataset.body_radius());
+    const auto selection =
+        model.Recommend(MakeContext(dataset, occ, 1, t));
+    ASSERT_EQ(selection.size(), static_cast<size_t>(dataset.num_users()));
+    EXPECT_FALSE(selection[1]);
+    int count = 0;
+    for (bool b : selection) count += b ? 1 : 0;
+    EXPECT_LE(count, 10);  // default budget
+  }
+}
+
+TEST(TgcnTest, RecommenderContract) {
+  const Dataset dataset = GenerateTimikLike(TinyConfig());
+  TgcnRecommender model(0.01, 0.5, 8, 0.5, 31);
+  CheckBasicRecommenderContract(model, dataset);
+}
+
+TEST(TgcnTest, TrainingReducesLoss) {
+  const Dataset dataset = GenerateTimikLike(TinyConfig());
+  TgcnRecommender model(0.01, 0.5, 8, 0.5, 32);
+  TrainOptions warmup;
+  warmup.epochs = 1;
+  warmup.targets_per_epoch = 3;
+  warmup.seed = 5;
+  model.Train(dataset, warmup);
+  const double initial = model.last_training_loss();
+
+  TrainOptions more;
+  more.epochs = 10;
+  more.targets_per_epoch = 3;
+  more.seed = 5;
+  model.Train(dataset, more);
+  EXPECT_LT(model.last_training_loss(), initial);
+}
+
+TEST(DcrnnTest, RecommenderContract) {
+  const Dataset dataset = GenerateTimikLike(TinyConfig());
+  DcrnnRecommender model(0.01, 0.5, 8, 0.5, 2, 33);
+  CheckBasicRecommenderContract(model, dataset);
+}
+
+TEST(DcrnnTest, TrainingReducesLoss) {
+  const Dataset dataset = GenerateTimikLike(TinyConfig());
+  DcrnnRecommender model(0.01, 0.5, 8, 0.5, 2, 34);
+  TrainOptions warmup;
+  warmup.epochs = 1;
+  warmup.targets_per_epoch = 3;
+  warmup.seed = 6;
+  model.Train(dataset, warmup);
+  const double initial = model.last_training_loss();
+
+  TrainOptions more;
+  more.epochs = 10;
+  more.targets_per_epoch = 3;
+  more.seed = 6;
+  model.Train(dataset, more);
+  EXPECT_LT(model.last_training_loss(), initial);
+}
+
+TEST(RecurrentBaselineTest, HiddenStateEvolvesAcrossSteps) {
+  const Dataset dataset = GenerateTimikLike(TinyConfig());
+  TgcnRecommender model(0.01, 0.5, 8, 0.5, 35);
+  model.BeginSession(dataset.num_users(), 0);
+  const OcclusionGraph occ0 = BuildOcclusionGraph(
+      dataset.sessions[0].PositionsAt(0), 0, dataset.body_radius());
+  const auto a = model.Recommend(MakeContext(dataset, occ0, 0, 0));
+  // Re-running the same step after state evolved can differ; but after
+  // BeginSession it must reproduce exactly (determinism).
+  model.BeginSession(dataset.num_users(), 0);
+  const auto b = model.Recommend(MakeContext(dataset, occ0, 0, 0));
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace after

@@ -1,0 +1,41 @@
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+namespace after {
+namespace {
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  AFTER_CHECK(true);
+  AFTER_CHECK_EQ(1, 1);
+  AFTER_CHECK_NE(1, 2);
+  AFTER_CHECK_LT(1, 2);
+  AFTER_CHECK_LE(2, 2);
+  AFTER_CHECK_GT(3, 2);
+  AFTER_CHECK_GE(3, 3);
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(AFTER_CHECK(false), "expected false");
+}
+
+TEST(CheckDeathTest, FailingOpCheckShowsValues) {
+  const int a = 3;
+  const int b = 5;
+  EXPECT_DEATH(AFTER_CHECK_EQ(a, b), "3 vs 5");
+}
+
+TEST(CheckDeathTest, ComparisonDirectionMatters) {
+  EXPECT_DEATH(AFTER_CHECK_LT(5, 3), "expected");
+  EXPECT_DEATH(AFTER_CHECK_GE(2, 3), "expected");
+}
+
+TEST(CheckTest, OperandsEvaluatedOnce) {
+  int counter = 0;
+  auto bump = [&counter]() { return ++counter; };
+  AFTER_CHECK_GE(bump(), 1);
+  EXPECT_EQ(counter, 1);
+}
+
+}  // namespace
+}  // namespace after

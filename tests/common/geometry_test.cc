@@ -1,0 +1,73 @@
+#include "common/geometry.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace after {
+namespace {
+
+TEST(Vec2Test, Arithmetic) {
+  const Vec2 a(1.0, 2.0);
+  const Vec2 b(3.0, -1.0);
+  EXPECT_DOUBLE_EQ((a + b).x, 4.0);
+  EXPECT_DOUBLE_EQ((a + b).y, 1.0);
+  EXPECT_DOUBLE_EQ((a - b).x, -2.0);
+  EXPECT_DOUBLE_EQ((a - b).y, 3.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).x, 2.0);
+  EXPECT_DOUBLE_EQ((2.0 * a).y, 4.0);
+}
+
+TEST(Vec2Test, DotAndCross) {
+  const Vec2 a(1.0, 0.0);
+  const Vec2 b(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(a.Dot(b), 0.0);
+  EXPECT_DOUBLE_EQ(a.Cross(b), 1.0);
+  EXPECT_DOUBLE_EQ(b.Cross(a), -1.0);
+  EXPECT_DOUBLE_EQ(a.Dot(a), 1.0);
+}
+
+TEST(Vec2Test, NormAndNormalize) {
+  const Vec2 v(3.0, 4.0);
+  EXPECT_DOUBLE_EQ(v.Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.NormSq(), 25.0);
+  const Vec2 unit = v.Normalized();
+  EXPECT_NEAR(unit.Norm(), 1.0, 1e-12);
+  EXPECT_NEAR(unit.x, 0.6, 1e-12);
+  EXPECT_NEAR(unit.y, 0.8, 1e-12);
+}
+
+TEST(Vec2Test, NormalizeZeroIsZero) {
+  const Vec2 zero(0.0, 0.0);
+  EXPECT_DOUBLE_EQ(zero.Normalized().x, 0.0);
+  EXPECT_DOUBLE_EQ(zero.Normalized().y, 0.0);
+}
+
+TEST(Vec2Test, Perpendicular) {
+  const Vec2 v(2.0, 1.0);
+  const Vec2 p = v.Perpendicular();
+  EXPECT_DOUBLE_EQ(v.Dot(p), 0.0);
+  EXPECT_GT(v.Cross(p), 0.0);  // counter-clockwise
+}
+
+TEST(Vec2Test, Angle) {
+  EXPECT_NEAR(Vec2(1.0, 0.0).Angle(), 0.0, 1e-12);
+  EXPECT_NEAR(Vec2(0.0, 1.0).Angle(), M_PI / 2.0, 1e-12);
+  EXPECT_NEAR(Vec2(-1.0, 0.0).Angle(), M_PI, 1e-12);
+  EXPECT_NEAR(Vec2(0.0, -1.0).Angle(), -M_PI / 2.0, 1e-12);
+}
+
+TEST(Vec2Test, Distance) {
+  EXPECT_DOUBLE_EQ(Distance(Vec2(0.0, 0.0), Vec2(3.0, 4.0)), 5.0);
+  EXPECT_DOUBLE_EQ(Distance(Vec2(1.0, 1.0), Vec2(1.0, 1.0)), 0.0);
+}
+
+TEST(Vec2Test, CompoundAssign) {
+  Vec2 v(1.0, 1.0);
+  v += Vec2(2.0, 3.0);
+  EXPECT_DOUBLE_EQ(v.x, 3.0);
+  EXPECT_DOUBLE_EQ(v.y, 4.0);
+}
+
+}  // namespace
+}  // namespace after

@@ -1,0 +1,147 @@
+#include "core/loss.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace after {
+namespace {
+
+TEST(PoshgnnLossTest, MatchesManualComputation) {
+  // 3 users, r = [1, 0, 1], r_prev = [1, 1, 0], edge (0, 2).
+  const Matrix r = Matrix::ColumnVector({1.0, 0.0, 1.0});
+  const Matrix r_prev = Matrix::ColumnVector({1.0, 1.0, 0.0});
+  const Matrix p = Matrix::ColumnVector({0.5, 0.3, 0.8});
+  const Matrix s = Matrix::ColumnVector({0.2, 0.9, 0.4});
+  Matrix a(3, 3);
+  a.At(0, 2) = a.At(2, 0) = 1.0;
+  const double alpha = 0.01;
+  const double beta = 0.5;
+
+  // By hand: pref gain = r·p = 1.3; presence gain = (r⊗r_prev)·s = 0.2;
+  // penalty = rᵀAr = 2 (edge counted in both directions);
+  // gamma = 0.5·1.6 + 0.5·1.5 = 1.55.
+  const double expected =
+      -0.5 * 1.3 - 0.5 * 0.2 + 0.01 * 2.0 + 1.55;
+
+  EXPECT_NEAR(PoshgnnStepLossValue(r, r_prev, p, s, a, alpha, beta),
+              expected, 1e-12);
+
+  const Variable loss = PoshgnnStepLoss(
+      Variable::Constant(r), Variable::Constant(r_prev),
+      Variable::Constant(p), Variable::Constant(s), Variable::Constant(a),
+      alpha, beta);
+  EXPECT_NEAR(loss.value().At(0, 0), expected, 1e-12);
+}
+
+TEST(PoshgnnLossTest, NonNegativeForProbabilityVectors) {
+  // gamma is designed to keep the loss positive for r in [0,1]^n.
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = 5 + rng.UniformInt(10);
+    Matrix r(n, 1), r_prev(n, 1), p(n, 1), s(n, 1);
+    for (int i = 0; i < n; ++i) {
+      r.At(i, 0) = rng.Uniform();
+      r_prev.At(i, 0) = rng.Uniform();
+      p.At(i, 0) = rng.Uniform();
+      s.At(i, 0) = rng.Uniform();
+    }
+    Matrix a(n, n);
+    for (int i = 0; i < n; ++i)
+      for (int j = i + 1; j < n; ++j)
+        if (rng.Bernoulli(0.3)) a.At(i, j) = a.At(j, i) = 1.0;
+    const double value =
+        PoshgnnStepLossValue(r, r_prev, p, s, a, 0.01, 0.5);
+    EXPECT_GE(value, 0.0) << "trial " << trial;
+  }
+}
+
+TEST(PoshgnnLossTest, RecommendingPreferredUsersLowersLoss) {
+  const Matrix p = Matrix::ColumnVector({0.9, 0.1});
+  const Matrix s = Matrix::ColumnVector({0.0, 0.0});
+  const Matrix r_prev = Matrix::ColumnVector({0.0, 0.0});
+  const Matrix a(2, 2);
+  const Matrix good = Matrix::ColumnVector({1.0, 0.0});
+  const Matrix bad = Matrix::ColumnVector({0.0, 1.0});
+  EXPECT_LT(PoshgnnStepLossValue(good, r_prev, p, s, a, 0.01, 0.5),
+            PoshgnnStepLossValue(bad, r_prev, p, s, a, 0.01, 0.5));
+}
+
+TEST(PoshgnnLossTest, ContinuityRewarded) {
+  // Recommending the previously-seen friend beats switching, all else
+  // equal.
+  const Matrix p = Matrix::ColumnVector({0.5, 0.5});
+  const Matrix s = Matrix::ColumnVector({0.8, 0.8});
+  const Matrix a(2, 2);
+  const Matrix r_prev = Matrix::ColumnVector({1.0, 0.0});
+  const Matrix keep = Matrix::ColumnVector({1.0, 0.0});
+  const Matrix swap = Matrix::ColumnVector({0.0, 1.0});
+  EXPECT_LT(PoshgnnStepLossValue(keep, r_prev, p, s, a, 0.01, 0.5),
+            PoshgnnStepLossValue(swap, r_prev, p, s, a, 0.01, 0.5));
+}
+
+TEST(PoshgnnLossTest, OcclusionPenalized) {
+  const Matrix p = Matrix::ColumnVector({0.5, 0.5, 0.5});
+  const Matrix s(3, 1);
+  const Matrix r_prev(3, 1);
+  Matrix with_edge(3, 3);
+  with_edge.At(0, 1) = with_edge.At(1, 0) = 1.0;
+  const Matrix no_edge(3, 3);
+  const Matrix r = Matrix::ColumnVector({1.0, 1.0, 0.0});
+  EXPECT_GT(
+      PoshgnnStepLossValue(r, r_prev, p, s, with_edge, 0.05, 0.5),
+      PoshgnnStepLossValue(r, r_prev, p, s, no_edge, 0.05, 0.5));
+}
+
+TEST(PoshgnnLossTest, AlphaScalesPenalty) {
+  const Matrix p(2, 1);
+  const Matrix s(2, 1);
+  const Matrix r_prev(2, 1);
+  Matrix a(2, 2);
+  a.At(0, 1) = a.At(1, 0) = 1.0;
+  const Matrix r = Matrix::ColumnVector({1.0, 1.0});
+  const double l1 = PoshgnnStepLossValue(r, r_prev, p, s, a, 0.01, 0.5);
+  const double l2 = PoshgnnStepLossValue(r, r_prev, p, s, a, 0.02, 0.5);
+  EXPECT_NEAR(l2 - l1, 0.01 * 2.0, 1e-12);
+}
+
+TEST(PoshgnnLossTest, BetaTradesOffTerms) {
+  const Matrix p = Matrix::ColumnVector({1.0});
+  const Matrix s = Matrix::ColumnVector({0.0});
+  const Matrix r = Matrix::ColumnVector({1.0});
+  const Matrix r_prev = Matrix::ColumnVector({1.0});
+  const Matrix a(1, 1);
+  // With beta = 0 the loss is -p + gamma = -1 + 1 = 0.
+  EXPECT_NEAR(PoshgnnStepLossValue(r, r_prev, p, s, a, 0.0, 0.0), 0.0,
+              1e-12);
+  // With beta = 1 the preference term vanishes; gamma = s = 0 so loss 0
+  // (presence is 0 here).
+  EXPECT_NEAR(PoshgnnStepLossValue(r, r_prev, p, s, a, 0.0, 1.0), 0.0,
+              1e-12);
+}
+
+TEST(PoshgnnLossTest, GradientFlowsToRecommendation) {
+  Rng rng(5);
+  const Matrix p = Matrix::ColumnVector({0.5, 0.7, 0.2});
+  const Matrix s = Matrix::ColumnVector({0.1, 0.3, 0.9});
+  const Matrix r_prev = Matrix::ColumnVector({1.0, 0.0, 1.0});
+  Matrix a(3, 3);
+  a.At(0, 1) = a.At(1, 0) = 1.0;
+  const Matrix point = Matrix::ColumnVector({0.4, 0.6, 0.5});
+
+  Variable r = Variable::Parameter(point);
+  Variable loss = PoshgnnStepLoss(
+      r, Variable::Constant(r_prev), Variable::Constant(p),
+      Variable::Constant(s), Variable::Constant(a), 0.01, 0.5);
+  loss.Backward();
+
+  const Matrix numeric = NumericalGradient(
+      [&](const Matrix& probe) {
+        return PoshgnnStepLossValue(probe, r_prev, p, s, a, 0.01, 0.5);
+      },
+      point);
+  EXPECT_TRUE(r.grad().AllClose(numeric, 1e-6));
+}
+
+}  // namespace
+}  // namespace after

@@ -1,0 +1,192 @@
+#include "core/mia.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/occlusion_converter.h"
+
+namespace after {
+namespace {
+
+constexpr double kBody = 0.25;
+
+/// A deterministic 4-user scene: target 0 at origin (MR); user 1 near MR;
+/// user 2 directly behind user 1 (VR, physically blocked); user 3 to the
+/// side (VR).
+struct Scene {
+  std::vector<Vec2> positions = {{0, 0}, {1.5, 0}, {3.0, 0}, {0, 2}};
+  std::vector<Interface> interfaces = {Interface::kMR, Interface::kMR,
+                                       Interface::kVR, Interface::kVR};
+  Matrix preference = Matrix(4, 4, 0.8);
+  Matrix social_presence = Matrix(4, 4, 0.5);
+  OcclusionGraph occlusion;
+  double beta = 0.5;
+
+  Scene() : occlusion(BuildOcclusionGraph(positions, 0, kBody)) {
+    for (int i = 0; i < 4; ++i) {
+      preference.At(i, i) = 0.0;
+      social_presence.At(i, i) = 0.0;
+    }
+  }
+
+  StepContext Context(int t = 0) {
+    StepContext context;
+    context.t = t;
+    context.target = 0;
+    context.positions = &positions;
+    context.occlusion = &occlusion;
+    context.interfaces = &interfaces;
+    context.preference = &preference;
+    context.social_presence = &social_presence;
+    context.beta = beta;
+    context.body_radius = kBody;
+    return context;
+  }
+};
+
+TEST(MiaTest, PhysicallyBlockedDetection) {
+  Scene scene;
+  const auto blocked = Mia::PhysicallyBlocked(scene.Context());
+  EXPECT_FALSE(blocked[0]);
+  EXPECT_FALSE(blocked[1]);  // nearest MR body, nothing in front
+  EXPECT_TRUE(blocked[2]);   // behind MR user 1
+  EXPECT_FALSE(blocked[3]);  // clear line of sight
+}
+
+TEST(MiaTest, VrTargetHasNoPhysicalBlocking) {
+  Scene scene;
+  scene.interfaces[0] = Interface::kVR;
+  const auto blocked = Mia::PhysicallyBlocked(scene.Context());
+  for (bool b : blocked) EXPECT_FALSE(b);
+}
+
+TEST(MiaTest, MaskZeroesTargetAndBlocked) {
+  Scene scene;
+  Mia mia;
+  const MiaOutput out = mia.Process(scene.Context());
+  EXPECT_DOUBLE_EQ(out.mask.At(0, 0), 0.0);  // target
+  EXPECT_DOUBLE_EQ(out.mask.At(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(out.mask.At(2, 0), 0.0);  // physically blocked
+  EXPECT_DOUBLE_EQ(out.mask.At(3, 0), 1.0);
+}
+
+TEST(MiaTest, UtilitiesNormalizedByScaledDistanceSquared) {
+  Scene scene;
+  Mia mia;
+  const MiaOutput out = mia.Process(scene.Context());
+  // distance_scale = 5 (StepContext default).
+  // User 1 at distance 1.5: p̂ = 0.8 / (1 + 0.3²).
+  EXPECT_NEAR(out.p_hat.At(1, 0), 0.8 / 1.09, 1e-12);
+  EXPECT_NEAR(out.s_hat.At(1, 0), 0.5 / 1.09, 1e-12);
+  // User 3 at distance 2: p̂ = 0.8 / (1 + 0.4²).
+  EXPECT_NEAR(out.p_hat.At(3, 0), 0.8 / 1.16, 1e-12);
+  // Blocked user 2 pruned to zero despite nonzero preference.
+  EXPECT_DOUBLE_EQ(out.p_hat.At(2, 0), 0.0);
+  EXPECT_DOUBLE_EQ(out.s_hat.At(2, 0), 0.0);
+  // Target row zero.
+  EXPECT_DOUBLE_EQ(out.p_hat.At(0, 0), 0.0);
+}
+
+TEST(MiaTest, FeatureColumnsLayout) {
+  Scene scene;
+  Mia mia;
+  const MiaOutput out = mia.Process(scene.Context());
+  ASSERT_EQ(out.features.cols(), 4);
+  // Column 2 = distance, column 3 = interface flag (MR = 1).
+  EXPECT_NEAR(out.features.At(1, 2), 1.5, 1e-12);
+  EXPECT_NEAR(out.features.At(3, 2), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(out.features.At(1, 3), 1.0);
+  EXPECT_DOUBLE_EQ(out.features.At(3, 3), 0.0);
+}
+
+TEST(MiaTest, AdjacencyMatchesOcclusionGraph) {
+  Scene scene;
+  Mia mia;
+  const MiaOutput out = mia.Process(scene.Context());
+  EXPECT_TRUE(out.adjacency.AllClose(scene.occlusion.ToAdjacencyMatrix()));
+}
+
+TEST(MiaTest, DeltaFirstStepIsBaseline) {
+  Scene scene;
+  Mia mia;
+  const MiaOutput out = mia.Process(scene.Context());
+  for (int w = 0; w < 4; ++w) {
+    EXPECT_DOUBLE_EQ(out.delta.At(w, 0), 1.0);  // e0
+    EXPECT_DOUBLE_EQ(out.delta.At(w, 1), 0.0);  // no previous step yet
+    EXPECT_DOUBLE_EQ(out.delta.At(w, 2), 0.0);
+  }
+}
+
+TEST(MiaTest, DeltaCapturesStructuralChange) {
+  Scene scene;
+  Mia mia;
+  mia.Process(scene.Context(0));
+
+  // Move user 2 sideways so the (1,2) occlusion edge disappears.
+  scene.positions[2] = Vec2(-2.0, -2.0);
+  scene.occlusion = BuildOcclusionGraph(scene.positions, 0, kBody);
+  const MiaOutput out = mia.Process(scene.Context(1));
+
+  // e1 row sums of (A_1 - A_0): users 1 and 2 each lost one edge.
+  EXPECT_DOUBLE_EQ(out.delta.At(1, 1), -1.0);
+  EXPECT_DOUBLE_EQ(out.delta.At(2, 1), -1.0);
+  EXPECT_DOUBLE_EQ(out.delta.At(3, 1), 0.0);
+}
+
+TEST(MiaTest, DeltaSecondOrderMatchesMatrixSquares) {
+  Scene scene;
+  Mia mia;
+  const Matrix a0 = scene.occlusion.ToAdjacencyMatrix();
+  mia.Process(scene.Context(0));
+  scene.positions[2] = Vec2(0.5, 1.8);
+  scene.occlusion = BuildOcclusionGraph(scene.positions, 0, kBody);
+  const Matrix a1 = scene.occlusion.ToAdjacencyMatrix();
+  const MiaOutput out = mia.Process(scene.Context(1));
+
+  const Matrix ones(4, 1, 1.0);
+  const Matrix expected =
+      (a1.MatMul(a1) - a0.MatMul(a0)).MatMul(ones);
+  for (int w = 0; w < 4; ++w)
+    EXPECT_NEAR(out.delta.At(w, 2), expected.At(w, 0), 1e-9);
+}
+
+TEST(MiaTest, BlocklistZeroesMaskAndUtilities) {
+  Scene scene;
+  std::vector<bool> blocklist = {false, true, false, false};
+  StepContext context = scene.Context();
+  context.blocklist = &blocklist;
+  Mia mia;
+  const MiaOutput out = mia.Process(context);
+  EXPECT_DOUBLE_EQ(out.mask.At(1, 0), 0.0);   // blocklisted
+  EXPECT_DOUBLE_EQ(out.p_hat.At(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(out.s_hat.At(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(out.mask.At(3, 0), 1.0);   // untouched
+  EXPECT_GT(out.p_hat.At(3, 0), 0.0);
+}
+
+TEST(MiaTest, BlocklistComposesWithPhysicalPruning) {
+  Scene scene;
+  std::vector<bool> blocklist = {false, false, false, true};
+  StepContext context = scene.Context();
+  context.blocklist = &blocklist;
+  Mia mia;
+  const MiaOutput out = mia.Process(context);
+  // User 2 pruned physically, user 3 pruned by blocklist.
+  EXPECT_DOUBLE_EQ(out.mask.At(2, 0), 0.0);
+  EXPECT_DOUBLE_EQ(out.mask.At(3, 0), 0.0);
+  EXPECT_DOUBLE_EQ(out.mask.At(1, 0), 1.0);
+}
+
+TEST(MiaTest, ResetForgetsHistory) {
+  Scene scene;
+  Mia mia;
+  mia.Process(scene.Context(0));
+  mia.Reset();
+  const MiaOutput out = mia.Process(scene.Context(1));
+  for (int w = 0; w < 4; ++w) {
+    EXPECT_DOUBLE_EQ(out.delta.At(w, 1), 0.0);
+    EXPECT_DOUBLE_EQ(out.delta.At(w, 2), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace after

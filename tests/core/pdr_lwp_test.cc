@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/lwp.h"
+#include "core/pdr.h"
+
+namespace after {
+namespace {
+
+TEST(PdrTest, OutputShapes) {
+  Rng rng(1);
+  Pdr pdr(4, 8, rng);
+  Variable x = Variable::Constant(Matrix::Randn(10, 4, 1.0, rng));
+  Variable a = Variable::Constant(Matrix(10, 10));
+  const Pdr::Output out = pdr.Forward(x, a);
+  EXPECT_EQ(out.hidden.rows(), 10);
+  EXPECT_EQ(out.hidden.cols(), 8);
+  EXPECT_EQ(out.recommendation.rows(), 10);
+  EXPECT_EQ(out.recommendation.cols(), 1);
+}
+
+TEST(PdrTest, RecommendationIsProbability) {
+  Rng rng(2);
+  Pdr pdr(4, 8, rng);
+  Variable x = Variable::Constant(Matrix::Randn(20, 4, 3.0, rng));
+  Matrix adj(20, 20);
+  adj.At(0, 1) = adj.At(1, 0) = 1.0;
+  const Pdr::Output out = pdr.Forward(x, Variable::Constant(adj));
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_GT(out.recommendation.value().At(i, 0), 0.0);
+    EXPECT_LT(out.recommendation.value().At(i, 0), 1.0);
+  }
+}
+
+TEST(PdrTest, HiddenStateNonNegative) {
+  Rng rng(3);
+  Pdr pdr(4, 8, rng);
+  Variable x = Variable::Constant(Matrix::Randn(6, 4, 1.0, rng));
+  const Pdr::Output out = pdr.Forward(x, Variable::Constant(Matrix(6, 6)));
+  for (int i = 0; i < out.hidden.value().size(); ++i)
+    EXPECT_GE(out.hidden.value()[static_cast<size_t>(i)], 0.0);  // ReLU
+}
+
+TEST(PdrTest, ParameterCount) {
+  Rng rng(4);
+  Pdr pdr(4, 8, rng);
+  // Two GCN layers x (M1, M2, bias).
+  EXPECT_EQ(pdr.Parameters().size(), 6u);
+}
+
+TEST(PdrTest, AdjacencyInfluencesOutput) {
+  Rng rng(5);
+  Pdr pdr(4, 8, rng);
+  Variable x = Variable::Constant(Matrix::Randn(6, 4, 1.0, rng));
+  Matrix adj(6, 6);
+  adj.At(0, 1) = adj.At(1, 0) = 1.0;
+  const Matrix with_edge =
+      pdr.Forward(x, Variable::Constant(adj)).recommendation.value();
+  const Matrix without =
+      pdr.Forward(x, Variable::Constant(Matrix(6, 6)))
+          .recommendation.value();
+  EXPECT_FALSE(with_edge.AllClose(without, 1e-9));
+}
+
+TEST(LwpTest, SigmaInUnitInterval) {
+  Rng rng(6);
+  const int in = 4 + 3 + 8 + 1;
+  Lwp lwp(in, 8, rng);
+  Variable x = Variable::Constant(Matrix::Randn(12, in, 2.0, rng));
+  const Matrix sigma =
+      lwp.Forward(x, Variable::Constant(Matrix(12, 12))).value();
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_GT(sigma.At(i, 0), 0.0);
+    EXPECT_LT(sigma.At(i, 0), 1.0);
+  }
+}
+
+TEST(LwpTest, ParameterCount) {
+  Rng rng(7);
+  Lwp lwp(16, 8, rng);
+  EXPECT_EQ(lwp.Parameters().size(), 9u);  // 3 GCN layers x 3 params
+}
+
+TEST(PreservationGateTest, PureGateValues) {
+  // sigma = 0 -> prototype; sigma = 1 -> previous.
+  const Matrix prototype = Matrix::ColumnVector({0.9, 0.1});
+  const Matrix previous = Matrix::ColumnVector({0.2, 0.8});
+  const Matrix mask(2, 1, 1.0);
+
+  const Matrix keep_new =
+      PreservationGate(Variable::Constant(mask),
+                       Variable::Constant(Matrix(2, 1, 0.0)),
+                       Variable::Constant(prototype),
+                       Variable::Constant(previous))
+          .value();
+  EXPECT_TRUE(keep_new.AllClose(prototype));
+
+  const Matrix keep_old =
+      PreservationGate(Variable::Constant(mask),
+                       Variable::Constant(Matrix(2, 1, 1.0)),
+                       Variable::Constant(prototype),
+                       Variable::Constant(previous))
+          .value();
+  EXPECT_TRUE(keep_old.AllClose(previous));
+}
+
+TEST(PreservationGateTest, ConvexCombination) {
+  const Matrix prototype = Matrix::ColumnVector({1.0});
+  const Matrix previous = Matrix::ColumnVector({0.0});
+  const Matrix mask(1, 1, 1.0);
+  const Matrix sigma = Matrix::ColumnVector({0.3});
+  const Matrix out =
+      PreservationGate(Variable::Constant(mask), Variable::Constant(sigma),
+                       Variable::Constant(prototype),
+                       Variable::Constant(previous))
+          .value();
+  EXPECT_NEAR(out.At(0, 0), 0.7, 1e-12);
+}
+
+TEST(PreservationGateTest, MaskZeroesOutput) {
+  const Matrix prototype = Matrix::ColumnVector({0.9, 0.9});
+  const Matrix previous = Matrix::ColumnVector({0.9, 0.9});
+  const Matrix mask = Matrix::ColumnVector({0.0, 1.0});
+  const Matrix sigma = Matrix::ColumnVector({0.5, 0.5});
+  const Matrix out =
+      PreservationGate(Variable::Constant(mask), Variable::Constant(sigma),
+                       Variable::Constant(prototype),
+                       Variable::Constant(previous))
+          .value();
+  EXPECT_DOUBLE_EQ(out.At(0, 0), 0.0);
+  EXPECT_NEAR(out.At(1, 0), 0.9, 1e-12);
+}
+
+TEST(PreservationGateTest, OutputStaysInUnitInterval) {
+  Rng rng(8);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = 5;
+    Matrix prototype(n, 1), previous(n, 1), sigma(n, 1), mask(n, 1);
+    for (int i = 0; i < n; ++i) {
+      prototype.At(i, 0) = rng.Uniform();
+      previous.At(i, 0) = rng.Uniform();
+      sigma.At(i, 0) = rng.Uniform();
+      mask.At(i, 0) = rng.Bernoulli(0.5) ? 1.0 : 0.0;
+    }
+    const Matrix out =
+        PreservationGate(Variable::Constant(mask), Variable::Constant(sigma),
+                         Variable::Constant(prototype),
+                         Variable::Constant(previous))
+            .value();
+    for (int i = 0; i < n; ++i) {
+      EXPECT_GE(out.At(i, 0), 0.0);
+      EXPECT_LE(out.At(i, 0), 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace after

@@ -1,0 +1,65 @@
+#include "core/session.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/occlusion_converter.h"
+
+namespace after {
+namespace {
+
+Dataset SmallDataset() {
+  DatasetConfig config;
+  config.num_users = 12;
+  config.num_steps = 9;
+  config.num_sessions = 2;
+  config.seed = 31;
+  return GenerateTimikLike(config);
+}
+
+TEST(SessionTest, VisitsEveryStepInOrder) {
+  const Dataset dataset = SmallDataset();
+  int expected_t = 0;
+  ForEachSessionStep(dataset, 0, 3, 0.5, [&](const StepContext& context) {
+    EXPECT_EQ(context.t, expected_t);
+    ++expected_t;
+  });
+  EXPECT_EQ(expected_t, 9);
+}
+
+TEST(SessionTest, ContextFullyPopulated) {
+  const Dataset dataset = SmallDataset();
+  ForEachSessionStep(dataset, 1, 5, 0.7, [&](const StepContext& context) {
+    EXPECT_EQ(context.target, 5);
+    EXPECT_DOUBLE_EQ(context.beta, 0.7);
+    ASSERT_NE(context.positions, nullptr);
+    ASSERT_NE(context.occlusion, nullptr);
+    ASSERT_NE(context.interfaces, nullptr);
+    ASSERT_NE(context.preference, nullptr);
+    ASSERT_NE(context.social_presence, nullptr);
+    EXPECT_EQ(static_cast<int>(context.positions->size()), 12);
+    EXPECT_EQ(context.occlusion->num_nodes(), 12);
+    EXPECT_EQ(context.preference, &dataset.preference);
+    EXPECT_DOUBLE_EQ(context.body_radius,
+                     dataset.sessions[1].body_radius());
+  });
+}
+
+TEST(SessionTest, OcclusionGraphMatchesConverter) {
+  const Dataset dataset = SmallDataset();
+  ForEachSessionStep(dataset, 0, 2, 0.5, [&](const StepContext& context) {
+    const OcclusionGraph expected = BuildOcclusionGraph(
+        *context.positions, 2, context.body_radius);
+    EXPECT_EQ(context.occlusion->num_edges(), expected.num_edges());
+  });
+}
+
+TEST(SessionTest, PositionsTrackTrajectory) {
+  const Dataset dataset = SmallDataset();
+  ForEachSessionStep(dataset, 0, 0, 0.5, [&](const StepContext& context) {
+    const auto& expected = dataset.sessions[0].PositionsAt(context.t);
+    EXPECT_EQ(context.positions, &expected);
+  });
+}
+
+}  // namespace
+}  // namespace after

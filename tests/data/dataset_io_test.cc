@@ -1,0 +1,109 @@
+#include "data/dataset_io.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+namespace after {
+namespace {
+
+class DatasetIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("after_io_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+Dataset MakeDataset() {
+  DatasetConfig config;
+  config.num_users = 12;
+  config.num_steps = 7;
+  config.num_sessions = 2;
+  config.room_side = 6.0;
+  config.seed = 81;
+  return GenerateTimikLike(config);
+}
+
+TEST_F(DatasetIoTest, RoundTripPreservesEverything) {
+  const Dataset original = MakeDataset();
+  ASSERT_TRUE(SaveDataset(original, dir_.string()));
+
+  Dataset loaded;
+  ASSERT_TRUE(LoadDataset(dir_.string(), &loaded));
+
+  EXPECT_EQ(loaded.name, original.name);
+  EXPECT_EQ(loaded.num_users(), original.num_users());
+  EXPECT_TRUE(loaded.preference.AllClose(original.preference));
+  EXPECT_TRUE(loaded.social_presence.AllClose(original.social_presence));
+  EXPECT_EQ(loaded.social.num_edges(), original.social.num_edges());
+  for (int u = 0; u < original.num_users(); ++u)
+    for (int v = 0; v < original.num_users(); ++v)
+      EXPECT_DOUBLE_EQ(loaded.social.EdgeWeight(u, v),
+                       original.social.EdgeWeight(u, v));
+
+  ASSERT_EQ(loaded.sessions.size(), original.sessions.size());
+  for (size_t s = 0; s < original.sessions.size(); ++s) {
+    const XrWorld& a = original.sessions[s];
+    const XrWorld& b = loaded.sessions[s];
+    ASSERT_EQ(b.num_users(), a.num_users());
+    ASSERT_EQ(b.num_steps(), a.num_steps());
+    EXPECT_DOUBLE_EQ(b.body_radius(), a.body_radius());
+    for (int u = 0; u < a.num_users(); ++u)
+      EXPECT_EQ(b.interface_of(u), a.interface_of(u));
+    for (int t = 0; t < a.num_steps(); ++t)
+      for (int u = 0; u < a.num_users(); ++u) {
+        EXPECT_DOUBLE_EQ(b.PositionsAt(t)[u].x, a.PositionsAt(t)[u].x);
+        EXPECT_DOUBLE_EQ(b.PositionsAt(t)[u].y, a.PositionsAt(t)[u].y);
+      }
+  }
+}
+
+TEST_F(DatasetIoTest, LoadMissingDirectoryFails) {
+  Dataset dataset;
+  EXPECT_FALSE(LoadDataset((dir_ / "nope").string(), &dataset));
+}
+
+TEST_F(DatasetIoTest, LoadCorruptMetaFails) {
+  const Dataset original = MakeDataset();
+  ASSERT_TRUE(SaveDataset(original, dir_.string()));
+  std::FILE* f = std::fopen((dir_ / "meta.txt").string().c_str(), "w");
+  std::fputs("garbage", f);
+  std::fclose(f);
+  Dataset dataset;
+  EXPECT_FALSE(LoadDataset(dir_.string(), &dataset));
+}
+
+TEST_F(DatasetIoTest, LoadTruncatedMatrixFails) {
+  const Dataset original = MakeDataset();
+  ASSERT_TRUE(SaveDataset(original, dir_.string()));
+  std::FILE* f = std::fopen((dir_ / "preference.txt").string().c_str(), "w");
+  std::fputs("12 12\n0.5 0.5\n", f);  // far too few entries
+  std::fclose(f);
+  Dataset dataset;
+  EXPECT_FALSE(LoadDataset(dir_.string(), &dataset));
+}
+
+TEST_F(DatasetIoTest, XrWorldFromRecordedRoundTrip) {
+  std::vector<Interface> interfaces = {Interface::kMR, Interface::kVR};
+  std::vector<std::vector<Vec2>> trajectory = {
+      {{0, 0}, {1, 1}},
+      {{0.5, 0}, {1, 1.5}},
+  };
+  const XrWorld world =
+      XrWorld::FromRecorded(interfaces, trajectory, 0.3);
+  EXPECT_EQ(world.num_users(), 2);
+  EXPECT_EQ(world.num_steps(), 2);
+  EXPECT_EQ(world.interface_of(0), Interface::kMR);
+  EXPECT_DOUBLE_EQ(world.PositionsAt(1)[0].x, 0.5);
+  EXPECT_DOUBLE_EQ(world.body_radius(), 0.3);
+}
+
+}  // namespace
+}  // namespace after

@@ -1,0 +1,215 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/preference_model.h"
+#include "graph/generators.h"
+
+namespace after {
+namespace {
+
+DatasetConfig SmallConfig() {
+  DatasetConfig config;
+  config.num_users = 40;
+  config.num_steps = 20;
+  config.num_sessions = 2;
+  config.room_side = 8.0;
+  config.seed = 3;
+  return config;
+}
+
+void CheckDatasetInvariants(const Dataset& dataset, int n, int steps,
+                            int sessions) {
+  EXPECT_EQ(dataset.num_users(), n);
+  EXPECT_EQ(static_cast<int>(dataset.sessions.size()), sessions);
+  for (const auto& world : dataset.sessions) {
+    EXPECT_EQ(world.num_users(), n);
+    EXPECT_EQ(world.num_steps(), steps);
+  }
+  EXPECT_EQ(dataset.preference.rows(), n);
+  EXPECT_EQ(dataset.preference.cols(), n);
+  EXPECT_EQ(dataset.social_presence.rows(), n);
+  EXPECT_EQ(dataset.social_presence.cols(), n);
+  for (int v = 0; v < n; ++v) {
+    EXPECT_DOUBLE_EQ(dataset.preference.At(v, v), 0.0);
+    EXPECT_DOUBLE_EQ(dataset.social_presence.At(v, v), 0.0);
+    for (int w = 0; w < n; ++w) {
+      EXPECT_GE(dataset.preference.At(v, w), 0.0);
+      EXPECT_LE(dataset.preference.At(v, w), 1.0);
+      EXPECT_GE(dataset.social_presence.At(v, w), 0.0);
+      EXPECT_LE(dataset.social_presence.At(v, w), 1.0);
+    }
+  }
+}
+
+TEST(DatasetTest, TimikLikeInvariants) {
+  const Dataset d = GenerateTimikLike(SmallConfig());
+  EXPECT_EQ(d.name, "timik");
+  CheckDatasetInvariants(d, 40, 20, 2);
+}
+
+TEST(DatasetTest, SmmLikeInvariants) {
+  const Dataset d = GenerateSmmLike(SmallConfig());
+  EXPECT_EQ(d.name, "smm");
+  CheckDatasetInvariants(d, 40, 20, 2);
+}
+
+TEST(DatasetTest, HubsLikeInvariants) {
+  const Dataset d = GenerateHubsLike(SmallConfig());
+  EXPECT_EQ(d.name, "hub");
+  CheckDatasetInvariants(d, 40, 20, 2);
+}
+
+TEST(DatasetTest, HubsDefaultConfigIsSmall) {
+  const DatasetConfig config = HubsDefaultConfig();
+  EXPECT_LE(config.num_users, 50);
+  EXPECT_LT(config.room_side, 10.0);
+}
+
+TEST(DatasetTest, FriendsHaveHigherPresenceThanStrangers) {
+  const Dataset d = GenerateTimikLike(SmallConfig());
+  double friend_total = 0.0;
+  int friend_count = 0;
+  double stranger_total = 0.0;
+  int stranger_count = 0;
+  for (int v = 0; v < d.num_users(); ++v) {
+    for (int w = 0; w < d.num_users(); ++w) {
+      if (v == w) continue;
+      if (d.social.HasEdge(v, w)) {
+        friend_total += d.social_presence.At(v, w);
+        ++friend_count;
+      } else {
+        stranger_total += d.social_presence.At(v, w);
+        ++stranger_count;
+      }
+    }
+  }
+  ASSERT_GT(friend_count, 0);
+  ASSERT_GT(stranger_count, 0);
+  EXPECT_GT(friend_total / friend_count, 2.0 * stranger_total / stranger_count);
+}
+
+TEST(DatasetTest, DeterministicForSeed) {
+  const Dataset a = GenerateSmmLike(SmallConfig());
+  const Dataset b = GenerateSmmLike(SmallConfig());
+  EXPECT_TRUE(a.preference.AllClose(b.preference));
+  EXPECT_TRUE(a.social_presence.AllClose(b.social_presence));
+  EXPECT_EQ(a.social.num_edges(), b.social.num_edges());
+}
+
+TEST(DatasetTest, DifferentSeedsDiffer) {
+  DatasetConfig config_a = SmallConfig();
+  DatasetConfig config_b = SmallConfig();
+  config_b.seed = 999;
+  const Dataset a = GenerateTimikLike(config_a);
+  const Dataset b = GenerateTimikLike(config_b);
+  EXPECT_FALSE(a.preference.AllClose(b.preference, 1e-6));
+}
+
+TEST(DatasetTest, SessionsAreDistinctRollouts) {
+  const Dataset d = GenerateTimikLike(SmallConfig());
+  ASSERT_EQ(d.sessions.size(), 2u);
+  double diff = 0.0;
+  for (int u = 0; u < d.num_users(); ++u)
+    diff += Distance(d.sessions[0].PositionsAt(0)[u],
+                     d.sessions[1].PositionsAt(0)[u]);
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(DatasetTest, VrFractionPropagates) {
+  DatasetConfig config = SmallConfig();
+  config.vr_fraction = 0.25;
+  const Dataset d = GenerateSmmLike(config);
+  int vr = 0;
+  for (int u = 0; u < d.num_users(); ++u)
+    if (d.sessions[0].interface_of(u) == Interface::kVR) ++vr;
+  EXPECT_EQ(vr, 10);
+}
+
+TEST(PreferenceModelTest, OutputsInUnitInterval) {
+  Rng rng(5);
+  PreferenceModelOptions options;
+  options.latent_dim = 6;
+  const PreferenceModel model = BuildPreferenceModel(30, options, rng);
+  EXPECT_EQ(model.factors.rows(), 30);
+  EXPECT_EQ(model.factors.cols(), 6);
+  for (int v = 0; v < 30; ++v)
+    for (int w = 0; w < 30; ++w) {
+      EXPECT_GE(model.preference.At(v, w), 0.0);
+      EXPECT_LE(model.preference.At(v, w), 1.0);
+    }
+}
+
+TEST(PreferenceModelTest, CelebritiesAreBroadlyAttractive) {
+  Rng rng(7);
+  PreferenceModelOptions options;
+  options.celebrity_fraction = 0.1;
+  options.celebrity_boost = 3.0;
+  const PreferenceModel model = BuildPreferenceModel(50, options, rng);
+  // Column means: the boosted users must include the global maxima.
+  std::vector<double> column_mean(50, 0.0);
+  for (int w = 0; w < 50; ++w) {
+    for (int v = 0; v < 50; ++v)
+      if (v != w) column_mean[w] += model.preference.At(v, w);
+    column_mean[w] /= 49.0;
+  }
+  std::sort(column_mean.begin(), column_mean.end());
+  // Top 5 (celebrities) clearly separated from the median user.
+  EXPECT_GT(column_mean[49], column_mean[25] + 0.2);
+}
+
+TEST(PreferenceModelTest, CommunityBoostRaisesWithinPreference) {
+  Rng rng(9);
+  std::vector<int> community(40);
+  for (int i = 0; i < 40; ++i) community[i] = i % 4;
+  PreferenceModelOptions options;
+  options.community = &community;
+  options.community_boost = 2.0;
+  const PreferenceModel model = BuildPreferenceModel(40, options, rng);
+  double within = 0.0, across = 0.0;
+  int within_count = 0, across_count = 0;
+  for (int v = 0; v < 40; ++v)
+    for (int w = 0; w < 40; ++w) {
+      if (v == w) continue;
+      if (community[v] == community[w]) {
+        within += model.preference.At(v, w);
+        ++within_count;
+      } else {
+        across += model.preference.At(v, w);
+        ++across_count;
+      }
+    }
+  EXPECT_GT(within / within_count, across / across_count + 0.15);
+}
+
+TEST(PreferenceModelTest, IdiosyncraticNoiseDecorrelatesRows) {
+  Rng rng_a(11), rng_b(11);
+  PreferenceModelOptions smooth;
+  smooth.factor_weight = 1.0;
+  PreferenceModelOptions noisy = smooth;
+  noisy.idiosyncratic_stddev = 2.0;
+  const PreferenceModel a = BuildPreferenceModel(30, smooth, rng_a);
+  const PreferenceModel b = BuildPreferenceModel(30, noisy, rng_b);
+  // With heavy idiosyncratic noise the preference matrix must differ
+  // substantially from the smooth factor-only version.
+  EXPECT_FALSE(a.preference.AllClose(b.preference, 0.05));
+}
+
+TEST(PreferenceModelTest, SocialPresenceFriendsOnlyScaling) {
+  Rng rng(13);
+  SocialGraph g(5);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(2, 3, 0.5);
+  const Matrix s = SocialPresenceFromGraph(g, 0.8, 1.0, 0.0, rng);
+  EXPECT_GE(s.At(0, 1), 0.8);
+  EXPECT_LE(s.At(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(s.At(0, 1), s.At(1, 0));
+  // Tie strength 0.5 halves the base.
+  EXPECT_LE(s.At(2, 3), 0.5);
+  EXPECT_DOUBLE_EQ(s.At(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(s.At(4, 4), 0.0);
+}
+
+}  // namespace
+}  // namespace after

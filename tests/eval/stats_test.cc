@@ -1,0 +1,155 @@
+#include "eval/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace after {
+namespace {
+
+TEST(StatsTest, MeanAndVariance) {
+  const std::vector<double> values = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(values), 5.0);
+  EXPECT_NEAR(Variance(values), 4.571428571, 1e-8);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({1.0}), 0.0);
+}
+
+TEST(StatsTest, IncompleteBetaKnownValues) {
+  // I_x(1, 1) = x (uniform CDF).
+  EXPECT_NEAR(RegularizedIncompleteBeta(1.0, 1.0, 0.3), 0.3, 1e-10);
+  EXPECT_NEAR(RegularizedIncompleteBeta(1.0, 1.0, 0.85), 0.85, 1e-10);
+  // I_x(2, 1) = x^2.
+  EXPECT_NEAR(RegularizedIncompleteBeta(2.0, 1.0, 0.5), 0.25, 1e-10);
+  // I_x(1, 2) = 1 - (1-x)^2.
+  EXPECT_NEAR(RegularizedIncompleteBeta(1.0, 2.0, 0.5), 0.75, 1e-10);
+  // Boundaries.
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(3.0, 4.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(3.0, 4.0, 1.0), 1.0);
+  // Symmetry: I_x(a, b) = 1 - I_{1-x}(b, a).
+  EXPECT_NEAR(RegularizedIncompleteBeta(2.5, 3.5, 0.4),
+              1.0 - RegularizedIncompleteBeta(3.5, 2.5, 0.6), 1e-10);
+}
+
+TEST(StatsTest, StudentTCdfKnownValues) {
+  // t = 0 -> 0.5 for any df.
+  EXPECT_NEAR(StudentTCdf(0.0, 5.0), 0.5, 1e-12);
+  // df = 1 (Cauchy): CDF(1) = 0.75.
+  EXPECT_NEAR(StudentTCdf(1.0, 1.0), 0.75, 1e-9);
+  // Large df approximates the normal: CDF(1.96, 1e6) ~ 0.975.
+  EXPECT_NEAR(StudentTCdf(1.96, 1e6), 0.975, 1e-3);
+  // Symmetry.
+  EXPECT_NEAR(StudentTCdf(-1.5, 7.0), 1.0 - StudentTCdf(1.5, 7.0), 1e-12);
+}
+
+TEST(StatsTest, WelchTTestIdenticalSamples) {
+  const std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  const TTestResult r = WelchTTest(a, a);
+  EXPECT_NEAR(r.t_statistic, 0.0, 1e-12);
+  EXPECT_NEAR(r.p_value, 1.0, 1e-9);
+}
+
+TEST(StatsTest, WelchTTestSeparatedSamples) {
+  std::vector<double> a, b;
+  Rng rng(3);
+  for (int i = 0; i < 30; ++i) {
+    a.push_back(rng.Normal(0.0, 1.0));
+    b.push_back(rng.Normal(3.0, 1.0));
+  }
+  const TTestResult r = WelchTTest(a, b);
+  EXPECT_LT(r.p_value, 1e-6);
+  EXPECT_LT(r.t_statistic, 0.0);  // mean(a) < mean(b)
+}
+
+TEST(StatsTest, WelchTTestMatchesReference) {
+  // Hand-computed: a = [1..5]: mean 3, var/n = 0.5; b = [2,3,4,5,7]:
+  // mean 4.2, var/n = 0.74. t = -1.2 / sqrt(1.24) = -1.07763;
+  // Welch-Satterthwaite df = 1.24^2 / (0.5^2/4 + 0.74^2/4) = 7.711.
+  const std::vector<double> a = {1, 2, 3, 4, 5};
+  const std::vector<double> b = {2, 3, 4, 5, 7};
+  const TTestResult r = WelchTTest(a, b);
+  EXPECT_NEAR(r.t_statistic, -1.07763, 1e-4);
+  EXPECT_NEAR(r.degrees_of_freedom, 7.711, 1e-2);
+  EXPECT_NEAR(r.p_value, 0.3138, 2e-3);
+}
+
+TEST(StatsTest, PairedTTestDetectsConsistentShift) {
+  std::vector<double> a, b;
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    const double base = rng.Normal(0.0, 5.0);  // large subject variance
+    a.push_back(base + 1.0);                   // consistent +1 shift
+    b.push_back(base);
+  }
+  // Welch would drown in subject variance; paired must detect it.
+  EXPECT_LT(PairedTTest(a, b).p_value, 1e-6);
+  EXPECT_GT(WelchTTest(a, b).p_value, 0.05);
+}
+
+TEST(StatsTest, PairedTTestIdentical) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  EXPECT_NEAR(PairedTTest(a, a).p_value, 1.0, 1e-9);
+}
+
+TEST(StatsTest, PearsonPerfectCorrelation) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  const std::vector<double> neg = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(x, neg), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonKnownValue) {
+  // Hand-computed: sxy = 5.5, sxx = 5, syy = 8.75 ->
+  // r = 5.5 / sqrt(43.75) = 0.8315218...
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {1, 3, 2, 5};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 5.5 / std::sqrt(43.75), 1e-12);
+}
+
+TEST(StatsTest, PearsonConstantInputIsZero) {
+  const std::vector<double> x = {1, 1, 1, 1};
+  const std::vector<double> y = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(x, y), 0.0);
+}
+
+TEST(StatsTest, SpearmanMonotoneNonlinearIsOne) {
+  // Spearman sees through monotone nonlinearity, Pearson does not.
+  std::vector<double> x, y;
+  for (int i = 1; i <= 20; ++i) {
+    x.push_back(i);
+    y.push_back(std::exp(0.5 * i));
+  }
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 1.0, 1e-12);
+  EXPECT_LT(PearsonCorrelation(x, y), 0.95);
+}
+
+TEST(StatsTest, SpearmanHandlesTies) {
+  // Ranks of x with the tie averaged: (1, 2.5, 2.5, 4); Pearson of the
+  // rank vectors is 4.5 / sqrt(22.5) = 0.9486832...
+  const std::vector<double> x = {1, 2, 2, 3};
+  const std::vector<double> y = {1, 2, 3, 4};
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 4.5 / std::sqrt(22.5), 1e-12);
+}
+
+TEST(StatsTest, SpearmanAntitone) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {9, 7, 5, 3, 1};
+  EXPECT_NEAR(SpearmanCorrelation(x, y), -1.0, 1e-12);
+}
+
+TEST(StatsTest, UncorrelatedNoiseNearZero) {
+  Rng rng(11);
+  std::vector<double> x, y;
+  for (int i = 0; i < 3000; ++i) {
+    x.push_back(rng.Normal());
+    y.push_back(rng.Normal());
+  }
+  EXPECT_NEAR(PearsonCorrelation(x, y), 0.0, 0.05);
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 0.0, 0.05);
+}
+
+}  // namespace
+}  // namespace after

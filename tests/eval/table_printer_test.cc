@@ -1,0 +1,64 @@
+#include "eval/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace after {
+namespace {
+
+EvalResult MakeResult(const std::string& method, double after, double occ,
+                      double ms) {
+  EvalResult r;
+  r.method = method;
+  r.after_utility = after;
+  r.preference_utility = after * 0.9;
+  r.social_presence_utility = after * 1.1;
+  r.view_occlusion_rate = occ;
+  r.running_time_ms = ms;
+  return r;
+}
+
+TEST(TablePrinterTest, RendersTitleAndMethods) {
+  TablePrinter table("My Table");
+  table.AddResult(MakeResult("POSHGNN", 100.0, 0.4, 5.0));
+  table.AddResult(MakeResult("Random", 50.0, 0.8, 0.01));
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("My Table"), std::string::npos);
+  EXPECT_NE(out.find("POSHGNN"), std::string::npos);
+  EXPECT_NE(out.find("Random"), std::string::npos);
+  EXPECT_NE(out.find("AFTER Utility"), std::string::npos);
+  EXPECT_NE(out.find("View Occlusion"), std::string::npos);
+  EXPECT_NE(out.find("Running Time"), std::string::npos);
+}
+
+TEST(TablePrinterTest, MarksBestPerRow) {
+  TablePrinter table("T");
+  table.AddResult(MakeResult("A", 100.0, 0.4, 5.0));
+  table.AddResult(MakeResult("B", 50.0, 0.2, 1.0));
+  const std::string out = table.Render();
+  // Higher-is-better AFTER utility: A's 100.0 starred.
+  EXPECT_NE(out.find("100.0*"), std::string::npos);
+  // Lower-is-better occlusion: B's 20.0% starred.
+  EXPECT_NE(out.find("20.0*"), std::string::npos);
+  // Lower-is-better runtime: B's 1.000 starred.
+  EXPECT_NE(out.find("1.000*"), std::string::npos);
+}
+
+TEST(TablePrinterTest, EmptyTableJustTitle) {
+  TablePrinter table("Empty");
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("Empty"), std::string::npos);
+}
+
+TEST(GenericTableTest, RendersCells) {
+  const std::string out = RenderGenericTable(
+      "G", {"row1", "row2"}, {"c1", "c2"},
+      {{1.5, 2.5}, {3.25, 4.0}}, 2);
+  EXPECT_NE(out.find("G"), std::string::npos);
+  EXPECT_NE(out.find("row1"), std::string::npos);
+  EXPECT_NE(out.find("c2"), std::string::npos);
+  EXPECT_NE(out.find("1.50"), std::string::npos);
+  EXPECT_NE(out.find("3.25"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace after

@@ -1,0 +1,157 @@
+#include "graph/arc_mwis.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/occlusion_converter.h"
+
+namespace after {
+namespace {
+
+TEST(IntervalMwisTest, EmptyInput) {
+  const MwisResult r = IntervalMwis({}, {}, {});
+  EXPECT_DOUBLE_EQ(r.weight, 0.0);
+}
+
+TEST(IntervalMwisTest, SingleInterval) {
+  const MwisResult r = IntervalMwis({1.0}, {2.0}, {3.0});
+  EXPECT_DOUBLE_EQ(r.weight, 3.0);
+  EXPECT_TRUE(r.selected[0]);
+}
+
+TEST(IntervalMwisTest, TouchingIntervalsConflict) {
+  // [0,1] and [1,2] touch -> only one can be chosen.
+  const MwisResult r = IntervalMwis({0.0, 1.0}, {1.0, 2.0}, {2.0, 3.0});
+  EXPECT_DOUBLE_EQ(r.weight, 3.0);
+  EXPECT_FALSE(r.selected[0]);
+  EXPECT_TRUE(r.selected[1]);
+}
+
+TEST(IntervalMwisTest, DisjointAllSelected) {
+  const MwisResult r =
+      IntervalMwis({0.0, 2.0, 4.0}, {1.0, 3.0, 5.0}, {1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(r.weight, 3.0);
+}
+
+TEST(IntervalMwisTest, ClassicSchedulingInstance) {
+  // Overlapping chain where skipping the middle wins.
+  const MwisResult r = IntervalMwis({0.0, 0.5, 2.0}, {1.0, 3.0, 4.0},
+                                    {2.0, 3.0, 2.0});
+  // {0, 2} = 4 beats {1} = 3.
+  EXPECT_DOUBLE_EQ(r.weight, 4.0);
+  EXPECT_TRUE(r.selected[0]);
+  EXPECT_FALSE(r.selected[1]);
+  EXPECT_TRUE(r.selected[2]);
+}
+
+TEST(IntervalMwisTest, NonPositiveWeightsIgnored) {
+  const MwisResult r = IntervalMwis({0.0, 5.0}, {1.0, 6.0}, {-1.0, 0.0});
+  EXPECT_DOUBLE_EQ(r.weight, 0.0);
+  EXPECT_FALSE(r.selected[0]);
+  EXPECT_FALSE(r.selected[1]);
+}
+
+ViewArc MakeArc(double center, double half_width, double distance = 1.0) {
+  ViewArc arc;
+  arc.center = center;
+  arc.half_width = half_width;
+  arc.distance = distance;
+  arc.valid = true;
+  return arc;
+}
+
+TEST(CircularArcMwisTest, InvalidArcsNeverSelected) {
+  std::vector<ViewArc> arcs(2);
+  arcs[0] = MakeArc(0.0, 0.3);  // arcs[1] stays invalid (the target)
+  const MwisResult r = CircularArcMwis(arcs, {1.0, 100.0});
+  EXPECT_TRUE(r.selected[0]);
+  EXPECT_FALSE(r.selected[1]);
+  EXPECT_DOUBLE_EQ(r.weight, 1.0);
+}
+
+TEST(CircularArcMwisTest, FullCircleArcIsSingleton) {
+  std::vector<ViewArc> arcs = {MakeArc(0.0, M_PI), MakeArc(1.0, 0.2),
+                               MakeArc(-2.0, 0.2)};
+  // The two small arcs together (1.5) beat the full-circle arc (1.2).
+  const MwisResult r = CircularArcMwis(arcs, {1.2, 0.7, 0.8});
+  EXPECT_FALSE(r.selected[0]);
+  EXPECT_TRUE(r.selected[1]);
+  EXPECT_TRUE(r.selected[2]);
+  // ...but a heavy full-circle arc wins alone.
+  const MwisResult r2 = CircularArcMwis(arcs, {2.0, 0.7, 0.8});
+  EXPECT_TRUE(r2.selected[0]);
+  EXPECT_FALSE(r2.selected[1]);
+  EXPECT_DOUBLE_EQ(r2.weight, 2.0);
+}
+
+TEST(CircularArcMwisTest, WrapAroundArcsHandled) {
+  // Three arcs around the -pi/+pi seam plus one opposite.
+  std::vector<ViewArc> arcs = {MakeArc(M_PI - 0.05, 0.2),
+                               MakeArc(-M_PI + 0.05, 0.2),
+                               MakeArc(0.0, 0.2)};
+  // Arcs 0 and 1 overlap across the seam; arc 2 is free.
+  const MwisResult r = CircularArcMwis(arcs, {1.0, 1.5, 1.0});
+  EXPECT_DOUBLE_EQ(r.weight, 2.5);
+  EXPECT_FALSE(r.selected[0]);
+  EXPECT_TRUE(r.selected[1]);
+  EXPECT_TRUE(r.selected[2]);
+}
+
+/// Property: on random XR scenes the polynomial circular-arc solver must
+/// agree with the exponential branch-and-bound on the converted
+/// occlusion graph.
+class CircularArcAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CircularArcAgreementTest, MatchesExactBranchAndBound) {
+  const int num_users = GetParam();
+  Rng rng(1000 + num_users);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<Vec2> positions;
+    for (int i = 0; i < num_users; ++i)
+      positions.emplace_back(rng.Uniform(0, 6), rng.Uniform(0, 6));
+    const int target = 0;
+    const auto arcs = ComputeViewArcs(positions, target, 0.25);
+    const OcclusionGraph graph =
+        BuildOcclusionGraph(positions, target, 0.25);
+
+    std::vector<double> weights(num_users);
+    for (int i = 0; i < num_users; ++i) weights[i] = rng.Uniform(0.0, 1.0);
+    weights[target] = 0.0;
+
+    const MwisResult exact = ExactMwis(graph, weights);
+    const MwisResult arc = CircularArcMwis(arcs, weights);
+    EXPECT_EQ(graph.CountConflicts(arc.selected), 0)
+        << "trial " << trial;
+    EXPECT_NEAR(arc.weight, exact.weight, 1e-9)
+        << "n=" << num_users << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SceneSizes, CircularArcAgreementTest,
+                         ::testing::Values(6, 9, 12, 15));
+
+TEST(CircularArcMwisTest, LargeSceneDominatesHeuristics) {
+  Rng rng(77);
+  std::vector<Vec2> positions;
+  for (int i = 0; i < 120; ++i)
+    positions.emplace_back(rng.Uniform(0, 10), rng.Uniform(0, 10));
+  const auto arcs = ComputeViewArcs(positions, 0, 0.25);
+  const OcclusionGraph graph = BuildOcclusionGraph(positions, 0, 0.25);
+  std::vector<double> weights(120);
+  for (auto& w : weights) w = rng.Uniform(0.0, 1.0);
+  weights[0] = 0.0;
+
+  const MwisResult oracle = CircularArcMwis(arcs, weights);
+  EXPECT_EQ(graph.CountConflicts(oracle.selected), 0);
+
+  const MwisResult greedy = GreedyMwis(graph, weights);
+  Rng search_rng(5);
+  const MwisResult local = LocalSearchMwis(graph, weights, 300, search_rng);
+  EXPECT_GE(oracle.weight, greedy.weight - 1e-9);
+  EXPECT_GE(oracle.weight, local.weight - 1e-9);
+}
+
+}  // namespace
+}  // namespace after

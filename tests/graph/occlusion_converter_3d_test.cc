@@ -1,0 +1,112 @@
+#include "graph/occlusion_converter_3d.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/occlusion_converter.h"
+
+namespace after {
+namespace {
+
+constexpr double kBody = 0.25;
+
+TEST(ViewCapTest, BasicGeometry) {
+  const ViewCap cap =
+      ComputeViewCap(Vec3(0, 0, 0), Vec3(2, 0, 0), kBody);
+  EXPECT_TRUE(cap.valid);
+  EXPECT_NEAR(cap.direction.x, 1.0, 1e-12);
+  EXPECT_NEAR(cap.direction.y, 0.0, 1e-12);
+  EXPECT_NEAR(cap.angular_radius, std::asin(kBody / 2.0), 1e-12);
+  EXPECT_NEAR(cap.distance, 2.0, 1e-12);
+}
+
+TEST(ViewCapTest, EnclosingBodyCoversSphere) {
+  const ViewCap cap =
+      ComputeViewCap(Vec3(0, 0, 0), Vec3(0.1, 0, 0), kBody);
+  EXPECT_NEAR(cap.angular_radius, M_PI, 1e-12);
+}
+
+TEST(CapsOverlapTest, AlignedAndOpposed) {
+  const ViewCap a = ComputeViewCap(Vec3(0, 0, 0), Vec3(2, 0, 0), kBody);
+  const ViewCap b =
+      ComputeViewCap(Vec3(0, 0, 0), Vec3(4, 0.1, 0), kBody);
+  const ViewCap c = ComputeViewCap(Vec3(0, 0, 0), Vec3(-2, 0, 0), kBody);
+  EXPECT_TRUE(CapsOverlap(a, b));
+  EXPECT_FALSE(CapsOverlap(a, c));
+}
+
+TEST(CapsOverlapTest, VerticalSeparationMatters) {
+  // Two users at the same bearing but different heights: in 2D they
+  // would occlude; in 3D the higher one clears the lower.
+  const Vec3 target(0, 0, 0);
+  const ViewCap low = ComputeViewCap(target, Vec3(2, 0, 0), kBody);
+  const ViewCap high = ComputeViewCap(target, Vec3(2, 0, 2.5), kBody);
+  EXPECT_FALSE(CapsOverlap(low, high));
+  const ViewCap slightly_high =
+      ComputeViewCap(target, Vec3(2, 0, 0.2), kBody);
+  EXPECT_TRUE(CapsOverlap(low, slightly_high));
+}
+
+TEST(BuildOcclusionGraph3dTest, TargetIsolatedAndCollinearBlocked) {
+  const std::vector<Vec3> positions = {
+      {0, 0, 0}, {2, 0, 0}, {4, 0, 0}, {0, 3, 1}};
+  const OcclusionGraph g = BuildOcclusionGraph3d(positions, 0, kBody);
+  EXPECT_EQ(g.Degree(0), 0);
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_FALSE(g.HasEdge(1, 3));
+}
+
+TEST(BuildOcclusionGraph3dTest, ReducesToFlatConverterInPlane) {
+  // For z = 0 scenes, the 3D cap graph must equal the 2D arc graph.
+  Rng rng(5);
+  for (int trial = 0; trial < 15; ++trial) {
+    std::vector<Vec2> flat;
+    std::vector<Vec3> spatial;
+    for (int i = 0; i < 10; ++i) {
+      const double x = rng.Uniform(0, 8);
+      const double y = rng.Uniform(0, 8);
+      flat.emplace_back(x, y);
+      spatial.emplace_back(x, y, 0.0);
+    }
+    const OcclusionGraph g2 = BuildOcclusionGraph(flat, 0, kBody);
+    const OcclusionGraph g3 = BuildOcclusionGraph3d(spatial, 0, kBody);
+    for (int i = 0; i < 10; ++i)
+      for (int j = i + 1; j < 10; ++j)
+        EXPECT_EQ(g2.HasEdge(i, j), g3.HasEdge(i, j))
+            << "trial " << trial << " pair " << i << "," << j;
+  }
+}
+
+TEST(ComputeVisibility3dTest, DepthOrderedBlocking) {
+  const std::vector<Vec3> positions = {
+      {0, 0, 0}, {2, 0, 0}, {4, 0, 0}, {4, 0, 3}};
+  std::vector<bool> rendered = {false, true, true, true};
+  const auto visible = ComputeVisibility3d(positions, 0, kBody, rendered);
+  EXPECT_TRUE(visible[1]);
+  EXPECT_FALSE(visible[2]);  // behind user 1
+  EXPECT_TRUE(visible[3]);   // elevated, clear
+}
+
+TEST(ComputeVisibility3dTest, MatchesFlatVisibilityInPlane) {
+  Rng rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Vec2> flat;
+    std::vector<Vec3> spatial;
+    std::vector<bool> rendered;
+    for (int i = 0; i < 12; ++i) {
+      const double x = rng.Uniform(0, 8);
+      const double y = rng.Uniform(0, 8);
+      flat.emplace_back(x, y);
+      spatial.emplace_back(x, y, 0.0);
+      rendered.push_back(i != 0 && rng.Bernoulli(0.6));
+    }
+    const auto v2 = ComputeVisibility(flat, 0, kBody, rendered);
+    const auto v3 = ComputeVisibility3d(spatial, 0, kBody, rendered);
+    EXPECT_EQ(v2, v3) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace after

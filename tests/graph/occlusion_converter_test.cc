@@ -1,0 +1,184 @@
+#include "graph/occlusion_converter.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace after {
+namespace {
+
+constexpr double kBody = 0.25;
+
+TEST(ViewArcTest, BasicGeometry) {
+  const ViewArc arc = ComputeViewArc(Vec2(0, 0), Vec2(2, 0), kBody);
+  EXPECT_TRUE(arc.valid);
+  EXPECT_NEAR(arc.center, 0.0, 1e-12);
+  EXPECT_NEAR(arc.half_width, std::asin(kBody / 2.0), 1e-12);
+  EXPECT_NEAR(arc.distance, 2.0, 1e-12);
+}
+
+TEST(ViewArcTest, AngleFollowsPosition) {
+  const ViewArc up = ComputeViewArc(Vec2(0, 0), Vec2(0, 3), kBody);
+  EXPECT_NEAR(up.center, M_PI / 2.0, 1e-12);
+  const ViewArc left = ComputeViewArc(Vec2(0, 0), Vec2(-3, 0), kBody);
+  EXPECT_NEAR(std::abs(left.center), M_PI, 1e-12);
+}
+
+TEST(ViewArcTest, CloserUsersOccupyWiderArcs) {
+  const ViewArc near = ComputeViewArc(Vec2(0, 0), Vec2(1, 0), kBody);
+  const ViewArc far = ComputeViewArc(Vec2(0, 0), Vec2(5, 0), kBody);
+  EXPECT_GT(near.half_width, far.half_width);
+}
+
+TEST(ViewArcTest, OverlappingBodyCoversFullCircle) {
+  const ViewArc arc = ComputeViewArc(Vec2(0, 0), Vec2(0.1, 0), kBody);
+  EXPECT_NEAR(arc.half_width, M_PI, 1e-12);
+}
+
+TEST(ArcsOverlapTest, SameDirectionOverlaps) {
+  const ViewArc a = ComputeViewArc(Vec2(0, 0), Vec2(2, 0), kBody);
+  const ViewArc b = ComputeViewArc(Vec2(0, 0), Vec2(4, 0.1), kBody);
+  EXPECT_TRUE(ArcsOverlap(a, b));
+}
+
+TEST(ArcsOverlapTest, OppositeDirectionsDoNot) {
+  const ViewArc a = ComputeViewArc(Vec2(0, 0), Vec2(2, 0), kBody);
+  const ViewArc b = ComputeViewArc(Vec2(0, 0), Vec2(-2, 0), kBody);
+  EXPECT_FALSE(ArcsOverlap(a, b));
+}
+
+TEST(ArcsOverlapTest, WrapAroundPi) {
+  // Two users just either side of the -x axis: angles near +pi and -pi
+  // must still be detected as overlapping.
+  const ViewArc a = ComputeViewArc(Vec2(0, 0), Vec2(-3, 0.05), kBody);
+  const ViewArc b = ComputeViewArc(Vec2(0, 0), Vec2(-3, -0.05), kBody);
+  EXPECT_GT(a.center, 0.0);
+  EXPECT_LT(b.center, 0.0);
+  EXPECT_TRUE(ArcsOverlap(a, b));
+}
+
+TEST(ArcsOverlapTest, InvalidArcNeverOverlaps) {
+  ViewArc invalid;
+  const ViewArc a = ComputeViewArc(Vec2(0, 0), Vec2(2, 0), kBody);
+  EXPECT_FALSE(ArcsOverlap(invalid, a));
+  EXPECT_FALSE(ArcsOverlap(a, invalid));
+}
+
+TEST(ComputeViewArcsTest, TargetIsInvalid) {
+  const std::vector<Vec2> positions = {{0, 0}, {1, 0}, {0, 1}};
+  const auto arcs = ComputeViewArcs(positions, 0, kBody);
+  EXPECT_FALSE(arcs[0].valid);
+  EXPECT_TRUE(arcs[1].valid);
+  EXPECT_TRUE(arcs[2].valid);
+}
+
+TEST(BuildOcclusionGraphTest, CollinearUsersOcclude) {
+  // Users 1 and 2 lie in the same direction from target 0: edge expected.
+  const std::vector<Vec2> positions = {{0, 0}, {2, 0}, {4, 0}, {0, 3}};
+  const OcclusionGraph g = BuildOcclusionGraph(positions, 0, kBody);
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_FALSE(g.HasEdge(1, 3));
+  EXPECT_FALSE(g.HasEdge(2, 3));
+}
+
+TEST(BuildOcclusionGraphTest, TargetIsolated) {
+  const std::vector<Vec2> positions = {{0, 0}, {2, 0}, {2.2, 0.05}};
+  const OcclusionGraph g = BuildOcclusionGraph(positions, 0, kBody);
+  EXPECT_EQ(g.Degree(0), 0);
+  EXPECT_TRUE(g.HasEdge(1, 2));
+}
+
+TEST(BuildOcclusionGraphTest, EdgeIffArcsOverlapProperty) {
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Vec2> positions;
+    for (int i = 0; i < 12; ++i)
+      positions.emplace_back(rng.Uniform(0, 8), rng.Uniform(0, 8));
+    const int target = rng.UniformInt(12);
+    const OcclusionGraph g = BuildOcclusionGraph(positions, target, kBody);
+    const auto arcs = ComputeViewArcs(positions, target, kBody);
+    for (int i = 0; i < 12; ++i) {
+      for (int j = i + 1; j < 12; ++j) {
+        if (i == target || j == target) {
+          EXPECT_FALSE(g.HasEdge(i, j));
+          continue;
+        }
+        EXPECT_EQ(g.HasEdge(i, j), ArcsOverlap(arcs[i], arcs[j]))
+            << "pair (" << i << "," << j << ") trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(BuildDynamicOcclusionGraphTest, OneGraphPerStep) {
+  const std::vector<std::vector<Vec2>> trajectory = {
+      {{0, 0}, {2, 0}, {4, 0}},
+      {{0, 0}, {2, 0}, {0, 4}},
+  };
+  const DynamicOcclusionGraph dog =
+      BuildDynamicOcclusionGraph(trajectory, 0, kBody);
+  EXPECT_EQ(dog.num_steps(), 2);
+  EXPECT_TRUE(dog.At(0).HasEdge(1, 2));
+  EXPECT_FALSE(dog.At(1).HasEdge(1, 2));
+}
+
+TEST(ComputeVisibilityTest, NearerRenderedUserBlocks) {
+  const std::vector<Vec2> positions = {{0, 0}, {2, 0}, {4, 0}};
+  std::vector<bool> rendered = {false, true, true};
+  const auto visible = ComputeVisibility(positions, 0, kBody, rendered);
+  EXPECT_TRUE(visible[1]);   // nothing in front
+  EXPECT_FALSE(visible[2]);  // behind user 1
+}
+
+TEST(ComputeVisibilityTest, NotRenderedDoesNotBlock) {
+  const std::vector<Vec2> positions = {{0, 0}, {2, 0}, {4, 0}};
+  std::vector<bool> rendered = {false, false, true};
+  const auto visible = ComputeVisibility(positions, 0, kBody, rendered);
+  EXPECT_FALSE(visible[1]);  // not rendered -> not visible
+  EXPECT_TRUE(visible[2]);   // user 1 hidden, so 2 is clear
+}
+
+TEST(ComputeVisibilityTest, TargetNeverVisible) {
+  const std::vector<Vec2> positions = {{0, 0}, {2, 0}};
+  std::vector<bool> rendered = {true, true};
+  const auto visible = ComputeVisibility(positions, 0, kBody, rendered);
+  EXPECT_FALSE(visible[0]);
+}
+
+TEST(ComputeVisibilityTest, SeparatedUsersAllVisible) {
+  const std::vector<Vec2> positions = {{0, 0}, {3, 0}, {0, 3}, {-3, 0}};
+  std::vector<bool> rendered = {false, true, true, true};
+  const auto visible = ComputeVisibility(positions, 0, kBody, rendered);
+  EXPECT_TRUE(visible[1]);
+  EXPECT_TRUE(visible[2]);
+  EXPECT_TRUE(visible[3]);
+}
+
+TEST(ComputeVisibilityTest, VisibleSetConsistentWithOcclusionGraph) {
+  // Property: if the rendered set is independent in the occlusion graph,
+  // every rendered user is visible.
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Vec2> positions;
+    for (int i = 0; i < 10; ++i)
+      positions.emplace_back(rng.Uniform(0, 10), rng.Uniform(0, 10));
+    const int target = 0;
+    const OcclusionGraph g = BuildOcclusionGraph(positions, target, kBody);
+    // Build a greedy independent set among 1..9.
+    std::vector<bool> rendered(10, false);
+    for (int w = 1; w < 10; ++w) {
+      bool conflict = false;
+      for (int u : g.Neighbors(w))
+        if (rendered[u]) conflict = true;
+      if (!conflict) rendered[w] = true;
+    }
+    const auto visible = ComputeVisibility(positions, target, kBody, rendered);
+    for (int w = 1; w < 10; ++w)
+      if (rendered[w]) EXPECT_TRUE(visible[w]) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace after

@@ -1,0 +1,303 @@
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/adam.h"
+#include "nn/diffusion_conv.h"
+#include "nn/gcn_layer.h"
+#include "nn/gru_cell.h"
+#include "nn/linear.h"
+
+namespace after {
+namespace {
+
+/// Gradient-checks every parameter of a module against central
+/// differences of a scalar readout built by `forward`.
+void CheckParameterGradients(const std::vector<Variable>& parameters,
+                             const std::function<Variable()>& forward,
+                             double tolerance = 1e-5) {
+  Variable loss = forward();
+  ASSERT_EQ(loss.rows(), 1);
+  ASSERT_EQ(loss.cols(), 1);
+  for (const auto& p : parameters) const_cast<Variable&>(p).ZeroGrad();
+  loss.Backward();
+
+  for (auto& p_const : parameters) {
+    Variable& p = const_cast<Variable&>(p_const);
+    const Matrix analytic = p.grad();
+    const Matrix original = p.value();
+    const Matrix numeric = NumericalGradient(
+        [&](const Matrix& probe) {
+          p.SetValue(probe);
+          const double out = forward().value().At(0, 0);
+          return out;
+        },
+        original);
+    p.SetValue(original);
+    EXPECT_TRUE(analytic.AllClose(numeric, tolerance))
+        << "param grad mismatch\nanalytic: " << analytic.ToString()
+        << "\nnumeric: " << numeric.ToString();
+  }
+}
+
+TEST(LinearTest, OutputShape) {
+  Rng rng(1);
+  Linear layer(3, 5, rng);
+  Variable x = Variable::Constant(Matrix::Randn(7, 3, 1.0, rng));
+  Variable y = layer.Forward(x);
+  EXPECT_EQ(y.rows(), 7);
+  EXPECT_EQ(y.cols(), 5);
+}
+
+TEST(LinearTest, ZeroInputGivesBias) {
+  Rng rng(2);
+  Linear layer(3, 2, rng);
+  Variable x = Variable::Constant(Matrix(4, 3));
+  const Matrix y = layer.Forward(x).value();
+  const Matrix& bias = layer.Parameters()[1].value();
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 2; ++c) EXPECT_DOUBLE_EQ(y.At(r, c), bias.At(0, c));
+}
+
+TEST(LinearTest, ParameterGradients) {
+  Rng rng(3);
+  Linear layer(3, 2, rng);
+  const Matrix input = Matrix::Randn(4, 3, 1.0, rng);
+  CheckParameterGradients(layer.Parameters(), [&] {
+    return Variable::Sum(
+        Variable::Sigmoid(layer.Forward(Variable::Constant(input))));
+  });
+}
+
+TEST(LinearTest, ParameterCountAndShapes) {
+  Rng rng(4);
+  Linear layer(6, 4, rng);
+  const auto params = layer.Parameters();
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0].rows(), 6);
+  EXPECT_EQ(params[0].cols(), 4);
+  EXPECT_EQ(params[1].rows(), 1);
+  EXPECT_EQ(params[1].cols(), 4);
+}
+
+TEST(GcnLayerTest, OutputShapeAndActivation) {
+  Rng rng(5);
+  GcnLayer layer(4, 3, Activation::kRelu, rng);
+  Variable x = Variable::Constant(Matrix::Randn(6, 4, 1.0, rng));
+  Variable a = Variable::Constant(Matrix(6, 6));
+  const Matrix y = layer.Forward(x, a).value();
+  EXPECT_EQ(y.rows(), 6);
+  EXPECT_EQ(y.cols(), 3);
+  for (int i = 0; i < y.size(); ++i) EXPECT_GE(y[i], 0.0);  // ReLU
+}
+
+TEST(GcnLayerTest, IsolatedNodesIgnoreNeighborTerm) {
+  // With a zero adjacency, the neighbor weight must not influence output.
+  Rng rng(6);
+  GcnLayer layer(2, 2, Activation::kNone, rng);
+  const Matrix input = Matrix::Randn(3, 2, 1.0, rng);
+  Variable x = Variable::Constant(input);
+  Variable zero_adj = Variable::Constant(Matrix(3, 3));
+  const Matrix y = layer.Forward(x, zero_adj).value();
+
+  // Manually: x * M1 + bias.
+  const Matrix expected_linear =
+      input.MatMul(layer.Parameters()[0].value());
+  for (int r = 0; r < 3; ++r)
+    for (int c = 0; c < 2; ++c)
+      EXPECT_NEAR(y.At(r, c),
+                  expected_linear.At(r, c) +
+                      layer.Parameters()[2].value().At(0, c),
+                  1e-12);
+}
+
+TEST(GcnLayerTest, NeighborAggregationMatchesEquation1) {
+  // Two connected nodes: h_i' = M1 h_i + M2 (sum of neighbors) + b.
+  Rng rng(7);
+  GcnLayer layer(2, 2, Activation::kNone, rng);
+  Matrix input = Matrix::FromRows({{1.0, 0.0}, {0.0, 1.0}});
+  Matrix adj = Matrix::FromRows({{0.0, 1.0}, {1.0, 0.0}});
+  const Matrix y =
+      layer.Forward(Variable::Constant(input), Variable::Constant(adj))
+          .value();
+  const Matrix& m1 = layer.Parameters()[0].value();
+  const Matrix& m2 = layer.Parameters()[1].value();
+  const Matrix& b = layer.Parameters()[2].value();
+  // Node 0: row0(input)*M1 + row1(input)*M2 + b.
+  for (int c = 0; c < 2; ++c) {
+    EXPECT_NEAR(y.At(0, c), m1.At(0, c) + m2.At(1, c) + b.At(0, c), 1e-12);
+    EXPECT_NEAR(y.At(1, c), m1.At(1, c) + m2.At(0, c) + b.At(0, c), 1e-12);
+  }
+}
+
+TEST(GcnLayerTest, ParameterGradients) {
+  Rng rng(8);
+  GcnLayer layer(3, 2, Activation::kSigmoid, rng);
+  const Matrix input = Matrix::Randn(5, 3, 1.0, rng);
+  Matrix adj(5, 5);
+  adj.At(0, 1) = adj.At(1, 0) = 1.0;
+  adj.At(2, 3) = adj.At(3, 2) = 1.0;
+  CheckParameterGradients(layer.Parameters(), [&] {
+    return Variable::Sum(layer.Forward(Variable::Constant(input),
+                                       Variable::Constant(adj)));
+  });
+}
+
+TEST(GruCellTest, OutputShapeAndRange) {
+  Rng rng(9);
+  GruCell cell(4, 6, rng);
+  Variable x = Variable::Constant(Matrix::Randn(5, 4, 1.0, rng));
+  Variable h = Variable::Constant(Matrix::Randn(5, 6, 1.0, rng));
+  const Matrix h_new = cell.Forward(x, h).value();
+  EXPECT_EQ(h_new.rows(), 5);
+  EXPECT_EQ(h_new.cols(), 6);
+}
+
+TEST(GruCellTest, InterpolatesBetweenHiddenAndCandidate) {
+  // GRU output is a convex combination of h and tanh candidate, so with
+  // h in [-1, 1] the output must stay in [-1, 1].
+  Rng rng(10);
+  GruCell cell(3, 4, rng);
+  Variable x = Variable::Constant(Matrix::Randn(6, 3, 2.0, rng));
+  Matrix h0(6, 4);  // zeros are inside [-1, 1]
+  const Matrix h1 = cell.Forward(x, Variable::Constant(h0)).value();
+  for (int i = 0; i < h1.size(); ++i) {
+    EXPECT_GE(h1[i], -1.0);
+    EXPECT_LE(h1[i], 1.0);
+  }
+}
+
+TEST(GruCellTest, ParameterGradients) {
+  Rng rng(11);
+  GruCell cell(2, 3, rng);
+  const Matrix x = Matrix::Randn(4, 2, 1.0, rng);
+  const Matrix h = Matrix::Randn(4, 3, 0.5, rng);
+  CheckParameterGradients(cell.Parameters(), [&] {
+    return Variable::Sum(
+        cell.Forward(Variable::Constant(x), Variable::Constant(h)));
+  });
+}
+
+TEST(GruCellTest, StateCarriesInformation) {
+  Rng rng(12);
+  GruCell cell(2, 3, rng);
+  Variable x = Variable::Constant(Matrix::Randn(4, 2, 1.0, rng));
+  Variable h_a = Variable::Constant(Matrix(4, 3, 0.0));
+  Variable h_b = Variable::Constant(Matrix(4, 3, 0.9));
+  const Matrix out_a = cell.Forward(x, h_a).value();
+  const Matrix out_b = cell.Forward(x, h_b).value();
+  EXPECT_FALSE(out_a.AllClose(out_b, 1e-6));
+}
+
+TEST(DiffusionConvTest, TransitionRowStochastic) {
+  Matrix adj = Matrix::FromRows({{0, 1, 1}, {1, 0, 0}, {1, 0, 0}});
+  const Matrix t = DiffusionConv::RandomWalkTransition(adj);
+  for (int r = 0; r < 3; ++r) {
+    double row_sum = 0.0;
+    for (int c = 0; c < 3; ++c) row_sum += t.At(r, c);
+    EXPECT_NEAR(row_sum, 1.0, 1e-12);
+  }
+}
+
+TEST(DiffusionConvTest, IsolatedNodeZeroRow) {
+  Matrix adj(3, 3);
+  adj.At(0, 1) = adj.At(1, 0) = 1.0;  // node 2 isolated
+  const Matrix t = DiffusionConv::RandomWalkTransition(adj);
+  for (int c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(t.At(2, c), 0.0);
+}
+
+TEST(DiffusionConvTest, ZeroHopsEqualsLinear) {
+  Rng rng(13);
+  DiffusionConv conv(3, 2, /*max_hops=*/0, rng);
+  const Matrix x = Matrix::Randn(4, 3, 1.0, rng);
+  const Matrix transition = Matrix::Randn(4, 4, 1.0, rng);
+  const Matrix y = conv.Forward(Variable::Constant(x),
+                                Variable::Constant(transition))
+                       .value();
+  const Matrix expected = x.MatMul(conv.Parameters()[0].value());
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 2; ++c)
+      EXPECT_NEAR(y.At(r, c),
+                  expected.At(r, c) +
+                      conv.Parameters().back().value().At(0, c),
+                  1e-12);
+}
+
+TEST(DiffusionConvTest, ParameterGradients) {
+  Rng rng(14);
+  DiffusionConv conv(2, 2, /*max_hops=*/2, rng);
+  const Matrix x = Matrix::Randn(4, 2, 1.0, rng);
+  Matrix adj(4, 4);
+  adj.At(0, 1) = adj.At(1, 0) = 1.0;
+  adj.At(1, 2) = adj.At(2, 1) = 1.0;
+  const Matrix transition = DiffusionConv::RandomWalkTransition(adj);
+  CheckParameterGradients(conv.Parameters(), [&] {
+    return Variable::Sum(conv.Forward(Variable::Constant(x),
+                                      Variable::Constant(transition)));
+  });
+}
+
+TEST(DiffusionConvTest, HopCountMatchesParameters) {
+  Rng rng(15);
+  DiffusionConv conv(3, 2, /*max_hops=*/3, rng);
+  EXPECT_EQ(conv.Parameters().size(), 5u);  // 4 hop filters + bias
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  // Minimize ||x - target||² — Adam should approach the target.
+  Rng rng(16);
+  Variable x = Variable::Parameter(Matrix::Randn(3, 3, 1.0, rng));
+  const Matrix target = Matrix::Randn(3, 3, 1.0, rng);
+
+  Adam::Options options;
+  options.learning_rate = 0.05;
+  Adam optimizer({x}, options);
+  for (int iter = 0; iter < 400; ++iter) {
+    Variable diff = x - Variable::Constant(target);
+    Variable loss = Variable::Sum(Variable::Hadamard(diff, diff));
+    optimizer.ZeroGrad();
+    loss.Backward();
+    optimizer.Step();
+  }
+  EXPECT_TRUE(x.value().AllClose(target, 1e-2));
+}
+
+TEST(AdamTest, StepCountIncrements) {
+  Variable x = Variable::Parameter(Matrix(1, 1, 1.0));
+  Adam optimizer({x});
+  Variable loss = Variable::Sum(Variable::Hadamard(x, x));
+  optimizer.ZeroGrad();
+  loss.Backward();
+  optimizer.Step();
+  optimizer.Step();
+  EXPECT_EQ(optimizer.step_count(), 2);
+}
+
+TEST(AdamTest, GradientClippingBoundsUpdate) {
+  // With a huge gradient and clip_norm set, the first Adam step is still
+  // bounded by ~learning_rate.
+  Variable x = Variable::Parameter(Matrix(1, 1, 0.0));
+  Adam::Options options;
+  options.learning_rate = 0.1;
+  options.clip_norm = 1.0;
+  Adam optimizer({x}, options);
+  Variable loss = 1e6 * Variable::Sum(x);
+  optimizer.ZeroGrad();
+  loss.Backward();
+  optimizer.Step();
+  EXPECT_LE(std::abs(x.value().At(0, 0)), 0.11);
+}
+
+TEST(AdamTest, ZeroGradClearsAccumulators) {
+  Variable x = Variable::Parameter(Matrix(2, 2, 1.0));
+  Adam optimizer({x});
+  Variable loss = Variable::Sum(x);
+  loss.Backward();
+  optimizer.ZeroGrad();
+  EXPECT_TRUE(x.grad().AllClose(Matrix(2, 2, 0.0)));
+}
+
+}  // namespace
+}  // namespace after

@@ -1,0 +1,137 @@
+#include "sim/crowd_simulator.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace after {
+namespace {
+
+CrowdSimulator::AgentParams DefaultParams() {
+  CrowdSimulator::AgentParams params;
+  params.radius = 0.25;
+  params.max_speed = 1.4;
+  return params;
+}
+
+TEST(CrowdSimulatorTest, SingleAgentReachesGoal) {
+  CrowdSimulator sim(0.1);
+  const int a = sim.AddAgent(Vec2(0, 0), DefaultParams());
+  sim.SetGoal(a, Vec2(5, 0));
+  for (int step = 0; step < 100; ++step) sim.Step();
+  EXPECT_TRUE(sim.ReachedGoal(a, 0.2));
+}
+
+TEST(CrowdSimulatorTest, AgentRespectsMaxSpeed) {
+  CrowdSimulator sim(0.1);
+  const int a = sim.AddAgent(Vec2(0, 0), DefaultParams());
+  sim.SetGoal(a, Vec2(100, 0));
+  for (int step = 0; step < 30; ++step) {
+    sim.Step();
+    EXPECT_LE(sim.Velocity(a).Norm(), 1.4 + 1e-9);
+  }
+}
+
+TEST(CrowdSimulatorTest, StationaryWithoutGoal) {
+  CrowdSimulator sim(0.1);
+  const int a = sim.AddAgent(Vec2(2, 3), DefaultParams());
+  for (int step = 0; step < 10; ++step) sim.Step();
+  EXPECT_NEAR(sim.Position(a).x, 2.0, 1e-9);
+  EXPECT_NEAR(sim.Position(a).y, 3.0, 1e-9);
+}
+
+TEST(CrowdSimulatorTest, HeadOnAgentsAvoidCollision) {
+  CrowdSimulator sim(0.1);
+  const int a = sim.AddAgent(Vec2(0, 0), DefaultParams());
+  const int b = sim.AddAgent(Vec2(6, 0.01), DefaultParams());
+  sim.SetGoal(a, Vec2(6, 0));
+  sim.SetGoal(b, Vec2(0, 0));
+  double min_distance = 1e9;
+  for (int step = 0; step < 120; ++step) {
+    sim.SetGoal(a, Vec2(6, 0));
+    sim.SetGoal(b, Vec2(0, 0));
+    sim.Step();
+    min_distance =
+        std::min(min_distance, Distance(sim.Position(a), sim.Position(b)));
+  }
+  // Bodies (r=0.25 each) must not interpenetrate significantly.
+  EXPECT_GT(min_distance, 0.4);
+  EXPECT_TRUE(sim.ReachedGoal(a, 0.5));
+  EXPECT_TRUE(sim.ReachedGoal(b, 0.5));
+}
+
+TEST(CrowdSimulatorTest, CrossingAgentsAvoidCollision) {
+  CrowdSimulator sim(0.1);
+  const int a = sim.AddAgent(Vec2(-3, 0), DefaultParams());
+  const int b = sim.AddAgent(Vec2(0, -3), DefaultParams());
+  for (int step = 0; step < 100; ++step) {
+    sim.SetGoal(a, Vec2(3, 0));
+    sim.SetGoal(b, Vec2(0, 3));
+    sim.Step();
+    EXPECT_GT(Distance(sim.Position(a), sim.Position(b)), 0.35);
+  }
+}
+
+TEST(CrowdSimulatorTest, CrowdedCircleSwapNoInterpenetration) {
+  // Classic ORCA stress test: agents on a circle swap to antipodes.
+  CrowdSimulator sim(0.1);
+  const int n = 10;
+  const double radius = 4.0;
+  for (int i = 0; i < n; ++i) {
+    // Slight angular stagger breaks the perfect symmetry that would
+    // otherwise deadlock reciprocal avoidance at the center.
+    const double angle = 2.0 * M_PI * i / n + 0.013 * i;
+    sim.AddAgent(Vec2(radius * std::cos(angle), radius * std::sin(angle)),
+                 DefaultParams());
+  }
+  double min_pair = 1e9;
+  for (int step = 0; step < 400; ++step) {
+    for (int i = 0; i < n; ++i) {
+      const double angle = 2.0 * M_PI * i / n + 0.013 * i + M_PI;
+      sim.SetGoal(i,
+                  Vec2(radius * std::cos(angle), radius * std::sin(angle)));
+    }
+    sim.Step();
+    for (int i = 0; i < n; ++i)
+      for (int j = i + 1; j < n; ++j)
+        min_pair =
+            std::min(min_pair, Distance(sim.Position(i), sim.Position(j)));
+  }
+  // Allow slight numerical softness but no deep interpenetration of the
+  // 0.5-separation bodies.
+  EXPECT_GT(min_pair, 0.35);
+  for (int i = 0; i < n; ++i) EXPECT_TRUE(sim.ReachedGoal(i, 1.0));
+}
+
+TEST(CrowdSimulatorTest, ExplicitPreferredVelocityUsedOnce) {
+  CrowdSimulator sim(0.5);
+  const int a = sim.AddAgent(Vec2(0, 0), DefaultParams());
+  sim.SetPreferredVelocity(a, Vec2(1.0, 0.0));
+  sim.Step();
+  EXPECT_NEAR(sim.Position(a).x, 0.5, 1e-9);
+  // Next step reverts to goal-seeking (goal = start position here, and
+  // position has moved, so it walks back).
+  sim.Step();
+  EXPECT_LT(sim.Position(a).x, 0.5);
+}
+
+TEST(CrowdSimulatorTest, DeterministicEvolution) {
+  auto run = [] {
+    CrowdSimulator sim(0.1);
+    sim.AddAgent(Vec2(0, 0), DefaultParams());
+    sim.AddAgent(Vec2(3, 0.1), DefaultParams());
+    sim.SetGoal(0, Vec2(3, 0));
+    sim.SetGoal(1, Vec2(0, 0));
+    for (int i = 0; i < 50; ++i) sim.Step();
+    return sim.Position(0);
+  };
+  const Vec2 a = run();
+  const Vec2 b = run();
+  EXPECT_DOUBLE_EQ(a.x, b.x);
+  EXPECT_DOUBLE_EQ(a.y, b.y);
+}
+
+}  // namespace
+}  // namespace after

@@ -1,0 +1,112 @@
+#include "sim/xr_world.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace after {
+namespace {
+
+XrWorld::Config SmallConfig() {
+  XrWorld::Config config;
+  config.num_users = 20;
+  config.vr_fraction = 0.5;
+  config.num_steps = 30;
+  config.room_side = 6.0;
+  return config;
+}
+
+TEST(XrWorldTest, ShapesMatchConfig) {
+  Rng rng(1);
+  const XrWorld world = XrWorld::Generate(SmallConfig(), rng);
+  EXPECT_EQ(world.num_users(), 20);
+  EXPECT_EQ(world.num_steps(), 30);
+  EXPECT_EQ(world.interfaces().size(), 20u);
+  for (int t = 0; t < 30; ++t)
+    EXPECT_EQ(world.PositionsAt(t).size(), 20u);
+}
+
+TEST(XrWorldTest, VrFractionRespected) {
+  Rng rng(2);
+  XrWorld::Config config = SmallConfig();
+  config.num_users = 100;
+  config.vr_fraction = 0.25;
+  const XrWorld world = XrWorld::Generate(config, rng);
+  int vr = 0;
+  for (int u = 0; u < 100; ++u)
+    if (world.interface_of(u) == Interface::kVR) ++vr;
+  EXPECT_EQ(vr, 25);
+}
+
+TEST(XrWorldTest, AllVrWhenFractionOne) {
+  Rng rng(3);
+  XrWorld::Config config = SmallConfig();
+  config.vr_fraction = 1.0;
+  const XrWorld world = XrWorld::Generate(config, rng);
+  for (int u = 0; u < config.num_users; ++u)
+    EXPECT_EQ(world.interface_of(u), Interface::kVR);
+}
+
+TEST(XrWorldTest, AgentsActuallyMove) {
+  Rng rng(4);
+  const XrWorld world = XrWorld::Generate(SmallConfig(), rng);
+  double total_displacement = 0.0;
+  for (int u = 0; u < world.num_users(); ++u)
+    total_displacement += Distance(world.PositionsAt(0)[u],
+                                   world.PositionsAt(world.num_steps() - 1)[u]);
+  EXPECT_GT(total_displacement / world.num_users(), 0.3);
+}
+
+TEST(XrWorldTest, MotionIsSmooth) {
+  Rng rng(5);
+  XrWorld::Config config = SmallConfig();
+  const XrWorld world = XrWorld::Generate(config, rng);
+  // Per-step displacement bounded by max_speed * time_step.
+  const double limit = config.max_speed * config.time_step + 1e-9;
+  for (int t = 1; t < world.num_steps(); ++t)
+    for (int u = 0; u < world.num_users(); ++u)
+      EXPECT_LE(Distance(world.PositionsAt(t)[u], world.PositionsAt(t - 1)[u]),
+                limit);
+}
+
+TEST(XrWorldTest, StartPositionsInsideRoom) {
+  Rng rng(6);
+  const XrWorld world = XrWorld::Generate(SmallConfig(), rng);
+  for (const auto& p : world.PositionsAt(0)) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 6.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 6.0);
+  }
+}
+
+TEST(XrWorldTest, DeterministicForSeed) {
+  Rng rng_a(7), rng_b(7);
+  const XrWorld a = XrWorld::Generate(SmallConfig(), rng_a);
+  const XrWorld b = XrWorld::Generate(SmallConfig(), rng_b);
+  for (int t = 0; t < a.num_steps(); ++t)
+    for (int u = 0; u < a.num_users(); ++u) {
+      EXPECT_DOUBLE_EQ(a.PositionsAt(t)[u].x, b.PositionsAt(t)[u].x);
+      EXPECT_DOUBLE_EQ(a.PositionsAt(t)[u].y, b.PositionsAt(t)[u].y);
+    }
+}
+
+TEST(XrWorldTest, BodiesDoNotDeeplyInterpenetrate) {
+  Rng rng(8);
+  XrWorld::Config config = SmallConfig();
+  config.num_users = 12;
+  config.room_side = 8.0;
+  const XrWorld world = XrWorld::Generate(config, rng);
+  // Skip the random initial placement; after a few ORCA steps agents
+  // should maintain separation.
+  for (int t = 5; t < world.num_steps(); ++t) {
+    const auto& pos = world.PositionsAt(t);
+    for (int i = 0; i < config.num_users; ++i)
+      for (int j = i + 1; j < config.num_users; ++j)
+        EXPECT_GT(Distance(pos[i], pos[j]), 0.25)
+            << "step " << t << " pair " << i << "," << j;
+  }
+}
+
+}  // namespace
+}  // namespace after

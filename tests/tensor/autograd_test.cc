@@ -1,0 +1,349 @@
+#include "tensor/autograd.h"
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace after {
+namespace {
+
+/// Checks the analytic gradient of `build` (a scalar-valued tape function
+/// of one parameter matrix) against central differences at `point`.
+void CheckGradient(const std::function<Variable(const Variable&)>& build,
+                   const Matrix& point, double tolerance = 1e-6) {
+  Variable x = Variable::Parameter(point);
+  Variable y = build(x);
+  ASSERT_EQ(y.rows(), 1);
+  ASSERT_EQ(y.cols(), 1);
+  x.ZeroGrad();
+  y.Backward();
+  const Matrix analytic = x.grad();
+
+  const Matrix numeric = NumericalGradient(
+      [&](const Matrix& probe) {
+        Variable p = Variable::Constant(probe);
+        return build(p).value().At(0, 0);
+      },
+      point);
+  EXPECT_TRUE(analytic.AllClose(numeric, tolerance))
+      << "analytic: " << analytic.ToString()
+      << "\nnumeric: " << numeric.ToString();
+}
+
+TEST(AutogradTest, ConstantHasNoGrad) {
+  Variable c = Variable::Constant(Matrix(2, 2, 1.0));
+  EXPECT_FALSE(c.requires_grad());
+}
+
+TEST(AutogradTest, ParameterTracksGrad) {
+  Variable p = Variable::Parameter(Matrix(2, 2, 1.0));
+  EXPECT_TRUE(p.requires_grad());
+}
+
+TEST(AutogradTest, SumGradientIsOnes) {
+  Variable x = Variable::Parameter(Matrix(2, 3, 5.0));
+  Variable y = Variable::Sum(x);
+  EXPECT_DOUBLE_EQ(y.value().At(0, 0), 30.0);
+  y.Backward();
+  EXPECT_TRUE(x.grad().AllClose(Matrix(2, 3, 1.0)));
+}
+
+TEST(AutogradTest, AddGradient) {
+  Rng rng(1);
+  const Matrix point = Matrix::Randn(3, 2, 1.0, rng);
+  const Matrix other = Matrix::Randn(3, 2, 1.0, rng);
+  CheckGradient(
+      [&](const Variable& x) {
+        return Variable::Sum(x + Variable::Constant(other));
+      },
+      point);
+}
+
+TEST(AutogradTest, SubGradientBothSides) {
+  Rng rng(2);
+  const Matrix point = Matrix::Randn(2, 2, 1.0, rng);
+  const Matrix other = Matrix::Randn(2, 2, 1.0, rng);
+  CheckGradient(
+      [&](const Variable& x) {
+        return Variable::Sum(Variable::Constant(other) - x);
+      },
+      point);
+}
+
+TEST(AutogradTest, ScalarMulGradient) {
+  Rng rng(3);
+  const Matrix point = Matrix::Randn(2, 3, 1.0, rng);
+  CheckGradient(
+      [&](const Variable& x) { return Variable::Sum(2.5 * x); }, point);
+}
+
+TEST(AutogradTest, MatMulGradientLeft) {
+  Rng rng(4);
+  const Matrix point = Matrix::Randn(3, 4, 1.0, rng);
+  const Matrix right = Matrix::Randn(4, 2, 1.0, rng);
+  CheckGradient(
+      [&](const Variable& x) {
+        return Variable::Sum(
+            Variable::MatMul(x, Variable::Constant(right)));
+      },
+      point);
+}
+
+TEST(AutogradTest, MatMulGradientRight) {
+  Rng rng(5);
+  const Matrix point = Matrix::Randn(4, 2, 1.0, rng);
+  const Matrix left = Matrix::Randn(3, 4, 1.0, rng);
+  CheckGradient(
+      [&](const Variable& x) {
+        return Variable::Sum(Variable::MatMul(Variable::Constant(left), x));
+      },
+      point);
+}
+
+TEST(AutogradTest, MatMulGradientBothOperandsSameParam) {
+  Rng rng(6);
+  const Matrix point = Matrix::Randn(3, 3, 0.5, rng);
+  CheckGradient(
+      [&](const Variable& x) {
+        return Variable::Sum(Variable::MatMul(x, x));
+      },
+      point, 1e-5);
+}
+
+TEST(AutogradTest, HadamardGradient) {
+  Rng rng(7);
+  const Matrix point = Matrix::Randn(3, 3, 1.0, rng);
+  const Matrix other = Matrix::Randn(3, 3, 1.0, rng);
+  CheckGradient(
+      [&](const Variable& x) {
+        return Variable::Sum(
+            Variable::Hadamard(x, Variable::Constant(other)));
+      },
+      point);
+}
+
+TEST(AutogradTest, HadamardSquareGradient) {
+  Rng rng(8);
+  const Matrix point = Matrix::Randn(2, 4, 1.0, rng);
+  CheckGradient(
+      [&](const Variable& x) {
+        return Variable::Sum(Variable::Hadamard(x, x));
+      },
+      point);
+}
+
+TEST(AutogradTest, ReluForwardAndGradient) {
+  const Matrix point = Matrix::FromRows({{-2.0, -0.5, 0.5, 2.0}});
+  Variable x = Variable::Parameter(point);
+  Variable y = Variable::Relu(x);
+  EXPECT_DOUBLE_EQ(y.value().At(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(y.value().At(0, 3), 2.0);
+  CheckGradient(
+      [&](const Variable& v) { return Variable::Sum(Variable::Relu(v)); },
+      point);
+}
+
+TEST(AutogradTest, SigmoidGradient) {
+  Rng rng(9);
+  const Matrix point = Matrix::Randn(3, 2, 2.0, rng);
+  CheckGradient(
+      [&](const Variable& x) {
+        return Variable::Sum(Variable::Sigmoid(x));
+      },
+      point, 1e-5);
+}
+
+TEST(AutogradTest, SigmoidRange) {
+  Rng rng(10);
+  Variable x = Variable::Constant(Matrix::Randn(10, 10, 5.0, rng));
+  const Matrix s = Variable::Sigmoid(x).value();
+  for (int i = 0; i < s.size(); ++i) {
+    EXPECT_GT(s[i], 0.0);
+    EXPECT_LT(s[i], 1.0);
+  }
+}
+
+TEST(AutogradTest, TanhGradient) {
+  Rng rng(11);
+  const Matrix point = Matrix::Randn(2, 2, 1.5, rng);
+  CheckGradient(
+      [&](const Variable& x) { return Variable::Sum(Variable::Tanh(x)); },
+      point, 1e-5);
+}
+
+TEST(AutogradTest, AddScalarGradient) {
+  Rng rng(12);
+  const Matrix point = Matrix::Randn(2, 3, 1.0, rng);
+  CheckGradient(
+      [&](const Variable& x) {
+        return Variable::Sum(Variable::AddScalar(x, 3.7));
+      },
+      point);
+}
+
+TEST(AutogradTest, TransposeGradient) {
+  Rng rng(13);
+  const Matrix point = Matrix::Randn(3, 4, 1.0, rng);
+  const Matrix mult = Matrix::Randn(3, 4, 1.0, rng);
+  CheckGradient(
+      [&](const Variable& x) {
+        return Variable::Sum(Variable::Hadamard(
+            Variable::Transpose(x),
+            Variable::Constant(mult.Transposed())));
+      },
+      point);
+}
+
+TEST(AutogradTest, ConcatColsGradient) {
+  Rng rng(14);
+  const Matrix point = Matrix::Randn(3, 2, 1.0, rng);
+  const Matrix other = Matrix::Randn(3, 3, 1.0, rng);
+  const Matrix weights = Matrix::Randn(3, 5, 1.0, rng);
+  CheckGradient(
+      [&](const Variable& x) {
+        Variable cat = Variable::ConcatCols(x, Variable::Constant(other));
+        return Variable::Sum(
+            Variable::Hadamard(cat, Variable::Constant(weights)));
+      },
+      point);
+}
+
+TEST(AutogradTest, SliceColsGradient) {
+  Rng rng(15);
+  const Matrix point = Matrix::Randn(3, 5, 1.0, rng);
+  CheckGradient(
+      [&](const Variable& x) {
+        return Variable::Sum(Variable::SliceCols(x, 1, 3));
+      },
+      point);
+}
+
+TEST(AutogradTest, AddRowBroadcastGradientBase) {
+  Rng rng(16);
+  const Matrix point = Matrix::Randn(4, 3, 1.0, rng);
+  const Matrix row = Matrix::Randn(1, 3, 1.0, rng);
+  CheckGradient(
+      [&](const Variable& x) {
+        return Variable::Sum(
+            Variable::AddRowBroadcast(x, Variable::Constant(row)));
+      },
+      point);
+}
+
+TEST(AutogradTest, AddRowBroadcastGradientRow) {
+  Rng rng(17);
+  const Matrix base = Matrix::Randn(4, 3, 1.0, rng);
+  const Matrix point = Matrix::Randn(1, 3, 1.0, rng);
+  CheckGradient(
+      [&](const Variable& x) {
+        return Variable::Sum(
+            Variable::AddRowBroadcast(Variable::Constant(base), x));
+      },
+      point);
+}
+
+TEST(AutogradTest, ChainedCompositeGradient) {
+  // A small GCN-like composite: sum(sigmoid(relu(A x W1) W2)).
+  Rng rng(18);
+  const Matrix adjacency = Matrix::Randn(4, 4, 1.0, rng);
+  const Matrix w2 = Matrix::Randn(3, 1, 1.0, rng);
+  const Matrix point = Matrix::Randn(4, 3, 0.7, rng);
+  CheckGradient(
+      [&](const Variable& x) {
+        Variable h = Variable::Relu(
+            Variable::MatMul(Variable::Constant(adjacency), x));
+        Variable out = Variable::Sigmoid(
+            Variable::MatMul(h, Variable::Constant(w2)));
+        return Variable::Sum(out);
+      },
+      point, 1e-5);
+}
+
+TEST(AutogradTest, QuadraticFormGradient) {
+  // The POSHGNN occlusion penalty shape: rᵀ A r via Hadamard+MatMul.
+  Rng rng(19);
+  const Matrix adjacency = Matrix::Randn(5, 5, 1.0, rng);
+  const Matrix point = Matrix::Randn(5, 1, 1.0, rng);
+  CheckGradient(
+      [&](const Variable& r) {
+        return Variable::Sum(Variable::Hadamard(
+            r, Variable::MatMul(Variable::Constant(adjacency), r)));
+      },
+      point, 1e-5);
+}
+
+TEST(AutogradTest, GradientAccumulatesOverMultipleUses) {
+  // y = sum(x) + sum(x): each element's grad must be exactly 2.
+  Variable x = Variable::Parameter(Matrix(2, 2, 1.0));
+  Variable y = Variable::Sum(x) + Variable::Sum(x);
+  y.Backward();
+  EXPECT_TRUE(x.grad().AllClose(Matrix(2, 2, 2.0)));
+}
+
+TEST(AutogradTest, ZeroGradResets) {
+  Variable x = Variable::Parameter(Matrix(2, 2, 1.0));
+  Variable y = Variable::Sum(x);
+  y.Backward();
+  EXPECT_TRUE(x.grad().AllClose(Matrix(2, 2, 1.0)));
+  x.ZeroGrad();
+  EXPECT_TRUE(x.grad().AllClose(Matrix(2, 2, 0.0)));
+}
+
+TEST(AutogradTest, BackwardTwiceAccumulates) {
+  Variable x = Variable::Parameter(Matrix(1, 1, 3.0));
+  Variable y = Variable::Sum(Variable::Hadamard(x, x));
+  y.Backward();
+  y.Backward();
+  EXPECT_NEAR(x.grad().At(0, 0), 12.0, 1e-12);  // 2 * (2x) with x=3
+}
+
+TEST(AutogradTest, LongChainDoesNotOverflowStack) {
+  // Emulates BPTT over many steps: a 400-op chain must backprop fine.
+  Variable x = Variable::Parameter(Matrix(1, 1, 1.0));
+  Variable h = x;
+  for (int i = 0; i < 400; ++i) h = Variable::AddScalar(0.999 * h, 0.001);
+  Variable y = Variable::Sum(h);
+  y.Backward();
+  EXPECT_NEAR(x.grad().At(0, 0), std::pow(0.999, 400), 1e-9);
+}
+
+TEST(AutogradTest, DiamondDependencyGradient) {
+  Rng rng(20);
+  const Matrix point = Matrix::Randn(3, 3, 0.6, rng);
+  CheckGradient(
+      [&](const Variable& x) {
+        Variable a = Variable::Relu(x);
+        Variable b = Variable::Sigmoid(x);
+        return Variable::Sum(Variable::Hadamard(a, b));
+      },
+      point, 1e-5);
+}
+
+TEST(AutogradTest, SetValuePreservesLeafStatus) {
+  Variable x = Variable::Parameter(Matrix(2, 2, 1.0));
+  x.SetValue(Matrix(2, 2, 5.0));
+  EXPECT_DOUBLE_EQ(x.value().At(0, 0), 5.0);
+  Variable y = Variable::Sum(x);
+  y.Backward();
+  EXPECT_TRUE(x.grad().AllClose(Matrix(2, 2, 1.0)));
+}
+
+TEST(AutogradTest, NumericalGradientSanity) {
+  // d/dx sum(x^2) at x = [1, 2] is [2, 4].
+  const Matrix point = Matrix::FromRows({{1.0, 2.0}});
+  const Matrix grad = NumericalGradient(
+      [](const Matrix& m) {
+        double total = 0.0;
+        for (int i = 0; i < m.size(); ++i) total += m[i] * m[i];
+        return total;
+      },
+      point);
+  EXPECT_NEAR(grad.At(0, 0), 2.0, 1e-6);
+  EXPECT_NEAR(grad.At(0, 1), 4.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace after

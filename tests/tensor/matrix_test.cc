@@ -1,0 +1,218 @@
+#include "tensor/matrix.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace after {
+namespace {
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.cols(), 0);
+  EXPECT_EQ(m.size(), 0);
+}
+
+TEST(MatrixTest, ZeroInitialized) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  for (int r = 0; r < 3; ++r)
+    for (int c = 0; c < 4; ++c) EXPECT_DOUBLE_EQ(m.At(r, c), 0.0);
+}
+
+TEST(MatrixTest, FillConstructor) {
+  Matrix m(2, 2, 3.5);
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 3.5);
+  EXPECT_DOUBLE_EQ(m.At(1, 1), 3.5);
+}
+
+TEST(MatrixTest, FromRows) {
+  Matrix m = Matrix::FromRows({{1.0, 2.0}, {3.0, 4.0}});
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 0), 3.0);
+}
+
+TEST(MatrixTest, Identity) {
+  Matrix eye = Matrix::Identity(3);
+  for (int r = 0; r < 3; ++r)
+    for (int c = 0; c < 3; ++c)
+      EXPECT_DOUBLE_EQ(eye.At(r, c), r == c ? 1.0 : 0.0);
+}
+
+TEST(MatrixTest, ColumnVector) {
+  Matrix v = Matrix::ColumnVector({1.0, 2.0, 3.0});
+  EXPECT_EQ(v.rows(), 3);
+  EXPECT_EQ(v.cols(), 1);
+  EXPECT_DOUBLE_EQ(v.At(2, 0), 3.0);
+}
+
+TEST(MatrixTest, AdditionSubtraction) {
+  Matrix a = Matrix::FromRows({{1.0, 2.0}, {3.0, 4.0}});
+  Matrix b = Matrix::FromRows({{5.0, 6.0}, {7.0, 8.0}});
+  Matrix sum = a + b;
+  Matrix diff = b - a;
+  EXPECT_DOUBLE_EQ(sum.At(0, 0), 6.0);
+  EXPECT_DOUBLE_EQ(sum.At(1, 1), 12.0);
+  EXPECT_DOUBLE_EQ(diff.At(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(diff.At(1, 1), 4.0);
+}
+
+TEST(MatrixTest, ScalarMultiply) {
+  Matrix a = Matrix::FromRows({{1.0, -2.0}});
+  Matrix scaled = a * 3.0;
+  EXPECT_DOUBLE_EQ(scaled.At(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(scaled.At(0, 1), -6.0);
+  Matrix scaled2 = -1.0 * a;
+  EXPECT_DOUBLE_EQ(scaled2.At(0, 0), -1.0);
+}
+
+TEST(MatrixTest, Hadamard) {
+  Matrix a = Matrix::FromRows({{1.0, 2.0}, {3.0, 4.0}});
+  Matrix b = Matrix::FromRows({{2.0, 0.5}, {1.0, -1.0}});
+  Matrix h = a.Hadamard(b);
+  EXPECT_DOUBLE_EQ(h.At(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(h.At(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(h.At(1, 1), -4.0);
+}
+
+TEST(MatrixTest, MatMulKnownResult) {
+  Matrix a = Matrix::FromRows({{1.0, 2.0}, {3.0, 4.0}});
+  Matrix b = Matrix::FromRows({{5.0, 6.0}, {7.0, 8.0}});
+  Matrix c = a.MatMul(b);
+  EXPECT_DOUBLE_EQ(c.At(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c.At(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MatMulRectangular) {
+  Matrix a(2, 3, 1.0);
+  Matrix b(3, 4, 2.0);
+  Matrix c = a.MatMul(b);
+  EXPECT_EQ(c.rows(), 2);
+  EXPECT_EQ(c.cols(), 4);
+  for (int r = 0; r < 2; ++r)
+    for (int col = 0; col < 4; ++col) EXPECT_DOUBLE_EQ(c.At(r, col), 6.0);
+}
+
+TEST(MatrixTest, MatMulIdentity) {
+  Rng rng(3);
+  Matrix a = Matrix::Randn(5, 5, 1.0, rng);
+  EXPECT_TRUE(a.MatMul(Matrix::Identity(5)).AllClose(a));
+  EXPECT_TRUE(Matrix::Identity(5).MatMul(a).AllClose(a));
+}
+
+TEST(MatrixTest, MatMulAssociativity) {
+  Rng rng(5);
+  Matrix a = Matrix::Randn(3, 4, 1.0, rng);
+  Matrix b = Matrix::Randn(4, 5, 1.0, rng);
+  Matrix c = Matrix::Randn(5, 2, 1.0, rng);
+  EXPECT_TRUE(a.MatMul(b).MatMul(c).AllClose(a.MatMul(b.MatMul(c)), 1e-9));
+}
+
+TEST(MatrixTest, TransposeRoundTrip) {
+  Rng rng(7);
+  Matrix a = Matrix::Randn(4, 6, 1.0, rng);
+  EXPECT_TRUE(a.Transposed().Transposed().AllClose(a));
+  EXPECT_EQ(a.Transposed().rows(), 6);
+  EXPECT_EQ(a.Transposed().cols(), 4);
+}
+
+TEST(MatrixTest, TransposeOfProduct) {
+  Rng rng(9);
+  Matrix a = Matrix::Randn(3, 4, 1.0, rng);
+  Matrix b = Matrix::Randn(4, 5, 1.0, rng);
+  EXPECT_TRUE(a.MatMul(b).Transposed().AllClose(
+      b.Transposed().MatMul(a.Transposed()), 1e-9));
+}
+
+TEST(MatrixTest, MapAppliesFunction) {
+  Matrix a = Matrix::FromRows({{-1.0, 4.0}});
+  Matrix mapped = a.Map([](double x) { return x * x; });
+  EXPECT_DOUBLE_EQ(mapped.At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(mapped.At(0, 1), 16.0);
+}
+
+TEST(MatrixTest, SumMeanNorm) {
+  Matrix a = Matrix::FromRows({{1.0, 2.0}, {3.0, 4.0}});
+  EXPECT_DOUBLE_EQ(a.Sum(), 10.0);
+  EXPECT_DOUBLE_EQ(a.Mean(), 2.5);
+  EXPECT_DOUBLE_EQ(a.Norm(), std::sqrt(30.0));
+  EXPECT_DOUBLE_EQ(a.MaxAbs(), 4.0);
+}
+
+TEST(MatrixTest, ConcatCols) {
+  Matrix a = Matrix::FromRows({{1.0}, {2.0}});
+  Matrix b = Matrix::FromRows({{3.0, 4.0}, {5.0, 6.0}});
+  Matrix c = a.ConcatCols(b);
+  EXPECT_EQ(c.cols(), 3);
+  EXPECT_DOUBLE_EQ(c.At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(c.At(0, 2), 4.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 1), 5.0);
+}
+
+TEST(MatrixTest, SliceCols) {
+  Matrix a = Matrix::FromRows({{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}});
+  Matrix s = a.SliceCols(1, 2);
+  EXPECT_EQ(s.cols(), 2);
+  EXPECT_DOUBLE_EQ(s.At(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(s.At(1, 1), 6.0);
+}
+
+TEST(MatrixTest, ConcatThenSliceRecovers) {
+  Rng rng(11);
+  Matrix a = Matrix::Randn(3, 2, 1.0, rng);
+  Matrix b = Matrix::Randn(3, 5, 1.0, rng);
+  Matrix c = a.ConcatCols(b);
+  EXPECT_TRUE(c.SliceCols(0, 2).AllClose(a));
+  EXPECT_TRUE(c.SliceCols(2, 5).AllClose(b));
+}
+
+TEST(MatrixTest, RowAndCol) {
+  Matrix a = Matrix::FromRows({{1.0, 2.0}, {3.0, 4.0}});
+  EXPECT_DOUBLE_EQ(a.Row(1).At(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(a.Col(1).At(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(a.Col(1).At(1, 0), 4.0);
+}
+
+TEST(MatrixTest, EqualityAndAllClose) {
+  Matrix a = Matrix::FromRows({{1.0, 2.0}});
+  Matrix b = Matrix::FromRows({{1.0, 2.0}});
+  Matrix c = Matrix::FromRows({{1.0, 2.0 + 1e-12}});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  EXPECT_TRUE(a.AllClose(c, 1e-9));
+  EXPECT_FALSE(a.AllClose(Matrix(1, 3)));
+}
+
+TEST(MatrixTest, FillOverwrites) {
+  Matrix a(2, 2, 1.0);
+  a.Fill(7.0);
+  EXPECT_DOUBLE_EQ(a.At(1, 1), 7.0);
+}
+
+TEST(MatrixTest, RandnStatistics) {
+  Rng rng(13);
+  Matrix m = Matrix::Randn(100, 100, 2.0, rng);
+  EXPECT_NEAR(m.Mean(), 0.0, 0.05);
+  double sum_sq = 0.0;
+  for (int i = 0; i < m.size(); ++i) sum_sq += m[i] * m[i];
+  EXPECT_NEAR(sum_sq / m.size(), 4.0, 0.2);
+}
+
+TEST(MatrixTest, DistributivityProperty) {
+  Rng rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    Matrix a = Matrix::Randn(4, 3, 1.0, rng);
+    Matrix b = Matrix::Randn(3, 5, 1.0, rng);
+    Matrix c = Matrix::Randn(3, 5, 1.0, rng);
+    EXPECT_TRUE(a.MatMul(b + c).AllClose(a.MatMul(b) + a.MatMul(c), 1e-9));
+  }
+}
+
+}  // namespace
+}  // namespace after

@@ -1,0 +1,91 @@
+#include "userstudy/user_study.h"
+
+#include <gtest/gtest.h>
+
+namespace after {
+namespace {
+
+/// One small study shared by all assertions (training + 5 conditions x
+/// participants is the expensive part).
+class UserStudyTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    UserStudyConfig config;
+    config.num_participants = 12;
+    config.num_steps = 21;
+    config.room_side = 6.0;
+    config.comurnet_iterations = 30;
+    config.train_epochs = 4;
+    config.train_targets_per_epoch = 3;
+    config.seed = 99;
+    result_ = new UserStudyResult(RunUserStudy(config));
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    result_ = nullptr;
+  }
+
+  static UserStudyResult* result_;
+};
+
+UserStudyResult* UserStudyTest::result_ = nullptr;
+
+TEST_F(UserStudyTest, FiveConditions) {
+  ASSERT_EQ(result_->methods.size(), 5u);
+  EXPECT_EQ(result_->methods[0].method, "POSHGNN");
+  EXPECT_EQ(result_->methods.back().method, "Original");
+}
+
+TEST_F(UserStudyTest, PerParticipantVectorsComplete) {
+  for (const auto& m : result_->methods) {
+    EXPECT_EQ(m.per_participant_after.size(), 12u);
+    EXPECT_EQ(m.per_participant_satisfaction.size(), 12u);
+    EXPECT_EQ(m.per_participant_preference.size(), 12u);
+    EXPECT_EQ(m.per_participant_customization.size(), 12u);
+    EXPECT_EQ(m.per_participant_presence.size(), 12u);
+    EXPECT_EQ(m.per_participant_togetherness.size(), 12u);
+  }
+}
+
+TEST_F(UserStudyTest, LikertResponsesOnScale) {
+  for (const auto& m : result_->methods) {
+    for (double v : m.per_participant_satisfaction) {
+      EXPECT_GE(v, 1.0);
+      EXPECT_LE(v, 5.0);
+      EXPECT_DOUBLE_EQ(v, std::round(v));  // integer responses
+    }
+  }
+}
+
+TEST_F(UserStudyTest, AveragesMatchVectors) {
+  const auto& m = result_->methods[0];
+  double mean = 0.0;
+  for (double v : m.per_participant_satisfaction) mean += v;
+  mean /= m.per_participant_satisfaction.size();
+  EXPECT_NEAR(m.satisfaction_likert, mean, 1e-9);
+}
+
+TEST_F(UserStudyTest, UtilityFeedbackCorrelationsPositive) {
+  // The response model is a noisy monotone readout of the utilities, so
+  // correlations must come out strongly positive (Table VIII shape).
+  EXPECT_GT(result_->pearson_after, 0.4);
+  EXPECT_GT(result_->spearman_after, 0.4);
+  EXPECT_GT(result_->pearson_preference, 0.4);
+  EXPECT_GT(result_->pearson_presence, 0.4);
+}
+
+TEST_F(UserStudyTest, PValueInRange) {
+  EXPECT_GE(result_->max_p_value_vs_poshgnn, 0.0);
+  EXPECT_LE(result_->max_p_value_vs_poshgnn, 1.0);
+}
+
+TEST_F(UserStudyTest, UtilitiesNonNegative) {
+  for (const auto& m : result_->methods) {
+    EXPECT_GE(m.avg_after_per_step, 0.0);
+    EXPECT_GE(m.avg_preference_per_step, 0.0);
+    EXPECT_GE(m.avg_presence_per_step, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace after
