@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_continuity.dir/ablation_continuity.cc.o"
+  "CMakeFiles/ablation_continuity.dir/ablation_continuity.cc.o.d"
+  "ablation_continuity"
+  "ablation_continuity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_continuity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/after_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/after_bench_util.dir/bench_util.cc.o.d"
+  "libafter_bench_util.a"
+  "libafter_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/after_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for after_bench_util.
+# This may be replaced when dependencies are built.

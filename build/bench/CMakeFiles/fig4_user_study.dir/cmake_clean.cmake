@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_user_study.dir/fig4_user_study.cc.o"
+  "CMakeFiles/fig4_user_study.dir/fig4_user_study.cc.o.d"
+  "fig4_user_study"
+  "fig4_user_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_user_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

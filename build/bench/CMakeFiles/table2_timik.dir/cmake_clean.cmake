@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_timik.dir/table2_timik.cc.o"
+  "CMakeFiles/table2_timik.dir/table2_timik.cc.o.d"
+  "table2_timik"
+  "table2_timik.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_timik.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

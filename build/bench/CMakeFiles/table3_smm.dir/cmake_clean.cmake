@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_smm.dir/table3_smm.cc.o"
+  "CMakeFiles/table3_smm.dir/table3_smm.cc.o.d"
+  "table3_smm"
+  "table3_smm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_smm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table4_hub.cc" "bench/CMakeFiles/table4_hub.dir/table4_hub.cc.o" "gcc" "bench/CMakeFiles/table4_hub.dir/table4_hub.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/after_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/userstudy/CMakeFiles/after_userstudy.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/after_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/after_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/after_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/after_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/after_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/after_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/after_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/after_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/after_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_hub.dir/table4_hub.cc.o"
+  "CMakeFiles/table4_hub.dir/table4_hub.cc.o.d"
+  "table4_hub"
+  "table4_hub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_hub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

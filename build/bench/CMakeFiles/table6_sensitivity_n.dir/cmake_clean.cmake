@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_sensitivity_n.dir/table6_sensitivity_n.cc.o"
+  "CMakeFiles/table6_sensitivity_n.dir/table6_sensitivity_n.cc.o.d"
+  "table6_sensitivity_n"
+  "table6_sensitivity_n.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_sensitivity_n.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

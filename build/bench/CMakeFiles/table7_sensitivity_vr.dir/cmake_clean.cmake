@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_sensitivity_vr.dir/table7_sensitivity_vr.cc.o"
+  "CMakeFiles/table7_sensitivity_vr.dir/table7_sensitivity_vr.cc.o.d"
+  "table7_sensitivity_vr"
+  "table7_sensitivity_vr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_sensitivity_vr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_display.dir/adaptive_display.cpp.o"
+  "CMakeFiles/adaptive_display.dir/adaptive_display.cpp.o.d"
+  "adaptive_display"
+  "adaptive_display.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_display.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

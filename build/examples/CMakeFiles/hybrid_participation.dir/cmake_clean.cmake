@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_participation.dir/hybrid_participation.cpp.o"
+  "CMakeFiles/hybrid_participation.dir/hybrid_participation.cpp.o.d"
+  "hybrid_participation"
+  "hybrid_participation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_participation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

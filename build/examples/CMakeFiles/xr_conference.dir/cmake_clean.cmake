@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xr_conference.dir/xr_conference.cpp.o"
+  "CMakeFiles/xr_conference.dir/xr_conference.cpp.o.d"
+  "xr_conference"
+  "xr_conference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xr_conference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

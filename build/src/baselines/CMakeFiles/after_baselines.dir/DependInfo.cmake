@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/comurnet.cc" "src/baselines/CMakeFiles/after_baselines.dir/comurnet.cc.o" "gcc" "src/baselines/CMakeFiles/after_baselines.dir/comurnet.cc.o.d"
+  "/root/repo/src/baselines/dcrnn_recommender.cc" "src/baselines/CMakeFiles/after_baselines.dir/dcrnn_recommender.cc.o" "gcc" "src/baselines/CMakeFiles/after_baselines.dir/dcrnn_recommender.cc.o.d"
+  "/root/repo/src/baselines/grafrank.cc" "src/baselines/CMakeFiles/after_baselines.dir/grafrank.cc.o" "gcc" "src/baselines/CMakeFiles/after_baselines.dir/grafrank.cc.o.d"
+  "/root/repo/src/baselines/mvagc.cc" "src/baselines/CMakeFiles/after_baselines.dir/mvagc.cc.o" "gcc" "src/baselines/CMakeFiles/after_baselines.dir/mvagc.cc.o.d"
+  "/root/repo/src/baselines/nearest_recommender.cc" "src/baselines/CMakeFiles/after_baselines.dir/nearest_recommender.cc.o" "gcc" "src/baselines/CMakeFiles/after_baselines.dir/nearest_recommender.cc.o.d"
+  "/root/repo/src/baselines/oracle_recommender.cc" "src/baselines/CMakeFiles/after_baselines.dir/oracle_recommender.cc.o" "gcc" "src/baselines/CMakeFiles/after_baselines.dir/oracle_recommender.cc.o.d"
+  "/root/repo/src/baselines/random_recommender.cc" "src/baselines/CMakeFiles/after_baselines.dir/random_recommender.cc.o" "gcc" "src/baselines/CMakeFiles/after_baselines.dir/random_recommender.cc.o.d"
+  "/root/repo/src/baselines/recurrent_base.cc" "src/baselines/CMakeFiles/after_baselines.dir/recurrent_base.cc.o" "gcc" "src/baselines/CMakeFiles/after_baselines.dir/recurrent_base.cc.o.d"
+  "/root/repo/src/baselines/tgcn_recommender.cc" "src/baselines/CMakeFiles/after_baselines.dir/tgcn_recommender.cc.o" "gcc" "src/baselines/CMakeFiles/after_baselines.dir/tgcn_recommender.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/after_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/after_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/after_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/after_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/after_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/after_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/after_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/after_baselines.dir/comurnet.cc.o"
+  "CMakeFiles/after_baselines.dir/comurnet.cc.o.d"
+  "CMakeFiles/after_baselines.dir/dcrnn_recommender.cc.o"
+  "CMakeFiles/after_baselines.dir/dcrnn_recommender.cc.o.d"
+  "CMakeFiles/after_baselines.dir/grafrank.cc.o"
+  "CMakeFiles/after_baselines.dir/grafrank.cc.o.d"
+  "CMakeFiles/after_baselines.dir/mvagc.cc.o"
+  "CMakeFiles/after_baselines.dir/mvagc.cc.o.d"
+  "CMakeFiles/after_baselines.dir/nearest_recommender.cc.o"
+  "CMakeFiles/after_baselines.dir/nearest_recommender.cc.o.d"
+  "CMakeFiles/after_baselines.dir/oracle_recommender.cc.o"
+  "CMakeFiles/after_baselines.dir/oracle_recommender.cc.o.d"
+  "CMakeFiles/after_baselines.dir/random_recommender.cc.o"
+  "CMakeFiles/after_baselines.dir/random_recommender.cc.o.d"
+  "CMakeFiles/after_baselines.dir/recurrent_base.cc.o"
+  "CMakeFiles/after_baselines.dir/recurrent_base.cc.o.d"
+  "CMakeFiles/after_baselines.dir/tgcn_recommender.cc.o"
+  "CMakeFiles/after_baselines.dir/tgcn_recommender.cc.o.d"
+  "libafter_baselines.a"
+  "libafter_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/after_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libafter_baselines.a"
+)

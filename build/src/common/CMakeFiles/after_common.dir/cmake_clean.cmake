@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/after_common.dir/rng.cc.o"
+  "CMakeFiles/after_common.dir/rng.cc.o.d"
+  "libafter_common.a"
+  "libafter_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/after_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/evaluator.cc" "src/core/CMakeFiles/after_core.dir/evaluator.cc.o" "gcc" "src/core/CMakeFiles/after_core.dir/evaluator.cc.o.d"
+  "/root/repo/src/core/loss.cc" "src/core/CMakeFiles/after_core.dir/loss.cc.o" "gcc" "src/core/CMakeFiles/after_core.dir/loss.cc.o.d"
+  "/root/repo/src/core/lwp.cc" "src/core/CMakeFiles/after_core.dir/lwp.cc.o" "gcc" "src/core/CMakeFiles/after_core.dir/lwp.cc.o.d"
+  "/root/repo/src/core/mia.cc" "src/core/CMakeFiles/after_core.dir/mia.cc.o" "gcc" "src/core/CMakeFiles/after_core.dir/mia.cc.o.d"
+  "/root/repo/src/core/pdr.cc" "src/core/CMakeFiles/after_core.dir/pdr.cc.o" "gcc" "src/core/CMakeFiles/after_core.dir/pdr.cc.o.d"
+  "/root/repo/src/core/poshgnn.cc" "src/core/CMakeFiles/after_core.dir/poshgnn.cc.o" "gcc" "src/core/CMakeFiles/after_core.dir/poshgnn.cc.o.d"
+  "/root/repo/src/core/session.cc" "src/core/CMakeFiles/after_core.dir/session.cc.o" "gcc" "src/core/CMakeFiles/after_core.dir/session.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/after_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/after_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/after_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/after_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/after_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/after_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/after_core.dir/evaluator.cc.o"
+  "CMakeFiles/after_core.dir/evaluator.cc.o.d"
+  "CMakeFiles/after_core.dir/loss.cc.o"
+  "CMakeFiles/after_core.dir/loss.cc.o.d"
+  "CMakeFiles/after_core.dir/lwp.cc.o"
+  "CMakeFiles/after_core.dir/lwp.cc.o.d"
+  "CMakeFiles/after_core.dir/mia.cc.o"
+  "CMakeFiles/after_core.dir/mia.cc.o.d"
+  "CMakeFiles/after_core.dir/pdr.cc.o"
+  "CMakeFiles/after_core.dir/pdr.cc.o.d"
+  "CMakeFiles/after_core.dir/poshgnn.cc.o"
+  "CMakeFiles/after_core.dir/poshgnn.cc.o.d"
+  "CMakeFiles/after_core.dir/session.cc.o"
+  "CMakeFiles/after_core.dir/session.cc.o.d"
+  "libafter_core.a"
+  "libafter_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/after_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

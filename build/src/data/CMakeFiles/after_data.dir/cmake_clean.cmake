@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/after_data.dir/dataset.cc.o"
+  "CMakeFiles/after_data.dir/dataset.cc.o.d"
+  "CMakeFiles/after_data.dir/dataset_io.cc.o"
+  "CMakeFiles/after_data.dir/dataset_io.cc.o.d"
+  "CMakeFiles/after_data.dir/preference_model.cc.o"
+  "CMakeFiles/after_data.dir/preference_model.cc.o.d"
+  "libafter_data.a"
+  "libafter_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/after_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

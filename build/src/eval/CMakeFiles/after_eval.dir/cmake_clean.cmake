@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/after_eval.dir/ascii_view.cc.o"
+  "CMakeFiles/after_eval.dir/ascii_view.cc.o.d"
+  "CMakeFiles/after_eval.dir/stats.cc.o"
+  "CMakeFiles/after_eval.dir/stats.cc.o.d"
+  "CMakeFiles/after_eval.dir/table_printer.cc.o"
+  "CMakeFiles/after_eval.dir/table_printer.cc.o.d"
+  "libafter_eval.a"
+  "libafter_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/after_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/arc_mwis.cc" "src/graph/CMakeFiles/after_graph.dir/arc_mwis.cc.o" "gcc" "src/graph/CMakeFiles/after_graph.dir/arc_mwis.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "src/graph/CMakeFiles/after_graph.dir/generators.cc.o" "gcc" "src/graph/CMakeFiles/after_graph.dir/generators.cc.o.d"
+  "/root/repo/src/graph/gig.cc" "src/graph/CMakeFiles/after_graph.dir/gig.cc.o" "gcc" "src/graph/CMakeFiles/after_graph.dir/gig.cc.o.d"
+  "/root/repo/src/graph/mwis.cc" "src/graph/CMakeFiles/after_graph.dir/mwis.cc.o" "gcc" "src/graph/CMakeFiles/after_graph.dir/mwis.cc.o.d"
+  "/root/repo/src/graph/occlusion_converter.cc" "src/graph/CMakeFiles/after_graph.dir/occlusion_converter.cc.o" "gcc" "src/graph/CMakeFiles/after_graph.dir/occlusion_converter.cc.o.d"
+  "/root/repo/src/graph/occlusion_converter_3d.cc" "src/graph/CMakeFiles/after_graph.dir/occlusion_converter_3d.cc.o" "gcc" "src/graph/CMakeFiles/after_graph.dir/occlusion_converter_3d.cc.o.d"
+  "/root/repo/src/graph/occlusion_graph.cc" "src/graph/CMakeFiles/after_graph.dir/occlusion_graph.cc.o" "gcc" "src/graph/CMakeFiles/after_graph.dir/occlusion_graph.cc.o.d"
+  "/root/repo/src/graph/social_graph.cc" "src/graph/CMakeFiles/after_graph.dir/social_graph.cc.o" "gcc" "src/graph/CMakeFiles/after_graph.dir/social_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/after_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/after_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

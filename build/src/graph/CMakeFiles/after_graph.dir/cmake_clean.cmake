@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/after_graph.dir/arc_mwis.cc.o"
+  "CMakeFiles/after_graph.dir/arc_mwis.cc.o.d"
+  "CMakeFiles/after_graph.dir/generators.cc.o"
+  "CMakeFiles/after_graph.dir/generators.cc.o.d"
+  "CMakeFiles/after_graph.dir/gig.cc.o"
+  "CMakeFiles/after_graph.dir/gig.cc.o.d"
+  "CMakeFiles/after_graph.dir/mwis.cc.o"
+  "CMakeFiles/after_graph.dir/mwis.cc.o.d"
+  "CMakeFiles/after_graph.dir/occlusion_converter.cc.o"
+  "CMakeFiles/after_graph.dir/occlusion_converter.cc.o.d"
+  "CMakeFiles/after_graph.dir/occlusion_converter_3d.cc.o"
+  "CMakeFiles/after_graph.dir/occlusion_converter_3d.cc.o.d"
+  "CMakeFiles/after_graph.dir/occlusion_graph.cc.o"
+  "CMakeFiles/after_graph.dir/occlusion_graph.cc.o.d"
+  "CMakeFiles/after_graph.dir/social_graph.cc.o"
+  "CMakeFiles/after_graph.dir/social_graph.cc.o.d"
+  "libafter_graph.a"
+  "libafter_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/after_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

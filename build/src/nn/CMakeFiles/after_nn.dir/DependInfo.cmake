@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/adam.cc" "src/nn/CMakeFiles/after_nn.dir/adam.cc.o" "gcc" "src/nn/CMakeFiles/after_nn.dir/adam.cc.o.d"
+  "/root/repo/src/nn/diffusion_conv.cc" "src/nn/CMakeFiles/after_nn.dir/diffusion_conv.cc.o" "gcc" "src/nn/CMakeFiles/after_nn.dir/diffusion_conv.cc.o.d"
+  "/root/repo/src/nn/gcn_layer.cc" "src/nn/CMakeFiles/after_nn.dir/gcn_layer.cc.o" "gcc" "src/nn/CMakeFiles/after_nn.dir/gcn_layer.cc.o.d"
+  "/root/repo/src/nn/gru_cell.cc" "src/nn/CMakeFiles/after_nn.dir/gru_cell.cc.o" "gcc" "src/nn/CMakeFiles/after_nn.dir/gru_cell.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/nn/CMakeFiles/after_nn.dir/linear.cc.o" "gcc" "src/nn/CMakeFiles/after_nn.dir/linear.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/nn/CMakeFiles/after_nn.dir/serialize.cc.o" "gcc" "src/nn/CMakeFiles/after_nn.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/after_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/after_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

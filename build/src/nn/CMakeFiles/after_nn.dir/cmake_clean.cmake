@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/after_nn.dir/adam.cc.o"
+  "CMakeFiles/after_nn.dir/adam.cc.o.d"
+  "CMakeFiles/after_nn.dir/diffusion_conv.cc.o"
+  "CMakeFiles/after_nn.dir/diffusion_conv.cc.o.d"
+  "CMakeFiles/after_nn.dir/gcn_layer.cc.o"
+  "CMakeFiles/after_nn.dir/gcn_layer.cc.o.d"
+  "CMakeFiles/after_nn.dir/gru_cell.cc.o"
+  "CMakeFiles/after_nn.dir/gru_cell.cc.o.d"
+  "CMakeFiles/after_nn.dir/linear.cc.o"
+  "CMakeFiles/after_nn.dir/linear.cc.o.d"
+  "CMakeFiles/after_nn.dir/serialize.cc.o"
+  "CMakeFiles/after_nn.dir/serialize.cc.o.d"
+  "libafter_nn.a"
+  "libafter_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/after_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/crowd_simulator.cc" "src/sim/CMakeFiles/after_sim.dir/crowd_simulator.cc.o" "gcc" "src/sim/CMakeFiles/after_sim.dir/crowd_simulator.cc.o.d"
+  "/root/repo/src/sim/xr_world.cc" "src/sim/CMakeFiles/after_sim.dir/xr_world.cc.o" "gcc" "src/sim/CMakeFiles/after_sim.dir/xr_world.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/after_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/after_sim.dir/crowd_simulator.cc.o"
+  "CMakeFiles/after_sim.dir/crowd_simulator.cc.o.d"
+  "CMakeFiles/after_sim.dir/xr_world.cc.o"
+  "CMakeFiles/after_sim.dir/xr_world.cc.o.d"
+  "libafter_sim.a"
+  "libafter_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/after_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

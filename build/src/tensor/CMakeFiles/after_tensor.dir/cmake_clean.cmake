@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/after_tensor.dir/autograd.cc.o"
+  "CMakeFiles/after_tensor.dir/autograd.cc.o.d"
+  "CMakeFiles/after_tensor.dir/matrix.cc.o"
+  "CMakeFiles/after_tensor.dir/matrix.cc.o.d"
+  "libafter_tensor.a"
+  "libafter_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/after_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/after_userstudy.dir/user_study.cc.o"
+  "CMakeFiles/after_userstudy.dir/user_study.cc.o.d"
+  "libafter_userstudy.a"
+  "libafter_userstudy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/after_userstudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arc_mwis_test.dir/graph/arc_mwis_test.cc.o"
+  "CMakeFiles/arc_mwis_test.dir/graph/arc_mwis_test.cc.o.d"
+  "arc_mwis_test"
+  "arc_mwis_test.pdb"
+  "arc_mwis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arc_mwis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

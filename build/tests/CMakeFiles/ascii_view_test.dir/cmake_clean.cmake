@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ascii_view_test.dir/eval/ascii_view_test.cc.o"
+  "CMakeFiles/ascii_view_test.dir/eval/ascii_view_test.cc.o.d"
+  "ascii_view_test"
+  "ascii_view_test.pdb"
+  "ascii_view_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ascii_view_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/occlusion_converter_test.dir/graph/occlusion_converter_test.cc.o"
+  "CMakeFiles/occlusion_converter_test.dir/graph/occlusion_converter_test.cc.o.d"
+  "occlusion_converter_test"
+  "occlusion_converter_test.pdb"
+  "occlusion_converter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/occlusion_converter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

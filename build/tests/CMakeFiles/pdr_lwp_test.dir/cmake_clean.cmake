@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdr_lwp_test.dir/core/pdr_lwp_test.cc.o"
+  "CMakeFiles/pdr_lwp_test.dir/core/pdr_lwp_test.cc.o.d"
+  "pdr_lwp_test"
+  "pdr_lwp_test.pdb"
+  "pdr_lwp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdr_lwp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

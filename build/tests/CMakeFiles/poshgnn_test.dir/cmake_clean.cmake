@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poshgnn_test.dir/core/poshgnn_test.cc.o"
+  "CMakeFiles/poshgnn_test.dir/core/poshgnn_test.cc.o.d"
+  "poshgnn_test"
+  "poshgnn_test.pdb"
+  "poshgnn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poshgnn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

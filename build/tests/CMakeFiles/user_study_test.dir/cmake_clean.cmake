@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/user_study_test.dir/userstudy/user_study_test.cc.o"
+  "CMakeFiles/user_study_test.dir/userstudy/user_study_test.cc.o.d"
+  "user_study_test"
+  "user_study_test.pdb"
+  "user_study_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/user_study_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xr_world_test.dir/sim/xr_world_test.cc.o"
+  "CMakeFiles/xr_world_test.dir/sim/xr_world_test.cc.o.d"
+  "xr_world_test"
+  "xr_world_test.pdb"
+  "xr_world_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xr_world_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
