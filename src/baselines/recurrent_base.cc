@@ -72,7 +72,16 @@ void RecurrentGnnRecommender::Train(const Dataset& dataset,
                                     const TrainOptions& options) {
   Rng rng(options.seed);
   const int n = dataset.num_users();
-  AFTER_CHECK(!dataset.sessions.empty());
+  last_train_status_ = OkStatus();
+  train_steps_skipped_ = 0;
+  train_rollbacks_ = 0;
+  if (dataset.sessions.empty() || n <= 0) {
+    last_train_status_ = InvalidDataError(
+        "RecurrentGnnRecommender::Train: dataset has no sessions or users");
+    std::fprintf(stderr, "[%s] %s\n", name().c_str(),
+                 last_train_status_.ToString().c_str());
+    return;
+  }
 
   std::vector<int> train_sessions = options.train_sessions;
   if (train_sessions.empty()) {
@@ -84,6 +93,7 @@ void RecurrentGnnRecommender::Train(const Dataset& dataset,
   Adam::Options adam_options;
   adam_options.learning_rate = options.learning_rate;
   Adam optimizer(Parameters(), adam_options);
+  TrainingGuard guard(options.robustness, &optimizer);
 
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
     double epoch_loss = 0.0;
@@ -91,7 +101,11 @@ void RecurrentGnnRecommender::Train(const Dataset& dataset,
     const std::vector<int> targets = rng.SampleWithoutReplacement(
         n, std::min(n, options.targets_per_epoch));
     for (int session_index : train_sessions) {
+      if (session_index < 0 ||
+          session_index >= static_cast<int>(dataset.sessions.size()))
+        continue;
       const XrWorld& world = dataset.sessions[session_index];
+      if (world.num_steps() <= 0) continue;
       for (int target : targets) {
         Mia mia_state;
         Variable r_prev = Variable::Constant(Matrix(n, 1));
@@ -111,13 +125,26 @@ void RecurrentGnnRecommender::Train(const Dataset& dataset,
               r_prev = step.recommendation;
               h_prev = step.hidden;
             });
+        // Every step of the rollout may have been skipped as poisoned.
+        if (!total_loss.defined()) continue;
         total_loss =
             (1.0 / static_cast<double>(world.num_steps())) * total_loss;
         optimizer.ZeroGrad();
         total_loss.Backward();
-        optimizer.Step();
-        epoch_loss += total_loss.value().At(0, 0);
-        ++rollouts;
+        const TrainingGuard::Outcome outcome =
+            guard.GuardedStep(total_loss.value().At(0, 0));
+        if (outcome == TrainingGuard::Outcome::kFailed) {
+          last_train_status_ = guard.status();
+          train_steps_skipped_ = guard.steps_skipped();
+          train_rollbacks_ = guard.rollbacks();
+          std::fprintf(stderr, "[%s] training halted: %s\n", name().c_str(),
+                       last_train_status_.ToString().c_str());
+          return;
+        }
+        if (outcome == TrainingGuard::Outcome::kStepped) {
+          epoch_loss += total_loss.value().At(0, 0);
+          ++rollouts;
+        }
       }
     }
     last_training_loss_ = epoch_loss / std::max(1, rollouts);
@@ -126,6 +153,8 @@ void RecurrentGnnRecommender::Train(const Dataset& dataset,
                   options.epochs, last_training_loss_);
     }
   }
+  train_steps_skipped_ = guard.steps_skipped();
+  train_rollbacks_ = guard.rollbacks();
 }
 
 }  // namespace after

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "core/mia.h"
 #include "core/recommender.h"
 #include "tensor/autograd.h"
@@ -30,6 +31,11 @@ class RecurrentGnnRecommender : public TrainableRecommender {
 
   double last_training_loss() const { return last_training_loss_; }
 
+  /// Outcome of the last Train() call (mirrors Poshgnn::last_train_status).
+  const Status& last_train_status() const { return last_train_status_; }
+  int train_steps_skipped() const { return train_steps_skipped_; }
+  int train_rollbacks() const { return train_rollbacks_; }
+
  protected:
   /// One recurrent step on the tape.
   virtual StepOutput StepOnTape(const MiaOutput& mia,
@@ -48,6 +54,9 @@ class RecurrentGnnRecommender : public TrainableRecommender {
   Matrix state_hidden_;
   Matrix state_recommendation_;
   double last_training_loss_ = 0.0;
+  Status last_train_status_;
+  int train_steps_skipped_ = 0;
+  int train_rollbacks_ = 0;
 };
 
 }  // namespace after

@@ -41,6 +41,18 @@ namespace after {
     }                                                                \
   } while (0)
 
+/// Aborts with a caller-supplied message. `msg` may be a stream-style
+/// expression chain, e.g.:
+///   AFTER_CHECK_MSG(rows == n, "matrix has " << rows << " rows, want " << n);
+#define AFTER_CHECK_MSG(condition, msg)                               \
+  do {                                                                \
+    if (!(condition)) {                                               \
+      std::ostringstream oss_;                                        \
+      oss_ << "expected " #condition ": " << msg;                     \
+      ::after::CheckFailed(__FILE__, __LINE__, oss_.str());           \
+    }                                                                 \
+  } while (0)
+
 #define AFTER_CHECK_EQ(a, b) AFTER_CHECK_OP(==, a, b)
 #define AFTER_CHECK_NE(a, b) AFTER_CHECK_OP(!=, a, b)
 #define AFTER_CHECK_LT(a, b) AFTER_CHECK_OP(<, a, b)

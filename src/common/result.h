@@ -1,0 +1,61 @@
+#ifndef AFTER_COMMON_RESULT_H_
+#define AFTER_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace after {
+
+/// Either a value or a non-OK Status, in a no-exceptions style: the
+/// error-union return type for fallible constructors and loaders
+/// (e.g. `Result<Dataset> LoadDatasetResult(dir)`).
+///
+/// Accessing `value()` on an error Result is a programming error and
+/// trips AFTER_CHECK; callers must branch on `ok()` first (or use
+/// `value_or`). Constructing from an OK status is likewise a programming
+/// error — an OK result must carry a value.
+template <typename T>
+class Result {
+ public:
+  /// Error result. `status` must be non-OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    AFTER_CHECK(!status_.ok());
+  }
+
+  /// Success result.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return value_.has_value(); }
+
+  /// OK when a value is held.
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    AFTER_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    AFTER_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    AFTER_CHECK(ok());
+    return std::move(*value_);
+  }
+
+  /// The value, or `fallback` when this holds an error.
+  T value_or(T fallback) const& {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace after
+
+#endif  // AFTER_COMMON_RESULT_H_

@@ -1,6 +1,9 @@
 #include "core/evaluator.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
 
 #include "common/check.h"
 #include "common/rng.h"
@@ -8,6 +11,27 @@
 #include "graph/occlusion_converter.h"
 
 namespace after {
+namespace {
+
+bool StepPositionsFinite(const std::vector<Vec2>& positions) {
+  for (const Vec2& p : positions)
+    if (!std::isfinite(p.x) || !std::isfinite(p.y)) return false;
+  return true;
+}
+
+/// Reads a utility entry, zeroing non-finite values (poisoned matrix)
+/// and counting the repair.
+double GuardedUtility(const Matrix& m, int r, int c,
+                      EvalDiagnostics* diagnostics) {
+  const double value = m.At(r, c);
+  if (!std::isfinite(value)) {
+    ++diagnostics->non_finite_utilities_zeroed;
+    return 0.0;
+  }
+  return value;
+}
+
+}  // namespace
 
 std::vector<int> DefaultEvalTargets(int num_users, int num_targets,
                                     uint64_t seed) {
@@ -16,25 +40,56 @@ std::vector<int> DefaultEvalTargets(int num_users, int num_targets,
                                       std::min(num_users, num_targets));
 }
 
-EvalResult EvaluateRecommender(Recommender& recommender,
-                               const Dataset& dataset,
-                               const EvalOptions& options) {
-  AFTER_CHECK(!dataset.sessions.empty());
+Result<EvalResult> EvaluateRecommenderChecked(Recommender& recommender,
+                                              const Dataset& dataset,
+                                              const EvalOptions& options) {
+  if (dataset.sessions.empty())
+    return InvalidDataError("dataset has no sessions to evaluate");
   const int session_index =
       options.session >= 0
           ? options.session
           : static_cast<int>(dataset.sessions.size()) - 1;
+  if (session_index >= static_cast<int>(dataset.sessions.size())) {
+    std::ostringstream oss;
+    oss << "session index " << session_index << " out of range [0, "
+        << dataset.sessions.size() << ")";
+    return InvalidDataError(oss.str());
+  }
   const XrWorld& world = dataset.sessions[session_index];
   const int n = world.num_users();
   const double body_radius = world.body_radius();
-
-  std::vector<int> targets = options.targets;
-  if (targets.empty())
-    targets = DefaultEvalTargets(n, options.num_targets, options.target_seed);
+  if (n <= 0) return InvalidDataError("session has no users");
+  if (dataset.preference.rows() < n || dataset.preference.cols() < n ||
+      dataset.social_presence.rows() < n ||
+      dataset.social_presence.cols() < n) {
+    std::ostringstream oss;
+    oss << "utility matrices (" << dataset.preference.rows() << "x"
+        << dataset.preference.cols() << ") do not cover the session's " << n
+        << " users";
+    return InvalidDataError(oss.str());
+  }
 
   EvalResult result;
   result.method = recommender.name();
   result.steps_per_session = world.num_steps();
+  EvalDiagnostics& diagnostics = result.diagnostics;
+
+  std::vector<int> targets;
+  {
+    const std::vector<int> requested =
+        options.targets.empty()
+            ? DefaultEvalTargets(n, options.num_targets, options.target_seed)
+            : options.targets;
+    for (int target : requested) {
+      if (target < 0 || target >= n) {
+        ++diagnostics.skipped_targets;
+        continue;
+      }
+      targets.push_back(target);
+    }
+  }
+  if (targets.empty())
+    return InvalidDataError("no valid evaluation targets");
 
   double total_steps_timed = 0.0;
   double total_time_ms = 0.0;
@@ -44,6 +99,8 @@ EvalResult EvaluateRecommender(Recommender& recommender,
 
   for (int target : targets) {
     recommender.BeginSession(n, target);
+    if (options.fallback != nullptr)
+      options.fallback->BeginSession(n, target);
     std::vector<bool> prev_visible(n, false);
     std::vector<bool> prev_recommended(n, false);
     double target_after = 0.0;
@@ -52,6 +109,14 @@ EvalResult EvaluateRecommender(Recommender& recommender,
 
     for (int t = 0; t < world.num_steps(); ++t) {
       const auto& positions = world.PositionsAt(t);
+      if (!StepPositionsFinite(positions)) {
+        // Poisoned trace: the geometry kernels assume finite coordinates,
+        // so this step earns nothing and breaks continuity.
+        ++diagnostics.poisoned_steps_skipped;
+        std::fill(prev_visible.begin(), prev_visible.end(), false);
+        std::fill(prev_recommended.begin(), prev_recommended.end(), false);
+        continue;
+      }
       const OcclusionGraph occlusion =
           BuildOcclusionGraph(positions, target, body_radius);
 
@@ -71,7 +136,22 @@ EvalResult EvaluateRecommender(Recommender& recommender,
       total_time_ms += timer.ElapsedMs();
       total_steps_timed += 1.0;
 
-      AFTER_CHECK_EQ(static_cast<int>(recommended.size()), n);
+      if (static_cast<int>(recommended.size()) != n) {
+        // The primary recommender misbehaved; degrade to the fallback
+        // rather than aborting the whole evaluation.
+        bool recovered = false;
+        if (options.fallback != nullptr) {
+          recommended = options.fallback->Recommend(context);
+          recovered = static_cast<int>(recommended.size()) == n;
+          if (recovered) ++diagnostics.fallback_steps;
+        }
+        if (!recovered) {
+          ++diagnostics.failed_steps_skipped;
+          std::fill(prev_visible.begin(), prev_visible.end(), false);
+          std::fill(prev_recommended.begin(), prev_recommended.end(), false);
+          continue;
+        }
+      }
       recommended[target] = false;
 
       // Rendered = recommended plus, for MR targets, the physically
@@ -96,12 +176,14 @@ EvalResult EvaluateRecommender(Recommender& recommender,
         const bool sees_now = visible[w];  // 1[v => w at t]
         if (!sees_now) ++occluded_count;
         if (sees_now) {
-          const double p = dataset.preference.At(target, w);
+          const double p =
+              GuardedUtility(dataset.preference, target, w, &diagnostics);
           target_preference += p;
           target_after += (1.0 - options.beta) * p;
           const bool seen_before = prev_recommended[w] && prev_visible[w];
           if (seen_before) {
-            const double s = dataset.social_presence.At(target, w);
+            const double s = GuardedUtility(dataset.social_presence, target,
+                                            w, &diagnostics);
             target_presence += s;
             target_after += options.beta * s;
           }
@@ -140,6 +222,22 @@ EvalResult EvaluateRecommender(Recommender& recommender,
   result.avg_recommended_per_step =
       total_steps_timed > 0.0 ? recommended_total / total_steps_timed : 0.0;
   return result;
+}
+
+EvalResult EvaluateRecommender(Recommender& recommender,
+                               const Dataset& dataset,
+                               const EvalOptions& options) {
+  Result<EvalResult> result =
+      EvaluateRecommenderChecked(recommender, dataset, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "EvaluateRecommender(%s): %s\n",
+                 recommender.name().c_str(),
+                 result.status().ToString().c_str());
+    EvalResult empty;
+    empty.method = recommender.name();
+    return empty;
+  }
+  return std::move(result).value();
 }
 
 }  // namespace after

@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "common/result.h"
+#include "common/status.h"
 #include "core/recommender.h"
 #include "data/dataset.h"
 
@@ -22,6 +24,32 @@ struct EvalOptions {
   uint64_t target_seed = 1234;
   /// Preference / social-presence trade-off.
   double beta = 0.5;
+  /// Degradation recommender consulted when the primary one misbehaves
+  /// (wrong-size output). The harness passes a NearestRecommender here;
+  /// nullptr means misbehaving steps are skipped and counted instead.
+  /// Not owned; must outlive the evaluation.
+  Recommender* fallback = nullptr;
+};
+
+/// Counters describing how much graceful degradation an evaluation
+/// needed. A clean run reports all zeros.
+struct EvalDiagnostics {
+  /// Steps dropped because a position was NaN/Inf (poisoned trace).
+  int poisoned_steps_skipped = 0;
+  /// Steps answered by the fallback recommender.
+  int fallback_steps = 0;
+  /// Steps dropped because both primary and fallback misbehaved.
+  int failed_steps_skipped = 0;
+  /// Requested targets dropped (out of range).
+  int skipped_targets = 0;
+  /// Utility entries that were non-finite and scored as zero.
+  int non_finite_utilities_zeroed = 0;
+
+  bool clean() const {
+    return poisoned_steps_skipped == 0 && fallback_steps == 0 &&
+           failed_steps_skipped == 0 && skipped_targets == 0 &&
+           non_finite_utilities_zeroed == 0;
+  }
 };
 
 /// Aggregated metrics matching the rows of Tables II-VII.
@@ -47,6 +75,8 @@ struct EvalResult {
   std::vector<int> evaluated_targets;
   /// Steps per session (to convert totals into per-step averages).
   int steps_per_session = 0;
+  /// How much graceful degradation this evaluation needed.
+  EvalDiagnostics diagnostics;
 };
 
 /// Replays one session of `dataset` through `recommender` for each target
@@ -57,6 +87,18 @@ struct EvalResult {
 EvalResult EvaluateRecommender(Recommender& recommender,
                                const Dataset& dataset,
                                const EvalOptions& options);
+
+/// Status-returning variant of EvaluateRecommender. Structural problems
+/// (no sessions, bad session index, utility matrices that do not cover
+/// the population, no valid targets) yield kInvalidData instead of
+/// aborting. Recoverable per-step faults — poisoned positions, a
+/// recommender emitting wrong-size output, non-finite utility entries —
+/// degrade gracefully (fallback recommender, skip-and-count) and are
+/// reported in the result's `diagnostics`; all returned metrics are
+/// finite.
+Result<EvalResult> EvaluateRecommenderChecked(Recommender& recommender,
+                                              const Dataset& dataset,
+                                              const EvalOptions& options);
 
 /// Deterministic evaluation targets for a dataset size (shared across
 /// methods so comparisons are paired).

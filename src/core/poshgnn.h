@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "core/lwp.h"
 #include "core/mia.h"
 #include "core/pdr.h"
@@ -74,6 +75,16 @@ class Poshgnn : public TrainableRecommender {
   /// Average training loss of the last Train() call's final epoch.
   double last_training_loss() const { return last_training_loss_; }
 
+  /// Outcome of the last Train() call: OK on success (possibly with
+  /// skipped/rolled-back steps under the robustness policy), kInvalidData
+  /// for an untrainable dataset, kNumericalError when the guard gave up.
+  /// Parameters are finite in every case.
+  const Status& last_train_status() const { return last_train_status_; }
+
+  /// Guard counters from the last Train() call (0 on a clean run).
+  int train_steps_skipped() const { return train_steps_skipped_; }
+  int train_rollbacks() const { return train_rollbacks_; }
+
  private:
   /// Raw (un-normalized, un-masked) aggregation for the "Only PDR"
   /// ablation.
@@ -84,6 +95,9 @@ class Poshgnn : public TrainableRecommender {
   Pdr pdr_;
   Lwp lwp_;
   double last_training_loss_ = 0.0;
+  Status last_train_status_;
+  int train_steps_skipped_ = 0;
+  int train_rollbacks_ = 0;
 
   // Detached recurrent state for inference.
   Matrix state_recommendation_;

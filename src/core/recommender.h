@@ -6,6 +6,7 @@
 
 #include "common/geometry.h"
 #include "graph/occlusion_graph.h"
+#include "nn/guard.h"
 #include "sim/xr_world.h"
 #include "tensor/matrix.h"
 
@@ -57,6 +58,11 @@ struct TrainOptions {
   uint64_t seed = 7;
   /// If true, prints the loss once per epoch.
   bool verbose = false;
+  /// NaN/Inf guarding and degradation policy for the optimizer loop
+  /// (see nn/guard.h). Guarding is on by default; set
+  /// robustness.guard_training = false for the historical fail-fast
+  /// behavior.
+  RobustnessConfig robustness;
 };
 
 /// Abstract AFTER recommender (Definition 1). Implementations are

@@ -1,20 +1,61 @@
 #include "core/session.h"
 
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
 #include "common/check.h"
 #include "graph/occlusion_converter.h"
 
 namespace after {
+namespace {
 
-void ForEachSessionStep(
+bool StepPositionsFinite(const std::vector<Vec2>& positions) {
+  for (const Vec2& p : positions)
+    if (!std::isfinite(p.x) || !std::isfinite(p.y)) return false;
+  return true;
+}
+
+}  // namespace
+
+Status ForEachSessionStepChecked(
     const Dataset& dataset, int session_index, int target, double beta,
-    const std::function<void(const StepContext&)>& step_fn) {
-  AFTER_CHECK_GE(session_index, 0);
-  AFTER_CHECK_LT(session_index, static_cast<int>(dataset.sessions.size()));
+    const std::function<void(const StepContext&)>& step_fn,
+    int* skipped_steps) {
+  if (skipped_steps != nullptr) *skipped_steps = 0;
+  if (session_index < 0 ||
+      session_index >= static_cast<int>(dataset.sessions.size())) {
+    std::ostringstream oss;
+    oss << "session index " << session_index << " out of range [0, "
+        << dataset.sessions.size() << ")";
+    return InvalidDataError(oss.str());
+  }
   const XrWorld& world = dataset.sessions[session_index];
-  AFTER_CHECK_GE(target, 0);
-  AFTER_CHECK_LT(target, world.num_users());
+  if (target < 0 || target >= world.num_users()) {
+    std::ostringstream oss;
+    oss << "target " << target << " out of range [0, " << world.num_users()
+        << ")";
+    return InvalidDataError(oss.str());
+  }
+  if (dataset.preference.rows() < world.num_users() ||
+      dataset.preference.cols() < world.num_users() ||
+      dataset.social_presence.rows() < world.num_users() ||
+      dataset.social_presence.cols() < world.num_users()) {
+    std::ostringstream oss;
+    oss << "utility matrices (" << dataset.preference.rows() << "x"
+        << dataset.preference.cols() << ") do not cover the session's "
+        << world.num_users() << " users";
+    return InvalidDataError(oss.str());
+  }
 
   for (int t = 0; t < world.num_steps(); ++t) {
+    // A poisoned step (NaN/Inf position, e.g. a corrupted trace or a
+    // tracking glitch) is skipped rather than fed into the geometry
+    // kernels, which assume finite coordinates.
+    if (!StepPositionsFinite(world.PositionsAt(t))) {
+      if (skipped_steps != nullptr) ++*skipped_steps;
+      continue;
+    }
     const OcclusionGraph occlusion = BuildOcclusionGraph(
         world.PositionsAt(t), target, world.body_radius());
     StepContext context;
@@ -29,6 +70,17 @@ void ForEachSessionStep(
     context.body_radius = world.body_radius();
     step_fn(context);
   }
+  return OkStatus();
+}
+
+void ForEachSessionStep(
+    const Dataset& dataset, int session_index, int target, double beta,
+    const std::function<void(const StepContext&)>& step_fn) {
+  const Status status =
+      ForEachSessionStepChecked(dataset, session_index, target, beta, step_fn);
+  if (!status.ok())
+    std::fprintf(stderr, "ForEachSessionStep: %s\n",
+                 status.ToString().c_str());
 }
 
 }  // namespace after

@@ -3,6 +3,7 @@
 
 #include <functional>
 
+#include "common/status.h"
 #include "core/recommender.h"
 #include "data/dataset.h"
 
@@ -14,9 +15,23 @@ namespace after {
 /// the raw scene (trajectories + interfaces + utilities) is turned into
 /// Definition 4's dynamic occlusion graph view; the evaluator, the
 /// trainers and the examples all replay sessions through it.
+///
+/// Logs and returns without invoking `step_fn` when the session index or
+/// target is out of range (both ultimately come from external input);
+/// use ForEachSessionStepChecked to receive the diagnostic.
 void ForEachSessionStep(
     const Dataset& dataset, int session_index, int target, double beta,
     const std::function<void(const StepContext&)>& step_fn);
+
+/// Status-returning variant: kInvalidData (with a diagnostic) instead of
+/// aborting on a malformed session, out-of-range index, or out-of-range
+/// target. Steps whose positions contain non-finite coordinates (poisoned
+/// trajectories) are skipped; `skipped_steps`, when non-null, receives
+/// the count.
+Status ForEachSessionStepChecked(
+    const Dataset& dataset, int session_index, int target, double beta,
+    const std::function<void(const StepContext&)>& step_fn,
+    int* skipped_steps = nullptr);
 
 }  // namespace after
 

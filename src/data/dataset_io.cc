@@ -1,5 +1,6 @@
 #include "data/dataset_io.h"
 
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -7,6 +8,61 @@
 
 namespace after {
 namespace {
+
+/// Caps applied to counts parsed from file headers so a corrupt header
+/// cannot drive a multi-gigabyte allocation before validation kicks in.
+constexpr long long kMaxUsers = 1 << 20;
+constexpr long long kMaxSteps = 1 << 20;
+constexpr long long kMaxSessionCells = 1LL << 26;
+constexpr long long kMaxMatrixCells = 1LL << 26;
+
+/// Splits `line` into whitespace tokens parsed as finite doubles.
+/// Returns a Status naming the first offending token on failure.
+Status ParseFiniteRow(const std::string& line, int expected_count,
+                      std::vector<double>* out) {
+  std::istringstream tokens(line);
+  out->clear();
+  double value = 0.0;
+  while (tokens >> value) {
+    if (!std::isfinite(value)) {
+      std::ostringstream oss;
+      oss << "non-finite value in column "
+          << static_cast<int>(out->size()) + 1;
+      return InvalidDataError(oss.str());
+    }
+    out->push_back(value);
+  }
+  if (!tokens.eof()) {
+    std::ostringstream oss;
+    oss << "unparseable token in column "
+        << static_cast<int>(out->size()) + 1;
+    return InvalidDataError(oss.str());
+  }
+  if (static_cast<int>(out->size()) != expected_count) {
+    std::ostringstream oss;
+    oss << "expected " << expected_count << " values, found " << out->size();
+    return InvalidDataError(oss.str());
+  }
+  return OkStatus();
+}
+
+/// Reads the next non-empty line, tracking the 1-based line number.
+bool NextLine(std::ifstream& in, std::string* line, int* line_number) {
+  while (std::getline(in, *line)) {
+    ++*line_number;
+    // Trim trailing carriage returns so CRLF files load.
+    while (!line->empty() && (line->back() == '\r' || line->back() == ' '))
+      line->pop_back();
+    if (!line->empty()) return true;
+  }
+  return false;
+}
+
+std::string FileLine(const std::string& file, int line_number) {
+  std::ostringstream oss;
+  oss << file << " line " << line_number;
+  return oss.str();
+}
 
 bool WriteMatrix(const std::string& path, const Matrix& m) {
   std::ofstream out(path);
@@ -23,16 +79,48 @@ bool WriteMatrix(const std::string& path, const Matrix& m) {
   return static_cast<bool>(out);
 }
 
-bool ReadMatrix(const std::string& path, Matrix* m) {
+/// Strict matrix reader: rejects truncated files, rows whose length
+/// differs from the header, unparseable or non-finite entries. The
+/// diagnostic names `file_label` and the offending line.
+Status ReadMatrixChecked(const std::string& path,
+                         const std::string& file_label, Matrix* m) {
   std::ifstream in(path);
-  if (!in) return false;
-  int rows = 0, cols = 0;
-  if (!(in >> rows >> cols) || rows < 0 || cols < 0) return false;
-  *m = Matrix(rows, cols);
-  for (int r = 0; r < rows; ++r)
-    for (int c = 0; c < cols; ++c)
-      if (!(in >> m->At(r, c))) return false;
-  return true;
+  if (!in) return NotFoundError(file_label + ": cannot open");
+  int line_number = 0;
+  std::string line;
+  if (!NextLine(in, &line, &line_number))
+    return InvalidDataError(file_label + ": missing header");
+  long long rows = -1, cols = -1;
+  {
+    std::istringstream header(line);
+    std::string extra;
+    if (!(header >> rows >> cols) || (header >> extra) || rows < 0 ||
+        cols < 0)
+      return InvalidDataError(FileLine(file_label, line_number) +
+                              ": malformed header (want \"rows cols\")");
+  }
+  if (rows * cols > kMaxMatrixCells)
+    return ResourceExhaustedError(file_label +
+                                  ": header declares an implausibly "
+                                  "large matrix");
+  *m = Matrix(static_cast<int>(rows), static_cast<int>(cols));
+  std::vector<double> row_values;
+  for (int r = 0; r < rows; ++r) {
+    if (!NextLine(in, &line, &line_number)) {
+      std::ostringstream oss;
+      oss << file_label << ": truncated after row " << r << " of " << rows;
+      return InvalidDataError(oss.str());
+    }
+    const Status row_status =
+        ParseFiniteRow(line, static_cast<int>(cols), &row_values);
+    if (!row_status.ok())
+      return row_status.Annotate(FileLine(file_label, line_number));
+    for (int c = 0; c < cols; ++c) m->At(r, c) = row_values[c];
+  }
+  if (NextLine(in, &line, &line_number))
+    return InvalidDataError(FileLine(file_label, line_number) +
+                            ": trailing data after final row");
+  return OkStatus();
 }
 
 bool WriteSession(const std::string& path, const XrWorld& world) {
@@ -55,105 +143,289 @@ bool WriteSession(const std::string& path, const XrWorld& world) {
   return static_cast<bool>(out);
 }
 
-bool ReadSession(const std::string& path, XrWorld* world) {
+Status ReadSessionChecked(const std::string& path,
+                          const std::string& file_label,
+                          int expected_users, XrWorld* world) {
   std::ifstream in(path);
-  if (!in) return false;
-  int num_users = 0, num_steps = 0;
+  if (!in) return NotFoundError(file_label + ": cannot open");
+  int line_number = 0;
+  std::string line;
+  if (!NextLine(in, &line, &line_number))
+    return InvalidDataError(file_label + ": missing header");
+  long long num_users = 0, num_steps = 0;
   double body_radius = 0.0;
-  if (!(in >> num_users >> num_steps >> body_radius)) return false;
-  if (num_users <= 0 || num_steps <= 0) return false;
-
-  std::vector<Interface> interfaces(num_users);
-  for (int u = 0; u < num_users; ++u) {
-    int flag = 0;
-    if (!(in >> flag)) return false;
-    interfaces[u] = flag == 1 ? Interface::kMR : Interface::kVR;
+  {
+    std::istringstream header(line);
+    std::string extra;
+    if (!(header >> num_users >> num_steps >> body_radius) ||
+        (header >> extra))
+      return InvalidDataError(
+          FileLine(file_label, line_number) +
+          ": malformed header (want \"users steps body_radius\")");
   }
+  if (num_users <= 0 || num_steps <= 0)
+    return InvalidDataError(FileLine(file_label, line_number) +
+                            ": non-positive user or step count");
+  if (num_users > kMaxUsers || num_steps > kMaxSteps ||
+      num_users * num_steps > kMaxSessionCells)
+    return ResourceExhaustedError(file_label +
+                                  ": header declares an implausibly "
+                                  "large session");
+  if (!std::isfinite(body_radius) || body_radius <= 0.0)
+    return InvalidDataError(FileLine(file_label, line_number) +
+                            ": body radius must be finite and positive");
+  if (num_users != expected_users) {
+    std::ostringstream oss;
+    oss << file_label << ": session has " << num_users
+        << " users but the dataset has " << expected_users;
+    return InvalidDataError(oss.str());
+  }
+
+  const int n = static_cast<int>(num_users);
+  std::vector<double> row_values;
+  if (!NextLine(in, &line, &line_number))
+    return InvalidDataError(file_label + ": missing interface row");
+  Status row_status = ParseFiniteRow(line, n, &row_values);
+  if (!row_status.ok())
+    return row_status.Annotate(FileLine(file_label, line_number) +
+                               " (interfaces)");
+  std::vector<Interface> interfaces(n);
+  for (int u = 0; u < n; ++u) {
+    if (row_values[u] != 0.0 && row_values[u] != 1.0)
+      return InvalidDataError(FileLine(file_label, line_number) +
+                              ": interface flag must be 0 or 1");
+    interfaces[u] = row_values[u] == 1.0 ? Interface::kMR : Interface::kVR;
+  }
+
   std::vector<std::vector<Vec2>> trajectory(
-      num_steps, std::vector<Vec2>(num_users));
-  for (int t = 0; t < num_steps; ++t)
-    for (int u = 0; u < num_users; ++u)
-      if (!(in >> trajectory[t][u].x >> trajectory[t][u].y)) return false;
+      static_cast<size_t>(num_steps), std::vector<Vec2>(n));
+  for (int t = 0; t < num_steps; ++t) {
+    if (!NextLine(in, &line, &line_number)) {
+      std::ostringstream oss;
+      oss << file_label << ": truncated after step " << t << " of "
+          << num_steps;
+      return InvalidDataError(oss.str());
+    }
+    row_status = ParseFiniteRow(line, 2 * n, &row_values);
+    if (!row_status.ok())
+      return row_status.Annotate(FileLine(file_label, line_number));
+    for (int u = 0; u < n; ++u) {
+      trajectory[t][u].x = row_values[2 * u];
+      trajectory[t][u].y = row_values[2 * u + 1];
+    }
+  }
+  if (NextLine(in, &line, &line_number))
+    return InvalidDataError(FileLine(file_label, line_number) +
+                            ": trailing data after final step");
 
   *world = XrWorld::FromRecorded(std::move(interfaces),
                                  std::move(trajectory), body_radius);
-  return true;
+  return OkStatus();
+}
+
+Status ReadSocialChecked(const std::string& path,
+                         const std::string& file_label, int expected_users,
+                         SocialGraph* graph) {
+  std::ifstream in(path);
+  if (!in) return NotFoundError(file_label + ": cannot open");
+  int line_number = 0;
+  std::string line;
+  if (!NextLine(in, &line, &line_number))
+    return InvalidDataError(file_label + ": missing header");
+  long long n = -1;
+  {
+    std::istringstream header(line);
+    std::string extra;
+    if (!(header >> n) || (header >> extra) || n < 0)
+      return InvalidDataError(FileLine(file_label, line_number) +
+                              ": malformed node-count header");
+  }
+  if (n != expected_users) {
+    std::ostringstream oss;
+    oss << file_label << ": social graph has " << n
+        << " nodes but meta.txt declares " << expected_users << " users";
+    return InvalidDataError(oss.str());
+  }
+  *graph = SocialGraph(static_cast<int>(n));
+  while (NextLine(in, &line, &line_number)) {
+    std::istringstream edge(line);
+    long long u = 0, v = 0;
+    double weight = 0.0;
+    std::string extra;
+    if (!(edge >> u >> v >> weight) || (edge >> extra))
+      return InvalidDataError(FileLine(file_label, line_number) +
+                              ": malformed edge (want \"u v weight\")");
+    if (u < 0 || u >= n || v < 0 || v >= n) {
+      std::ostringstream oss;
+      oss << FileLine(file_label, line_number) << ": edge index (" << u
+          << ", " << v << ") out of range [0, " << n << ")";
+      return InvalidDataError(oss.str());
+    }
+    if (u == v)
+      return InvalidDataError(FileLine(file_label, line_number) +
+                              ": self-loop edge");
+    if (!std::isfinite(weight))
+      return InvalidDataError(FileLine(file_label, line_number) +
+                              ": non-finite edge weight");
+    graph->AddEdge(static_cast<int>(u), static_cast<int>(v), weight);
+  }
+  return OkStatus();
+}
+
+Status ValidateUtilityMatrix(const Matrix& m, int n, const char* label) {
+  if (m.rows() != n || m.cols() != n) {
+    std::ostringstream oss;
+    oss << label << " matrix is " << m.rows() << "x" << m.cols()
+        << ", want " << n << "x" << n;
+    return InvalidDataError(oss.str());
+  }
+  for (int r = 0; r < m.rows(); ++r)
+    for (int c = 0; c < m.cols(); ++c)
+      if (!std::isfinite(m.At(r, c))) {
+        std::ostringstream oss;
+        oss << label << " matrix has a non-finite entry at (" << r << ", "
+            << c << ")";
+        return InvalidDataError(oss.str());
+      }
+  return OkStatus();
 }
 
 }  // namespace
 
-bool SaveDataset(const Dataset& dataset, const std::string& directory) {
+Status ValidateDataset(const Dataset& dataset) {
+  const int n = dataset.num_users();
+  if (n <= 0) return InvalidDataError("dataset has no users");
+  AFTER_RETURN_IF_ERROR(
+      ValidateUtilityMatrix(dataset.preference, n, "preference"));
+  AFTER_RETURN_IF_ERROR(
+      ValidateUtilityMatrix(dataset.social_presence, n, "social presence"));
+  if (dataset.sessions.empty())
+    return InvalidDataError("dataset has no sessions");
+  for (size_t s = 0; s < dataset.sessions.size(); ++s) {
+    const XrWorld& world = dataset.sessions[s];
+    std::ostringstream label;
+    label << "session " << s;
+    if (world.num_users() != n) {
+      std::ostringstream oss;
+      oss << label.str() << " has " << world.num_users()
+          << " users, want " << n;
+      return InvalidDataError(oss.str());
+    }
+    if (world.num_steps() <= 0)
+      return InvalidDataError(label.str() + " has no steps");
+    if (!std::isfinite(world.body_radius()) || world.body_radius() <= 0.0)
+      return InvalidDataError(label.str() + " has an invalid body radius");
+    for (int t = 0; t < world.num_steps(); ++t)
+      for (int u = 0; u < n; ++u) {
+        const Vec2& p = world.PositionsAt(t)[u];
+        if (!std::isfinite(p.x) || !std::isfinite(p.y)) {
+          std::ostringstream oss;
+          oss << label.str() << " has a non-finite position for user " << u
+              << " at step " << t;
+          return InvalidDataError(oss.str());
+        }
+      }
+  }
+  return OkStatus();
+}
+
+Status SaveDatasetChecked(const Dataset& dataset,
+                          const std::string& directory) {
   std::error_code ec;
   std::filesystem::create_directories(directory, ec);
-  if (ec) {
-    std::fprintf(stderr, "SaveDataset: cannot create %s: %s\n",
-                 directory.c_str(), ec.message().c_str());
-    return false;
-  }
+  if (ec)
+    return InvalidDataError("cannot create " + directory + ": " +
+                            ec.message());
 
   {
     std::ofstream meta(directory + "/meta.txt");
-    if (!meta) return false;
+    if (!meta) return InvalidDataError("cannot write meta.txt");
     meta << dataset.name << "\n"
          << dataset.num_users() << " " << dataset.sessions.size() << "\n";
+    if (!meta) return InvalidDataError("I/O error writing meta.txt");
   }
   {
     std::ofstream social(directory + "/social.txt");
-    if (!social) return false;
+    if (!social) return InvalidDataError("cannot write social.txt");
     social.precision(17);
     social << dataset.social.num_nodes() << "\n";
     for (int u = 0; u < dataset.social.num_nodes(); ++u)
       for (const auto& nbr : dataset.social.Neighbors(u))
         if (nbr.node > u)
           social << u << " " << nbr.node << " " << nbr.weight << "\n";
+    if (!social) return InvalidDataError("I/O error writing social.txt");
   }
   if (!WriteMatrix(directory + "/preference.txt", dataset.preference))
-    return false;
+    return InvalidDataError("I/O error writing preference.txt");
   if (!WriteMatrix(directory + "/presence.txt", dataset.social_presence))
-    return false;
+    return InvalidDataError("I/O error writing presence.txt");
   for (size_t s = 0; s < dataset.sessions.size(); ++s) {
-    if (!WriteSession(directory + "/session_" + std::to_string(s) + ".txt",
-                      dataset.sessions[s]))
-      return false;
+    const std::string file = "session_" + std::to_string(s) + ".txt";
+    if (!WriteSession(directory + "/" + file, dataset.sessions[s]))
+      return InvalidDataError("I/O error writing " + file);
   }
-  return true;
+  return OkStatus();
+}
+
+Result<Dataset> LoadDatasetChecked(const std::string& directory) {
+  Dataset dataset;
+  long long num_users = 0, num_sessions = 0;
+  {
+    std::ifstream meta(directory + "/meta.txt");
+    if (!meta) return NotFoundError("meta.txt: cannot open");
+    if (!std::getline(meta, dataset.name))
+      return InvalidDataError("meta.txt: missing dataset name");
+    std::string counts_line;
+    if (!std::getline(meta, counts_line))
+      return InvalidDataError("meta.txt line 2: missing counts");
+    std::istringstream counts(counts_line);
+    std::string extra;
+    if (!(counts >> num_users >> num_sessions) || (counts >> extra))
+      return InvalidDataError(
+          "meta.txt line 2: malformed counts (want \"users sessions\")");
+    if (num_users <= 0 || num_sessions < 0)
+      return InvalidDataError("meta.txt line 2: non-positive user count");
+    if (num_users > kMaxUsers || num_sessions > kMaxSteps)
+      return ResourceExhaustedError(
+          "meta.txt declares implausibly large counts");
+  }
+  const int n = static_cast<int>(num_users);
+
+  AFTER_RETURN_IF_ERROR(ReadSocialChecked(directory + "/social.txt",
+                                          "social.txt", n, &dataset.social));
+  AFTER_RETURN_IF_ERROR(ReadMatrixChecked(directory + "/preference.txt",
+                                          "preference.txt",
+                                          &dataset.preference));
+  AFTER_RETURN_IF_ERROR(ReadMatrixChecked(directory + "/presence.txt",
+                                          "presence.txt",
+                                          &dataset.social_presence));
+  for (long long s = 0; s < num_sessions; ++s) {
+    const std::string file = "session_" + std::to_string(s) + ".txt";
+    XrWorld world;
+    AFTER_RETURN_IF_ERROR(
+        ReadSessionChecked(directory + "/" + file, file, n, &world));
+    dataset.sessions.push_back(std::move(world));
+  }
+  AFTER_RETURN_IF_ERROR(ValidateDataset(dataset));
+  return dataset;
+}
+
+bool SaveDataset(const Dataset& dataset, const std::string& directory) {
+  const Status status = SaveDatasetChecked(dataset, directory);
+  if (!status.ok())
+    std::fprintf(stderr, "SaveDataset(%s): %s\n", directory.c_str(),
+                 status.ToString().c_str());
+  return status.ok();
 }
 
 bool LoadDataset(const std::string& directory, Dataset* dataset) {
-  *dataset = Dataset();
-  int num_users = 0;
-  size_t num_sessions = 0;
-  {
-    std::ifstream meta(directory + "/meta.txt");
-    if (!meta) return false;
-    if (!std::getline(meta, dataset->name)) return false;
-    if (!(meta >> num_users >> num_sessions)) return false;
-  }
-  {
-    std::ifstream social(directory + "/social.txt");
-    if (!social) return false;
-    int n = 0;
-    if (!(social >> n) || n != num_users) return false;
-    dataset->social = SocialGraph(n);
-    int u, v;
-    double weight;
-    while (social >> u >> v >> weight) dataset->social.AddEdge(u, v, weight);
-  }
-  if (!ReadMatrix(directory + "/preference.txt", &dataset->preference))
+  Result<Dataset> result = LoadDatasetChecked(directory);
+  if (!result.ok()) {
+    std::fprintf(stderr, "LoadDataset(%s): %s\n", directory.c_str(),
+                 result.status().ToString().c_str());
     return false;
-  if (!ReadMatrix(directory + "/presence.txt", &dataset->social_presence))
-    return false;
-  if (dataset->preference.rows() != num_users ||
-      dataset->social_presence.rows() != num_users)
-    return false;
-  for (size_t s = 0; s < num_sessions; ++s) {
-    XrWorld world;
-    if (!ReadSession(directory + "/session_" + std::to_string(s) + ".txt",
-                     &world))
-      return false;
-    if (world.num_users() != num_users) return false;
-    dataset->sessions.push_back(std::move(world));
   }
+  *dataset = std::move(result).value();
   return true;
 }
 

@@ -3,6 +3,8 @@
 
 #include <string>
 
+#include "common/result.h"
+#include "common/status.h"
 #include "data/dataset.h"
 
 namespace after {
@@ -16,6 +18,28 @@ namespace after {
 ///   <dir>/presence.txt    N x N matrix, row per line
 ///   <dir>/session_<k>.txt per step: interface flags then positions
 ///
+/// The Status/Result variants are the primary API: they perform strict
+/// validation (dimension cross-checks, finite-value checks, edge-index
+/// bounds, per-row length checks) and their diagnostics name the
+/// offending file and line. The bool variants are thin compatibility
+/// wrappers that log the diagnostic to stderr.
+
+Status SaveDatasetChecked(const Dataset& dataset,
+                          const std::string& directory);
+
+/// Loads and strictly validates a dataset previously written by
+/// SaveDataset. Any corruption — truncated or missing file, inconsistent
+/// matrix row length, non-finite entry, out-of-range edge index,
+/// dimension mismatch across files — yields a non-OK Status whose
+/// message names the bad file (and line where applicable). Never aborts.
+Result<Dataset> LoadDatasetChecked(const std::string& directory);
+
+/// Structural validation of an in-memory dataset: square finite utility
+/// matrices matching the social graph's node count, sessions over the
+/// same population with finite trajectories. Used by LoadDatasetChecked
+/// and by pipeline entry points that accept externally-built datasets.
+Status ValidateDataset(const Dataset& dataset);
+
 /// Returns false (and logs to stderr) on I/O failure.
 bool SaveDataset(const Dataset& dataset, const std::string& directory);
 

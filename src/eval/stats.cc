@@ -2,12 +2,22 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <numeric>
 
 #include "common/check.h"
 
 namespace after {
 namespace {
+
+/// The aggregation entry points are fed by evaluation pipelines that may
+/// legitimately produce zero sessions (everything skipped as poisoned)
+/// or mismatched pairings (a method dropped targets). Those cases warn
+/// and return a NaN-safe default instead of aborting or emitting NaN.
+void WarnDegenerate(const char* fn, const char* what) {
+  std::fprintf(stderr, "[stats] %s: %s; returning a safe default\n", fn,
+               what);
+}
 
 /// Continued-fraction helper for the incomplete beta (Numerical-Recipes
 /// style modified Lentz algorithm).
@@ -67,10 +77,24 @@ std::vector<double> Ranks(const std::vector<double>& values) {
 }  // namespace
 
 double Mean(const std::vector<double>& values) {
-  if (values.empty()) return 0.0;
+  if (values.empty()) {
+    WarnDegenerate("Mean", "empty sample (zero sessions?)");
+    return 0.0;
+  }
   double total = 0.0;
-  for (double v : values) total += v;
-  return total / static_cast<double>(values.size());
+  int finite = 0;
+  for (double v : values) {
+    if (!std::isfinite(v)) continue;
+    total += v;
+    ++finite;
+  }
+  if (finite == 0) {
+    WarnDegenerate("Mean", "no finite values in sample");
+    return 0.0;
+  }
+  if (finite < static_cast<int>(values.size()))
+    WarnDegenerate("Mean", "non-finite values ignored");
+  return total / static_cast<double>(finite);
 }
 
 double Variance(const std::vector<double>& values) {
@@ -78,8 +102,17 @@ double Variance(const std::vector<double>& values) {
   if (n < 2) return 0.0;
   const double mean = Mean(values);
   double total = 0.0;
-  for (double v : values) total += (v - mean) * (v - mean);
-  return total / static_cast<double>(n - 1);
+  int finite = 0;
+  for (double v : values) {
+    if (!std::isfinite(v)) continue;
+    total += (v - mean) * (v - mean);
+    ++finite;
+  }
+  if (finite < 2) {
+    WarnDegenerate("Variance", "fewer than two finite values");
+    return 0.0;
+  }
+  return total / static_cast<double>(finite - 1);
 }
 
 double RegularizedIncompleteBeta(double a, double b, double x) {
@@ -127,8 +160,11 @@ TTestResult WelchTTest(const std::vector<double>& a,
 
 TTestResult PairedTTest(const std::vector<double>& a,
                         const std::vector<double>& b) {
-  AFTER_CHECK_EQ(a.size(), b.size());
   TTestResult result;
+  if (a.size() != b.size()) {
+    WarnDegenerate("PairedTTest", "sample sizes differ (unpaired data)");
+    return result;
+  }
   const int n = static_cast<int>(a.size());
   if (n < 2) return result;
   std::vector<double> diff(n);
@@ -149,7 +185,10 @@ TTestResult PairedTTest(const std::vector<double>& a,
 
 double PearsonCorrelation(const std::vector<double>& x,
                           const std::vector<double>& y) {
-  AFTER_CHECK_EQ(x.size(), y.size());
+  if (x.size() != y.size()) {
+    WarnDegenerate("PearsonCorrelation", "sample sizes differ");
+    return 0.0;
+  }
   const int n = static_cast<int>(x.size());
   if (n < 2) return 0.0;
   const double mx = Mean(x);
@@ -167,7 +206,10 @@ double PearsonCorrelation(const std::vector<double>& x,
 
 double SpearmanCorrelation(const std::vector<double>& x,
                            const std::vector<double>& y) {
-  AFTER_CHECK_EQ(x.size(), y.size());
+  if (x.size() != y.size()) {
+    WarnDegenerate("SpearmanCorrelation", "sample sizes differ");
+    return 0.0;
+  }
   return PearsonCorrelation(Ranks(x), Ranks(y));
 }
 

@@ -20,6 +20,21 @@ void Adam::ZeroGrad() {
   for (auto& p : parameters_) p.ZeroGrad();
 }
 
+double Adam::GradNorm() const {
+  double total_sq = 0.0;
+  for (const auto& p : parameters_) {
+    const double n = p.grad().Norm();
+    total_sq += n * n;
+  }
+  return std::sqrt(total_sq);
+}
+
+void Adam::ResetMoments() {
+  for (auto& m : first_moment_) m.Fill(0.0);
+  for (auto& v : second_moment_) v.Fill(0.0);
+  step_count_ = 0;
+}
+
 void Adam::Step() {
   ++step_count_;
 

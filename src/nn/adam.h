@@ -30,6 +30,18 @@ class Adam {
   /// Applies one Adam update from the accumulated gradients.
   void Step();
 
+  /// L2 norm over all accumulated gradients (pre-clipping). Used by the
+  /// training guard to detect degenerate backward passes.
+  double GradNorm() const;
+
+  /// Zeroes the moment accumulators (after a rollback, stale momentum
+  /// would steer the restored parameters straight back toward the
+  /// divergence that triggered it).
+  void ResetMoments();
+
+  double learning_rate() const { return options_.learning_rate; }
+  void set_learning_rate(double lr) { options_.learning_rate = lr; }
+
   int step_count() const { return step_count_; }
   const std::vector<Variable>& parameters() const { return parameters_; }
 

@@ -1,0 +1,99 @@
+#include "nn/guard.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "nn/serialize.h"
+
+namespace after {
+
+bool AllFinite(const Matrix& m) {
+  for (int i = 0; i < m.size(); ++i)
+    if (!std::isfinite(m[static_cast<size_t>(i)])) return false;
+  return true;
+}
+
+TrainingGuard::TrainingGuard(const RobustnessConfig& config, Adam* optimizer)
+    : config_(config),
+      optimizer_(optimizer),
+      base_learning_rate_(optimizer->learning_rate()) {
+  AFTER_CHECK(optimizer_ != nullptr);
+  last_good_ = SnapshotParameters(optimizer_->parameters());
+}
+
+bool TrainingGuard::ParametersFinite() const {
+  for (const auto& p : optimizer_->parameters())
+    if (!AllFinite(p.value())) return false;
+  return true;
+}
+
+TrainingGuard::Outcome TrainingGuard::HandleBadStep(const char* reason) {
+  ++consecutive_failures_;
+  healthy_streak_ = 0;
+  if (consecutive_failures_ > config_.max_consecutive_failures ||
+      config_.policy == NumericalErrorPolicy::kFail) {
+    std::ostringstream oss;
+    oss << "training step rejected (" << reason << ")";
+    if (config_.policy != NumericalErrorPolicy::kFail)
+      oss << " " << consecutive_failures_ << " times in a row";
+    status_ = NumericalError(oss.str());
+    // Leave the model usable: whatever happened, parameters come back
+    // finite.
+    std::vector<Variable> params = optimizer_->parameters();
+    RestoreParameters(last_good_, params);
+    return Outcome::kFailed;
+  }
+
+  if (config_.policy == NumericalErrorPolicy::kSkipStep) {
+    ++steps_skipped_;
+    return Outcome::kSkipped;
+  }
+
+  // kRollbackAndHalveLr.
+  std::vector<Variable> params = optimizer_->parameters();
+  RestoreParameters(last_good_, params);
+  optimizer_->ResetMoments();
+  optimizer_->set_learning_rate(std::max(
+      config_.min_learning_rate, optimizer_->learning_rate() * 0.5));
+  ++rollbacks_;
+  return Outcome::kRolledBack;
+}
+
+TrainingGuard::Outcome TrainingGuard::GuardedStep(double loss_value) {
+  if (!status_.ok()) return Outcome::kFailed;
+
+  if (!config_.guard_training) {
+    optimizer_->Step();
+    ++steps_applied_;
+    return Outcome::kStepped;
+  }
+
+  if (!std::isfinite(loss_value)) return HandleBadStep("non-finite loss");
+
+  const double grad_norm = optimizer_->GradNorm();
+  if (!std::isfinite(grad_norm))
+    return HandleBadStep("non-finite gradients");
+  if (config_.max_grad_norm > 0.0 && grad_norm > config_.max_grad_norm)
+    return HandleBadStep("exploding gradient norm");
+
+  optimizer_->Step();
+  if (!ParametersFinite())
+    return HandleBadStep("non-finite parameters after update");
+
+  // Healthy step: advance the last-good snapshot and decay any temporary
+  // learning-rate reduction.
+  ++steps_applied_;
+  consecutive_failures_ = 0;
+  last_good_ = SnapshotParameters(optimizer_->parameters());
+  if (optimizer_->learning_rate() < base_learning_rate_) {
+    ++healthy_streak_;
+    if (healthy_streak_ >= config_.recovery_steps) {
+      optimizer_->set_learning_rate(base_learning_rate_);
+      healthy_streak_ = 0;
+    }
+  }
+  return Outcome::kStepped;
+}
+
+}  // namespace after

@@ -1,0 +1,107 @@
+#ifndef AFTER_NN_GUARD_H_
+#define AFTER_NN_GUARD_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "nn/adam.h"
+#include "tensor/matrix.h"
+
+namespace after {
+
+/// What to do when a training step turns out to be numerically degenerate
+/// (non-finite loss, non-finite gradients, or non-finite parameters after
+/// the optimizer update).
+enum class NumericalErrorPolicy {
+  /// Drop the poisoned step: keep parameters and learning rate as they
+  /// are and move on to the next rollout.
+  kSkipStep,
+  /// Restore the last-good parameter snapshot, reset optimizer momentum,
+  /// and halve the learning rate (restored after `recovery_steps` healthy
+  /// steps).
+  kRollbackAndHalveLr,
+  /// Stop training with a kNumericalError Status (strict mode for CI).
+  kFail,
+};
+
+/// Degradation policy for guarded training; embedded in TrainOptions so
+/// every trainable recommender (POSHGNN, DCRNN, TGCN) shares it.
+struct RobustnessConfig {
+  /// Disabled reproduces the historical unguarded behavior exactly.
+  bool guard_training = true;
+  NumericalErrorPolicy policy = NumericalErrorPolicy::kRollbackAndHalveLr;
+  /// Gradient norms above this are treated as degenerate even when
+  /// finite (exploding-BPTT guard); <= 0 disables the norm test.
+  double max_grad_norm = 1e6;
+  /// Give up (kFail semantics) after this many consecutive bad steps.
+  int max_consecutive_failures = 32;
+  /// kRollbackAndHalveLr never reduces the learning rate below this.
+  double min_learning_rate = 1e-6;
+  /// Healthy steps before the pre-rollback learning rate is restored.
+  int recovery_steps = 4;
+};
+
+/// Wraps an Adam optimizer with NaN/Inf detection and last-good-parameter
+/// rollback (snapshots via nn/serialize's SnapshotParameters). Usage:
+///
+///   Adam optimizer(params, ...);
+///   TrainingGuard guard(robustness, &optimizer);
+///   ...
+///   optimizer.ZeroGrad();
+///   loss.Backward();
+///   switch (guard.GuardedStep(loss.value().At(0, 0))) { ... }
+///
+/// GuardedStep replaces the bare optimizer.Step(): it refuses to apply
+/// updates from poisoned losses/gradients and repairs parameters that a
+/// step drove non-finite, according to the configured policy.
+class TrainingGuard {
+ public:
+  enum class Outcome {
+    /// The update was applied; parameters are finite.
+    kStepped,
+    /// The step was dropped (skip-step policy, or a bad step under
+    /// rollback policy whose parameters were already at the snapshot).
+    kSkipped,
+    /// Parameters were restored from the last-good snapshot.
+    kRolledBack,
+    /// Unrecoverable under the policy; `status()` holds the error and
+    /// parameters hold the last-good snapshot.
+    kFailed,
+  };
+
+  TrainingGuard(const RobustnessConfig& config, Adam* optimizer);
+
+  /// Guards one optimizer step given the (already-backpropagated) scalar
+  /// training loss. Never aborts.
+  Outcome GuardedStep(double loss_value);
+
+  /// OK unless a step ended in kFailed.
+  const Status& status() const { return status_; }
+
+  /// Counters for diagnostics / tests.
+  int steps_applied() const { return steps_applied_; }
+  int steps_skipped() const { return steps_skipped_; }
+  int rollbacks() const { return rollbacks_; }
+
+ private:
+  bool ParametersFinite() const;
+  Outcome HandleBadStep(const char* reason);
+
+  RobustnessConfig config_;
+  Adam* optimizer_;
+  std::vector<Matrix> last_good_;
+  double base_learning_rate_;
+  int healthy_streak_ = 0;
+  int consecutive_failures_ = 0;
+  int steps_applied_ = 0;
+  int steps_skipped_ = 0;
+  int rollbacks_ = 0;
+  Status status_;
+};
+
+/// True when every entry of `m` is finite.
+bool AllFinite(const Matrix& m);
+
+}  // namespace after
+
+#endif  // AFTER_NN_GUARD_H_

@@ -47,4 +47,22 @@ bool LoadParameters(const std::string& path,
   return true;
 }
 
+std::vector<Matrix> SnapshotParameters(
+    const std::vector<Variable>& parameters) {
+  std::vector<Matrix> snapshot;
+  snapshot.reserve(parameters.size());
+  for (const auto& p : parameters) snapshot.push_back(p.value());
+  return snapshot;
+}
+
+void RestoreParameters(const std::vector<Matrix>& snapshot,
+                       std::vector<Variable>& parameters) {
+  AFTER_CHECK_EQ(snapshot.size(), parameters.size());
+  for (size_t i = 0; i < parameters.size(); ++i) {
+    AFTER_CHECK_EQ(snapshot[i].rows(), parameters[i].value().rows());
+    AFTER_CHECK_EQ(snapshot[i].cols(), parameters[i].value().cols());
+    parameters[i].SetValue(snapshot[i]);
+  }
+}
+
 }  // namespace after

@@ -25,6 +25,17 @@ bool SaveParameters(const std::string& path,
 bool LoadParameters(const std::string& path,
                     std::vector<Variable>& parameters);
 
+/// In-memory counterpart of Save/LoadParameters: copies the current
+/// values of `parameters` so they can be restored later (last-good
+/// checkpointing for NaN-guarded training, see nn/guard.h).
+std::vector<Matrix> SnapshotParameters(const std::vector<Variable>& parameters);
+
+/// Restores values captured by SnapshotParameters bit-exactly. The
+/// snapshot must hold the same count and shapes as `parameters`
+/// (programming error otherwise).
+void RestoreParameters(const std::vector<Matrix>& snapshot,
+                       std::vector<Variable>& parameters);
+
 }  // namespace after
 
 #endif  // AFTER_NN_SERIALIZE_H_

@@ -41,6 +41,21 @@ void CrowdSimulator::SetPreferredVelocity(int agent, const Vec2& velocity) {
   agents_[agent].has_explicit_pref = true;
 }
 
+void CrowdSimulator::TeleportAgent(int agent, const Vec2& position) {
+  agents_[agent].position = position;
+  agents_[agent].velocity = Vec2(0.0, 0.0);
+  agents_[agent].has_explicit_pref = false;
+}
+
+void CrowdSimulator::SetAgentActive(int agent, bool active) {
+  agents_[agent].active = active;
+  if (!active) agents_[agent].velocity = Vec2(0.0, 0.0);
+}
+
+bool CrowdSimulator::AgentActive(int agent) const {
+  return agents_[agent].active;
+}
+
 const Vec2& CrowdSimulator::Position(int agent) const {
   return agents_[agent].position;
 }
@@ -73,6 +88,7 @@ void CrowdSimulator::ComputePreferredVelocity(Agent& agent) const {
 void CrowdSimulator::Step() {
   for (size_t i = 0; i < agents_.size(); ++i) {
     Agent& agent = agents_[i];
+    if (!agent.active) continue;
     ComputePreferredVelocity(agent);
     if (agent.params.right_of_way_bias != 0.0 && !agent.has_explicit_pref) {
       // Apply the bias only under congestion (a neighbor within 4 body
@@ -80,7 +96,7 @@ void CrowdSimulator::Step() {
       bool congested = false;
       const double range = 8.0 * agent.params.radius;
       for (size_t j = 0; j < agents_.size() && !congested; ++j) {
-        if (j == i) continue;
+        if (j == i || !agents_[j].active) continue;
         if ((agents_[j].position - agent.position).NormSq() < range * range)
           congested = true;
       }
@@ -96,9 +112,11 @@ void CrowdSimulator::Step() {
 
   std::vector<Vec2> new_velocities(agents_.size());
   for (int i = 0; i < num_agents(); ++i)
-    new_velocities[i] = ComputeNewVelocity(i);
+    new_velocities[i] =
+        agents_[i].active ? ComputeNewVelocity(i) : Vec2(0.0, 0.0);
 
   for (int i = 0; i < num_agents(); ++i) {
+    if (!agents_[i].active) continue;
     agents_[i].velocity = new_velocities[i];
     agents_[i].position += agents_[i].velocity * time_step_;
     agents_[i].has_explicit_pref = false;
@@ -114,7 +132,7 @@ Vec2 CrowdSimulator::ComputeNewVelocity(int index) const {
       self.params.neighbor_dist * self.params.neighbor_dist;
 
   for (int j = 0; j < num_agents(); ++j) {
-    if (j == index) continue;
+    if (j == index || !agents_[j].active) continue;
     const Agent& other = agents_[j];
     const Vec2 relative_position = other.position - self.position;
     if (relative_position.NormSq() > neighbor_range_sq) continue;

@@ -43,6 +43,17 @@ class CrowdSimulator {
   /// Directly sets the preferred velocity (overrides the goal this step).
   void SetPreferredVelocity(int agent, const Vec2& velocity);
 
+  /// Instantly relocates an agent (fault injection: a user re-spawning or
+  /// a tracking glitch). Velocity is reset so the next step re-plans from
+  /// rest.
+  void TeleportAgent(int agent, const Vec2& position);
+
+  /// Deactivates / reactivates an agent. Inactive agents model users who
+  /// dropped mid-session: they hold their position, impose no ORCA
+  /// constraints on others, and are ignored when computing congestion.
+  void SetAgentActive(int agent, bool active);
+  bool AgentActive(int agent) const;
+
   /// Advances the simulation by one time step.
   void Step();
 
@@ -62,6 +73,7 @@ class CrowdSimulator {
     Vec2 goal;
     Vec2 preferred_velocity;
     bool has_explicit_pref = false;
+    bool active = true;
     AgentParams params;
   };
 

@@ -1,0 +1,359 @@
+#include "testing/fault_injection.h"
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "common/check.h"
+#include "sim/crowd_simulator.h"
+
+namespace after {
+namespace testing {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<std::string> ExistingDatasetFiles(const std::string& directory) {
+  std::vector<std::string> files;
+  const std::vector<std::string> fixed = {"meta.txt", "social.txt",
+                                          "preference.txt", "presence.txt"};
+  for (const auto& f : fixed)
+    if (fs::exists(fs::path(directory) / f)) files.push_back(f);
+  for (int s = 0;; ++s) {
+    const std::string f = "session_" + std::to_string(s) + ".txt";
+    if (!fs::exists(fs::path(directory) / f)) break;
+    files.push_back(f);
+  }
+  return files;
+}
+
+/// Files whose bodies are numeric tables (headers + rows of doubles).
+std::vector<std::string> NumericFiles(const std::vector<std::string>& files) {
+  std::vector<std::string> numeric;
+  for (const auto& f : files)
+    if (f != "meta.txt" && f != "social.txt") numeric.push_back(f);
+  return numeric;
+}
+
+bool ReadLines(const fs::path& path, std::vector<std::string>* lines) {
+  std::ifstream in(path);
+  if (!in) return false;
+  lines->clear();
+  std::string line;
+  while (std::getline(in, line)) lines->push_back(line);
+  return true;
+}
+
+bool WriteLines(const fs::path& path, const std::vector<std::string>& lines) {
+  std::ofstream out(path);
+  if (!out) return false;
+  for (const auto& line : lines) out << line << "\n";
+  return static_cast<bool>(out);
+}
+
+/// Picks a non-header line index with at least one token; -1 if none.
+int PickDataLine(const std::vector<std::string>& lines, Rng& rng) {
+  if (lines.size() < 2) return -1;
+  return 1 + rng.UniformInt(static_cast<int>(lines.size()) - 1);
+}
+
+std::vector<std::string> SplitTokens(const std::string& line) {
+  std::istringstream in(line);
+  std::vector<std::string> tokens;
+  std::string token;
+  while (in >> token) tokens.push_back(token);
+  return tokens;
+}
+
+std::string JoinTokens(const std::vector<std::string>& tokens) {
+  std::string out;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (i > 0) out += " ";
+    out += tokens[i];
+  }
+  return out;
+}
+
+std::vector<std::vector<Vec2>> CopyTrajectory(const XrWorld& world) {
+  return world.trajectory();
+}
+
+std::vector<Interface> CopyInterfaces(const XrWorld& world) {
+  return world.interfaces();
+}
+
+}  // namespace
+
+const char* DatasetFileFaultName(DatasetFileFault fault) {
+  switch (fault) {
+    case DatasetFileFault::kTruncateFile:
+      return "truncate-file";
+    case DatasetFileFault::kNanValue:
+      return "nan-value";
+    case DatasetFileFault::kOutOfRangeUserId:
+      return "out-of-range-user-id";
+    case DatasetFileFault::kInconsistentRowLength:
+      return "inconsistent-row-length";
+    case DatasetFileFault::kMissingFile:
+      return "missing-file";
+    case DatasetFileFault::kGarbageHeader:
+      return "garbage-header";
+  }
+  return "unknown";
+}
+
+Status InjectDatasetFileFault(const std::string& directory,
+                              DatasetFileFault fault, Rng& rng,
+                              std::string* corrupted_file) {
+  const std::vector<std::string> files = ExistingDatasetFiles(directory);
+  if (files.empty())
+    return NotFoundError(directory + ": no dataset files to corrupt");
+  const std::vector<std::string> numeric = NumericFiles(files);
+
+  std::string victim;
+  switch (fault) {
+    case DatasetFileFault::kTruncateFile: {
+      victim = files[rng.UniformInt(static_cast<int>(files.size()))];
+      const fs::path path = fs::path(directory) / victim;
+      std::vector<std::string> lines;
+      if (!ReadLines(path, &lines))
+        return NotFoundError(victim + ": cannot read");
+      // Keep the header plus at most half of the body, then cut the last
+      // surviving line in half so the final token is mangled too.
+      lines.resize(1 + (lines.size() - 1) / 2);
+      if (!lines.empty() && lines.back().size() > 2)
+        lines.back().resize(lines.back().size() / 2);
+      if (!WriteLines(path, lines))
+        return InvalidDataError(victim + ": cannot rewrite");
+      break;
+    }
+    case DatasetFileFault::kNanValue: {
+      if (numeric.empty())
+        return NotFoundError(directory + ": no numeric files");
+      victim = numeric[rng.UniformInt(static_cast<int>(numeric.size()))];
+      const fs::path path = fs::path(directory) / victim;
+      std::vector<std::string> lines;
+      if (!ReadLines(path, &lines))
+        return NotFoundError(victim + ": cannot read");
+      const int line_index = PickDataLine(lines, rng);
+      if (line_index < 0)
+        return InvalidDataError(victim + ": no data lines");
+      std::vector<std::string> tokens = SplitTokens(lines[line_index]);
+      if (tokens.empty())
+        return InvalidDataError(victim + ": empty data line");
+      tokens[rng.UniformInt(static_cast<int>(tokens.size()))] = "nan";
+      lines[line_index] = JoinTokens(tokens);
+      if (!WriteLines(path, lines))
+        return InvalidDataError(victim + ": cannot rewrite");
+      break;
+    }
+    case DatasetFileFault::kOutOfRangeUserId: {
+      victim = "social.txt";
+      const fs::path path = fs::path(directory) / victim;
+      std::vector<std::string> lines;
+      if (!ReadLines(path, &lines))
+        return NotFoundError(victim + ": cannot read");
+      const int line_index = PickDataLine(lines, rng);
+      if (line_index < 0)
+        return InvalidDataError(victim + ": no edges to corrupt");
+      std::vector<std::string> tokens = SplitTokens(lines[line_index]);
+      if (tokens.size() < 2)
+        return InvalidDataError(victim + ": malformed edge line");
+      tokens[rng.UniformInt(2)] = "999999999";
+      lines[line_index] = JoinTokens(tokens);
+      if (!WriteLines(path, lines))
+        return InvalidDataError(victim + ": cannot rewrite");
+      break;
+    }
+    case DatasetFileFault::kInconsistentRowLength: {
+      if (numeric.empty())
+        return NotFoundError(directory + ": no numeric files");
+      victim = numeric[rng.UniformInt(static_cast<int>(numeric.size()))];
+      const fs::path path = fs::path(directory) / victim;
+      std::vector<std::string> lines;
+      if (!ReadLines(path, &lines))
+        return NotFoundError(victim + ": cannot read");
+      const int line_index = PickDataLine(lines, rng);
+      if (line_index < 0)
+        return InvalidDataError(victim + ": no data lines");
+      lines[line_index] += " 0.5";
+      if (!WriteLines(path, lines))
+        return InvalidDataError(victim + ": cannot rewrite");
+      break;
+    }
+    case DatasetFileFault::kMissingFile: {
+      victim = files[rng.UniformInt(static_cast<int>(files.size()))];
+      std::error_code ec;
+      fs::remove(fs::path(directory) / victim, ec);
+      if (ec) return InvalidDataError(victim + ": cannot remove");
+      break;
+    }
+    case DatasetFileFault::kGarbageHeader: {
+      if (numeric.empty())
+        return NotFoundError(directory + ": no numeric files");
+      victim = numeric[rng.UniformInt(static_cast<int>(numeric.size()))];
+      const fs::path path = fs::path(directory) / victim;
+      std::vector<std::string> lines;
+      if (!ReadLines(path, &lines))
+        return NotFoundError(victim + ": cannot read");
+      if (lines.empty()) lines.push_back("");
+      lines[0] = "!!corrupt header!!";
+      if (!WriteLines(path, lines))
+        return InvalidDataError(victim + ": cannot rewrite");
+      break;
+    }
+  }
+  if (corrupted_file != nullptr) *corrupted_file = victim;
+  return OkStatus();
+}
+
+XrWorld WithNanPositions(const XrWorld& world, int num_poisoned_steps,
+                         Rng& rng) {
+  std::vector<std::vector<Vec2>> trajectory = CopyTrajectory(world);
+  const int steps = world.num_steps();
+  const int n = world.num_users();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (int i = 0; i < num_poisoned_steps && steps > 0 && n > 0; ++i) {
+    const int t = rng.UniformInt(steps);
+    const int u = rng.UniformInt(n);
+    trajectory[t][u] = Vec2(nan, nan);
+  }
+  return XrWorld::FromRecorded(CopyInterfaces(world), std::move(trajectory),
+                               world.body_radius());
+}
+
+XrWorld WithUserDroppedMidSession(const XrWorld& world, int user,
+                                  int drop_step) {
+  AFTER_CHECK_GE(user, 0);
+  AFTER_CHECK_LT(user, world.num_users());
+  std::vector<std::vector<Vec2>> trajectory = CopyTrajectory(world);
+  // Parked far outside any plausible room: never visible, never
+  // co-located, never recommended by a distance-aware method.
+  const Vec2 parking(1e6, 1e6);
+  for (int t = std::max(0, drop_step); t < world.num_steps(); ++t)
+    trajectory[t][user] = parking;
+  return XrWorld::FromRecorded(CopyInterfaces(world), std::move(trajectory),
+                               world.body_radius());
+}
+
+XrWorld WithTeleportingUser(const XrWorld& world, int user, int period,
+                            double room_side, Rng& rng) {
+  AFTER_CHECK_GE(user, 0);
+  AFTER_CHECK_LT(user, world.num_users());
+  AFTER_CHECK_GT(period, 0);
+  std::vector<std::vector<Vec2>> trajectory = CopyTrajectory(world);
+  Vec2 current = trajectory.empty() ? Vec2(0, 0) : trajectory[0][user];
+  for (int t = 0; t < world.num_steps(); ++t) {
+    if (t % period == 0)
+      current = Vec2(rng.Uniform(0.0, room_side), rng.Uniform(0.0, room_side));
+    trajectory[t][user] = current;
+  }
+  return XrWorld::FromRecorded(CopyInterfaces(world), std::move(trajectory),
+                               world.body_radius());
+}
+
+XrWorld GenerateWorldWithChurn(const XrWorld::Config& config,
+                               double drop_probability,
+                               double rejoin_probability, Rng& rng) {
+  AFTER_CHECK_GE(config.num_users, 1);
+  AFTER_CHECK_GE(config.num_steps, 1);
+
+  std::vector<Interface> interfaces(config.num_users);
+  const int num_vr = static_cast<int>(config.vr_fraction *
+                                      static_cast<double>(config.num_users));
+  for (int u = 0; u < config.num_users; ++u)
+    interfaces[u] = u < num_vr ? Interface::kVR : Interface::kMR;
+  rng.Shuffle(interfaces);
+
+  CrowdSimulator sim(config.time_step);
+  CrowdSimulator::AgentParams params;
+  params.radius = config.body_radius;
+  params.max_speed = config.max_speed;
+
+  auto random_point = [&]() {
+    return Vec2(rng.Uniform(0.0, config.room_side),
+                rng.Uniform(0.0, config.room_side));
+  };
+
+  for (int u = 0; u < config.num_users; ++u) {
+    sim.AddAgent(random_point(), params);
+    sim.SetGoal(u, random_point());
+  }
+
+  std::vector<std::vector<Vec2>> trajectory;
+  trajectory.reserve(config.num_steps);
+  for (int t = 0; t < config.num_steps; ++t) {
+    std::vector<Vec2> positions(config.num_users);
+    for (int u = 0; u < config.num_users; ++u) positions[u] = sim.Position(u);
+    trajectory.push_back(std::move(positions));
+    if (t + 1 == config.num_steps) break;
+
+    for (int u = 0; u < config.num_users; ++u) {
+      if (sim.AgentActive(u)) {
+        if (rng.Bernoulli(drop_probability)) {
+          sim.SetAgentActive(u, false);
+          continue;
+        }
+        if (sim.ReachedGoal(u, 0.3) || rng.Bernoulli(0.02))
+          sim.SetGoal(u, random_point());
+      } else if (rng.Bernoulli(rejoin_probability)) {
+        // Rejoining users respawn somewhere fresh (lobby -> room).
+        sim.TeleportAgent(u, random_point());
+        sim.SetAgentActive(u, true);
+        sim.SetGoal(u, random_point());
+      }
+    }
+    sim.Step();
+  }
+  return XrWorld::FromRecorded(std::move(interfaces), std::move(trajectory),
+                               config.body_radius);
+}
+
+void PoisonUtilities(Dataset* dataset, int num_entries, Rng& rng) {
+  const int n = dataset->num_users();
+  if (n < 2) return;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (int i = 0; i < num_entries; ++i) {
+    const int r = rng.UniformInt(n);
+    int c = rng.UniformInt(n);
+    if (c == r) c = (c + 1) % n;
+    if (rng.Bernoulli(0.5))
+      dataset->preference.At(r, c) = nan;
+    else
+      dataset->social_presence.At(r, c) = nan;
+  }
+}
+
+void AppendPoisonedTrainingSession(Dataset* dataset, Rng& rng) {
+  AFTER_CHECK(!dataset->sessions.empty());
+  const XrWorld& base = dataset->sessions.front();
+  dataset->sessions.insert(dataset->sessions.end() - 1,
+                           WithNanPositions(base, base.num_steps(), rng));
+}
+
+FaultyRecommender::FaultyRecommender(Recommender* delegate, int healthy_steps)
+    : delegate_(delegate), healthy_steps_(healthy_steps) {
+  AFTER_CHECK(delegate_ != nullptr);
+}
+
+std::string FaultyRecommender::name() const {
+  return "Faulty(" + delegate_->name() + ")";
+}
+
+void FaultyRecommender::BeginSession(int num_users, int target) {
+  delegate_->BeginSession(num_users, target);
+}
+
+std::vector<bool> FaultyRecommender::Recommend(const StepContext& context) {
+  ++calls_;
+  if (calls_ > healthy_steps_) {
+    ++failures_emitted_;
+    return {};  // Wrong-size output: the model "crashed".
+  }
+  return delegate_->Recommend(context);
+}
+
+}  // namespace testing
+}  // namespace after

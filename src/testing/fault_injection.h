@@ -1,0 +1,120 @@
+#ifndef AFTER_TESTING_FAULT_INJECTION_H_
+#define AFTER_TESTING_FAULT_INJECTION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/recommender.h"
+#include "data/dataset.h"
+#include "sim/xr_world.h"
+
+namespace after {
+namespace testing {
+
+/// Deterministic chaos toolkit for the robustness layer: every injector
+/// is seeded through common/rng so a failing chaos run can be replayed
+/// bit-exactly. Three families of faults mirror how AFTER deployments
+/// actually break: corrupt persisted datasets (storage), degenerate
+/// trajectories and user churn (sessions), and poisoned utilities /
+/// misbehaving models (numerics).
+
+// ---- On-disk dataset corruption -------------------------------------
+
+enum class DatasetFileFault {
+  /// Cuts a file roughly in half.
+  kTruncateFile,
+  /// Replaces one numeric token with "nan".
+  kNanValue,
+  /// Rewrites a social.txt edge endpoint to an out-of-range user id.
+  kOutOfRangeUserId,
+  /// Appends an extra value to one matrix row.
+  kInconsistentRowLength,
+  /// Deletes a required file.
+  kMissingFile,
+  /// Replaces a file's header line with garbage.
+  kGarbageHeader,
+};
+
+inline constexpr DatasetFileFault kAllDatasetFileFaults[] = {
+    DatasetFileFault::kTruncateFile,
+    DatasetFileFault::kNanValue,
+    DatasetFileFault::kOutOfRangeUserId,
+    DatasetFileFault::kInconsistentRowLength,
+    DatasetFileFault::kMissingFile,
+    DatasetFileFault::kGarbageHeader,
+};
+
+const char* DatasetFileFaultName(DatasetFileFault fault);
+
+/// Corrupts one file of a saved dataset directory according to `fault`,
+/// choosing the victim file/line deterministically from `rng`. Returns
+/// the path of the corrupted file via `corrupted_file` (when non-null).
+Status InjectDatasetFileFault(const std::string& directory,
+                              DatasetFileFault fault, Rng& rng,
+                              std::string* corrupted_file = nullptr);
+
+// ---- Session / trajectory faults ------------------------------------
+
+/// Copies `world` with `num_poisoned_steps` randomly chosen steps given a
+/// NaN position for one random user each (corrupted tracking samples).
+XrWorld WithNanPositions(const XrWorld& world, int num_poisoned_steps,
+                         Rng& rng);
+
+/// Copies `world` with `user` leaving at `drop_step`: from that step on
+/// the user is parked far outside the scene (never visible, never
+/// co-located), matching a mid-session disconnect.
+XrWorld WithUserDroppedMidSession(const XrWorld& world, int user,
+                                  int drop_step);
+
+/// Copies `world` with `user` teleporting to a uniform random in-room
+/// position every `period` steps (tracking glitches / respawns).
+XrWorld WithTeleportingUser(const XrWorld& world, int user, int period,
+                            double room_side, Rng& rng);
+
+/// Simulates a session with user churn through the crowd simulator's
+/// agent-activation API: each step every active user drops with
+/// probability `drop_probability` (frozen in place, removed from ORCA
+/// avoidance) and each inactive user rejoins with `rejoin_probability`
+/// at a random teleport position. The result is a structurally valid
+/// XrWorld whose population mutates under the recommender.
+XrWorld GenerateWorldWithChurn(const XrWorld::Config& config,
+                               double drop_probability,
+                               double rejoin_probability, Rng& rng);
+
+// ---- Utility / model faults -----------------------------------------
+
+/// Overwrites `num_entries` off-diagonal entries of both utility
+/// matrices with NaN (poisoned preference store).
+void PoisonUtilities(Dataset* dataset, int num_entries, Rng& rng);
+
+/// Adds a third session to `dataset` whose trajectory is NaN-poisoned;
+/// training on it produces non-finite losses, exercising the training
+/// guard while the original sessions stay clean.
+void AppendPoisonedTrainingSession(Dataset* dataset, Rng& rng);
+
+/// Wraps a delegate recommender and simulates a model crash: after
+/// `healthy_steps` calls, Recommend returns an empty (wrong-size) vector
+/// forever. The evaluator must degrade to its fallback.
+class FaultyRecommender : public Recommender {
+ public:
+  FaultyRecommender(Recommender* delegate, int healthy_steps);
+
+  std::string name() const override;
+  void BeginSession(int num_users, int target) override;
+  std::vector<bool> Recommend(const StepContext& context) override;
+
+  int failures_emitted() const { return failures_emitted_; }
+
+ private:
+  Recommender* delegate_;
+  int healthy_steps_;
+  int calls_ = 0;
+  int failures_emitted_ = 0;
+};
+
+}  // namespace testing
+}  // namespace after
+
+#endif  // AFTER_TESTING_FAULT_INJECTION_H_

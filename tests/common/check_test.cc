@@ -30,6 +30,29 @@ TEST(CheckDeathTest, ComparisonDirectionMatters) {
   EXPECT_DEATH(AFTER_CHECK_GE(2, 3), "expected");
 }
 
+TEST(CheckTest, PassingCheckMsgIsSilentAndDoesNotFormat) {
+  int formats = 0;
+  auto describe = [&formats]() {
+    ++formats;
+    return "should not be built";
+  };
+  AFTER_CHECK_MSG(1 + 1 == 2, describe());
+  EXPECT_EQ(formats, 0);  // The message expression is lazily evaluated.
+}
+
+TEST(CheckDeathTest, CheckMsgFormatsStreamedOperands) {
+  const int rows = 3;
+  const int want = 7;
+  EXPECT_DEATH(
+      AFTER_CHECK_MSG(rows == want,
+                      "matrix has " << rows << " rows, want " << want),
+      "matrix has 3 rows, want 7");
+}
+
+TEST(CheckDeathTest, CheckMsgIncludesConditionText) {
+  EXPECT_DEATH(AFTER_CHECK_MSG(false, "context"), "expected false: context");
+}
+
 TEST(CheckTest, OperandsEvaluatedOnce) {
   int counter = 0;
   auto bump = [&counter]() { return ++counter; };

@@ -1,0 +1,89 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace after {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status status = InvalidDataError("preference.txt line 3: bad row");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidData);
+  EXPECT_EQ(status.message(), "preference.txt line 3: bad row");
+  EXPECT_EQ(status.ToString(),
+            "INVALID_DATA: preference.txt line 3: bad row");
+}
+
+TEST(StatusTest, TaxonomyCoversTheRobustnessCodes) {
+  EXPECT_EQ(NumericalError("x").code(), StatusCode::kNumericalError);
+  EXPECT_EQ(TimeoutError("x").code(), StatusCode::kTimeout);
+  EXPECT_EQ(ResourceExhaustedError("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNumericalError),
+               "NUMERICAL_ERROR");
+}
+
+TEST(StatusTest, AnnotatePrependsContextAndKeepsCode) {
+  const Status status =
+      InvalidDataError("non-finite entry").Annotate("preference.txt line 7");
+  EXPECT_EQ(status.code(), StatusCode::kInvalidData);
+  EXPECT_EQ(status.message(), "preference.txt line 7: non-finite entry");
+  EXPECT_TRUE(OkStatus().Annotate("ignored").ok());
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPropagates) {
+  auto inner = [](bool fail) -> Status {
+    return fail ? NumericalError("boom") : OkStatus();
+  };
+  auto outer = [&](bool fail) -> Status {
+    AFTER_RETURN_IF_ERROR(inner(fail));
+    return OkStatus();
+  };
+  EXPECT_TRUE(outer(false).ok());
+  EXPECT_EQ(outer(true).code(), StatusCode::kNumericalError);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_TRUE(result.status().ok());
+  EXPECT_EQ(result.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(InvalidDataError("bad"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidData);
+  EXPECT_EQ(result.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result(std::string("payload"));
+  ASSERT_TRUE(result.ok());
+  const std::string moved = std::move(result).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(ResultDeathTest, ValueOnErrorAborts) {
+  Result<int> result(InvalidDataError("bad"));
+  EXPECT_DEATH((void)result.value(), "expected");
+}
+
+TEST(ResultDeathTest, OkStatusConstructionAborts) {
+  EXPECT_DEATH(Result<int>{OkStatus()}, "expected");
+}
+
+}  // namespace
+}  // namespace after

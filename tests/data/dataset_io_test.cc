@@ -2,6 +2,11 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -88,6 +93,91 @@ TEST_F(DatasetIoTest, LoadTruncatedMatrixFails) {
   std::fclose(f);
   Dataset dataset;
   EXPECT_FALSE(LoadDataset(dir_.string(), &dataset));
+}
+
+// Rewrites one 1-based line of `path` through `edit`.
+void EditLine(const std::filesystem::path& path, int line_number,
+              const std::function<std::string(const std::string&)>& edit) {
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_GE(static_cast<int>(lines.size()), line_number);
+  lines[line_number - 1] = edit(lines[line_number - 1]);
+  std::ofstream out(path);
+  for (const auto& line : lines) out << line << "\n";
+}
+
+TEST_F(DatasetIoTest, CheckedRoundTripSucceeds) {
+  const Dataset original = MakeDataset();
+  ASSERT_TRUE(SaveDatasetChecked(original, dir_.string()).ok());
+  const Result<Dataset> loaded = LoadDatasetChecked(dir_.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().num_users(), original.num_users());
+  EXPECT_TRUE(loaded.value().preference.AllClose(original.preference));
+}
+
+TEST_F(DatasetIoTest, InconsistentRowLengthNamesFileAndLine) {
+  ASSERT_TRUE(SaveDatasetChecked(MakeDataset(), dir_.string()).ok());
+  // Line 1 is the "rows cols" header; line 3 is the second matrix row.
+  EditLine(dir_ / "preference.txt", 3,
+           [](const std::string& line) { return line + " 0.25"; });
+  const Result<Dataset> loaded = LoadDatasetChecked(dir_.string());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidData);
+  EXPECT_NE(loaded.status().message().find("preference.txt"),
+            std::string::npos)
+      << loaded.status().ToString();
+  EXPECT_NE(loaded.status().message().find("line 3"), std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST_F(DatasetIoTest, NonFiniteEntryNamesFileAndLine) {
+  ASSERT_TRUE(SaveDatasetChecked(MakeDataset(), dir_.string()).ok());
+  EditLine(dir_ / "presence.txt", 2, [](const std::string& line) {
+    return "nan" + line.substr(line.find(' '));
+  });
+  const Result<Dataset> loaded = LoadDatasetChecked(dir_.string());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidData);
+  EXPECT_NE(loaded.status().message().find("presence.txt"),
+            std::string::npos)
+      << loaded.status().ToString();
+  EXPECT_NE(loaded.status().message().find("line 2"), std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST_F(DatasetIoTest, MissingFileIsNamedInTheDiagnostic) {
+  ASSERT_TRUE(SaveDatasetChecked(MakeDataset(), dir_.string()).ok());
+  std::filesystem::remove(dir_ / "presence.txt");
+  const Result<Dataset> loaded = LoadDatasetChecked(dir_.string());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("presence.txt"),
+            std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST_F(DatasetIoTest, OutOfRangeEdgeEndpointIsRejected) {
+  ASSERT_TRUE(SaveDatasetChecked(MakeDataset(), dir_.string()).ok());
+  EditLine(dir_ / "social.txt", 2, [](const std::string& line) {
+    return "999999999" + line.substr(line.find(' '));
+  });
+  const Result<Dataset> loaded = LoadDatasetChecked(dir_.string());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidData);
+  EXPECT_NE(loaded.status().message().find("social.txt"), std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST_F(DatasetIoTest, ValidateDatasetCatchesInMemoryCorruption) {
+  Dataset dataset = MakeDataset();
+  EXPECT_TRUE(ValidateDataset(dataset).ok());
+  dataset.preference.At(0, 1) = std::numeric_limits<double>::quiet_NaN();
+  const Status status = ValidateDataset(dataset);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidData);
 }
 
 TEST_F(DatasetIoTest, XrWorldFromRecordedRoundTrip) {

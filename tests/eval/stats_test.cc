@@ -1,6 +1,7 @@
 #include "eval/stats.h"
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -15,6 +16,30 @@ TEST(StatsTest, MeanAndVariance) {
   EXPECT_NEAR(Variance(values), 4.571428571, 1e-8);
   EXPECT_DOUBLE_EQ(Mean({}), 0.0);
   EXPECT_DOUBLE_EQ(Variance({1.0}), 0.0);
+}
+
+TEST(StatsTest, DegenerateAggregationIsNanSafe) {
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  // Empty / all-poisoned samples aggregate to 0, never NaN or an abort.
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({kNan, kNan}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({kNan, kNan, kNan}), 0.0);
+  // Non-finite entries are ignored rather than propagated.
+  EXPECT_DOUBLE_EQ(Mean({1.0, kNan, 3.0}), 2.0);
+  EXPECT_TRUE(std::isfinite(Variance({1.0, kNan, 3.0, 5.0})));
+}
+
+TEST(StatsTest, MismatchedPairingsReturnSafeDefaults) {
+  // A method that dropped targets yields unpaired vectors; the tests
+  // must degrade to their neutral defaults instead of aborting.
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {1.0, 2.0};
+  const TTestResult t = PairedTTest(a, b);
+  EXPECT_DOUBLE_EQ(t.t_statistic, 0.0);
+  EXPECT_DOUBLE_EQ(t.p_value, 1.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(SpearmanCorrelation(a, b), 0.0);
 }
 
 TEST(StatsTest, IncompleteBetaKnownValues) {

@@ -1,0 +1,254 @@
+/// Chaos integration test: drives the full load -> train -> evaluate
+/// pipeline under every fault class of the fault-injection harness and
+/// asserts graceful degradation — finite metrics, non-zero
+/// recommendations, diagnosed failures, and never an abort.
+
+#include <cmath>
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "baselines/nearest_recommender.h"
+#include "core/evaluator.h"
+#include "core/poshgnn.h"
+#include "data/dataset_io.h"
+#include "testing/fault_injection.h"
+
+namespace after {
+namespace {
+
+namespace fs = std::filesystem;
+
+Dataset SmallTimik(uint64_t seed = 7) {
+  DatasetConfig config;
+  config.num_users = 16;
+  config.num_steps = 8;
+  config.num_sessions = 2;
+  config.room_side = 6.0;
+  config.seed = seed;
+  return GenerateTimikLike(config);
+}
+
+EvalOptions SmallEval() {
+  EvalOptions eval;
+  eval.num_targets = 6;
+  eval.beta = 0.5;
+  return eval;
+}
+
+void ExpectFiniteMetrics(const EvalResult& result) {
+  EXPECT_TRUE(std::isfinite(result.after_utility));
+  EXPECT_TRUE(std::isfinite(result.preference_utility));
+  EXPECT_TRUE(std::isfinite(result.social_presence_utility));
+  EXPECT_TRUE(std::isfinite(result.view_occlusion_rate));
+  EXPECT_TRUE(std::isfinite(result.avg_recommended_per_step));
+  for (double v : result.per_target_after) EXPECT_TRUE(std::isfinite(v));
+}
+
+// ---- Fault class 1: corrupt persisted datasets ----------------------
+
+TEST(ChaosTest, EveryDatasetFaultIsDiagnosedNotFatal) {
+  const fs::path base =
+      fs::temp_directory_path() /
+      ("after_chaos_" + std::to_string(::getpid()));
+  uint64_t seed = 100;
+  for (testing::DatasetFileFault fault : testing::kAllDatasetFileFaults) {
+    SCOPED_TRACE(testing::DatasetFileFaultName(fault));
+    const fs::path dir =
+        base.string() + "_" + testing::DatasetFileFaultName(fault);
+    fs::remove_all(dir);
+    ASSERT_TRUE(SaveDatasetChecked(SmallTimik(), dir.string()).ok());
+
+    Rng rng(seed++);
+    std::string corrupted_file;
+    ASSERT_TRUE(testing::InjectDatasetFileFault(dir.string(), fault, rng,
+                                                &corrupted_file)
+                    .ok());
+
+    // The strict loader must refuse the corrupted directory with a
+    // diagnostic naming the offending file — and must not abort.
+    const Result<Dataset> loaded = LoadDatasetChecked(dir.string());
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_NE(loaded.status().message().find(corrupted_file),
+              std::string::npos)
+        << "diagnostic does not name " << corrupted_file << ": "
+        << loaded.status().ToString();
+
+    // The legacy bool API degrades to false instead of dying too.
+    Dataset scratch;
+    EXPECT_FALSE(LoadDataset(dir.string(), &scratch));
+    fs::remove_all(dir);
+  }
+}
+
+// ---- Fault class 2: NaN trajectories --------------------------------
+
+TEST(ChaosTest, NanTrajectoryEvaluatesFiniteWithCountedSkips) {
+  Dataset dataset = SmallTimik();
+  Rng rng(41);
+  dataset.sessions.back() =
+      testing::WithNanPositions(dataset.sessions.back(), 12, rng);
+
+  NearestRecommender nearest(5);
+  const Result<EvalResult> result =
+      EvaluateRecommenderChecked(nearest, dataset, SmallEval());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectFiniteMetrics(result.value());
+  EXPECT_GT(result.value().diagnostics.poisoned_steps_skipped, 0);
+  EXPECT_GT(result.value().avg_recommended_per_step, 0.0);
+}
+
+// ---- Fault class 3: mid-session user churn --------------------------
+
+TEST(ChaosTest, MidSessionUserDropEvaluatesFinite) {
+  Dataset dataset = SmallTimik();
+  dataset.sessions.back() = testing::WithUserDroppedMidSession(
+      dataset.sessions.back(), /*user=*/3, /*drop_step=*/3);
+
+  NearestRecommender nearest(5);
+  const Result<EvalResult> result =
+      EvaluateRecommenderChecked(nearest, dataset, SmallEval());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectFiniteMetrics(result.value());
+  EXPECT_GT(result.value().avg_recommended_per_step, 0.0);
+}
+
+TEST(ChaosTest, ChurningCrowdEvaluatesFinite) {
+  Dataset dataset = SmallTimik();
+  XrWorld::Config world_config;
+  world_config.num_users = dataset.num_users();
+  world_config.num_steps = 10;
+  world_config.room_side = 6.0;
+  Rng rng(43);
+  dataset.sessions.back() =
+      testing::GenerateWorldWithChurn(world_config, 0.08, 0.3, rng);
+
+  NearestRecommender nearest(5);
+  const Result<EvalResult> result =
+      EvaluateRecommenderChecked(nearest, dataset, SmallEval());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectFiniteMetrics(result.value());
+  EXPECT_TRUE(result.value().diagnostics.clean());
+  EXPECT_GT(result.value().avg_recommended_per_step, 0.0);
+}
+
+// ---- Fault class 4: recommender crash mid-evaluation ----------------
+
+TEST(ChaosTest, CrashedRecommenderFallsBackToNearest) {
+  const Dataset dataset = SmallTimik();
+
+  NearestRecommender healthy(5);
+  testing::FaultyRecommender faulty(&healthy, /*healthy_steps=*/4);
+  NearestRecommender fallback(5);
+
+  EvalOptions eval = SmallEval();
+  eval.fallback = &fallback;
+  const Result<EvalResult> result =
+      EvaluateRecommenderChecked(faulty, dataset, eval);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectFiniteMetrics(result.value());
+  EXPECT_GT(result.value().diagnostics.fallback_steps, 0);
+  EXPECT_GT(faulty.failures_emitted(), 0);
+  // The fallback keeps the recommendation stream alive.
+  EXPECT_GT(result.value().avg_recommended_per_step, 0.0);
+}
+
+TEST(ChaosTest, CrashedRecommenderWithoutFallbackSkipsAndCounts) {
+  const Dataset dataset = SmallTimik();
+  NearestRecommender healthy(5);
+  testing::FaultyRecommender faulty(&healthy, /*healthy_steps=*/2);
+
+  const Result<EvalResult> result =
+      EvaluateRecommenderChecked(faulty, dataset, SmallEval());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectFiniteMetrics(result.value());
+  EXPECT_GT(result.value().diagnostics.failed_steps_skipped, 0);
+}
+
+// ---- Fault class 5: poisoned gradients during training --------------
+
+TEST(ChaosTest, PoisonedUtilitiesTrainingRecoversViaRollback) {
+  const Dataset clean = SmallTimik();
+  Dataset poisoned = clean;
+  Rng rng(44);
+  // A few poisoned entries: enough for sampled training targets to hit a
+  // NaN row (engaging the guard) while most rollouts stay clean.
+  testing::PoisonUtilities(&poisoned, 3, rng);
+
+  TrainOptions train;
+  train.epochs = 10;
+  train.targets_per_epoch = 4;
+  train.seed = 7;
+  train.robustness.policy = NumericalErrorPolicy::kRollbackAndHalveLr;
+
+  PoshgnnConfig config;
+  config.seed = 9;
+
+  Poshgnn clean_model(config);
+  clean_model.Train(clean, train);
+  ASSERT_TRUE(clean_model.last_train_status().ok());
+
+  Poshgnn poisoned_model(config);
+  poisoned_model.Train(poisoned, train);
+
+  // The guard engaged (NaN losses rolled back) but training finished.
+  EXPECT_TRUE(poisoned_model.last_train_status().ok())
+      << poisoned_model.last_train_status().ToString();
+  EXPECT_GT(poisoned_model.train_rollbacks() +
+                poisoned_model.train_steps_skipped(),
+            0);
+
+  // Both models evaluate on the clean dataset; the recovered model's
+  // Table 2 metric stays within 5% of the clean run's.
+  const Result<EvalResult> clean_eval =
+      EvaluateRecommenderChecked(clean_model, clean, SmallEval());
+  const Result<EvalResult> poisoned_eval =
+      EvaluateRecommenderChecked(poisoned_model, clean, SmallEval());
+  ASSERT_TRUE(clean_eval.ok());
+  ASSERT_TRUE(poisoned_eval.ok());
+  ExpectFiniteMetrics(poisoned_eval.value());
+
+  const double clean_utility = clean_eval.value().after_utility;
+  const double recovered_utility = poisoned_eval.value().after_utility;
+  ASSERT_GT(clean_utility, 0.0);
+  EXPECT_LE(std::abs(recovered_utility - clean_utility),
+            0.05 * std::abs(clean_utility))
+      << "clean=" << clean_utility << " recovered=" << recovered_utility;
+}
+
+TEST(ChaosTest, AllNanTrainingSessionIsSkippedNotFatal) {
+  Dataset dataset = SmallTimik();
+  Rng rng(45);
+  testing::AppendPoisonedTrainingSession(&dataset, rng);
+
+  TrainOptions train;
+  train.epochs = 2;
+  train.targets_per_epoch = 2;
+  train.seed = 11;
+
+  PoshgnnConfig config;
+  config.seed = 13;
+  Poshgnn model(config);
+  model.Train(dataset, train);
+  EXPECT_TRUE(model.last_train_status().ok())
+      << model.last_train_status().ToString();
+
+  const Result<EvalResult> result =
+      EvaluateRecommenderChecked(model, dataset, SmallEval());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectFiniteMetrics(result.value());
+}
+
+TEST(ChaosTest, UntrainableDatasetReportsInvalidData) {
+  Dataset empty;
+  TrainOptions train;
+  train.epochs = 1;
+  PoshgnnConfig config;
+  Poshgnn model(config);
+  model.Train(empty, train);  // Must not abort.
+  EXPECT_EQ(model.last_train_status().code(), StatusCode::kInvalidData);
+}
+
+}  // namespace
+}  // namespace after

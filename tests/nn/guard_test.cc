@@ -1,0 +1,184 @@
+#include "nn/guard.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "tensor/autograd.h"
+
+namespace after {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+Matrix Ones(int rows, int cols) { return Matrix(rows, cols, 1.0); }
+
+/// Accumulates finite gradients (all ones) into `param` via a real tape.
+double BackwardClean(const Variable& param) {
+  Variable loss = Variable::Sum(param);
+  loss.Backward();
+  return loss.value().At(0, 0);
+}
+
+/// Accumulates NaN gradients into `param`.
+double BackwardPoisoned(const Variable& param) {
+  Matrix poison(param.rows(), param.cols());
+  poison.Fill(kNan);
+  Variable loss =
+      Variable::Sum(Variable::Hadamard(param, Variable::Constant(poison)));
+  loss.Backward();
+  return loss.value().At(0, 0);
+}
+
+TEST(TrainingGuardTest, HealthyStepAppliesUpdate) {
+  Variable param = Variable::Parameter(Ones(2, 2));
+  Adam optimizer({param});
+  TrainingGuard guard(RobustnessConfig(), &optimizer);
+
+  const Matrix before = param.value();
+  optimizer.ZeroGrad();
+  const double loss = BackwardClean(param);
+  EXPECT_EQ(guard.GuardedStep(loss), TrainingGuard::Outcome::kStepped);
+  EXPECT_FALSE(param.value() == before);
+  EXPECT_EQ(guard.steps_applied(), 1);
+  EXPECT_TRUE(guard.status().ok());
+}
+
+TEST(TrainingGuardTest, SkipPolicyDropsNanLossStep) {
+  RobustnessConfig config;
+  config.policy = NumericalErrorPolicy::kSkipStep;
+  Variable param = Variable::Parameter(Ones(2, 2));
+  Adam optimizer({param});
+  TrainingGuard guard(config, &optimizer);
+
+  const Matrix before = param.value();
+  optimizer.ZeroGrad();
+  BackwardClean(param);  // Finite gradients; the loss itself is poisoned.
+  EXPECT_EQ(guard.GuardedStep(kNan), TrainingGuard::Outcome::kSkipped);
+  EXPECT_TRUE(param.value() == before);  // Bit-exact: nothing applied.
+  EXPECT_EQ(guard.steps_skipped(), 1);
+  EXPECT_TRUE(guard.status().ok());
+}
+
+TEST(TrainingGuardTest, RollbackRestoresBitExactLastGoodParameters) {
+  RobustnessConfig config;
+  config.policy = NumericalErrorPolicy::kRollbackAndHalveLr;
+  Variable param = Variable::Parameter(Ones(2, 2));
+  Adam optimizer({param});
+  const double base_lr = optimizer.learning_rate();
+  TrainingGuard guard(config, &optimizer);
+
+  // One healthy step establishes the last-good snapshot.
+  optimizer.ZeroGrad();
+  EXPECT_EQ(guard.GuardedStep(BackwardClean(param)),
+            TrainingGuard::Outcome::kStepped);
+  const Matrix last_good = param.value();
+
+  // A poisoned backward pass must roll back to exactly that snapshot.
+  optimizer.ZeroGrad();
+  BackwardPoisoned(param);
+  EXPECT_EQ(guard.GuardedStep(0.0), TrainingGuard::Outcome::kRolledBack);
+  EXPECT_TRUE(param.value() == last_good);  // Bit-exact restoration.
+  EXPECT_EQ(guard.rollbacks(), 1);
+  EXPECT_DOUBLE_EQ(optimizer.learning_rate(), base_lr * 0.5);
+  EXPECT_TRUE(guard.status().ok());
+}
+
+TEST(TrainingGuardTest, LearningRateRecoversAfterHealthyStreak) {
+  RobustnessConfig config;
+  config.policy = NumericalErrorPolicy::kRollbackAndHalveLr;
+  config.recovery_steps = 2;
+  Variable param = Variable::Parameter(Ones(2, 2));
+  Adam optimizer({param});
+  const double base_lr = optimizer.learning_rate();
+  TrainingGuard guard(config, &optimizer);
+
+  optimizer.ZeroGrad();
+  guard.GuardedStep(BackwardClean(param));
+  optimizer.ZeroGrad();
+  BackwardPoisoned(param);
+  guard.GuardedStep(0.0);
+  EXPECT_LT(optimizer.learning_rate(), base_lr);
+
+  for (int i = 0; i < config.recovery_steps; ++i) {
+    optimizer.ZeroGrad();
+    guard.GuardedStep(BackwardClean(param));
+  }
+  EXPECT_DOUBLE_EQ(optimizer.learning_rate(), base_lr);
+}
+
+TEST(TrainingGuardTest, FailPolicyReturnsNumericalErrorStatus) {
+  RobustnessConfig config;
+  config.policy = NumericalErrorPolicy::kFail;
+  Variable param = Variable::Parameter(Ones(2, 2));
+  Adam optimizer({param});
+  TrainingGuard guard(config, &optimizer);
+
+  optimizer.ZeroGrad();
+  BackwardClean(param);
+  EXPECT_EQ(guard.GuardedStep(kNan), TrainingGuard::Outcome::kFailed);
+  EXPECT_EQ(guard.status().code(), StatusCode::kNumericalError);
+  // The guard latches: later calls keep failing without touching params.
+  const Matrix after_fail = param.value();
+  EXPECT_EQ(guard.GuardedStep(0.0), TrainingGuard::Outcome::kFailed);
+  EXPECT_TRUE(param.value() == after_fail);
+}
+
+TEST(TrainingGuardTest, ConsecutiveFailureBudgetEventuallyFails) {
+  RobustnessConfig config;
+  config.policy = NumericalErrorPolicy::kSkipStep;
+  config.max_consecutive_failures = 2;
+  Variable param = Variable::Parameter(Ones(2, 2));
+  Adam optimizer({param});
+  TrainingGuard guard(config, &optimizer);
+
+  optimizer.ZeroGrad();
+  BackwardClean(param);
+  EXPECT_EQ(guard.GuardedStep(kNan), TrainingGuard::Outcome::kSkipped);
+  EXPECT_EQ(guard.GuardedStep(kNan), TrainingGuard::Outcome::kSkipped);
+  EXPECT_EQ(guard.GuardedStep(kNan), TrainingGuard::Outcome::kFailed);
+  EXPECT_FALSE(guard.status().ok());
+}
+
+TEST(TrainingGuardTest, ExplodingGradientNormIsRejected) {
+  RobustnessConfig config;
+  config.policy = NumericalErrorPolicy::kSkipStep;
+  config.max_grad_norm = 1e-12;
+  Variable param = Variable::Parameter(Ones(2, 2));
+  Adam optimizer({param});
+  TrainingGuard guard(config, &optimizer);
+
+  const Matrix before = param.value();
+  optimizer.ZeroGrad();
+  const double loss = BackwardClean(param);  // Norm 2 >> 1e-12.
+  EXPECT_EQ(guard.GuardedStep(loss), TrainingGuard::Outcome::kSkipped);
+  EXPECT_TRUE(param.value() == before);
+}
+
+TEST(TrainingGuardTest, DisabledGuardReproducesUnguardedBehavior) {
+  RobustnessConfig config;
+  config.guard_training = false;
+  Variable param = Variable::Parameter(Ones(2, 2));
+  Adam optimizer({param});
+  TrainingGuard guard(config, &optimizer);
+
+  const Matrix before = param.value();
+  optimizer.ZeroGrad();
+  BackwardClean(param);
+  // Even a NaN loss steps: exactly the historical behavior.
+  EXPECT_EQ(guard.GuardedStep(kNan), TrainingGuard::Outcome::kStepped);
+  EXPECT_FALSE(param.value() == before);
+}
+
+TEST(AllFiniteTest, DetectsNanAndInf) {
+  Matrix m = Ones(2, 2);
+  EXPECT_TRUE(AllFinite(m));
+  m.At(1, 0) = kNan;
+  EXPECT_FALSE(AllFinite(m));
+  m.At(1, 0) = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(AllFinite(m));
+}
+
+}  // namespace
+}  // namespace after

@@ -1,0 +1,305 @@
+#include "testing/fault_injection.h"
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset_io.h"
+
+namespace after {
+namespace testing {
+namespace {
+
+namespace fs = std::filesystem;
+
+Dataset SmallDataset(uint64_t seed = 17) {
+  DatasetConfig config;
+  config.num_users = 10;
+  config.num_steps = 6;
+  config.num_sessions = 2;
+  config.room_side = 5.0;
+  config.seed = seed;
+  return GenerateTimikLike(config);
+}
+
+std::string ReadFile(const fs::path& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("after_fault_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    ASSERT_TRUE(SaveDatasetChecked(SmallDataset(), dir_.string()).ok());
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+TEST_F(FaultInjectionTest, InjectionIsDeterministicForASeed) {
+  const fs::path other = dir_.string() + "_twin";
+  fs::remove_all(other);
+  ASSERT_TRUE(SaveDatasetChecked(SmallDataset(), other.string()).ok());
+
+  for (DatasetFileFault fault : kAllDatasetFileFaults) {
+    Rng rng_a(99);
+    Rng rng_b(99);
+    std::string victim_a;
+    std::string victim_b;
+    ASSERT_TRUE(
+        InjectDatasetFileFault(dir_.string(), fault, rng_a, &victim_a).ok())
+        << DatasetFileFaultName(fault);
+    ASSERT_TRUE(
+        InjectDatasetFileFault(other.string(), fault, rng_b, &victim_b).ok())
+        << DatasetFileFaultName(fault);
+    EXPECT_EQ(victim_a, victim_b) << DatasetFileFaultName(fault);
+    if (fault != DatasetFileFault::kMissingFile) {
+      EXPECT_EQ(ReadFile(dir_ / victim_a), ReadFile(other / victim_b))
+          << DatasetFileFaultName(fault);
+    }
+    // Re-seed with fresh copies for the next fault class.
+    fs::remove_all(dir_);
+    fs::remove_all(other);
+    ASSERT_TRUE(SaveDatasetChecked(SmallDataset(), dir_.string()).ok());
+    ASSERT_TRUE(SaveDatasetChecked(SmallDataset(), other.string()).ok());
+  }
+  fs::remove_all(other);
+}
+
+TEST_F(FaultInjectionTest, TruncateShortensTheVictim) {
+  Rng rng(3);
+  std::string victim;
+  const auto before_sizes = [&] {
+    std::uintmax_t total = 0;
+    for (const auto& entry : fs::directory_iterator(dir_))
+      total += fs::file_size(entry.path());
+    return total;
+  };
+  const std::uintmax_t before = before_sizes();
+  ASSERT_TRUE(InjectDatasetFileFault(dir_.string(),
+                                     DatasetFileFault::kTruncateFile, rng,
+                                     &victim)
+                  .ok());
+  EXPECT_FALSE(victim.empty());
+  EXPECT_LT(before_sizes(), before);
+}
+
+TEST_F(FaultInjectionTest, NanValueWritesANanToken) {
+  Rng rng(4);
+  std::string victim;
+  ASSERT_TRUE(
+      InjectDatasetFileFault(dir_.string(), DatasetFileFault::kNanValue, rng,
+                             &victim)
+          .ok());
+  EXPECT_NE(victim, "meta.txt");
+  EXPECT_NE(victim, "social.txt");
+  EXPECT_NE(ReadFile(dir_ / victim).find("nan"), std::string::npos);
+}
+
+TEST_F(FaultInjectionTest, OutOfRangeUserIdHitsSocialEdges) {
+  Rng rng(5);
+  std::string victim;
+  ASSERT_TRUE(InjectDatasetFileFault(dir_.string(),
+                                     DatasetFileFault::kOutOfRangeUserId, rng,
+                                     &victim)
+                  .ok());
+  EXPECT_EQ(victim, "social.txt");
+  EXPECT_NE(ReadFile(dir_ / victim).find("999999999"), std::string::npos);
+}
+
+TEST_F(FaultInjectionTest, MissingFileRemovesTheVictim) {
+  Rng rng(6);
+  std::string victim;
+  ASSERT_TRUE(
+      InjectDatasetFileFault(dir_.string(), DatasetFileFault::kMissingFile,
+                             rng, &victim)
+          .ok());
+  EXPECT_FALSE(fs::exists(dir_ / victim));
+}
+
+TEST_F(FaultInjectionTest, GarbageHeaderRewritesTheFirstLine) {
+  Rng rng(7);
+  std::string victim;
+  ASSERT_TRUE(
+      InjectDatasetFileFault(dir_.string(), DatasetFileFault::kGarbageHeader,
+                             rng, &victim)
+          .ok());
+  EXPECT_EQ(ReadFile(dir_ / victim).rfind("!!corrupt header!!", 0), 0u);
+}
+
+TEST_F(FaultInjectionTest, InjectingIntoEmptyDirectoryFailsCleanly) {
+  Rng rng(8);
+  const fs::path empty = dir_.string() + "_empty";
+  fs::create_directories(empty);
+  const Status status = InjectDatasetFileFault(
+      empty.string(), DatasetFileFault::kTruncateFile, rng);
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  fs::remove_all(empty);
+}
+
+TEST(TrajectoryFaultsTest, WithNanPositionsPoisonsSomeSamples) {
+  Rng world_rng(21);
+  XrWorld::Config config;
+  config.num_users = 8;
+  config.num_steps = 10;
+  config.room_side = 5.0;
+  const XrWorld clean = XrWorld::Generate(config, world_rng);
+
+  Rng rng(22);
+  const XrWorld poisoned = WithNanPositions(clean, 5, rng);
+  ASSERT_EQ(poisoned.num_users(), clean.num_users());
+  ASSERT_EQ(poisoned.num_steps(), clean.num_steps());
+  int nan_samples = 0;
+  for (int t = 0; t < poisoned.num_steps(); ++t)
+    for (int u = 0; u < poisoned.num_users(); ++u)
+      if (!std::isfinite(poisoned.PositionsAt(t)[u].x)) ++nan_samples;
+  EXPECT_GT(nan_samples, 0);
+  EXPECT_LE(nan_samples, 5);
+}
+
+TEST(TrajectoryFaultsTest, DroppedUserIsParkedFromTheDropStepOn) {
+  Rng world_rng(23);
+  XrWorld::Config config;
+  config.num_users = 6;
+  config.num_steps = 8;
+  const XrWorld clean = XrWorld::Generate(config, world_rng);
+
+  const int user = 2;
+  const int drop_step = 4;
+  const XrWorld dropped = WithUserDroppedMidSession(clean, user, drop_step);
+  for (int t = 0; t < drop_step; ++t) {
+    EXPECT_DOUBLE_EQ(dropped.PositionsAt(t)[user].x,
+                     clean.PositionsAt(t)[user].x);
+    EXPECT_DOUBLE_EQ(dropped.PositionsAt(t)[user].y,
+                     clean.PositionsAt(t)[user].y);
+  }
+  for (int t = drop_step; t < dropped.num_steps(); ++t) {
+    EXPECT_DOUBLE_EQ(dropped.PositionsAt(t)[user].x, 1e6);
+    EXPECT_DOUBLE_EQ(dropped.PositionsAt(t)[user].y, 1e6);
+  }
+}
+
+TEST(TrajectoryFaultsTest, TeleportingUserStaysInRoomAndFinite) {
+  Rng world_rng(24);
+  XrWorld::Config config;
+  config.num_users = 5;
+  config.num_steps = 12;
+  config.room_side = 4.0;
+  const XrWorld clean = XrWorld::Generate(config, world_rng);
+
+  Rng rng(25);
+  const XrWorld glitchy = WithTeleportingUser(clean, 1, 3, 4.0, rng);
+  for (int t = 0; t < glitchy.num_steps(); ++t) {
+    const Vec2& p = glitchy.PositionsAt(t)[1];
+    EXPECT_TRUE(std::isfinite(p.x) && std::isfinite(p.y));
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 4.0);
+  }
+  // Teleports happen: the user's path is discontinuous across periods.
+  EXPECT_TRUE(glitchy.PositionsAt(0)[1].x != glitchy.PositionsAt(3)[1].x ||
+              glitchy.PositionsAt(0)[1].y != glitchy.PositionsAt(3)[1].y);
+}
+
+TEST(TrajectoryFaultsTest, ChurnWorldIsStructurallyValidAndFinite) {
+  XrWorld::Config config;
+  config.num_users = 12;
+  config.num_steps = 20;
+  config.room_side = 6.0;
+  Rng rng(26);
+  const XrWorld world = GenerateWorldWithChurn(config, 0.1, 0.3, rng);
+  ASSERT_EQ(world.num_users(), config.num_users);
+  ASSERT_EQ(world.num_steps(), config.num_steps);
+  for (int t = 0; t < world.num_steps(); ++t)
+    for (int u = 0; u < world.num_users(); ++u) {
+      const Vec2& p = world.PositionsAt(t)[u];
+      ASSERT_TRUE(std::isfinite(p.x) && std::isfinite(p.y))
+          << "t=" << t << " u=" << u;
+    }
+}
+
+TEST(UtilityFaultsTest, PoisonUtilitiesLeavesDiagonalAloneAndAddsNans) {
+  Dataset dataset = SmallDataset();
+  Rng rng(27);
+  PoisonUtilities(&dataset, 6, rng);
+  int nans = 0;
+  for (int r = 0; r < dataset.num_users(); ++r)
+    for (int c = 0; c < dataset.num_users(); ++c) {
+      const bool bad_p = std::isnan(dataset.preference.At(r, c));
+      const bool bad_s = std::isnan(dataset.social_presence.At(r, c));
+      if (r == c) {
+        EXPECT_FALSE(bad_p || bad_s);
+      } else {
+        nans += (bad_p ? 1 : 0) + (bad_s ? 1 : 0);
+      }
+    }
+  EXPECT_GT(nans, 0);
+  EXPECT_LE(nans, 6);
+}
+
+TEST(UtilityFaultsTest, PoisonedTrainingSessionKeepsHeldOutSessionClean) {
+  Dataset dataset = SmallDataset();
+  const size_t sessions_before = dataset.sessions.size();
+  const XrWorld held_out = dataset.sessions.back();
+  Rng rng(28);
+  AppendPoisonedTrainingSession(&dataset, rng);
+  ASSERT_EQ(dataset.sessions.size(), sessions_before + 1);
+
+  // The held-out (last) session is untouched...
+  const XrWorld& still_last = dataset.sessions.back();
+  ASSERT_EQ(still_last.num_steps(), held_out.num_steps());
+  for (int t = 0; t < held_out.num_steps(); ++t)
+    for (int u = 0; u < held_out.num_users(); ++u)
+      EXPECT_DOUBLE_EQ(still_last.PositionsAt(t)[u].x,
+                       held_out.PositionsAt(t)[u].x);
+
+  // ...while the inserted training session carries NaN samples.
+  const XrWorld& poisoned = dataset.sessions[dataset.sessions.size() - 2];
+  int nan_samples = 0;
+  for (int t = 0; t < poisoned.num_steps(); ++t)
+    for (int u = 0; u < poisoned.num_users(); ++u)
+      if (std::isnan(poisoned.PositionsAt(t)[u].x)) ++nan_samples;
+  EXPECT_GT(nan_samples, 0);
+}
+
+class ConstantRecommender : public Recommender {
+ public:
+  explicit ConstantRecommender(int n) : n_(n) {}
+  std::string name() const override { return "Constant"; }
+  std::vector<bool> Recommend(const StepContext& context) override {
+    std::vector<bool> out(n_, true);
+    out[context.target] = false;
+    return out;
+  }
+
+ private:
+  int n_;
+};
+
+TEST(FaultyRecommenderTest, CrashesAfterHealthyBudget) {
+  ConstantRecommender delegate(4);
+  FaultyRecommender faulty(&delegate, /*healthy_steps=*/2);
+  EXPECT_EQ(faulty.name(), "Faulty(Constant)");
+
+  StepContext context;
+  context.target = 0;
+  EXPECT_EQ(faulty.Recommend(context).size(), 4u);
+  EXPECT_EQ(faulty.Recommend(context).size(), 4u);
+  EXPECT_TRUE(faulty.Recommend(context).empty());
+  EXPECT_TRUE(faulty.Recommend(context).empty());
+  EXPECT_EQ(faulty.failures_emitted(), 2);
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace after
