@@ -5,6 +5,8 @@
 #include <memory>
 
 #include "baselines/comurnet.h"
+#include "common/rng.h"
+#include "testing/fault_injection.h"
 #include "baselines/dcrnn_recommender.h"
 #include "baselines/grafrank.h"
 #include "baselines/mvagc.h"
@@ -17,6 +19,30 @@
 
 namespace after {
 namespace bench {
+namespace {
+
+/// One "[degraded] ..." line per non-clean result (empty when all runs
+/// were clean), so numbers produced under faults are never silently
+/// taken at face value.
+std::string DegradedLines(const std::vector<EvalResult>& results) {
+  std::string out;
+  for (const auto& r : results) {
+    const EvalDiagnostics& d = r.diagnostics;
+    if (d.clean()) continue;
+    char diag[320];
+    std::snprintf(diag, sizeof(diag),
+                  "  [degraded] %s: %d poisoned steps skipped, %d fallback "
+                  "steps, %d failed steps, %d targets skipped, %d non-finite "
+                  "utilities zeroed, %d deadline misses\n",
+                  r.method.c_str(), d.poisoned_steps_skipped, d.fallback_steps,
+                  d.failed_steps_skipped, d.skipped_targets,
+                  d.non_finite_utilities_zeroed, d.deadline_missed_steps);
+    out += diag;
+  }
+  return out;
+}
+
+}  // namespace
 
 std::vector<EvalResult> EvaluateAll(
     const std::vector<Recommender*>& methods, const Dataset& dataset,
@@ -123,21 +149,8 @@ std::string RunComparisonBench(const Dataset& dataset,
   for (const auto& r : results) table.AddResult(r);
   std::string rendered = table.Render();
 
-  // Surface any graceful degradation the evaluations needed so table
-  // numbers produced under faults are never silently taken at face value.
-  for (const auto& r : results) {
-    const EvalDiagnostics& d = r.diagnostics;
-    if (d.clean()) continue;
-    char diag[256];
-    std::snprintf(diag, sizeof(diag),
-                  "  [degraded] %s: %d poisoned steps skipped, %d fallback "
-                  "steps, %d failed steps, %d targets skipped, %d non-finite "
-                  "utilities zeroed\n",
-                  r.method.c_str(), d.poisoned_steps_skipped, d.fallback_steps,
-                  d.failed_steps_skipped, d.skipped_targets,
-                  d.non_finite_utilities_zeroed);
-    rendered += diag;
-  }
+  // Surface any graceful degradation the evaluations needed.
+  rendered += DegradedLines(results);
 
   // Significance of POSHGNN against each paired baseline.
   double max_p = 0.0;
@@ -153,6 +166,80 @@ std::string RunComparisonBench(const Dataset& dataset,
                 max_p);
   rendered += note;
   std::fputs(rendered.c_str(), stdout);
+
+  // --- Chaos sweep (--chaos) -----------------------------------------
+  // The already-trained methods are re-evaluated once per fault class;
+  // each block prints the same table plus the [degraded] counters that
+  // quantify how much graceful degradation the faults forced.
+  if (options.chaos) {
+    const int eval_session = static_cast<int>(dataset.sessions.size()) - 1;
+    const XrWorld& session = dataset.sessions[eval_session];
+    Rng chaos_rng(options.seed ^ 0xC0FFEEULL);
+    EvalOptions chaos_eval = eval;
+    chaos_eval.num_targets = options.chaos_eval_targets;
+
+    auto run_variant = [&](const std::string& label,
+                           const Dataset& faulted,
+                           const std::vector<Recommender*>& methods,
+                           const EvalOptions& variant_eval) {
+      std::printf("[bench] chaos variant: %s...\n", label.c_str());
+      const std::vector<EvalResult> variant_results =
+          EvaluateAll(methods, faulted, variant_eval);
+      TablePrinter chaos_table(title + " [chaos: " + label + "]");
+      for (const auto& r : variant_results) chaos_table.AddResult(r);
+      std::string block = chaos_table.Render();
+      const std::string degraded = DegradedLines(variant_results);
+      block += degraded.empty()
+                   ? "  [degraded] (none: every run stayed clean)\n"
+                   : degraded;
+      std::fputs(block.c_str(), stdout);
+      rendered += block;
+    };
+
+    // Trajectory faults: corrupted tracking samples, a mid-session
+    // disconnect, and a glitching/teleporting user.
+    {
+      Dataset faulted = dataset;
+      faulted.sessions[eval_session] =
+          testing::WithNanPositions(session, /*num_poisoned_steps=*/10,
+                                    chaos_rng);
+      run_variant("nan-positions", faulted, fast_methods, chaos_eval);
+    }
+    {
+      Dataset faulted = dataset;
+      faulted.sessions[eval_session] = testing::WithUserDroppedMidSession(
+          session, chaos_rng.UniformInt(dataset.num_users()),
+          session.num_steps() / 2);
+      run_variant("user-drop", faulted, fast_methods, chaos_eval);
+    }
+    {
+      Dataset faulted = dataset;
+      faulted.sessions[eval_session] = testing::WithTeleportingUser(
+          session, chaos_rng.UniformInt(dataset.num_users()), /*period=*/7,
+          /*room_side=*/10.0, chaos_rng);
+      run_variant("teleport", faulted, fast_methods, chaos_eval);
+    }
+    // Numeric fault: poisoned utility store.
+    {
+      Dataset faulted = dataset;
+      testing::PoisonUtilities(&faulted, /*num_entries=*/25, chaos_rng);
+      run_variant("poisoned-utilities", faulted, fast_methods, chaos_eval);
+    }
+    // Model fault: the primary crashes mid-session and the evaluator
+    // must ride the NearestRecommender fallback.
+    {
+      testing::FaultyRecommender crashing(&poshgnn, /*healthy_steps=*/20);
+      run_variant("model-crash", dataset, {&crashing, &nearest_baseline},
+                  chaos_eval);
+    }
+    // Latency fault: a per-step deadline squeeze (kTimeout-style
+    // coverage — COMURNet-scale methods blow any real-time budget).
+    {
+      EvalOptions deadline_eval = chaos_eval;
+      deadline_eval.recommend_deadline_ms = options.chaos_deadline_ms;
+      run_variant("deadline", dataset, fast_methods, deadline_eval);
+    }
+  }
   return rendered;
 }
 

@@ -35,6 +35,19 @@ struct ComparisonOptions {
   double alpha = 0.01;
   uint64_t seed = 17;
   bool verbose_training = false;
+  /// --chaos: after the clean table, re-run the evaluation once per
+  /// in-memory fault class from testing/fault_injection (NaN positions,
+  /// mid-session drop, teleporting user, poisoned utilities, a crashing
+  /// primary, and a per-step deadline squeeze) and report each run's
+  /// [degraded] EvalDiagnostics counters alongside the clean numbers.
+  /// Methods are trained once and reused; COMURNet is excluded (its
+  /// per-step cost would dominate the sweep).
+  bool chaos = false;
+  /// Eval targets per chaos variant (kept below num_eval_targets: the
+  /// sweep multiplies method count by fault classes).
+  int chaos_eval_targets = 6;
+  /// Per-step Recommend() budget (ms) for the "deadline" chaos variant.
+  double chaos_deadline_ms = 0.05;
 };
 
 /// Runs the comparison and prints the table; returns the rendered text.

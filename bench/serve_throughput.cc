@@ -1,0 +1,205 @@
+// Closed-loop load generator for the online serving runtime
+// (src/serve/): shards N live rooms across a worker pool and drives
+// them with concurrent closed-loop clients (each client issues its next
+// FriendRequest as soon as the previous one completes, so the client
+// count is the offered-load knob). Prints a throughput/latency table —
+// the repo's first serving benchmark.
+//
+// Usage:
+//   serve_throughput                       # sweep rooms x threads
+//   serve_throughput --rooms=8 --threads=8 # one config + a 1-thread
+//                                          # capacity baseline
+// Flags: --rooms=N --threads=N --clients=N (default 2x threads)
+//        --users=N (room population, default 60)
+//        --requests=N (total per config, default 600)
+//        --deadline_ms=F (default 1000; <0 disables)
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/poshgnn.h"
+#include "data/dataset.h"
+#include "serve/server.h"
+
+namespace after {
+namespace {
+
+struct RunStats {
+  double throughput = 0.0;  // OK responses per second
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+  long long ok = 0, shed = 0, timeouts = 0, fallbacks = 0;
+  int max_depth = 0;
+};
+
+RunStats RunConfig(const Dataset& dataset, int num_rooms, int threads,
+                   int clients, int total_requests, double deadline_ms) {
+  std::vector<std::unique_ptr<serve::Room>> rooms;
+  for (int r = 0; r < num_rooms; ++r) {
+    serve::Room::Options room_options;
+    room_options.id = r;
+    room_options.mode = serve::Room::Mode::kLive;
+    room_options.seed = 900 + r;
+    auto created = serve::Room::Create(room_options, &dataset);
+    if (!created.ok()) {
+      std::fprintf(stderr, "room %d: %s\n", r,
+                   created.status().ToString().c_str());
+      return RunStats{};
+    }
+    rooms.push_back(std::move(created).value());
+  }
+  const int n = rooms.front()->num_users();
+
+  serve::ServerOptions server_options;
+  server_options.num_threads = threads;
+  // Closed-loop: in-flight requests never exceed the client count, so
+  // this capacity guarantees the generator itself never sheds.
+  server_options.queue_capacity = std::max(1024, clients * 4);
+  server_options.default_deadline_ms = deadline_ms;
+  PoshgnnConfig model_config;
+  model_config.seed = 42;
+  serve::RecommendationServer server(
+      std::move(rooms),
+      [model_config] { return std::make_unique<Poshgnn>(model_config); },
+      server_options);
+
+  // Background ticker: advances every room's crowd simulation while the
+  // clients hammer the request path.
+  std::atomic<bool> stop{false};
+  std::thread ticker([&server, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      server.TickAll();
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+
+  const int per_client = std::max(1, total_requests / std::max(1, clients));
+  WallTimer timer;
+  std::vector<std::thread> client_threads;
+  client_threads.reserve(clients);
+  for (int c = 0; c < clients; ++c) {
+    client_threads.emplace_back([&server, c, per_client, num_rooms, n] {
+      Rng rng(77 + 13 * c);
+      for (int i = 0; i < per_client; ++i) {
+        serve::FriendRequest request;
+        request.room = rng.UniformInt(num_rooms);
+        request.user = rng.UniformInt(n);
+        server.Handle(request);
+      }
+    });
+  }
+  for (auto& thread : client_threads) thread.join();
+  const double elapsed_s = timer.ElapsedSeconds();
+  stop.store(true);
+  ticker.join();
+  server.Shutdown();
+
+  const serve::ServerMetrics& m = server.metrics();
+  RunStats stats;
+  stats.ok = m.responses_ok.load();
+  stats.shed = m.shed.load();
+  stats.timeouts = m.timeouts.load();
+  stats.fallbacks = m.total_fallbacks();
+  stats.p50 = m.latency.PercentileMs(0.50);
+  stats.p95 = m.latency.PercentileMs(0.95);
+  stats.p99 = m.latency.PercentileMs(0.99);
+  stats.max_depth = m.max_queue_depth.load();
+  stats.throughput = elapsed_s > 0.0 ? stats.ok / elapsed_s : 0.0;
+  return stats;
+}
+
+void PrintHeader() {
+  std::printf(
+      "rooms threads clients    ok  shed  t/o    fb   p50ms   p95ms   p99ms"
+      "  maxQ    req/s\n");
+}
+
+void PrintRow(int rooms, int threads, int clients, const RunStats& s) {
+  std::printf(
+      "%5d %7d %7d %5lld %5lld %4lld %5lld %7.2f %7.2f %7.2f %5d %8.1f\n",
+      rooms, threads, clients, s.ok, s.shed, s.timeouts, s.fallbacks, s.p50,
+      s.p95, s.p99, s.max_depth, s.throughput);
+}
+
+int Main(int argc, char** argv) {
+  int rooms = -1, threads = -1, clients = -1;
+  int users = 60, requests = 600;
+  double deadline_ms = 1000.0;
+  for (int i = 1; i < argc; ++i) {
+    int value = 0;
+    double fvalue = 0.0;
+    if (std::sscanf(argv[i], "--rooms=%d", &value) == 1) rooms = value;
+    else if (std::sscanf(argv[i], "--threads=%d", &value) == 1)
+      threads = value;
+    else if (std::sscanf(argv[i], "--clients=%d", &value) == 1)
+      clients = value;
+    else if (std::sscanf(argv[i], "--users=%d", &value) == 1) users = value;
+    else if (std::sscanf(argv[i], "--requests=%d", &value) == 1)
+      requests = value;
+    else if (std::sscanf(argv[i], "--deadline_ms=%lf", &fvalue) == 1)
+      deadline_ms = fvalue;
+    else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 1;
+    }
+  }
+
+  DatasetConfig config;
+  config.num_users = users;
+  config.num_steps = 2;  // live rooms only consume the first frame
+  config.num_sessions = 1;
+  config.seed = 4242;
+  std::printf("[serve_throughput] generating %d-user dataset...\n", users);
+  const Dataset dataset = GenerateTimikLike(config);
+  std::printf(
+      "[serve_throughput] primary=POSHGNN(untrained, per room+user "
+      "stream), fallback=Nearest, deadline=%.0f ms, hw threads=%u\n",
+      deadline_ms, std::thread::hardware_concurrency());
+
+  if (rooms > 0 || threads > 0) {
+    if (rooms <= 0) rooms = 1;
+    if (threads <= 0) threads = 1;
+    if (clients <= 0) clients = 2 * threads;
+    // Baseline: what one worker thread sustains on the same shards.
+    std::printf("[serve_throughput] measuring 1-thread capacity...\n");
+    const RunStats baseline =
+        RunConfig(dataset, rooms, 1, 1, requests / 2, deadline_ms);
+    std::printf("[serve_throughput] running target config...\n");
+    const RunStats target =
+        RunConfig(dataset, rooms, threads, clients, requests, deadline_ms);
+    PrintHeader();
+    PrintRow(rooms, 1, 1, baseline);
+    PrintRow(rooms, threads, clients, target);
+    std::printf(
+        "verdict: %lld shed, %lld timeouts at %.1f req/s "
+        "(1-thread capacity %.1f req/s, speedup %.2fx)\n",
+        target.shed, target.timeouts, target.throughput,
+        baseline.throughput,
+        baseline.throughput > 0.0 ? target.throughput / baseline.throughput
+                                  : 0.0);
+    return (target.shed == 0 && target.timeouts == 0) ? 0 : 2;
+  }
+
+  // Default sweep.
+  PrintHeader();
+  for (int r : {1, 4, 8}) {
+    for (int t : {1, 2, 4, 8}) {
+      const int c = 2 * t;
+      const RunStats stats =
+          RunConfig(dataset, r, t, c, requests, deadline_ms);
+      PrintRow(r, t, c, stats);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace after
+
+int main(int argc, char** argv) { return after::Main(argc, argv); }

@@ -8,9 +8,16 @@
 // occlusion but low utility and a per-step runtime orders of magnitude
 // above every other method.
 
+// Usage: table2_timik [--chaos]
+//   --chaos  After the clean table, re-run the evaluation under each
+//            fault class from testing/fault_injection and report the
+//            [degraded] diagnostics counters alongside the clean run.
+
+#include <cstring>
+
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace after;
 
   DatasetConfig config;
@@ -24,6 +31,8 @@ int main() {
 
   bench::ComparisonOptions options;
   options.seed = 22;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--chaos") == 0) options.chaos = true;
   bench::RunComparisonBench(dataset, options,
                             "Table II: Timik dataset (N=200, T=100)");
   return 0;

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Repo check matrix: builds and tests the three CI lanes.
+#
+#   scripts/check.sh              # release + asan + tsan
+#   scripts/check.sh release      # just one lane
+#   TSAN_FILTER=. scripts/check.sh tsan   # widen the tsan test filter
+#
+# Lanes:
+#   release  RelWithDebInfo, full ctest suite (the tier-1 gate)
+#   asan     address+undefined sanitizers, full ctest suite
+#   tsan     thread sanitizer; by default runs only the concurrent
+#            serving-runtime tests (ctest -R serve), where data races
+#            actually live. Override the filter with TSAN_FILTER.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+TSAN_FILTER="${TSAN_FILTER:-^serve/}"
+LANES=("$@")
+if [ "${#LANES[@]}" -eq 0 ]; then
+  LANES=(release asan tsan)
+fi
+
+run_lane() {
+  local lane="$1"
+  echo "==== lane: ${lane} ===================================="
+  cmake --preset "${lane}"
+  cmake --build --preset "${lane}" -j "${JOBS}"
+  if [ "${lane}" = tsan ]; then
+    ctest --test-dir "build-tsan" -R "${TSAN_FILTER}" \
+      --output-on-failure -j "${JOBS}"
+  else
+    local dir=build
+    [ "${lane}" = asan ] && dir=build-asan
+    ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
+  fi
+}
+
+for lane in "${LANES[@]}"; do
+  run_lane "${lane}"
+done
+echo "All lanes passed: ${LANES[*]}"

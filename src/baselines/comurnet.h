@@ -47,6 +47,8 @@ class Comurnet : public Recommender {
 
   std::string name() const override { return options_.label; }
   void BeginSession(int num_users, int target) override;
+  /// NOT thread-safe (thread_safe() stays false): every call mutates the
+  /// staleness pipeline and the local-search RNG, per target session.
   std::vector<bool> Recommend(const StepContext& context) override;
 
  private:

@@ -32,6 +32,10 @@ class GraFrank : public TrainableRecommender {
   std::string name() const override { return "GraFrank"; }
   void Train(const Dataset& dataset, const TrainOptions& options) override;
   std::vector<bool> Recommend(const StepContext& context) override;
+  /// Inference builds a fresh tape per call and only *reads* the shared
+  /// parameter nodes, so a trained instance may serve concurrent
+  /// requests (training and serving must not overlap).
+  bool thread_safe() const override { return true; }
 
   /// Learned ranking score for candidate w from the view of target v.
   double Score(const Dataset& dataset, int v, int w) const;

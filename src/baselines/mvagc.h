@@ -33,6 +33,10 @@ class MvAgc : public TrainableRecommender {
   std::string name() const override { return "MvAGC"; }
   void Train(const Dataset& dataset, const TrainOptions& options) override;
   std::vector<bool> Recommend(const StepContext& context) override;
+  /// Inference only reads the frozen cluster assignment and filtered
+  /// features; safe to share across server threads once Train() is done
+  /// (training and serving must not overlap).
+  bool thread_safe() const override { return true; }
 
   const std::vector<int>& assignments() const { return assignment_; }
 

@@ -14,6 +14,10 @@ class NearestRecommender : public Recommender {
 
   std::string name() const override { return "Nearest"; }
   std::vector<bool> Recommend(const StepContext& context) override;
+  /// Purely functional: reads only the StepContext, so one instance can
+  /// serve every room and target concurrently (it is the server's
+  /// degradation fallback for exactly this reason).
+  bool thread_safe() const override { return true; }
 
  private:
   int k_;

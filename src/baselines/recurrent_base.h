@@ -26,6 +26,11 @@ class RecurrentGnnRecommender : public TrainableRecommender {
                           double threshold, int max_recommendations = 10);
 
   void BeginSession(int num_users, int target) override;
+  /// NOT thread-safe (thread_safe() stays false): each call advances the
+  /// cached recurrent state (state_hidden_ / state_recommendation_) and
+  /// the MIA's remembered previous adjacency, all keyed to a single
+  /// target's session. The server must create one instance per
+  /// (room, target) stream and serialize its calls.
   std::vector<bool> Recommend(const StepContext& context) override;
   void Train(const Dataset& dataset, const TrainOptions& options) override;
 

@@ -2,6 +2,7 @@
 #define AFTER_COMMON_TIMER_H_
 
 #include <chrono>
+#include <limits>
 
 namespace after {
 
@@ -26,6 +27,55 @@ class WallTimer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// Monotonic deadline: a fixed point in the future against which latency
+/// budgets are checked. Used by the serving runtime (per-request
+/// deadlines -> kTimeout / fallback degradation) and by the evaluator's
+/// per-step latency accounting. A default-constructed Deadline never
+/// expires.
+class Deadline {
+ public:
+  /// Never expires; Remaining() is +infinity.
+  Deadline() = default;
+
+  /// Deadline `ms` milliseconds from now. ms <= 0 yields an already
+  /// expired deadline.
+  static Deadline ExpiresIn(double ms) {
+    Deadline d;
+    d.has_expiry_ = true;
+    d.expiry_ = d.start_ + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double, std::milli>(ms));
+    return d;
+  }
+
+  /// Explicitly infinite deadline (same as default construction).
+  static Deadline Infinite() { return Deadline(); }
+
+  bool Expired() const { return has_expiry_ && Clock::now() >= expiry_; }
+
+  /// Milliseconds until expiry (negative once past it); +infinity for an
+  /// infinite deadline.
+  double RemainingMs() const {
+    if (!has_expiry_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double, std::milli>(expiry_ - Clock::now())
+        .count();
+  }
+
+  /// Milliseconds since the deadline was created. Lets one object serve
+  /// both budget enforcement and elapsed-latency accounting.
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  bool infinite() const { return !has_expiry_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_ = Clock::now();
+  Clock::time_point expiry_{};
+  bool has_expiry_ = false;
 };
 
 }  // namespace after

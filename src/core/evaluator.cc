@@ -131,10 +131,18 @@ Result<EvalResult> EvaluateRecommenderChecked(Recommender& recommender,
       context.beta = options.beta;
       context.body_radius = body_radius;
 
-      WallTimer timer;
+      // One Deadline object serves both the latency accounting (elapsed
+      // time) and the optional per-step budget check, replacing the old
+      // ad-hoc WallTimer arithmetic.
+      const Deadline step_deadline =
+          options.recommend_deadline_ms > 0.0
+              ? Deadline::ExpiresIn(options.recommend_deadline_ms)
+              : Deadline::Infinite();
       std::vector<bool> recommended = recommender.Recommend(context);
-      total_time_ms += timer.ElapsedMs();
+      total_time_ms += step_deadline.ElapsedMs();
       total_steps_timed += 1.0;
+      const bool missed_deadline = step_deadline.Expired();
+      if (missed_deadline) ++diagnostics.deadline_missed_steps;
 
       if (static_cast<int>(recommended.size()) != n) {
         // The primary recommender misbehaved; degrade to the fallback
@@ -150,6 +158,14 @@ Result<EvalResult> EvaluateRecommenderChecked(Recommender& recommender,
           std::fill(prev_visible.begin(), prev_visible.end(), false);
           std::fill(prev_recommended.begin(), prev_recommended.end(), false);
           continue;
+        }
+      } else if (missed_deadline && options.fallback != nullptr) {
+        // Too slow to be worth rendering: serve the cheap spatial
+        // fallback for this step, as the online server would.
+        std::vector<bool> degraded = options.fallback->Recommend(context);
+        if (static_cast<int>(degraded.size()) == n) {
+          recommended = std::move(degraded);
+          ++diagnostics.fallback_steps;
         }
       }
       recommended[target] = false;

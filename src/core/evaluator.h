@@ -29,6 +29,13 @@ struct EvalOptions {
   /// nullptr means misbehaving steps are skipped and counted instead.
   /// Not owned; must outlive the evaluation.
   Recommender* fallback = nullptr;
+  /// Per-step latency budget for Recommend(), milliseconds; <= 0
+  /// disables. A step whose call overruns the budget is counted in
+  /// diagnostics.deadline_missed_steps and, when a fallback is present,
+  /// re-answered by it (mirroring the serving runtime's degradation to
+  /// NearestRecommender on a missed deadline). Gives the offline tables
+  /// kTimeout-style coverage for COMURNet-scale methods.
+  double recommend_deadline_ms = 0.0;
 };
 
 /// Counters describing how much graceful degradation an evaluation
@@ -44,11 +51,14 @@ struct EvalDiagnostics {
   int skipped_targets = 0;
   /// Utility entries that were non-finite and scored as zero.
   int non_finite_utilities_zeroed = 0;
+  /// Steps whose Recommend() call overran EvalOptions::
+  /// recommend_deadline_ms (0 when no deadline is configured).
+  int deadline_missed_steps = 0;
 
   bool clean() const {
     return poisoned_steps_skipped == 0 && fallback_steps == 0 &&
            failed_steps_skipped == 0 && skipped_targets == 0 &&
-           non_finite_utilities_zeroed == 0;
+           non_finite_utilities_zeroed == 0 && deadline_missed_steps == 0;
   }
 };
 

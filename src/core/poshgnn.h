@@ -52,6 +52,10 @@ class Poshgnn : public TrainableRecommender {
 
   std::string name() const override;
   void BeginSession(int num_users, int target) override;
+  /// NOT thread-safe (thread_safe() stays false): Recommend advances the
+  /// detached recurrent state and MIA's previous-step adjacency, both
+  /// keyed to one target's session; the serving runtime therefore
+  /// instantiates POSHGNN per (room, target) stream.
   std::vector<bool> Recommend(const StepContext& context) override;
   void Train(const Dataset& dataset, const TrainOptions& options) override;
 

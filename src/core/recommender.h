@@ -81,6 +81,18 @@ class Recommender {
     (void)target;
   }
 
+  /// Capability bit consulted by the online serving runtime
+  /// (serve/server.h): true means Recommend() is logically const and
+  /// re-entrant — it mutates no member state, so one instance may serve
+  /// concurrent requests for arbitrary targets without synchronization.
+  /// Defaults to false (the safe answer): session-stateful models
+  /// (POSHGNN / TGCN / DCRNN carry recurrent state, COMURNet carries its
+  /// staleness pipeline, Random/Oracle mutate an RNG or the previous
+  /// selection) must be instantiated per (room, target) stream and have
+  /// their calls serialized. Purely functional baselines (Nearest, and
+  /// MvAGC / GraFrank after training) override this to true.
+  virtual bool thread_safe() const { return false; }
+
   /// Returns the set of users rendered for the target at this step
   /// (true = recommended). The target's own slot must be false.
   virtual std::vector<bool> Recommend(const StepContext& context) = 0;

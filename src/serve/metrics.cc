@@ -1,0 +1,119 @@
+#include "serve/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace after {
+namespace serve {
+
+int LatencyHistogram::BucketIndex(uint64_t us) {
+  constexpr uint64_t kSubMask = (1ull << kSubBits) - 1;
+  if (us < (1ull << kSubBits)) return static_cast<int>(us);
+  // Octave = position of the highest set bit; the kSubBits bits below it
+  // select the linear sub-bucket.
+  const int exponent = std::bit_width(us) - 1;
+  const int shift = exponent - kSubBits;
+  const int sub = static_cast<int>((us >> shift) & kSubMask);
+  const int index = ((shift + 1) << kSubBits) + sub;
+  return std::min(index, kNumBuckets - 1);
+}
+
+double LatencyHistogram::BucketMidpointUs(int index) {
+  constexpr int kSubMask = (1 << kSubBits) - 1;
+  if (index < (1 << kSubBits)) return index + 0.5;
+  const int shift = (index >> kSubBits) - 1;
+  const int sub = index & kSubMask;
+  const double base =
+      static_cast<double>((static_cast<uint64_t>((1 << kSubBits) + sub))
+                          << shift);
+  const double width = static_cast<double>(1ull << shift);
+  return base + width / 2.0;
+}
+
+void LatencyHistogram::RecordMs(double ms) {
+  const double us = std::max(0.0, ms) * 1000.0;
+  const auto value = static_cast<uint64_t>(std::llround(us));
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+}
+
+int64_t LatencyHistogram::count() const {
+  int64_t total = 0;
+  for (const auto& bucket : buckets_)
+    total += bucket.load(std::memory_order_relaxed);
+  return total;
+}
+
+double LatencyHistogram::PercentileMs(double q) const {
+  const int64_t total = count();
+  if (total <= 0) return 0.0;
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  int64_t rank = static_cast<int64_t>(std::ceil(clamped * total));
+  rank = std::clamp<int64_t>(rank, 1, total);
+  int64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) return BucketMidpointUs(i) / 1000.0;
+  }
+  return BucketMidpointUs(kNumBuckets - 1) / 1000.0;
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+}
+
+void ServerMetrics::NoteQueueDepth(int32_t depth) {
+  int32_t prev = max_queue_depth.load(std::memory_order_relaxed);
+  while (depth > prev &&
+         !max_queue_depth.compare_exchange_weak(prev, depth,
+                                                std::memory_order_relaxed)) {
+  }
+}
+
+std::string ServerMetrics::DebugString() const {
+  char line[512];
+  std::string out;
+  std::snprintf(
+      line, sizeof(line),
+      "serve: %lld submitted | %lld ok | %lld shed | %lld timeout | "
+      "%lld fallback (deadline %lld, misbehaved %lld) | %lld errors\n",
+      static_cast<long long>(requests_submitted.load()),
+      static_cast<long long>(responses_ok.load()),
+      static_cast<long long>(shed.load()),
+      static_cast<long long>(timeouts.load()),
+      static_cast<long long>(total_fallbacks()),
+      static_cast<long long>(fallbacks_deadline.load()),
+      static_cast<long long>(fallbacks_misbehaved.load()),
+      static_cast<long long>(errors.load()));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "queue: depth %d (max %d) | ticks %lld\n",
+                queue_depth.load(), max_queue_depth.load(),
+                static_cast<long long>(ticks.load()));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "latency ms: p50 %.3f | p95 %.3f | p99 %.3f (n=%lld)\n",
+                latency.PercentileMs(0.50), latency.PercentileMs(0.95),
+                latency.PercentileMs(0.99),
+                static_cast<long long>(latency.count()));
+  out += line;
+  return out;
+}
+
+void ServerMetrics::Reset() {
+  requests_submitted.store(0);
+  responses_ok.store(0);
+  shed.store(0);
+  timeouts.store(0);
+  fallbacks_deadline.store(0);
+  fallbacks_misbehaved.store(0);
+  errors.store(0);
+  ticks.store(0);
+  queue_depth.store(0);
+  max_queue_depth.store(0);
+  latency.Reset();
+}
+
+}  // namespace serve
+}  // namespace after

@@ -1,0 +1,90 @@
+#ifndef AFTER_SERVE_METRICS_H_
+#define AFTER_SERVE_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace after {
+namespace serve {
+
+/// Lock-free log-linear latency histogram in the HDR-histogram style:
+/// a value in microseconds is bucketed by (octave of its highest set
+/// bit, linear sub-bucket within the octave), bounding relative error
+/// at ~1/2^kSubBits (~6%) across [1 us, ~67 s] with a fixed footprint
+/// of kNumBuckets counters. Record() is a single relaxed atomic
+/// increment, so request threads never contend; percentile reads are
+/// racy-but-consistent-enough snapshots, which is the usual contract
+/// for serving metrics.
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBits = 4;  // 16 linear sub-buckets per octave
+  static constexpr int kOctaves = 26; // covers up to ~67 s in microseconds
+  static constexpr int kNumBuckets = (kOctaves + 1) << kSubBits;
+
+  /// Records one latency sample (clamped to >= 0).
+  void RecordMs(double ms);
+
+  /// Latency in milliseconds at quantile q in [0, 1]; 0 when empty.
+  double PercentileMs(double q) const;
+
+  /// Total samples recorded.
+  int64_t count() const;
+
+  void Reset();
+
+ private:
+  static int BucketIndex(uint64_t us);
+  static double BucketMidpointUs(int index);
+
+  std::atomic<int64_t> buckets_[kNumBuckets] = {};
+};
+
+/// Serving-side counters for the RecommendationServer. All counters are
+/// monotonically increasing atomics except queue_depth (a gauge); the
+/// struct is intentionally dumb so workers pay one relaxed increment
+/// per event.
+struct ServerMetrics {
+  /// Requests offered to Submit() (including ones later shed).
+  std::atomic<int64_t> requests_submitted{0};
+  /// Requests answered with OK (including degraded/fallback answers).
+  std::atomic<int64_t> responses_ok{0};
+  /// Requests rejected at admission because the queue was full.
+  std::atomic<int64_t> shed{0};
+  /// Requests whose deadline expired while queued (answered kTimeout).
+  std::atomic<int64_t> timeouts{0};
+  /// OK answers served by the fallback because the primary model missed
+  /// the request deadline.
+  std::atomic<int64_t> fallbacks_deadline{0};
+  /// OK answers served by the fallback because the primary misbehaved
+  /// (wrong-size recommendation vector).
+  std::atomic<int64_t> fallbacks_misbehaved{0};
+  /// Requests answered with kNotFound / kInvalidData (bad room or user).
+  std::atomic<int64_t> errors{0};
+  /// Room ticks published.
+  std::atomic<int64_t> ticks{0};
+  /// Requests currently admitted but not yet completed.
+  std::atomic<int32_t> queue_depth{0};
+  /// High-water mark of queue_depth.
+  std::atomic<int32_t> max_queue_depth{0};
+  /// End-to-end latency (admission -> response) of non-shed requests.
+  LatencyHistogram latency;
+
+  int64_t total_fallbacks() const {
+    return fallbacks_deadline.load(std::memory_order_relaxed) +
+           fallbacks_misbehaved.load(std::memory_order_relaxed);
+  }
+
+  /// Records a new depth sample and maintains the high-water mark.
+  void NoteQueueDepth(int32_t depth);
+
+  /// Multi-line human-readable dump (counters + p50/p95/p99).
+  std::string DebugString() const;
+
+  void Reset();
+};
+
+}  // namespace serve
+}  // namespace after
+
+#endif  // AFTER_SERVE_METRICS_H_

@@ -1,0 +1,149 @@
+#include "serve/room.h"
+
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "graph/occlusion_converter.h"
+
+namespace after {
+namespace serve {
+
+RoomSnapshot::RoomSnapshot(int tick, std::vector<Vec2> positions,
+                           const std::vector<Interface>* interfaces,
+                           const Matrix* preference,
+                           const Matrix* social_presence, double beta,
+                           double body_radius)
+    : tick_(tick),
+      positions_(std::move(positions)),
+      interfaces_(interfaces),
+      preference_(preference),
+      social_presence_(social_presence),
+      beta_(beta),
+      body_radius_(body_radius),
+      occlusion_(positions_.size()),
+      occlusion_once_(new std::once_flag[positions_.size()]) {}
+
+const OcclusionGraph& RoomSnapshot::OcclusionFor(int target) const {
+  std::call_once(occlusion_once_[target], [this, target] {
+    occlusion_[target] =
+        BuildOcclusionGraph(positions_, target, body_radius_);
+  });
+  return occlusion_[target];
+}
+
+StepContext RoomSnapshot::ContextFor(int target) const {
+  StepContext context;
+  context.t = tick_;
+  context.target = target;
+  context.positions = &positions_;
+  context.occlusion = &OcclusionFor(target);
+  context.interfaces = interfaces_;
+  context.preference = preference_;
+  context.social_presence = social_presence_;
+  context.beta = beta_;
+  context.body_radius = body_radius_;
+  return context;
+}
+
+Room::Room(const Options& options, const Dataset* dataset,
+           const XrWorld* world)
+    : options_(options),
+      dataset_(dataset),
+      world_(world),
+      num_users_(world->num_users()),
+      rng_(options.seed) {}
+
+Result<std::unique_ptr<Room>> Room::Create(const Options& options,
+                                           const Dataset* dataset) {
+  if (dataset == nullptr)
+    return InvalidDataError("room requires a dataset");
+  if (dataset->sessions.empty())
+    return InvalidDataError("dataset has no sessions to host");
+  const int session_index =
+      options.session >= 0
+          ? options.session
+          : static_cast<int>(dataset->sessions.size()) - 1;
+  if (session_index >= static_cast<int>(dataset->sessions.size())) {
+    std::ostringstream oss;
+    oss << "room " << options.id << ": session index " << session_index
+        << " out of range [0, " << dataset->sessions.size() << ")";
+    return InvalidDataError(oss.str());
+  }
+  const XrWorld& world = dataset->sessions[session_index];
+  const int n = world.num_users();
+  if (n <= 0 || world.num_steps() <= 0)
+    return InvalidDataError("room session has no users or steps");
+  if (dataset->preference.rows() < n || dataset->preference.cols() < n ||
+      dataset->social_presence.rows() < n ||
+      dataset->social_presence.cols() < n) {
+    std::ostringstream oss;
+    oss << "room " << options.id << ": utility matrices do not cover the "
+        << n << " session users";
+    return InvalidDataError(oss.str());
+  }
+
+  std::unique_ptr<Room> room(new Room(options, dataset, &world));
+  if (options.mode == Mode::kLive) {
+    room->sim_ = std::make_unique<CrowdSimulator>(/*time_step=*/0.5);
+    CrowdSimulator::AgentParams params;
+    params.radius = world.body_radius();
+    params.max_speed = options.max_speed;
+    for (int u = 0; u < n; ++u) {
+      room->sim_->AddAgent(world.PositionsAt(0)[u], params);
+      room->sim_->SetGoal(u, room->RandomWaypoint());
+    }
+  }
+  room->Publish(world.PositionsAt(0), /*tick=*/0);
+  return room;
+}
+
+Vec2 Room::RandomWaypoint() {
+  return Vec2{rng_.Uniform(0.0, options_.room_side),
+              rng_.Uniform(0.0, options_.room_side)};
+}
+
+Status Room::Tick() {
+  std::lock_guard<std::mutex> lock(tick_mutex_);
+  const int next = tick_.load(std::memory_order_relaxed) + 1;
+  if (options_.mode == Mode::kReplay) {
+    if (next >= world_->num_steps()) {
+      std::ostringstream oss;
+      oss << "room " << options_.id << ": replay session exhausted at tick "
+          << (next - 1);
+      return ResourceExhaustedError(oss.str());
+    }
+    Publish(world_->PositionsAt(next), next);
+    return OkStatus();
+  }
+  // Live mode: re-aim agents that arrived, advance ORCA one step, and
+  // publish the fresh positions.
+  for (int u = 0; u < num_users_; ++u)
+    if (sim_->ReachedGoal(u, /*tolerance=*/0.2))
+      sim_->SetGoal(u, RandomWaypoint());
+  sim_->Step();
+  std::vector<Vec2> positions(num_users_);
+  for (int u = 0; u < num_users_; ++u) positions[u] = sim_->Position(u);
+  Publish(std::move(positions), next);
+  return OkStatus();
+}
+
+void Room::Publish(std::vector<Vec2> positions, int tick) {
+  auto snapshot = std::make_shared<const RoomSnapshot>(
+      tick, std::move(positions), &world_->interfaces(),
+      &dataset_->preference, &dataset_->social_presence, options_.beta,
+      world_->body_radius());
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    snapshot_ = std::move(snapshot);
+  }
+  tick_.store(tick, std::memory_order_release);
+}
+
+std::shared_ptr<const RoomSnapshot> Room::snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return snapshot_;
+}
+
+}  // namespace serve
+}  // namespace after

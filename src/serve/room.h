@@ -1,0 +1,137 @@
+#ifndef AFTER_SERVE_ROOM_H_
+#define AFTER_SERVE_ROOM_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/recommender.h"
+#include "data/dataset.h"
+#include "graph/occlusion_graph.h"
+#include "sim/crowd_simulator.h"
+#include "sim/xr_world.h"
+
+namespace after {
+namespace serve {
+
+/// Immutable view of one room at one tick, shared (via shared_ptr) by
+/// every request answered during that tick. This replaces the offline
+/// evaluator's per-request StepContext reconstruction: positions,
+/// interfaces and utility matrices are fixed once when the tick is
+/// published; each target's static occlusion graph (Definition 4) is
+/// built lazily on first demand (std::call_once) and then reused by all
+/// concurrent requests for that target.
+class RoomSnapshot {
+ public:
+  RoomSnapshot(int tick, std::vector<Vec2> positions,
+               const std::vector<Interface>* interfaces,
+               const Matrix* preference, const Matrix* social_presence,
+               double beta, double body_radius);
+
+  int tick() const { return tick_; }
+  int num_users() const { return static_cast<int>(positions_.size()); }
+  const std::vector<Vec2>& positions() const { return positions_; }
+  double beta() const { return beta_; }
+  double body_radius() const { return body_radius_; }
+
+  /// The target's static occlusion graph at this tick. Thread-safe:
+  /// concurrent first calls for the same target build it exactly once.
+  const OcclusionGraph& OcclusionFor(int target) const;
+
+  /// A StepContext viewing this snapshot (valid while the snapshot
+  /// lives). Field-for-field identical to what core/evaluator builds for
+  /// the same scene, which is what makes a 1-thread server reproduce the
+  /// offline replay bit-exactly (tests/serve/determinism_test.cc).
+  StepContext ContextFor(int target) const;
+
+ private:
+  int tick_;
+  std::vector<Vec2> positions_;
+  const std::vector<Interface>* interfaces_;
+  const Matrix* preference_;
+  const Matrix* social_presence_;
+  double beta_;
+  double body_radius_;
+  mutable std::vector<OcclusionGraph> occlusion_;
+  std::unique_ptr<std::once_flag[]> occlusion_once_;
+};
+
+/// One sharded conference room: the live scene state plus the currently
+/// published snapshot. Two modes:
+///  - kReplay walks a recorded session tick-by-tick (deterministic;
+///    used to cross-check the server against the offline evaluator);
+///  - kLive owns a CrowdSimulator seeded from the session's first frame
+///    and advances it forever (the load-bench workload).
+/// Tick() mutates simulator state under the room mutex and publishes a
+/// fresh immutable snapshot; request threads only ever touch snapshots,
+/// so recommendation never blocks simulation and vice versa.
+class Room {
+ public:
+  enum class Mode { kReplay, kLive };
+
+  struct Options {
+    int id = 0;
+    Mode mode = Mode::kReplay;
+    /// Session index into Dataset::sessions; -1 = last.
+    int session = -1;
+    /// Preference / social-presence trade-off passed to recommenders.
+    double beta = 0.5;
+    /// Live mode: waypoint RNG seed, walking speed, and the square side
+    /// length agents wander within.
+    uint64_t seed = 99;
+    double max_speed = 1.2;
+    double room_side = 10.0;
+  };
+
+  /// Validates the dataset/session (mirroring the evaluator's checks)
+  /// and publishes the tick-0 snapshot. `dataset` is borrowed and must
+  /// outlive the room.
+  static Result<std::unique_ptr<Room>> Create(const Options& options,
+                                              const Dataset* dataset);
+
+  int id() const { return options_.id; }
+  int num_users() const { return num_users_; }
+  Mode mode() const { return options_.mode; }
+
+  /// Tick of the currently published snapshot.
+  int tick() const { return tick_.load(std::memory_order_acquire); }
+
+  /// Advances the room one step and publishes a fresh snapshot. Replay
+  /// rooms return kResourceExhausted once the recorded session is
+  /// exhausted (the last snapshot stays published); live rooms never
+  /// exhaust. Thread-safe (serialized on the room mutex).
+  Status Tick();
+
+  /// The current snapshot; never null after Create().
+  std::shared_ptr<const RoomSnapshot> snapshot() const;
+
+ private:
+  Room(const Options& options, const Dataset* dataset, const XrWorld* world);
+
+  void Publish(std::vector<Vec2> positions, int tick);
+  Vec2 RandomWaypoint();
+
+  Options options_;
+  const Dataset* dataset_;
+  const XrWorld* world_;
+  int num_users_ = 0;
+
+  /// Live-mode state, all guarded by tick_mutex_.
+  std::unique_ptr<CrowdSimulator> sim_;
+  Rng rng_;
+
+  std::mutex tick_mutex_;
+  mutable std::mutex snapshot_mutex_;
+  std::shared_ptr<const RoomSnapshot> snapshot_;
+  std::atomic<int> tick_{0};
+};
+
+}  // namespace serve
+}  // namespace after
+
+#endif  // AFTER_SERVE_ROOM_H_

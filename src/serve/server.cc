@@ -1,0 +1,197 @@
+#include "serve/server.h"
+
+#include <condition_variable>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+
+namespace after {
+namespace serve {
+
+RecommendationServer::RecommendationServer(
+    std::vector<std::unique_ptr<Room>> rooms, RecommenderFactory factory,
+    const ServerOptions& options)
+    : options_(options),
+      rooms_(std::move(rooms)),
+      factory_(std::move(factory)),
+      stream_models_(rooms_.size()),
+      fallback_(options.fallback_k) {
+  AFTER_CHECK(!rooms_.empty());
+  AFTER_CHECK(factory_ != nullptr);
+  // Probe the primary's capabilities once. A thread-safe model is shared
+  // lock-free by every worker; a stateful one keeps the probe unused and
+  // instances are built per (room, user) stream on demand.
+  std::unique_ptr<Recommender> probe = factory_();
+  AFTER_CHECK(probe != nullptr);
+  if (probe->thread_safe()) primary_shared_ = std::move(probe);
+  pool_ = std::make_unique<ThreadPool>(options_.num_threads,
+                                       options_.queue_capacity);
+}
+
+RecommendationServer::~RecommendationServer() { Shutdown(); }
+
+void RecommendationServer::Shutdown() {
+  if (pool_) pool_->Shutdown();
+}
+
+void RecommendationServer::Submit(
+    const FriendRequest& request,
+    std::function<void(const FriendResponse&)> done) {
+  metrics_.requests_submitted.fetch_add(1, std::memory_order_relaxed);
+  const double budget_ms = request.deadline_ms == 0.0
+                               ? options_.default_deadline_ms
+                               : request.deadline_ms;
+  const Deadline deadline =
+      budget_ms > 0.0 ? Deadline::ExpiresIn(budget_ms) : Deadline::Infinite();
+
+  const int32_t depth =
+      metrics_.queue_depth.fetch_add(1, std::memory_order_relaxed) + 1;
+  metrics_.NoteQueueDepth(depth);
+  // The callback lives in a shared holder so it survives the rejected-
+  // admission path (a closure capture by move would leave `done` empty
+  // when TrySubmit declines the task).
+  auto done_ptr =
+      std::make_shared<std::function<void(const FriendResponse&)>>(
+          std::move(done));
+  const bool admitted =
+      pool_->TrySubmit([this, request, deadline, done_ptr] {
+        const FriendResponse response = Process(request, deadline);
+        metrics_.queue_depth.fetch_sub(1, std::memory_order_relaxed);
+        (*done_ptr)(response);
+      });
+  if (!admitted) {
+    metrics_.queue_depth.fetch_sub(1, std::memory_order_relaxed);
+    metrics_.shed.fetch_add(1, std::memory_order_relaxed);
+    FriendResponse response;
+    std::ostringstream oss;
+    oss << "request queue full (capacity " << options_.queue_capacity
+        << "); load shed";
+    response.status = ResourceExhaustedError(oss.str());
+    (*done_ptr)(response);
+  }
+}
+
+FriendResponse RecommendationServer::Handle(const FriendRequest& request) {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool ready = false;
+  FriendResponse out;
+  Submit(request, [&](const FriendResponse& response) {
+    // Notify while holding the lock: the waiter owns cv on its stack, so
+    // signalling after unlock would race with cv's destruction once the
+    // waiter observes ready and returns.
+    std::lock_guard<std::mutex> lock(mutex);
+    out = response;
+    ready = true;
+    cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(mutex);
+  cv.wait(lock, [&] { return ready; });
+  return out;
+}
+
+Status RecommendationServer::TickRoom(int room) {
+  if (room < 0 || room >= num_rooms())
+    return NotFoundError("no such room");
+  const Status status = rooms_[room]->Tick();
+  if (status.ok()) metrics_.ticks.fetch_add(1, std::memory_order_relaxed);
+  return status;
+}
+
+void RecommendationServer::TickAll() {
+  for (int r = 0; r < num_rooms(); ++r) (void)TickRoom(r);
+}
+
+RecommendationServer::StreamModel& RecommendationServer::StreamFor(
+    int room, int user) {
+  std::unique_lock<std::mutex> lock(stream_models_mutex_);
+  auto& per_room = stream_models_[room];
+  auto it = per_room.find(user);
+  if (it != per_room.end()) return *it->second;
+  auto inserted =
+      per_room.emplace(user, std::make_unique<StreamModel>()).first;
+  StreamModel& stream = *inserted->second;
+  // Build the instance outside the registry lock so slow model
+  // construction does not serialize unrelated streams; the stream's own
+  // mutex keeps its first request exclusive.
+  std::lock_guard<std::mutex> stream_lock(stream.mutex);
+  lock.unlock();
+  stream.model = factory_();
+  AFTER_CHECK(stream.model != nullptr);
+  stream.model->BeginSession(rooms_[room]->num_users(), user);
+  return stream;
+}
+
+FriendResponse RecommendationServer::Process(const FriendRequest& request,
+                                             const Deadline& deadline) {
+  FriendResponse response;
+  auto finish = [&](Status status) {
+    response.status = std::move(status);
+    response.latency_ms = deadline.ElapsedMs();
+    metrics_.latency.RecordMs(response.latency_ms);
+    if (response.status.ok())
+      metrics_.responses_ok.fetch_add(1, std::memory_order_relaxed);
+    return response;
+  };
+
+  if (deadline.Expired()) {
+    metrics_.timeouts.fetch_add(1, std::memory_order_relaxed);
+    std::ostringstream oss;
+    oss << "deadline expired after " << deadline.ElapsedMs()
+        << " ms in queue";
+    return finish(TimeoutError(oss.str()));
+  }
+  if (request.room < 0 || request.room >= num_rooms()) {
+    metrics_.errors.fetch_add(1, std::memory_order_relaxed);
+    std::ostringstream oss;
+    oss << "room " << request.room << " does not exist";
+    return finish(NotFoundError(oss.str()));
+  }
+  Room& room = *rooms_[request.room];
+  const int n = room.num_users();
+  if (request.user < 0 || request.user >= n) {
+    metrics_.errors.fetch_add(1, std::memory_order_relaxed);
+    std::ostringstream oss;
+    oss << "user " << request.user << " out of range [0, " << n << ") in room "
+        << request.room;
+    return finish(InvalidDataError(oss.str()));
+  }
+
+  const std::shared_ptr<const RoomSnapshot> snapshot = room.snapshot();
+  response.tick = snapshot->tick();
+  const StepContext context = snapshot->ContextFor(request.user);
+
+  std::vector<bool> recommended;
+  if (primary_shared_ != nullptr) {
+    recommended = primary_shared_->Recommend(context);
+  } else {
+    StreamModel& stream = StreamFor(request.room, request.user);
+    std::lock_guard<std::mutex> lock(stream.mutex);
+    recommended = stream.model->Recommend(context);
+  }
+
+  const bool misbehaved = static_cast<int>(recommended.size()) != n;
+  const bool missed_deadline = deadline.Expired();
+  if (misbehaved || missed_deadline) {
+    // Degradation ladder step 3: the primary's answer is unusable (wrong
+    // shape) or too late to be worth rendering; serve the cheap spatial
+    // fallback instead of failing the request.
+    recommended = fallback_.Recommend(context);
+    response.used_fallback = true;
+    if (misbehaved)
+      metrics_.fallbacks_misbehaved.fetch_add(1, std::memory_order_relaxed);
+    else
+      metrics_.fallbacks_deadline.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (static_cast<int>(recommended.size()) != n) {
+    metrics_.errors.fetch_add(1, std::memory_order_relaxed);
+    return finish(InternalError("fallback produced a wrong-size answer"));
+  }
+  recommended[request.user] = false;
+  response.recommended = std::move(recommended);
+  return finish(OkStatus());
+}
+
+}  // namespace serve
+}  // namespace after

@@ -1,0 +1,147 @@
+#ifndef AFTER_SERVE_SERVER_H_
+#define AFTER_SERVE_SERVER_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/nearest_recommender.h"
+#include "common/status.h"
+#include "common/timer.h"
+#include "core/recommender.h"
+#include "serve/metrics.h"
+#include "serve/room.h"
+#include "serve/thread_pool.h"
+
+namespace after {
+namespace serve {
+
+/// One online friend-discovery query: "which users should be rendered
+/// for `user` in `room` right now?" (Definition 1 at the current tick).
+struct FriendRequest {
+  int room = 0;
+  int user = 0;
+  /// Latency budget in milliseconds, measured from admission (so queue
+  /// wait counts). 0 = use the server default; < 0 = no deadline.
+  double deadline_ms = 0.0;
+};
+
+struct FriendResponse {
+  /// OK (possibly degraded, see used_fallback), kTimeout (deadline
+  /// expired while queued), kResourceExhausted (shed at admission),
+  /// kNotFound / kInvalidData (bad room / user).
+  Status status;
+  /// recommended[w] == true => render w for the requesting user. The
+  /// requesting user's own slot is always false. Empty on error.
+  std::vector<bool> recommended;
+  /// True when the answer came from the degradation fallback because the
+  /// primary model missed the deadline or misbehaved.
+  bool used_fallback = false;
+  /// Tick of the room snapshot the answer was computed against.
+  int tick = -1;
+  /// End-to-end latency (admission -> response), milliseconds.
+  double latency_ms = 0.0;
+};
+
+/// Creates primary-model instances. Called once at server construction
+/// to probe capabilities, then (for models whose thread_safe() is false)
+/// once per (room, user) stream on first request.
+using RecommenderFactory = std::function<std::unique_ptr<Recommender>()>;
+
+struct ServerOptions {
+  int num_threads = 4;
+  /// Bound of the request queue; admissions beyond it are shed with
+  /// kResourceExhausted.
+  int queue_capacity = 1024;
+  /// Deadline applied when FriendRequest::deadline_ms == 0; <= 0 means
+  /// no default deadline.
+  double default_deadline_ms = 50.0;
+  /// Display budget of the NearestRecommender degradation fallback.
+  int fallback_k = 10;
+};
+
+/// In-process online serving runtime: shards N conference rooms across a
+/// bounded worker pool and answers FriendRequests against each room's
+/// current snapshot.
+///
+/// Degradation ladder (docs/serving.md):
+///  1. queue full at admission            -> shed, kResourceExhausted
+///  2. deadline expired while queued      -> kTimeout, no work done
+///  3. primary misses deadline/misbehaves -> NearestRecommender answer,
+///                                           OK with used_fallback=true
+///  4. otherwise                          -> primary answer, OK
+///
+/// Model placement honors Recommender::thread_safe(): a thread-safe
+/// primary is built once and shared lock-free by every room and worker;
+/// a stateful primary (POSHGNN, the recurrent baselines, COMURNet) is
+/// instantiated lazily per (room, user) stream — preserving its
+/// per-session recurrent state exactly as the offline evaluator would —
+/// and its calls are serialized per instance.
+class RecommendationServer {
+ public:
+  RecommendationServer(std::vector<std::unique_ptr<Room>> rooms,
+                       RecommenderFactory primary_factory,
+                       const ServerOptions& options);
+  ~RecommendationServer();
+
+  RecommendationServer(const RecommendationServer&) = delete;
+  RecommendationServer& operator=(const RecommendationServer&) = delete;
+
+  /// Asynchronous path: admits the request (or sheds it) and invokes
+  /// `done` exactly once — on a worker thread on completion, or inline
+  /// when shed.
+  void Submit(const FriendRequest& request,
+              std::function<void(const FriendResponse&)> done);
+
+  /// Synchronous convenience wrapper: Submit + wait.
+  FriendResponse Handle(const FriendRequest& request);
+
+  /// Advances one room / every room one tick (simulation or replay).
+  Status TickRoom(int room);
+  void TickAll();
+
+  int num_rooms() const { return static_cast<int>(rooms_.size()); }
+  Room& room(int index) { return *rooms_[index]; }
+
+  ServerMetrics& metrics() { return metrics_; }
+
+  /// True when the probed primary is shared across threads (thread-safe)
+  /// rather than instantiated per (room, user).
+  bool primary_is_shared() const { return primary_shared_ != nullptr; }
+
+  /// Stops admissions, drains in-flight requests, joins workers.
+  /// Idempotent; also run by the destructor.
+  void Shutdown();
+
+ private:
+  /// A stateful primary instance bound to one (room, user) stream.
+  struct StreamModel {
+    std::unique_ptr<Recommender> model;
+    std::mutex mutex;
+  };
+
+  FriendResponse Process(const FriendRequest& request,
+                         const Deadline& deadline);
+  StreamModel& StreamFor(int room, int user);
+
+  ServerOptions options_;
+  std::vector<std::unique_ptr<Room>> rooms_;
+  RecommenderFactory factory_;
+  /// Set when the probed primary reports thread_safe(): one instance
+  /// serves everything with no locking.
+  std::unique_ptr<Recommender> primary_shared_;
+  /// Lazily grown per-(room, user) instances otherwise.
+  std::vector<std::unordered_map<int, std::unique_ptr<StreamModel>>>
+      stream_models_;
+  std::mutex stream_models_mutex_;
+  NearestRecommender fallback_;
+  ServerMetrics metrics_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace serve
+}  // namespace after
+
+#endif  // AFTER_SERVE_SERVER_H_

@@ -1,0 +1,68 @@
+#include "serve/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace after {
+namespace serve {
+
+ThreadPool::ThreadPool(int num_threads, int queue_capacity)
+    : capacity_(std::max(1, queue_capacity)) {
+  AFTER_CHECK(num_threads > 0);
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i)
+    workers_.emplace_back([this] { WorkerLoop(); });
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+bool ThreadPool::TrySubmit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_ || static_cast<int>(queue_.size()) >= capacity_)
+      return false;
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) {
+      // Idempotent: a second call (destructor after explicit Shutdown)
+      // must not re-join already-joined threads.
+      if (workers_.empty()) return;
+    }
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_)
+    if (worker.joinable()) worker.join();
+  workers_.clear();
+}
+
+int ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(queue_.size());
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown_ && drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace serve
+}  // namespace after

@@ -1,0 +1,59 @@
+#ifndef AFTER_SERVE_THREAD_POOL_H_
+#define AFTER_SERVE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace after {
+namespace serve {
+
+/// Fixed-size worker pool over a bounded FIFO task queue. The bound is
+/// the serving runtime's admission-control surface: TrySubmit never
+/// blocks and simply reports failure when the queue is at capacity, so
+/// callers can shed load instead of building an unbounded backlog.
+///
+/// Guarantees:
+///  - Tasks submitted from one thread run in FIFO order relative to each
+///    other (a single worker therefore executes them strictly in order).
+///  - Shutdown() stops admissions, drains every already-admitted task,
+///    and joins the workers; it is idempotent and runs in the destructor.
+class ThreadPool {
+ public:
+  ThreadPool(int num_threads, int queue_capacity);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` without blocking. Returns false when the queue is
+  /// at capacity or the pool is shut down; the task is then dropped.
+  bool TrySubmit(std::function<void()> task);
+
+  /// Stops accepting work, runs every queued task, joins all workers.
+  void Shutdown();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+  int queue_capacity() const { return capacity_; }
+
+  /// Tasks admitted but not yet picked up by a worker.
+  int queue_depth() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int capacity_;
+  bool shutdown_ = false;
+};
+
+}  // namespace serve
+}  // namespace after
+
+#endif  // AFTER_SERVE_THREAD_POOL_H_

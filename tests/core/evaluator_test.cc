@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
+#include "baselines/nearest_recommender.h"
 #include "common/rng.h"
 #include "data/dataset.h"
 #include "graph/generators.h"
@@ -221,6 +225,45 @@ TEST(EvaluatorTest, ForcedBodyEarnsUtilityOnlyIfRecommended) {
   options.session = 0;
   const EvalResult result = EvaluateRecommender(rec, dataset, options);
   EXPECT_NEAR(result.preference_utility, 0.7 * 3, 1e-9);
+}
+
+/// Correct-size output, but only after sleeping past any sane budget.
+class SleepyRecommender : public Recommender {
+ public:
+  explicit SleepyRecommender(double sleep_ms) : sleep_ms_(sleep_ms) {}
+  std::string name() const override { return "Sleepy"; }
+  std::vector<bool> Recommend(const StepContext& context) override {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(sleep_ms_));
+    return std::vector<bool>(context.positions->size(), false);
+  }
+
+ private:
+  double sleep_ms_;
+};
+
+TEST(EvaluatorTest, DeadlineMissesAreCountedAndDegradeToFallback) {
+  Dataset dataset = StaticDataset(4);
+  SleepyRecommender slow(5.0);
+  NearestRecommender fallback(2);
+  EvalOptions options;
+  options.targets = {0};
+  options.session = 0;
+  options.fallback = &fallback;
+  options.recommend_deadline_ms = 0.5;  // slower than every step
+  const EvalResult result = EvaluateRecommender(slow, dataset, options);
+  EXPECT_EQ(result.diagnostics.deadline_missed_steps, 4);
+  EXPECT_EQ(result.diagnostics.fallback_steps, 4);
+  EXPECT_FALSE(result.diagnostics.clean());
+  // Scored answers are the fallback's, which recommends someone.
+  EXPECT_GT(result.avg_recommended_per_step, 0.0);
+
+  // Without a deadline the same recommender runs clean (and scores 0).
+  SleepyRecommender slow2(1.0);
+  options.recommend_deadline_ms = 0.0;
+  const EvalResult clean = EvaluateRecommender(slow2, dataset, options);
+  EXPECT_EQ(clean.diagnostics.deadline_missed_steps, 0);
+  EXPECT_TRUE(clean.diagnostics.clean());
 }
 
 TEST(EvaluatorTest, RuntimeMeasured) {

@@ -1,0 +1,112 @@
+#include "serve/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace after {
+namespace serve {
+namespace {
+
+/// Reusable gate: lets a test hold a worker hostage until released.
+class Gate {
+ public:
+  void Open() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return open_; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+TEST(ThreadPoolTest, SingleWorkerRunsTasksInFifoOrder) {
+  std::vector<int> order;
+  std::mutex order_mutex;
+  {
+    ThreadPool pool(/*num_threads=*/1, /*queue_capacity=*/64);
+    for (int i = 0; i < 32; ++i) {
+      ASSERT_TRUE(pool.TrySubmit([i, &order, &order_mutex] {
+        std::lock_guard<std::mutex> lock(order_mutex);
+        order.push_back(i);
+      }));
+    }
+    pool.Shutdown();
+  }
+  ASSERT_EQ(order.size(), 32u);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  Gate gate;
+  ThreadPool pool(/*num_threads=*/1, /*queue_capacity=*/16);
+  ASSERT_TRUE(pool.TrySubmit([&] {
+    gate.Wait();
+    ran.fetch_add(1);
+  }));
+  for (int i = 0; i < 10; ++i)
+    ASSERT_TRUE(pool.TrySubmit([&] { ran.fetch_add(1); }));
+  gate.Open();
+  pool.Shutdown();
+  EXPECT_EQ(ran.load(), 11);
+}
+
+TEST(ThreadPoolTest, TrySubmitRejectsWhenQueueFull) {
+  Gate gate;
+  ThreadPool pool(/*num_threads=*/1, /*queue_capacity=*/2);
+  std::atomic<int> ran{0};
+  // Occupies the single worker...
+  ASSERT_TRUE(pool.TrySubmit([&] {
+    gate.Wait();
+    ran.fetch_add(1);
+  }));
+  // ...so these two fill the queue to capacity...
+  // (give the worker a moment to dequeue the blocker first)
+  while (pool.queue_depth() > 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_TRUE(pool.TrySubmit([&] { ran.fetch_add(1); }));
+  ASSERT_TRUE(pool.TrySubmit([&] { ran.fetch_add(1); }));
+  // ...and the next admission is shed.
+  EXPECT_FALSE(pool.TrySubmit([&] { ran.fetch_add(1); }));
+  gate.Open();
+  pool.Shutdown();
+  EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(ThreadPoolTest, ConcurrentWorkersCompleteEverything) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(/*num_threads=*/4, /*queue_capacity=*/1024);
+    int admitted = 0;
+    for (int i = 0; i < 500; ++i)
+      if (pool.TrySubmit([&counter] { counter.fetch_add(1); })) ++admitted;
+    pool.Shutdown();
+    EXPECT_EQ(counter.load(), admitted);
+    EXPECT_GT(admitted, 0);
+  }
+}
+
+TEST(ThreadPoolTest, RejectsAfterShutdown) {
+  ThreadPool pool(/*num_threads=*/1, /*queue_capacity=*/4);
+  pool.Shutdown();
+  EXPECT_FALSE(pool.TrySubmit([] {}));
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace after
