@@ -9,16 +9,27 @@
 //   serve_throughput                       # sweep rooms x threads
 //   serve_throughput --rooms=8 --threads=8 # one config + a 1-thread
 //                                          # capacity baseline
+//   serve_throughput --weights=w.after --batch   # trained + in-tick
+//                                          # batching (defaults 1x1)
 // Flags: --rooms=N --threads=N --clients=N (default 2x threads)
 //        --users=N (room population, default 60)
 //        --requests=N (total per config, default 600)
 //        --deadline_ms=F (default 1000; <0 disables)
+//        --weights=PATH (serve a trained, frozen POSHGNN loaded from a
+//                        model artifact — see tools/train_poshgnn and
+//                        docs/model_artifacts.md — shared lock-free by
+//                        all workers instead of the untrained
+//                        per-stream primary)
+//        --batch        (in-tick request batching: coalesce each room's
+//                        queued requests into one inference job per
+//                        snapshot; see docs/serving.md)
 
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -26,6 +37,7 @@
 #include "common/timer.h"
 #include "core/poshgnn.h"
 #include "data/dataset.h"
+#include "nn/artifact.h"
 #include "serve/server.h"
 
 namespace after {
@@ -35,11 +47,21 @@ struct RunStats {
   double throughput = 0.0;  // OK responses per second
   double p50 = 0.0, p95 = 0.0, p99 = 0.0;
   long long ok = 0, shed = 0, timeouts = 0, fallbacks = 0;
+  long long batches = 0, coalesced = 0;
   int max_depth = 0;
 };
 
-RunStats RunConfig(const Dataset& dataset, int num_rooms, int threads,
-                   int clients, int total_requests, double deadline_ms) {
+struct PrimarySpec {
+  /// Non-null when serving trained weights: every factory call builds a
+  /// fresh frozen model from this artifact (the server probes one and
+  /// shares it lock-free since FrozenPoshgnn::thread_safe() is true).
+  const ModelArtifact* artifact = nullptr;
+  bool batch = false;
+};
+
+RunStats RunConfig(const Dataset& dataset, const PrimarySpec& primary,
+                   int num_rooms, int threads, int clients,
+                   int total_requests, double deadline_ms) {
   std::vector<std::unique_ptr<serve::Room>> rooms;
   for (int r = 0; r < num_rooms; ++r) {
     serve::Room::Options room_options;
@@ -62,12 +84,28 @@ RunStats RunConfig(const Dataset& dataset, int num_rooms, int threads,
   // this capacity guarantees the generator itself never sheds.
   server_options.queue_capacity = std::max(1024, clients * 4);
   server_options.default_deadline_ms = deadline_ms;
-  PoshgnnConfig model_config;
-  model_config.seed = 42;
-  serve::RecommendationServer server(
-      std::move(rooms),
-      [model_config] { return std::make_unique<Poshgnn>(model_config); },
-      server_options);
+  server_options.batch_requests = primary.batch;
+  serve::RecommenderFactory factory;
+  if (primary.artifact != nullptr) {
+    const ModelArtifact* artifact = primary.artifact;
+    factory = [artifact]() -> std::unique_ptr<Recommender> {
+      auto frozen = FrozenPoshgnn::FromArtifact(*artifact);
+      if (!frozen.ok()) {
+        std::fprintf(stderr, "frozen model: %s\n",
+                     frozen.status().ToString().c_str());
+        return nullptr;
+      }
+      return std::move(frozen).value();
+    };
+  } else {
+    PoshgnnConfig model_config;
+    model_config.seed = 42;
+    factory = [model_config] {
+      return std::make_unique<Poshgnn>(model_config);
+    };
+  }
+  serve::RecommendationServer server(std::move(rooms), std::move(factory),
+                                     server_options);
 
   // Background ticker: advances every room's crowd simulation while the
   // clients hammer the request path.
@@ -109,6 +147,8 @@ RunStats RunConfig(const Dataset& dataset, int num_rooms, int threads,
   stats.p50 = m.latency.PercentileMs(0.50);
   stats.p95 = m.latency.PercentileMs(0.95);
   stats.p99 = m.latency.PercentileMs(0.99);
+  stats.batches = m.batches.load();
+  stats.coalesced = m.coalesced.load();
   stats.max_depth = m.max_queue_depth.load();
   stats.throughput = elapsed_s > 0.0 ? stats.ok / elapsed_s : 0.0;
   return stats;
@@ -131,9 +171,12 @@ int Main(int argc, char** argv) {
   int rooms = -1, threads = -1, clients = -1;
   int users = 60, requests = 600;
   double deadline_ms = 1000.0;
+  std::string weights;
+  bool batch = false;
   for (int i = 1; i < argc; ++i) {
     int value = 0;
     double fvalue = 0.0;
+    char buffer[256] = {};
     if (std::sscanf(argv[i], "--rooms=%d", &value) == 1) rooms = value;
     else if (std::sscanf(argv[i], "--threads=%d", &value) == 1)
       threads = value;
@@ -144,11 +187,34 @@ int Main(int argc, char** argv) {
       requests = value;
     else if (std::sscanf(argv[i], "--deadline_ms=%lf", &fvalue) == 1)
       deadline_ms = fvalue;
+    else if (std::sscanf(argv[i], "--weights=%255s", buffer) == 1)
+      weights = buffer;
+    else if (std::strcmp(argv[i], "--batch") == 0)
+      batch = true;
     else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 1;
     }
   }
+
+  PrimarySpec primary;
+  primary.batch = batch;
+  ModelArtifact artifact;
+  if (!weights.empty()) {
+    auto loaded = ModelArtifact::Load(weights);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "--weights: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    artifact = std::move(loaded).value();
+    primary.artifact = &artifact;
+  }
+  // The trained/batched modes exist to measure the serving acceptance
+  // config, so default them to one room at the 1-thread capacity
+  // baseline rather than the full sweep.
+  if ((primary.artifact != nullptr || batch) && rooms <= 0 && threads <= 0)
+    rooms = threads = 1;
 
   DatasetConfig config;
   config.num_users = users;
@@ -158,9 +224,13 @@ int Main(int argc, char** argv) {
   std::printf("[serve_throughput] generating %d-user dataset...\n", users);
   const Dataset dataset = GenerateTimikLike(config);
   std::printf(
-      "[serve_throughput] primary=POSHGNN(untrained, per room+user "
-      "stream), fallback=Nearest, deadline=%.0f ms, hw threads=%u\n",
-      deadline_ms, std::thread::hardware_concurrency());
+      "[serve_throughput] primary=%s, batching=%s, fallback=Nearest, "
+      "deadline=%.0f ms, hw threads=%u\n",
+      primary.artifact != nullptr
+          ? "POSHGNN(frozen trained artifact, shared lock-free)"
+          : "POSHGNN(untrained, per room+user stream)",
+      batch ? "in-tick" : "off", deadline_ms,
+      std::thread::hardware_concurrency());
 
   if (rooms > 0 || threads > 0) {
     if (rooms <= 0) rooms = 1;
@@ -169,13 +239,17 @@ int Main(int argc, char** argv) {
     // Baseline: what one worker thread sustains on the same shards.
     std::printf("[serve_throughput] measuring 1-thread capacity...\n");
     const RunStats baseline =
-        RunConfig(dataset, rooms, 1, 1, requests / 2, deadline_ms);
+        RunConfig(dataset, primary, rooms, 1, 1, requests / 2, deadline_ms);
     std::printf("[serve_throughput] running target config...\n");
-    const RunStats target =
-        RunConfig(dataset, rooms, threads, clients, requests, deadline_ms);
+    const RunStats target = RunConfig(dataset, primary, rooms, threads,
+                                      clients, requests, deadline_ms);
     PrintHeader();
     PrintRow(rooms, 1, 1, baseline);
     PrintRow(rooms, threads, clients, target);
+    if (batch)
+      std::printf("batching: %lld jobs, %lld coalesced requests in the "
+                  "target config\n",
+                  target.batches, target.coalesced);
     std::printf(
         "verdict: %lld shed, %lld timeouts at %.1f req/s "
         "(1-thread capacity %.1f req/s, speedup %.2fx)\n",
@@ -192,7 +266,7 @@ int Main(int argc, char** argv) {
     for (int t : {1, 2, 4, 8}) {
       const int c = 2 * t;
       const RunStats stats =
-          RunConfig(dataset, r, t, c, requests, deadline_ms);
+          RunConfig(dataset, primary, r, t, c, requests, deadline_ms);
       PrintRow(r, t, c, stats);
     }
   }

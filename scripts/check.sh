@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
-# Repo check matrix: builds and tests the three CI lanes.
+# Repo check matrix: builds and tests the CI lanes.
 #
-#   scripts/check.sh              # release + asan + tsan
+#   scripts/check.sh              # docs + release + asan + tsan
 #   scripts/check.sh release      # just one lane
 #   TSAN_FILTER=. scripts/check.sh tsan   # widen the tsan test filter
 #
 # Lanes:
+#   docs     no build: every intra-repo markdown link resolves, and
+#            docs/ARCHITECTURE.md mentions every src/* subsystem
 #   release  RelWithDebInfo, full ctest suite (the tier-1 gate)
 #   asan     address+undefined sanitizers, full ctest suite
 #   tsan     thread sanitizer; by default runs only the concurrent
@@ -18,12 +20,49 @@ JOBS="${JOBS:-$(nproc)}"
 TSAN_FILTER="${TSAN_FILTER:-^serve/}"
 LANES=("$@")
 if [ "${#LANES[@]}" -eq 0 ]; then
-  LANES=(release asan tsan)
+  LANES=(docs release asan tsan)
 fi
+
+run_docs_lane() {
+  local fail=0
+  # Every relative markdown link must resolve, from every tracked page.
+  local file target path
+  while IFS= read -r file; do
+    while IFS= read -r target; do
+      case "${target}" in
+        http://*|https://*|mailto:*|'#'*) continue ;;
+      esac
+      path="${target%%#*}"          # drop in-page anchors
+      path="${path%% *}"            # drop "title" suffixes
+      [ -z "${path}" ] && continue
+      if [ ! -e "$(dirname "${file}")/${path}" ]; then
+        echo "docs: broken link in ${file}: (${target})"
+        fail=1
+      fi
+    done < <(grep -oE '\]\([^)]+\)' "${file}" | sed 's/^](//; s/)$//')
+  done < <(git ls-files '*.md')
+  # The architecture page must keep covering every subsystem.
+  local dir name
+  for dir in src/*/; do
+    name="$(basename "${dir}")"
+    if ! grep -q "src/${name}/" docs/ARCHITECTURE.md; then
+      echo "docs: src/${name}/ is not mentioned in docs/ARCHITECTURE.md"
+      fail=1
+    fi
+  done
+  if [ "${fail}" -ne 0 ]; then
+    return 1
+  fi
+  echo "docs lane OK: links resolve, ARCHITECTURE.md covers src/*"
+}
 
 run_lane() {
   local lane="$1"
   echo "==== lane: ${lane} ===================================="
+  if [ "${lane}" = docs ]; then
+    run_docs_lane
+    return
+  fi
   cmake --preset "${lane}"
   cmake --build --preset "${lane}" -j "${JOBS}"
   if [ "${lane}" = tsan ]; then

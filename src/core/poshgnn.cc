@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <sstream>
 
 #include "common/check.h"
 #include "core/loss.h"
@@ -18,6 +19,53 @@ constexpr int kFeatureDim = 4;  // [p̂, ŝ, distance, interface]
 constexpr int kDeltaDim = 3;    // [e0, e1, e2]
 
 Rng MakeInitRng(uint64_t seed) { return Rng(seed * 0xA24BAED4963EE407ULL); }
+
+/// Decodes the display set from one step's probabilities. Shared by the
+/// mutable model (previous = its recurrent state before the step) and
+/// the frozen inference path (previous = zeros), which is what keeps
+/// the two bit-exact on the same inputs.
+std::vector<bool> DecodeSelection(const PoshgnnConfig& config,
+                                  const MiaOutput& mia,
+                                  const Matrix& probabilities,
+                                  const Matrix& previous, int target) {
+  const int n = probabilities.rows();
+  // Following the objective-guided decoding of the neural MIS literature
+  // the framework builds on (Ahn et al. 2020), the budgeted set is the
+  // top-k by r_w * (expected marginal AFTER gain); the threshold gates
+  // which users are considered recommended at all.
+  std::vector<int> candidates;
+  for (int w = 0; w < n; ++w) {
+    if (w == target) continue;
+    if (probabilities.At(w, 0) > config.threshold) candidates.push_back(w);
+  }
+  if (config.max_recommendations > 0 &&
+      static_cast<int>(candidates.size()) > config.max_recommendations) {
+    std::vector<double> decode_score(n, 0.0);
+    for (int w : candidates) {
+      // The continuity term exists only when the model actually carries
+      // its previous recommendation (LWP); the ablated variants are
+      // memoryless and decode on preference alone.
+      double gain = (1.0 - config.beta) * mia.p_hat.At(w, 0);
+      if (config.use_lwp)
+        gain += config.beta * previous.At(w, 0) * mia.s_hat.At(w, 0);
+      decode_score[w] = probabilities.At(w, 0) * gain;
+    }
+    std::sort(candidates.begin(), candidates.end(), [&](int a, int b) {
+      return decode_score[a] > decode_score[b];
+    });
+    candidates.resize(config.max_recommendations);
+  }
+  std::vector<bool> selected(n, false);
+  for (int w : candidates) selected[w] = true;
+  return selected;
+}
+
+std::string FormatDouble(double value) {
+  std::ostringstream oss;
+  oss.precision(17);
+  oss << value;
+  return oss.str();
+}
 
 }  // namespace
 
@@ -79,6 +127,14 @@ MiaOutput Poshgnn::Aggregate(const StepContext& context) {
   return config_.use_mia ? mia_.Process(context) : AggregateRaw(context);
 }
 
+MiaOutput Poshgnn::AggregateFresh(const StepContext& context) const {
+  if (!config_.use_mia) return AggregateRaw(context);
+  // A local aggregator reproduces the session-start step (no remembered
+  // adjacency) without touching mia_ — const and race-free.
+  Mia fresh;
+  return fresh.Process(context);
+}
+
 Poshgnn::StepResult Poshgnn::StepOnTape(const MiaOutput& mia,
                                         const Variable& r_prev,
                                         const Variable& h_prev) const {
@@ -120,37 +176,8 @@ std::vector<bool> Poshgnn::Recommend(const StepContext& context) {
   state_recommendation_ = step.recommendation.value();
   state_hidden_ = step.hidden.value();
 
-  // Decode the display set from the probabilities. Following the
-  // objective-guided decoding of the neural MIS literature the framework
-  // builds on (Ahn et al. 2020), the budgeted set is the top-k by
-  // r_w * (expected marginal AFTER gain); the threshold gates which
-  // users are considered recommended at all.
-  std::vector<int> candidates;
-  for (int w = 0; w < n; ++w) {
-    if (w == context.target) continue;
-    if (state_recommendation_.At(w, 0) > config_.threshold)
-      candidates.push_back(w);
-  }
-  if (config_.max_recommendations > 0 &&
-      static_cast<int>(candidates.size()) > config_.max_recommendations) {
-    std::vector<double> decode_score(n, 0.0);
-    for (int w : candidates) {
-      // The continuity term exists only when the model actually carries
-      // its previous recommendation (LWP); the ablated variants are
-      // memoryless and decode on preference alone.
-      double gain = (1.0 - config_.beta) * mia.p_hat.At(w, 0);
-      if (config_.use_lwp)
-        gain += config_.beta * previous.At(w, 0) * mia.s_hat.At(w, 0);
-      decode_score[w] = state_recommendation_.At(w, 0) * gain;
-    }
-    std::sort(candidates.begin(), candidates.end(), [&](int a, int b) {
-      return decode_score[a] > decode_score[b];
-    });
-    candidates.resize(config_.max_recommendations);
-  }
-  std::vector<bool> selected(n, false);
-  for (int w : candidates) selected[w] = true;
-  return selected;
+  return DecodeSelection(config_, mia, state_recommendation_, previous,
+                         context.target);
 }
 
 std::vector<Variable> Poshgnn::Parameters() const {
@@ -168,6 +195,133 @@ bool Poshgnn::SaveWeights(const std::string& path) const {
 bool Poshgnn::LoadWeights(const std::string& path) {
   std::vector<Variable> params = Parameters();
   return LoadParameters(path, params);
+}
+
+ModelArtifact Poshgnn::ToArtifact() const {
+  ModelArtifact artifact;
+  artifact.kind = "POSHGNN";
+  artifact.metadata["hidden_dim"] = std::to_string(config_.hidden_dim);
+  artifact.metadata["beta"] = FormatDouble(config_.beta);
+  artifact.metadata["alpha"] = FormatDouble(config_.alpha);
+  artifact.metadata["use_mia"] = config_.use_mia ? "1" : "0";
+  artifact.metadata["use_lwp"] = config_.use_lwp ? "1" : "0";
+  artifact.metadata["threshold"] = FormatDouble(config_.threshold);
+  artifact.metadata["max_recommendations"] =
+      std::to_string(config_.max_recommendations);
+  artifact.metadata["init_seed"] = std::to_string(config_.seed);
+  artifact.parameters = SnapshotParameters(Parameters());
+  return artifact;
+}
+
+Status Poshgnn::LoadArtifact(const ModelArtifact& artifact) {
+  if (artifact.kind != "POSHGNN")
+    return InvalidDataError("artifact kind '" + artifact.kind +
+                            "' is not POSHGNN");
+  if (artifact.FieldInt("hidden_dim", -1) != config_.hidden_dim ||
+      artifact.FieldInt("use_mia", -1) != (config_.use_mia ? 1 : 0) ||
+      artifact.FieldInt("use_lwp", -1) != (config_.use_lwp ? 1 : 0))
+    return InvalidDataError(
+        "artifact architecture header (hidden_dim/use_mia/use_lwp) does not "
+        "match this model's config");
+  std::vector<Variable> params = Parameters();
+  return artifact.ApplyTo(params);
+}
+
+Result<PoshgnnConfig> PoshgnnConfigFromArtifact(
+    const ModelArtifact& artifact) {
+  if (artifact.kind != "POSHGNN")
+    return InvalidDataError("artifact kind '" + artifact.kind +
+                            "' is not POSHGNN");
+  for (const char* required : {"hidden_dim", "use_mia", "use_lwp"}) {
+    if (artifact.Field(required).empty())
+      return InvalidDataError(std::string("POSHGNN artifact is missing the "
+                                          "architecture field '") +
+                              required + "'");
+  }
+  PoshgnnConfig config;
+  config.hidden_dim = artifact.FieldInt("hidden_dim", config.hidden_dim);
+  if (config.hidden_dim <= 0)
+    return InvalidDataError("POSHGNN artifact: hidden_dim must be positive");
+  config.use_mia = artifact.FieldInt("use_mia", 1) != 0;
+  config.use_lwp = artifact.FieldInt("use_lwp", 1) != 0;
+  config.beta = artifact.FieldDouble("beta", config.beta);
+  config.alpha = artifact.FieldDouble("alpha", config.alpha);
+  config.threshold = artifact.FieldDouble("threshold", config.threshold);
+  config.max_recommendations =
+      artifact.FieldInt("max_recommendations", config.max_recommendations);
+  config.seed = static_cast<uint64_t>(
+      artifact.FieldInt("init_seed", static_cast<int>(config.seed)));
+  return config;
+}
+
+FrozenPoshgnn::FrozenPoshgnn(const Poshgnn& source) : model_(source.config()) {
+  // Deep copy: a fresh architecture plus a bit-exact value restore, so
+  // the frozen instance shares no autograd nodes with the source and a
+  // later Train() on the source cannot perturb serving.
+  std::vector<Variable> params = model_.Parameters();
+  RestoreParameters(SnapshotParameters(source.Parameters()), params);
+}
+
+Result<std::unique_ptr<FrozenPoshgnn>> FrozenPoshgnn::FromArtifact(
+    const ModelArtifact& artifact) {
+  Result<PoshgnnConfig> config = PoshgnnConfigFromArtifact(artifact);
+  if (!config.ok()) return config.status();
+  Poshgnn model(config.value());
+  AFTER_RETURN_IF_ERROR(model.LoadArtifact(artifact));
+  return std::make_unique<FrozenPoshgnn>(model);
+}
+
+Result<std::unique_ptr<FrozenPoshgnn>> FrozenPoshgnn::FromArtifactFile(
+    const std::string& path) {
+  Result<ModelArtifact> artifact = ModelArtifact::Load(path);
+  if (!artifact.ok()) return artifact.status();
+  return FromArtifact(artifact.value());
+}
+
+std::string FrozenPoshgnn::name() const {
+  return model_.name() + " (frozen)";
+}
+
+void FrozenPoshgnn::BeginSession(int num_users, int target) {
+  (void)num_users;
+  (void)target;  // Stateless: every step is a session-start step.
+}
+
+std::vector<bool> FrozenPoshgnn::Recommend(const StepContext& context) {
+  const int n = static_cast<int>(context.positions->size());
+  const MiaOutput mia = model_.AggregateFresh(context);
+  const Matrix zero_r(n, 1);
+  const Poshgnn::StepResult step =
+      model_.StepOnTape(mia, Variable::Constant(zero_r),
+                        Variable::Constant(Matrix(n, config().hidden_dim)));
+  return DecodeSelection(config(), mia, step.recommendation.value(), zero_r,
+                         context.target);
+}
+
+std::vector<std::vector<bool>> FrozenPoshgnn::RecommendBatch(
+    const std::vector<StepContext>& contexts) {
+  // One coalesced job: the zero session-start state is materialized once
+  // per population size and shared (as autograd constants) by every
+  // target's pass. The graph convolutions stay per-target because each
+  // target has its own occlusion adjacency — a dense block-diagonal
+  // super-pass would square the flop count (header comment).
+  std::vector<std::vector<bool>> out;
+  out.reserve(contexts.size());
+  Variable zero_r, zero_h;
+  Matrix zero_previous;
+  for (const StepContext& context : contexts) {
+    const int n = static_cast<int>(context.positions->size());
+    if (!zero_r.defined() || zero_r.rows() != n) {
+      zero_previous = Matrix(n, 1);
+      zero_r = Variable::Constant(zero_previous);
+      zero_h = Variable::Constant(Matrix(n, config().hidden_dim));
+    }
+    const MiaOutput mia = model_.AggregateFresh(context);
+    const Poshgnn::StepResult step = model_.StepOnTape(mia, zero_r, zero_h);
+    out.push_back(DecodeSelection(config(), mia, step.recommendation.value(),
+                                  zero_previous, context.target));
+  }
+  return out;
 }
 
 void Poshgnn::Train(const Dataset& dataset, const TrainOptions& options) {

@@ -2,15 +2,18 @@
 #define AFTER_CORE_POSHGNN_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "core/lwp.h"
 #include "core/mia.h"
 #include "core/pdr.h"
 #include "core/recommender.h"
+#include "nn/artifact.h"
 
 namespace after {
 
@@ -67,12 +70,31 @@ class Poshgnn : public TrainableRecommender {
   /// Builds MIA output for a step, honoring the use_mia ablation flag.
   MiaOutput Aggregate(const StepContext& context);
 
+  /// Session-start aggregation that touches no member state: a fresh MIA
+  /// (no remembered previous adjacency, so Δ_t = [1 | 0 | 0]) or the raw
+  /// ablation path. This is the inference substrate of FrozenPoshgnn —
+  /// const and safe to call concurrently.
+  MiaOutput AggregateFresh(const StepContext& context) const;
+
   std::vector<Variable> Parameters() const;
 
   /// Persists / restores trained weights (see nn/serialize.h). Loading
   /// requires a model constructed with the same architecture flags.
   bool SaveWeights(const std::string& path) const;
   bool LoadWeights(const std::string& path);
+
+  /// Wraps the current weights and architecture into the versioned,
+  /// checksummed artifact container (kind "POSHGNN"; header fields
+  /// documented in docs/model_artifacts.md). Callers may add
+  /// provenance fields (dataset fingerprint, training config) to the
+  /// returned artifact before saving it.
+  ModelArtifact ToArtifact() const;
+
+  /// Loads weights from an artifact, validating kind and architecture
+  /// header fields against this model's config before touching any
+  /// parameter. kInvalidData on any mismatch; parameters are untouched
+  /// on failure.
+  Status LoadArtifact(const ModelArtifact& artifact);
 
   const PoshgnnConfig& config() const { return config_; }
 
@@ -106,6 +128,64 @@ class Poshgnn : public TrainableRecommender {
   // Detached recurrent state for inference.
   Matrix state_recommendation_;
   Matrix state_hidden_;
+};
+
+/// Reconstructs the architecture a POSHGNN artifact was produced with
+/// (hidden_dim, ablation flags, decode knobs) from its header fields.
+/// kInvalidData when the artifact is not kind "POSHGNN" or the
+/// architecture fields are missing/malformed.
+Result<PoshgnnConfig> PoshgnnConfigFromArtifact(const ModelArtifact& artifact);
+
+/// Frozen inference-only POSHGNN: immutable trained weights, no
+/// recurrent state, `thread_safe() == true` — one instance is shared
+/// lock-free by every worker of the serving runtime (serve/server.h).
+///
+/// Semantics: every Recommend() is a *session-start* step — MIA carries
+/// no previous adjacency and the preservation gate sees r_{t-1} = 0,
+/// h_{t-1} = 0 — exactly what the mutable model computes on the first
+/// step after BeginSession(). That makes the frozen path bit-exact
+/// against the mutable model on the same inputs (tested in
+/// tests/core/poshgnn_test.cc) at the cost of the temporal-continuity
+/// term, a deliberate serving trade-off documented in docs/serving.md:
+/// cross-tick smoothing is traded for lock-free sharing and in-tick
+/// batching.
+class FrozenPoshgnn : public Recommender {
+ public:
+  /// Deep-copies config and current weights from a (typically trained)
+  /// mutable model; the frozen instance shares no autograd nodes with
+  /// the source.
+  explicit FrozenPoshgnn(const Poshgnn& source);
+
+  /// Builds the architecture described by the artifact header and loads
+  /// the checksummed weights into it.
+  static Result<std::unique_ptr<FrozenPoshgnn>> FromArtifact(
+      const ModelArtifact& artifact);
+
+  /// Convenience: Load + FromArtifact.
+  static Result<std::unique_ptr<FrozenPoshgnn>> FromArtifactFile(
+      const std::string& path);
+
+  std::string name() const override;
+  /// Stateless by construction: nothing to reset.
+  void BeginSession(int num_users, int target) override;
+  bool thread_safe() const override { return true; }
+  std::vector<bool> Recommend(const StepContext& context) override;
+
+  /// One coalesced inference job for all targets of one scene: shared
+  /// zero-state across targets, one pass per *distinct* target (the
+  /// occlusion adjacency is target-specific, so a dense block-diagonal
+  /// super-pass would cost O(T²·n²) against the per-target sum's
+  /// O(T·n²) — dedup + shared dispatch is where the batching win is;
+  /// see docs/serving.md).
+  std::vector<std::vector<bool>> RecommendBatch(
+      const std::vector<StepContext>& contexts) override;
+
+  const PoshgnnConfig& config() const { return model_.config(); }
+
+ private:
+  /// Const after construction; only const members (AggregateFresh,
+  /// StepOnTape) are ever invoked on it.
+  Poshgnn model_;
 };
 
 }  // namespace after

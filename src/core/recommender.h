@@ -96,6 +96,22 @@ class Recommender {
   /// Returns the set of users rendered for the target at this step
   /// (true = recommended). The target's own slot must be false.
   virtual std::vector<bool> Recommend(const StepContext& context) = 0;
+
+  /// Answers many targets of the *same scene* in one call — the hook the
+  /// serving runtime's in-tick batcher (serve/batcher.h) drives: all
+  /// requests queued against one room snapshot coalesce into a single
+  /// RecommendBatch invocation. The default simply loops Recommend;
+  /// batch-aware models (FrozenPoshgnn) override it to share per-scene
+  /// work across targets. Returns one Recommend-shaped vector per
+  /// context, in order.
+  virtual std::vector<std::vector<bool>> RecommendBatch(
+      const std::vector<StepContext>& contexts) {
+    std::vector<std::vector<bool>> out;
+    out.reserve(contexts.size());
+    for (const StepContext& context : contexts)
+      out.push_back(Recommend(context));
+    return out;
+  }
 };
 
 /// A recommender with an offline training phase (POSHGNN, DCRNN, TGCN,

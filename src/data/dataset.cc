@@ -1,5 +1,7 @@
 #include "data/dataset.h"
 
+#include <cstring>
+
 #include "common/rng.h"
 #include "data/preference_model.h"
 #include "graph/generators.h"
@@ -119,6 +121,55 @@ DatasetConfig HubsDefaultConfig() {
   config.num_users = 30;   // "only dozens of candidates exist in a Hub room"
   config.room_side = 6.0;  // small workshop space
   return config;
+}
+
+namespace {
+
+/// FNV-1a 64 running hash; doubles are hashed by bit pattern so any
+/// representable change to a utility or position changes the print.
+struct Fingerprint {
+  uint64_t hash = 0xCBF29CE484222325ULL;
+
+  void Mix(uint64_t word) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (word >> (8 * byte)) & 0xFF;
+      hash *= 0x100000001B3ULL;
+    }
+  }
+  void Mix(double value) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    Mix(bits);
+  }
+  void Mix(const Matrix& m) {
+    Mix(static_cast<uint64_t>(m.rows()));
+    Mix(static_cast<uint64_t>(m.cols()));
+    for (double v : m.data()) Mix(v);
+  }
+};
+
+}  // namespace
+
+uint64_t DatasetFingerprint(const Dataset& dataset) {
+  Fingerprint fp;
+  fp.Mix(static_cast<uint64_t>(dataset.num_users()));
+  fp.Mix(dataset.preference);
+  fp.Mix(dataset.social_presence);
+  fp.Mix(static_cast<uint64_t>(dataset.sessions.size()));
+  for (const XrWorld& world : dataset.sessions) {
+    fp.Mix(static_cast<uint64_t>(world.num_steps()));
+    fp.Mix(world.body_radius());
+    for (Interface interface : world.interfaces())
+      fp.Mix(static_cast<uint64_t>(interface));
+    for (const auto& frame : world.trajectory()) {
+      for (const Vec2& position : frame) {
+        fp.Mix(position.x);
+        fp.Mix(position.y);
+      }
+    }
+  }
+  return fp.hash;
 }
 
 }  // namespace after

@@ -63,6 +63,14 @@ Dataset GenerateHubsLike(const DatasetConfig& config);
 /// Paper-scale defaults for the Hub dataset (a few dozen candidates).
 DatasetConfig HubsDefaultConfig();
 
+/// Deterministic 64-bit fingerprint of a dataset's contents: population
+/// size, both utility matrices, and every session's interfaces and
+/// trajectories. Recorded in model artifacts (nn/artifact.h) so a
+/// served weight file can be traced to the data it was trained on —
+/// two datasets with the same fingerprint are bit-identical in every
+/// field the models consume.
+uint64_t DatasetFingerprint(const Dataset& dataset);
+
 }  // namespace after
 
 #endif  // AFTER_DATA_DATASET_H_

@@ -1,0 +1,159 @@
+#include "nn/artifact.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "nn/serialize.h"
+
+namespace after {
+namespace {
+
+bool HasWhitespace(const std::string& token) {
+  for (char c : token)
+    if (std::isspace(static_cast<unsigned char>(c))) return true;
+  return token.empty();
+}
+
+std::string ChecksumHex(uint64_t checksum) {
+  std::ostringstream oss;
+  oss << std::hex << std::setw(16) << std::setfill('0') << checksum;
+  return oss.str();
+}
+
+}  // namespace
+
+Status ModelArtifact::Save(const std::string& path) const {
+  if (HasWhitespace(kind))
+    return InvalidDataError("artifact kind must be a non-empty token");
+  for (const auto& [key, value] : metadata) {
+    (void)value;
+    if (HasWhitespace(key))
+      return InvalidDataError("metadata key '" + key +
+                              "' must be a non-empty whitespace-free token");
+  }
+
+  // Serialize the payload first: the header carries its checksum.
+  std::ostringstream params;
+  WriteParameterBlock(params, parameters);
+  const std::string param_bytes = params.str();
+
+  std::ofstream out(path);
+  if (!out)
+    return NotFoundError("cannot open '" + path + "' for writing");
+  out << "after-model-artifact " << kFormatVersion << "\n";
+  out << "kind " << kind << "\n";
+  for (const auto& [key, value] : metadata)
+    out << "field " << key << " " << value << "\n";
+  out << "checksum " << ChecksumHex(Fnv1a64(param_bytes)) << "\n";
+  out << param_bytes;
+  if (!out)
+    return InternalError("short write to '" + path + "'");
+  return OkStatus();
+}
+
+Result<ModelArtifact> ModelArtifact::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return NotFoundError("cannot open artifact '" + path + "'");
+  auto fail = [&path](const std::string& what) {
+    return InvalidDataError("artifact '" + path + "': " + what);
+  };
+
+  std::string magic;
+  int version = -1;
+  if (!(in >> magic >> version) || magic != "after-model-artifact")
+    return fail("missing 'after-model-artifact' magic");
+  if (version != kFormatVersion) {
+    std::ostringstream oss;
+    oss << "format version " << version << " unsupported (reader speaks "
+        << kFormatVersion << ")";
+    return fail(oss.str());
+  }
+
+  ModelArtifact artifact;
+  std::string expected_checksum;
+  std::string keyword;
+  while (in >> keyword) {
+    if (keyword == "kind") {
+      if (!(in >> artifact.kind)) return fail("truncated 'kind' line");
+    } else if (keyword == "field") {
+      std::string key, value;
+      if (!(in >> key)) return fail("truncated 'field' line");
+      std::getline(in, value);
+      if (!value.empty() && value.front() == ' ') value.erase(0, 1);
+      artifact.metadata[key] = value;
+    } else if (keyword == "checksum") {
+      if (!(in >> expected_checksum) || expected_checksum.size() != 16)
+        return fail("malformed 'checksum' line");
+      break;  // the parameter block follows
+    } else {
+      return fail("unknown header keyword '" + keyword + "'");
+    }
+  }
+  if (artifact.kind.empty()) return fail("header is missing 'kind'");
+  if (expected_checksum.empty()) return fail("header is missing 'checksum'");
+
+  // Slurp the payload verbatim and verify its checksum before parsing.
+  in.get();  // newline ending the checksum line
+  std::ostringstream rest;
+  rest << in.rdbuf();
+  const std::string param_bytes = rest.str();
+  const std::string actual_checksum = ChecksumHex(Fnv1a64(param_bytes));
+  if (actual_checksum != expected_checksum)
+    return fail("checksum mismatch: header says " + expected_checksum +
+                ", payload hashes to " + actual_checksum +
+                " (artifact corrupted?)");
+
+  std::istringstream params(param_bytes);
+  const Status parsed = ReadParameterBlock(params, &artifact.parameters);
+  if (!parsed.ok()) return parsed.Annotate("artifact '" + path + "'");
+  return artifact;
+}
+
+Status ModelArtifact::ApplyTo(std::vector<Variable>& live) const {
+  if (parameters.size() != live.size()) {
+    std::ostringstream oss;
+    oss << "artifact holds " << parameters.size()
+        << " parameters but the model has " << live.size();
+    return InvalidDataError(oss.str());
+  }
+  for (size_t i = 0; i < live.size(); ++i) {
+    if (parameters[i].rows() != live[i].value().rows() ||
+        parameters[i].cols() != live[i].value().cols()) {
+      std::ostringstream oss;
+      oss << "parameter " << i << " shape mismatch: artifact "
+          << parameters[i].rows() << "x" << parameters[i].cols()
+          << " vs model " << live[i].value().rows() << "x"
+          << live[i].value().cols();
+      return InvalidDataError(oss.str());
+    }
+  }
+  for (size_t i = 0; i < live.size(); ++i) live[i].SetValue(parameters[i]);
+  return OkStatus();
+}
+
+std::string ModelArtifact::Field(const std::string& key) const {
+  auto it = metadata.find(key);
+  return it == metadata.end() ? std::string() : it->second;
+}
+
+int ModelArtifact::FieldInt(const std::string& key, int fallback) const {
+  const std::string value = Field(key);
+  if (value.empty()) return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(value.c_str(), &end, 10);
+  return (end && *end == '\0') ? static_cast<int>(parsed) : fallback;
+}
+
+double ModelArtifact::FieldDouble(const std::string& key,
+                                  double fallback) const {
+  const std::string value = Field(key);
+  if (value.empty()) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  return (end && *end == '\0') ? parsed : fallback;
+}
+
+}  // namespace after

@@ -1,0 +1,68 @@
+#ifndef AFTER_NN_ARTIFACT_H_
+#define AFTER_NN_ARTIFACT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "tensor/autograd.h"
+
+namespace after {
+
+/// Versioned, checksummed on-disk container for trained model weights —
+/// the train → snapshot → serve interchange format specified in
+/// docs/model_artifacts.md. The container wraps the nn/serialize
+/// parameter block with a typed header:
+///
+///   after-model-artifact <format_version>
+///   kind <model kind, e.g. POSHGNN>
+///   field <key> <value...>          (0+ lines, sorted by key)
+///   checksum <16 lowercase hex digits>
+///   after-params <count>
+///   ...                             (parameter block, nn/serialize.h)
+///
+/// The checksum is FNV-1a 64 over the exact bytes of the parameter
+/// block, so bit rot in the payload is detected before any value is
+/// parsed. Metadata keys are free-form tokens without whitespace
+/// (values may contain spaces); producers record at least the model's
+/// architecture fields so loaders can validate compatibility (see
+/// Poshgnn::ToArtifact / FrozenPoshgnn::FromArtifact in core/poshgnn.h).
+struct ModelArtifact {
+  static constexpr int kFormatVersion = 1;
+
+  /// Model family identifier; loaders refuse artifacts of foreign kinds.
+  std::string kind;
+  /// Free-form header metadata (architecture, dataset fingerprint,
+  /// training configuration). std::map keeps serialization order
+  /// deterministic, which keeps artifact bytes reproducible.
+  std::map<std::string, std::string> metadata;
+  /// Parameter values in Parameters() order of the producing model.
+  std::vector<Matrix> parameters;
+
+  /// Writes the artifact. Fails with kInvalidData when `kind` is empty
+  /// or a metadata key contains whitespace, kNotFound when the path is
+  /// not writable.
+  Status Save(const std::string& path) const;
+
+  /// Reads and validates an artifact: header shape, supported format
+  /// version, checksum match, well-formed parameter block.
+  static Result<ModelArtifact> Load(const std::string& path);
+
+  /// Copies the artifact's values into live model parameters.
+  /// kInvalidData when the count or any shape disagrees; parameters are
+  /// untouched on failure.
+  Status ApplyTo(std::vector<Variable>& live) const;
+
+  /// Convenience metadata accessors. Lookup returns empty string when
+  /// the key is absent; the typed variants return `fallback` when the
+  /// key is absent or unparsable.
+  std::string Field(const std::string& key) const;
+  int FieldInt(const std::string& key, int fallback) const;
+  double FieldDouble(const std::string& key, double fallback) const;
+};
+
+}  // namespace after
+
+#endif  // AFTER_NN_ARTIFACT_H_

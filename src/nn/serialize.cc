@@ -1,18 +1,16 @@
 #include "nn/serialize.h"
 
 #include <fstream>
+#include <sstream>
 #include <string>
 
 namespace after {
 
-bool SaveParameters(const std::string& path,
-                    const std::vector<Variable>& parameters) {
-  std::ofstream out(path);
-  if (!out) return false;
+void WriteParameterBlock(std::ostream& out,
+                         const std::vector<Matrix>& values) {
   out.precision(17);
-  out << "after-params " << parameters.size() << "\n";
-  for (const auto& p : parameters) {
-    const Matrix& value = p.value();
+  out << "after-params " << values.size() << "\n";
+  for (const auto& value : values) {
     out << value.rows() << " " << value.cols() << "\n";
     for (int r = 0; r < value.rows(); ++r) {
       for (int c = 0; c < value.cols(); ++c) {
@@ -22,6 +20,52 @@ bool SaveParameters(const std::string& path,
       out << "\n";
     }
   }
+}
+
+Status ReadParameterBlock(std::istream& in, std::vector<Matrix>* values) {
+  std::string magic;
+  size_t count = 0;
+  if (!(in >> magic >> count) || magic != "after-params")
+    return InvalidDataError("parameter block: missing 'after-params' header");
+  values->clear();
+  values->reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    int rows = 0, cols = 0;
+    if (!(in >> rows >> cols) || rows < 0 || cols < 0) {
+      std::ostringstream oss;
+      oss << "parameter " << i << "/" << count << ": bad shape line";
+      return InvalidDataError(oss.str());
+    }
+    Matrix value(rows, cols);
+    for (int r = 0; r < rows; ++r) {
+      for (int c = 0; c < cols; ++c) {
+        if (!(in >> value.At(r, c))) {
+          std::ostringstream oss;
+          oss << "parameter " << i << " (" << rows << "x" << cols
+              << "): truncated at entry (" << r << ", " << c << ")";
+          return InvalidDataError(oss.str());
+        }
+      }
+    }
+    values->push_back(std::move(value));
+  }
+  return OkStatus();
+}
+
+uint64_t Fnv1a64(const std::string& bytes) {
+  uint64_t hash = 0xCBF29CE484222325ULL;
+  for (unsigned char byte : bytes) {
+    hash ^= byte;
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+bool SaveParameters(const std::string& path,
+                    const std::vector<Variable>& parameters) {
+  std::ofstream out(path);
+  if (!out) return false;
+  WriteParameterBlock(out, SnapshotParameters(parameters));
   return static_cast<bool>(out);
 }
 
@@ -29,21 +73,16 @@ bool LoadParameters(const std::string& path,
                     std::vector<Variable>& parameters) {
   std::ifstream in(path);
   if (!in) return false;
-  std::string magic;
-  size_t count = 0;
-  if (!(in >> magic >> count) || magic != "after-params" ||
-      count != parameters.size())
-    return false;
-  for (auto& p : parameters) {
-    int rows = 0, cols = 0;
-    if (!(in >> rows >> cols)) return false;
-    if (rows != p.value().rows() || cols != p.value().cols()) return false;
-    Matrix value(rows, cols);
-    for (int r = 0; r < rows; ++r)
-      for (int c = 0; c < cols; ++c)
-        if (!(in >> value.At(r, c))) return false;
-    p.SetValue(std::move(value));
+  std::vector<Matrix> values;
+  if (!ReadParameterBlock(in, &values).ok()) return false;
+  if (values.size() != parameters.size()) return false;
+  for (size_t i = 0; i < parameters.size(); ++i) {
+    if (values[i].rows() != parameters[i].value().rows() ||
+        values[i].cols() != parameters[i].value().cols())
+      return false;
   }
+  for (size_t i = 0; i < parameters.size(); ++i)
+    parameters[i].SetValue(std::move(values[i]));
   return true;
 }
 

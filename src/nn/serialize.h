@@ -1,9 +1,12 @@
 #ifndef AFTER_NN_SERIALIZE_H_
 #define AFTER_NN_SERIALIZE_H_
 
+#include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "tensor/autograd.h"
 
 namespace after {
@@ -21,9 +24,24 @@ bool SaveParameters(const std::string& path,
 
 /// Loads values into `parameters` (same count and shapes as saved;
 /// returns false on mismatch or I/O failure, leaving parameters
-/// unspecified).
+/// untouched).
 bool LoadParameters(const std::string& path,
                     std::vector<Variable>& parameters);
+
+/// Stream-level building blocks of the parameter format, shared by
+/// Save/LoadParameters and the checksummed model-artifact container
+/// (nn/artifact.h). WriteParameterBlock emits exactly the block
+/// described above; ReadParameterBlock parses it into freshly allocated
+/// matrices (no pre-built shape expectations), returning kInvalidData
+/// with a line-level diagnostic on malformed input.
+void WriteParameterBlock(std::ostream& out,
+                         const std::vector<Matrix>& values);
+Status ReadParameterBlock(std::istream& in, std::vector<Matrix>* values);
+
+/// FNV-1a 64-bit hash of a byte string; the checksum primitive of the
+/// artifact container (docs/model_artifacts.md). Stable across
+/// platforms: the format stores parameter text, not raw doubles.
+uint64_t Fnv1a64(const std::string& bytes);
 
 /// In-memory counterpart of Save/LoadParameters: copies the current
 /// values of `parameters` so they can be restored later (last-good

@@ -1,0 +1,53 @@
+#include "serve/batcher.h"
+
+#include "common/check.h"
+
+namespace after {
+namespace serve {
+
+TickBatcher::TickBatcher(int num_rooms) : rooms_(num_rooms) {
+  AFTER_CHECK_GT(num_rooms, 0);
+}
+
+TickBatcher::Admit TickBatcher::Enqueue(
+    int room, Pending pending, const std::function<bool()>& schedule) {
+  AFTER_CHECK_GE(room, 0);
+  AFTER_CHECK_LT(room, static_cast<int>(rooms_.size()));
+  PerRoom& state = rooms_[room];
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.queue.push_back(std::move(pending));
+  if (state.drain_scheduled) return Admit::kQueued;
+  if (schedule()) {
+    state.drain_scheduled = true;
+    return Admit::kQueuedAndScheduled;
+  }
+  // Pool saturated or shut down: un-park so the caller can shed with the
+  // exactly-once completion guarantee intact.
+  state.queue.pop_back();
+  return Admit::kRejected;
+}
+
+std::vector<TickBatcher::Pending> TickBatcher::TakeBatch(int room) {
+  AFTER_CHECK_GE(room, 0);
+  AFTER_CHECK_LT(room, static_cast<int>(rooms_.size()));
+  PerRoom& state = rooms_[room];
+  std::lock_guard<std::mutex> lock(state.mutex);
+  if (state.queue.empty()) {
+    state.drain_scheduled = false;
+    return {};
+  }
+  std::vector<Pending> batch;
+  batch.swap(state.queue);
+  return batch;
+}
+
+int TickBatcher::pending(int room) const {
+  AFTER_CHECK_GE(room, 0);
+  AFTER_CHECK_LT(room, static_cast<int>(rooms_.size()));
+  const PerRoom& state = rooms_[room];
+  std::lock_guard<std::mutex> lock(state.mutex);
+  return static_cast<int>(state.queue.size());
+}
+
+}  // namespace serve
+}  // namespace after

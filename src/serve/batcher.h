@@ -1,0 +1,87 @@
+#ifndef AFTER_SERVE_BATCHER_H_
+#define AFTER_SERVE_BATCHER_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/timer.h"
+#include "serve/server_types.h"
+
+namespace after {
+namespace serve {
+
+/// In-tick request coalescing for the RecommendationServer (the
+/// GASim-style "batch the graph work per simulation step" optimization):
+/// instead of one worker task per request, requests are parked in a
+/// per-room queue and a single drain task per room takes the whole
+/// queue at once, answering every parked request against one room
+/// snapshot — one coalesced inference job per room per batching window,
+/// with duplicate targets collapsing into one forward pass.
+///
+/// Scheduling protocol (leading-edge, no artificial wait):
+///  - Enqueue() parks the request; if no drain task currently owns the
+///    room, the caller-supplied `schedule` hook is invoked *under the
+///    room lock* to submit one, so the "needs a task" decision and the
+///    submission cannot race. A request is only admitted if either a
+///    drain task already owns the room or the hook succeeds.
+///  - The drain task loops TakeBatch() until it comes back empty, which
+///    atomically releases ownership — at every instant a non-empty
+///    queue has exactly one owning task, and every admitted request is
+///    answered by some drain.
+///
+/// Latency shape: a request never waits for a tick boundary — it waits
+/// at most one in-flight batch (the room's current drain), so the
+/// batching window adapts to load: idle rooms answer immediately,
+/// saturated rooms coalesce harder.
+class TickBatcher {
+ public:
+  /// One parked request: what Submit() knew, frozen at admission.
+  struct Pending {
+    FriendRequest request;
+    Deadline deadline;
+    std::shared_ptr<std::function<void(const FriendResponse&)>> done;
+  };
+
+  enum class Admit {
+    /// Parked; an existing drain task will pick it up.
+    kQueued,
+    /// Parked, and `schedule` successfully submitted a new drain task.
+    kQueuedAndScheduled,
+    /// `schedule` failed (pool saturated / shut down); the request was
+    /// un-parked and the caller must shed it.
+    kRejected,
+  };
+
+  explicit TickBatcher(int num_rooms);
+
+  /// Parks `pending` on `room`'s queue. `schedule` must arrange for a
+  /// drain task that will call TakeBatch(room); it runs under the room
+  /// lock and must not re-enter the batcher.
+  Admit Enqueue(int room, Pending pending,
+                const std::function<bool()>& schedule);
+
+  /// Takes the room's entire queue. An empty result releases drain
+  /// ownership: the caller's task must retire and a later Enqueue will
+  /// schedule a fresh one.
+  std::vector<Pending> TakeBatch(int room);
+
+  /// Requests currently parked for the room (test/introspection only).
+  int pending(int room) const;
+
+ private:
+  struct PerRoom {
+    mutable std::mutex mutex;
+    std::vector<Pending> queue;
+    /// True while a drain task owns this room's queue.
+    bool drain_scheduled = false;
+  };
+
+  std::vector<PerRoom> rooms_;
+};
+
+}  // namespace serve
+}  // namespace after
+
+#endif  // AFTER_SERVE_BATCHER_H_

@@ -92,6 +92,16 @@ std::string ServerMetrics::DebugString() const {
                 queue_depth.load(), max_queue_depth.load(),
                 static_cast<long long>(ticks.load()));
   out += line;
+  if (batches.load() > 0) {
+    const long long jobs = static_cast<long long>(batches.load());
+    const long long reqs = static_cast<long long>(batched_requests.load());
+    std::snprintf(line, sizeof(line),
+                  "batch: %lld jobs | %lld requests (%.2f/job) | "
+                  "%lld coalesced\n",
+                  jobs, reqs, jobs > 0 ? static_cast<double>(reqs) / jobs : 0.0,
+                  static_cast<long long>(coalesced.load()));
+    out += line;
+  }
   std::snprintf(line, sizeof(line),
                 "latency ms: p50 %.3f | p95 %.3f | p99 %.3f (n=%lld)\n",
                 latency.PercentileMs(0.50), latency.PercentileMs(0.95),
@@ -109,6 +119,9 @@ void ServerMetrics::Reset() {
   fallbacks_deadline.store(0);
   fallbacks_misbehaved.store(0);
   errors.store(0);
+  batches.store(0);
+  batched_requests.store(0);
+  coalesced.store(0);
   ticks.store(0);
   queue_depth.store(0);
   max_queue_depth.store(0);

@@ -61,6 +61,14 @@ struct ServerMetrics {
   std::atomic<int64_t> fallbacks_misbehaved{0};
   /// Requests answered with kNotFound / kInvalidData (bad room or user).
   std::atomic<int64_t> errors{0};
+  /// Batched mode (ServerOptions::batch_requests): coalesced inference
+  /// jobs executed (one per room drain) and requests answered through
+  /// them.
+  std::atomic<int64_t> batches{0};
+  std::atomic<int64_t> batched_requests{0};
+  /// Requests that shared a forward pass with an earlier request for the
+  /// same (room, target) in the same batch — pure saved model work.
+  std::atomic<int64_t> coalesced{0};
   /// Room ticks published.
   std::atomic<int64_t> ticks{0};
   /// Requests currently admitted but not yet completed.

@@ -49,6 +49,11 @@ class RoomSnapshot {
   /// offline replay bit-exactly (tests/serve/determinism_test.cc).
   StepContext ContextFor(int target) const;
 
+  /// Batch counterpart used by the in-tick batcher (serve/batcher.h):
+  /// one context per target, all viewing this same snapshot, occlusion
+  /// graphs built (once) for every requested target up front.
+  std::vector<StepContext> ContextsFor(const std::vector<int>& targets) const;
+
  private:
   int tick_;
   std::vector<Vec2> positions_;

@@ -27,6 +27,14 @@ RecommendationServer::RecommendationServer(
   if (probe->thread_safe()) primary_shared_ = std::move(probe);
   pool_ = std::make_unique<ThreadPool>(options_.num_threads,
                                        options_.queue_capacity);
+  if (options_.batch_requests) {
+    // The pool queue now carries at most one drain task per room (plus
+    // headroom is irrelevant: admission control moves to the explicit
+    // queue_depth gate in SubmitBatched), so room count must fit.
+    AFTER_CHECK_GE(options_.queue_capacity,
+                   static_cast<int>(rooms_.size()));
+    batcher_ = std::make_unique<TickBatcher>(static_cast<int>(rooms_.size()));
+  }
 }
 
 RecommendationServer::~RecommendationServer() { Shutdown(); }
@@ -54,6 +62,10 @@ void RecommendationServer::Submit(
   auto done_ptr =
       std::make_shared<std::function<void(const FriendResponse&)>>(
           std::move(done));
+  if (batcher_ != nullptr) {
+    SubmitBatched(request, deadline, std::move(done_ptr));
+    return;
+  }
   const bool admitted =
       pool_->TrySubmit([this, request, deadline, done_ptr] {
         const FriendResponse response = Process(request, deadline);
@@ -101,6 +113,194 @@ Status RecommendationServer::TickRoom(int room) {
 
 void RecommendationServer::TickAll() {
   for (int r = 0; r < num_rooms(); ++r) (void)TickRoom(r);
+}
+
+void RecommendationServer::SubmitBatched(
+    const FriendRequest& request, const Deadline& deadline,
+    std::shared_ptr<std::function<void(const FriendResponse&)>> done) {
+  auto answer_inline = [&](FriendResponse response) {
+    metrics_.queue_depth.fetch_sub(1, std::memory_order_relaxed);
+    (*done)(response);
+  };
+
+  // The batcher parks per room, so a nonexistent room is answered here
+  // (the per-request path reports it from Process instead).
+  if (request.room < 0 || request.room >= num_rooms()) {
+    metrics_.errors.fetch_add(1, std::memory_order_relaxed);
+    FriendResponse response;
+    std::ostringstream oss;
+    oss << "room " << request.room << " does not exist";
+    response.status = NotFoundError(oss.str());
+    response.latency_ms = deadline.ElapsedMs();
+    metrics_.latency.RecordMs(response.latency_ms);
+    answer_inline(std::move(response));
+    return;
+  }
+
+  // Admission control: the pool queue only carries drain tasks in this
+  // mode, so the request bound is enforced on the live depth gauge.
+  if (metrics_.queue_depth.load(std::memory_order_relaxed) >
+      options_.queue_capacity) {
+    metrics_.shed.fetch_add(1, std::memory_order_relaxed);
+    FriendResponse response;
+    std::ostringstream oss;
+    oss << "request queue full (capacity " << options_.queue_capacity
+        << "); load shed";
+    response.status = ResourceExhaustedError(oss.str());
+    answer_inline(std::move(response));
+    return;
+  }
+
+  TickBatcher::Pending pending;
+  pending.request = request;
+  pending.deadline = deadline;
+  pending.done = done;  // keep `done` alive for the rejection path
+  const int room = request.room;
+  const TickBatcher::Admit admitted = batcher_->Enqueue(
+      room, std::move(pending), [this, room] {
+        return pool_->TrySubmit([this, room] { DrainRoom(room); });
+      });
+  if (admitted == TickBatcher::Admit::kRejected) {
+    metrics_.shed.fetch_add(1, std::memory_order_relaxed);
+    FriendResponse response;
+    response.status = ResourceExhaustedError(
+        "worker pool rejected the drain task; load shed");
+    answer_inline(std::move(response));
+  }
+}
+
+void RecommendationServer::DrainRoom(int room) {
+  // Loop until the queue is observed empty: TakeBatch's empty return is
+  // what releases drain ownership, so no admitted request is stranded.
+  while (true) {
+    std::vector<TickBatcher::Pending> batch = batcher_->TakeBatch(room);
+    if (batch.empty()) return;
+    ProcessBatch(room, std::move(batch));
+  }
+}
+
+void RecommendationServer::ProcessBatch(
+    int room, std::vector<TickBatcher::Pending> batch) {
+  Room& room_ref = *rooms_[room];
+  const int n = room_ref.num_users();
+  const std::shared_ptr<const RoomSnapshot> snapshot = room_ref.snapshot();
+  metrics_.batches.fetch_add(1, std::memory_order_relaxed);
+  metrics_.batched_requests.fetch_add(static_cast<int64_t>(batch.size()),
+                                      std::memory_order_relaxed);
+
+  auto respond = [this](const TickBatcher::Pending& pending,
+                        FriendResponse response) {
+    response.latency_ms = pending.deadline.ElapsedMs();
+    metrics_.latency.RecordMs(response.latency_ms);
+    if (response.status.ok())
+      metrics_.responses_ok.fetch_add(1, std::memory_order_relaxed);
+    metrics_.queue_depth.fetch_sub(1, std::memory_order_relaxed);
+    (*pending.done)(response);
+  };
+
+  // Ladder steps 1-2 and validation happen per request before any model
+  // work; survivors coalesce by target so duplicate requests for one
+  // user share a single forward pass.
+  struct Group {
+    int user = 0;
+    std::vector<size_t> members;  // indices into `batch`
+  };
+  std::vector<Group> groups;
+  std::unordered_map<int, size_t> group_of_user;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const TickBatcher::Pending& pending = batch[i];
+    if (pending.deadline.Expired()) {
+      metrics_.timeouts.fetch_add(1, std::memory_order_relaxed);
+      FriendResponse response;
+      std::ostringstream oss;
+      oss << "deadline expired after " << pending.deadline.ElapsedMs()
+          << " ms in batch queue";
+      response.status = TimeoutError(oss.str());
+      respond(pending, std::move(response));
+      continue;
+    }
+    const int user = pending.request.user;
+    if (user < 0 || user >= n) {
+      metrics_.errors.fetch_add(1, std::memory_order_relaxed);
+      FriendResponse response;
+      std::ostringstream oss;
+      oss << "user " << user << " out of range [0, " << n << ") in room "
+          << room;
+      response.status = InvalidDataError(oss.str());
+      respond(pending, std::move(response));
+      continue;
+    }
+    auto [it, inserted] = group_of_user.emplace(user, groups.size());
+    if (inserted) groups.push_back(Group{user, {}});
+    groups[it->second].members.push_back(i);
+  }
+  if (groups.empty()) return;
+
+  std::vector<int> targets;
+  targets.reserve(groups.size());
+  for (const Group& group : groups) targets.push_back(group.user);
+  const std::vector<StepContext> contexts = snapshot->ContextsFor(targets);
+
+  // One coalesced inference job for the whole batch. A shared primary
+  // answers every distinct target in one RecommendBatch call; per-stream
+  // primaries still benefit from coalescing (one Recommend per distinct
+  // target instead of one per request).
+  std::vector<std::vector<bool>> answers;
+  if (primary_shared_ != nullptr) {
+    answers = primary_shared_->RecommendBatch(contexts);
+  } else {
+    answers.reserve(groups.size());
+    for (size_t g = 0; g < groups.size(); ++g) {
+      StreamModel& stream = StreamFor(room, groups[g].user);
+      std::lock_guard<std::mutex> lock(stream.mutex);
+      answers.push_back(stream.model->Recommend(contexts[g]));
+    }
+  }
+  AFTER_CHECK_EQ(answers.size(), groups.size());
+
+  for (size_t g = 0; g < groups.size(); ++g) {
+    const Group& group = groups[g];
+    const std::vector<bool>& primary_answer = answers[g];
+    const bool misbehaved = static_cast<int>(primary_answer.size()) != n;
+    metrics_.coalesced.fetch_add(
+        static_cast<int64_t>(group.members.size()) - 1,
+        std::memory_order_relaxed);
+    // Built lazily: most groups never need the fallback.
+    std::vector<bool> fallback_answer;
+    for (size_t index : group.members) {
+      const TickBatcher::Pending& pending = batch[index];
+      FriendResponse response;
+      response.tick = snapshot->tick();
+      const bool missed_deadline = pending.deadline.Expired();
+      std::vector<bool> recommended;
+      if (misbehaved || missed_deadline) {
+        // Ladder step 3, batch edition: answer from the cheap spatial
+        // fallback instead of failing the request.
+        if (fallback_answer.empty())
+          fallback_answer = fallback_.Recommend(contexts[g]);
+        recommended = fallback_answer;
+        response.used_fallback = true;
+        if (misbehaved)
+          metrics_.fallbacks_misbehaved.fetch_add(1,
+                                                  std::memory_order_relaxed);
+        else
+          metrics_.fallbacks_deadline.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        recommended = primary_answer;
+      }
+      if (static_cast<int>(recommended.size()) != n) {
+        metrics_.errors.fetch_add(1, std::memory_order_relaxed);
+        response.status =
+            InternalError("fallback produced a wrong-size answer");
+        respond(pending, std::move(response));
+        continue;
+      }
+      recommended[pending.request.user] = false;
+      response.recommended = std::move(recommended);
+      response.status = OkStatus();
+      respond(pending, std::move(response));
+    }
+  }
 }
 
 RecommendationServer::StreamModel& RecommendationServer::StreamFor(

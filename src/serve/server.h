@@ -11,44 +11,14 @@
 #include "common/status.h"
 #include "common/timer.h"
 #include "core/recommender.h"
+#include "serve/batcher.h"
 #include "serve/metrics.h"
 #include "serve/room.h"
+#include "serve/server_types.h"
 #include "serve/thread_pool.h"
 
 namespace after {
 namespace serve {
-
-/// One online friend-discovery query: "which users should be rendered
-/// for `user` in `room` right now?" (Definition 1 at the current tick).
-struct FriendRequest {
-  int room = 0;
-  int user = 0;
-  /// Latency budget in milliseconds, measured from admission (so queue
-  /// wait counts). 0 = use the server default; < 0 = no deadline.
-  double deadline_ms = 0.0;
-};
-
-struct FriendResponse {
-  /// OK (possibly degraded, see used_fallback), kTimeout (deadline
-  /// expired while queued), kResourceExhausted (shed at admission),
-  /// kNotFound / kInvalidData (bad room / user).
-  Status status;
-  /// recommended[w] == true => render w for the requesting user. The
-  /// requesting user's own slot is always false. Empty on error.
-  std::vector<bool> recommended;
-  /// True when the answer came from the degradation fallback because the
-  /// primary model missed the deadline or misbehaved.
-  bool used_fallback = false;
-  /// Tick of the room snapshot the answer was computed against.
-  int tick = -1;
-  /// End-to-end latency (admission -> response), milliseconds.
-  double latency_ms = 0.0;
-};
-
-/// Creates primary-model instances. Called once at server construction
-/// to probe capabilities, then (for models whose thread_safe() is false)
-/// once per (room, user) stream on first request.
-using RecommenderFactory = std::function<std::unique_ptr<Recommender>()>;
 
 struct ServerOptions {
   int num_threads = 4;
@@ -60,6 +30,15 @@ struct ServerOptions {
   double default_deadline_ms = 50.0;
   /// Display budget of the NearestRecommender degradation fallback.
   int fallback_k = 10;
+  /// In-tick request batching (serve/batcher.h): park requests per room
+  /// and answer each room's whole queue in one coalesced inference job
+  /// against a single snapshot, with duplicate targets sharing one
+  /// forward pass. Deadlines are still honored per request (expired
+  /// entries are answered kTimeout before model work, and entries whose
+  /// deadline passes during the batch get the fallback answer). Off by
+  /// default: the per-request path remains the latency-optimal choice
+  /// for idle rooms; batching is the throughput choice under load.
+  bool batch_requests = false;
 };
 
 /// In-process online serving runtime: shards N conference rooms across a
@@ -126,6 +105,14 @@ class RecommendationServer {
                          const Deadline& deadline);
   StreamModel& StreamFor(int room, int user);
 
+  /// Batched path (options_.batch_requests): Submit parks the request in
+  /// the TickBatcher; DrainRoom loops ProcessBatch over whatever queued.
+  void SubmitBatched(
+      const FriendRequest& request, const Deadline& deadline,
+      std::shared_ptr<std::function<void(const FriendResponse&)>> done);
+  void DrainRoom(int room);
+  void ProcessBatch(int room, std::vector<TickBatcher::Pending> batch);
+
   ServerOptions options_;
   std::vector<std::unique_ptr<Room>> rooms_;
   RecommenderFactory factory_;
@@ -139,6 +126,8 @@ class RecommendationServer {
   NearestRecommender fallback_;
   ServerMetrics metrics_;
   std::unique_ptr<ThreadPool> pool_;
+  /// Present iff options_.batch_requests.
+  std::unique_ptr<TickBatcher> batcher_;
 };
 
 }  // namespace serve

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <deque>
+
 #include "core/evaluator.h"
 #include "core/loss.h"
 #include "data/dataset.h"
@@ -199,6 +201,136 @@ TEST(PoshgnnTest, OnlyPdrAblationIgnoresMiaNormalization) {
     EXPECT_DOUBLE_EQ(agg.delta.At(w, 1), 0.0);
     EXPECT_DOUBLE_EQ(agg.delta.At(w, 2), 0.0);
   }
+}
+
+// Bundles a StepContext with the occlusion graph it points into, so
+// the graph outlives the context in test helpers.
+struct BoundContext {
+  BoundContext(const Dataset& dataset, int session, int t, int target)
+      : occlusion(BuildOcclusionGraph(
+            dataset.sessions[session].PositionsAt(t), target,
+            dataset.sessions[session].body_radius())) {
+    const XrWorld& world = dataset.sessions[session];
+    context.t = t;
+    context.target = target;
+    context.positions = &world.PositionsAt(t);
+    context.occlusion = &occlusion;
+    context.interfaces = &world.interfaces();
+    context.preference = &dataset.preference;
+    context.social_presence = &dataset.social_presence;
+    context.body_radius = world.body_radius();
+  }
+  OcclusionGraph occlusion;
+  StepContext context;
+};
+
+Poshgnn TrainedModel(const Dataset& dataset) {
+  Poshgnn model(ModelConfig());
+  TrainOptions train;
+  train.epochs = 4;
+  train.targets_per_epoch = 3;
+  train.seed = 21;
+  model.Train(dataset, train);
+  EXPECT_TRUE(model.last_train_status().ok());
+  return model;
+}
+
+TEST(FrozenPoshgnnTest, BitExactAgainstMutableAtSessionStart) {
+  const Dataset dataset = GenerateTimikLike(TinyConfig());
+  Poshgnn mutable_model = TrainedModel(dataset);
+  FrozenPoshgnn frozen(mutable_model);
+  EXPECT_TRUE(frozen.thread_safe());
+  EXPECT_FALSE(mutable_model.thread_safe());
+  EXPECT_EQ(frozen.name(), "POSHGNN (frozen)");
+
+  // Every frozen Recommend is a session-start step, so it must match
+  // the mutable model's first post-BeginSession recommendation exactly.
+  for (int target : {0, 3, 11}) {
+    BoundContext bound(dataset, 0, 0, target);
+    mutable_model.BeginSession(dataset.num_users(), target);
+    const std::vector<bool> want = mutable_model.Recommend(bound.context);
+    const std::vector<bool> got = frozen.Recommend(bound.context);
+    EXPECT_EQ(got, want) << "target " << target;
+  }
+}
+
+TEST(FrozenPoshgnnTest, ArtifactFileRoundTripPreservesOutputs) {
+  const Dataset dataset = GenerateTimikLike(TinyConfig());
+  Poshgnn model = TrainedModel(dataset);
+  const std::string path =
+      std::string(::testing::TempDir()) + "/poshgnn_roundtrip.after";
+  ASSERT_TRUE(model.ToArtifact().Save(path).ok());
+
+  auto reloaded = FrozenPoshgnn::FromArtifactFile(path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  FrozenPoshgnn direct(model);
+  for (int target : {2, 9}) {
+    BoundContext bound(dataset, 1, 0, target);
+    EXPECT_EQ(reloaded.value()->Recommend(bound.context),
+              direct.Recommend(bound.context))
+        << "target " << target;
+  }
+}
+
+TEST(FrozenPoshgnnTest, RecommendBatchMatchesSequentialRecommend) {
+  const Dataset dataset = GenerateTimikLike(TinyConfig());
+  Poshgnn model = TrainedModel(dataset);
+  FrozenPoshgnn frozen(model);
+
+  // Deque keeps each BoundContext (and the occlusion graph its context
+  // points into) at a stable address while we append.
+  std::deque<BoundContext> bound;
+  std::vector<StepContext> contexts;
+  for (int target : {0, 5, 5, 13}) {
+    bound.emplace_back(dataset, 0, 0, target);
+  }
+  for (const BoundContext& b : bound) contexts.push_back(b.context);
+
+  const std::vector<std::vector<bool>> batched =
+      frozen.RecommendBatch(contexts);
+  ASSERT_EQ(batched.size(), contexts.size());
+  for (size_t i = 0; i < contexts.size(); ++i) {
+    EXPECT_EQ(batched[i], frozen.Recommend(contexts[i])) << "slot " << i;
+  }
+}
+
+TEST(FrozenPoshgnnTest, FromArtifactRejectsMismatchedArchitecture) {
+  const Dataset dataset = GenerateTimikLike(TinyConfig());
+  Poshgnn model = TrainedModel(dataset);
+  ModelArtifact artifact = model.ToArtifact();
+
+  ModelArtifact wrong_kind = artifact;
+  wrong_kind.kind = "SOMETHING_ELSE";
+  EXPECT_EQ(FrozenPoshgnn::FromArtifact(wrong_kind).status().code(),
+            StatusCode::kInvalidData);
+
+  ModelArtifact missing_field = artifact;
+  missing_field.metadata.erase("hidden_dim");
+  EXPECT_EQ(FrozenPoshgnn::FromArtifact(missing_field).status().code(),
+            StatusCode::kInvalidData);
+
+  // hidden_dim lies about the parameter shapes: LoadArtifact must
+  // reject during the shape check rather than corrupt the model.
+  ModelArtifact wrong_dim = artifact;
+  wrong_dim.metadata["hidden_dim"] = "16";
+  EXPECT_EQ(FrozenPoshgnn::FromArtifact(wrong_dim).status().code(),
+            StatusCode::kInvalidData);
+}
+
+TEST(FrozenPoshgnnTest, ConfigFromArtifactRestoresArchitecture) {
+  PoshgnnConfig config = ModelConfig();
+  config.use_lwp = false;
+  config.beta = 0.75;
+  config.max_recommendations = 4;
+  Poshgnn model(config);
+
+  auto restored = PoshgnnConfigFromArtifact(model.ToArtifact());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.value().hidden_dim, config.hidden_dim);
+  EXPECT_FALSE(restored.value().use_lwp);
+  EXPECT_TRUE(restored.value().use_mia);
+  EXPECT_DOUBLE_EQ(restored.value().beta, 0.75);
+  EXPECT_EQ(restored.value().max_recommendations, 4);
 }
 
 TEST(PoshgnnTest, DeterministicGivenSeeds) {

@@ -1,0 +1,187 @@
+#include "nn/artifact.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/rng.h"
+#include "nn/serialize.h"
+
+namespace after {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+ModelArtifact MakeArtifact(uint64_t seed = 11) {
+  Rng rng(seed);
+  ModelArtifact artifact;
+  artifact.kind = "POSHGNN";
+  artifact.metadata["hidden_dim"] = "8";
+  artifact.metadata["use_mia"] = "1";
+  artifact.metadata["beta"] = "0.25";
+  artifact.metadata["note"] = "metadata values may contain spaces";
+  artifact.parameters.push_back(Matrix::Randn(4, 8, 0.3, rng));
+  artifact.parameters.push_back(Matrix::Randn(8, 1, 0.3, rng));
+  artifact.parameters.push_back(Matrix::Randn(1, 8, 0.3, rng));
+  return artifact;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  return oss.str();
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+}
+
+TEST(ModelArtifactTest, RoundTripIsBitExact) {
+  const std::string path = TempPath("roundtrip.after");
+  const ModelArtifact original = MakeArtifact();
+  ASSERT_TRUE(original.Save(path).ok());
+
+  auto loaded = ModelArtifact::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const ModelArtifact& artifact = loaded.value();
+  EXPECT_EQ(artifact.kind, "POSHGNN");
+  EXPECT_EQ(artifact.metadata, original.metadata);
+  ASSERT_EQ(artifact.parameters.size(), original.parameters.size());
+  for (size_t i = 0; i < artifact.parameters.size(); ++i) {
+    const Matrix& a = artifact.parameters[i];
+    const Matrix& b = original.parameters[i];
+    ASSERT_EQ(a.rows(), b.rows());
+    ASSERT_EQ(a.cols(), b.cols());
+    for (int r = 0; r < a.rows(); ++r)
+      for (int c = 0; c < a.cols(); ++c)
+        EXPECT_EQ(a.At(r, c), b.At(r, c)) << "param " << i;
+  }
+}
+
+TEST(ModelArtifactTest, FieldAccessors) {
+  const ModelArtifact artifact = MakeArtifact();
+  EXPECT_EQ(artifact.Field("note"), "metadata values may contain spaces");
+  EXPECT_EQ(artifact.Field("absent"), "");
+  EXPECT_EQ(artifact.FieldInt("hidden_dim", -1), 8);
+  EXPECT_EQ(artifact.FieldInt("absent", -1), -1);
+  EXPECT_EQ(artifact.FieldInt("note", -1), -1);  // unparsable
+  EXPECT_DOUBLE_EQ(artifact.FieldDouble("beta", 0.0), 0.25);
+  EXPECT_DOUBLE_EQ(artifact.FieldDouble("absent", 0.5), 0.5);
+}
+
+TEST(ModelArtifactTest, CorruptedChecksumIsRejected) {
+  const std::string path = TempPath("corrupt.after");
+  ASSERT_TRUE(MakeArtifact().Save(path).ok());
+  // Flip one digit of one parameter value: the header checksum no
+  // longer matches the payload.
+  std::string content = ReadFile(path);
+  const size_t pos = content.rfind('7');
+  ASSERT_NE(pos, std::string::npos);
+  content[pos] = '3';
+  WriteFile(path, content);
+
+  auto loaded = ModelArtifact::Load(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidData);
+  EXPECT_NE(loaded.status().message().find("checksum"), std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST(ModelArtifactTest, ForgedChecksumFailsOnMalformedPayload) {
+  const std::string path = TempPath("truncated.after");
+  ASSERT_TRUE(MakeArtifact().Save(path).ok());
+  // Truncate the payload AND rewrite the checksum to match the
+  // truncated bytes: checksum passes, block parsing must still reject.
+  std::string content = ReadFile(path);
+  const size_t params_pos = content.find("after-params");
+  ASSERT_NE(params_pos, std::string::npos);
+  std::string payload = content.substr(params_pos);
+  payload.resize(payload.size() / 2);
+  std::ostringstream checksum;
+  checksum << std::hex;
+  checksum.width(16);
+  checksum.fill('0');
+  checksum << Fnv1a64(payload);
+  const size_t checksum_pos = content.find("checksum ");
+  ASSERT_NE(checksum_pos, std::string::npos);
+  std::string forged = content.substr(0, checksum_pos);
+  forged += "checksum " + checksum.str() + "\n" + payload;
+  WriteFile(path, forged);
+
+  auto loaded = ModelArtifact::Load(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidData);
+}
+
+TEST(ModelArtifactTest, UnsupportedVersionIsRejected) {
+  const std::string path = TempPath("version.after");
+  ASSERT_TRUE(MakeArtifact().Save(path).ok());
+  std::string content = ReadFile(path);
+  content.replace(content.find("after-model-artifact 1"),
+                  sizeof("after-model-artifact 1") - 1,
+                  "after-model-artifact 2");
+  WriteFile(path, content);
+
+  auto loaded = ModelArtifact::Load(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidData);
+  EXPECT_NE(loaded.status().message().find("version"), std::string::npos);
+}
+
+TEST(ModelArtifactTest, MissingFileIsNotFound) {
+  auto loaded = ModelArtifact::Load(TempPath("does-not-exist.after"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ModelArtifactTest, ApplyToRejectsWrongShapes) {
+  const ModelArtifact artifact = MakeArtifact();
+
+  // Count mismatch.
+  std::vector<Variable> too_few = {Variable::Parameter(Matrix(4, 8))};
+  EXPECT_EQ(artifact.ApplyTo(too_few).code(), StatusCode::kInvalidData);
+
+  // Shape mismatch: parameters must be untouched on failure.
+  std::vector<Variable> wrong_shape = {
+      Variable::Parameter(Matrix(4, 8, 7.0)),
+      Variable::Parameter(Matrix(8, 2, 7.0)),  // artifact has 8x1
+      Variable::Parameter(Matrix(1, 8, 7.0)),
+  };
+  EXPECT_EQ(artifact.ApplyTo(wrong_shape).code(), StatusCode::kInvalidData);
+  EXPECT_EQ(wrong_shape[0].value().At(0, 0), 7.0);
+
+  // Matching shapes load bit-exactly.
+  std::vector<Variable> live = {
+      Variable::Parameter(Matrix(4, 8)),
+      Variable::Parameter(Matrix(8, 1)),
+      Variable::Parameter(Matrix(1, 8)),
+  };
+  ASSERT_TRUE(artifact.ApplyTo(live).ok());
+  for (size_t i = 0; i < live.size(); ++i) {
+    for (int r = 0; r < live[i].value().rows(); ++r)
+      for (int c = 0; c < live[i].value().cols(); ++c)
+        EXPECT_EQ(live[i].value().At(r, c),
+                  artifact.parameters[i].At(r, c));
+  }
+}
+
+TEST(ModelArtifactTest, SaveValidatesHeaderTokens) {
+  ModelArtifact artifact = MakeArtifact();
+  artifact.kind = "two words";
+  EXPECT_EQ(artifact.Save(TempPath("bad.after")).code(),
+            StatusCode::kInvalidData);
+  artifact.kind = "POSHGNN";
+  artifact.metadata["bad key"] = "x";
+  EXPECT_EQ(artifact.Save(TempPath("bad.after")).code(),
+            StatusCode::kInvalidData);
+}
+
+}  // namespace
+}  // namespace after

@@ -1,0 +1,171 @@
+// Trains the primary POSHGNN once and snapshots the weights into a
+// versioned, checksummed model artifact (docs/model_artifacts.md) —
+// the "train" leg of the train -> snapshot -> serve workflow. The
+// artifact is consumed by FrozenPoshgnn::FromArtifactFile (lock-free
+// shared serving) and by `bench/serve_throughput --weights=<path>`.
+//
+// Usage:
+//   train_poshgnn --out=weights.after                # defaults below
+//   train_poshgnn --out=w.after --users=60 --epochs=12 --verbose
+// Flags:
+//   --out=PATH          artifact destination (required)
+//   --dataset=KIND      timik | smm | hub (default timik)
+//   --users=N           population size (default 60, matching the
+//                       serve bench's room population)
+//   --steps=N --sessions=N --dataset_seed=N   generator knobs
+//   --epochs=N --lr=F --targets=N --train_seed=N   trainer knobs
+//   --hidden=N --beta=F --alpha=F --model_seed=N   architecture knobs
+//   --verbose           per-epoch loss lines
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/poshgnn.h"
+#include "data/dataset.h"
+#include "nn/artifact.h"
+
+namespace after {
+namespace {
+
+struct Args {
+  std::string out;
+  std::string dataset_kind = "timik";
+  DatasetConfig data;
+  TrainOptions train;
+  PoshgnnConfig model;
+  bool verbose = false;
+};
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  args->data.num_users = 60;
+  args->data.num_steps = 24;
+  args->data.num_sessions = 2;
+  args->data.seed = 4242;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    int value = 0;
+    double fvalue = 0.0;
+    char buffer[256] = {};
+    if (std::sscanf(arg, "--out=%255s", buffer) == 1) {
+      args->out = buffer;
+    } else if (std::sscanf(arg, "--dataset=%255s", buffer) == 1) {
+      args->dataset_kind = buffer;
+    } else if (std::sscanf(arg, "--users=%d", &value) == 1) {
+      args->data.num_users = value;
+    } else if (std::sscanf(arg, "--steps=%d", &value) == 1) {
+      args->data.num_steps = value;
+    } else if (std::sscanf(arg, "--sessions=%d", &value) == 1) {
+      args->data.num_sessions = value;
+    } else if (std::sscanf(arg, "--dataset_seed=%d", &value) == 1) {
+      args->data.seed = static_cast<uint64_t>(value);
+    } else if (std::sscanf(arg, "--epochs=%d", &value) == 1) {
+      args->train.epochs = value;
+    } else if (std::sscanf(arg, "--lr=%lf", &fvalue) == 1) {
+      args->train.learning_rate = fvalue;
+    } else if (std::sscanf(arg, "--targets=%d", &value) == 1) {
+      args->train.targets_per_epoch = value;
+    } else if (std::sscanf(arg, "--train_seed=%d", &value) == 1) {
+      args->train.seed = static_cast<uint64_t>(value);
+    } else if (std::sscanf(arg, "--hidden=%d", &value) == 1) {
+      args->model.hidden_dim = value;
+    } else if (std::sscanf(arg, "--beta=%lf", &fvalue) == 1) {
+      args->model.beta = fvalue;
+    } else if (std::sscanf(arg, "--alpha=%lf", &fvalue) == 1) {
+      args->model.alpha = fvalue;
+    } else if (std::sscanf(arg, "--model_seed=%d", &value) == 1) {
+      args->model.seed = static_cast<uint64_t>(value);
+    } else if (std::strcmp(arg, "--verbose") == 0) {
+      args->verbose = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      return false;
+    }
+  }
+  if (args->out.empty()) {
+    std::fprintf(stderr, "--out=PATH is required\n");
+    return false;
+  }
+  return true;
+}
+
+int Main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return 1;
+
+  std::printf("[train_poshgnn] generating %s-like dataset (%d users, "
+              "%d steps, %d sessions, seed %llu)...\n",
+              args.dataset_kind.c_str(), args.data.num_users,
+              args.data.num_steps, args.data.num_sessions,
+              static_cast<unsigned long long>(args.data.seed));
+  Dataset dataset;
+  if (args.dataset_kind == "timik") {
+    dataset = GenerateTimikLike(args.data);
+  } else if (args.dataset_kind == "smm") {
+    dataset = GenerateSmmLike(args.data);
+  } else if (args.dataset_kind == "hub") {
+    dataset = GenerateHubsLike(args.data);
+  } else {
+    std::fprintf(stderr, "unknown --dataset kind '%s'\n",
+                 args.dataset_kind.c_str());
+    return 1;
+  }
+  const uint64_t fingerprint = DatasetFingerprint(dataset);
+  std::printf("[train_poshgnn] dataset fingerprint %016llx\n",
+              static_cast<unsigned long long>(fingerprint));
+
+  Poshgnn model(args.model);
+  args.train.verbose = args.verbose;
+  std::printf("[train_poshgnn] training %s for %d epochs (lr %g, "
+              "%d targets/epoch)...\n",
+              model.name().c_str(), args.train.epochs,
+              args.train.learning_rate, args.train.targets_per_epoch);
+  model.Train(dataset, args.train);
+  if (!model.last_train_status().ok()) {
+    std::fprintf(stderr, "[train_poshgnn] training failed: %s\n",
+                 model.last_train_status().ToString().c_str());
+    return 1;
+  }
+  std::printf("[train_poshgnn] final epoch loss %.6f (skipped %d, "
+              "rollbacks %d)\n",
+              model.last_training_loss(), model.train_steps_skipped(),
+              model.train_rollbacks());
+
+  ModelArtifact artifact = model.ToArtifact();
+  char hex[32];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  artifact.metadata["dataset_kind"] = args.dataset_kind;
+  artifact.metadata["dataset_fingerprint"] = hex;
+  artifact.metadata["dataset_users"] = std::to_string(args.data.num_users);
+  artifact.metadata["train_epochs"] = std::to_string(args.train.epochs);
+  artifact.metadata["train_lr"] = std::to_string(args.train.learning_rate);
+  artifact.metadata["train_seed"] = std::to_string(args.train.seed);
+  artifact.metadata["final_loss"] = std::to_string(model.last_training_loss());
+
+  const Status saved = artifact.Save(args.out);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "[train_poshgnn] save failed: %s\n",
+                 saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("[train_poshgnn] wrote %zu-parameter artifact to %s\n",
+              artifact.parameters.size(), args.out.c_str());
+
+  // Round-trip sanity: the file just written must reconstruct a frozen
+  // model (same header validation path the server will run).
+  auto frozen = FrozenPoshgnn::FromArtifactFile(args.out);
+  if (!frozen.ok()) {
+    std::fprintf(stderr, "[train_poshgnn] verification reload failed: %s\n",
+                 frozen.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("[train_poshgnn] artifact verified: loads as %s\n",
+              frozen.value()->name().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace after
+
+int main(int argc, char** argv) { return after::Main(argc, argv); }
