@@ -1,0 +1,369 @@
+// Closed-loop load generator for the networked serving runtime: the TCP
+// counterpart of serve_throughput. Each client owns one NetClient
+// connection and issues its next FriendRequest as soon as the previous
+// answer lands, so the client count is the offered-load knob and every
+// request is accounted for — a request either gets a wire response (OK,
+// shed, timeout, unavailable, ...) or a client-side transport error;
+// nothing is silently lost.
+//
+// Two targets:
+//   --port=N [--host=H]   drive an already-running fleet front
+//                         (tools/shard_router or a single serve_shard)
+//   --shards=N            self-contained: spin N in-process shard
+//                         servers + a router front over real sockets,
+//                         drive it, tear it down (the CI bench smoke)
+// In self-contained mode, --kill_shard_ms=T kills shard 0 after T ms to
+// demonstrate retry-next-shard failover under fire.
+//
+// Flags: --clients=N --requests=N --rooms=N --users=N --deadline_ms=F
+//        --threads=N (self-contained: worker threads per shard)
+//        --json=PATH (write a BENCH_serve.json-style summary)
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/poshgnn.h"
+#include "data/dataset.h"
+#include "serve/metrics.h"
+#include "serve/net_client.h"
+#include "serve/net_server.h"
+#include "serve/router.h"
+#include "serve/server.h"
+#include "serve/thread_pool.h"
+
+namespace after {
+namespace {
+
+struct Tally {
+  std::atomic<long long> ok{0};
+  std::atomic<long long> fallbacks{0};
+  std::atomic<long long> shed{0};
+  std::atomic<long long> timeouts{0};
+  std::atomic<long long> unavailable{0};
+  std::atomic<long long> errors{0};  // any other status / protocol error
+  std::atomic<long long> reconnects{0};
+  serve::LatencyHistogram latency;
+
+  long long accounted() const {
+    return ok.load() + shed.load() + timeouts.load() + unavailable.load() +
+           errors.load();
+  }
+};
+
+void Record(Tally* tally, const Status& status, bool used_fallback,
+            double rtt_ms) {
+  tally->latency.RecordMs(rtt_ms);
+  switch (status.code()) {
+    case StatusCode::kOk:
+      tally->ok.fetch_add(1, std::memory_order_relaxed);
+      if (used_fallback)
+        tally->fallbacks.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case StatusCode::kResourceExhausted:
+      tally->shed.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case StatusCode::kTimeout:
+      tally->timeouts.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case StatusCode::kUnavailable:
+      tally->unavailable.fetch_add(1, std::memory_order_relaxed);
+      break;
+    default:
+      tally->errors.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+}
+
+/// One closed-loop client: reconnects on transport failure (counting
+/// it) so a mid-run backend death shows up as kUnavailable answers, not
+/// as a wedged benchmark.
+void ClientLoop(const std::string& host, int port, int requests, int rooms,
+                int users, double deadline_ms, uint64_t seed, Tally* tally) {
+  Rng rng(seed);
+  std::unique_ptr<serve::NetClient> client;
+  for (int i = 0; i < requests; ++i) {
+    if (client == nullptr || client->broken()) {
+      auto connected = serve::NetClient::Connect(host, port);
+      if (!connected.ok()) {
+        Record(tally, connected.status(), false, 0.0);
+        client.reset();
+        continue;
+      }
+      client = std::move(connected).value();
+      if (i > 0) tally->reconnects.fetch_add(1, std::memory_order_relaxed);
+    }
+    serve::FriendRequest request;
+    request.room = rng.UniformInt(rooms);
+    request.user = rng.UniformInt(users);
+    request.deadline_ms = deadline_ms;
+    WallTimer rtt;
+    auto result = client->Call(request);
+    if (result.ok())
+      Record(tally, result.value().status, result.value().used_fallback,
+             rtt.ElapsedMs());
+    else
+      Record(tally, result.status(), false, rtt.ElapsedMs());
+  }
+}
+
+/// Self-contained fleet: N shard servers plus a router front, all over
+/// real loopback sockets in this process.
+struct LocalFleet {
+  Dataset dataset;
+  std::vector<std::unique_ptr<serve::RecommendationServer>> shards;
+  std::vector<std::unique_ptr<serve::NetServer>> shard_nets;
+  std::unique_ptr<serve::ShardRouter> router;
+  std::unique_ptr<serve::ThreadPool> router_pool;
+  std::unique_ptr<serve::NetServer> router_net;
+  std::atomic<bool> stop{false};
+  std::thread ticker;
+
+  ~LocalFleet() {
+    stop.store(true);
+    if (ticker.joinable()) ticker.join();
+    if (router_net) router_net->Shutdown();
+    if (router_pool) router_pool->Shutdown();
+    if (router) router->Shutdown();
+    for (auto& net : shard_nets) net->Shutdown();
+    for (auto& shard : shards) shard->Shutdown();
+  }
+};
+
+std::unique_ptr<LocalFleet> StartLocalFleet(int num_shards, int rooms,
+                                            int users, int threads) {
+  auto fleet = std::make_unique<LocalFleet>();
+  DatasetConfig config;
+  config.num_users = users;
+  config.num_steps = 2;
+  config.num_sessions = 1;
+  config.seed = 4242;
+  fleet->dataset = GenerateTimikLike(config);
+
+  std::vector<serve::BackendAddress> backends;
+  for (int s = 0; s < num_shards; ++s) {
+    std::vector<std::unique_ptr<serve::Room>> room_list;
+    for (int r = 0; r < rooms; ++r) {
+      serve::Room::Options room_options;
+      room_options.id = r;
+      room_options.mode = serve::Room::Mode::kLive;
+      room_options.seed = 900 + r;
+      auto created = serve::Room::Create(room_options, &fleet->dataset);
+      if (!created.ok()) {
+        std::fprintf(stderr, "shard %d room %d: %s\n", s, r,
+                     created.status().ToString().c_str());
+        return nullptr;
+      }
+      room_list.push_back(std::move(created).value());
+    }
+    serve::ServerOptions server_options;
+    server_options.num_threads = threads;
+    server_options.default_deadline_ms = 1000.0;
+    PoshgnnConfig model_config;
+    model_config.seed = 42;
+    fleet->shards.push_back(std::make_unique<serve::RecommendationServer>(
+        std::move(room_list),
+        [model_config] { return std::make_unique<Poshgnn>(model_config); },
+        server_options));
+    auto net = std::make_unique<serve::NetServer>(
+        serve::NetServer::HandlerFor(fleet->shards.back().get()),
+        serve::NetServerOptions{});
+    const Status started = net->Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "shard %d: %s\n", s, started.ToString().c_str());
+      return nullptr;
+    }
+    backends.push_back({net->host(), net->port()});
+    fleet->shard_nets.push_back(std::move(net));
+  }
+
+  serve::RouterOptions router_options;
+  router_options.ejection_ms = 200.0;
+  router_options.health_check_interval_ms = 100.0;
+  fleet->router =
+      std::make_unique<serve::ShardRouter>(backends, router_options);
+  fleet->router_pool = std::make_unique<serve::ThreadPool>(threads, 1024);
+  serve::ShardRouter* router = fleet->router.get();
+  serve::ThreadPool* pool = fleet->router_pool.get();
+  fleet->router_net = std::make_unique<serve::NetServer>(
+      [router, pool](const serve::FriendRequest& request,
+                     std::function<void(const serve::FriendResponse&)> done) {
+        auto done_ptr = std::make_shared<
+            std::function<void(const serve::FriendResponse&)>>(
+            std::move(done));
+        if (!pool->TrySubmit([router, request, done_ptr] {
+              (*done_ptr)(router->Route(request));
+            })) {
+          serve::FriendResponse response;
+          response.status =
+              ResourceExhaustedError("router queue full; load shed");
+          (*done_ptr)(response);
+        }
+      },
+      serve::NetServerOptions{});
+  const Status started = fleet->router_net->Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "router: %s\n", started.ToString().c_str());
+    return nullptr;
+  }
+
+  LocalFleet* fleet_ptr = fleet.get();
+  fleet->ticker = std::thread([fleet_ptr] {
+    while (!fleet_ptr->stop.load(std::memory_order_relaxed)) {
+      for (auto& shard : fleet_ptr->shards) shard->TickAll();
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+  return fleet;
+}
+
+int Main(int argc, char** argv) {
+  std::string host = "127.0.0.1", json_path;
+  int port = 0, shards = 0, clients = 4, requests = 2000;
+  int rooms = 2, users = 60, threads = 2;
+  double deadline_ms = 1000.0, kill_shard_ms = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    int value = 0;
+    double fvalue = 0.0;
+    char buffer[256] = {};
+    if (std::sscanf(argv[i], "--port=%d", &value) == 1) port = value;
+    else if (std::sscanf(argv[i], "--shards=%d", &value) == 1)
+      shards = value;
+    else if (std::sscanf(argv[i], "--clients=%d", &value) == 1)
+      clients = value;
+    else if (std::sscanf(argv[i], "--requests=%d", &value) == 1)
+      requests = value;
+    else if (std::sscanf(argv[i], "--rooms=%d", &value) == 1) rooms = value;
+    else if (std::sscanf(argv[i], "--users=%d", &value) == 1) users = value;
+    else if (std::sscanf(argv[i], "--threads=%d", &value) == 1)
+      threads = value;
+    else if (std::sscanf(argv[i], "--deadline_ms=%lf", &fvalue) == 1)
+      deadline_ms = fvalue;
+    else if (std::sscanf(argv[i], "--kill_shard_ms=%lf", &fvalue) == 1)
+      kill_shard_ms = fvalue;
+    else if (std::sscanf(argv[i], "--host=%255s", buffer) == 1)
+      host = buffer;
+    else if (std::sscanf(argv[i], "--json=%255s", buffer) == 1)
+      json_path = buffer;
+    else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 1;
+    }
+  }
+  if (port == 0 && shards == 0) shards = 2;
+  if (port != 0 && shards != 0) {
+    std::fprintf(stderr, "--port and --shards are mutually exclusive\n");
+    return 1;
+  }
+
+  std::unique_ptr<LocalFleet> fleet;
+  if (shards > 0) {
+    std::printf("[net_throughput] starting local fleet: %d shard(s) x "
+                "%d rooms x %d users + router...\n",
+                shards, rooms, users);
+    fleet = StartLocalFleet(shards, rooms, users, threads);
+    if (fleet == nullptr) return 1;
+    host = fleet->router_net->host();
+    port = fleet->router_net->port();
+  }
+  std::printf("[net_throughput] driving %s:%d with %d closed-loop "
+              "client(s), %d requests total\n",
+              host.c_str(), port, clients, requests);
+
+  Tally tally;
+  const int per_client = std::max(1, requests / std::max(1, clients));
+  const int total = per_client * clients;
+  WallTimer timer;
+  std::thread killer;
+  if (fleet != nullptr && kill_shard_ms > 0.0) {
+    LocalFleet* fleet_ptr = fleet.get();
+    killer = std::thread([fleet_ptr, kill_shard_ms] {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(kill_shard_ms));
+      std::printf("[net_throughput] killing shard 0 mid-run\n");
+      fleet_ptr->shard_nets[0]->Shutdown();
+    });
+  }
+  std::vector<std::thread> client_threads;
+  client_threads.reserve(clients);
+  for (int c = 0; c < clients; ++c)
+    client_threads.emplace_back(ClientLoop, host, port, per_client, rooms,
+                                users, deadline_ms,
+                                static_cast<uint64_t>(77 + 13 * c), &tally);
+  for (auto& thread : client_threads) thread.join();
+  const double elapsed_s = timer.ElapsedSeconds();
+  if (killer.joinable()) killer.join();
+
+  const long long accounted = tally.accounted();
+  const long long lost = total - accounted;
+  const double qps = elapsed_s > 0.0 ? tally.ok.load() / elapsed_s : 0.0;
+  const double p50 = tally.latency.PercentileMs(0.50);
+  const double p95 = tally.latency.PercentileMs(0.95);
+  const double p99 = tally.latency.PercentileMs(0.99);
+
+  std::printf(
+      "requests clients    ok    fb  shed   t/o unavail  errs  lost"
+      "   p50ms   p95ms   p99ms    req/s\n"
+      "%8d %7d %5lld %5lld %5lld %5lld %7lld %5lld %5lld %7.2f %7.2f "
+      "%7.2f %8.1f\n",
+      total, clients, tally.ok.load(), tally.fallbacks.load(),
+      tally.shed.load(), tally.timeouts.load(), tally.unavailable.load(),
+      tally.errors.load(), lost, p50, p95, p99, qps);
+  if (tally.reconnects.load() > 0)
+    std::printf("reconnects: %lld (transport failures retried by "
+                "clients)\n", tally.reconnects.load());
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    out << "{\n"
+        << "  \"bench\": \"net_throughput\",\n"
+        << "  \"requests\": " << total << ",\n"
+        << "  \"clients\": " << clients << ",\n"
+        << "  \"ok\": " << tally.ok.load() << ",\n"
+        << "  \"fallbacks\": " << tally.fallbacks.load() << ",\n"
+        << "  \"shed\": " << tally.shed.load() << ",\n"
+        << "  \"timeouts\": " << tally.timeouts.load() << ",\n"
+        << "  \"unavailable\": " << tally.unavailable.load() << ",\n"
+        << "  \"errors\": " << tally.errors.load() << ",\n"
+        << "  \"lost\": " << lost << ",\n"
+        << "  \"elapsed_s\": " << elapsed_s << ",\n"
+        << "  \"qps\": " << qps << ",\n"
+        << "  \"p50_ms\": " << p50 << ",\n"
+        << "  \"p95_ms\": " << p95 << ",\n"
+        << "  \"p99_ms\": " << p99 << "\n"
+        << "}\n";
+    std::printf("[net_throughput] wrote %s\n", json_path.c_str());
+  }
+
+  // Contract for CI: every request must be accounted for, and nothing
+  // may fail with an unexpected error class. kUnavailable answers are
+  // legitimate (a killed shard's retries can exhaust), so they do not
+  // fail the run — they are reported above and in the JSON.
+  if (lost != 0) {
+    std::fprintf(stderr, "FAIL: %lld request(s) unaccounted\n", lost);
+    return 2;
+  }
+  if (tally.errors.load() != 0) {
+    std::fprintf(stderr, "FAIL: %lld unexpected error status(es)\n",
+                 tally.errors.load());
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace after
+
+int main(int argc, char** argv) { return after::Main(argc, argv); }

@@ -1,18 +1,30 @@
 #!/usr/bin/env bash
-# Repo check matrix: builds and tests the CI lanes.
+# Repo check matrix: builds and tests the CI lanes. Each lane maps to
+# one job in .github/workflows/ci.yml; running the script with no
+# arguments reproduces the blocking part of CI locally.
 #
-#   scripts/check.sh              # docs + release + asan + tsan
+#   scripts/check.sh              # docs + format + release + asan + tsan
 #   scripts/check.sh release      # just one lane
+#   scripts/check.sh bench        # serving benchmarks, smoke config
 #   TSAN_FILTER=. scripts/check.sh tsan   # widen the tsan test filter
 #
 # Lanes:
-#   docs     no build: every intra-repo markdown link resolves, and
-#            docs/ARCHITECTURE.md mentions every src/* subsystem
+#   docs     no build: every intra-repo markdown link resolves
+#            (relative and repo-absolute), docs/ARCHITECTURE.md mentions
+#            every src/* subsystem, and shellcheck (when installed)
+#            passes on tracked shell scripts
+#   format   clang-format --dry-run over tracked C++ sources; skipped
+#            with a notice when clang-format is not installed
 #   release  RelWithDebInfo, full ctest suite (the tier-1 gate)
 #   asan     address+undefined sanitizers, full ctest suite
 #   tsan     thread sanitizer; by default runs only the concurrent
 #            serving-runtime tests (ctest -R serve), where data races
 #            actually live. Override the filter with TSAN_FILTER.
+#   bench    smoke-config serving benchmarks: serve_throughput
+#            (in-process) and net_throughput (TCP fleet with mid-run
+#            shard kill), writing build/BENCH_serve.json and failing on
+#            malformed output. Not in the default set: CI runs it as a
+#            non-blocking job.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,12 +32,17 @@ JOBS="${JOBS:-$(nproc)}"
 TSAN_FILTER="${TSAN_FILTER:-^serve/}"
 LANES=("$@")
 if [ "${#LANES[@]}" -eq 0 ]; then
-  LANES=(docs release asan tsan)
+  LANES=(docs format release asan tsan)
 fi
 
 run_docs_lane() {
   local fail=0
-  # Every relative markdown link must resolve, from every tracked page.
+  # Every intra-repo markdown link must resolve, from every tracked
+  # page. Relative links resolve against the page's directory;
+  # repo-absolute links (`/docs/...`) resolve against the repo root.
+  # The extraction regex tolerates one level of parentheses inside the
+  # target, so links like (see [spec](docs/wire(v1).md)) don't truncate
+  # at the inner ')'.
   local file target path
   while IFS= read -r file; do
     while IFS= read -r target; do
@@ -35,11 +52,16 @@ run_docs_lane() {
       path="${target%%#*}"          # drop in-page anchors
       path="${path%% *}"            # drop "title" suffixes
       [ -z "${path}" ] && continue
-      if [ ! -e "$(dirname "${file}")/${path}" ]; then
+      case "${path}" in
+        /*) path=".${path}" ;;      # repo-absolute: resolve from root
+        *)  path="$(dirname "${file}")/${path}" ;;
+      esac
+      if [ ! -e "${path}" ]; then
         echo "docs: broken link in ${file}: (${target})"
         fail=1
       fi
-    done < <(grep -oE '\]\([^)]+\)' "${file}" | sed 's/^](//; s/)$//')
+    done < <(grep -oE '\]\(([^()]|\([^()]*\))*\)' "${file}" \
+               | sed 's/^](//; s/)$//')
   done < <(git ls-files '*.md')
   # The architecture page must keep covering every subsystem.
   local dir name
@@ -50,19 +72,75 @@ run_docs_lane() {
       fail=1
     fi
   done
+  # Tracked shell scripts must be shellcheck-clean where the tool
+  # exists (CI installs it; a bare container may not have it).
+  if command -v shellcheck > /dev/null 2>&1; then
+    local script
+    while IFS= read -r script; do
+      if ! shellcheck "${script}"; then
+        echo "docs: shellcheck failed on ${script}"
+        fail=1
+      fi
+    done < <(git ls-files '*.sh')
+  else
+    echo "docs lane: shellcheck not installed, skipping script lint"
+  fi
   if [ "${fail}" -ne 0 ]; then
     return 1
   fi
   echo "docs lane OK: links resolve, ARCHITECTURE.md covers src/*"
 }
 
+run_format_lane() {
+  if ! command -v clang-format > /dev/null 2>&1; then
+    echo "format lane SKIPPED: clang-format not installed"
+    return 0
+  fi
+  # --dry-run -Werror prints a diagnostic per deviation and fails the
+  # lane without rewriting anything; `git ls-files` keeps generated or
+  # untracked sources out of scope.
+  git ls-files '*.h' '*.cc' | xargs -r clang-format --dry-run -Werror
+  echo "format lane OK: tracked C++ sources match .clang-format"
+}
+
+run_bench_lane() {
+  cmake --preset release
+  cmake --build --preset release -j "${JOBS}" \
+    --target serve_throughput net_throughput
+  echo "---- serve_throughput (in-process smoke) ----"
+  ./build/bench/serve_throughput --rooms=2 --threads=2 --requests=200 \
+    --users=24
+  echo "---- net_throughput (TCP fleet smoke, kill one shard) ----"
+  ./build/bench/net_throughput --shards=2 --rooms=4 --users=24 \
+    --clients=4 --requests=800 --kill_shard_ms=100 \
+    --json=build/BENCH_serve.json
+  # A benchmark that silently emits garbage is worse than one that
+  # fails: validate the summary before anything downstream trusts it.
+  python3 - build/BENCH_serve.json <<'PY'
+import json, sys
+with open(sys.argv[1]) as handle:
+    data = json.load(handle)
+for key in ("bench", "requests", "ok", "lost", "errors",
+            "qps", "p50_ms", "p95_ms", "p99_ms"):
+    if key not in data:
+        raise SystemExit(f"BENCH_serve.json: missing key {key!r}")
+if data["requests"] <= 0 or data["qps"] <= 0:
+    raise SystemExit("BENCH_serve.json: non-positive requests/qps")
+if data["p50_ms"] > data["p99_ms"]:
+    raise SystemExit("BENCH_serve.json: p50 > p99")
+print("BENCH_serve.json OK:",
+      {k: data[k] for k in ("qps", "p50_ms", "p95_ms", "p99_ms")})
+PY
+}
+
 run_lane() {
   local lane="$1"
   echo "==== lane: ${lane} ===================================="
-  if [ "${lane}" = docs ]; then
-    run_docs_lane
-    return
-  fi
+  case "${lane}" in
+    docs)   run_docs_lane;   return ;;
+    format) run_format_lane; return ;;
+    bench)  run_bench_lane;  return ;;
+  esac
   cmake --preset "${lane}"
   cmake --build --preset "${lane}" -j "${JOBS}"
   if [ "${lane}" = tsan ]; then

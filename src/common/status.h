@@ -26,6 +26,15 @@ enum class StatusCode {
   kNotFound,
   /// Invariant violation that was caught instead of aborting.
   kInternal,
+  /// A caller-supplied argument (e.g. a wire frame, a flag value) is
+  /// malformed. Distinct from kInvalidData, which covers external
+  /// *content* (files, datasets): an invalid argument is never worth
+  /// retrying, while invalid data may be fixed out of band.
+  kInvalidArgument,
+  /// A remote peer or backend cannot be reached right now; the request
+  /// did not run and is safe to retry elsewhere (the shard router's
+  /// retry-next-shard trigger).
+  kUnavailable,
 };
 
 /// Short upper-case name for a code ("INVALID_DATA").
@@ -45,6 +54,10 @@ inline const char* StatusCodeName(StatusCode code) {
       return "NOT_FOUND";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }
@@ -111,6 +124,12 @@ inline Status NotFoundError(std::string message) {
 }
 inline Status InternalError(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));
+}
+inline Status InvalidArgumentError(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+inline Status UnavailableError(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
 }
 
 }  // namespace after

@@ -1,0 +1,80 @@
+#ifndef AFTER_SERVE_NET_CLIENT_H_
+#define AFTER_SERVE_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "serve/server_types.h"
+#include "serve/wire.h"
+
+namespace after {
+namespace serve {
+
+struct NetClientOptions {
+  /// TCP connect budget.
+  double connect_timeout_ms = 2000.0;
+  /// Per-call receive budget: how long Call()/Ping() waits for the
+  /// response frame before declaring the backend unreachable.
+  double io_timeout_ms = 5000.0;
+};
+
+/// Synchronous client for the wire protocol (serve/wire.h): one TCP
+/// connection, one in-flight call at a time, correlation ids checked on
+/// every response. NOT thread-safe — use one client per thread, or pool
+/// them (serve/router.h does exactly that).
+///
+/// Error taxonomy, chosen so the shard router can decide retries:
+///  - kUnavailable: transport-level failure (connect/send/recv error,
+///    peer hung up, response timed out). The backend may be dead; the
+///    call is safe to retry on another shard.
+///  - kInvalidArgument: the peer broke the wire protocol. Not retried.
+///  - any other code: the backend's own FriendResponse.status, passed
+///    through untouched (shed/timeout/fallback semantics intact).
+class NetClient {
+ public:
+  /// Connects (bounded by connect_timeout_ms); kUnavailable on failure.
+  static Result<std::unique_ptr<NetClient>> Connect(
+      const std::string& host, int port, const NetClientOptions& options = {});
+
+  ~NetClient();
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  /// Sends one FriendRequest and blocks for the matching response.
+  Result<FriendResponse> Call(const FriendRequest& request);
+
+  /// Round-trips a ping frame; OK means the backend is alive and
+  /// speaking the protocol.
+  Status Ping();
+
+  const std::string& host() const { return host_; }
+  int port() const { return port_; }
+
+  /// True once any call failed at the transport level; the connection
+  /// is then dead and the client should be discarded.
+  bool broken() const { return broken_; }
+
+ private:
+  NetClient(int fd, std::string host, int port, const NetClientOptions& opts);
+
+  Status SendAll(const std::string& bytes);
+  /// Reads until one complete frame is extracted or the io timeout hits.
+  Status ReadFrame(wire::Frame* frame);
+
+  int fd_ = -1;
+  std::string host_;
+  int port_ = 0;
+  NetClientOptions options_;
+  uint64_t next_id_ = 1;
+  std::string buffer_;  // unconsumed bytes between frames
+  bool broken_ = false;
+};
+
+}  // namespace serve
+}  // namespace after
+
+#endif  // AFTER_SERVE_NET_CLIENT_H_

@@ -1,0 +1,281 @@
+#include "serve/net_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+#include "serve/server.h"
+#include "serve/wire.h"
+
+namespace after {
+namespace serve {
+
+namespace {
+/// Poll granularity for the accept and reader loops: the latency bound
+/// on observing a Shutdown() request while a socket is idle.
+constexpr int kPollMs = 50;
+}  // namespace
+
+/// One accepted client. The reader thread owns the receive side; writes
+/// (responses, pongs) can come from any handler-completion thread and
+/// are serialized by write_mutex. `closed` is the write-side tombstone:
+/// once set, late completions become no-ops instead of writing to a
+/// dead or recycled descriptor. The fd is closed by the destructor,
+/// which runs only after the last in-flight completion releases its
+/// shared_ptr — so the descriptor can never be reused under a writer.
+struct NetServer::Connection {
+  int fd = -1;
+  std::mutex write_mutex;
+  bool closed = false;  // guarded by write_mutex
+  std::thread reader;
+  std::atomic<bool> reader_done{false};
+
+  ~Connection() {
+    AFTER_CHECK(!reader.joinable());
+    if (fd >= 0) ::close(fd);
+  }
+
+  void Write(const std::string& bytes) {
+    std::lock_guard<std::mutex> lock(write_mutex);
+    if (closed) return;
+    size_t offset = 0;
+    while (offset < bytes.size()) {
+      const ssize_t n = ::send(fd, bytes.data() + offset,
+                               bytes.size() - offset, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        closed = true;
+        ::shutdown(fd, SHUT_RDWR);
+        return;
+      }
+      offset += static_cast<size_t>(n);
+    }
+  }
+
+  /// Stops both directions; safe to call from any thread, repeatedly.
+  void Close() {
+    std::lock_guard<std::mutex> lock(write_mutex);
+    if (closed) return;
+    closed = true;
+    ::shutdown(fd, SHUT_RDWR);
+  }
+};
+
+NetServer::NetServer(RequestHandler handler, const NetServerOptions& options)
+    : handler_(std::move(handler)), options_(options) {
+  AFTER_CHECK(handler_ != nullptr);
+}
+
+NetServer::~NetServer() { Shutdown(); }
+
+Status NetServer::Start() {
+  AFTER_CHECK_EQ(listen_fd_, -1);  // Start() is once-only
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0)
+    return UnavailableError(std::string("socket: ") + std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return InvalidArgumentError("bad listen address: " + options_.host);
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    std::ostringstream oss;
+    oss << "bind " << options_.host << ":" << options_.port << ": "
+        << std::strerror(errno);
+    ::close(fd);
+    return UnavailableError(oss.str());
+  }
+  if (::listen(fd, options_.backlog) != 0) {
+    const Status status =
+        UnavailableError(std::string("listen: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    const Status status =
+        UnavailableError(std::string("getsockname: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  listen_fd_ = fd;
+  port_ = ntohs(bound.sin_port);
+  accept_thread_ = std::thread(&NetServer::AcceptLoop, this);
+  return OkStatus();
+}
+
+void NetServer::AcceptLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollMs);
+    if (ready <= 0) continue;
+    const int client_fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (client_fd < 0) continue;
+    ReapFinishedConnections();
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      if (static_cast<int>(connections_.size()) >= options_.max_connections) {
+        ::close(client_fd);  // network-layer shed
+        continue;
+      }
+      const int one = 1;
+      ::setsockopt(client_fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      auto connection = std::make_shared<Connection>();
+      connection->fd = client_fd;
+      // Count before the reader exists: a served response must imply the
+      // connection is already visible in connections_accepted().
+      connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+      connection->reader =
+          std::thread(&NetServer::ReadLoop, this, connection);
+      connections_.push_back(std::move(connection));
+    }
+  }
+}
+
+void NetServer::ReadLoop(std::shared_ptr<Connection> connection) {
+  std::string buffer;
+  char chunk[16384];
+  bool alive = true;
+  while (alive && !stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{connection->fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollMs);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) continue;
+    const ssize_t n = ::recv(connection->fd, chunk, sizeof(chunk), 0);
+    if (n == 0) break;  // peer closed
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+
+    // Drain every complete frame in the accumulator.
+    while (alive) {
+      wire::Frame frame;
+      size_t consumed = 0;
+      const Status framing = wire::ExtractFrame(buffer, &frame, &consumed);
+      if (!framing.ok()) {
+        // The stream is unframeable from here on; drop the connection.
+        frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+        alive = false;
+        break;
+      }
+      if (consumed == 0) break;  // incomplete; read more
+      buffer.erase(0, consumed);
+
+      switch (frame.type) {
+        case wire::MessageType::kPing: {
+          auto ping = wire::DecodePingPong(frame.payload);
+          if (!ping.ok()) {
+            frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+            alive = false;
+            break;
+          }
+          std::string pong;
+          wire::AppendPongFrame(ping.value(), &pong);
+          connection->Write(pong);
+          break;
+        }
+        case wire::MessageType::kRequest: {
+          auto decoded = wire::DecodeRequest(frame.payload);
+          if (!decoded.ok()) {
+            // Framing was sound, so answer on-protocol: echo the id if
+            // the payload got that far, and say what was wrong.
+            frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+            uint64_t id = 0;
+            if (frame.payload.size() >= 8)
+              for (int i = 0; i < 8; ++i)
+                id |= static_cast<uint64_t>(
+                          static_cast<uint8_t>(frame.payload[i]))
+                      << (8 * i);
+            FriendResponse response;
+            response.status = decoded.status();
+            std::string out;
+            wire::AppendResponseFrame(id, response, &out);
+            connection->Write(out);
+            break;
+          }
+          const uint64_t id = decoded.value().id;
+          handler_(decoded.value().request,
+                   [connection, id](const FriendResponse& response) {
+                     std::string out;
+                     wire::AppendResponseFrame(id, response, &out);
+                     connection->Write(out);
+                   });
+          break;
+        }
+        case wire::MessageType::kResponse:
+        case wire::MessageType::kPong:
+          // Clients never originate these; treat as protocol confusion.
+          frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+          alive = false;
+          break;
+      }
+    }
+  }
+  connection->Close();
+  connection->reader_done.store(true, std::memory_order_release);
+}
+
+void NetServer::ReapFinishedConnections() {
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->reader_done.load(std::memory_order_acquire)) {
+      (*it)->reader.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void NetServer::Shutdown() {
+  if (stop_.exchange(true)) {
+    // Second caller (destructor after explicit Shutdown): nothing left.
+    return;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  std::vector<std::shared_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections.swap(connections_);
+  }
+  for (auto& connection : connections) {
+    connection->Close();  // wakes the reader's poll immediately
+    if (connection->reader.joinable()) connection->reader.join();
+  }
+  // In-flight handler completions may still hold shared_ptrs; their
+  // writes hit the `closed` tombstone and the fds die with the last ref.
+}
+
+RequestHandler NetServer::HandlerFor(RecommendationServer* server) {
+  AFTER_CHECK(server != nullptr);
+  return [server](const FriendRequest& request,
+                  std::function<void(const FriendResponse&)> done) {
+    server->Submit(request, std::move(done));
+  };
+}
+
+}  // namespace serve
+}  // namespace after

@@ -1,0 +1,108 @@
+#ifndef AFTER_SERVE_NET_SERVER_H_
+#define AFTER_SERVE_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/server_types.h"
+
+namespace after {
+namespace serve {
+
+class RecommendationServer;
+
+/// What a NetServer serves: an asynchronous request handler with the
+/// same shape as RecommendationServer::Submit. The completion callback
+/// may run on any thread and must be invoked exactly once. The two
+/// in-repo handlers are a RecommendationServer front (a shard worker,
+/// tools/serve_shard) and a ShardRouter front (tools/shard_router).
+using RequestHandler = std::function<void(
+    const FriendRequest&, std::function<void(const FriendResponse&)>)>;
+
+struct NetServerOptions {
+  /// Listen address. The default binds loopback only: the fleet is a
+  /// localhost topology until there is authn on the wire.
+  std::string host = "127.0.0.1";
+  /// 0 picks an ephemeral port; read it back via port() after Start().
+  int port = 0;
+  int backlog = 64;
+  /// Accepted connections beyond this are closed immediately (the
+  /// network-layer analogue of queue-full shedding).
+  int max_connections = 256;
+};
+
+/// TCP front for the serving runtime: a plain POSIX-socket accept loop
+/// plus one reader thread per connection, speaking the length-prefixed
+/// wire protocol (serve/wire.h). Each complete request frame is handed
+/// to the RequestHandler; the response frame is written back on the
+/// handler's completion thread (writes are serialized per connection).
+/// Pings are answered inline with pongs. A malformed frame closes the
+/// connection — framing errors are unrecoverable mid-stream — while a
+/// well-framed but undecodable request payload is answered with a
+/// kInvalidArgument response so the client can tell what it sent.
+///
+/// The full degradation ladder of the in-process server travels the
+/// wire unchanged: shed/timeout/fallback surface as the response's
+/// status code + used_fallback flag (docs/serving.md).
+class NetServer {
+ public:
+  NetServer(RequestHandler handler, const NetServerOptions& options);
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Binds, listens, and spawns the accept thread. kUnavailable when the
+  /// address cannot be bound.
+  Status Start();
+
+  /// The bound port (resolves port 0 to the actual ephemeral port).
+  /// Valid after a successful Start().
+  int port() const { return port_; }
+  const std::string& host() const { return options_.host; }
+
+  /// Stops accepting, closes every connection, joins all threads.
+  /// In-flight handler completions are safely dropped. Idempotent.
+  void Shutdown();
+
+  int64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+  int64_t frames_rejected() const {
+    return frames_rejected_.load(std::memory_order_relaxed);
+  }
+
+  /// Adapter: serve an in-process RecommendationServer (which must
+  /// outlive the NetServer).
+  static RequestHandler HandlerFor(RecommendationServer* server);
+
+ private:
+  struct Connection;
+
+  void AcceptLoop();
+  void ReadLoop(std::shared_ptr<Connection> connection);
+  void ReapFinishedConnections();
+
+  RequestHandler handler_;
+  NetServerOptions options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread accept_thread_;
+  std::mutex connections_mutex_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+  std::atomic<int64_t> connections_accepted_{0};
+  std::atomic<int64_t> frames_rejected_{0};
+};
+
+}  // namespace serve
+}  // namespace after
+
+#endif  // AFTER_SERVE_NET_SERVER_H_

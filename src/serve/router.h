@@ -1,0 +1,136 @@
+#ifndef AFTER_SERVE_ROUTER_H_
+#define AFTER_SERVE_ROUTER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/net_client.h"
+#include "serve/server_types.h"
+
+namespace after {
+namespace serve {
+
+struct BackendAddress {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string ToString() const;
+};
+
+struct RouterOptions {
+  /// Ring points per backend. More points = smoother key spread and
+  /// smaller movement when the backend set changes.
+  int virtual_nodes = 64;
+  /// Distinct backends tried per request before giving up with
+  /// kUnavailable. 1 disables failover.
+  int max_attempts = 3;
+  /// Idle connections kept per backend; extra connections are closed on
+  /// release rather than pooled.
+  int pool_capacity = 8;
+  /// How long a backend stays ejected (skipped by routing) after a
+  /// transport failure. Passive recovery: once the cooldown lapses the
+  /// next request tries it again.
+  double ejection_ms = 1000.0;
+  /// > 0 starts a background prober that pings every backend at this
+  /// interval, lifting ejections early when a backend comes back and
+  /// ejecting quietly-dead ones before a request has to find out.
+  double health_check_interval_ms = 0.0;
+  NetClientOptions client;
+};
+
+/// Routes FriendRequests across a fleet of shard workers
+/// (tools/serve_shard) by consistent hashing on the room id: each room
+/// maps to one backend on a hash ring (stable as backends join/leave —
+/// only ~1/N of rooms move), so a room's simulation state and snapshot
+/// cache stay hot on one shard. Every shard instantiates the full room
+/// set, which is what makes failover safe: when a backend dies
+/// mid-request (kUnavailable from the transport), the router ejects it
+/// and retries the *next* backend on the ring, so the client sees a
+/// served answer instead of a lost request. Server-side statuses
+/// (shed / timeout / fallback) pass through untouched — the router only
+/// retries transport failures, never degradation decisions.
+///
+/// Thread-safe: Route() may be called from many connection threads;
+/// each backend keeps a mutex-guarded connection pool and health state.
+class ShardRouter {
+ public:
+  ShardRouter(std::vector<BackendAddress> backends,
+              const RouterOptions& options);
+  ~ShardRouter();
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  /// The ring's pick for a room (ignoring health) — stable across
+  /// router instances with the same backend list.
+  int ShardFor(int room) const;
+
+  /// Routes one request: home shard first, then ring-order failover on
+  /// kUnavailable, up to max_attempts distinct backends. Always returns
+  /// a response; total failure yields status kUnavailable.
+  FriendResponse Route(const FriendRequest& request);
+
+  /// Pings every backend once (pooled connection or a fresh one),
+  /// updating health state. The background prober calls this on its
+  /// interval; tests and tools may call it directly.
+  void ProbeAll();
+
+  int num_backends() const { return static_cast<int>(backends_.size()); }
+  const BackendAddress& backend(int index) const {
+    return backends_[index]->address;
+  }
+  bool backend_healthy(int index) const;
+
+  /// Monotonic counters, one relaxed add per event (serve/metrics.h
+  /// style).
+  struct Metrics {
+    std::atomic<int64_t> routed{0};        // requests entering Route()
+    std::atomic<int64_t> retried{0};       // attempts beyond the first
+    std::atomic<int64_t> ejections{0};     // backend marked unhealthy
+    std::atomic<int64_t> exhausted{0};     // all attempts kUnavailable
+    std::atomic<int64_t> pooled_reuse{0};  // calls served by a pooled conn
+    std::atomic<int64_t> connects{0};      // fresh connections dialed
+  };
+  const Metrics& metrics() const { return metrics_; }
+
+  /// Stops the health prober and closes every pooled connection.
+  void Shutdown();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Backend {
+    BackendAddress address;
+    std::mutex mutex;
+    std::vector<std::unique_ptr<NetClient>> idle;  // pooled connections
+    Clock::time_point ejected_until = Clock::time_point::min();
+  };
+
+  /// Backends in ring order starting at the room's home shard,
+  /// deduplicated; the retry sequence for that room.
+  std::vector<int> RingOrder(int room) const;
+
+  std::unique_ptr<NetClient> Acquire(Backend& backend, bool* pooled);
+  void Release(Backend& backend, std::unique_ptr<NetClient> client);
+  void Eject(Backend& backend);
+  bool Ejected(Backend& backend) const;
+
+  RouterOptions options_;
+  std::vector<std::unique_ptr<Backend>> backends_;
+  /// Sorted (hash point, backend index) ring; immutable after build.
+  std::vector<std::pair<uint64_t, int>> ring_;
+  Metrics metrics_;
+  std::atomic<bool> stop_{false};
+  std::thread prober_;
+};
+
+}  // namespace serve
+}  // namespace after
+
+#endif  // AFTER_SERVE_ROUTER_H_

@@ -1,0 +1,277 @@
+#include "serve/wire.h"
+
+#include <cstring>
+#include <sstream>
+
+namespace after {
+namespace serve {
+namespace wire {
+namespace {
+
+// ---- little-endian primitives ------------------------------------------
+
+void PutU8(uint8_t v, std::string* out) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU16(uint16_t v, std::string* out) {
+  PutU8(static_cast<uint8_t>(v & 0xff), out);
+  PutU8(static_cast<uint8_t>(v >> 8), out);
+}
+
+void PutU32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i)
+    PutU8(static_cast<uint8_t>((v >> (8 * i)) & 0xff), out);
+}
+
+void PutU64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i)
+    PutU8(static_cast<uint8_t>((v >> (8 * i)) & 0xff), out);
+}
+
+void PutI32(int32_t v, std::string* out) {
+  PutU32(static_cast<uint32_t>(v), out);
+}
+
+void PutF64(double v, std::string* out) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits, out);
+}
+
+/// Sequential all-or-nothing payload reader: every Take* either yields
+/// the next field or trips the failure latch, and decoders check
+/// ok() && AtEnd() once at the close — mirroring how nn/artifact reads
+/// its header lines.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view bytes) : bytes_(bytes) {}
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return position_ == bytes_.size(); }
+  size_t remaining() const { return bytes_.size() - position_; }
+
+  uint8_t TakeU8() {
+    if (!Require(1)) return 0;
+    return static_cast<uint8_t>(bytes_[position_++]);
+  }
+
+  uint16_t TakeU16() {
+    if (!Require(2)) return 0;
+    uint16_t v = 0;
+    for (int i = 0; i < 2; ++i)
+      v |= static_cast<uint16_t>(static_cast<uint8_t>(bytes_[position_++]))
+           << (8 * i);
+    return v;
+  }
+
+  uint32_t TakeU32() {
+    if (!Require(4)) return 0;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(bytes_[position_++]))
+           << (8 * i);
+    return v;
+  }
+
+  uint64_t TakeU64() {
+    if (!Require(8)) return 0;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes_[position_++]))
+           << (8 * i);
+    return v;
+  }
+
+  int32_t TakeI32() { return static_cast<int32_t>(TakeU32()); }
+
+  double TakeF64() {
+    const uint64_t bits = TakeU64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::string_view TakeBytes(size_t count) {
+    if (!Require(count)) return {};
+    std::string_view view = bytes_.substr(position_, count);
+    position_ += count;
+    return view;
+  }
+
+ private:
+  bool Require(size_t count) {
+    if (!ok_ || remaining() < count) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::string_view bytes_;
+  size_t position_ = 0;
+  bool ok_ = true;
+};
+
+void AppendHeader(MessageType type, uint32_t payload_len, std::string* out) {
+  PutU32(kMagic, out);
+  PutU8(kProtocolVersion, out);
+  PutU8(static_cast<uint8_t>(type), out);
+  PutU16(0, out);  // reserved
+  PutU32(payload_len, out);
+}
+
+void AppendFramed(MessageType type, const std::string& payload,
+                  std::string* out) {
+  AppendHeader(type, static_cast<uint32_t>(payload.size()), out);
+  out->append(payload);
+}
+
+Status Malformed(const char* what) {
+  return InvalidArgumentError(std::string("wire: ") + what);
+}
+
+constexpr uint8_t kMaxStatusCode =
+    static_cast<uint8_t>(StatusCode::kUnavailable);
+
+}  // namespace
+
+void AppendRequestFrame(uint64_t id, const FriendRequest& request,
+                        std::string* out) {
+  std::string payload;
+  payload.reserve(24);
+  PutU64(id, &payload);
+  PutI32(request.room, &payload);
+  PutI32(request.user, &payload);
+  PutF64(request.deadline_ms, &payload);
+  AppendFramed(MessageType::kRequest, payload, out);
+}
+
+void AppendResponseFrame(uint64_t id, const FriendResponse& response,
+                         std::string* out) {
+  std::string payload;
+  PutU64(id, &payload);
+  PutU8(static_cast<uint8_t>(response.status.code()), &payload);
+  PutU8(response.used_fallback ? 1 : 0, &payload);
+  PutU16(0, &payload);  // reserved
+  PutI32(response.tick, &payload);
+  PutF64(response.latency_ms, &payload);
+  const std::string& message = response.status.message();
+  PutU32(static_cast<uint32_t>(message.size()), &payload);
+  payload.append(message);
+  const uint32_t bits = static_cast<uint32_t>(response.recommended.size());
+  PutU32(bits, &payload);
+  for (uint32_t byte = 0; byte * 8 < bits; ++byte) {
+    uint8_t packed = 0;
+    for (uint32_t bit = 0; bit < 8 && byte * 8 + bit < bits; ++bit)
+      if (response.recommended[byte * 8 + bit]) packed |= (1u << bit);
+    PutU8(packed, &payload);
+  }
+  AppendFramed(MessageType::kResponse, payload, out);
+}
+
+void AppendPingFrame(uint64_t id, std::string* out) {
+  std::string payload;
+  PutU64(id, &payload);
+  AppendFramed(MessageType::kPing, payload, out);
+}
+
+void AppendPongFrame(uint64_t id, std::string* out) {
+  std::string payload;
+  PutU64(id, &payload);
+  AppendFramed(MessageType::kPong, payload, out);
+}
+
+Status ExtractFrame(std::string_view buffer, Frame* frame, size_t* consumed) {
+  *consumed = 0;
+  if (buffer.size() < kHeaderBytes) return OkStatus();  // incomplete
+  ByteReader reader(buffer);
+  const uint32_t magic = reader.TakeU32();
+  if (magic != kMagic) return Malformed("bad magic");
+  const uint8_t version = reader.TakeU8();
+  if (version != kProtocolVersion) {
+    std::ostringstream oss;
+    oss << "wire: unsupported protocol version "
+        << static_cast<int>(version) << " (speaking "
+        << static_cast<int>(kProtocolVersion) << ")";
+    return InvalidArgumentError(oss.str());
+  }
+  const uint8_t type = reader.TakeU8();
+  if (type < static_cast<uint8_t>(MessageType::kRequest) ||
+      type > static_cast<uint8_t>(MessageType::kPong))
+    return Malformed("unknown message type");
+  if (reader.TakeU16() != 0) return Malformed("nonzero reserved field");
+  const uint32_t payload_len = reader.TakeU32();
+  if (payload_len > kMaxPayloadBytes) {
+    std::ostringstream oss;
+    oss << "wire: oversized payload (" << payload_len << " bytes > "
+        << kMaxPayloadBytes << " max)";
+    return InvalidArgumentError(oss.str());
+  }
+  if (buffer.size() < kHeaderBytes + payload_len)
+    return OkStatus();  // incomplete
+  frame->type = static_cast<MessageType>(type);
+  frame->payload.assign(buffer.data() + kHeaderBytes, payload_len);
+  *consumed = kHeaderBytes + payload_len;
+  return OkStatus();
+}
+
+Result<RequestFrame> DecodeRequest(std::string_view payload) {
+  ByteReader reader(payload);
+  RequestFrame out;
+  out.id = reader.TakeU64();
+  out.request.room = reader.TakeI32();
+  out.request.user = reader.TakeI32();
+  out.request.deadline_ms = reader.TakeF64();
+  if (!reader.ok()) return Malformed("truncated request payload");
+  if (!reader.AtEnd()) return Malformed("trailing bytes after request");
+  return out;
+}
+
+Result<ResponseFrame> DecodeResponse(std::string_view payload) {
+  ByteReader reader(payload);
+  ResponseFrame out;
+  out.id = reader.TakeU64();
+  const uint8_t code = reader.TakeU8();
+  const uint8_t used_fallback = reader.TakeU8();
+  if (reader.TakeU16() != 0 && reader.ok())
+    return Malformed("nonzero reserved field in response");
+  out.response.tick = reader.TakeI32();
+  out.response.latency_ms = reader.TakeF64();
+  const uint32_t message_len = reader.TakeU32();
+  if (!reader.ok()) return Malformed("truncated response payload");
+  if (message_len > reader.remaining())
+    return Malformed("response message length exceeds payload");
+  const std::string_view message = reader.TakeBytes(message_len);
+  const uint32_t bits = reader.TakeU32();
+  if (!reader.ok()) return Malformed("truncated response payload");
+  if (bits > kMaxRecommendedBits)
+    return Malformed("oversized recommendation bitmap");
+  const size_t packed_bytes = (bits + 7) / 8;
+  const std::string_view packed = reader.TakeBytes(packed_bytes);
+  if (!reader.ok()) return Malformed("truncated recommendation bitmap");
+  if (!reader.AtEnd()) return Malformed("trailing bytes after response");
+  if (code > kMaxStatusCode) return Malformed("unknown status code");
+  if (used_fallback > 1) return Malformed("non-boolean used_fallback");
+  out.response.status =
+      Status(static_cast<StatusCode>(code), std::string(message));
+  out.response.used_fallback = used_fallback == 1;
+  out.response.recommended.resize(bits);
+  for (uint32_t bit = 0; bit < bits; ++bit)
+    out.response.recommended[bit] =
+        (static_cast<uint8_t>(packed[bit / 8]) >> (bit % 8)) & 1;
+  return out;
+}
+
+Result<uint64_t> DecodePingPong(std::string_view payload) {
+  ByteReader reader(payload);
+  const uint64_t id = reader.TakeU64();
+  if (!reader.ok()) return Malformed("truncated ping payload");
+  if (!reader.AtEnd()) return Malformed("trailing bytes after ping");
+  return id;
+}
+
+}  // namespace wire
+}  // namespace serve
+}  // namespace after

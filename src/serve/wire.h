@@ -1,0 +1,97 @@
+#ifndef AFTER_SERVE_WIRE_H_
+#define AFTER_SERVE_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "serve/server_types.h"
+
+namespace after {
+namespace serve {
+namespace wire {
+
+/// Compact length-prefixed binary wire protocol in front of the serving
+/// runtime (docs/serving.md has the byte-level spec). Every message is
+/// one frame:
+///
+///   offset  size  field
+///   0       4     magic      0x41465731 ("AFW1"), little-endian
+///   4       1     version    kProtocolVersion
+///   5       1     type       MessageType
+///   6       2     reserved   must be zero
+///   8       4     payload length in bytes (<= kMaxPayloadBytes)
+///   12      N     payload    (per-type encoding below)
+///
+/// All multi-byte integers are little-endian with explicit byte
+/// (de)serialization, so frames are byte-identical across platforms.
+/// Parsing is all-or-nothing in the style of nn/artifact: a decoder
+/// either returns a fully validated message or kInvalidArgument with a
+/// diagnostic, and never reads past the declared payload. Truncated
+/// buffers are not an error at the framing layer — ExtractFrame reports
+/// "no complete frame yet" so stream readers can keep accumulating.
+inline constexpr uint32_t kMagic = 0x41465731u;  // "1WFA" on the wire
+inline constexpr uint8_t kProtocolVersion = 1;
+inline constexpr size_t kHeaderBytes = 12;
+/// Upper bound on a frame payload; anything larger is a malformed or
+/// hostile frame and fails fast instead of allocating unboundedly.
+inline constexpr uint32_t kMaxPayloadBytes = 1u << 20;
+/// Upper bound on users per room carried in a response bitmap.
+inline constexpr uint32_t kMaxRecommendedBits = 1u << 20;
+
+enum class MessageType : uint8_t {
+  kRequest = 1,   // client -> server: one FriendRequest
+  kResponse = 2,  // server -> client: the matching FriendResponse
+  kPing = 3,      // health probe (router -> shard)
+  kPong = 4,      // health probe answer
+};
+
+/// One decoded frame: the type byte plus the raw payload bytes.
+struct Frame {
+  MessageType type = MessageType::kRequest;
+  std::string payload;
+};
+
+/// A FriendRequest tagged with the caller's correlation id; responses
+/// echo the id so a connection can have many requests in flight.
+struct RequestFrame {
+  uint64_t id = 0;
+  FriendRequest request;
+};
+
+struct ResponseFrame {
+  uint64_t id = 0;
+  FriendResponse response;
+};
+
+/// Encoders append one complete frame (header + payload) to *out.
+void AppendRequestFrame(uint64_t id, const FriendRequest& request,
+                        std::string* out);
+void AppendResponseFrame(uint64_t id, const FriendResponse& response,
+                         std::string* out);
+void AppendPingFrame(uint64_t id, std::string* out);
+void AppendPongFrame(uint64_t id, std::string* out);
+
+/// Pulls the first frame off the front of `buffer` (a connection's read
+/// accumulator):
+///  - complete frame:  OK, *frame filled, *consumed = bytes to drop;
+///  - incomplete:      OK, *consumed == 0 (read more and call again);
+///  - malformed header (bad magic/version/reserved, oversized payload):
+///    kInvalidArgument — the connection is beyond recovery, close it.
+Status ExtractFrame(std::string_view buffer, Frame* frame, size_t* consumed);
+
+/// Payload decoders. All-or-nothing: kInvalidArgument on truncated or
+/// oversized payloads, trailing bytes, out-of-range enum values.
+Result<RequestFrame> DecodeRequest(std::string_view payload);
+Result<ResponseFrame> DecodeResponse(std::string_view payload);
+/// Ping and pong payloads are both just the correlation id.
+Result<uint64_t> DecodePingPong(std::string_view payload);
+
+}  // namespace wire
+}  // namespace serve
+}  // namespace after
+
+#endif  // AFTER_SERVE_WIRE_H_

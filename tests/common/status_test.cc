@@ -34,6 +34,18 @@ TEST(StatusTest, TaxonomyCoversTheRobustnessCodes) {
                "NUMERICAL_ERROR");
 }
 
+TEST(StatusTest, TaxonomyCoversTheWireCodes) {
+  // Added for the networked serving fleet: protocol violations (never
+  // retried) vs. unreachable peers (safe to retry on another shard).
+  EXPECT_EQ(InvalidArgumentError("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(UnavailableError("x").code(), StatusCode::kUnavailable);
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument),
+               "INVALID_ARGUMENT");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "UNAVAILABLE");
+  EXPECT_EQ(UnavailableError("peer gone").ToString(),
+            "UNAVAILABLE: peer gone");
+}
+
 TEST(StatusTest, AnnotatePrependsContextAndKeepsCode) {
   const Status status =
       InvalidDataError("non-finite entry").Annotate("preference.txt line 7");

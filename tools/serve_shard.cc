@@ -1,0 +1,184 @@
+// One shard worker of the multi-process serving fleet: an in-process
+// RecommendationServer behind the TCP wire protocol (serve/net_server.h).
+// Launch N of these behind one tools/shard_router and point
+// bench/net_throughput at the router (docs/serving.md has the 3-shard
+// walkthrough).
+//
+// Every shard instantiates the *full* room set with the same seeds, so
+// any shard can answer any room; the router's consistent hashing merely
+// keeps each room's traffic (and therefore its simulation state and
+// snapshot cache) on one home shard, and failover to the next shard on
+// the ring stays correct when a worker dies.
+//
+// Usage:
+//   serve_shard --port=7701                    # fixed port
+//   serve_shard --port=0 --port_file=p.txt     # ephemeral; port written
+//                                              # to the file for scripts
+// Flags: --rooms=N --users=N --threads=N --queue=N --deadline_ms=F
+//        --tick_ms=F --seed=N --batch --weights=PATH
+//        --max_seconds=F (0 = run until SIGINT/SIGTERM)
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/timer.h"
+#include "core/poshgnn.h"
+#include "data/dataset.h"
+#include "nn/artifact.h"
+#include "serve/net_server.h"
+#include "serve/server.h"
+
+namespace after {
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void HandleSignal(int) { g_stop = 1; }
+
+int Main(int argc, char** argv) {
+  int port = 0, rooms = 2, users = 60, threads = 2, queue = 1024;
+  int seed = 4242;
+  double deadline_ms = 1000.0, tick_ms = 10.0, max_seconds = 0.0;
+  bool batch = false;
+  std::string port_file, weights;
+  for (int i = 1; i < argc; ++i) {
+    int value = 0;
+    double fvalue = 0.0;
+    char buffer[256] = {};
+    if (std::sscanf(argv[i], "--port=%d", &value) == 1) port = value;
+    else if (std::sscanf(argv[i], "--rooms=%d", &value) == 1) rooms = value;
+    else if (std::sscanf(argv[i], "--users=%d", &value) == 1) users = value;
+    else if (std::sscanf(argv[i], "--threads=%d", &value) == 1)
+      threads = value;
+    else if (std::sscanf(argv[i], "--queue=%d", &value) == 1) queue = value;
+    else if (std::sscanf(argv[i], "--seed=%d", &value) == 1) seed = value;
+    else if (std::sscanf(argv[i], "--deadline_ms=%lf", &fvalue) == 1)
+      deadline_ms = fvalue;
+    else if (std::sscanf(argv[i], "--tick_ms=%lf", &fvalue) == 1)
+      tick_ms = fvalue;
+    else if (std::sscanf(argv[i], "--max_seconds=%lf", &fvalue) == 1)
+      max_seconds = fvalue;
+    else if (std::sscanf(argv[i], "--port_file=%255s", buffer) == 1)
+      port_file = buffer;
+    else if (std::sscanf(argv[i], "--weights=%255s", buffer) == 1)
+      weights = buffer;
+    else if (std::strcmp(argv[i], "--batch") == 0) batch = true;
+    else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 1;
+    }
+  }
+
+  ModelArtifact artifact;
+  const bool trained = !weights.empty();
+  if (trained) {
+    auto loaded = ModelArtifact::Load(weights);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "--weights: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    artifact = std::move(loaded).value();
+  }
+
+  DatasetConfig config;
+  config.num_users = users;
+  config.num_steps = 2;  // live rooms only consume the first frame
+  config.num_sessions = 1;
+  config.seed = seed;
+  const Dataset dataset = GenerateTimikLike(config);
+
+  std::vector<std::unique_ptr<serve::Room>> room_list;
+  for (int r = 0; r < rooms; ++r) {
+    serve::Room::Options room_options;
+    room_options.id = r;
+    room_options.mode = serve::Room::Mode::kLive;
+    // Seeded by room id only: every shard replica simulates the same
+    // crowd, so failover answers come from the same statistical world.
+    room_options.seed = 900 + r;
+    auto created = serve::Room::Create(room_options, &dataset);
+    if (!created.ok()) {
+      std::fprintf(stderr, "room %d: %s\n", r,
+                   created.status().ToString().c_str());
+      return 1;
+    }
+    room_list.push_back(std::move(created).value());
+  }
+
+  serve::ServerOptions server_options;
+  server_options.num_threads = threads;
+  server_options.queue_capacity = queue;
+  server_options.default_deadline_ms = deadline_ms;
+  server_options.batch_requests = batch;
+  serve::RecommenderFactory factory;
+  if (trained) {
+    const ModelArtifact* artifact_ptr = &artifact;
+    factory = [artifact_ptr]() -> std::unique_ptr<Recommender> {
+      auto frozen = FrozenPoshgnn::FromArtifact(*artifact_ptr);
+      if (!frozen.ok()) {
+        std::fprintf(stderr, "frozen model: %s\n",
+                     frozen.status().ToString().c_str());
+        return nullptr;
+      }
+      return std::move(frozen).value();
+    };
+  } else {
+    PoshgnnConfig model_config;
+    model_config.seed = 42;
+    factory = [model_config] {
+      return std::make_unique<Poshgnn>(model_config);
+    };
+  }
+  serve::RecommendationServer server(std::move(room_list),
+                                     std::move(factory), server_options);
+
+  serve::NetServerOptions net_options;
+  net_options.port = port;
+  serve::NetServer net(serve::NetServer::HandlerFor(&server), net_options);
+  const Status started = net.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "start: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  if (!port_file.empty()) {
+    // Written atomically-enough for scripts: the single-line write
+    // happens before the "listening" banner below.
+    std::ofstream out(port_file);
+    out << net.port() << "\n";
+  }
+  std::printf("[serve_shard] listening on %s:%d (%d rooms x %d users, "
+              "%d threads, primary=%s%s)\n",
+              net.host().c_str(), net.port(), rooms, users, threads,
+              trained ? "frozen-trained" : "untrained-per-stream",
+              batch ? ", in-tick batching" : "");
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  WallTimer timer;
+  // Tick every room on the cadence; the main thread doubles as ticker.
+  while (!g_stop &&
+         (max_seconds <= 0.0 || timer.ElapsedSeconds() < max_seconds)) {
+    server.TickAll();
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(tick_ms));
+  }
+
+  net.Shutdown();
+  server.Shutdown();
+  std::printf("[serve_shard] exiting after %.1f s\n%s",
+              timer.ElapsedSeconds(), server.metrics().DebugString().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace after
+
+int main(int argc, char** argv) { return after::Main(argc, argv); }

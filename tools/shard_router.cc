@@ -1,0 +1,164 @@
+// The fleet's single front door: listens on one port speaking the wire
+// protocol (serve/wire.h) and routes every request to a backend
+// tools/serve_shard worker by consistent hashing on the room id
+// (serve/router.h). Transport failures eject the backend and retry the
+// next shard on the ring, so killing a worker mid-run degrades to
+// retried requests, not lost ones.
+//
+// Usage:
+//   shard_router --port=7700 --backend=127.0.0.1:7701 \
+//                --backend=127.0.0.1:7702
+// Flags: --port=N --port_file=PATH --backend=HOST:PORT (repeatable)
+//        --threads=N --queue=N (router-side worker pool + admission
+//        bound; overload sheds with kResourceExhausted at the router)
+//        --max_attempts=N --ejection_ms=F --health_ms=F
+//        --max_seconds=F (0 = run until SIGINT/SIGTERM)
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/timer.h"
+#include "serve/net_server.h"
+#include "serve/router.h"
+#include "serve/thread_pool.h"
+
+namespace after {
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void HandleSignal(int) { g_stop = 1; }
+
+bool ParseBackend(const std::string& spec, serve::BackendAddress* out) {
+  const size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= spec.size())
+    return false;
+  out->host = spec.substr(0, colon);
+  out->port = std::atoi(spec.c_str() + colon + 1);
+  return out->port > 0;
+}
+
+int Main(int argc, char** argv) {
+  int port = 0, threads = 4, queue = 1024, max_attempts = 3;
+  double ejection_ms = 1000.0, health_ms = 250.0, max_seconds = 0.0;
+  std::string port_file;
+  std::vector<serve::BackendAddress> backends;
+  for (int i = 1; i < argc; ++i) {
+    int value = 0;
+    double fvalue = 0.0;
+    char buffer[256] = {};
+    if (std::sscanf(argv[i], "--port=%d", &value) == 1) port = value;
+    else if (std::sscanf(argv[i], "--threads=%d", &value) == 1)
+      threads = value;
+    else if (std::sscanf(argv[i], "--queue=%d", &value) == 1) queue = value;
+    else if (std::sscanf(argv[i], "--max_attempts=%d", &value) == 1)
+      max_attempts = value;
+    else if (std::sscanf(argv[i], "--ejection_ms=%lf", &fvalue) == 1)
+      ejection_ms = fvalue;
+    else if (std::sscanf(argv[i], "--health_ms=%lf", &fvalue) == 1)
+      health_ms = fvalue;
+    else if (std::sscanf(argv[i], "--max_seconds=%lf", &fvalue) == 1)
+      max_seconds = fvalue;
+    else if (std::sscanf(argv[i], "--port_file=%255s", buffer) == 1)
+      port_file = buffer;
+    else if (std::sscanf(argv[i], "--backend=%255s", buffer) == 1) {
+      serve::BackendAddress backend;
+      if (!ParseBackend(buffer, &backend)) {
+        std::fprintf(stderr, "bad --backend spec: %s\n", buffer);
+        return 1;
+      }
+      backends.push_back(std::move(backend));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 1;
+    }
+  }
+  if (backends.empty()) {
+    std::fprintf(stderr,
+                 "shard_router: need at least one --backend=HOST:PORT\n");
+    return 1;
+  }
+
+  serve::RouterOptions router_options;
+  router_options.max_attempts = max_attempts;
+  router_options.ejection_ms = ejection_ms;
+  router_options.health_check_interval_ms = health_ms;
+  serve::ShardRouter router(backends, router_options);
+
+  // The router's own worker pool decouples slow backends from the
+  // connection readers and gives the front door its own admission
+  // control: a full queue sheds with kResourceExhausted, mirroring the
+  // in-process server's ladder step 1.
+  serve::ThreadPool pool(threads, queue);
+  serve::RequestHandler handler =
+      [&router, &pool](const serve::FriendRequest& request,
+                       std::function<void(const serve::FriendResponse&)> done) {
+        auto done_ptr = std::make_shared<
+            std::function<void(const serve::FriendResponse&)>>(
+            std::move(done));
+        const bool admitted = pool.TrySubmit([&router, request, done_ptr] {
+          (*done_ptr)(router.Route(request));
+        });
+        if (!admitted) {
+          serve::FriendResponse response;
+          response.status =
+              ResourceExhaustedError("router queue full; load shed");
+          (*done_ptr)(response);
+        }
+      };
+
+  serve::NetServerOptions net_options;
+  net_options.port = port;
+  serve::NetServer net(std::move(handler), net_options);
+  const Status started = net.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "start: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  if (!port_file.empty()) {
+    std::ofstream out(port_file);
+    out << net.port() << "\n";
+  }
+  std::printf("[shard_router] listening on %s:%d, %zu backend(s):",
+              net.host().c_str(), net.port(), backends.size());
+  for (const auto& backend : backends)
+    std::printf(" %s", backend.ToString().c_str());
+  std::printf("\n");
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  WallTimer timer;
+  while (!g_stop &&
+         (max_seconds <= 0.0 || timer.ElapsedSeconds() < max_seconds)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  net.Shutdown();
+  pool.Shutdown();
+  router.Shutdown();
+  const auto& m = router.metrics();
+  std::printf("[shard_router] exiting after %.1f s: routed=%lld "
+              "retried=%lld ejections=%lld exhausted=%lld "
+              "pooled_reuse=%lld connects=%lld\n",
+              timer.ElapsedSeconds(),
+              static_cast<long long>(m.routed.load()),
+              static_cast<long long>(m.retried.load()),
+              static_cast<long long>(m.ejections.load()),
+              static_cast<long long>(m.exhausted.load()),
+              static_cast<long long>(m.pooled_reuse.load()),
+              static_cast<long long>(m.connects.load()));
+  return 0;
+}
+
+}  // namespace
+}  // namespace after
+
+int main(int argc, char** argv) { return after::Main(argc, argv); }
