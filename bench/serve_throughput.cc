@@ -23,11 +23,15 @@
 //        --batch        (in-tick request batching: coalesce each room's
 //                        queued requests into one inference job per
 //                        snapshot; see docs/serving.md)
+//        --json=PATH    (single-config mode only: write the target
+//                        config's stats as a BENCH_serve.json-style
+//                        summary for scripts/bench_compare.py)
 
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
@@ -171,7 +175,7 @@ int Main(int argc, char** argv) {
   int rooms = -1, threads = -1, clients = -1;
   int users = 60, requests = 600;
   double deadline_ms = 1000.0;
-  std::string weights;
+  std::string weights, json_path;
   bool batch = false;
   for (int i = 1; i < argc; ++i) {
     int value = 0;
@@ -189,6 +193,8 @@ int Main(int argc, char** argv) {
       deadline_ms = fvalue;
     else if (std::sscanf(argv[i], "--weights=%255s", buffer) == 1)
       weights = buffer;
+    else if (std::sscanf(argv[i], "--json=%255s", buffer) == 1)
+      json_path = buffer;
     else if (std::strcmp(argv[i], "--batch") == 0)
       batch = true;
     else {
@@ -257,7 +263,37 @@ int Main(int argc, char** argv) {
         baseline.throughput,
         baseline.throughput > 0.0 ? target.throughput / baseline.throughput
                                   : 0.0);
+    if (!json_path.empty()) {
+      std::ofstream out(json_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+        return 1;
+      }
+      out << "{\n"
+          << "  \"bench\": \"serve_throughput\",\n"
+          << "  \"rooms\": " << rooms << ",\n"
+          << "  \"threads\": " << threads << ",\n"
+          << "  \"clients\": " << clients << ",\n"
+          << "  \"ok\": " << target.ok << ",\n"
+          << "  \"shed\": " << target.shed << ",\n"
+          << "  \"timeouts\": " << target.timeouts << ",\n"
+          << "  \"fallbacks\": " << target.fallbacks << ",\n"
+          << "  \"batches\": " << target.batches << ",\n"
+          << "  \"coalesced\": " << target.coalesced << ",\n"
+          << "  \"qps\": " << target.throughput << ",\n"
+          << "  \"p50_ms\": " << target.p50 << ",\n"
+          << "  \"p95_ms\": " << target.p95 << ",\n"
+          << "  \"p99_ms\": " << target.p99 << "\n"
+          << "}\n";
+      std::printf("[serve_throughput] wrote %s\n", json_path.c_str());
+    }
     return (target.shed == 0 && target.timeouts == 0) ? 0 : 2;
+  }
+
+  if (!json_path.empty()) {
+    std::fprintf(stderr,
+                 "--json needs a single config (--rooms/--threads)\n");
+    return 1;
   }
 
   // Default sweep.

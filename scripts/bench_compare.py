@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Compare a benchmark run against its committed baseline.
+
+Usage:
+    scripts/bench_compare.py BASELINE.json CURRENT.json [BASELINE CURRENT ...]
+
+Each pair is a baseline JSON (committed under bench/baselines/) and a
+fresh run of the same benchmark (serve_throughput --json / net_throughput
+--json). The gate fails when:
+
+  - a correctness key regresses: current lost != 0 or errors != 0;
+  - p99 latency regresses by more than 25% over baseline AND by more
+    than the absolute floor (5 ms) — the floor keeps sub-millisecond
+    jitter on shared runners from tripping the relative check;
+  - throughput (qps) drops by more than 25%;
+  - the degraded share (fallback-served answers / requests) grows by
+    more than 25 percentage points over baseline — "all served" must
+    not silently decay into "all served by the fallback".
+
+Baselines are intentionally loose (worst-observed, not best-observed):
+refresh them only when a deliberate change moves the numbers, with
+
+    ./build/bench/serve_throughput --rooms=2 --threads=2 --clients=4 \
+        --requests=4000 --users=24 --json=bench/baselines/BENCH_serve.json
+    ./build/bench/net_throughput --partitioned --shards=3 --rooms=12 \
+        --users=24 --clients=4 --requests=8000 --kill_shard_ms=300 \
+        --json=bench/baselines/BENCH_net.json
+
+and commit the result together with the change that justified it.
+"""
+
+import json
+import sys
+
+MAX_REGRESSION = 0.25      # relative ceiling for p99 / floor for qps
+P99_FLOOR_MS = 5.0         # absolute slack before p99 ratio applies
+MAX_DEGRADED_GROWTH = 0.25 # degraded-share growth ceiling (fraction)
+
+
+def load(path):
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise SystemExit(f"bench_compare: cannot read {path}: {error}")
+
+
+def degraded_share(data):
+    requests = data.get("requests", 0)
+    if not requests:
+        return 0.0
+    return data.get("degraded", data.get("fallbacks", 0)) / requests
+
+
+def compare(baseline_path, current_path):
+    baseline = load(baseline_path)
+    current = load(current_path)
+    name = current.get("bench", current_path)
+    failures = []
+
+    for key in ("qps", "p99_ms"):
+        for which, data in (("baseline", baseline), ("current", current)):
+            if key not in data:
+                failures.append(f"{which} is missing key {key!r}")
+    if failures:
+        return name, failures
+
+    for key in ("lost", "errors"):
+        if current.get(key, 0) != 0:
+            failures.append(f"correctness: {key}={current[key]} (must be 0)")
+
+    base_p99, cur_p99 = baseline["p99_ms"], current["p99_ms"]
+    if (cur_p99 > base_p99 * (1.0 + MAX_REGRESSION)
+            and cur_p99 - base_p99 > P99_FLOOR_MS):
+        failures.append(
+            f"p99 regressed: {base_p99:.2f} ms -> {cur_p99:.2f} ms "
+            f"(> +{MAX_REGRESSION:.0%} and > +{P99_FLOOR_MS} ms)")
+
+    base_qps, cur_qps = baseline["qps"], current["qps"]
+    if base_qps > 0 and cur_qps < base_qps * (1.0 - MAX_REGRESSION):
+        failures.append(
+            f"throughput dropped: {base_qps:.1f} -> {cur_qps:.1f} req/s "
+            f"(> -{MAX_REGRESSION:.0%})")
+
+    base_degraded, cur_degraded = degraded_share(baseline), degraded_share(current)
+    if cur_degraded > base_degraded + MAX_DEGRADED_GROWTH:
+        failures.append(
+            f"degraded share grew: {base_degraded:.1%} -> {cur_degraded:.1%} "
+            f"(> +{MAX_DEGRADED_GROWTH:.0%} over baseline)")
+
+    return name, failures
+
+
+def main(argv):
+    if len(argv) < 3 or len(argv) % 2 != 1:
+        raise SystemExit(__doc__)
+    failed = False
+    for i in range(1, len(argv), 2):
+        baseline_path, current_path = argv[i], argv[i + 1]
+        name, failures = compare(baseline_path, current_path)
+        if failures:
+            failed = True
+            print(f"FAIL {name} ({current_path} vs {baseline_path}):")
+            for failure in failures:
+                print(f"  - {failure}")
+        else:
+            current = load(current_path)
+            summary = {k: current[k] for k in ("qps", "p50_ms", "p99_ms")
+                       if k in current}
+            print(f"OK   {name}: {summary}")
+    if failed:
+        print()
+        print("If a deliberate change moved the numbers, refresh the")
+        print("baselines (commands in scripts/bench_compare.py's header)")
+        print("and commit them alongside the change that justified it.")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -11,20 +11,34 @@
 # Lanes:
 #   docs     no build: every intra-repo markdown link resolves
 #            (relative and repo-absolute), docs/ARCHITECTURE.md mentions
-#            every src/* subsystem, and shellcheck (when installed)
-#            passes on tracked shell scripts
+#            every src/* subsystem, docs/serving.md covers the
+#            partitioned-serving vocabulary, and shellcheck (when
+#            installed) passes on tracked shell scripts
 #   format   clang-format --dry-run over tracked C++ sources; skipped
 #            with a notice when clang-format is not installed
 #   release  RelWithDebInfo, full ctest suite (the tier-1 gate)
 #   asan     address+undefined sanitizers, full ctest suite
+#   ubsan    undefined-behavior sanitizer alone (catches UB that asan's
+#            shadow memory layout can mask), full ctest suite
 #   tsan     thread sanitizer; by default runs only the concurrent
 #            serving-runtime tests (ctest -R serve), where data races
 #            actually live. Override the filter with TSAN_FILTER.
+#   release-core / release-serve / asan-core / asan-serve
+#            the same suites split by ctest regex (-E '^serve/' vs
+#            -R '^serve/') so CI can run both halves in parallel with
+#            per-lane build caches
 #   bench    smoke-config serving benchmarks: serve_throughput
 #            (in-process) and net_throughput (TCP fleet with mid-run
-#            shard kill), writing build/BENCH_serve.json and failing on
-#            malformed output. Not in the default set: CI runs it as a
-#            non-blocking job.
+#            shard kill, then a partitioned fleet with live migration),
+#            writing build/BENCH_serve.json + build/BENCH_net.json and
+#            failing on malformed output. Not in the default set: CI
+#            runs it as a non-blocking job.
+#   bench-regression
+#            runs both benches in the baseline config and gates them
+#            against bench/baselines/*.json with
+#            scripts/bench_compare.py (>25% p99/throughput regression,
+#            lost/errors != 0, or degraded-share growth fails). This one
+#            IS blocking in CI.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -72,6 +86,17 @@ run_docs_lane() {
       fail=1
     fi
   done
+  # The serving page must keep covering the partitioned-serving
+  # vocabulary (ownership wire messages, the replication knob, and the
+  # control-plane module).
+  local term
+  for term in kRoomAssign kRoomRelease kNotOwner replication_factor \
+              shard_control; do
+    if ! grep -q "${term}" docs/serving.md; then
+      echo "docs: ${term} is not mentioned in docs/serving.md"
+      fail=1
+    fi
+  done
   # Tracked shell scripts must be shellcheck-clean where the tool
   # exists (CI installs it; a bare container may not have it).
   if command -v shellcheck > /dev/null 2>&1; then
@@ -109,28 +134,53 @@ run_bench_lane() {
     --target serve_throughput net_throughput
   echo "---- serve_throughput (in-process smoke) ----"
   ./build/bench/serve_throughput --rooms=2 --threads=2 --requests=200 \
-    --users=24
+    --users=24 --json=build/BENCH_serve.json
   echo "---- net_throughput (TCP fleet smoke, kill one shard) ----"
   ./build/bench/net_throughput --shards=2 --rooms=4 --users=24 \
-    --clients=4 --requests=800 --kill_shard_ms=100 \
-    --json=build/BENCH_serve.json
+    --clients=4 --requests=800 --kill_shard_ms=100
+  echo "---- net_throughput (partitioned fleet, kill + live add) ----"
+  ./build/bench/net_throughput --partitioned --shards=3 --rooms=12 \
+    --users=24 --clients=4 --requests=4000 --kill_shard_ms=200 \
+    --add_shard_ms=400 --json=build/BENCH_net.json
   # A benchmark that silently emits garbage is worse than one that
-  # fails: validate the summary before anything downstream trusts it.
-  python3 - build/BENCH_serve.json <<'PY'
+  # fails: validate the summaries before anything downstream trusts
+  # them. The net summary must carry the degraded counter so "all
+  # served" and "all served by the fallback" stay distinguishable.
+  python3 - build/BENCH_serve.json build/BENCH_net.json <<'PY'
 import json, sys
-with open(sys.argv[1]) as handle:
-    data = json.load(handle)
-for key in ("bench", "requests", "ok", "lost", "errors",
-            "qps", "p50_ms", "p95_ms", "p99_ms"):
-    if key not in data:
-        raise SystemExit(f"BENCH_serve.json: missing key {key!r}")
-if data["requests"] <= 0 or data["qps"] <= 0:
-    raise SystemExit("BENCH_serve.json: non-positive requests/qps")
-if data["p50_ms"] > data["p99_ms"]:
-    raise SystemExit("BENCH_serve.json: p50 > p99")
-print("BENCH_serve.json OK:",
-      {k: data[k] for k in ("qps", "p50_ms", "p95_ms", "p99_ms")})
+for path in sys.argv[1:]:
+    with open(path) as handle:
+        data = json.load(handle)
+    keys = ["bench", "ok", "qps", "p50_ms", "p95_ms", "p99_ms"]
+    if data.get("bench") == "net_throughput":
+        keys += ["requests", "degraded", "not_owner", "lost", "errors"]
+    for key in keys:
+        if key not in data:
+            raise SystemExit(f"{path}: missing key {key!r}")
+    if data["ok"] <= 0 or data["qps"] <= 0:
+        raise SystemExit(f"{path}: non-positive ok/qps")
+    if data["p50_ms"] > data["p99_ms"]:
+        raise SystemExit(f"{path}: p50 > p99")
+    print(f"{path} OK:",
+          {k: data[k] for k in ("qps", "p50_ms", "p95_ms", "p99_ms")})
 PY
+}
+
+run_bench_regression_lane() {
+  cmake --preset release
+  cmake --build --preset release -j "${JOBS}" \
+    --target serve_throughput net_throughput
+  echo "---- serve_throughput (baseline config) ----"
+  ./build/bench/serve_throughput --rooms=2 --threads=2 --clients=4 \
+    --requests=4000 --users=24 --json=build/BENCH_serve.json
+  echo "---- net_throughput (baseline config: partitioned + kill) ----"
+  ./build/bench/net_throughput --partitioned --shards=3 --rooms=12 \
+    --users=24 --clients=4 --requests=8000 --kill_shard_ms=300 \
+    --json=build/BENCH_net.json
+  echo "---- compare against committed baselines ----"
+  python3 scripts/bench_compare.py \
+    bench/baselines/BENCH_serve.json build/BENCH_serve.json \
+    bench/baselines/BENCH_net.json build/BENCH_net.json
 }
 
 run_lane() {
@@ -140,16 +190,26 @@ run_lane() {
     docs)   run_docs_lane;   return ;;
     format) run_format_lane; return ;;
     bench)  run_bench_lane;  return ;;
+    bench-regression) run_bench_regression_lane; return ;;
   esac
-  cmake --preset "${lane}"
-  cmake --build --preset "${lane}" -j "${JOBS}"
-  if [ "${lane}" = tsan ]; then
-    ctest --test-dir "build-tsan" -R "${TSAN_FILTER}" \
+  # release-core / asan-serve / ... are the base preset plus a ctest
+  # split: -core excludes the serving-runtime tests, -serve runs only
+  # them, so CI halves each suite across two cached jobs.
+  local preset="${lane%%-*}"
+  local -a filter=()
+  case "${lane}" in
+    *-core)  filter=(-E '^serve/') ;;
+    *-serve) filter=(-R '^serve/') ;;
+  esac
+  cmake --preset "${preset}"
+  cmake --build --preset "${preset}" -j "${JOBS}"
+  local dir="build-${preset}"
+  [ "${preset}" = release ] && dir=build
+  if [ "${preset}" = tsan ]; then
+    ctest --test-dir "${dir}" -R "${TSAN_FILTER}" \
       --output-on-failure -j "${JOBS}"
   else
-    local dir=build
-    [ "${lane}" = asan ] && dir=build-asan
-    ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
+    ctest --test-dir "${dir}" "${filter[@]}" --output-on-failure -j "${JOBS}"
   fi
 }
 

@@ -35,6 +35,11 @@ enum class StatusCode {
   /// did not run and is safe to retry elsewhere (the shard router's
   /// retry-next-shard trigger).
   kUnavailable,
+  /// A shard was asked about a room it does not own (partitioned
+  /// serving, serve/shard_control.h). The request did not run; the
+  /// caller should re-route to the room's current owner. Distinct from
+  /// kUnavailable: the shard is healthy, it just is not responsible.
+  kNotOwner,
 };
 
 /// Short upper-case name for a code ("INVALID_DATA").
@@ -58,6 +63,8 @@ inline const char* StatusCodeName(StatusCode code) {
       return "INVALID_ARGUMENT";
     case StatusCode::kUnavailable:
       return "UNAVAILABLE";
+    case StatusCode::kNotOwner:
+      return "NOT_OWNER";
   }
   return "UNKNOWN";
 }
@@ -130,6 +137,9 @@ inline Status InvalidArgumentError(std::string message) {
 }
 inline Status UnavailableError(std::string message) {
   return Status(StatusCode::kUnavailable, std::move(message));
+}
+inline Status NotOwnerError(std::string message) {
+  return Status(StatusCode::kNotOwner, std::move(message));
 }
 
 }  // namespace after

@@ -5,15 +5,15 @@
 namespace after {
 namespace serve {
 
-TickBatcher::TickBatcher(int num_rooms) : rooms_(num_rooms) {
-  AFTER_CHECK_GT(num_rooms, 0);
+TickBatcher::PerRoom& TickBatcher::StateFor(int room) const {
+  AFTER_CHECK_GE(room, 0);
+  std::lock_guard<std::mutex> lock(rooms_mutex_);
+  return rooms_[room];
 }
 
 TickBatcher::Admit TickBatcher::Enqueue(
     int room, Pending pending, const std::function<bool()>& schedule) {
-  AFTER_CHECK_GE(room, 0);
-  AFTER_CHECK_LT(room, static_cast<int>(rooms_.size()));
-  PerRoom& state = rooms_[room];
+  PerRoom& state = StateFor(room);
   std::lock_guard<std::mutex> lock(state.mutex);
   state.queue.push_back(std::move(pending));
   if (state.drain_scheduled) return Admit::kQueued;
@@ -28,9 +28,7 @@ TickBatcher::Admit TickBatcher::Enqueue(
 }
 
 std::vector<TickBatcher::Pending> TickBatcher::TakeBatch(int room) {
-  AFTER_CHECK_GE(room, 0);
-  AFTER_CHECK_LT(room, static_cast<int>(rooms_.size()));
-  PerRoom& state = rooms_[room];
+  PerRoom& state = StateFor(room);
   std::lock_guard<std::mutex> lock(state.mutex);
   if (state.queue.empty()) {
     state.drain_scheduled = false;
@@ -42,9 +40,7 @@ std::vector<TickBatcher::Pending> TickBatcher::TakeBatch(int room) {
 }
 
 int TickBatcher::pending(int room) const {
-  AFTER_CHECK_GE(room, 0);
-  AFTER_CHECK_LT(room, static_cast<int>(rooms_.size()));
-  const PerRoom& state = rooms_[room];
+  const PerRoom& state = StateFor(room);
   std::lock_guard<std::mutex> lock(state.mutex);
   return static_cast<int>(state.queue.size());
 }

@@ -2,6 +2,7 @@
 #define AFTER_SERVE_BATCHER_H_
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -54,7 +55,10 @@ class TickBatcher {
     kRejected,
   };
 
-  explicit TickBatcher(int num_rooms);
+  /// Rooms are keyed by id and materialize lazily on first Enqueue, so
+  /// the batcher follows partitioned ownership churn (rooms assigned or
+  /// released at runtime) without pre-sizing.
+  TickBatcher() = default;
 
   /// Parks `pending` on `room`'s queue. `schedule` must arrange for a
   /// drain task that will call TakeBatch(room); it runs under the room
@@ -78,7 +82,13 @@ class TickBatcher {
     bool drain_scheduled = false;
   };
 
-  std::vector<PerRoom> rooms_;
+  /// Returns the room's state, creating it on first use. std::map gives
+  /// node stability, so the returned reference survives later inserts
+  /// (PerRoom holds a mutex and cannot be moved by a rehash).
+  PerRoom& StateFor(int room) const;
+
+  mutable std::mutex rooms_mutex_;  // guards map growth only
+  mutable std::map<int, PerRoom> rooms_;
 };
 
 }  // namespace serve

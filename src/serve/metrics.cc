@@ -92,6 +92,15 @@ std::string ServerMetrics::DebugString() const {
                 queue_depth.load(), max_queue_depth.load(),
                 static_cast<long long>(ticks.load()));
   out += line;
+  if (rooms_assigned.load() > 0 || rooms_released.load() > 0) {
+    std::snprintf(line, sizeof(line),
+                  "partition: %lld assigned (%lld migrated in) | "
+                  "%lld released\n",
+                  static_cast<long long>(rooms_assigned.load()),
+                  static_cast<long long>(migrations_in.load()),
+                  static_cast<long long>(rooms_released.load()));
+    out += line;
+  }
   if (batches.load() > 0) {
     const long long jobs = static_cast<long long>(batches.load());
     const long long reqs = static_cast<long long>(batched_requests.load());
@@ -123,6 +132,9 @@ void ServerMetrics::Reset() {
   batched_requests.store(0);
   coalesced.store(0);
   ticks.store(0);
+  rooms_assigned.store(0);
+  rooms_released.store(0);
+  migrations_in.store(0);
   queue_depth.store(0);
   max_queue_depth.store(0);
   latency.Reset();

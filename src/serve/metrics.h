@@ -71,6 +71,12 @@ struct ServerMetrics {
   std::atomic<int64_t> coalesced{0};
   /// Room ticks published.
   std::atomic<int64_t> ticks{0};
+  /// Partitioned serving (serve/shard_control.h): ownership grants and
+  /// releases processed by this shard, and how many of the grants
+  /// carried migrated state (as opposed to fresh-seeded rooms).
+  std::atomic<int64_t> rooms_assigned{0};
+  std::atomic<int64_t> rooms_released{0};
+  std::atomic<int64_t> migrations_in{0};
   /// Requests currently admitted but not yet completed.
   std::atomic<int32_t> queue_depth{0};
   /// High-water mark of queue_depth.

@@ -157,6 +157,20 @@ Result<FriendResponse> NetClient::Call(const FriendRequest& request) {
     wire::Frame frame;
     AFTER_RETURN_IF_ERROR(ReadFrame(&frame));
     if (frame.type == wire::MessageType::kPong) continue;
+    if (frame.type == wire::MessageType::kNotOwner) {
+      auto not_owner = wire::DecodeNotOwner(frame.payload);
+      if (!not_owner.ok()) {
+        broken_ = true;
+        return not_owner.status();
+      }
+      if (not_owner.value().id != id) continue;  // stale; skip it
+      FriendResponse response;
+      std::ostringstream oss;
+      oss << "shard does not own room " << not_owner.value().room
+          << " (epoch " << not_owner.value().epoch << ")";
+      response.status = NotOwnerError(oss.str());
+      return response;
+    }
     if (frame.type != wire::MessageType::kResponse) {
       broken_ = true;
       return InvalidArgumentError("wire: unexpected frame type from server");
@@ -171,6 +185,61 @@ Result<FriendResponse> NetClient::Call(const FriendRequest& request) {
       continue;
     }
     return std::move(decoded).value().response;
+  }
+}
+
+Status NetClient::AssignRoom(int room, uint64_t epoch,
+                             const std::string& state) {
+  if (broken_) return Transport("connection already broken", 0);
+  const uint64_t id = next_id_++;
+  std::string out;
+  wire::AppendRoomAssignFrame(id, room, epoch, state, &out);
+  AFTER_RETURN_IF_ERROR(SendAll(out));
+  while (true) {
+    wire::Frame frame;
+    AFTER_RETURN_IF_ERROR(ReadFrame(&frame));
+    if (frame.type != wire::MessageType::kResponse) continue;  // stale
+    auto decoded = wire::DecodeResponse(frame.payload);
+    if (!decoded.ok()) {
+      broken_ = true;
+      return decoded.status();
+    }
+    if (decoded.value().id != id) continue;
+    return decoded.value().response.status;
+  }
+}
+
+Result<std::string> NetClient::ReleaseRoom(int room, uint64_t epoch) {
+  if (broken_) return Transport("connection already broken", 0);
+  const uint64_t id = next_id_++;
+  std::string out;
+  wire::AppendRoomReleaseFrame(id, room, epoch, &out);
+  AFTER_RETURN_IF_ERROR(SendAll(out));
+  while (true) {
+    wire::Frame frame;
+    AFTER_RETURN_IF_ERROR(ReadFrame(&frame));
+    // Success acks arrive as a kRoomAssign frame carrying the final
+    // state; failures come back as a plain response frame.
+    if (frame.type == wire::MessageType::kRoomAssign) {
+      auto decoded = wire::DecodeRoomAssign(frame.payload);
+      if (!decoded.ok()) {
+        broken_ = true;
+        return decoded.status();
+      }
+      if (decoded.value().id != id) continue;
+      return std::move(decoded).value().state;
+    }
+    if (frame.type != wire::MessageType::kResponse) continue;  // stale
+    auto decoded = wire::DecodeResponse(frame.payload);
+    if (!decoded.ok()) {
+      broken_ = true;
+      return decoded.status();
+    }
+    if (decoded.value().id != id) continue;
+    const Status& status = decoded.value().response.status;
+    if (status.ok())
+      return InvalidArgumentError("wire: release ack without state");
+    return status;
   }
 }
 

@@ -44,12 +44,23 @@ class NetClient {
   NetClient(const NetClient&) = delete;
   NetClient& operator=(const NetClient&) = delete;
 
-  /// Sends one FriendRequest and blocks for the matching response.
+  /// Sends one FriendRequest and blocks for the matching response. A
+  /// kNotOwner reply (partitioned serving) surfaces as a FriendResponse
+  /// whose status is kNotOwner — the shard is healthy, the request just
+  /// has to be re-routed to the room's current owner.
   Result<FriendResponse> Call(const FriendRequest& request);
 
   /// Round-trips a ping frame; OK means the backend is alive and
   /// speaking the protocol.
   Status Ping();
+
+  /// Room-ownership control plane (router side). AssignRoom grants the
+  /// shard ownership of `room` at `epoch`, with `state` either empty
+  /// (fresh room) or a migration blob; the shard's ack status is
+  /// returned. ReleaseRoom revokes ownership and returns the shard's
+  /// final state blob for the room.
+  Status AssignRoom(int room, uint64_t epoch, const std::string& state);
+  Result<std::string> ReleaseRoom(int room, uint64_t epoch);
 
   const std::string& host() const { return host_; }
   int port() const { return port_; }

@@ -14,6 +14,7 @@
 
 #include "common/check.h"
 #include "serve/server.h"
+#include "serve/shard_control.h"
 #include "serve/wire.h"
 
 namespace after {
@@ -213,6 +214,18 @@ void NetServer::ReadLoop(std::shared_ptr<Connection> connection) {
             break;
           }
           const uint64_t id = decoded.value().id;
+          const int room = decoded.value().request.room;
+          if (room_control_.owns && !room_control_.owns(room)) {
+            // Partitioned serving: this shard is healthy but not
+            // responsible for the room; tell the caller to re-route.
+            not_owner_replies_.fetch_add(1, std::memory_order_relaxed);
+            const uint64_t epoch =
+                room_control_.epoch ? room_control_.epoch(room) : 0;
+            std::string out;
+            wire::AppendNotOwnerFrame(id, room, epoch, &out);
+            connection->Write(out);
+            break;
+          }
           handler_(decoded.value().request,
                    [connection, id](const FriendResponse& response) {
                      std::string out;
@@ -221,8 +234,66 @@ void NetServer::ReadLoop(std::shared_ptr<Connection> connection) {
                    });
           break;
         }
+        case wire::MessageType::kRoomAssign: {
+          if (!room_control_.assign) {
+            // No control plane installed: ownership frames are protocol
+            // confusion, exactly like a stray response.
+            frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+            alive = false;
+            break;
+          }
+          auto decoded = wire::DecodeRoomAssign(frame.payload);
+          if (!decoded.ok()) {
+            frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+            alive = false;
+            break;
+          }
+          control_frames_.fetch_add(1, std::memory_order_relaxed);
+          const wire::RoomAssignFrame& grant = decoded.value();
+          // Synchronous on the reader thread: control traffic is rare
+          // and per-connection ordering is exactly what the router's
+          // migration sequencing relies on.
+          FriendResponse ack;
+          ack.status =
+              room_control_.assign(grant.room, grant.epoch, grant.state);
+          std::string out;
+          wire::AppendResponseFrame(grant.id, ack, &out);
+          connection->Write(out);
+          break;
+        }
+        case wire::MessageType::kRoomRelease: {
+          if (!room_control_.release) {
+            frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+            alive = false;
+            break;
+          }
+          auto decoded = wire::DecodeRoomRelease(frame.payload);
+          if (!decoded.ok()) {
+            frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+            alive = false;
+            break;
+          }
+          control_frames_.fetch_add(1, std::memory_order_relaxed);
+          const wire::RoomReleaseFrame& revoke = decoded.value();
+          Result<std::string> state =
+              room_control_.release(revoke.room, revoke.epoch);
+          std::string out;
+          if (state.ok()) {
+            // The release ack is a kRoomAssign frame carrying the final
+            // state, so the router can forward it to the new owner.
+            wire::AppendRoomAssignFrame(revoke.id, revoke.room, revoke.epoch,
+                                        state.value(), &out);
+          } else {
+            FriendResponse nack;
+            nack.status = state.status();
+            wire::AppendResponseFrame(revoke.id, nack, &out);
+          }
+          connection->Write(out);
+          break;
+        }
         case wire::MessageType::kResponse:
         case wire::MessageType::kPong:
+        case wire::MessageType::kNotOwner:
           // Clients never originate these; treat as protocol confusion.
           frames_rejected_.fetch_add(1, std::memory_order_relaxed);
           alive = false;
@@ -275,6 +346,26 @@ RequestHandler NetServer::HandlerFor(RecommendationServer* server) {
                   std::function<void(const FriendResponse&)> done) {
     server->Submit(request, std::move(done));
   };
+}
+
+void NetServer::set_room_control(RoomControl control) {
+  AFTER_CHECK_EQ(listen_fd_, -1);  // install before Start()
+  room_control_ = std::move(control);
+}
+
+RoomControl NetServer::ControlFor(ShardControl* control) {
+  AFTER_CHECK(control != nullptr);
+  RoomControl hooks;
+  hooks.owns = [control](int room) { return control->Owns(room); };
+  hooks.epoch = [control](int room) { return control->EpochFor(room); };
+  hooks.assign = [control](int room, uint64_t epoch,
+                           const std::string& state) {
+    return control->Assign(room, epoch, state);
+  };
+  hooks.release = [control](int room, uint64_t epoch) {
+    return control->Release(room, epoch);
+  };
+  return hooks;
 }
 
 }  // namespace serve

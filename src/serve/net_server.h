@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/result.h"
 #include "common/status.h"
 #include "serve/server_types.h"
 
@@ -17,6 +18,7 @@ namespace after {
 namespace serve {
 
 class RecommendationServer;
+class ShardControl;
 
 /// What a NetServer serves: an asynchronous request handler with the
 /// same shape as RecommendationServer::Submit. The completion callback
@@ -25,6 +27,24 @@ class RecommendationServer;
 /// tools/serve_shard) and a ShardRouter front (tools/shard_router).
 using RequestHandler = std::function<void(
     const FriendRequest&, std::function<void(const FriendResponse&)>)>;
+
+/// Room-ownership hooks for partitioned serving (serve/shard_control.h).
+/// When installed, requests for rooms `owns` rejects are answered with a
+/// kNotOwner frame instead of reaching the handler, and kRoomAssign /
+/// kRoomRelease control frames are dispatched to `assign` / `release`
+/// (synchronously, on the connection's reader thread — control traffic
+/// is rare and strictly ordered per connection). Without a RoomControl,
+/// control frames are protocol confusion and close the connection, which
+/// is exactly the pre-partitioning behavior.
+struct RoomControl {
+  std::function<bool(int room)> owns;
+  /// The shard's latest epoch for a room (0 if never seen); echoed in
+  /// kNotOwner replies so routers can order their view.
+  std::function<uint64_t(int room)> epoch;
+  std::function<Status(int room, uint64_t epoch, const std::string& state)>
+      assign;
+  std::function<Result<std::string>(int room, uint64_t epoch)> release;
+};
 
 struct NetServerOptions {
   /// Listen address. The default binds loopback only: the fleet is a
@@ -83,6 +103,21 @@ class NetServer {
   /// outlive the NetServer).
   static RequestHandler HandlerFor(RecommendationServer* server);
 
+  /// Installs the ownership hooks. Call before Start(); the control
+  /// object must outlive the NetServer.
+  void set_room_control(RoomControl control);
+
+  /// Adapter: ownership hooks backed by a ShardControl (which must
+  /// outlive the NetServer).
+  static RoomControl ControlFor(ShardControl* control);
+
+  int64_t not_owner_replies() const {
+    return not_owner_replies_.load(std::memory_order_relaxed);
+  }
+  int64_t control_frames() const {
+    return control_frames_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Connection;
 
@@ -91,6 +126,7 @@ class NetServer {
   void ReapFinishedConnections();
 
   RequestHandler handler_;
+  RoomControl room_control_;  // empty hooks = partitioning disabled
   NetServerOptions options_;
   int listen_fd_ = -1;
   int port_ = 0;
@@ -100,6 +136,8 @@ class NetServer {
   std::vector<std::shared_ptr<Connection>> connections_;
   std::atomic<int64_t> connections_accepted_{0};
   std::atomic<int64_t> frames_rejected_{0};
+  std::atomic<int64_t> not_owner_replies_{0};
+  std::atomic<int64_t> control_frames_{0};
 };
 
 }  // namespace serve

@@ -2,8 +2,10 @@
 #define AFTER_SERVE_ROOM_H_
 
 #include <atomic>
+#include <deque>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "common/geometry.h"
@@ -66,6 +68,12 @@ class RoomSnapshot {
   std::unique_ptr<std::once_flag[]> occlusion_once_;
 };
 
+/// Published frames retained for migration handoff: the room keeps the
+/// last kTrajectoryWindowFrames position frames (including the current
+/// one) so a migrated room resumes with the same short-term trajectory
+/// history the temporal models were fed on the old owner.
+inline constexpr int kTrajectoryWindowFrames = 8;
+
 /// One sharded conference room: the live scene state plus the currently
 /// published snapshot. Two modes:
 ///  - kReplay walks a recorded session tick-by-tick (deterministic;
@@ -115,6 +123,26 @@ class Room {
   /// The current snapshot; never null after Create().
   std::shared_ptr<const RoomSnapshot> snapshot() const;
 
+  /// Serializes the room's migratable state — tick, current positions,
+  /// live-mode goals, and the trajectory window — as an nn/serialize
+  /// parameter-block text blob (precision 17, so doubles round-trip
+  /// bit-exactly). The receiving shard passes the blob to ApplyState().
+  /// Waypoint RNG internals are deliberately not migrated: the new owner
+  /// continues with its own stream, which only perturbs *future* random
+  /// waypoints, never already-committed positions/goals.
+  std::string ExportState() const;
+
+  /// Applies a blob produced by ExportState() on a room created from the
+  /// same dataset/session (same user count and mode). All-or-nothing:
+  /// the blob is fully validated before any mutation, and a non-OK
+  /// return leaves the room exactly as it was. On success the migrated
+  /// tick is published and serving resumes from the donor's state.
+  Status ApplyState(const std::string& blob);
+
+  /// Copy of the retained frames, oldest first; the last entry is always
+  /// the currently published positions. Test hook for bit-exactness.
+  std::vector<std::vector<Vec2>> trajectory_window() const;
+
  private:
   Room(const Options& options, const Dataset* dataset, const XrWorld* world);
 
@@ -130,7 +158,10 @@ class Room {
   std::unique_ptr<CrowdSimulator> sim_;
   Rng rng_;
 
-  std::mutex tick_mutex_;
+  mutable std::mutex tick_mutex_;
+  /// Last <= kTrajectoryWindowFrames published frames, oldest first;
+  /// appended by Publish(), guarded by tick_mutex_.
+  std::deque<std::vector<Vec2>> window_;
   mutable std::mutex snapshot_mutex_;
   std::shared_ptr<const RoomSnapshot> snapshot_;
   std::atomic<int> tick_{0};

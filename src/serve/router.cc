@@ -1,6 +1,7 @@
 #include "serve/router.h"
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
 #include <utility>
 
@@ -40,6 +41,10 @@ uint64_t RoomHash(int room) {
   return MixHash(Fnv1a64(oss.str()));
 }
 
+bool Contains(const std::vector<int>& values, int needle) {
+  return std::find(values.begin(), values.end(), needle) != values.end();
+}
+
 }  // namespace
 
 ShardRouter::ShardRouter(std::vector<BackendAddress> backends,
@@ -54,25 +59,16 @@ ShardRouter::ShardRouter(std::vector<BackendAddress> backends,
     backend->address = std::move(address);
     backends_.push_back(std::move(backend));
   }
-  // Build the ring: virtual_nodes points per backend, keyed by the
-  // backend's address so the mapping is a pure function of the fleet
-  // layout (two routers over the same fleet route identically).
-  ring_.reserve(backends_.size() * options_.virtual_nodes);
-  for (int b = 0; b < num_backends(); ++b) {
-    const std::string base = backends_[b]->address.ToString();
-    for (int v = 0; v < options_.virtual_nodes; ++v) {
-      std::ostringstream oss;
-      oss << base << "#" << v;
-      ring_.emplace_back(MixHash(Fnv1a64(oss.str())), b);
-    }
-  }
-  std::sort(ring_.begin(), ring_.end());
+  RebuildRingLocked();  // construction is single-threaded; no lock yet
   if (options_.health_check_interval_ms > 0.0) {
     prober_ = std::thread([this] {
       const auto interval = std::chrono::duration<double, std::milli>(
           options_.health_check_interval_ms);
       while (!stop_.load(std::memory_order_acquire)) {
         ProbeAll();
+        // Dead backends just got ejected; move their rooms while the
+        // standbys are still covering.
+        RepairPartition();
         // Sleep in small slices so Shutdown() is prompt.
         auto remaining = interval;
         while (remaining.count() > 0.0 &&
@@ -87,11 +83,29 @@ ShardRouter::ShardRouter(std::vector<BackendAddress> backends,
   }
 }
 
+void ShardRouter::RebuildRingLocked() {
+  // virtual_nodes points per backend, keyed by the backend's address so
+  // the mapping is a pure function of the fleet layout (two routers over
+  // the same fleet route identically).
+  ring_.clear();
+  ring_.reserve(backends_.size() * options_.virtual_nodes);
+  for (int b = 0; b < static_cast<int>(backends_.size()); ++b) {
+    const std::string base = backends_[b]->address.ToString();
+    for (int v = 0; v < options_.virtual_nodes; ++v) {
+      std::ostringstream oss;
+      oss << base << "#" << v;
+      ring_.emplace_back(MixHash(Fnv1a64(oss.str())), b);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
 ShardRouter::~ShardRouter() { Shutdown(); }
 
 void ShardRouter::Shutdown() {
   if (stop_.exchange(true)) return;
   if (prober_.joinable()) prober_.join();
+  std::shared_lock<std::shared_mutex> topology(topology_mutex_);
   for (auto& backend : backends_) {
     std::lock_guard<std::mutex> lock(backend->mutex);
     backend->idle.clear();
@@ -99,17 +113,25 @@ void ShardRouter::Shutdown() {
 }
 
 int ShardRouter::ShardFor(int room) const {
+  std::shared_lock<std::shared_mutex> lock(topology_mutex_);
   const uint64_t h = RoomHash(room);
-  auto it = std::upper_bound(ring_.begin(), ring_.end(),
-                             std::make_pair(h, num_backends()));
+  auto it = std::upper_bound(
+      ring_.begin(), ring_.end(),
+      std::make_pair(h, std::numeric_limits<int>::max()));
   if (it == ring_.end()) it = ring_.begin();  // wrap around
   return it->second;
 }
 
 std::vector<int> ShardRouter::RingOrder(int room) const {
+  std::shared_lock<std::shared_mutex> lock(topology_mutex_);
+  return RingOrderLocked(room);
+}
+
+std::vector<int> ShardRouter::RingOrderLocked(int room) const {
   const uint64_t h = RoomHash(room);
-  auto start = std::upper_bound(ring_.begin(), ring_.end(),
-                                std::make_pair(h, num_backends()));
+  auto start = std::upper_bound(
+      ring_.begin(), ring_.end(),
+      std::make_pair(h, std::numeric_limits<int>::max()));
   std::vector<int> order;
   order.reserve(backends_.size());
   for (size_t step = 0; step < ring_.size() &&
@@ -122,6 +144,16 @@ std::vector<int> ShardRouter::RingOrder(int room) const {
       order.push_back(b);
   }
   return order;
+}
+
+int ShardRouter::num_backends() const {
+  std::shared_lock<std::shared_mutex> lock(topology_mutex_);
+  return static_cast<int>(backends_.size());
+}
+
+BackendAddress ShardRouter::backend(int index) const {
+  std::shared_lock<std::shared_mutex> lock(topology_mutex_);
+  return backends_[index]->address;
 }
 
 bool ShardRouter::Ejected(Backend& backend) const {
@@ -140,7 +172,12 @@ void ShardRouter::Eject(Backend& backend) {
 }
 
 bool ShardRouter::backend_healthy(int index) const {
-  return !Ejected(*backends_[index]);
+  Backend* backend = nullptr;
+  {
+    std::shared_lock<std::shared_mutex> lock(topology_mutex_);
+    backend = backends_[index].get();
+  }
+  return !Ejected(*backend);
 }
 
 std::unique_ptr<NetClient> ShardRouter::Acquire(Backend& backend,
@@ -173,48 +210,104 @@ void ShardRouter::Release(Backend& backend,
 
 FriendResponse ShardRouter::Route(const FriendRequest& request) {
   metrics_.routed.fetch_add(1, std::memory_order_relaxed);
-  const std::vector<int> order = RingOrder(request.room);
-  const int attempts =
-      std::min(options_.max_attempts, static_cast<int>(order.size()));
+  // Partitioned rooms whose every owner answered kNotOwner are mid-
+  // migration: the table is about to settle, so re-read it briefly
+  // instead of failing the request.
+  constexpr int kOwnerRounds = 40;
+  constexpr auto kOwnerRetrySleep = std::chrono::milliseconds(5);
 
   Status last_error;
   int tried = 0;
-  // Two passes: first skip ejected backends, then — if every candidate
-  // was ejected — try them anyway rather than blackout the room.
-  for (const bool include_ejected : {false, true}) {
-    for (int i = 0; i < static_cast<int>(order.size()); ++i) {
-      if (tried >= attempts) break;
-      Backend& backend = *backends_[order[i]];
-      if (!include_ejected && Ejected(backend)) continue;
-      if (include_ejected && !Ejected(backend)) continue;  // pass 1 did it
-      if (tried > 0) metrics_.retried.fetch_add(1, std::memory_order_relaxed);
-      ++tried;
-      bool pooled = false;
-      std::unique_ptr<NetClient> client = Acquire(backend, &pooled);
-      if (client == nullptr) {
-        last_error = UnavailableError("connect to " +
-                                      backend.address.ToString() + " failed");
-        Eject(backend);
-        continue;
+  for (int round = 0; round < kOwnerRounds; ++round) {
+    // Candidate set: the room's owner list (partitioned) or the full
+    // ring order (replicated).
+    bool partitioned_room = false;
+    std::vector<int> order;
+    {
+      std::lock_guard<std::mutex> lock(partition_mutex_);
+      if (partitioned_ && request.room >= 0 &&
+          request.room < partition_rooms_) {
+        partitioned_room = true;
+        auto it = assignment_.find(request.room);
+        if (it != assignment_.end()) order = it->second.copies;
       }
-      auto result = client->Call(request);
-      if (result.ok()) {
-        if (pooled)
-          metrics_.pooled_reuse.fetch_add(1, std::memory_order_relaxed);
-        Release(backend, std::move(client));
-        return std::move(result).value();
-      }
-      // Transport failure: the backend may be dead. Anything else (a
-      // protocol error) is not retryable — report it as-is.
-      last_error = result.status().Annotate(backend.address.ToString());
-      if (result.status().code() != StatusCode::kUnavailable) {
-        FriendResponse response;
-        response.status = last_error;
-        return response;
-      }
-      Eject(backend);
     }
-    if (tried >= attempts) break;
+    if (!partitioned_room) order = RingOrder(request.room);
+    std::vector<Backend*> candidates;
+    {
+      std::shared_lock<std::shared_mutex> lock(topology_mutex_);
+      candidates.reserve(order.size());
+      for (int b : order)
+        if (b >= 0 && b < static_cast<int>(backends_.size()))
+          candidates.push_back(backends_[b].get());
+    }
+    // Partitioned mode must be allowed to reach every owner — capping
+    // below the copy count would turn a standby into dead weight.
+    const int attempts =
+        partitioned_room
+            ? static_cast<int>(candidates.size())
+            : std::min(options_.max_attempts,
+                       static_cast<int>(candidates.size()));
+
+    bool saw_not_owner = false;
+    // Two passes: first skip ejected backends, then — if every candidate
+    // was ejected — try them anyway rather than blackout the room.
+    int tried_this_round = 0;
+    for (const bool include_ejected : {false, true}) {
+      for (Backend* candidate : candidates) {
+        if (tried_this_round >= attempts) break;
+        Backend& backend = *candidate;
+        if (!include_ejected && Ejected(backend)) continue;
+        if (include_ejected && !Ejected(backend)) continue;  // pass 1 did it
+        if (tried > 0)
+          metrics_.retried.fetch_add(1, std::memory_order_relaxed);
+        ++tried;
+        ++tried_this_round;
+        bool pooled = false;
+        std::unique_ptr<NetClient> client = Acquire(backend, &pooled);
+        if (client == nullptr) {
+          last_error = UnavailableError(
+              "connect to " + backend.address.ToString() + " failed");
+          Eject(backend);
+          continue;
+        }
+        auto result = client->Call(request);
+        if (result.ok()) {
+          const StatusCode code = result.value().status.code();
+          // kNotFound on a partitioned room is the drain-side twin of
+          // kNotOwner: the request passed the ownership check but the
+          // room was released before its batch ran. Every partitioned
+          // room has an owner, so both mean "ask the current owner".
+          if (code == StatusCode::kNotOwner ||
+              (partitioned_room && code == StatusCode::kNotFound)) {
+            // The shard is healthy but no longer responsible (a racing
+            // migration): move on to the next owner, no ejection.
+            metrics_.not_owner.fetch_add(1, std::memory_order_relaxed);
+            saw_not_owner = true;
+            last_error =
+                result.value().status.Annotate(backend.address.ToString());
+            Release(backend, std::move(client));
+            continue;
+          }
+          if (pooled)
+            metrics_.pooled_reuse.fetch_add(1, std::memory_order_relaxed);
+          Release(backend, std::move(client));
+          return std::move(result).value();
+        }
+        // Transport failure: the backend may be dead. Anything else (a
+        // protocol error) is not retryable — report it as-is.
+        last_error = result.status().Annotate(backend.address.ToString());
+        if (result.status().code() != StatusCode::kUnavailable) {
+          FriendResponse response;
+          response.status = last_error;
+          return response;
+        }
+        Eject(backend);
+      }
+      if (tried_this_round >= attempts) break;
+    }
+    if (!partitioned_room || !saw_not_owner) break;
+    std::this_thread::sleep_for(kOwnerRetrySleep);
   }
 
   metrics_.exhausted.fetch_add(1, std::memory_order_relaxed);
@@ -231,7 +324,13 @@ FriendResponse ShardRouter::Route(const FriendRequest& request) {
 }
 
 void ShardRouter::ProbeAll() {
-  for (auto& backend_ptr : backends_) {
+  std::vector<Backend*> snapshot;
+  {
+    std::shared_lock<std::shared_mutex> lock(topology_mutex_);
+    snapshot.reserve(backends_.size());
+    for (auto& backend_ptr : backends_) snapshot.push_back(backend_ptr.get());
+  }
+  for (Backend* backend_ptr : snapshot) {
     Backend& backend = *backend_ptr;
     bool pooled = false;
     std::unique_ptr<NetClient> client = Acquire(backend, &pooled);
@@ -249,6 +348,289 @@ void ShardRouter::ProbeAll() {
     }
     Release(backend, std::move(client));
   }
+}
+
+bool ShardRouter::partitioned() const {
+  std::lock_guard<std::mutex> lock(partition_mutex_);
+  return partitioned_;
+}
+
+std::unordered_map<int, ShardRouter::RoomAssignment>
+ShardRouter::AssignmentSnapshot() const {
+  std::lock_guard<std::mutex> lock(partition_mutex_);
+  return assignment_;
+}
+
+std::vector<int> ShardRouter::ActiveBackends() const {
+  std::vector<Backend*> snapshot;
+  {
+    std::shared_lock<std::shared_mutex> lock(topology_mutex_);
+    snapshot.reserve(backends_.size());
+    for (auto& backend : backends_) snapshot.push_back(backend.get());
+  }
+  std::vector<int> active;
+  for (int b = 0; b < static_cast<int>(snapshot.size()); ++b)
+    if (!Ejected(*snapshot[b])) active.push_back(b);
+  if (active.empty()) {
+    // Everyone looks dead: assigning to possibly-dead backends beats
+    // assigning to nobody (the two-pass Route tries ejected ones too).
+    for (int b = 0; b < static_cast<int>(snapshot.size()); ++b)
+      active.push_back(b);
+  }
+  return active;
+}
+
+std::unordered_map<int, std::vector<int>> ShardRouter::ComputeAssignment(
+    const std::vector<int>& active, int num_rooms) const {
+  AFTER_CHECK(!active.empty());
+  const int n = static_cast<int>(active.size());
+  const int copies_per_room =
+      1 + std::max(0, std::min(options_.replication_factor, n - 1));
+  // Load caps turn pure hash affinity into a balanced placement: walking
+  // rooms in ascending id, each room takes the first ring-order backend
+  // still under its cap, so the primary spread stays within one room of
+  // even while most rooms keep their hash-preferred shard.
+  const int primary_cap = (num_rooms + n - 1) / n;
+  const int total_cap = (num_rooms * copies_per_room + n - 1) / n;
+  std::unordered_map<int, int> primary_count;
+  std::unordered_map<int, int> total_count;
+  std::unordered_map<int, std::vector<int>> out;
+  for (int room = 0; room < num_rooms; ++room) {
+    std::vector<int> order;
+    for (int b : RingOrderLocked(room))
+      if (Contains(active, b)) order.push_back(b);
+    AFTER_CHECK(!order.empty());
+    std::vector<int> copies;
+    int primary = -1;
+    for (int b : order)
+      if (primary_count[b] < primary_cap) {
+        primary = b;
+        break;
+      }
+    if (primary < 0) primary = order.front();
+    copies.push_back(primary);
+    ++primary_count[primary];
+    ++total_count[primary];
+    // Standbys: ring order under the total cap, relaxed on a second
+    // pass so replication never silently drops below the request.
+    for (int pass = 0;
+         pass < 2 && static_cast<int>(copies.size()) < copies_per_room;
+         ++pass) {
+      for (int b : order) {
+        if (static_cast<int>(copies.size()) >= copies_per_room) break;
+        if (Contains(copies, b)) continue;
+        if (pass == 0 && total_count[b] >= total_cap) continue;
+        copies.push_back(b);
+        ++total_count[b];
+      }
+    }
+    out[room] = std::move(copies);
+  }
+  return out;
+}
+
+Status ShardRouter::SendAssign(int backend, int room, uint64_t epoch,
+                               const std::string& state) {
+  Backend* target = nullptr;
+  {
+    std::shared_lock<std::shared_mutex> lock(topology_mutex_);
+    target = backends_[backend].get();
+  }
+  bool pooled = false;
+  std::unique_ptr<NetClient> client = Acquire(*target, &pooled);
+  if (client == nullptr)
+    return UnavailableError("connect to " + target->address.ToString() +
+                            " failed");
+  const Status status = client->AssignRoom(room, epoch, state);
+  Release(*target, std::move(client));
+  return status.Annotate("assign room " + std::to_string(room) + " to " +
+                         target->address.ToString());
+}
+
+Result<std::string> ShardRouter::SendRelease(int backend, int room,
+                                             uint64_t epoch) {
+  Backend* target = nullptr;
+  {
+    std::shared_lock<std::shared_mutex> lock(topology_mutex_);
+    target = backends_[backend].get();
+  }
+  bool pooled = false;
+  std::unique_ptr<NetClient> client = Acquire(*target, &pooled);
+  if (client == nullptr)
+    return UnavailableError("connect to " + target->address.ToString() +
+                            " failed");
+  Result<std::string> state = client->ReleaseRoom(room, epoch);
+  Release(*target, std::move(client));
+  if (!state.ok())
+    return state.status().Annotate("release room " + std::to_string(room) +
+                                   " from " + target->address.ToString());
+  return state;
+}
+
+int ShardRouter::ApplyAssignment(
+    const std::unordered_map<int, std::vector<int>>& target,
+    Status* first_error) {
+  // Ascending room order: deterministic control traffic, and epochs that
+  // read naturally in logs.
+  std::vector<int> rooms;
+  rooms.reserve(target.size());
+  for (const auto& [room, copies] : target) rooms.push_back(room);
+  std::sort(rooms.begin(), rooms.end());
+
+  int changed = 0;
+  for (int room : rooms) {
+    const std::vector<int>& want = target.at(room);
+    AFTER_CHECK(!want.empty());
+    std::vector<int> have;
+    uint64_t epoch = 0;
+    {
+      std::lock_guard<std::mutex> lock(partition_mutex_);
+      auto it = assignment_.find(room);
+      if (it != assignment_.end()) have = it->second.copies;
+      if (have == want) continue;
+      epoch = ++next_epoch_;
+    }
+    // Release the losers first. The old primary's ack carries the
+    // room's final state; standby releases are acknowledged but their
+    // state is redundant. A primary merely *demoted* to standby is
+    // released too — its exact state must follow the primary role — and
+    // re-granted fresh below. A dead backend cannot ack — that is
+    // exactly the repair case, and its standby keeps serving meanwhile.
+    std::string state;
+    const bool primary_moved = !have.empty() && have[0] != want[0];
+    const bool demote_old_primary =
+        primary_moved && Contains(want, have[0]);
+    for (int b : have) {
+      const bool is_old_primary = b == have[0];
+      if (Contains(want, b) && !(demote_old_primary && is_old_primary))
+        continue;
+      Result<std::string> released = SendRelease(b, room, epoch);
+      if (released.ok() && is_old_primary)
+        state = std::move(released).value();
+    }
+    // Grant the gainers. The moved primary inherits the released state
+    // (the migration handoff) — even if it already hosts a standby
+    // replica, which the grant overwrites with the exact state. New
+    // standbys (including the demoted old primary, which needs a newer
+    // epoch than its own release) start from a fresh-seeded room, the
+    // same contract as full replication.
+    uint64_t final_epoch = epoch;
+    for (int b : want) {
+      const bool inherits = primary_moved && b == want[0] && !state.empty();
+      const bool regrant = demote_old_primary && b == have[0];
+      if (Contains(have, b) && !inherits && !regrant) continue;
+      uint64_t grant_epoch = epoch;
+      if (regrant) {
+        std::lock_guard<std::mutex> lock(partition_mutex_);
+        grant_epoch = final_epoch = ++next_epoch_;
+      }
+      const Status granted =
+          SendAssign(b, room, grant_epoch, inherits ? state : std::string());
+      if (granted.ok() && inherits)
+        metrics_.migrations.fetch_add(1, std::memory_order_relaxed);
+      if (!granted.ok() && first_error != nullptr && first_error->ok())
+        *first_error = granted;
+    }
+    {
+      std::lock_guard<std::mutex> lock(partition_mutex_);
+      RoomAssignment& entry = assignment_[room];
+      entry.copies = want;
+      entry.epoch = final_epoch;
+    }
+    ++changed;
+  }
+  return changed;
+}
+
+Status ShardRouter::EnablePartition(int num_rooms) {
+  AFTER_CHECK_GT(num_rooms, 0);
+  const std::vector<int> active = ActiveBackends();
+  std::unordered_map<int, std::vector<int>> target;
+  {
+    std::shared_lock<std::shared_mutex> lock(topology_mutex_);
+    target = ComputeAssignment(active, num_rooms);
+  }
+  {
+    std::lock_guard<std::mutex> lock(partition_mutex_);
+    AFTER_CHECK(!partitioned_);  // EnablePartition is once-only
+    partitioned_ = true;
+    partition_rooms_ = num_rooms;
+  }
+  Status first_error;
+  ApplyAssignment(target, &first_error);
+  return first_error;
+}
+
+Result<int> ShardRouter::AddBackendLive(const BackendAddress& address) {
+  int index = -1;
+  {
+    std::unique_lock<std::shared_mutex> lock(topology_mutex_);
+    auto backend = std::make_unique<Backend>();
+    backend->address = address;
+    backends_.push_back(std::move(backend));
+    index = static_cast<int>(backends_.size()) - 1;
+    RebuildRingLocked();
+  }
+  int rooms = 0;
+  {
+    std::lock_guard<std::mutex> lock(partition_mutex_);
+    if (!partitioned_) return index;
+    rooms = partition_rooms_;
+  }
+  // Rebalance: the new backend takes its hash-fair share; rooms whose
+  // primary moves are migrated with a full state handoff.
+  const std::vector<int> active = ActiveBackends();
+  std::unordered_map<int, std::vector<int>> target;
+  {
+    std::shared_lock<std::shared_mutex> lock(topology_mutex_);
+    target = ComputeAssignment(active, rooms);
+  }
+  Status first_error;
+  ApplyAssignment(target, &first_error);
+  if (!first_error.ok()) return first_error;
+  return index;
+}
+
+int ShardRouter::RepairPartition() {
+  {
+    std::lock_guard<std::mutex> lock(partition_mutex_);
+    if (!partitioned_) return 0;
+  }
+  const std::vector<int> active = ActiveBackends();
+  // Patch, don't recompute: surviving copies keep the room (a promoted
+  // standby serves its live state bit-exactly), and only the dead
+  // copies are replaced, following ring order over healthy backends.
+  std::unordered_map<int, std::vector<int>> current;
+  {
+    std::lock_guard<std::mutex> lock(partition_mutex_);
+    for (const auto& [room, entry] : assignment_)
+      current[room] = entry.copies;
+  }
+  std::unordered_map<int, std::vector<int>> target;
+  for (const auto& [room, copies] : current) {
+    std::vector<int> live;
+    for (int b : copies)
+      if (Contains(active, b)) live.push_back(b);
+    if (live == copies) continue;  // all owners healthy
+    const int need =
+        1 + std::max(0, std::min(options_.replication_factor,
+                                 static_cast<int>(active.size()) - 1));
+    if (static_cast<int>(live.size()) < need) {
+      std::shared_lock<std::shared_mutex> lock(topology_mutex_);
+      for (int b : RingOrderLocked(room)) {
+        if (static_cast<int>(live.size()) >= need) break;
+        if (!Contains(active, b) || Contains(live, b)) continue;
+        live.push_back(b);
+      }
+    }
+    if (live.empty()) continue;  // nothing healthy to grant to
+    target[room] = std::move(live);
+  }
+  if (target.empty()) return 0;
+  Status first_error;
+  const int repaired = ApplyAssignment(target, &first_error);
+  metrics_.repairs.fetch_add(repaired, std::memory_order_relaxed);
+  return repaired;
 }
 
 }  // namespace serve

@@ -6,10 +6,13 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
+#include "common/result.h"
 #include "common/status.h"
 #include "serve/net_client.h"
 #include "serve/server_types.h"
@@ -41,6 +44,13 @@ struct RouterOptions {
   /// interval, lifting ejections early when a backend comes back and
   /// ejecting quietly-dead ones before a request has to find out.
   double health_check_interval_ms = 0.0;
+  /// Partitioned serving (EnablePartition): warm standby copies per room
+  /// beyond the primary. 0 = primary only (cheapest, but a room's state
+  /// dies with its shard); 1 = one standby, so a killed shard fails over
+  /// with no request loss while RepairPartition rebuilds headroom.
+  /// (The issue sketched this knob on ServerOptions; it lives here
+  /// because replication is a fleet-layout decision the router owns.)
+  int replication_factor = 0;
   NetClientOptions client;
 };
 
@@ -48,13 +58,24 @@ struct RouterOptions {
 /// (tools/serve_shard) by consistent hashing on the room id: each room
 /// maps to one backend on a hash ring (stable as backends join/leave —
 /// only ~1/N of rooms move), so a room's simulation state and snapshot
-/// cache stay hot on one shard. Every shard instantiates the full room
-/// set, which is what makes failover safe: when a backend dies
-/// mid-request (kUnavailable from the transport), the router ejects it
-/// and retries the *next* backend on the ring, so the client sees a
-/// served answer instead of a lost request. Server-side statuses
-/// (shed / timeout / fallback) pass through untouched — the router only
-/// retries transport failures, never degradation decisions.
+/// cache stay hot on one shard. Two fleet layouts:
+///
+///  - Full replication (default): every shard hosts every room, the
+///    ring only provides affinity, and when a backend dies mid-request
+///    (kUnavailable from the transport) the router ejects it and retries
+///    the *next* backend on the ring.
+///  - Partitioned (EnablePartition, docs/serving.md): each shard owns
+///    only the rooms granted to it, so per-process memory and tick cost
+///    scale with its share of the fleet, not the whole conference. The
+///    router is the ownership authority: it grants rooms with
+///    kRoomAssign, revokes with kRoomRelease (the ack carries the room's
+///    final state, forwarded to the new owner), keeps
+///    replication_factor warm standbys per room, and repairs the
+///    assignment when backends join or die.
+///
+/// In both layouts server-side statuses (shed / timeout / fallback)
+/// pass through untouched — the router only retries transport failures
+/// and ownership misses, never degradation decisions.
 ///
 /// Thread-safe: Route() may be called from many connection threads;
 /// each backend keeps a mutex-guarded connection pool and health state.
@@ -73,18 +94,53 @@ class ShardRouter {
 
   /// Routes one request: home shard first, then ring-order failover on
   /// kUnavailable, up to max_attempts distinct backends. Always returns
-  /// a response; total failure yields status kUnavailable.
+  /// a response; total failure yields status kUnavailable. In
+  /// partitioned mode the candidate set is the room's current owner list
+  /// instead of the full ring, and a kNotOwner answer (a racing
+  /// migration) moves on to the next owner without ejecting anyone,
+  /// briefly retrying the refreshed table before giving up.
   FriendResponse Route(const FriendRequest& request);
+
+  /// Switches to partitioned serving over rooms [0, num_rooms): computes
+  /// a balanced, hash-affine assignment of every room to 1 +
+  /// replication_factor distinct backends and pushes kRoomAssign grants
+  /// (empty state: shards build fresh rooms) to each owner. Every
+  /// backend must be running with shard control enabled
+  /// (tools/serve_shard --partitioned). Fails fast on the first grant a
+  /// backend rejects.
+  Status EnablePartition(int num_rooms);
+
+  /// Adds a backend to the live fleet: extends the hash ring, and in
+  /// partitioned mode rebalances — rooms whose primary moves are
+  /// migrated with a release -> state -> assign handoff so the new owner
+  /// resumes from the old owner's exact snapshot + trajectory window.
+  /// Returns the new backend's index.
+  Result<int> AddBackendLive(const BackendAddress& address);
+
+  /// Re-derives the assignment over currently-healthy backends: rooms
+  /// with copies on ejected backends get standbys promoted and fresh
+  /// copies granted elsewhere (a room whose every copy died is rebuilt
+  /// from scratch — state is lost, which replication_factor >= 1
+  /// prevents). Returns the number of rooms whose owner set changed.
+  /// The background prober calls this after each probe sweep.
+  int RepairPartition();
+
+  /// One room's owner set: `copies` in priority order (primary first)
+  /// and the epoch of its latest grant.
+  struct RoomAssignment {
+    std::vector<int> copies;
+    uint64_t epoch = 0;
+  };
+  bool partitioned() const;
+  std::unordered_map<int, RoomAssignment> AssignmentSnapshot() const;
 
   /// Pings every backend once (pooled connection or a fresh one),
   /// updating health state. The background prober calls this on its
   /// interval; tests and tools may call it directly.
   void ProbeAll();
 
-  int num_backends() const { return static_cast<int>(backends_.size()); }
-  const BackendAddress& backend(int index) const {
-    return backends_[index]->address;
-  }
+  int num_backends() const;
+  BackendAddress backend(int index) const;
   bool backend_healthy(int index) const;
 
   /// Monotonic counters, one relaxed add per event (serve/metrics.h
@@ -96,6 +152,9 @@ class ShardRouter {
     std::atomic<int64_t> exhausted{0};     // all attempts kUnavailable
     std::atomic<int64_t> pooled_reuse{0};  // calls served by a pooled conn
     std::atomic<int64_t> connects{0};      // fresh connections dialed
+    std::atomic<int64_t> not_owner{0};     // kNotOwner answers re-routed
+    std::atomic<int64_t> migrations{0};    // rooms moved with state handoff
+    std::atomic<int64_t> repairs{0};       // rooms re-owned by repair
   };
   const Metrics& metrics() const { return metrics_; }
 
@@ -115,16 +174,54 @@ class ShardRouter {
   /// Backends in ring order starting at the room's home shard,
   /// deduplicated; the retry sequence for that room.
   std::vector<int> RingOrder(int room) const;
+  std::vector<int> RingOrderLocked(int room) const;
+  void RebuildRingLocked();
 
   std::unique_ptr<NetClient> Acquire(Backend& backend, bool* pooled);
   void Release(Backend& backend, std::unique_ptr<NetClient> client);
   void Eject(Backend& backend);
   bool Ejected(Backend& backend) const;
 
+  /// Balanced, hash-affine owner sets for every room over `active`
+  /// backend indices: each room's copies follow its ring order, subject
+  /// to per-backend load caps (ceil-based) that keep the primary spread
+  /// within one room of even. Pure function of the current ring.
+  std::unordered_map<int, std::vector<int>> ComputeAssignment(
+      const std::vector<int>& active, int num_rooms) const;
+
+  /// Control-plane sends (pooled connection per call, best-effort pool
+  /// return). Held locks: none — callers must not hold partition_mutex_.
+  Status SendAssign(int backend, int room, uint64_t epoch,
+                    const std::string& state);
+  Result<std::string> SendRelease(int backend, int room, uint64_t epoch);
+
+  /// Diffs `target` against the current table and drives the
+  /// release -> state -> assign migration per changed room. Returns the
+  /// number of rooms whose owner set changed.
+  int ApplyAssignment(const std::unordered_map<int, std::vector<int>>& target,
+                      Status* first_error);
+
+  std::vector<int> ActiveBackends() const;
+
   RouterOptions options_;
+  /// Guards backends_ growth and ring_ rebuilds (AddBackendLive);
+  /// routing takes it shared. Backend objects themselves are stable
+  /// (owned by unique_ptr, never erased) so Backend* survives unlock.
+  mutable std::shared_mutex topology_mutex_;
   std::vector<std::unique_ptr<Backend>> backends_;
-  /// Sorted (hash point, backend index) ring; immutable after build.
+  /// Sorted (hash point, backend index) ring; rebuilt under
+  /// topology_mutex_ when the fleet grows.
   std::vector<std::pair<uint64_t, int>> ring_;
+
+  /// Partitioned-mode ownership table; guarded by partition_mutex_.
+  /// Control-plane I/O never runs under this mutex, so routing reads
+  /// stay wait-free during migrations.
+  mutable std::mutex partition_mutex_;
+  bool partitioned_ = false;
+  int partition_rooms_ = 0;
+  uint64_t next_epoch_ = 0;
+  std::unordered_map<int, RoomAssignment> assignment_;
+
   Metrics metrics_;
   std::atomic<bool> stop_{false};
   std::thread prober_;

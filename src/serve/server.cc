@@ -12,13 +12,14 @@ namespace serve {
 RecommendationServer::RecommendationServer(
     std::vector<std::unique_ptr<Room>> rooms, RecommenderFactory factory,
     const ServerOptions& options)
-    : options_(options),
-      rooms_(std::move(rooms)),
-      factory_(std::move(factory)),
-      stream_models_(rooms_.size()),
+    : options_(options), factory_(std::move(factory)),
       fallback_(options.fallback_k) {
-  AFTER_CHECK(!rooms_.empty());
   AFTER_CHECK(factory_ != nullptr);
+  for (auto& room : rooms) {
+    AFTER_CHECK(room != nullptr);
+    const int id = room->id();
+    AFTER_CHECK(rooms_.emplace(id, std::move(room)).second);
+  }
   // Probe the primary's capabilities once. A thread-safe model is shared
   // lock-free by every worker; a stateful one keeps the probe unused and
   // instances are built per (room, user) stream on demand.
@@ -28,12 +29,12 @@ RecommendationServer::RecommendationServer(
   pool_ = std::make_unique<ThreadPool>(options_.num_threads,
                                        options_.queue_capacity);
   if (options_.batch_requests) {
-    // The pool queue now carries at most one drain task per room (plus
-    // headroom is irrelevant: admission control moves to the explicit
-    // queue_depth gate in SubmitBatched), so room count must fit.
+    // The pool queue carries at most one drain task per room (admission
+    // control moves to the explicit queue_depth gate in SubmitBatched),
+    // so the starting room count must fit.
     AFTER_CHECK_GE(options_.queue_capacity,
                    static_cast<int>(rooms_.size()));
-    batcher_ = std::make_unique<TickBatcher>(static_cast<int>(rooms_.size()));
+    batcher_ = std::make_unique<TickBatcher>();
   }
 }
 
@@ -104,15 +105,66 @@ FriendResponse RecommendationServer::Handle(const FriendRequest& request) {
 }
 
 Status RecommendationServer::TickRoom(int room) {
-  if (room < 0 || room >= num_rooms())
-    return NotFoundError("no such room");
-  const Status status = rooms_[room]->Tick();
+  const std::shared_ptr<Room> hosted = FindRoom(room);
+  if (hosted == nullptr) return NotFoundError("no such room");
+  const Status status = hosted->Tick();
   if (status.ok()) metrics_.ticks.fetch_add(1, std::memory_order_relaxed);
   return status;
 }
 
 void RecommendationServer::TickAll() {
-  for (int r = 0; r < num_rooms(); ++r) (void)TickRoom(r);
+  for (int id : RoomIds()) (void)TickRoom(id);
+}
+
+Status RecommendationServer::AddRoom(std::unique_ptr<Room> room) {
+  AFTER_CHECK(room != nullptr);
+  const int id = room->id();
+  std::lock_guard<std::mutex> lock(rooms_mutex_);
+  if (!rooms_.emplace(id, std::move(room)).second)
+    return InvalidArgumentError("room " + std::to_string(id) +
+                                " is already hosted");
+  return OkStatus();
+}
+
+std::shared_ptr<Room> RecommendationServer::RemoveRoom(int id) {
+  std::shared_ptr<Room> removed;
+  {
+    std::lock_guard<std::mutex> lock(rooms_mutex_);
+    auto it = rooms_.find(id);
+    if (it == rooms_.end()) return nullptr;
+    removed = std::move(it->second);
+    rooms_.erase(it);
+  }
+  // Drop the room's recurrent streams: if the room ever comes back it
+  // starts fresh, exactly like a never-before-seen room on a new shard.
+  {
+    std::lock_guard<std::mutex> lock(stream_models_mutex_);
+    stream_models_.erase(id);
+  }
+  return removed;
+}
+
+std::shared_ptr<Room> RecommendationServer::FindRoom(int id) const {
+  std::lock_guard<std::mutex> lock(rooms_mutex_);
+  auto it = rooms_.find(id);
+  return it == rooms_.end() ? nullptr : it->second;
+}
+
+bool RecommendationServer::HasRoom(int id) const {
+  return FindRoom(id) != nullptr;
+}
+
+std::vector<int> RecommendationServer::RoomIds() const {
+  std::lock_guard<std::mutex> lock(rooms_mutex_);
+  std::vector<int> ids;
+  ids.reserve(rooms_.size());
+  for (const auto& [id, room] : rooms_) ids.push_back(id);
+  return ids;
+}
+
+int RecommendationServer::num_rooms() const {
+  std::lock_guard<std::mutex> lock(rooms_mutex_);
+  return static_cast<int>(rooms_.size());
 }
 
 void RecommendationServer::SubmitBatched(
@@ -125,7 +177,7 @@ void RecommendationServer::SubmitBatched(
 
   // The batcher parks per room, so a nonexistent room is answered here
   // (the per-request path reports it from Process instead).
-  if (request.room < 0 || request.room >= num_rooms()) {
+  if (request.room < 0 || !HasRoom(request.room)) {
     metrics_.errors.fetch_add(1, std::memory_order_relaxed);
     FriendResponse response;
     std::ostringstream oss;
@@ -181,7 +233,24 @@ void RecommendationServer::DrainRoom(int room) {
 
 void RecommendationServer::ProcessBatch(
     int room, std::vector<TickBatcher::Pending> batch) {
-  Room& room_ref = *rooms_[room];
+  const std::shared_ptr<Room> hosted = FindRoom(room);
+  if (hosted == nullptr) {
+    // The room was removed (migrated away) after these requests were
+    // admitted; answer each one rather than stranding its callback.
+    for (const TickBatcher::Pending& pending : batch) {
+      metrics_.errors.fetch_add(1, std::memory_order_relaxed);
+      FriendResponse response;
+      response.status =
+          NotFoundError("room " + std::to_string(room) +
+                        " was removed while the batch was queued");
+      response.latency_ms = pending.deadline.ElapsedMs();
+      metrics_.latency.RecordMs(response.latency_ms);
+      metrics_.queue_depth.fetch_sub(1, std::memory_order_relaxed);
+      (*pending.done)(response);
+    }
+    return;
+  }
+  Room& room_ref = *hosted;
   const int n = room_ref.num_users();
   const std::shared_ptr<const RoomSnapshot> snapshot = room_ref.snapshot();
   metrics_.batches.fetch_add(1, std::memory_order_relaxed);
@@ -251,9 +320,10 @@ void RecommendationServer::ProcessBatch(
   } else {
     answers.reserve(groups.size());
     for (size_t g = 0; g < groups.size(); ++g) {
-      StreamModel& stream = StreamFor(room, groups[g].user);
-      std::lock_guard<std::mutex> lock(stream.mutex);
-      answers.push_back(stream.model->Recommend(contexts[g]));
+      const std::shared_ptr<StreamModel> stream =
+          StreamFor(room_ref, groups[g].user);
+      std::lock_guard<std::mutex> lock(stream->mutex);
+      answers.push_back(stream->model->Recommend(contexts[g]));
     }
   }
   AFTER_CHECK_EQ(answers.size(), groups.size());
@@ -303,23 +373,24 @@ void RecommendationServer::ProcessBatch(
   }
 }
 
-RecommendationServer::StreamModel& RecommendationServer::StreamFor(
-    int room, int user) {
+std::shared_ptr<RecommendationServer::StreamModel>
+RecommendationServer::StreamFor(const Room& room, int user) {
   std::unique_lock<std::mutex> lock(stream_models_mutex_);
-  auto& per_room = stream_models_[room];
+  auto& per_room = stream_models_[room.id()];
   auto it = per_room.find(user);
-  if (it != per_room.end()) return *it->second;
+  if (it != per_room.end()) return it->second;
   auto inserted =
-      per_room.emplace(user, std::make_unique<StreamModel>()).first;
-  StreamModel& stream = *inserted->second;
+      per_room.emplace(user, std::make_shared<StreamModel>()).first;
+  const std::shared_ptr<StreamModel> stream = inserted->second;
   // Build the instance outside the registry lock so slow model
   // construction does not serialize unrelated streams; the stream's own
-  // mutex keeps its first request exclusive.
-  std::lock_guard<std::mutex> stream_lock(stream.mutex);
+  // mutex keeps its first request exclusive. The shared_ptr keeps the
+  // stream alive even if RemoveRoom drops the registry entry meanwhile.
+  std::lock_guard<std::mutex> stream_lock(stream->mutex);
   lock.unlock();
-  stream.model = factory_();
-  AFTER_CHECK(stream.model != nullptr);
-  stream.model->BeginSession(rooms_[room]->num_users(), user);
+  stream->model = factory_();
+  AFTER_CHECK(stream->model != nullptr);
+  stream->model->BeginSession(room.num_users(), user);
   return stream;
 }
 
@@ -342,13 +413,15 @@ FriendResponse RecommendationServer::Process(const FriendRequest& request,
         << " ms in queue";
     return finish(TimeoutError(oss.str()));
   }
-  if (request.room < 0 || request.room >= num_rooms()) {
+  const std::shared_ptr<Room> hosted =
+      request.room < 0 ? nullptr : FindRoom(request.room);
+  if (hosted == nullptr) {
     metrics_.errors.fetch_add(1, std::memory_order_relaxed);
     std::ostringstream oss;
     oss << "room " << request.room << " does not exist";
     return finish(NotFoundError(oss.str()));
   }
-  Room& room = *rooms_[request.room];
+  Room& room = *hosted;
   const int n = room.num_users();
   if (request.user < 0 || request.user >= n) {
     metrics_.errors.fetch_add(1, std::memory_order_relaxed);
@@ -366,9 +439,9 @@ FriendResponse RecommendationServer::Process(const FriendRequest& request,
   if (primary_shared_ != nullptr) {
     recommended = primary_shared_->Recommend(context);
   } else {
-    StreamModel& stream = StreamFor(request.room, request.user);
-    std::lock_guard<std::mutex> lock(stream.mutex);
-    recommended = stream.model->Recommend(context);
+    const std::shared_ptr<StreamModel> stream = StreamFor(room, request.user);
+    std::lock_guard<std::mutex> lock(stream->mutex);
+    recommended = stream->model->Recommend(context);
   }
 
   const bool misbehaved = static_cast<int>(recommended.size()) != n;

@@ -60,6 +60,9 @@ struct ServerOptions {
 /// and its calls are serialized per instance.
 class RecommendationServer {
  public:
+  /// Rooms are keyed by Room::id(); ids need not be contiguous, and the
+  /// initial set may be empty (a partitioned shard starts bare and is
+  /// granted rooms by the router, serve/shard_control.h).
   RecommendationServer(std::vector<std::unique_ptr<Room>> rooms,
                        RecommenderFactory primary_factory,
                        const ServerOptions& options);
@@ -81,8 +84,19 @@ class RecommendationServer {
   Status TickRoom(int room);
   void TickAll();
 
-  int num_rooms() const { return static_cast<int>(rooms_.size()); }
-  Room& room(int index) { return *rooms_[index]; }
+  /// Room registry (thread-safe; rooms churn under partitioned serving).
+  /// AddRoom fails with kInvalidArgument if the id is already hosted.
+  /// RemoveRoom unhosts the room and returns it (so a migration can
+  /// still ExportState after removal) or nullptr when absent; in-flight
+  /// requests that already resolved the room finish against their
+  /// shared_ptr and drain normally. FindRoom returns nullptr when the
+  /// room is not hosted here.
+  Status AddRoom(std::unique_ptr<Room> room);
+  std::shared_ptr<Room> RemoveRoom(int id);
+  std::shared_ptr<Room> FindRoom(int id) const;
+  bool HasRoom(int id) const;
+  std::vector<int> RoomIds() const;
+  int num_rooms() const;
 
   ServerMetrics& metrics() { return metrics_; }
 
@@ -103,7 +117,7 @@ class RecommendationServer {
 
   FriendResponse Process(const FriendRequest& request,
                          const Deadline& deadline);
-  StreamModel& StreamFor(int room, int user);
+  std::shared_ptr<StreamModel> StreamFor(const Room& room, int user);
 
   /// Batched path (options_.batch_requests): Submit parks the request in
   /// the TickBatcher; DrainRoom loops ProcessBatch over whatever queued.
@@ -114,13 +128,18 @@ class RecommendationServer {
   void ProcessBatch(int room, std::vector<TickBatcher::Pending> batch);
 
   ServerOptions options_;
-  std::vector<std::unique_ptr<Room>> rooms_;
+  /// Hosted rooms keyed by id. shared_ptr so RemoveRoom can unhost while
+  /// requests already processing against the room drain safely.
+  std::unordered_map<int, std::shared_ptr<Room>> rooms_;
+  mutable std::mutex rooms_mutex_;
   RecommenderFactory factory_;
   /// Set when the probed primary reports thread_safe(): one instance
   /// serves everything with no locking.
   std::unique_ptr<Recommender> primary_shared_;
-  /// Lazily grown per-(room, user) instances otherwise.
-  std::vector<std::unordered_map<int, std::unique_ptr<StreamModel>>>
+  /// Lazily grown per-(room id, user) instances otherwise; a room's
+  /// streams are dropped when the room is removed (a re-hosted room
+  /// starts its recurrent state fresh, like any new shard would).
+  std::unordered_map<int, std::unordered_map<int, std::shared_ptr<StreamModel>>>
       stream_models_;
   std::mutex stream_models_mutex_;
   NearestRecommender fallback_;

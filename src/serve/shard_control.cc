@@ -1,0 +1,122 @@
+#include "serve/shard_control.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace after {
+namespace serve {
+
+ShardControl::ShardControl(RecommendationServer* server, RoomFactory factory)
+    : server_(server), factory_(std::move(factory)) {
+  AFTER_CHECK(server_ != nullptr);
+  AFTER_CHECK(factory_ != nullptr);
+}
+
+bool ShardControl::Owns(int room) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return owned_.count(room) > 0;
+}
+
+std::vector<int> ShardControl::OwnedRooms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<int> rooms;
+  rooms.reserve(owned_.size());
+  for (const auto& [room, epoch] : owned_) rooms.push_back(room);
+  return rooms;
+}
+
+uint64_t ShardControl::EpochFor(int room) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = last_epoch_.find(room);
+  return it == last_epoch_.end() ? 0 : it->second;
+}
+
+Status ShardControl::Assign(int room, uint64_t epoch,
+                            const std::string& state) {
+  bool already_hosting = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto last = last_epoch_.find(room);
+    if (last != last_epoch_.end() && epoch <= last->second)
+      return InvalidArgumentError(
+          "stale assign for room " + std::to_string(room) + " (epoch " +
+          std::to_string(epoch) + " <= " + std::to_string(last->second) + ")");
+    last_epoch_[room] = epoch;
+    auto held = owned_.find(room);
+    if (held != owned_.end()) {
+      held->second = epoch;
+      already_hosting = true;
+    }
+  }
+  if (already_hosting) {
+    server_->metrics().rooms_assigned.fetch_add(1, std::memory_order_relaxed);
+    // Standby promotion: the grant only advances the epoch, the room
+    // keeps serving untouched.
+    if (state.empty()) return OkStatus();
+    // Migration onto a shard that already hosts the room (an existing
+    // standby becoming primary): overwrite the local replica with the
+    // old primary's exact state. ApplyState is all-or-nothing, so a bad
+    // blob leaves the replica serving as before.
+    const std::shared_ptr<Room> hosted = server_->FindRoom(room);
+    if (hosted == nullptr)
+      return InternalError("owned room " + std::to_string(room) +
+                           " was not hosted");
+    AFTER_RETURN_IF_ERROR(hosted->ApplyState(state).Annotate(
+        "assign room " + std::to_string(room)));
+    server_->metrics().migrations_in.fetch_add(1, std::memory_order_relaxed);
+    return OkStatus();
+  }
+  // Build outside the lock: factory + ApplyState can be slow (dataset
+  // validation, state parsing) and must not block Owns() checks on the
+  // request path. All-or-nothing: nothing is hosted until every step
+  // below succeeded.
+  Result<std::unique_ptr<Room>> built = factory_(room);
+  if (!built.ok())
+    return built.status().Annotate("assign room " + std::to_string(room));
+  std::unique_ptr<Room> hosted = std::move(built).value();
+  if (!state.empty())
+    AFTER_RETURN_IF_ERROR(hosted->ApplyState(state).Annotate(
+        "assign room " + std::to_string(room)));
+  AFTER_RETURN_IF_ERROR(server_->AddRoom(std::move(hosted)));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    owned_[room] = epoch;
+  }
+  server_->metrics().rooms_assigned.fetch_add(1, std::memory_order_relaxed);
+  if (!state.empty())
+    server_->metrics().migrations_in.fetch_add(1, std::memory_order_relaxed);
+  return OkStatus();
+}
+
+Result<std::string> ShardControl::Release(int room, uint64_t epoch) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto held = owned_.find(room);
+    if (held == owned_.end())
+      return NotOwnerError("room " + std::to_string(room) +
+                           " is not owned by this shard");
+    if (epoch < held->second)
+      return InvalidArgumentError(
+          "stale release for room " + std::to_string(room) + " (epoch " +
+          std::to_string(epoch) + " < " + std::to_string(held->second) + ")");
+    // Un-own first: from this instant new requests answer kNotOwner and
+    // the router re-routes them, while requests already dispatched into
+    // the server drain against the room's shared_ptr.
+    owned_.erase(held);
+    auto last = last_epoch_.find(room);
+    if (last == last_epoch_.end() || epoch > last->second)
+      last_epoch_[room] = epoch;
+  }
+  const std::shared_ptr<Room> removed = server_->RemoveRoom(room);
+  if (removed == nullptr)
+    return InternalError("owned room " + std::to_string(room) +
+                         " was not hosted");
+  server_->metrics().rooms_released.fetch_add(1, std::memory_order_relaxed);
+  // Removed from the registry, so no ticker advances it anymore: the
+  // exported state is the final word on this room from this shard.
+  return removed->ExportState();
+}
+
+}  // namespace serve
+}  // namespace after

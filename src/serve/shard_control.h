@@ -1,0 +1,81 @@
+#ifndef AFTER_SERVE_SHARD_CONTROL_H_
+#define AFTER_SERVE_SHARD_CONTROL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "serve/room.h"
+#include "serve/server.h"
+
+namespace after {
+namespace serve {
+
+/// Builds a fresh (state-less) room for an id, from the shard's own
+/// dataset and a deterministic per-room seed. Invoked when the router
+/// grants a room this shard has never hosted.
+using RoomFactory = std::function<Result<std::unique_ptr<Room>>(int room)>;
+
+/// The shard-side half of partitioned room ownership (docs/serving.md).
+/// A shard starts owning nothing; the router grants and revokes rooms
+/// with kRoomAssign / kRoomRelease control frames, and ShardControl
+/// keeps the authoritative owned-set in lockstep with the rooms hosted
+/// by the RecommendationServer:
+///
+///  - Assign: build the room (fresh via the factory, or restored from a
+///    migration blob via Room::ApplyState — all-or-nothing, so a corrupt
+///    blob leaves the shard unchanged) and only then host it. Epochs are
+///    the staleness fence: a grant older than what we last saw for the
+///    room is rejected, so reordered control frames cannot resurrect
+///    ownership the router already moved elsewhere.
+///  - Release: un-own FIRST (new requests answer kNotOwner immediately),
+///    then unhost and export the room's final state for the router to
+///    forward to the new owner. Requests already processing against the
+///    room hold its shared_ptr and drain normally.
+///
+/// Thread-safe: control frames arrive on connection reader threads while
+/// request threads call Owns().
+class ShardControl {
+ public:
+  ShardControl(RecommendationServer* server, RoomFactory factory);
+
+  bool Owns(int room) const;
+  std::vector<int> OwnedRooms() const;
+  /// Latest epoch observed for the room in any grant or release; 0 when
+  /// the shard has never heard of it (the kNotOwner frame's epoch field).
+  uint64_t EpochFor(int room) const;
+
+  /// Handles a kRoomAssign grant. `state` empty -> fresh room from the
+  /// factory; non-empty -> migration handoff (factory room + ApplyState
+  /// before hosting). Re-granting an owned room at a newer epoch just
+  /// advances the epoch (standby promotion needs no rebuild); a grant at
+  /// an older-or-equal epoch than one already processed for the room is
+  /// rejected with kInvalidArgument.
+  Status Assign(int room, uint64_t epoch, const std::string& state);
+
+  /// Handles a kRoomRelease revocation: stops owning the room and
+  /// returns its final ExportState() blob. kNotOwner when the room is
+  /// not owned here; kInvalidArgument when the epoch is stale.
+  Result<std::string> Release(int room, uint64_t epoch);
+
+ private:
+  RecommendationServer* server_;
+  RoomFactory factory_;
+  mutable std::mutex mutex_;
+  /// room -> epoch of the active grant.
+  std::unordered_map<int, uint64_t> owned_;
+  /// room -> newest epoch seen in any control frame (survives release,
+  /// fencing late reordered grants).
+  std::unordered_map<int, uint64_t> last_epoch_;
+};
+
+}  // namespace serve
+}  // namespace after
+
+#endif  // AFTER_SERVE_SHARD_CONTROL_H_

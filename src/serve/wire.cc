@@ -133,7 +133,7 @@ Status Malformed(const char* what) {
 }
 
 constexpr uint8_t kMaxStatusCode =
-    static_cast<uint8_t>(StatusCode::kUnavailable);
+    static_cast<uint8_t>(StatusCode::kNotOwner);
 
 }  // namespace
 
@@ -183,6 +183,38 @@ void AppendPongFrame(uint64_t id, std::string* out) {
   AppendFramed(MessageType::kPong, payload, out);
 }
 
+void AppendRoomAssignFrame(uint64_t id, int32_t room, uint64_t epoch,
+                           const std::string& state, std::string* out) {
+  std::string payload;
+  payload.reserve(24 + state.size());
+  PutU64(id, &payload);
+  PutI32(room, &payload);
+  PutU64(epoch, &payload);
+  PutU32(static_cast<uint32_t>(state.size()), &payload);
+  payload.append(state);
+  AppendFramed(MessageType::kRoomAssign, payload, out);
+}
+
+void AppendRoomReleaseFrame(uint64_t id, int32_t room, uint64_t epoch,
+                            std::string* out) {
+  std::string payload;
+  payload.reserve(20);
+  PutU64(id, &payload);
+  PutI32(room, &payload);
+  PutU64(epoch, &payload);
+  AppendFramed(MessageType::kRoomRelease, payload, out);
+}
+
+void AppendNotOwnerFrame(uint64_t id, int32_t room, uint64_t epoch,
+                         std::string* out) {
+  std::string payload;
+  payload.reserve(20);
+  PutU64(id, &payload);
+  PutI32(room, &payload);
+  PutU64(epoch, &payload);
+  AppendFramed(MessageType::kNotOwner, payload, out);
+}
+
 Status ExtractFrame(std::string_view buffer, Frame* frame, size_t* consumed) {
   *consumed = 0;
   if (buffer.size() < kHeaderBytes) return OkStatus();  // incomplete
@@ -199,7 +231,7 @@ Status ExtractFrame(std::string_view buffer, Frame* frame, size_t* consumed) {
   }
   const uint8_t type = reader.TakeU8();
   if (type < static_cast<uint8_t>(MessageType::kRequest) ||
-      type > static_cast<uint8_t>(MessageType::kPong))
+      type > static_cast<uint8_t>(MessageType::kNotOwner))
     return Malformed("unknown message type");
   if (reader.TakeU16() != 0) return Malformed("nonzero reserved field");
   const uint32_t payload_len = reader.TakeU32();
@@ -270,6 +302,44 @@ Result<uint64_t> DecodePingPong(std::string_view payload) {
   if (!reader.ok()) return Malformed("truncated ping payload");
   if (!reader.AtEnd()) return Malformed("trailing bytes after ping");
   return id;
+}
+
+Result<RoomAssignFrame> DecodeRoomAssign(std::string_view payload) {
+  ByteReader reader(payload);
+  RoomAssignFrame out;
+  out.id = reader.TakeU64();
+  out.room = reader.TakeI32();
+  out.epoch = reader.TakeU64();
+  const uint32_t state_len = reader.TakeU32();
+  if (!reader.ok()) return Malformed("truncated room-assign payload");
+  if (state_len > reader.remaining())
+    return Malformed("room-assign state length exceeds payload");
+  out.state.assign(reader.TakeBytes(state_len));
+  if (!reader.ok() || !reader.AtEnd())
+    return Malformed("trailing bytes after room-assign");
+  return out;
+}
+
+Result<RoomReleaseFrame> DecodeRoomRelease(std::string_view payload) {
+  ByteReader reader(payload);
+  RoomReleaseFrame out;
+  out.id = reader.TakeU64();
+  out.room = reader.TakeI32();
+  out.epoch = reader.TakeU64();
+  if (!reader.ok()) return Malformed("truncated room-release payload");
+  if (!reader.AtEnd()) return Malformed("trailing bytes after room-release");
+  return out;
+}
+
+Result<NotOwnerFrame> DecodeNotOwner(std::string_view payload) {
+  ByteReader reader(payload);
+  NotOwnerFrame out;
+  out.id = reader.TakeU64();
+  out.room = reader.TakeI32();
+  out.epoch = reader.TakeU64();
+  if (!reader.ok()) return Malformed("truncated not-owner payload");
+  if (!reader.AtEnd()) return Malformed("trailing bytes after not-owner");
+  return out;
 }
 
 }  // namespace wire

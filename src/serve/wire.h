@@ -43,10 +43,17 @@ inline constexpr uint32_t kMaxPayloadBytes = 1u << 20;
 inline constexpr uint32_t kMaxRecommendedBits = 1u << 20;
 
 enum class MessageType : uint8_t {
-  kRequest = 1,   // client -> server: one FriendRequest
-  kResponse = 2,  // server -> client: the matching FriendResponse
-  kPing = 3,      // health probe (router -> shard)
-  kPong = 4,      // health probe answer
+  kRequest = 1,      // client -> server: one FriendRequest
+  kResponse = 2,     // server -> client: the matching FriendResponse
+  kPing = 3,         // health probe (router -> shard)
+  kPong = 4,         // health probe answer
+  // Room-ownership control plane (partitioned serving, docs/serving.md).
+  kRoomAssign = 5,   // router -> shard: own this room (state optional);
+                     // also shard -> router: the reply to kRoomRelease,
+                     // carrying the room's final migration state
+  kRoomRelease = 6,  // router -> shard: stop owning this room
+  kNotOwner = 7,     // shard -> client: reply to a kRequest for a room
+                     // this shard does not own; re-route and retry
 };
 
 /// One decoded frame: the type byte plus the raw payload bytes.
@@ -67,6 +74,34 @@ struct ResponseFrame {
   FriendResponse response;
 };
 
+/// Room-ownership grant. `state` is empty for a fresh assignment (the
+/// shard builds the room from its own dataset/seed) and non-empty for a
+/// migration handoff: an opaque Room::ExportState() blob (nn/serialize
+/// parameter-block text) the receiving shard applies all-or-nothing.
+/// The same frame doubles as the reply to kRoomRelease, carrying the
+/// releasing shard's final state so the router can forward it onward.
+struct RoomAssignFrame {
+  uint64_t id = 0;
+  int32_t room = 0;
+  uint64_t epoch = 0;
+  std::string state;
+};
+
+struct RoomReleaseFrame {
+  uint64_t id = 0;
+  int32_t room = 0;
+  uint64_t epoch = 0;
+};
+
+/// Reply to a kRequest for a room the shard does not own. `epoch` is the
+/// shard's latest observed assignment epoch (0 when it never owned the
+/// room), so routers can tell a stale table from a racing migration.
+struct NotOwnerFrame {
+  uint64_t id = 0;
+  int32_t room = 0;
+  uint64_t epoch = 0;
+};
+
 /// Encoders append one complete frame (header + payload) to *out.
 void AppendRequestFrame(uint64_t id, const FriendRequest& request,
                         std::string* out);
@@ -74,6 +109,12 @@ void AppendResponseFrame(uint64_t id, const FriendResponse& response,
                          std::string* out);
 void AppendPingFrame(uint64_t id, std::string* out);
 void AppendPongFrame(uint64_t id, std::string* out);
+void AppendRoomAssignFrame(uint64_t id, int32_t room, uint64_t epoch,
+                           const std::string& state, std::string* out);
+void AppendRoomReleaseFrame(uint64_t id, int32_t room, uint64_t epoch,
+                            std::string* out);
+void AppendNotOwnerFrame(uint64_t id, int32_t room, uint64_t epoch,
+                         std::string* out);
 
 /// Pulls the first frame off the front of `buffer` (a connection's read
 /// accumulator):
@@ -89,6 +130,9 @@ Result<RequestFrame> DecodeRequest(std::string_view payload);
 Result<ResponseFrame> DecodeResponse(std::string_view payload);
 /// Ping and pong payloads are both just the correlation id.
 Result<uint64_t> DecodePingPong(std::string_view payload);
+Result<RoomAssignFrame> DecodeRoomAssign(std::string_view payload);
+Result<RoomReleaseFrame> DecodeRoomRelease(std::string_view payload);
+Result<NotOwnerFrame> DecodeNotOwner(std::string_view payload);
 
 }  // namespace wire
 }  // namespace serve

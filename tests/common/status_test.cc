@@ -46,6 +46,15 @@ TEST(StatusTest, TaxonomyCoversTheWireCodes) {
             "UNAVAILABLE: peer gone");
 }
 
+TEST(StatusTest, TaxonomyCoversThePartitionCodes) {
+  // Added for room-partitioned serving: "this shard is healthy but not
+  // responsible for that room" — the router re-routes, never ejects.
+  EXPECT_EQ(NotOwnerError("x").code(), StatusCode::kNotOwner);
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotOwner), "NOT_OWNER");
+  EXPECT_EQ(NotOwnerError("room 3 moved").ToString(),
+            "NOT_OWNER: room 3 moved");
+}
+
 TEST(StatusTest, AnnotatePrependsContextAndKeepsCode) {
   const Status status =
       InvalidDataError("non-finite entry").Annotate("preference.txt line 7");

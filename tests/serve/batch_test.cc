@@ -49,7 +49,7 @@ TickBatcher::Pending MakePending(int user) {
 }
 
 TEST(TickBatcherTest, FirstEnqueueSchedulesLaterOnesPark) {
-  TickBatcher batcher(1);
+  TickBatcher batcher;
   int scheduled = 0;
   auto schedule = [&scheduled] {
     ++scheduled;
@@ -80,7 +80,7 @@ TEST(TickBatcherTest, FirstEnqueueSchedulesLaterOnesPark) {
 }
 
 TEST(TickBatcherTest, FailedScheduleRejectsAndUnparks) {
-  TickBatcher batcher(1);
+  TickBatcher batcher;
   EXPECT_EQ(batcher.Enqueue(0, MakePending(1), [] { return false; }),
             TickBatcher::Admit::kRejected);
   EXPECT_EQ(batcher.pending(0), 0);
@@ -90,7 +90,7 @@ TEST(TickBatcherTest, FailedScheduleRejectsAndUnparks) {
 }
 
 TEST(TickBatcherTest, RoomsAreIndependent) {
-  TickBatcher batcher(2);
+  TickBatcher batcher;
   auto ok = [] { return true; };
   EXPECT_EQ(batcher.Enqueue(0, MakePending(1), ok),
             TickBatcher::Admit::kQueuedAndScheduled);

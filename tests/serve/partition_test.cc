@@ -1,0 +1,502 @@
+#include "serve/shard_control.h"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/nearest_recommender.h"
+#include "gtest/gtest.h"
+#include "serve/net_client.h"
+#include "serve/net_server.h"
+#include "serve/room.h"
+#include "serve/router.h"
+#include "serve/server.h"
+
+namespace after {
+namespace serve {
+namespace {
+
+Dataset SmallDataset(int num_users = 16, int num_steps = 8) {
+  DatasetConfig config;
+  config.num_users = num_users;
+  config.num_steps = num_steps;
+  config.num_sessions = 2;
+  config.seed = 654;
+  return GenerateTimikLike(config);
+}
+
+/// The same deterministic per-room factory every partitioned shard in a
+/// fleet uses (tools/serve_shard --partitioned): identical seeds mean a
+/// fresh replica of room r is bit-exact with any other shard's fresh
+/// replica of room r until their tick counts diverge.
+RoomFactory FactoryFor(const Dataset* dataset) {
+  return [dataset](int r) -> Result<std::unique_ptr<Room>> {
+    Room::Options options;
+    options.id = r;
+    options.mode = Room::Mode::kLive;
+    options.seed = 900 + r;
+    return Room::Create(options, dataset);
+  };
+}
+
+ServerOptions TestServerOptions() {
+  ServerOptions options;
+  options.num_threads = 2;
+  options.default_deadline_ms = -1.0;
+  return options;
+}
+
+void ExpectSamePositions(const std::vector<Vec2>& want,
+                         const std::vector<Vec2>& got) {
+  ASSERT_EQ(want.size(), got.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(want[i].x, got[i].x) << "user " << i;  // bit-exact, not near
+    EXPECT_EQ(want[i].y, got[i].y) << "user " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Room migration blob.
+
+TEST(RoomStateTest, ExportApplyRoundTripIsBitExact) {
+  const Dataset dataset = SmallDataset();
+  const auto factory = FactoryFor(&dataset);
+  auto donor = factory(3).value();
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(donor->Tick().ok());
+  const std::string blob = donor->ExportState();
+
+  auto receiver = factory(3).value();
+  const Status applied = receiver->ApplyState(blob);
+  ASSERT_TRUE(applied.ok()) << applied.ToString();
+
+  EXPECT_EQ(receiver->tick(), donor->tick());
+  ExpectSamePositions(donor->snapshot()->positions(),
+                      receiver->snapshot()->positions());
+  const auto donor_window = donor->trajectory_window();
+  const auto receiver_window = receiver->trajectory_window();
+  ASSERT_EQ(donor_window.size(), receiver_window.size());
+  for (size_t f = 0; f < donor_window.size(); ++f)
+    ExpectSamePositions(donor_window[f], receiver_window[f]);
+}
+
+TEST(RoomStateTest, MigratedRoomKeepsTickingAfterApply) {
+  const Dataset dataset = SmallDataset();
+  const auto factory = FactoryFor(&dataset);
+  auto donor = factory(0).value();
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(donor->Tick().ok());
+
+  auto receiver = factory(0).value();
+  ASSERT_TRUE(receiver->ApplyState(donor->ExportState()).ok());
+  // The handoff is a resume point, not a freeze: the new owner keeps
+  // simulating from the donor's state.
+  ASSERT_TRUE(receiver->Tick().ok());
+  EXPECT_EQ(receiver->tick(), 4);
+  EXPECT_EQ(static_cast<int>(receiver->trajectory_window().size()), 5);
+}
+
+TEST(RoomStateTest, ApplyStateIsAllOrNothing) {
+  const Dataset dataset = SmallDataset();
+  const auto factory = FactoryFor(&dataset);
+  auto donor = factory(1).value();
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(donor->Tick().ok());
+  const std::string blob = donor->ExportState();
+
+  auto receiver = factory(1).value();
+  const std::vector<Vec2> fresh = receiver->snapshot()->positions();
+
+  EXPECT_FALSE(receiver->ApplyState("").ok());
+  EXPECT_FALSE(receiver->ApplyState("not a parameter block").ok());
+  // Every truncation that drops at least one token must be rejected
+  // before any mutation happens. (The blob is text: a cut inside the
+  // final token or its trailing whitespace still reads as a complete
+  // block, which the wire layer's length-prefixed framing rules out in
+  // transit — tests/serve/wire_test.cc covers that side.)
+  const size_t last_char = blob.find_last_not_of(" \t\n");
+  ASSERT_NE(last_char, std::string::npos);
+  const size_t last_token = blob.find_last_of(" \t\n", last_char);
+  ASSERT_NE(last_token, std::string::npos);
+  for (size_t cut = 0; cut <= last_token; cut += 97)
+    EXPECT_FALSE(receiver->ApplyState(blob.substr(0, cut)).ok())
+        << "cut=" << cut;
+
+  EXPECT_EQ(receiver->tick(), 0);
+  ExpectSamePositions(fresh, receiver->snapshot()->positions());
+
+  // And the untouched room still accepts the intact blob.
+  ASSERT_TRUE(receiver->ApplyState(blob).ok());
+  EXPECT_EQ(receiver->tick(), donor->tick());
+}
+
+// ---------------------------------------------------------------------------
+// ShardControl: the shard-side ownership ledger.
+
+struct ControlHarness {
+  explicit ControlHarness(const Dataset& dataset)
+      : server({}, [] { return std::make_unique<NearestRecommender>(5); },
+               TestServerOptions()),
+        control(&server, FactoryFor(&dataset)) {}
+
+  RecommendationServer server;
+  ShardControl control;
+};
+
+TEST(ShardControlTest, AssignOwnReleaseLifecycle) {
+  const Dataset dataset = SmallDataset();
+  ControlHarness shard(dataset);
+
+  EXPECT_FALSE(shard.control.Owns(7));
+  EXPECT_EQ(shard.control.EpochFor(7), 0u);
+  EXPECT_EQ(shard.server.FindRoom(7), nullptr);
+
+  const Status assigned = shard.control.Assign(7, 1, "");
+  ASSERT_TRUE(assigned.ok()) << assigned.ToString();
+  EXPECT_TRUE(shard.control.Owns(7));
+  EXPECT_EQ(shard.control.EpochFor(7), 1u);
+  EXPECT_NE(shard.server.FindRoom(7), nullptr);
+  ASSERT_EQ(shard.control.OwnedRooms().size(), 1u);
+  EXPECT_EQ(shard.control.OwnedRooms()[0], 7);
+
+  auto released = shard.control.Release(7, 2);
+  ASSERT_TRUE(released.ok()) << released.status().ToString();
+  EXPECT_FALSE(released.value().empty());  // the migration blob
+  EXPECT_FALSE(shard.control.Owns(7));
+  EXPECT_EQ(shard.server.FindRoom(7), nullptr);  // unhosted, not just unowned
+  EXPECT_EQ(shard.control.EpochFor(7), 2u);      // remembered past release
+
+  // Releasing a room we no longer own is the shard saying kNotOwner.
+  EXPECT_EQ(shard.control.Release(7, 3).status().code(),
+            StatusCode::kNotOwner);
+}
+
+TEST(ShardControlTest, StaleEpochsAreFenced) {
+  const Dataset dataset = SmallDataset();
+  ControlHarness shard(dataset);
+
+  ASSERT_TRUE(shard.control.Assign(7, 5, "").ok());
+  // A reordered duplicate or older grant must not clobber ownership.
+  EXPECT_FALSE(shard.control.Assign(7, 5, "").ok());
+  EXPECT_FALSE(shard.control.Assign(7, 4, "").ok());
+  EXPECT_TRUE(shard.control.Owns(7));
+  // A release staler than the active grant is likewise rejected.
+  EXPECT_FALSE(shard.control.Release(7, 3).ok());
+  EXPECT_TRUE(shard.control.Owns(7));
+
+  ASSERT_TRUE(shard.control.Release(7, 6).ok());
+  // The fence survives release: the router already moved this room on,
+  // so a late grant from before the move must not resurrect ownership.
+  EXPECT_FALSE(shard.control.Assign(7, 6, "").ok());
+  EXPECT_FALSE(shard.control.Owns(7));
+  ASSERT_TRUE(shard.control.Assign(7, 7, "").ok());
+  EXPECT_TRUE(shard.control.Owns(7));
+}
+
+TEST(ShardControlTest, MigrationBlobRestoresDonorStateOnTheNewOwner) {
+  const Dataset dataset = SmallDataset();
+  ControlHarness donor(dataset);
+  ControlHarness receiver(dataset);
+
+  ASSERT_TRUE(donor.control.Assign(2, 1, "").ok());
+  auto room = donor.server.FindRoom(2);
+  ASSERT_NE(room, nullptr);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(room->Tick().ok());
+  const std::vector<Vec2> donor_positions = room->snapshot()->positions();
+
+  auto blob = donor.control.Release(2, 2);
+  ASSERT_TRUE(blob.ok());
+  const Status assigned = receiver.control.Assign(2, 3, blob.value());
+  ASSERT_TRUE(assigned.ok()) << assigned.ToString();
+
+  auto hosted = receiver.server.FindRoom(2);
+  ASSERT_NE(hosted, nullptr);
+  EXPECT_EQ(hosted->tick(), 4);
+  ExpectSamePositions(donor_positions, hosted->snapshot()->positions());
+}
+
+TEST(ShardControlTest, CorruptMigrationBlobLeavesShardUnchanged) {
+  const Dataset dataset = SmallDataset();
+  ControlHarness shard(dataset);
+
+  EXPECT_FALSE(shard.control.Assign(4, 1, "definitely not a blob").ok());
+  // All-or-nothing at the shard level too: no ownership, no hosted room.
+  EXPECT_FALSE(shard.control.Owns(4));
+  EXPECT_EQ(shard.server.FindRoom(4), nullptr);
+  // The failed grant still burned its epoch (the router will retry with
+  // a fresh one, never replay an old number).
+  EXPECT_FALSE(shard.control.Assign(4, 1, "").ok());
+  EXPECT_TRUE(shard.control.Assign(4, 2, "").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Partitioned fleet: router-driven ownership over real TCP shards.
+
+/// One partitioned shard worker: starts owning nothing; the router
+/// grants rooms over the wire. The shape of tools/serve_shard
+/// --partitioned, addressable from a unit test.
+struct PartitionShard {
+  explicit PartitionShard(const Dataset& dataset)
+      : server({}, [] { return std::make_unique<NearestRecommender>(5); },
+               TestServerOptions()),
+        control(&server, FactoryFor(&dataset)) {
+    net = std::make_unique<NetServer>(NetServer::HandlerFor(&server),
+                                      NetServerOptions{});
+    net->set_room_control(NetServer::ControlFor(&control));
+    const Status started = net->Start();
+    EXPECT_TRUE(started.ok()) << started.ToString();
+  }
+  ~PartitionShard() { net->Shutdown(); }
+
+  BackendAddress address() const { return {"127.0.0.1", net->port()}; }
+
+  RecommendationServer server;
+  ShardControl control;
+  std::unique_ptr<NetServer> net;
+};
+
+struct PartitionFleet {
+  PartitionFleet(int num_shards, int rooms, int replication,
+                 RouterOptions options = [] {
+                   RouterOptions defaults;
+                   defaults.ejection_ms = 200.0;
+                   return defaults;
+                 }())
+      : dataset(SmallDataset()), num_rooms(rooms) {
+    std::vector<BackendAddress> addresses;
+    for (int s = 0; s < num_shards; ++s) {
+      shards.push_back(std::make_unique<PartitionShard>(dataset));
+      addresses.push_back(shards.back()->address());
+    }
+    options.replication_factor = replication;
+    router = std::make_unique<ShardRouter>(addresses, options);
+    const Status enabled = router->EnablePartition(rooms);
+    EXPECT_TRUE(enabled.ok()) << enabled.ToString();
+  }
+  ~PartitionFleet() { router->Shutdown(); }
+
+  FriendResponse Route(int room, int user) {
+    return router->Route({.room = room, .user = user, .deadline_ms = -1.0});
+  }
+
+  /// Primary-room count per backend index, from the router's table.
+  std::unordered_map<int, int> PrimaryCounts() const {
+    std::unordered_map<int, int> counts;
+    for (const auto& [room, assignment] : router->AssignmentSnapshot()) {
+      EXPECT_FALSE(assignment.copies.empty()) << "room " << room;
+      if (!assignment.copies.empty()) counts[assignment.copies[0]]++;
+    }
+    return counts;
+  }
+
+  Dataset dataset;
+  int num_rooms;
+  std::vector<std::unique_ptr<PartitionShard>> shards;
+  std::unique_ptr<ShardRouter> router;
+};
+
+TEST(PartitionTest, EveryRoomIsServedAndOwnershipIsBalanced) {
+  PartitionFleet fleet(/*num_shards=*/3, /*rooms=*/9, /*replication=*/0);
+
+  const auto assignment = fleet.router->AssignmentSnapshot();
+  ASSERT_EQ(assignment.size(), 9u);
+  int hosted_total = 0;
+  for (const auto& shard : fleet.shards)
+    hosted_total += static_cast<int>(shard->control.OwnedRooms().size());
+  // replication 0: every room lives on exactly one shard — the whole
+  // point of partitioning (per-shard memory is rooms/N, not rooms).
+  EXPECT_EQ(hosted_total, 9);
+  for (const auto& [backend, primaries] : fleet.PrimaryCounts())
+    EXPECT_EQ(primaries, 3) << "backend " << backend;
+
+  for (int room = 0; room < 9; ++room) {
+    const FriendResponse response = fleet.Route(room, room % 16);
+    ASSERT_TRUE(response.status.ok())
+        << "room " << room << ": " << response.status.ToString();
+  }
+  EXPECT_EQ(fleet.router->metrics().exhausted.load(), 0);
+}
+
+TEST(PartitionTest, ReplicationKeepsAWarmStandbyPerRoom) {
+  PartitionFleet fleet(/*num_shards=*/3, /*rooms=*/6, /*replication=*/1);
+  for (const auto& [room, assignment] : fleet.router->AssignmentSnapshot()) {
+    ASSERT_EQ(assignment.copies.size(), 2u) << "room " << room;
+    EXPECT_NE(assignment.copies[0], assignment.copies[1]) << "room " << room;
+    // Both copies really are hosted on their shards.
+    for (const int backend : assignment.copies) {
+      EXPECT_TRUE(fleet.shards[backend]->control.Owns(room))
+          << "room " << room << " backend " << backend;
+      EXPECT_NE(fleet.shards[backend]->server.FindRoom(room), nullptr);
+    }
+  }
+}
+
+TEST(PartitionTest, NonOwnerAnswersNotOwnerOnTheWire) {
+  PartitionFleet fleet(/*num_shards=*/2, /*rooms=*/4, /*replication=*/0);
+  const auto assignment = fleet.router->AssignmentSnapshot();
+  const int owner = assignment.at(0).copies[0];
+  const int other = 1 - owner;
+
+  auto client = NetClient::Connect("127.0.0.1", fleet.shards[other]->net->port());
+  ASSERT_TRUE(client.ok());
+  auto response =
+      client.value()->Call({.room = 0, .user = 1, .deadline_ms = -1.0});
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  // A healthy shard asked for a room it does not own: kNotOwner travels
+  // the wire as a first-class answer, not a transport failure.
+  EXPECT_EQ(response.value().status.code(), StatusCode::kNotOwner);
+
+  // The owner itself answers normally.
+  auto direct = NetClient::Connect("127.0.0.1", fleet.shards[owner]->net->port());
+  ASSERT_TRUE(direct.ok());
+  auto owned = direct.value()->Call({.room = 0, .user = 1, .deadline_ms = -1.0});
+  ASSERT_TRUE(owned.ok());
+  EXPECT_TRUE(owned.value().status.ok()) << owned.value().status.ToString();
+}
+
+TEST(PartitionTest, RouterRedirectsNotOwnerToTheStandby) {
+  PartitionFleet fleet(/*num_shards=*/2, /*rooms=*/4, /*replication=*/1);
+  const auto assignment = fleet.router->AssignmentSnapshot();
+  const int primary = assignment.at(0).copies[0];
+
+  // Yank room 0 from its primary behind the router's back — the shard
+  // now answers kNotOwner while the router's table still lists it first.
+  ASSERT_TRUE(
+      fleet.shards[primary]->control.Release(0, assignment.at(0).epoch + 1)
+          .ok());
+
+  const int64_t redirects_before = fleet.router->metrics().not_owner.load();
+  const FriendResponse response = fleet.Route(0, 1);
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_GE(fleet.router->metrics().not_owner.load(), redirects_before + 1);
+  // Nobody was ejected: kNotOwner is an ownership miss, not a failure.
+  EXPECT_EQ(fleet.router->metrics().ejections.load(), 0);
+}
+
+TEST(PartitionTest, AddBackendLiveRebalancesWithStateHandoff) {
+  PartitionFleet fleet(/*num_shards=*/2, /*rooms=*/8, /*replication=*/0);
+
+  // Advance every room a few ticks so a migrated room provably carries
+  // state (a fresh rebuild would restart at tick 0).
+  const auto before = fleet.router->AssignmentSnapshot();
+  for (const auto& [room, assignment] : before) {
+    auto hosted = fleet.shards[assignment.copies[0]]->server.FindRoom(room);
+    ASSERT_NE(hosted, nullptr) << "room " << room;
+    for (int i = 0; i < 3; ++i) ASSERT_TRUE(hosted->Tick().ok());
+  }
+
+  auto newcomer = std::make_unique<PartitionShard>(fleet.dataset);
+  auto added = fleet.router->AddBackendLive(newcomer->address());
+  ASSERT_TRUE(added.ok()) << added.status().ToString();
+  EXPECT_EQ(added.value(), 2);
+
+  // The newcomer took its share of primaries (ceil caps keep the spread
+  // within one room of even) via release -> state -> assign handoffs.
+  const auto counts = fleet.PrimaryCounts();
+  EXPECT_GE(counts.at(2), 2);
+  for (const auto& [backend, primaries] : counts) {
+    EXPECT_LE(primaries, 3) << "backend " << backend;
+    EXPECT_GE(primaries, 2) << "backend " << backend;
+  }
+  EXPECT_GT(fleet.router->metrics().migrations.load(), 0);
+
+  // Every room still serves, from a replica that resumed at tick 3 —
+  // migrated rooms inherited the donor's state, unmoved rooms kept it.
+  fleet.shards.push_back(std::move(newcomer));
+  for (const auto& [room, assignment] : fleet.router->AssignmentSnapshot()) {
+    auto hosted = fleet.shards[assignment.copies[0]]->server.FindRoom(room);
+    ASSERT_NE(hosted, nullptr) << "room " << room;
+    EXPECT_EQ(hosted->tick(), 3) << "room " << room;
+    const FriendResponse response = fleet.Route(room, 2);
+    ASSERT_TRUE(response.status.ok())
+        << "room " << room << ": " << response.status.ToString();
+  }
+}
+
+TEST(PartitionTest, KilledPrimaryFailsOverToABitExactStandby) {
+  PartitionFleet fleet(/*num_shards=*/3, /*rooms=*/6, /*replication=*/1);
+  const auto assignment = fleet.router->AssignmentSnapshot();
+  const int victim_room = 0;
+  const int primary = assignment.at(victim_room).copies[0];
+  const int standby = assignment.at(victim_room).copies[1];
+
+  // Tick both replicas in lockstep (the fleet invariant: same factory
+  // seed + same tick count => bit-identical rooms), then remember the
+  // primary's scene.
+  auto primary_room = fleet.shards[primary]->server.FindRoom(victim_room);
+  auto standby_room = fleet.shards[standby]->server.FindRoom(victim_room);
+  ASSERT_NE(primary_room, nullptr);
+  ASSERT_NE(standby_room, nullptr);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(primary_room->Tick().ok());
+    ASSERT_TRUE(standby_room->Tick().ok());
+  }
+  const std::vector<Vec2> last_served = primary_room->snapshot()->positions();
+
+  fleet.shards[primary]->net->Shutdown();
+  fleet.router->ProbeAll();
+  EXPECT_GT(fleet.router->RepairPartition(), 0);
+
+  // The standby was promoted in place: no state was sent, it keeps
+  // serving its own replica — bit-exact with what the primary last had.
+  const auto repaired = fleet.router->AssignmentSnapshot();
+  EXPECT_EQ(repaired.at(victim_room).copies[0], standby);
+  ExpectSamePositions(last_served, standby_room->snapshot()->positions());
+
+  const FriendResponse response = fleet.Route(victim_room, 1);
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_GE(fleet.router->metrics().repairs.load(), 1);
+}
+
+TEST(PartitionTest, ConcurrentRoutingSurvivesKillAndGrowth) {
+  // The TSan target: many threads in Route() while one shard dies, the
+  // table is repaired, and a newcomer triggers migrations — all at once.
+  // replication 1 means every request must still be answered.
+  RouterOptions options;
+  options.ejection_ms = 100.0;
+  options.client.connect_timeout_ms = 500.0;
+  PartitionFleet fleet(/*num_shards=*/3, /*rooms=*/6, /*replication=*/1,
+                       options);
+  auto newcomer = std::make_unique<PartitionShard>(fleet.dataset);
+
+  const int kThreads = 4, kPerThread = 40;
+  std::atomic<int> ok{0}, failed{0};
+  std::thread grower([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    // The racing kill below may land mid-migration, in which case a
+    // grant aimed at the dying shard legitimately fails — zero request
+    // loss (asserted at the bottom) is the invariant, not a clean add.
+    fleet.router->AddBackendLive(newcomer->address());
+  });
+  std::thread killer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    fleet.shards[0]->net->Shutdown();
+    fleet.router->ProbeAll();
+    fleet.router->RepairPartition();
+  });
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kThreads; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const FriendResponse response =
+            fleet.Route((c + i) % 6, (3 * c + i) % 16);
+        if (response.status.ok())
+          ok.fetch_add(1);
+        else
+          failed.fetch_add(1);
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  grower.join();
+  killer.join();
+
+  EXPECT_EQ(ok.load(), kThreads * kPerThread);
+  EXPECT_EQ(failed.load(), 0);
+  fleet.shards.push_back(std::move(newcomer));  // outlive the router
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace after

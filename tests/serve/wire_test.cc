@@ -117,6 +117,79 @@ TEST(WireTest, PingPongRoundTrip) {
   EXPECT_TRUE(bytes.empty());
 }
 
+TEST(WireTest, RoomAssignRoundTripsWithStateBlob) {
+  const std::string state("snapshot\0with\xFF" "binary", 20);
+  std::string bytes;
+  AppendRoomAssignFrame(31, 7, 12, state, &bytes);
+  Frame frame;
+  size_t consumed = 0;
+  ASSERT_TRUE(ExtractFrame(bytes, &frame, &consumed).ok());
+  EXPECT_EQ(frame.type, MessageType::kRoomAssign);
+  auto decoded = DecodeRoomAssign(frame.payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().id, 31u);
+  EXPECT_EQ(decoded.value().room, 7);
+  EXPECT_EQ(decoded.value().epoch, 12u);
+  EXPECT_EQ(decoded.value().state, state);
+}
+
+TEST(WireTest, RoomAssignEmptyStateMeansFreshRoom) {
+  std::string bytes;
+  AppendRoomAssignFrame(1, 0, 1, "", &bytes);
+  Frame frame;
+  size_t consumed = 0;
+  ASSERT_TRUE(ExtractFrame(bytes, &frame, &consumed).ok());
+  auto decoded = DecodeRoomAssign(frame.payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().state.empty());
+}
+
+TEST(WireTest, RoomReleaseAndNotOwnerRoundTrip) {
+  std::string bytes;
+  AppendRoomReleaseFrame(8, 3, 99, &bytes);
+  AppendNotOwnerFrame(9, 4, 100, &bytes);  // back to back
+  Frame frame;
+  size_t consumed = 0;
+  ASSERT_TRUE(ExtractFrame(bytes, &frame, &consumed).ok());
+  EXPECT_EQ(frame.type, MessageType::kRoomRelease);
+  auto release = DecodeRoomRelease(frame.payload);
+  ASSERT_TRUE(release.ok()) << release.status().ToString();
+  EXPECT_EQ(release.value().id, 8u);
+  EXPECT_EQ(release.value().room, 3);
+  EXPECT_EQ(release.value().epoch, 99u);
+  bytes.erase(0, consumed);
+  ASSERT_TRUE(ExtractFrame(bytes, &frame, &consumed).ok());
+  EXPECT_EQ(frame.type, MessageType::kNotOwner);
+  auto not_owner = DecodeNotOwner(frame.payload);
+  ASSERT_TRUE(not_owner.ok()) << not_owner.status().ToString();
+  EXPECT_EQ(not_owner.value().id, 9u);
+  EXPECT_EQ(not_owner.value().room, 4);
+  EXPECT_EQ(not_owner.value().epoch, 100u);
+}
+
+TEST(WireTest, ControlPayloadTruncationsFailDecodeAllOrNothing) {
+  // Same contract as the request/response payloads: any cut inside the
+  // payload decodes to an error, never to a partial struct.
+  std::string assign;
+  AppendRoomAssignFrame(5, 2, 7, "state-bytes", &assign);
+  Frame frame;
+  size_t consumed = 0;
+  ASSERT_TRUE(ExtractFrame(assign, &frame, &consumed).ok());
+  for (size_t cut = 0; cut < frame.payload.size(); ++cut) {
+    EXPECT_FALSE(
+        DecodeRoomAssign(std::string_view(frame.payload).substr(0, cut)).ok())
+        << "assign cut=" << cut;
+  }
+  std::string release;
+  AppendRoomReleaseFrame(5, 2, 7, &release);
+  ASSERT_TRUE(ExtractFrame(release, &frame, &consumed).ok());
+  for (size_t cut = 0; cut < frame.payload.size(); ++cut) {
+    EXPECT_FALSE(
+        DecodeRoomRelease(std::string_view(frame.payload).substr(0, cut)).ok())
+        << "release cut=" << cut;
+  }
+}
+
 TEST(WireTest, EveryTruncationIsIncompleteNeverGarbage) {
   // A truncated frame must never decode and never error at the framing
   // layer: every proper prefix reports "incomplete" (OK, consumed 0).

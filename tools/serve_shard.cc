@@ -4,18 +4,23 @@
 // bench/net_throughput at the router (docs/serving.md has the 3-shard
 // walkthrough).
 //
-// Every shard instantiates the *full* room set with the same seeds, so
-// any shard can answer any room; the router's consistent hashing merely
-// keeps each room's traffic (and therefore its simulation state and
-// snapshot cache) on one home shard, and failover to the next shard on
-// the ring stays correct when a worker dies.
+// Two fleet layouts (docs/serving.md):
+//  - Default: the shard instantiates the *full* room set with the same
+//    seeds, so any shard can answer any room; the router's consistent
+//    hashing merely keeps each room's traffic (and therefore its
+//    simulation state and snapshot cache) on one home shard.
+//  - --partitioned: the shard starts owning *nothing* and hosts only
+//    the rooms the router grants it over the wire (kRoomAssign /
+//    kRoomRelease, serve/shard_control.h); requests for unowned rooms
+//    are answered kNotOwner so the router re-routes them. Memory and
+//    tick cost then scale with the shard's share, not the fleet's size.
 //
 // Usage:
 //   serve_shard --port=7701                    # fixed port
 //   serve_shard --port=0 --port_file=p.txt     # ephemeral; port written
 //                                              # to the file for scripts
 // Flags: --rooms=N --users=N --threads=N --queue=N --deadline_ms=F
-//        --tick_ms=F --seed=N --batch --weights=PATH
+//        --tick_ms=F --seed=N --batch --weights=PATH --partitioned
 //        --max_seconds=F (0 = run until SIGINT/SIGTERM)
 
 #include <chrono>
@@ -34,6 +39,7 @@
 #include "nn/artifact.h"
 #include "serve/net_server.h"
 #include "serve/server.h"
+#include "serve/shard_control.h"
 
 namespace after {
 namespace {
@@ -45,7 +51,7 @@ int Main(int argc, char** argv) {
   int port = 0, rooms = 2, users = 60, threads = 2, queue = 1024;
   int seed = 4242;
   double deadline_ms = 1000.0, tick_ms = 10.0, max_seconds = 0.0;
-  bool batch = false;
+  bool batch = false, partitioned = false;
   std::string port_file, weights;
   for (int i = 1; i < argc; ++i) {
     int value = 0;
@@ -69,6 +75,7 @@ int Main(int argc, char** argv) {
     else if (std::sscanf(argv[i], "--weights=%255s", buffer) == 1)
       weights = buffer;
     else if (std::strcmp(argv[i], "--batch") == 0) batch = true;
+    else if (std::strcmp(argv[i], "--partitioned") == 0) partitioned = true;
     else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 1;
@@ -94,21 +101,30 @@ int Main(int argc, char** argv) {
   config.seed = seed;
   const Dataset dataset = GenerateTimikLike(config);
 
-  std::vector<std::unique_ptr<serve::Room>> room_list;
-  for (int r = 0; r < rooms; ++r) {
+  // Seeded by room id only: every shard builds the same crowd for a
+  // given room, so failover / standby answers come from the same
+  // statistical world. The partitioned path reuses the exact recipe
+  // through the room factory below.
+  const auto make_room =
+      [&dataset](int r) -> Result<std::unique_ptr<serve::Room>> {
     serve::Room::Options room_options;
     room_options.id = r;
     room_options.mode = serve::Room::Mode::kLive;
-    // Seeded by room id only: every shard replica simulates the same
-    // crowd, so failover answers come from the same statistical world.
     room_options.seed = 900 + r;
-    auto created = serve::Room::Create(room_options, &dataset);
-    if (!created.ok()) {
-      std::fprintf(stderr, "room %d: %s\n", r,
-                   created.status().ToString().c_str());
-      return 1;
+    return serve::Room::Create(room_options, &dataset);
+  };
+
+  std::vector<std::unique_ptr<serve::Room>> room_list;
+  if (!partitioned) {
+    for (int r = 0; r < rooms; ++r) {
+      auto created = make_room(r);
+      if (!created.ok()) {
+        std::fprintf(stderr, "room %d: %s\n", r,
+                     created.status().ToString().c_str());
+        return 1;
+      }
+      room_list.push_back(std::move(created).value());
     }
-    room_list.push_back(std::move(created).value());
   }
 
   serve::ServerOptions server_options;
@@ -137,10 +153,13 @@ int Main(int argc, char** argv) {
   }
   serve::RecommendationServer server(std::move(room_list),
                                      std::move(factory), server_options);
+  serve::ShardControl control(&server, make_room);
 
   serve::NetServerOptions net_options;
   net_options.port = port;
   serve::NetServer net(serve::NetServer::HandlerFor(&server), net_options);
+  if (partitioned)
+    net.set_room_control(serve::NetServer::ControlFor(&control));
   const Status started = net.Start();
   if (!started.ok()) {
     std::fprintf(stderr, "start: %s\n", started.ToString().c_str());
@@ -152,11 +171,19 @@ int Main(int argc, char** argv) {
     std::ofstream out(port_file);
     out << net.port() << "\n";
   }
-  std::printf("[serve_shard] listening on %s:%d (%d rooms x %d users, "
-              "%d threads, primary=%s%s)\n",
-              net.host().c_str(), net.port(), rooms, users, threads,
-              trained ? "frozen-trained" : "untrained-per-stream",
-              batch ? ", in-tick batching" : "");
+  if (partitioned)
+    std::printf("[serve_shard] listening on %s:%d (partitioned: rooms "
+                "granted by router, %d users each, %d threads, "
+                "primary=%s%s)\n",
+                net.host().c_str(), net.port(), users, threads,
+                trained ? "frozen-trained" : "untrained-per-stream",
+                batch ? ", in-tick batching" : "");
+  else
+    std::printf("[serve_shard] listening on %s:%d (%d rooms x %d users, "
+                "%d threads, primary=%s%s)\n",
+                net.host().c_str(), net.port(), rooms, users, threads,
+                trained ? "frozen-trained" : "untrained-per-stream",
+                batch ? ", in-tick batching" : "");
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleSignal);

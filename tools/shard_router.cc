@@ -12,6 +12,9 @@
 //        --threads=N --queue=N (router-side worker pool + admission
 //        bound; overload sheds with kResourceExhausted at the router)
 //        --max_attempts=N --ejection_ms=F --health_ms=F
+//        --partition_rooms=N (switch to partitioned serving: grant
+//        rooms [0,N) to backends started with serve_shard --partitioned)
+//        --replication=N (warm standby copies per room, partitioned only)
 //        --max_seconds=F (0 = run until SIGINT/SIGTERM)
 
 #include <chrono>
@@ -47,6 +50,7 @@ bool ParseBackend(const std::string& spec, serve::BackendAddress* out) {
 
 int Main(int argc, char** argv) {
   int port = 0, threads = 4, queue = 1024, max_attempts = 3;
+  int partition_rooms = 0, replication = 0;
   double ejection_ms = 1000.0, health_ms = 250.0, max_seconds = 0.0;
   std::string port_file;
   std::vector<serve::BackendAddress> backends;
@@ -60,6 +64,10 @@ int Main(int argc, char** argv) {
     else if (std::sscanf(argv[i], "--queue=%d", &value) == 1) queue = value;
     else if (std::sscanf(argv[i], "--max_attempts=%d", &value) == 1)
       max_attempts = value;
+    else if (std::sscanf(argv[i], "--partition_rooms=%d", &value) == 1)
+      partition_rooms = value;
+    else if (std::sscanf(argv[i], "--replication=%d", &value) == 1)
+      replication = value;
     else if (std::sscanf(argv[i], "--ejection_ms=%lf", &fvalue) == 1)
       ejection_ms = fvalue;
     else if (std::sscanf(argv[i], "--health_ms=%lf", &fvalue) == 1)
@@ -90,7 +98,18 @@ int Main(int argc, char** argv) {
   router_options.max_attempts = max_attempts;
   router_options.ejection_ms = ejection_ms;
   router_options.health_check_interval_ms = health_ms;
+  router_options.replication_factor = replication;
   serve::ShardRouter router(backends, router_options);
+
+  if (partition_rooms > 0) {
+    const Status enabled = router.EnablePartition(partition_rooms);
+    if (!enabled.ok()) {
+      std::fprintf(stderr, "EnablePartition(%d): %s\n", partition_rooms,
+                   enabled.ToString().c_str());
+      router.Shutdown();
+      return 1;
+    }
+  }
 
   // The router's own worker pool decouples slow backends from the
   // connection readers and gives the front door its own admission
@@ -130,6 +149,9 @@ int Main(int argc, char** argv) {
               net.host().c_str(), net.port(), backends.size());
   for (const auto& backend : backends)
     std::printf(" %s", backend.ToString().c_str());
+  if (partition_rooms > 0)
+    std::printf(" (partitioned: %d rooms, replication=%d)", partition_rooms,
+                replication);
   std::printf("\n");
   std::fflush(stdout);
 
@@ -147,14 +169,18 @@ int Main(int argc, char** argv) {
   const auto& m = router.metrics();
   std::printf("[shard_router] exiting after %.1f s: routed=%lld "
               "retried=%lld ejections=%lld exhausted=%lld "
-              "pooled_reuse=%lld connects=%lld\n",
+              "pooled_reuse=%lld connects=%lld not_owner=%lld "
+              "migrations=%lld repairs=%lld\n",
               timer.ElapsedSeconds(),
               static_cast<long long>(m.routed.load()),
               static_cast<long long>(m.retried.load()),
               static_cast<long long>(m.ejections.load()),
               static_cast<long long>(m.exhausted.load()),
               static_cast<long long>(m.pooled_reuse.load()),
-              static_cast<long long>(m.connects.load()));
+              static_cast<long long>(m.connects.load()),
+              static_cast<long long>(m.not_owner.load()),
+              static_cast<long long>(m.migrations.load()),
+              static_cast<long long>(m.repairs.load()));
   return 0;
 }
 
