@@ -25,10 +25,20 @@
 // is lost, any unexpected error class appears, or the final primary
 // spread across healthy shards exceeds 1 + replication.
 //
+// --durable_dir=PATH gives every partitioned shard a durability
+// subsystem (journal + checkpoints under PATH/shard-<i>), and
+// --cold_restart_ms=T runs the crash drill: after T ms the ENTIRE
+// fleet — every shard and the router — is torn down mid-run, rebuilt
+// from the durable directories alone, and reconciled via the router's
+// recovery phase (kRoomRecover). The run fails (exit 2) unless every
+// room comes back bit-exact with zero lost rooms; clients meanwhile
+// see a reconnect window (kUnavailable), never a protocol error.
+//
 // Flags: --clients=N --requests=N --rooms=N --users=N --deadline_ms=F
 //        --threads=N (self-contained: worker threads per shard)
 //        --partitioned --replication=N (default 1, partitioned only)
 //        --kill_shard_ms=F --add_shard_ms=F
+//        --durable_dir=PATH --cold_restart_ms=F (partitioned only)
 //        --json=PATH (write a BENCH_serve.json-style summary)
 
 #include <algorithm>
@@ -36,17 +46,20 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/timer.h"
 #include "core/poshgnn.h"
 #include "data/dataset.h"
+#include "serve/checkpoint.h"
 #include "serve/metrics.h"
 #include "serve/net_client.h"
 #include "serve/net_server.h"
@@ -121,6 +134,10 @@ void ClientLoop(const std::string& host, int port, int requests, int rooms,
       if (!connected.ok()) {
         Record(tally, connected.status(), false, 0.0);
         client.reset();
+        // Brief backoff so a restarting front (cold-restart drill) sees
+        // reconnect attempts, not a request budget burned in a tight
+        // refused-connection loop.
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
         continue;
       }
       client = std::move(connected).value();
@@ -147,6 +164,12 @@ struct LocalFleet {
   /// Guards the three shard vectors: AddShard (mid-run fleet growth)
   /// races the ticker thread otherwise.
   std::mutex mutex;
+  /// Declared before the servers that borrow them, so destruction
+  /// (reverse order) tears the servers down first.
+  std::vector<std::unique_ptr<serve::DurabilityManager>> durabilities;
+  /// One durable dir per durable shard, in shard order — the restart
+  /// half of the cold-restart drill reopens exactly these.
+  std::vector<std::string> durable_dirs;
   std::vector<std::unique_ptr<serve::RecommendationServer>> shards;
   std::vector<std::unique_ptr<serve::ShardControl>> controls;
   std::vector<std::unique_ptr<serve::NetServer>> shard_nets;
@@ -170,8 +193,12 @@ struct LocalFleet {
 /// Starts one shard worker and appends it to the fleet. Partitioned
 /// shards start empty and host whatever the router grants them (same
 /// room recipe via the factory); full-replication shards pre-build all
-/// `rooms` rooms. Returns false (with a message) on failure.
+/// `rooms` rooms. A non-empty `durable_dir` attaches a journal +
+/// checkpoint subsystem there and replays whatever durable state the
+/// dir already holds before the shard starts serving. Returns false
+/// (with a message) on failure.
 bool AddShard(LocalFleet* fleet, int rooms, int threads, bool partitioned,
+              const std::string& durable_dir,
               serve::BackendAddress* address) {
   const Dataset* dataset = &fleet->dataset;
   const auto make_room =
@@ -205,6 +232,33 @@ bool AddShard(LocalFleet* fleet, int rooms, int threads, bool partitioned,
       [model_config] { return std::make_unique<Poshgnn>(model_config); },
       server_options);
   auto control = std::make_unique<serve::ShardControl>(server.get(), make_room);
+  std::unique_ptr<serve::DurabilityManager> durability;
+  if (!durable_dir.empty()) {
+    std::error_code ignored;
+    std::filesystem::create_directories(durable_dir, ignored);
+    serve::DurabilityManager::Options durable_options;
+    durable_options.dir = durable_dir;
+    durable_options.checkpoint_every_ticks = 64;
+    auto opened = serve::DurabilityManager::Open(durable_options);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "durability %s: %s\n", durable_dir.c_str(),
+                   opened.status().ToString().c_str());
+      return false;
+    }
+    durability = std::move(opened).value();
+    durability->Attach(server.get());
+    server->set_durability(durability.get());
+    control->set_durability(durability.get());
+    // Replay before serving: a restarted shard must never answer for a
+    // room it has not finished rebuilding.
+    auto recovered = control->RecoverFromDurable();
+    if (!recovered.ok()) {
+      std::fprintf(stderr, "RecoverFromDurable %s: %s\n",
+                   durable_dir.c_str(),
+                   recovered.status().ToString().c_str());
+      return false;
+    }
+  }
   auto net = std::make_unique<serve::NetServer>(
       serve::NetServer::HandlerFor(server.get()), serve::NetServerOptions{});
   if (partitioned)
@@ -216,49 +270,33 @@ bool AddShard(LocalFleet* fleet, int rooms, int threads, bool partitioned,
   }
   *address = {net->host(), net->port()};
   std::lock_guard<std::mutex> lock(fleet->mutex);
+  if (durability != nullptr) {
+    fleet->durabilities.push_back(std::move(durability));
+    fleet->durable_dirs.push_back(durable_dir);
+  }
   fleet->shards.push_back(std::move(server));
   fleet->controls.push_back(std::move(control));
   fleet->shard_nets.push_back(std::move(net));
   return true;
 }
 
-std::unique_ptr<LocalFleet> StartLocalFleet(int num_shards, int rooms,
-                                            int users, int threads,
-                                            bool partitioned,
-                                            int replication) {
-  auto fleet = std::make_unique<LocalFleet>();
-  DatasetConfig config;
-  config.num_users = users;
-  config.num_steps = 2;
-  config.num_sessions = 1;
-  config.seed = 4242;
-  fleet->dataset = GenerateTimikLike(config);
-
-  std::vector<serve::BackendAddress> backends;
-  for (int s = 0; s < num_shards; ++s) {
-    serve::BackendAddress address;
-    if (!AddShard(fleet.get(), rooms, threads, partitioned, &address))
-      return nullptr;
-    backends.push_back(address);
-  }
-
+serve::RouterOptions FleetRouterOptions(int replication) {
   serve::RouterOptions router_options;
   router_options.ejection_ms = 200.0;
   router_options.health_check_interval_ms = 100.0;
   router_options.replication_factor = replication;
-  fleet->router =
-      std::make_unique<serve::ShardRouter>(backends, router_options);
-  if (partitioned) {
-    const Status enabled = fleet->router->EnablePartition(rooms);
-    if (!enabled.ok()) {
-      std::fprintf(stderr, "EnablePartition(%d): %s\n", rooms,
-                   enabled.ToString().c_str());
-      return nullptr;
-    }
-  }
+  return router_options;
+}
+
+/// Builds the router's thread pool + TCP front over fleet->router.
+/// `port` 0 picks an ephemeral port; the cold-restart drill passes the
+/// pre-crash port so the closed-loop clients reconnect transparently.
+bool StartRouterFront(LocalFleet* fleet, int threads, int port) {
   fleet->router_pool = std::make_unique<serve::ThreadPool>(threads, 1024);
   serve::ShardRouter* router = fleet->router.get();
   serve::ThreadPool* pool = fleet->router_pool.get();
+  serve::NetServerOptions net_options;
+  net_options.port = port;
   fleet->router_net = std::make_unique<serve::NetServer>(
       [router, pool](const serve::FriendRequest& request,
                      std::function<void(const serve::FriendResponse&)> done) {
@@ -274,32 +312,75 @@ std::unique_ptr<LocalFleet> StartLocalFleet(int num_shards, int rooms,
           (*done_ptr)(response);
         }
       },
-      serve::NetServerOptions{});
+      net_options);
   const Status started = fleet->router_net->Start();
   if (!started.ok()) {
     std::fprintf(stderr, "router: %s\n", started.ToString().c_str());
-    return nullptr;
+    return false;
   }
+  return true;
+}
 
-  LocalFleet* fleet_ptr = fleet.get();
-  fleet->ticker = std::thread([fleet_ptr] {
-    while (!fleet_ptr->stop.load(std::memory_order_relaxed)) {
+void StartTicker(LocalFleet* fleet) {
+  fleet->ticker = std::thread([fleet] {
+    while (!fleet->stop.load(std::memory_order_relaxed)) {
       {
-        std::lock_guard<std::mutex> lock(fleet_ptr->mutex);
-        for (auto& shard : fleet_ptr->shards) shard->TickAll();
+        std::lock_guard<std::mutex> lock(fleet->mutex);
+        for (auto& shard : fleet->shards) shard->TickAll();
       }
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
     }
   });
+}
+
+std::string ShardDurableDir(const std::string& base, int shard) {
+  return base.empty() ? std::string()
+                      : base + "/shard-" + std::to_string(shard);
+}
+
+std::unique_ptr<LocalFleet> StartLocalFleet(int num_shards, int rooms,
+                                            int users, int threads,
+                                            bool partitioned, int replication,
+                                            const std::string& durable_base) {
+  auto fleet = std::make_unique<LocalFleet>();
+  DatasetConfig config;
+  config.num_users = users;
+  config.num_steps = 2;
+  config.num_sessions = 1;
+  config.seed = 4242;
+  fleet->dataset = GenerateTimikLike(config);
+
+  std::vector<serve::BackendAddress> backends;
+  for (int s = 0; s < num_shards; ++s) {
+    serve::BackendAddress address;
+    if (!AddShard(fleet.get(), rooms, threads, partitioned,
+                  ShardDurableDir(durable_base, s), &address))
+      return nullptr;
+    backends.push_back(address);
+  }
+
+  fleet->router = std::make_unique<serve::ShardRouter>(
+      backends, FleetRouterOptions(replication));
+  if (partitioned) {
+    const Status enabled = fleet->router->EnablePartition(rooms);
+    if (!enabled.ok()) {
+      std::fprintf(stderr, "EnablePartition(%d): %s\n", rooms,
+                   enabled.ToString().c_str());
+      return nullptr;
+    }
+  }
+  if (!StartRouterFront(fleet.get(), threads, /*port=*/0)) return nullptr;
+  StartTicker(fleet.get());
   return fleet;
 }
 
 int Main(int argc, char** argv) {
-  std::string host = "127.0.0.1", json_path;
+  std::string host = "127.0.0.1", json_path, durable_dir;
   int port = 0, shards = 0, clients = 4, requests = 2000;
   int rooms = 2, users = 60, threads = 2, replication = 1;
   bool partitioned = false, rooms_given = false;
   double deadline_ms = 1000.0, kill_shard_ms = 0.0, add_shard_ms = 0.0;
+  double cold_restart_ms = 0.0;
   for (int i = 1; i < argc; ++i) {
     int value = 0;
     double fvalue = 0.0;
@@ -326,6 +407,10 @@ int Main(int argc, char** argv) {
       kill_shard_ms = fvalue;
     else if (std::sscanf(argv[i], "--add_shard_ms=%lf", &fvalue) == 1)
       add_shard_ms = fvalue;
+    else if (std::sscanf(argv[i], "--cold_restart_ms=%lf", &fvalue) == 1)
+      cold_restart_ms = fvalue;
+    else if (std::sscanf(argv[i], "--durable_dir=%255s", buffer) == 1)
+      durable_dir = buffer;
     else if (std::strcmp(argv[i], "--partitioned") == 0) partitioned = true;
     else if (std::sscanf(argv[i], "--host=%255s", buffer) == 1)
       host = buffer;
@@ -349,6 +434,23 @@ int Main(int argc, char** argv) {
   // Partitioned balance is only interesting with more rooms than
   // shards; give the default enough rooms for ~4 primaries per shard.
   if (partitioned && !rooms_given) rooms = 4 * std::max(1, shards);
+  if (!durable_dir.empty() && (shards == 0 || !partitioned)) {
+    std::fprintf(stderr,
+                 "--durable_dir needs the partitioned self-contained fleet "
+                 "(--shards + --partitioned)\n");
+    return 1;
+  }
+  if (cold_restart_ms > 0.0 && durable_dir.empty()) {
+    std::fprintf(stderr, "--cold_restart_ms needs --durable_dir\n");
+    return 1;
+  }
+  if (cold_restart_ms > 0.0 &&
+      (kill_shard_ms > 0.0 || add_shard_ms > 0.0)) {
+    std::fprintf(stderr,
+                 "--cold_restart_ms cannot be combined with "
+                 "--kill_shard_ms or --add_shard_ms\n");
+    return 1;
+  }
 
   std::unique_ptr<LocalFleet> fleet;
   if (shards > 0) {
@@ -357,7 +459,7 @@ int Main(int argc, char** argv) {
                 shards, rooms, users,
                 partitioned ? " (partitioned)" : "");
     fleet = StartLocalFleet(shards, rooms, users, threads, partitioned,
-                            partitioned ? replication : 0);
+                            partitioned ? replication : 0, durable_dir);
     if (fleet == nullptr) return 1;
     host = fleet->router_net->host();
     port = fleet->router_net->port();
@@ -389,7 +491,8 @@ int Main(int argc, char** argv) {
           std::chrono::duration<double, std::milli>(add_shard_ms));
       std::printf("[net_throughput] adding a shard mid-run\n");
       serve::BackendAddress address;
-      if (!AddShard(fleet_ptr, rooms, threads, partitioned, &address))
+      if (!AddShard(fleet_ptr, rooms, threads, partitioned,
+                    /*durable_dir=*/"", &address))
         return;
       auto added = fleet_ptr->router->AddBackendLive(address);
       if (!added.ok())
@@ -403,6 +506,110 @@ int Main(int argc, char** argv) {
                         fleet_ptr->router->metrics().migrations.load()));
     });
   }
+  // Cold-restart drill: tear down the WHOLE in-process fleet mid-run
+  // and rebuild it from the durable directories. The pre-crash truth is
+  // captured from each room's primary with the ticker stopped (so the
+  // capture and the journal frontier agree), then the recovered world
+  // is checked bit-exact BEFORE ticking resumes.
+  std::atomic<long long> drill_recovered{0}, drill_discarded{0};
+  std::atomic<long long> drill_mismatches{0}, drill_lost{0};
+  std::atomic<bool> drill_failed{false};
+  const bool drill_armed = fleet != nullptr && cold_restart_ms > 0.0;
+  std::thread restarter;
+  if (drill_armed) {
+    LocalFleet* fleet_ptr = fleet.get();
+    restarter = std::thread([fleet_ptr, cold_restart_ms, rooms, threads,
+                             replication, &drill_recovered, &drill_discarded,
+                             &drill_mismatches, &drill_lost, &drill_failed] {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(cold_restart_ms));
+      std::printf("[net_throughput] cold restart: killing the entire "
+                  "fleet mid-run\n");
+      fleet_ptr->stop.store(true);
+      if (fleet_ptr->ticker.joinable()) fleet_ptr->ticker.join();
+      std::unordered_map<int, std::string> expected;
+      for (const auto& entry : fleet_ptr->router->AssignmentSnapshot()) {
+        if (entry.second.copies.empty()) continue;
+        const int primary = entry.second.copies[0];
+        if (primary < 0 ||
+            primary >= static_cast<int>(fleet_ptr->shards.size()))
+          continue;
+        if (auto room = fleet_ptr->shards[primary]->FindRoom(entry.first))
+          expected[entry.first] = room->ExportState();
+      }
+      const int router_port = fleet_ptr->router_net->port();
+      // The "crash": everything dies; only the durable dirs survive.
+      fleet_ptr->router_net->Shutdown();
+      fleet_ptr->router_net.reset();
+      fleet_ptr->router_pool->Shutdown();
+      fleet_ptr->router_pool.reset();
+      fleet_ptr->router->Shutdown();
+      fleet_ptr->router.reset();
+      for (auto& net : fleet_ptr->shard_nets) net->Shutdown();
+      fleet_ptr->shard_nets.clear();
+      for (auto& shard : fleet_ptr->shards) shard->Shutdown();
+      fleet_ptr->controls.clear();
+      fleet_ptr->shards.clear();
+      fleet_ptr->durabilities.clear();
+      // Cold boot: same dirs, fresh shards (each replays its own
+      // journal + checkpoints in AddShard), then a fresh router
+      // reconciles the replicas' reports.
+      const std::vector<std::string> dirs = fleet_ptr->durable_dirs;
+      fleet_ptr->durable_dirs.clear();
+      std::vector<serve::BackendAddress> backends;
+      for (const std::string& dir : dirs) {
+        serve::BackendAddress address;
+        if (!AddShard(fleet_ptr, rooms, threads, /*partitioned=*/true, dir,
+                      &address)) {
+          drill_failed.store(true);
+          return;
+        }
+        backends.push_back(address);
+      }
+      fleet_ptr->router = std::make_unique<serve::ShardRouter>(
+          backends, FleetRouterOptions(replication));
+      const Status recovered = fleet_ptr->router->RecoverPartition(rooms);
+      if (!recovered.ok()) {
+        std::fprintf(stderr, "RecoverPartition(%d): %s\n", rooms,
+                     recovered.ToString().c_str());
+        drill_failed.store(true);
+        return;
+      }
+      drill_recovered.store(
+          fleet_ptr->router->metrics().recovered_rooms.load());
+      drill_discarded.store(
+          fleet_ptr->router->metrics().discarded_replicas.load());
+      const auto snapshot = fleet_ptr->router->AssignmentSnapshot();
+      for (const auto& entry : expected) {
+        std::shared_ptr<serve::Room> room;
+        const auto it = snapshot.find(entry.first);
+        if (it != snapshot.end() && !it->second.copies.empty()) {
+          const int primary = it->second.copies[0];
+          if (primary >= 0 &&
+              primary < static_cast<int>(fleet_ptr->shards.size()))
+            room = fleet_ptr->shards[primary]->FindRoom(entry.first);
+        }
+        if (room == nullptr)
+          drill_lost.fetch_add(1, std::memory_order_relaxed);
+        else if (room->ExportState() != entry.second)
+          drill_mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+      std::printf("[net_throughput] cold restart: %lld room(s) recovered "
+                  "(%zu expected), %lld stale replica(s) discarded, "
+                  "%lld lost, %lld mismatched\n",
+                  drill_recovered.load(), expected.size(),
+                  drill_discarded.load(), drill_lost.load(),
+                  drill_mismatches.load());
+      // Same port, so the clients' reconnect loops find the new front;
+      // only then may ticking advance the recovered rooms.
+      if (!StartRouterFront(fleet_ptr, threads, router_port)) {
+        drill_failed.store(true);
+        return;
+      }
+      fleet_ptr->stop.store(false);
+      StartTicker(fleet_ptr);
+    });
+  }
   std::vector<std::thread> client_threads;
   client_threads.reserve(clients);
   for (int c = 0; c < clients; ++c)
@@ -413,6 +620,7 @@ int Main(int argc, char** argv) {
   const double elapsed_s = timer.ElapsedSeconds();
   if (killer.joinable()) killer.join();
   if (adder.joinable()) adder.join();
+  if (restarter.joinable()) restarter.join();
 
   const long long accounted = tally.accounted();
   const long long lost = total - accounted;
@@ -495,6 +703,8 @@ int Main(int argc, char** argv) {
         << "  \"not_owner\": " << tally.not_owner.load() << ",\n"
         << "  \"errors\": " << tally.errors.load() << ",\n"
         << "  \"lost\": " << lost << ",\n"
+        << "  \"recovered_rooms\": " << drill_recovered.load() << ",\n"
+        << "  \"recovery_mismatches\": " << drill_mismatches.load() << ",\n"
         << "  \"migrations\": " << migrations << ",\n"
         << "  \"repairs\": " << repairs << ",\n"
         << "  \"elapsed_s\": " << elapsed_s << ",\n"
@@ -522,6 +732,24 @@ int Main(int argc, char** argv) {
     return 2;
   }
   if (!balanced) return 2;
+  // Cold-restart contract: the drill must complete, every room must
+  // come back (from disk, not fresh), and every recovered room must be
+  // bit-exact against its pre-crash primary.
+  if (drill_armed) {
+    if (drill_failed.load()) {
+      std::fprintf(stderr, "FAIL: cold-restart drill did not complete\n");
+      return 2;
+    }
+    if (drill_recovered.load() < rooms || drill_lost.load() != 0 ||
+        drill_mismatches.load() != 0) {
+      std::fprintf(stderr,
+                   "FAIL: cold restart recovered %lld/%d room(s) with "
+                   "%lld lost and %lld mismatched\n",
+                   drill_recovered.load(), rooms, drill_lost.load(),
+                   drill_mismatches.load());
+      return 2;
+    }
+  }
   return 0;
 }
 

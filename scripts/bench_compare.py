@@ -3,6 +3,14 @@
 
 Usage:
     scripts/bench_compare.py BASELINE.json CURRENT.json [BASELINE CURRENT ...]
+    scripts/bench_compare.py --self_check
+
+Every failure mode is a one-line diagnosis, never a stack trace: a
+missing or unreadable file, a benchmark summary missing a metric key,
+or a metric that is not a number all name the offending file and key.
+--self_check exercises the gate logic itself against synthetic
+baseline/current pairs (the bench-regression lane runs it before
+trusting the real comparison).
 
 Each pair is a baseline JSON (committed under bench/baselines/) and a
 fresh run of the same benchmark (serve_throughput --json / net_throughput
@@ -30,7 +38,9 @@ and commit the result together with the change that justified it.
 """
 
 import json
+import os
 import sys
+import tempfile
 
 MAX_REGRESSION = 0.25      # relative ceiling for p99 / floor for qps
 P99_FLOOR_MS = 5.0         # absolute slack before p99 ratio applies
@@ -59,9 +69,15 @@ def compare(baseline_path, current_path):
     failures = []
 
     for key in ("qps", "p99_ms"):
-        for which, data in (("baseline", baseline), ("current", current)):
+        for which, data, path in (("baseline", baseline, baseline_path),
+                                  ("current", current, current_path)):
             if key not in data:
-                failures.append(f"{which} is missing key {key!r}")
+                failures.append(f"{which} ({path}) is missing key {key!r}")
+            elif not isinstance(data[key], (int, float)) \
+                    or isinstance(data[key], bool):
+                failures.append(
+                    f"{which} ({path}) key {key!r} is not a number "
+                    f"(got {data[key]!r})")
     if failures:
         return name, failures
 
@@ -91,7 +107,80 @@ def compare(baseline_path, current_path):
     return name, failures
 
 
+def self_check():
+    """Runs the gate logic against synthetic pairs; exits 1 on surprise.
+
+    This is the bench-regression lane's pre-flight: if the comparator
+    itself is broken (a failure mode turned into a stack trace, or a
+    regression no longer detected), the lane must fail before any real
+    benchmark numbers are trusted.
+    """
+    clean = {"bench": "synthetic", "requests": 1000, "qps": 100.0,
+             "p50_ms": 1.0, "p99_ms": 10.0, "lost": 0, "errors": 0,
+             "degraded": 0}
+
+    def run_pair(baseline_patch, current_patch):
+        baseline = dict(clean, **baseline_patch)
+        current = dict(clean, **current_patch)
+        for patch, data in ((baseline_patch, baseline),
+                            (current_patch, current)):
+            for key, value in patch.items():
+                if value is None:
+                    del data[key]
+        with tempfile.TemporaryDirectory() as tmp:
+            baseline_path = os.path.join(tmp, "baseline.json")
+            current_path = os.path.join(tmp, "current.json")
+            with open(baseline_path, "w") as handle:
+                json.dump(baseline, handle)
+            with open(current_path, "w") as handle:
+                json.dump(current, handle)
+            return compare(baseline_path, current_path)[1]
+
+    scenarios = [
+        ("clean pair passes", {}, {}, None),
+        ("p99 regression detected", {}, {"p99_ms": 20.0}, "p99 regressed"),
+        ("sub-floor p99 jitter tolerated",
+         {"p99_ms": 0.5}, {"p99_ms": 0.9}, None),
+        ("throughput drop detected", {}, {"qps": 50.0},
+         "throughput dropped"),
+        ("lost requests detected", {}, {"lost": 3}, "lost=3"),
+        ("degraded-share growth detected", {}, {"degraded": 500},
+         "degraded share grew"),
+        ("missing metric key diagnosed", {"qps": None}, {},
+         "missing key 'qps'"),
+        ("non-numeric metric diagnosed", {}, {"p99_ms": "fast"},
+         "is not a number"),
+    ]
+    for label, baseline_patch, current_patch, want in scenarios:
+        failures = run_pair(baseline_patch, current_patch)
+        if want is None:
+            if failures:
+                raise SystemExit(
+                    f"self-check: {label}: expected no failures, "
+                    f"got {failures}")
+        elif not any(want in failure for failure in failures):
+            raise SystemExit(
+                f"self-check: {label}: expected a failure containing "
+                f"{want!r}, got {failures}")
+
+    # A missing file must exit with a one-line message, not a traceback.
+    try:
+        load(os.path.join(tempfile.gettempdir(),
+                          "bench_compare_no_such_file.json"))
+    except SystemExit as error:
+        if "cannot read" not in str(error):
+            raise SystemExit(
+                f"self-check: missing file: unexpected message {error}")
+    else:
+        raise SystemExit("self-check: missing file did not fail")
+
+    print(f"self-check OK: {len(scenarios) + 1} scenarios")
+    return 0
+
+
 def main(argv):
+    if len(argv) == 2 and argv[1] == "--self_check":
+        return self_check()
     if len(argv) < 3 or len(argv) % 2 != 1:
         raise SystemExit(__doc__)
     failed = False

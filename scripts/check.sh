@@ -91,7 +91,7 @@ run_docs_lane() {
   # control-plane module).
   local term
   for term in kRoomAssign kRoomRelease kNotOwner replication_factor \
-              shard_control; do
+              shard_control kRoomRecover kDataLoss durable_dir; do
     if ! grep -q "${term}" docs/serving.md; then
       echo "docs: ${term} is not mentioned in docs/serving.md"
       fail=1
@@ -177,6 +177,8 @@ run_bench_regression_lane() {
   ./build/bench/net_throughput --partitioned --shards=3 --rooms=12 \
     --users=24 --clients=4 --requests=8000 --kill_shard_ms=300 \
     --json=build/BENCH_net.json
+  echo "---- bench_compare self-check (gate the gate) ----"
+  python3 scripts/bench_compare.py --self_check
   echo "---- compare against committed baselines ----"
   python3 scripts/bench_compare.py \
     bench/baselines/BENCH_serve.json build/BENCH_serve.json \

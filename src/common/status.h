@@ -40,6 +40,13 @@ enum class StatusCode {
   /// caller should re-route to the room's current owner. Distinct from
   /// kUnavailable: the shard is healthy, it just is not responsible.
   kNotOwner,
+  /// Durable state (a checkpoint or journal, serve/checkpoint.h) is
+  /// unrecoverably corrupt: the bytes exist but fail checksum or
+  /// structural validation, so recovery must discard them. Distinct
+  /// from kInvalidData (bad external input worth fixing out of band):
+  /// data loss is a degradation the fleet keeps serving through, with
+  /// the affected rooms rebuilt fresh.
+  kDataLoss,
 };
 
 /// Short upper-case name for a code ("INVALID_DATA").
@@ -65,6 +72,8 @@ inline const char* StatusCodeName(StatusCode code) {
       return "UNAVAILABLE";
     case StatusCode::kNotOwner:
       return "NOT_OWNER";
+    case StatusCode::kDataLoss:
+      return "DATA_LOSS";
   }
   return "UNKNOWN";
 }
@@ -140,6 +149,9 @@ inline Status UnavailableError(std::string message) {
 }
 inline Status NotOwnerError(std::string message) {
   return Status(StatusCode::kNotOwner, std::move(message));
+}
+inline Status DataLossError(std::string message) {
+  return Status(StatusCode::kDataLoss, std::move(message));
 }
 
 }  // namespace after

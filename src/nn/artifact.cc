@@ -95,12 +95,19 @@ Result<ModelArtifact> ModelArtifact::Load(const std::string& path) {
   if (artifact.kind.empty()) return fail("header is missing 'kind'");
   if (expected_checksum.empty()) return fail("header is missing 'checksum'");
 
-  // Slurp the payload verbatim and verify its checksum before parsing.
+  // Read the payload in bounded chunks, hashing as it streams in, and
+  // verify the checksum before parsing: bit rot is detected without
+  // ever re-walking the payload bytes for a second hashing pass.
   in.get();  // newline ending the checksum line
-  std::ostringstream rest;
-  rest << in.rdbuf();
-  const std::string param_bytes = rest.str();
-  const std::string actual_checksum = ChecksumHex(Fnv1a64(param_bytes));
+  Fnv1a64Stream hasher;
+  std::string param_bytes;
+  char chunk[65536];
+  while (in.read(chunk, sizeof(chunk)) || in.gcount() > 0) {
+    const size_t got = static_cast<size_t>(in.gcount());
+    hasher.Update(chunk, got);
+    param_bytes.append(chunk, got);
+  }
+  const std::string actual_checksum = ChecksumHex(hasher.Digest());
   if (actual_checksum != expected_checksum)
     return fail("checksum mismatch: header says " + expected_checksum +
                 ", payload hashes to " + actual_checksum +

@@ -53,12 +53,7 @@ Status ReadParameterBlock(std::istream& in, std::vector<Matrix>* values) {
 }
 
 uint64_t Fnv1a64(const std::string& bytes) {
-  uint64_t hash = 0xCBF29CE484222325ULL;
-  for (unsigned char byte : bytes) {
-    hash ^= byte;
-    hash *= 0x100000001B3ULL;
-  }
-  return hash;
+  return Fnv1a64Stream().Update(bytes).Digest();
 }
 
 bool SaveParameters(const std::string& path,

@@ -1,6 +1,7 @@
 #ifndef AFTER_NN_SERIALIZE_H_
 #define AFTER_NN_SERIALIZE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -42,6 +43,32 @@ Status ReadParameterBlock(std::istream& in, std::vector<Matrix>* values);
 /// artifact container (docs/model_artifacts.md). Stable across
 /// platforms: the format stores parameter text, not raw doubles.
 uint64_t Fnv1a64(const std::string& bytes);
+
+/// Incremental counterpart of Fnv1a64 for payloads that are produced or
+/// read in pieces (journal appends, chunked artifact verification,
+/// serve/journal.h): feed bytes with Update() in any chunking and read
+/// the running hash with Digest(). Equivalence with the one-shot hash
+/// over the concatenated bytes is exact by construction (FNV-1a folds
+/// one byte at a time) and pinned by tests/nn/serialize_test.cc.
+class Fnv1a64Stream {
+ public:
+  Fnv1a64Stream& Update(const char* bytes, size_t count) {
+    for (size_t i = 0; i < count; ++i) {
+      hash_ ^= static_cast<unsigned char>(bytes[i]);
+      hash_ *= 0x100000001B3ULL;
+    }
+    return *this;
+  }
+  Fnv1a64Stream& Update(const std::string& bytes) {
+    return Update(bytes.data(), bytes.size());
+  }
+
+  /// The hash of everything fed so far; more Update() calls may follow.
+  uint64_t Digest() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 0xCBF29CE484222325ULL;
+};
 
 /// In-memory counterpart of Save/LoadParameters: copies the current
 /// values of `parameters` so they can be restored later (last-good

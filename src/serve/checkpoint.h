@@ -1,0 +1,176 @@
+#ifndef AFTER_SERVE_CHECKPOINT_H_
+#define AFTER_SERVE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "serve/journal.h"
+#include "serve/room.h"
+
+namespace after {
+namespace serve {
+
+class RecommendationServer;
+
+/// One room's durable checkpoint: the ownership coordinates under which
+/// it was taken plus the full Room::ExportState() blob (tick, positions,
+/// goals, trajectory window). On disk it is a checksummed nn/artifact
+/// container of kind "room-checkpoint" whose parameter block is the
+/// blob's four matrices and whose metadata records room / epoch /
+/// primary / tick — so bit rot is detected at load (kDataLoss) before a
+/// single value reaches a live room.
+struct RoomCheckpoint {
+  int room = 0;
+  uint64_t epoch = 0;
+  bool primary = false;
+  int tick = 0;
+  /// Room::ExportState() text, ready for Room::ApplyState().
+  std::string state;
+};
+
+/// "<dir>/room-<id>.ckpt".
+std::string CheckpointPath(const std::string& dir, int room);
+
+/// Writes atomically: temp file + fsync + rename + directory fsync, so a
+/// crash mid-checkpoint leaves either the previous checkpoint or the new
+/// one, never a torn hybrid.
+Status WriteRoomCheckpoint(const std::string& dir,
+                           const RoomCheckpoint& checkpoint);
+
+/// kNotFound when absent; kDataLoss when the file exists but fails
+/// checksum or structural validation.
+Result<RoomCheckpoint> LoadRoomCheckpoint(const std::string& path);
+
+/// Room ids with a checkpoint file in `dir` (stray ".tmp" leftovers of
+/// interrupted writes are ignored).
+std::vector<int> ListCheckpointRooms(const std::string& dir);
+
+/// Shard-local durability coordinator (docs/durability.md): owns the
+/// write-ahead journal plus the checkpoint directory and enforces the
+/// ordering discipline between them.
+///
+///  - Assign is journaled after the grant takes effect; a grant that
+///    carried migration state is checkpointed immediately (the handoff
+///    blob exists nowhere else durable).
+///  - Release is journaled (and synced) BEFORE the room's checkpoint is
+///    deleted: a crash between the two leaves an orphan checkpoint that
+///    the release record overrides, whereas the reverse order could
+///    resurrect a room the router had already moved elsewhere.
+///  - Ticks are journaled per publish; every checkpoint_every_ticks of
+///    them the room is re-checkpointed, and once the journal outgrows
+///    journal_rotate_bytes every hosted room is checkpointed and the
+///    journal is atomically rotated to empty.
+///
+/// Recovery (LoadRecoveryPlan) folds checkpoints and journal back into
+/// per-room plans: checkpoints are the base states, assign/release
+/// records replay the ownership ledger on top (newest epoch wins), and
+/// tick records past each base tick become the replay list. Corrupt
+/// checkpoints or a corrupt journal header surface as kDataLoss counts,
+/// never crashes — the affected rooms restart fresh when the router
+/// re-grants them.
+///
+/// Thread-safe: control frames arrive on connection reader threads
+/// while the tick loop appends.
+class DurabilityManager {
+ public:
+  struct Options {
+    /// Directory for the journal + checkpoints; created if absent.
+    std::string dir;
+    /// Re-checkpoint a room every this many journaled ticks.
+    int checkpoint_every_ticks = 256;
+    /// Rotate (checkpoint-all + truncate) once the journal exceeds this.
+    int64_t journal_rotate_bytes = 8 << 20;
+    /// fsync the journal on every append (crash-of-machine durability)
+    /// instead of only on release/rotation barriers.
+    bool journal_fsync = false;
+  };
+
+  /// Creates the directory, truncates any torn journal tail, and opens
+  /// the journal for appending. A corrupt-header journal is moved aside
+  /// to "<journal>.corrupt" — and every checkpoint is quarantined with
+  /// it (to "<checkpoint>.orphan", counted as data loss in the recovery
+  /// plan): without the ownership ledger a checkpoint alone cannot prove
+  /// its room was not released or moved after it was taken.
+  static Result<std::unique_ptr<DurabilityManager>> Open(
+      const Options& options);
+
+  /// Optional: lets rotation find hosted rooms and counters find
+  /// ServerMetrics. Must be set before tick traffic when used with a
+  /// server.
+  void Attach(RecommendationServer* server);
+
+  /// `reset` marks a grant that rebuilt or overwrote the room's state
+  /// (fresh build or migration blob applied) — i.e. a new durable
+  /// incarnation; false for a promotion of an already-hosted room.
+  Status RecordAssign(int room, uint64_t epoch, bool primary, bool reset);
+  Status RecordRelease(int room, uint64_t epoch);
+  /// Journals the room's current tick frame and runs the checkpoint /
+  /// rotation budgets.
+  Status RecordTick(const Room& room);
+  /// Checkpoints the room immediately under its recorded ownership
+  /// coordinates (no-op with kNotFound when the room was never assigned).
+  Status CheckpointNow(const Room& room);
+
+  /// One room's recovery recipe: base state (a checkpoint blob, or
+  /// empty = factory-fresh) plus the tick frames to replay on top.
+  struct RecoveryEntry {
+    int room = 0;
+    uint64_t epoch = 0;
+    bool primary = false;
+    /// Empty when the room has no usable checkpoint.
+    std::string checkpoint_state;
+    int checkpoint_tick = 0;
+    std::vector<JournalRecord> ticks;
+  };
+  struct RecoveryPlan {
+    std::vector<RecoveryEntry> entries;
+    /// Journal bytes dropped at Open() because the tail was torn.
+    int64_t journal_truncated_bytes = 0;
+    /// Rooms whose durable state existed but was unrecoverable
+    /// (corrupt checkpoint, or a corrupt journal header that orphaned
+    /// every checkpoint's ledger).
+    int data_loss_rooms = 0;
+  };
+  Result<RecoveryPlan> LoadRecoveryPlan();
+
+  const Options& options() const { return options_; }
+  Journal& journal() { return *journal_; }
+
+ private:
+  DurabilityManager(const Options& options, std::unique_ptr<Journal> journal,
+                    int64_t truncated_bytes, int orphaned_rooms);
+
+  Status CheckpointLocked(const Room& room);
+  Status RotateLocked();
+  void CountCheckpoint();
+
+  Options options_;
+  std::unique_ptr<Journal> journal_;
+  RecommendationServer* server_ = nullptr;
+  /// Torn-tail bytes dropped when the journal was opened.
+  int64_t truncated_bytes_ = 0;
+  /// Checkpoints quarantined at Open() because the pre-crash journal's
+  /// header was corrupt and the whole ledger was moved aside.
+  int orphaned_rooms_ = 0;
+
+  mutable std::mutex mutex_;
+  struct Role {
+    uint64_t epoch = 0;
+    bool primary = false;
+  };
+  /// Mirror of the shard's ownership ledger, so checkpoints taken from
+  /// the tick path know their coordinates without asking ShardControl.
+  std::unordered_map<int, Role> roles_;
+  std::unordered_map<int, int> ticks_since_checkpoint_;
+};
+
+}  // namespace serve
+}  // namespace after
+
+#endif  // AFTER_SERVE_CHECKPOINT_H_

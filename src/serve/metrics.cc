@@ -101,6 +101,20 @@ std::string ServerMetrics::DebugString() const {
                   static_cast<long long>(rooms_released.load()));
     out += line;
   }
+  if (checkpoints_written.load() > 0 || journal_records.load() > 0 ||
+      rooms_recovered.load() > 0 || data_loss_rooms.load() > 0) {
+    std::snprintf(line, sizeof(line),
+                  "durability: %lld checkpoints | %lld journal records "
+                  "(%lld bytes) | %lld rooms recovered (%lld records "
+                  "replayed) | %lld data-loss rooms\n",
+                  static_cast<long long>(checkpoints_written.load()),
+                  static_cast<long long>(journal_records.load()),
+                  static_cast<long long>(journal_bytes.load()),
+                  static_cast<long long>(rooms_recovered.load()),
+                  static_cast<long long>(records_replayed.load()),
+                  static_cast<long long>(data_loss_rooms.load()));
+    out += line;
+  }
   if (batches.load() > 0) {
     const long long jobs = static_cast<long long>(batches.load());
     const long long reqs = static_cast<long long>(batched_requests.load());
@@ -135,6 +149,12 @@ void ServerMetrics::Reset() {
   rooms_assigned.store(0);
   rooms_released.store(0);
   migrations_in.store(0);
+  checkpoints_written.store(0);
+  journal_records.store(0);
+  journal_bytes.store(0);
+  rooms_recovered.store(0);
+  records_replayed.store(0);
+  data_loss_rooms.store(0);
   queue_depth.store(0);
   max_queue_depth.store(0);
   latency.Reset();

@@ -77,6 +77,17 @@ struct ServerMetrics {
   std::atomic<int64_t> rooms_assigned{0};
   std::atomic<int64_t> rooms_released{0};
   std::atomic<int64_t> migrations_in{0};
+  /// Durability subsystem (serve/checkpoint.h, serve/journal.h):
+  /// checkpoint files written, journal records / bytes appended, and —
+  /// on the recovery side — rooms brought back from durable state,
+  /// journal records replayed into them, and rooms whose durable state
+  /// was unrecoverably corrupt (kDataLoss; the room restarts fresh).
+  std::atomic<int64_t> checkpoints_written{0};
+  std::atomic<int64_t> journal_records{0};
+  std::atomic<int64_t> journal_bytes{0};
+  std::atomic<int64_t> rooms_recovered{0};
+  std::atomic<int64_t> records_replayed{0};
+  std::atomic<int64_t> data_loss_rooms{0};
   /// Requests currently admitted but not yet completed.
   std::atomic<int32_t> queue_depth{0};
   /// High-water mark of queue_depth.

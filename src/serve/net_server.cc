@@ -254,10 +254,43 @@ void NetServer::ReadLoop(std::shared_ptr<Connection> connection) {
           // and per-connection ordering is exactly what the router's
           // migration sequencing relies on.
           FriendResponse ack;
-          ack.status =
-              room_control_.assign(grant.room, grant.epoch, grant.state);
+          ack.status = room_control_.assign(grant.room, grant.epoch,
+                                            grant.state, grant.primary);
           std::string out;
           wire::AppendResponseFrame(grant.id, ack, &out);
+          connection->Write(out);
+          break;
+        }
+        case wire::MessageType::kRoomRecover: {
+          if (!room_control_.owns && !room_control_.assign) {
+            // No control plane at all: recovery frames are protocol
+            // confusion, like any other ownership frame.
+            frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+            alive = false;
+            break;
+          }
+          auto decoded = wire::DecodeRoomRecoverQuery(frame.payload);
+          if (!decoded.ok()) {
+            frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+            alive = false;
+            break;
+          }
+          control_frames_.fetch_add(1, std::memory_order_relaxed);
+          const uint64_t query_id = decoded.value();
+          // A shard without durability answers an empty report: it hosts
+          // nothing from disk, which is true.
+          Result<std::vector<wire::RecoveredRoom>> report{
+              std::vector<wire::RecoveredRoom>{}};
+          if (room_control_.recover) report = room_control_.recover();
+          std::string out;
+          if (report.ok()) {
+            wire::AppendRoomRecoverReportFrame(query_id, report.value(),
+                                               &out);
+          } else {
+            FriendResponse nack;
+            nack.status = report.status();
+            wire::AppendResponseFrame(query_id, nack, &out);
+          }
           connection->Write(out);
           break;
         }
@@ -280,9 +313,11 @@ void NetServer::ReadLoop(std::shared_ptr<Connection> connection) {
           std::string out;
           if (state.ok()) {
             // The release ack is a kRoomAssign frame carrying the final
-            // state, so the router can forward it to the new owner.
+            // state, so the router can forward it to the new owner (the
+            // primary flag is meaningless in this direction: 0).
             wire::AppendRoomAssignFrame(revoke.id, revoke.room, revoke.epoch,
-                                        state.value(), &out);
+                                        /*primary=*/false, state.value(),
+                                        &out);
           } else {
             FriendResponse nack;
             nack.status = state.status();
@@ -359,12 +394,13 @@ RoomControl NetServer::ControlFor(ShardControl* control) {
   hooks.owns = [control](int room) { return control->Owns(room); };
   hooks.epoch = [control](int room) { return control->EpochFor(room); };
   hooks.assign = [control](int room, uint64_t epoch,
-                           const std::string& state) {
-    return control->Assign(room, epoch, state);
+                           const std::string& state, bool primary) {
+    return control->Assign(room, epoch, state, primary);
   };
   hooks.release = [control](int room, uint64_t epoch) {
     return control->Release(room, epoch);
   };
+  hooks.recover = [control] { return control->RecoverFromDurable(); };
   return hooks;
 }
 

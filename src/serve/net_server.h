@@ -13,6 +13,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "serve/server_types.h"
+#include "serve/wire.h"
 
 namespace after {
 namespace serve {
@@ -41,9 +42,14 @@ struct RoomControl {
   /// The shard's latest epoch for a room (0 if never seen); echoed in
   /// kNotOwner replies so routers can order their view.
   std::function<uint64_t(int room)> epoch;
-  std::function<Status(int room, uint64_t epoch, const std::string& state)>
+  std::function<Status(int room, uint64_t epoch, const std::string& state,
+                       bool primary)>
       assign;
   std::function<Result<std::string>(int room, uint64_t epoch)> release;
+  /// kRoomRecover: replay durable state (idempotent) and report what the
+  /// shard hosts from disk. Optional — absent means the shard has no
+  /// durability and answers an empty report.
+  std::function<Result<std::vector<wire::RecoveredRoom>>()> recover;
 };
 
 struct NetServerOptions {

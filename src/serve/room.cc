@@ -273,5 +273,42 @@ std::vector<std::vector<Vec2>> Room::trajectory_window() const {
   return std::vector<std::vector<Vec2>>(window_.begin(), window_.end());
 }
 
+Room::TickFrame Room::CurrentTickFrame() const {
+  std::lock_guard<std::mutex> lock(tick_mutex_);
+  TickFrame frame;
+  frame.tick = tick_.load(std::memory_order_relaxed);
+  frame.positions = window_.back();
+  if (options_.mode == Mode::kLive) {
+    frame.goals.resize(num_users_);
+    for (int u = 0; u < num_users_; ++u) frame.goals[u] = sim_->Goal(u);
+  }
+  return frame;
+}
+
+Status Room::ApplyTickFrame(const TickFrame& frame) {
+  const auto fail = [this](const std::string& what) {
+    return InvalidDataError("room " + std::to_string(options_.id) +
+                            ": tick frame " + what);
+  };
+  if (static_cast<int>(frame.positions.size()) != num_users_)
+    return fail("user count mismatch");
+  const bool live = options_.mode == Mode::kLive;
+  if (live && static_cast<int>(frame.goals.size()) != num_users_)
+    return fail("goal count mismatch");
+  if (!live && frame.tick >= world_->num_steps())
+    return fail("tick beyond the replay session");
+  std::lock_guard<std::mutex> lock(tick_mutex_);
+  if (frame.tick <= tick_.load(std::memory_order_relaxed))
+    return fail("does not advance the tick");
+  if (live) {
+    for (int u = 0; u < num_users_; ++u) {
+      sim_->TeleportAgent(u, frame.positions[u]);
+      sim_->SetGoal(u, frame.goals[u]);
+    }
+  }
+  Publish(frame.positions, frame.tick);
+  return OkStatus();
+}
+
 }  // namespace serve
 }  // namespace after

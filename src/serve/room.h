@@ -143,6 +143,27 @@ class Room {
   /// the currently published positions. Test hook for bit-exactness.
   std::vector<std::vector<Vec2>> trajectory_window() const;
 
+  /// One published tick as the durability journal records it: the tick
+  /// number, the published positions, and the live-mode waypoint goals
+  /// (empty in replay mode, where the recorded session is the only
+  /// trajectory source). Captured under the tick mutex, so the three
+  /// fields are from the same publish.
+  struct TickFrame {
+    int tick = 0;
+    std::vector<Vec2> positions;
+    std::vector<Vec2> goals;
+  };
+  TickFrame CurrentTickFrame() const;
+
+  /// Replays one journaled tick: teleports live-mode agents to the
+  /// recorded positions, restores their goals, and publishes the frame —
+  /// the exact state evolution Tick() + Publish() produced originally,
+  /// without re-running the simulator (whose waypoint RNG stream is
+  /// deliberately not persisted). The frame must advance the tick and
+  /// match the room's user count; kInvalidData otherwise, with the room
+  /// untouched (all-or-nothing, like ApplyState).
+  Status ApplyTickFrame(const TickFrame& frame);
+
  private:
   Room(const Options& options, const Dataset* dataset, const XrWorld* world);
 

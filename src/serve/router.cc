@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <sstream>
+#include <tuple>
 #include <utility>
 
 #include "common/check.h"
@@ -430,7 +431,7 @@ std::unordered_map<int, std::vector<int>> ShardRouter::ComputeAssignment(
 }
 
 Status ShardRouter::SendAssign(int backend, int room, uint64_t epoch,
-                               const std::string& state) {
+                               const std::string& state, bool primary) {
   Backend* target = nullptr;
   {
     std::shared_lock<std::shared_mutex> lock(topology_mutex_);
@@ -441,10 +442,30 @@ Status ShardRouter::SendAssign(int backend, int room, uint64_t epoch,
   if (client == nullptr)
     return UnavailableError("connect to " + target->address.ToString() +
                             " failed");
-  const Status status = client->AssignRoom(room, epoch, state);
+  const Status status = client->AssignRoom(room, epoch, state, primary);
   Release(*target, std::move(client));
   return status.Annotate("assign room " + std::to_string(room) + " to " +
                          target->address.ToString());
+}
+
+Result<std::vector<wire::RecoveredRoom>> ShardRouter::SendRecover(
+    int backend) {
+  Backend* target = nullptr;
+  {
+    std::shared_lock<std::shared_mutex> lock(topology_mutex_);
+    target = backends_[backend].get();
+  }
+  bool pooled = false;
+  std::unique_ptr<NetClient> client = Acquire(*target, &pooled);
+  if (client == nullptr)
+    return UnavailableError("connect to " + target->address.ToString() +
+                            " failed");
+  Result<std::vector<wire::RecoveredRoom>> report = client->RecoverRooms();
+  Release(*target, std::move(client));
+  if (!report.ok())
+    return report.status().Annotate("recover query to " +
+                                    target->address.ToString());
+  return report;
 }
 
 Result<std::string> ShardRouter::SendRelease(int backend, int room,
@@ -510,22 +531,27 @@ int ShardRouter::ApplyAssignment(
     }
     // Grant the gainers. The moved primary inherits the released state
     // (the migration handoff) — even if it already hosts a standby
-    // replica, which the grant overwrites with the exact state. New
-    // standbys (including the demoted old primary, which needs a newer
-    // epoch than its own release) start from a fresh-seeded room, the
-    // same contract as full replication.
+    // replica, which the grant overwrites with the exact state. A
+    // standby promoted with no state to inherit (the old primary died)
+    // is still re-granted, empty, at the fresh epoch: the shard keeps
+    // its live replica untouched but its durable ledger learns the
+    // primary role. New standbys (including the demoted old primary,
+    // which needs a newer epoch than its own release) start from a
+    // fresh-seeded room, the same contract as full replication.
     uint64_t final_epoch = epoch;
     for (int b : want) {
       const bool inherits = primary_moved && b == want[0] && !state.empty();
+      const bool promote = primary_moved && b == want[0];
       const bool regrant = demote_old_primary && b == have[0];
-      if (Contains(have, b) && !inherits && !regrant) continue;
+      if (Contains(have, b) && !inherits && !promote && !regrant) continue;
       uint64_t grant_epoch = epoch;
       if (regrant) {
         std::lock_guard<std::mutex> lock(partition_mutex_);
         grant_epoch = final_epoch = ++next_epoch_;
       }
       const Status granted =
-          SendAssign(b, room, grant_epoch, inherits ? state : std::string());
+          SendAssign(b, room, grant_epoch, inherits ? state : std::string(),
+                     /*primary=*/b == want[0]);
       if (granted.ok() && inherits)
         metrics_.migrations.fetch_add(1, std::memory_order_relaxed);
       if (!granted.ok() && first_error != nullptr && first_error->ok())
@@ -555,6 +581,100 @@ Status ShardRouter::EnablePartition(int num_rooms) {
     AFTER_CHECK(!partitioned_);  // EnablePartition is once-only
     partitioned_ = true;
     partition_rooms_ = num_rooms;
+  }
+  Status first_error;
+  ApplyAssignment(target, &first_error);
+  return first_error;
+}
+
+Status ShardRouter::RecoverPartition(int num_rooms) {
+  AFTER_CHECK_GT(num_rooms, 0);
+  {
+    std::lock_guard<std::mutex> lock(partition_mutex_);
+    AFTER_CHECK(!partitioned_);  // recovery precedes partitioned serving
+  }
+  // Phase 1: every backend replays its durable state and reports what it
+  // hosts. An unreachable backend simply recovers nothing — its rooms
+  // are won by another replica or rebuilt fresh.
+  struct Replica {
+    int backend = 0;
+    wire::RecoveredRoom info;
+  };
+  std::vector<Replica> replicas;
+  uint64_t max_epoch = 0;
+  const int backends = num_backends();
+  for (int b = 0; b < backends; ++b) {
+    Result<std::vector<wire::RecoveredRoom>> report = SendRecover(b);
+    if (!report.ok()) continue;
+    for (const wire::RecoveredRoom& info : report.value()) {
+      if (info.room < 0 || info.room >= num_rooms) continue;
+      replicas.push_back(Replica{b, info});
+      max_epoch = std::max(max_epoch, info.epoch);
+    }
+  }
+  // Phase 2: reconcile. Per room the newest replica wins — primary role
+  // outranks standby, then higher epoch, then higher tick (a deeper
+  // journal replay), then the lowest backend index for determinism.
+  std::unordered_map<int, Replica> winners;
+  for (const Replica& replica : replicas) {
+    auto it = winners.find(replica.info.room);
+    if (it == winners.end()) {
+      winners.emplace(replica.info.room, replica);
+      continue;
+    }
+    const auto rank = [](const Replica& r) {
+      return std::make_tuple(r.info.primary ? 1 : 0, r.info.epoch,
+                             static_cast<int64_t>(r.info.tick),
+                             -r.backend);
+    };
+    if (rank(replica) > rank(it->second)) it->second = replica;
+  }
+  // Epochs resume above everything any replica ever saw, so no durable
+  // pre-crash grant can fence out what the router does from here on.
+  {
+    std::lock_guard<std::mutex> lock(partition_mutex_);
+    next_epoch_ = std::max(next_epoch_, max_epoch);
+  }
+  // Phase 3: release the stale replicas, discarding their state — the
+  // winner's is strictly newer. A failed release leaves the loser
+  // hosting a room no request will route to; a later grant at a newer
+  // epoch overwrites it.
+  int64_t discarded = 0;
+  for (const Replica& replica : replicas) {
+    auto winner = winners.find(replica.info.room);
+    if (winner != winners.end() && winner->second.backend == replica.backend)
+      continue;
+    uint64_t release_epoch = 0;
+    {
+      std::lock_guard<std::mutex> lock(partition_mutex_);
+      release_epoch = ++next_epoch_;
+    }
+    (void)SendRelease(replica.backend, replica.info.room, release_epoch);
+    ++discarded;
+  }
+  metrics_.discarded_replicas.fetch_add(discarded,
+                                        std::memory_order_relaxed);
+  metrics_.recovered_rooms.fetch_add(static_cast<int64_t>(winners.size()),
+                                     std::memory_order_relaxed);
+  // Phase 4: seed the ownership table with the winners and rebalance
+  // onto the current fleet. ApplyAssignment migrates a recovered room
+  // whose primary belongs elsewhere with the usual release -> state ->
+  // assign handoff, and grants never-recovered rooms fresh.
+  {
+    std::lock_guard<std::mutex> lock(partition_mutex_);
+    partitioned_ = true;
+    partition_rooms_ = num_rooms;
+    for (const auto& [room, replica] : winners) {
+      RoomAssignment& entry = assignment_[room];
+      entry.copies = {replica.backend};
+      entry.epoch = replica.info.epoch;
+    }
+  }
+  const std::vector<int> active = ActiveBackends();
+  std::unordered_map<int, std::vector<int>> target;
+  {
+    std::shared_lock<std::shared_mutex> lock(topology_mutex_);
+    target = ComputeAssignment(active, num_rooms);
   }
   Status first_error;
   ApplyAssignment(target, &first_error);

@@ -125,6 +125,19 @@ class ShardRouter {
   /// The background prober calls this after each probe sweep.
   int RepairPartition();
 
+  /// Cold-restart recovery (docs/durability.md): instead of granting
+  /// fresh rooms like EnablePartition, first asks every backend to
+  /// replay its durable state (kRoomRecover) and reconciles the reports
+  /// — per room the newest replica wins (primary role, then epoch, then
+  /// tick; lowest backend index breaks exact ties deterministically),
+  /// stale replicas are released with their state discarded — then seeds
+  /// the ownership table with the winners and rebalances onto the
+  /// current fleet. Rooms in [0, num_rooms) that no backend recovered
+  /// (first boot, or data loss) are granted fresh. Epochs resume above
+  /// the highest recovered epoch, so pre-crash grants can never fence
+  /// out post-recovery ones. Once-only, like EnablePartition.
+  Status RecoverPartition(int num_rooms);
+
   /// One room's owner set: `copies` in priority order (primary first)
   /// and the epoch of its latest grant.
   struct RoomAssignment {
@@ -155,6 +168,8 @@ class ShardRouter {
     std::atomic<int64_t> not_owner{0};     // kNotOwner answers re-routed
     std::atomic<int64_t> migrations{0};    // rooms moved with state handoff
     std::atomic<int64_t> repairs{0};       // rooms re-owned by repair
+    std::atomic<int64_t> recovered_rooms{0};     // rooms won at recovery
+    std::atomic<int64_t> discarded_replicas{0};  // stale replicas released
   };
   const Metrics& metrics() const { return metrics_; }
 
@@ -192,8 +207,9 @@ class ShardRouter {
   /// Control-plane sends (pooled connection per call, best-effort pool
   /// return). Held locks: none — callers must not hold partition_mutex_.
   Status SendAssign(int backend, int room, uint64_t epoch,
-                    const std::string& state);
+                    const std::string& state, bool primary);
   Result<std::string> SendRelease(int backend, int room, uint64_t epoch);
+  Result<std::vector<wire::RecoveredRoom>> SendRecover(int backend);
 
   /// Diffs `target` against the current table and drives the
   /// release -> state -> assign migration per changed room. Returns the

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "serve/checkpoint.h"
 
 namespace after {
 namespace serve {
@@ -108,7 +109,14 @@ Status RecommendationServer::TickRoom(int room) {
   const std::shared_ptr<Room> hosted = FindRoom(room);
   if (hosted == nullptr) return NotFoundError("no such room");
   const Status status = hosted->Tick();
-  if (status.ok()) metrics_.ticks.fetch_add(1, std::memory_order_relaxed);
+  if (status.ok()) {
+    metrics_.ticks.fetch_add(1, std::memory_order_relaxed);
+    // Journal the published frame (and run the checkpoint budgets). A
+    // durability failure degrades recoverability, not serving: count it
+    // and keep ticking.
+    if (durability_ != nullptr && !durability_->RecordTick(*hosted).ok())
+      metrics_.errors.fetch_add(1, std::memory_order_relaxed);
+  }
   return status;
 }
 

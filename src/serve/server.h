@@ -20,6 +20,8 @@
 namespace after {
 namespace serve {
 
+class DurabilityManager;
+
 struct ServerOptions {
   int num_threads = 4;
   /// Bound of the request queue; admissions beyond it are shed with
@@ -100,6 +102,16 @@ class RecommendationServer {
 
   ServerMetrics& metrics() { return metrics_; }
 
+  /// Attaches the shard's durability subsystem (serve/checkpoint.h):
+  /// every successful TickRoom journals the published frame and runs the
+  /// checkpoint / rotation budgets. Null detaches. The manager is
+  /// borrowed and must outlive tick traffic; set it before the ticker
+  /// starts.
+  void set_durability(DurabilityManager* durability) {
+    durability_ = durability;
+  }
+  DurabilityManager* durability() const { return durability_; }
+
   /// True when the probed primary is shared across threads (thread-safe)
   /// rather than instantiated per (room, user).
   bool primary_is_shared() const { return primary_shared_ != nullptr; }
@@ -144,6 +156,7 @@ class RecommendationServer {
   std::mutex stream_models_mutex_;
   NearestRecommender fallback_;
   ServerMetrics metrics_;
+  DurabilityManager* durability_ = nullptr;
   std::unique_ptr<ThreadPool> pool_;
   /// Present iff options_.batch_requests.
   std::unique_ptr<TickBatcher> batcher_;

@@ -32,8 +32,20 @@ uint64_t ShardControl::EpochFor(int room) const {
   return it == last_epoch_.end() ? 0 : it->second;
 }
 
+void ShardControl::set_durability(DurabilityManager* durability) {
+  durability_ = durability;
+}
+
+void ShardControl::NoteDurabilityFailure(const Status& status) {
+  (void)status;
+  // The grant/release itself took effect; only its durable trace is
+  // degraded. Recovery after a crash in this window re-grants the room
+  // fresh, which partitioned serving already survives.
+  server_->metrics().errors.fetch_add(1, std::memory_order_relaxed);
+}
+
 Status ShardControl::Assign(int room, uint64_t epoch,
-                            const std::string& state) {
+                            const std::string& state, bool primary) {
   bool already_hosting = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -52,8 +64,16 @@ Status ShardControl::Assign(int room, uint64_t epoch,
   if (already_hosting) {
     server_->metrics().rooms_assigned.fetch_add(1, std::memory_order_relaxed);
     // Standby promotion: the grant only advances the epoch, the room
-    // keeps serving untouched.
-    if (state.empty()) return OkStatus();
+    // keeps serving untouched. Journaled without the reset flag — the
+    // room's durable incarnation continues.
+    if (state.empty()) {
+      if (durability_ != nullptr) {
+        const Status durable =
+            durability_->RecordAssign(room, epoch, primary, /*reset=*/false);
+        if (!durable.ok()) NoteDurabilityFailure(durable);
+      }
+      return OkStatus();
+    }
     // Migration onto a shard that already hosts the room (an existing
     // standby becoming primary): overwrite the local replica with the
     // old primary's exact state. ApplyState is all-or-nothing, so a bad
@@ -65,6 +85,14 @@ Status ShardControl::Assign(int room, uint64_t epoch,
     AFTER_RETURN_IF_ERROR(hosted->ApplyState(state).Annotate(
         "assign room " + std::to_string(room)));
     server_->metrics().migrations_in.fetch_add(1, std::memory_order_relaxed);
+    if (durability_ != nullptr) {
+      // The blob overwrote local state: new incarnation, and the handoff
+      // state exists nowhere else durable — checkpoint it immediately.
+      Status durable =
+          durability_->RecordAssign(room, epoch, primary, /*reset=*/true);
+      if (durable.ok()) durable = durability_->CheckpointNow(*hosted);
+      if (!durable.ok()) NoteDurabilityFailure(durable);
+    }
     return OkStatus();
   }
   // Build outside the lock: factory + ApplyState can be slow (dataset
@@ -86,6 +114,18 @@ Status ShardControl::Assign(int room, uint64_t epoch,
   server_->metrics().rooms_assigned.fetch_add(1, std::memory_order_relaxed);
   if (!state.empty())
     server_->metrics().migrations_in.fetch_add(1, std::memory_order_relaxed);
+  if (durability_ != nullptr) {
+    // Every new build is a fresh durable incarnation (reset); a grant
+    // that carried migration state gets an immediate checkpoint, since
+    // the blob exists nowhere else durable.
+    Status durable =
+        durability_->RecordAssign(room, epoch, primary, /*reset=*/true);
+    if (durable.ok() && !state.empty()) {
+      const std::shared_ptr<Room> applied = server_->FindRoom(room);
+      if (applied != nullptr) durable = durability_->CheckpointNow(*applied);
+    }
+    if (!durable.ok()) NoteDurabilityFailure(durable);
+  }
   return OkStatus();
 }
 
@@ -113,9 +153,95 @@ Result<std::string> ShardControl::Release(int room, uint64_t epoch) {
     return InternalError("owned room " + std::to_string(room) +
                          " was not hosted");
   server_->metrics().rooms_released.fetch_add(1, std::memory_order_relaxed);
+  if (durability_ != nullptr) {
+    const Status durable = durability_->RecordRelease(room, epoch);
+    if (!durable.ok()) NoteDurabilityFailure(durable);
+  }
   // Removed from the registry, so no ticker advances it anymore: the
   // exported state is the final word on this room from this shard.
   return removed->ExportState();
+}
+
+Result<std::vector<wire::RecoveredRoom>> ShardControl::RecoverFromDurable() {
+  std::lock_guard<std::mutex> recover_lock(recover_mutex_);
+  if (recovered_) return report_;
+  recovered_ = true;
+  if (durability_ == nullptr) return report_;
+  Result<DurabilityManager::RecoveryPlan> plan =
+      durability_->LoadRecoveryPlan();
+  if (!plan.ok()) return plan.status();
+  int data_loss = plan.value().data_loss_rooms;
+  int64_t replayed = 0;
+  for (const DurabilityManager::RecoveryEntry& entry : plan.value().entries) {
+    Result<std::unique_ptr<Room>> built = factory_(entry.room);
+    if (!built.ok()) {
+      ++data_loss;
+      continue;
+    }
+    std::unique_ptr<Room> room = std::move(built).value();
+    if (!entry.checkpoint_state.empty() &&
+        !room->ApplyState(entry.checkpoint_state).ok()) {
+      // ApplyState is all-or-nothing and the checkpoint already passed
+      // its container checksum, so a failure here means the blob does
+      // not fit this dataset/session anymore: data loss, not a crash.
+      ++data_loss;
+      continue;
+    }
+    for (const JournalRecord& record : entry.ticks) {
+      if (record.tick <= room->tick()) continue;
+      Room::TickFrame frame;
+      frame.tick = record.tick;
+      frame.positions = record.positions;
+      frame.goals = record.goals;
+      // A frame that no longer applies ends the replay; the room keeps
+      // everything replayed so far (strictly better than discarding).
+      if (!room->ApplyTickFrame(frame).ok()) break;
+      ++replayed;
+    }
+    const int tick = room->tick();
+    if (!server_->AddRoom(std::move(room)).ok()) {
+      ++data_loss;
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      owned_[entry.room] = entry.epoch;
+      auto last = last_epoch_.find(entry.room);
+      if (last == last_epoch_.end() || entry.epoch > last->second)
+        last_epoch_[entry.room] = entry.epoch;
+    }
+    // Re-fence the ownership in the (possibly truncated) journal —
+    // non-reset, the prior records still describe this incarnation —
+    // and re-checkpoint at the recovered tick so the next recovery
+    // starts from here instead of replaying the same frames again.
+    Status durable = durability_->RecordAssign(entry.room, entry.epoch,
+                                               entry.primary,
+                                               /*reset=*/false);
+    if (durable.ok()) {
+      const std::shared_ptr<Room> hosted = server_->FindRoom(entry.room);
+      if (hosted != nullptr) durable = durability_->CheckpointNow(*hosted);
+    }
+    if (!durable.ok()) NoteDurabilityFailure(durable);
+    wire::RecoveredRoom recovered;
+    recovered.room = entry.room;
+    recovered.epoch = entry.epoch;
+    recovered.primary = entry.primary;
+    recovered.tick = tick;
+    report_.push_back(recovered);
+  }
+  server_->metrics().rooms_recovered.fetch_add(
+      static_cast<int64_t>(report_.size()), std::memory_order_relaxed);
+  server_->metrics().records_replayed.fetch_add(replayed,
+                                                std::memory_order_relaxed);
+  if (data_loss > 0)
+    server_->metrics().data_loss_rooms.fetch_add(data_loss,
+                                                 std::memory_order_relaxed);
+  return report_;
+}
+
+std::vector<wire::RecoveredRoom> ShardControl::RecoverReport() const {
+  std::lock_guard<std::mutex> recover_lock(recover_mutex_);
+  return report_;
 }
 
 }  // namespace serve

@@ -11,8 +11,10 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "serve/checkpoint.h"
 #include "serve/room.h"
 #include "serve/server.h"
+#include "serve/wire.h"
 
 namespace after {
 namespace serve {
@@ -51,28 +53,61 @@ class ShardControl {
   /// the shard has never heard of it (the kNotOwner frame's epoch field).
   uint64_t EpochFor(int room) const;
 
+  /// Attaches the shard's durability subsystem (serve/checkpoint.h):
+  /// grants and releases are journaled, migration blobs are checkpointed
+  /// on arrival, and RecoverFromDurable() becomes able to rebuild the
+  /// owned-set after a restart. Borrowed; set before control traffic.
+  void set_durability(DurabilityManager* durability);
+
   /// Handles a kRoomAssign grant. `state` empty -> fresh room from the
   /// factory; non-empty -> migration handoff (factory room + ApplyState
   /// before hosting). Re-granting an owned room at a newer epoch just
   /// advances the epoch (standby promotion needs no rebuild); a grant at
   /// an older-or-equal epoch than one already processed for the room is
-  /// rejected with kInvalidArgument.
-  Status Assign(int room, uint64_t epoch, const std::string& state);
+  /// rejected with kInvalidArgument. `primary` is the role the router
+  /// granted — recorded in the durable ledger so recovery reports it.
+  Status Assign(int room, uint64_t epoch, const std::string& state,
+                bool primary = false);
 
   /// Handles a kRoomRelease revocation: stops owning the room and
   /// returns its final ExportState() blob. kNotOwner when the room is
   /// not owned here; kInvalidArgument when the epoch is stale.
   Result<std::string> Release(int room, uint64_t epoch);
 
+  /// Cold-restart recovery (docs/durability.md): folds the durability
+  /// subsystem's checkpoints + journal into rooms, replays each room's
+  /// post-checkpoint tick frames, hosts the results, and re-owns them at
+  /// their journaled epochs. Idempotent — the first call does the work,
+  /// every later call (e.g. a router's kRoomRecover query) returns the
+  /// same report. Unrecoverable rooms (corrupt checkpoint, factory or
+  /// apply failure) are counted as data loss and omitted from the
+  /// report, never fatal. Empty report when no durability is attached or
+  /// nothing durable exists.
+  Result<std::vector<wire::RecoveredRoom>> RecoverFromDurable();
+
+  /// The report of the recovery that already ran (empty before/without
+  /// one) — what a kRoomRecover query answers with.
+  std::vector<wire::RecoveredRoom> RecoverReport() const;
+
  private:
+  /// Count a non-fatal durable-ledger failure: serving continues, only
+  /// recoverability degraded.
+  void NoteDurabilityFailure(const Status& status);
+
   RecommendationServer* server_;
   RoomFactory factory_;
+  DurabilityManager* durability_ = nullptr;
   mutable std::mutex mutex_;
   /// room -> epoch of the active grant.
   std::unordered_map<int, uint64_t> owned_;
   /// room -> newest epoch seen in any control frame (survives release,
   /// fencing late reordered grants).
   std::unordered_map<int, uint64_t> last_epoch_;
+  /// Recovery runs once; serialized separately from mutex_ so the slow
+  /// rebuild never blocks Owns() on the request path.
+  mutable std::mutex recover_mutex_;
+  bool recovered_ = false;
+  std::vector<wire::RecoveredRoom> report_;
 };
 
 }  // namespace serve

@@ -133,7 +133,11 @@ Status Malformed(const char* what) {
 }
 
 constexpr uint8_t kMaxStatusCode =
-    static_cast<uint8_t>(StatusCode::kNotOwner);
+    static_cast<uint8_t>(StatusCode::kDataLoss);
+
+/// Bytes per entry of a kRoomRecover report (room + epoch + primary +
+/// tick); bounds the declared entry count against the payload size.
+constexpr size_t kRecoveredRoomBytes = 4 + 8 + 1 + 4;
 
 }  // namespace
 
@@ -184,12 +188,14 @@ void AppendPongFrame(uint64_t id, std::string* out) {
 }
 
 void AppendRoomAssignFrame(uint64_t id, int32_t room, uint64_t epoch,
-                           const std::string& state, std::string* out) {
+                           bool primary, const std::string& state,
+                           std::string* out) {
   std::string payload;
-  payload.reserve(24 + state.size());
+  payload.reserve(25 + state.size());
   PutU64(id, &payload);
   PutI32(room, &payload);
   PutU64(epoch, &payload);
+  PutU8(primary ? 1 : 0, &payload);
   PutU32(static_cast<uint32_t>(state.size()), &payload);
   payload.append(state);
   AppendFramed(MessageType::kRoomAssign, payload, out);
@@ -231,7 +237,7 @@ Status ExtractFrame(std::string_view buffer, Frame* frame, size_t* consumed) {
   }
   const uint8_t type = reader.TakeU8();
   if (type < static_cast<uint8_t>(MessageType::kRequest) ||
-      type > static_cast<uint8_t>(MessageType::kNotOwner))
+      type > static_cast<uint8_t>(MessageType::kRoomRecover))
     return Malformed("unknown message type");
   if (reader.TakeU16() != 0) return Malformed("nonzero reserved field");
   const uint32_t payload_len = reader.TakeU32();
@@ -310,10 +316,13 @@ Result<RoomAssignFrame> DecodeRoomAssign(std::string_view payload) {
   out.id = reader.TakeU64();
   out.room = reader.TakeI32();
   out.epoch = reader.TakeU64();
+  const uint8_t primary = reader.TakeU8();
   const uint32_t state_len = reader.TakeU32();
   if (!reader.ok()) return Malformed("truncated room-assign payload");
+  if (primary > 1) return Malformed("non-boolean room-assign primary flag");
   if (state_len > reader.remaining())
     return Malformed("room-assign state length exceeds payload");
+  out.primary = primary == 1;
   out.state.assign(reader.TakeBytes(state_len));
   if (!reader.ok() || !reader.AtEnd())
     return Malformed("trailing bytes after room-assign");
@@ -339,6 +348,63 @@ Result<NotOwnerFrame> DecodeNotOwner(std::string_view payload) {
   out.epoch = reader.TakeU64();
   if (!reader.ok()) return Malformed("truncated not-owner payload");
   if (!reader.AtEnd()) return Malformed("trailing bytes after not-owner");
+  return out;
+}
+
+void AppendRoomRecoverQueryFrame(uint64_t id, std::string* out) {
+  std::string payload;
+  PutU64(id, &payload);
+  AppendFramed(MessageType::kRoomRecover, payload, out);
+}
+
+void AppendRoomRecoverReportFrame(uint64_t id,
+                                  const std::vector<RecoveredRoom>& rooms,
+                                  std::string* out) {
+  std::string payload;
+  payload.reserve(12 + rooms.size() * kRecoveredRoomBytes);
+  PutU64(id, &payload);
+  PutU32(static_cast<uint32_t>(rooms.size()), &payload);
+  for (const RecoveredRoom& room : rooms) {
+    PutI32(room.room, &payload);
+    PutU64(room.epoch, &payload);
+    PutU8(room.primary ? 1 : 0, &payload);
+    PutI32(room.tick, &payload);
+  }
+  AppendFramed(MessageType::kRoomRecover, payload, out);
+}
+
+Result<uint64_t> DecodeRoomRecoverQuery(std::string_view payload) {
+  ByteReader reader(payload);
+  const uint64_t id = reader.TakeU64();
+  if (!reader.ok()) return Malformed("truncated room-recover query");
+  if (!reader.AtEnd())
+    return Malformed("trailing bytes after room-recover query");
+  return id;
+}
+
+Result<RoomRecoverFrame> DecodeRoomRecoverReport(std::string_view payload) {
+  ByteReader reader(payload);
+  RoomRecoverFrame out;
+  out.id = reader.TakeU64();
+  const uint32_t count = reader.TakeU32();
+  if (!reader.ok()) return Malformed("truncated room-recover report");
+  if (count > reader.remaining() / kRecoveredRoomBytes)
+    return Malformed("room-recover entry count exceeds payload");
+  out.rooms.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    RecoveredRoom room;
+    room.room = reader.TakeI32();
+    room.epoch = reader.TakeU64();
+    const uint8_t primary = reader.TakeU8();
+    room.tick = reader.TakeI32();
+    if (!reader.ok()) return Malformed("truncated room-recover entry");
+    if (primary > 1)
+      return Malformed("non-boolean room-recover primary flag");
+    room.primary = primary == 1;
+    out.rooms.push_back(room);
+  }
+  if (!reader.AtEnd())
+    return Malformed("trailing bytes after room-recover report");
   return out;
 }
 

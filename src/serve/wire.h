@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
@@ -54,6 +55,9 @@ enum class MessageType : uint8_t {
   kRoomRelease = 6,  // router -> shard: stop owning this room
   kNotOwner = 7,     // shard -> client: reply to a kRequest for a room
                      // this shard does not own; re-route and retry
+  kRoomRecover = 8,  // router -> shard: report the rooms you recovered
+                     // from durable state; also shard -> router: the
+                     // report (room/epoch/primary/tick per entry)
 };
 
 /// One decoded frame: the type byte plus the raw payload bytes.
@@ -78,12 +82,17 @@ struct ResponseFrame {
 /// shard builds the room from its own dataset/seed) and non-empty for a
 /// migration handoff: an opaque Room::ExportState() blob (nn/serialize
 /// parameter-block text) the receiving shard applies all-or-nothing.
-/// The same frame doubles as the reply to kRoomRelease, carrying the
-/// releasing shard's final state so the router can forward it onward.
+/// `primary` records the granted role (primary vs warm standby) so the
+/// shard's durable ledger can tell an authoritative copy from a replica
+/// during cold-restart reconciliation (serve/checkpoint.h). The same
+/// frame doubles as the reply to kRoomRelease, carrying the releasing
+/// shard's final state so the router can forward it onward (`primary`
+/// is meaningless there and sent as 0).
 struct RoomAssignFrame {
   uint64_t id = 0;
   int32_t room = 0;
   uint64_t epoch = 0;
+  bool primary = false;
   std::string state;
 };
 
@@ -102,6 +111,24 @@ struct NotOwnerFrame {
   uint64_t epoch = 0;
 };
 
+/// One room a shard brought back from its durable directory: the grant
+/// epoch and role it held when the journal went quiet, plus the tick it
+/// replayed up to. The router's recovery phase (ShardRouter::
+/// RecoverPartition) reconciles these reports — newest epoch wins,
+/// primaries outrank standbys, stale replicas are released.
+struct RecoveredRoom {
+  int32_t room = 0;
+  uint64_t epoch = 0;
+  bool primary = false;
+  int32_t tick = 0;
+};
+
+/// Shard -> router reply to a kRoomRecover query.
+struct RoomRecoverFrame {
+  uint64_t id = 0;
+  std::vector<RecoveredRoom> rooms;
+};
+
 /// Encoders append one complete frame (header + payload) to *out.
 void AppendRequestFrame(uint64_t id, const FriendRequest& request,
                         std::string* out);
@@ -110,11 +137,18 @@ void AppendResponseFrame(uint64_t id, const FriendResponse& response,
 void AppendPingFrame(uint64_t id, std::string* out);
 void AppendPongFrame(uint64_t id, std::string* out);
 void AppendRoomAssignFrame(uint64_t id, int32_t room, uint64_t epoch,
-                           const std::string& state, std::string* out);
+                           bool primary, const std::string& state,
+                           std::string* out);
 void AppendRoomReleaseFrame(uint64_t id, int32_t room, uint64_t epoch,
                             std::string* out);
 void AppendNotOwnerFrame(uint64_t id, int32_t room, uint64_t epoch,
                          std::string* out);
+/// The recovery query carries only the correlation id; the report lists
+/// every room the shard recovered (possibly none).
+void AppendRoomRecoverQueryFrame(uint64_t id, std::string* out);
+void AppendRoomRecoverReportFrame(uint64_t id,
+                                  const std::vector<RecoveredRoom>& rooms,
+                                  std::string* out);
 
 /// Pulls the first frame off the front of `buffer` (a connection's read
 /// accumulator):
@@ -133,6 +167,10 @@ Result<uint64_t> DecodePingPong(std::string_view payload);
 Result<RoomAssignFrame> DecodeRoomAssign(std::string_view payload);
 Result<RoomReleaseFrame> DecodeRoomRelease(std::string_view payload);
 Result<NotOwnerFrame> DecodeNotOwner(std::string_view payload);
+/// kRoomRecover is direction-dependent: the router's query is just the
+/// id, the shard's report is the id plus the recovered-room list.
+Result<uint64_t> DecodeRoomRecoverQuery(std::string_view payload);
+Result<RoomRecoverFrame> DecodeRoomRecoverReport(std::string_view payload);
 
 }  // namespace wire
 }  // namespace serve

@@ -209,6 +209,39 @@ Status InjectDatasetFileFault(const std::string& directory,
   return OkStatus();
 }
 
+Status TruncateFileTail(const std::string& path, int64_t keep_bytes) {
+  std::error_code ec;
+  const auto size = fs::file_size(path, ec);
+  if (ec) return NotFoundError("no such file: " + path);
+  if (keep_bytes < 0 || static_cast<uint64_t>(keep_bytes) > size)
+    return InvalidArgumentError("keep_bytes out of range for " + path);
+  fs::resize_file(path, static_cast<uint64_t>(keep_bytes), ec);
+  if (ec)
+    return InternalError("truncate " + path + ": " + ec.message());
+  return OkStatus();
+}
+
+Status FlipRandomByte(const std::string& path, Rng& rng, int64_t* offset) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return NotFoundError("no such file: " + path);
+  std::ostringstream slurped;
+  slurped << in.rdbuf();
+  std::string bytes = slurped.str();
+  in.close();
+  if (bytes.empty())
+    return InvalidArgumentError("cannot flip a byte of empty file " + path);
+  const int64_t victim = rng.UniformInt(static_cast<int>(bytes.size()));
+  const int bit = rng.UniformInt(8);
+  bytes[victim] = static_cast<char>(static_cast<uint8_t>(bytes[victim]) ^
+                                    (1u << bit));
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return InternalError("cannot rewrite " + path);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) return InternalError("short rewrite of " + path);
+  if (offset != nullptr) *offset = victim;
+  return OkStatus();
+}
+
 XrWorld WithNanPositions(const XrWorld& world, int num_poisoned_steps,
                          Rng& rng) {
   std::vector<std::vector<Vec2>> trajectory = CopyTrajectory(world);

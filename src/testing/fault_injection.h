@@ -55,6 +55,19 @@ Status InjectDatasetFileFault(const std::string& directory,
                               DatasetFileFault fault, Rng& rng,
                               std::string* corrupted_file = nullptr);
 
+// ---- Generic durable-file corruption --------------------------------
+
+/// Truncates `path` to its first `keep_bytes` bytes (the crash-mid-write
+/// torn tail used by the durability tests, serve/journal.h).
+/// kInvalidArgument when keep_bytes exceeds the file's size.
+Status TruncateFileTail(const std::string& path, int64_t keep_bytes);
+
+/// Flips one random bit of one random byte of `path` (silent media
+/// corruption). The chosen byte offset is reported via `offset` when
+/// non-null. kInvalidArgument on an empty file.
+Status FlipRandomByte(const std::string& path, Rng& rng,
+                      int64_t* offset = nullptr);
+
 // ---- Session / trajectory faults ------------------------------------
 
 /// Copies `world` with `num_poisoned_steps` randomly chosen steps given a

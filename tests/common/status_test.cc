@@ -55,6 +55,17 @@ TEST(StatusTest, TaxonomyCoversThePartitionCodes) {
             "NOT_OWNER: room 3 moved");
 }
 
+TEST(StatusTest, TaxonomyCoversTheDurabilityCodes) {
+  // Added for durable rooms: persisted state that exists but is
+  // unrecoverably corrupt (failed checksum, torn beyond salvage) —
+  // distinct from kNotFound (never persisted) and kInvalidData (bad
+  // input the caller can fix).
+  EXPECT_EQ(DataLossError("x").code(), StatusCode::kDataLoss);
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDataLoss), "DATA_LOSS");
+  EXPECT_EQ(DataLossError("journal: bad magic").ToString(),
+            "DATA_LOSS: journal: bad magic");
+}
+
 TEST(StatusTest, AnnotatePrependsContextAndKeepsCode) {
   const Status status =
       InvalidDataError("non-finite entry").Annotate("preference.txt line 7");

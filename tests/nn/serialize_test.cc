@@ -1,5 +1,6 @@
 #include "nn/serialize.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 
@@ -112,6 +113,27 @@ TEST_F(SerializeTest, ArchitectureMismatchRejected) {
   ablated.use_lwp = false;  // fewer parameters
   Poshgnn other(ablated);
   EXPECT_FALSE(other.LoadWeights(path_));
+}
+
+TEST(Fnv1a64StreamTest, EveryChunkingMatchesTheOneShotHash) {
+  // The incremental hash backs the journal's per-record checksums and
+  // the artifact container's chunked verification; equivalence with the
+  // one-shot hash must hold for any split of the payload.
+  std::string payload;
+  Rng rng(9);
+  for (int i = 0; i < 257; ++i)
+    payload.push_back(static_cast<char>(rng.UniformInt(256)));
+  const uint64_t want = Fnv1a64(payload);
+  for (const size_t chunk : {size_t{1}, size_t{3}, size_t{64}, size_t{256},
+                             payload.size()}) {
+    Fnv1a64Stream stream;
+    for (size_t offset = 0; offset < payload.size(); offset += chunk)
+      stream.Update(payload.data() + offset,
+                    std::min(chunk, payload.size() - offset));
+    EXPECT_EQ(stream.Digest(), want) << "chunk=" << chunk;
+  }
+  EXPECT_EQ(Fnv1a64Stream().Update(payload).Digest(), want);
+  EXPECT_EQ(Fnv1a64Stream().Digest(), Fnv1a64(""));
 }
 
 }  // namespace

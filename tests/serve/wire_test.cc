@@ -120,7 +120,7 @@ TEST(WireTest, PingPongRoundTrip) {
 TEST(WireTest, RoomAssignRoundTripsWithStateBlob) {
   const std::string state("snapshot\0with\xFF" "binary", 20);
   std::string bytes;
-  AppendRoomAssignFrame(31, 7, 12, state, &bytes);
+  AppendRoomAssignFrame(31, 7, 12, /*primary=*/true, state, &bytes);
   Frame frame;
   size_t consumed = 0;
   ASSERT_TRUE(ExtractFrame(bytes, &frame, &consumed).ok());
@@ -130,17 +130,19 @@ TEST(WireTest, RoomAssignRoundTripsWithStateBlob) {
   EXPECT_EQ(decoded.value().id, 31u);
   EXPECT_EQ(decoded.value().room, 7);
   EXPECT_EQ(decoded.value().epoch, 12u);
+  EXPECT_TRUE(decoded.value().primary);
   EXPECT_EQ(decoded.value().state, state);
 }
 
 TEST(WireTest, RoomAssignEmptyStateMeansFreshRoom) {
   std::string bytes;
-  AppendRoomAssignFrame(1, 0, 1, "", &bytes);
+  AppendRoomAssignFrame(1, 0, 1, /*primary=*/false, "", &bytes);
   Frame frame;
   size_t consumed = 0;
   ASSERT_TRUE(ExtractFrame(bytes, &frame, &consumed).ok());
   auto decoded = DecodeRoomAssign(frame.payload);
   ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE(decoded.value().primary);
   EXPECT_TRUE(decoded.value().state.empty());
 }
 
@@ -167,11 +169,81 @@ TEST(WireTest, RoomReleaseAndNotOwnerRoundTrip) {
   EXPECT_EQ(not_owner.value().epoch, 100u);
 }
 
+TEST(WireTest, RoomRecoverQueryAndReportRoundTrip) {
+  std::vector<RecoveredRoom> rooms;
+  rooms.push_back({/*room=*/3, /*epoch=*/41, /*primary=*/true, /*tick=*/812});
+  rooms.push_back({/*room=*/9, /*epoch=*/40, /*primary=*/false, /*tick=*/0});
+  std::string bytes;
+  AppendRoomRecoverQueryFrame(55, &bytes);
+  AppendRoomRecoverReportFrame(55, rooms, &bytes);  // back to back
+  Frame frame;
+  size_t consumed = 0;
+  ASSERT_TRUE(ExtractFrame(bytes, &frame, &consumed).ok());
+  EXPECT_EQ(frame.type, MessageType::kRoomRecover);
+  EXPECT_EQ(DecodeRoomRecoverQuery(frame.payload).value(), 55u);
+  bytes.erase(0, consumed);
+  ASSERT_TRUE(ExtractFrame(bytes, &frame, &consumed).ok());
+  EXPECT_EQ(frame.type, MessageType::kRoomRecover);
+  auto report = DecodeRoomRecoverReport(frame.payload);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.value().id, 55u);
+  ASSERT_EQ(report.value().rooms.size(), 2u);
+  EXPECT_EQ(report.value().rooms[0].room, 3);
+  EXPECT_EQ(report.value().rooms[0].epoch, 41u);
+  EXPECT_TRUE(report.value().rooms[0].primary);
+  EXPECT_EQ(report.value().rooms[0].tick, 812);
+  EXPECT_EQ(report.value().rooms[1].room, 9);
+  EXPECT_FALSE(report.value().rooms[1].primary);
+}
+
+TEST(WireTest, EmptyRecoverReportIsValid) {
+  // A shard with no durable dir (or an empty one) reports zero rooms;
+  // the router treats that as "recovers nothing", not an error.
+  std::string bytes;
+  AppendRoomRecoverReportFrame(7, {}, &bytes);
+  Frame frame;
+  size_t consumed = 0;
+  ASSERT_TRUE(ExtractFrame(bytes, &frame, &consumed).ok());
+  auto report = DecodeRoomRecoverReport(frame.payload);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.value().id, 7u);
+  EXPECT_TRUE(report.value().rooms.empty());
+}
+
+TEST(WireTest, RecoverReportTruncationsFailDecodeAllOrNothing) {
+  std::vector<RecoveredRoom> rooms;
+  rooms.push_back({/*room=*/1, /*epoch=*/2, /*primary=*/true, /*tick=*/3});
+  std::string bytes;
+  AppendRoomRecoverReportFrame(4, rooms, &bytes);
+  Frame frame;
+  size_t consumed = 0;
+  ASSERT_TRUE(ExtractFrame(bytes, &frame, &consumed).ok());
+  for (size_t cut = 0; cut < frame.payload.size(); ++cut) {
+    EXPECT_FALSE(DecodeRoomRecoverReport(
+                     std::string_view(frame.payload).substr(0, cut))
+                     .ok())
+        << "report cut=" << cut;
+  }
+}
+
+TEST(WireTest, RecoverReportNonBooleanPrimaryIsRejected) {
+  std::vector<RecoveredRoom> rooms;
+  rooms.push_back({/*room=*/1, /*epoch=*/2, /*primary=*/true, /*tick=*/3});
+  std::string bytes;
+  AppendRoomRecoverReportFrame(4, rooms, &bytes);
+  Frame frame;
+  size_t consumed = 0;
+  ASSERT_TRUE(ExtractFrame(bytes, &frame, &consumed).ok());
+  // Entry layout after the id(8) + count(4): room(4) epoch(8) primary(1).
+  frame.payload[8 + 4 + 4 + 8] = 2;
+  EXPECT_FALSE(DecodeRoomRecoverReport(frame.payload).ok());
+}
+
 TEST(WireTest, ControlPayloadTruncationsFailDecodeAllOrNothing) {
   // Same contract as the request/response payloads: any cut inside the
   // payload decodes to an error, never to a partial struct.
   std::string assign;
-  AppendRoomAssignFrame(5, 2, 7, "state-bytes", &assign);
+  AppendRoomAssignFrame(5, 2, 7, /*primary=*/true, "state-bytes", &assign);
   Frame frame;
   size_t consumed = 0;
   ASSERT_TRUE(ExtractFrame(assign, &frame, &consumed).ok());
@@ -363,6 +435,9 @@ TEST(WireTest, ByteFlipFuzzNeverCrashesAndNeverOverreads) {
           if (decoded.ok()) ++parsed_ok; else ++rejected;
           break;
         }
+        default:  // a flipped type byte landing on a control frame
+          ++rejected;
+          break;
       }
     }
   }

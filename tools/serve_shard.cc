@@ -22,6 +22,15 @@
 // Flags: --rooms=N --users=N --threads=N --queue=N --deadline_ms=F
 //        --tick_ms=F --seed=N --batch --weights=PATH --partitioned
 //        --max_seconds=F (0 = run until SIGINT/SIGTERM)
+//
+// Durable rooms (docs/durability.md, requires --partitioned):
+//   --durable_dir=PATH          journal + checkpoints live here; at boot
+//                               the shard replays them and re-owns its
+//                               rooms (the router reconciles via
+//                               kRoomRecover)
+//   --checkpoint_every_ticks=N  per-room checkpoint cadence (default 256)
+//   --journal_fsync             fsync the journal per append (crash-of-
+//                               machine durability; heavy latency cost)
 
 #include <chrono>
 #include <csignal>
@@ -37,6 +46,7 @@
 #include "core/poshgnn.h"
 #include "data/dataset.h"
 #include "nn/artifact.h"
+#include "serve/checkpoint.h"
 #include "serve/net_server.h"
 #include "serve/server.h"
 #include "serve/shard_control.h"
@@ -49,10 +59,10 @@ void HandleSignal(int) { g_stop = 1; }
 
 int Main(int argc, char** argv) {
   int port = 0, rooms = 2, users = 60, threads = 2, queue = 1024;
-  int seed = 4242;
+  int seed = 4242, checkpoint_every_ticks = 256;
   double deadline_ms = 1000.0, tick_ms = 10.0, max_seconds = 0.0;
-  bool batch = false, partitioned = false;
-  std::string port_file, weights;
+  bool batch = false, partitioned = false, journal_fsync = false;
+  std::string port_file, weights, durable_dir;
   for (int i = 1; i < argc; ++i) {
     int value = 0;
     double fvalue = 0.0;
@@ -74,6 +84,12 @@ int Main(int argc, char** argv) {
       port_file = buffer;
     else if (std::sscanf(argv[i], "--weights=%255s", buffer) == 1)
       weights = buffer;
+    else if (std::sscanf(argv[i], "--durable_dir=%255s", buffer) == 1)
+      durable_dir = buffer;
+    else if (std::sscanf(argv[i], "--checkpoint_every_ticks=%d", &value) == 1)
+      checkpoint_every_ticks = value;
+    else if (std::strcmp(argv[i], "--journal_fsync") == 0)
+      journal_fsync = true;
     else if (std::strcmp(argv[i], "--batch") == 0) batch = true;
     else if (std::strcmp(argv[i], "--partitioned") == 0) partitioned = true;
     else {
@@ -154,6 +170,41 @@ int Main(int argc, char** argv) {
   serve::RecommendationServer server(std::move(room_list),
                                      std::move(factory), server_options);
   serve::ShardControl control(&server, make_room);
+
+  // Durable rooms: open the journal + checkpoint dir, recover whatever
+  // a previous incarnation of this shard persisted, and wire the
+  // subsystem into the tick and control planes.
+  std::unique_ptr<serve::DurabilityManager> durability;
+  if (!durable_dir.empty()) {
+    if (!partitioned) {
+      std::fprintf(stderr,
+                   "--durable_dir requires --partitioned (durability is "
+                   "scoped to router-granted rooms)\n");
+      return 1;
+    }
+    serve::DurabilityManager::Options durable_options;
+    durable_options.dir = durable_dir;
+    durable_options.checkpoint_every_ticks = checkpoint_every_ticks;
+    durable_options.journal_fsync = journal_fsync;
+    auto opened = serve::DurabilityManager::Open(durable_options);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "--durable_dir: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    durability = std::move(opened).value();
+    durability->Attach(&server);
+    server.set_durability(durability.get());
+    control.set_durability(durability.get());
+    auto recovered = control.RecoverFromDurable();
+    if (!recovered.ok()) {
+      std::fprintf(stderr, "recover: %s\n",
+                   recovered.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("[serve_shard] recovered %zu room(s) from %s\n",
+                recovered.value().size(), durable_dir.c_str());
+  }
 
   serve::NetServerOptions net_options;
   net_options.port = port;

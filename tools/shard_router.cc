@@ -14,6 +14,9 @@
 //        --max_attempts=N --ejection_ms=F --health_ms=F
 //        --partition_rooms=N (switch to partitioned serving: grant
 //        rooms [0,N) to backends started with serve_shard --partitioned)
+//        --recover_rooms=N (like --partition_rooms, but cold-restart
+//        recovery: ask every backend to replay its durable state first
+//        and reconcile the survivors; docs/durability.md)
 //        --replication=N (warm standby copies per room, partitioned only)
 //        --max_seconds=F (0 = run until SIGINT/SIGTERM)
 
@@ -50,7 +53,7 @@ bool ParseBackend(const std::string& spec, serve::BackendAddress* out) {
 
 int Main(int argc, char** argv) {
   int port = 0, threads = 4, queue = 1024, max_attempts = 3;
-  int partition_rooms = 0, replication = 0;
+  int partition_rooms = 0, recover_rooms = 0, replication = 0;
   double ejection_ms = 1000.0, health_ms = 250.0, max_seconds = 0.0;
   std::string port_file;
   std::vector<serve::BackendAddress> backends;
@@ -66,6 +69,8 @@ int Main(int argc, char** argv) {
       max_attempts = value;
     else if (std::sscanf(argv[i], "--partition_rooms=%d", &value) == 1)
       partition_rooms = value;
+    else if (std::sscanf(argv[i], "--recover_rooms=%d", &value) == 1)
+      recover_rooms = value;
     else if (std::sscanf(argv[i], "--replication=%d", &value) == 1)
       replication = value;
     else if (std::sscanf(argv[i], "--ejection_ms=%lf", &fvalue) == 1)
@@ -101,6 +106,13 @@ int Main(int argc, char** argv) {
   router_options.replication_factor = replication;
   serve::ShardRouter router(backends, router_options);
 
+  if (partition_rooms > 0 && recover_rooms > 0) {
+    std::fprintf(stderr,
+                 "--partition_rooms and --recover_rooms are exclusive "
+                 "(fresh grant vs. durable recovery)\n");
+    router.Shutdown();
+    return 1;
+  }
   if (partition_rooms > 0) {
     const Status enabled = router.EnablePartition(partition_rooms);
     if (!enabled.ok()) {
@@ -109,6 +121,21 @@ int Main(int argc, char** argv) {
       router.Shutdown();
       return 1;
     }
+  }
+  if (recover_rooms > 0) {
+    const Status recovered = router.RecoverPartition(recover_rooms);
+    if (!recovered.ok()) {
+      std::fprintf(stderr, "RecoverPartition(%d): %s\n", recover_rooms,
+                   recovered.ToString().c_str());
+      router.Shutdown();
+      return 1;
+    }
+    std::printf("[shard_router] recovered partition: %lld room(s) from "
+                "durable state, %lld stale replica(s) discarded\n",
+                static_cast<long long>(
+                    router.metrics().recovered_rooms.load()),
+                static_cast<long long>(
+                    router.metrics().discarded_replicas.load()));
   }
 
   // The router's own worker pool decouples slow backends from the
@@ -152,6 +179,9 @@ int Main(int argc, char** argv) {
   if (partition_rooms > 0)
     std::printf(" (partitioned: %d rooms, replication=%d)", partition_rooms,
                 replication);
+  if (recover_rooms > 0)
+    std::printf(" (partitioned via recovery: %d rooms, replication=%d)",
+                recover_rooms, replication);
   std::printf("\n");
   std::fflush(stdout);
 
