@@ -10,6 +10,9 @@
 #include "data/dataset.h"
 #include "graph/mwis.h"
 #include "graph/occlusion_converter.h"
+#include "infer/dispatch.h"
+#include "infer/kernels.h"
+#include "infer/tensor.h"
 #include "tensor/matrix.h"
 
 namespace after {
@@ -25,6 +28,27 @@ void BM_MatMul(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MatMul)->Arg(50)->Arg(200)->Arg(500);
+
+/// f32 counterpart of BM_MatMul on the inference kernels (same n x n by
+/// n x 8 shape) — the f64-vs-f32 raw-kernel speedup the inference
+/// engine banks on. Labeled with the SIMD tier that actually ran.
+void BM_MatMulF32(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  const infer::TensorF32 a =
+      infer::TensorF32::FromMatrix(Matrix::Randn(n, n, 1.0, rng));
+  const infer::TensorF32 b =
+      infer::TensorF32::FromMatrix(Matrix::Randn(n, 8, 1.0, rng));
+  infer::TensorF32 c(n, 8);
+  const infer::KernelOps& ops = infer::OpsFor(infer::ActiveSimdLevel());
+  for (auto _ : state) {
+    ops.matmul(n, n, 8, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetLabel(infer::SimdLevelName(infer::ActiveSimdLevel()));
+}
+BENCHMARK(BM_MatMulF32)->Arg(50)->Arg(200)->Arg(500);
 
 void BM_OcclusionGraphBuild(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -109,6 +133,44 @@ void BM_PoshgnnInferenceStep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PoshgnnInferenceStep)->Arg(30)->Arg(200)->Arg(500);
+
+/// One frozen (serving-path) inference step per engine. The pair is the
+/// f64-vs-f32 comparison the inference engine is gated on: same inputs,
+/// same selections, the fused f32 path must be at least ~2x faster
+/// (scripts/check.sh bench lane; docs/inference.md).
+void FrozenStepBench(benchmark::State& state, InferEngine engine) {
+  const int n = static_cast<int>(state.range(0));
+  PoshgnnBench bench(n);
+  const XrWorld& world = bench.dataset.sessions[0];
+  const OcclusionGraph occlusion =
+      BuildOcclusionGraph(world.PositionsAt(0), 0, world.body_radius());
+  StepContext context;
+  context.target = 0;
+  context.positions = &world.PositionsAt(0);
+  context.occlusion = &occlusion;
+  context.interfaces = &world.interfaces();
+  context.preference = &bench.dataset.preference;
+  context.social_presence = &bench.dataset.social_presence;
+  context.body_radius = world.body_radius();
+
+  FrozenPoshgnn frozen(bench.model, engine);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(frozen.Recommend(context));
+  }
+  state.SetLabel(engine == InferEngine::kFusedF32
+                     ? infer::SimdLevelName(infer::ActiveSimdLevel())
+                     : "reference");
+}
+
+void BM_FrozenPoshgnnStepF64(benchmark::State& state) {
+  FrozenStepBench(state, InferEngine::kReferenceF64);
+}
+BENCHMARK(BM_FrozenPoshgnnStepF64)->Arg(30)->Arg(200)->Arg(500);
+
+void BM_FrozenPoshgnnStepF32(benchmark::State& state) {
+  FrozenStepBench(state, InferEngine::kFusedF32);
+}
+BENCHMARK(BM_FrozenPoshgnnStepF32)->Arg(30)->Arg(200)->Arg(500);
 
 void BM_MiaAggregation(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

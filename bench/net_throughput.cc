@@ -39,6 +39,10 @@
 //        --partitioned --replication=N (default 1, partitioned only)
 //        --kill_shard_ms=F --add_shard_ms=F
 //        --durable_dir=PATH --cold_restart_ms=F (partitioned only)
+//        --engine=f32|f64 (self-contained: every shard serves a frozen
+//                          untrained POSHGNN on the chosen inference
+//                          engine instead of the default mutable
+//                          per-stream primary; docs/inference.md)
 //        --json=PATH (write a BENCH_serve.json-style summary)
 
 #include <algorithm>
@@ -161,6 +165,11 @@ void ClientLoop(const std::string& host, int port, int requests, int rooms,
 /// real loopback sockets in this process.
 struct LocalFleet {
   Dataset dataset;
+  /// --engine given: every shard (including ones added mid-run or
+  /// rebuilt by the cold-restart drill) freezes its primary on this
+  /// inference engine instead of serving the mutable model.
+  bool engine_set = false;
+  InferEngine engine = InferEngine::kFusedF32;
   /// Guards the three shard vectors: AddShard (mid-run fleet growth)
   /// races the ticker thread otherwise.
   std::mutex mutex;
@@ -227,10 +236,20 @@ bool AddShard(LocalFleet* fleet, int rooms, int threads, bool partitioned,
   server_options.default_deadline_ms = 1000.0;
   PoshgnnConfig model_config;
   model_config.seed = 42;
+  serve::RecommenderFactory factory;
+  if (fleet->engine_set) {
+    auto source = std::make_shared<Poshgnn>(model_config);
+    const InferEngine engine = fleet->engine;
+    factory = [source, engine] {
+      return std::make_unique<FrozenPoshgnn>(*source, engine);
+    };
+  } else {
+    factory = [model_config] {
+      return std::make_unique<Poshgnn>(model_config);
+    };
+  }
   auto server = std::make_unique<serve::RecommendationServer>(
-      std::move(room_list),
-      [model_config] { return std::make_unique<Poshgnn>(model_config); },
-      server_options);
+      std::move(room_list), std::move(factory), server_options);
   auto control = std::make_unique<serve::ShardControl>(server.get(), make_room);
   std::unique_ptr<serve::DurabilityManager> durability;
   if (!durable_dir.empty()) {
@@ -341,8 +360,12 @@ std::string ShardDurableDir(const std::string& base, int shard) {
 std::unique_ptr<LocalFleet> StartLocalFleet(int num_shards, int rooms,
                                             int users, int threads,
                                             bool partitioned, int replication,
-                                            const std::string& durable_base) {
+                                            const std::string& durable_base,
+                                            bool engine_set,
+                                            InferEngine engine) {
   auto fleet = std::make_unique<LocalFleet>();
+  fleet->engine_set = engine_set;
+  fleet->engine = engine;
   DatasetConfig config;
   config.num_users = users;
   config.num_steps = 2;
@@ -378,7 +401,8 @@ int Main(int argc, char** argv) {
   std::string host = "127.0.0.1", json_path, durable_dir;
   int port = 0, shards = 0, clients = 4, requests = 2000;
   int rooms = 2, users = 60, threads = 2, replication = 1;
-  bool partitioned = false, rooms_given = false;
+  bool partitioned = false, rooms_given = false, engine_set = false;
+  InferEngine engine = InferEngine::kFusedF32;
   double deadline_ms = 1000.0, kill_shard_ms = 0.0, add_shard_ms = 0.0;
   double cold_restart_ms = 0.0;
   for (int i = 1; i < argc; ++i) {
@@ -412,6 +436,13 @@ int Main(int argc, char** argv) {
     else if (std::sscanf(argv[i], "--durable_dir=%255s", buffer) == 1)
       durable_dir = buffer;
     else if (std::strcmp(argv[i], "--partitioned") == 0) partitioned = true;
+    else if (std::sscanf(argv[i], "--engine=%255s", buffer) == 1) {
+      if (!ParseInferEngine(buffer, &engine)) {
+        std::fprintf(stderr, "--engine=%s: want f32 or f64\n", buffer);
+        return 1;
+      }
+      engine_set = true;
+    }
     else if (std::sscanf(argv[i], "--host=%255s", buffer) == 1)
       host = buffer;
     else if (std::sscanf(argv[i], "--json=%255s", buffer) == 1)
@@ -444,6 +475,12 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "--cold_restart_ms needs --durable_dir\n");
     return 1;
   }
+  if (engine_set && shards == 0) {
+    std::fprintf(stderr,
+                 "--engine needs the self-contained fleet (--shards); a "
+                 "remote front (--port) picks its own engine\n");
+    return 1;
+  }
   if (cold_restart_ms > 0.0 &&
       (kill_shard_ms > 0.0 || add_shard_ms > 0.0)) {
     std::fprintf(stderr,
@@ -455,11 +492,13 @@ int Main(int argc, char** argv) {
   std::unique_ptr<LocalFleet> fleet;
   if (shards > 0) {
     std::printf("[net_throughput] starting local fleet: %d shard(s) x "
-                "%d rooms x %d users + router%s...\n",
+                "%d rooms x %d users + router%s, primary engine=%s...\n",
                 shards, rooms, users,
-                partitioned ? " (partitioned)" : "");
+                partitioned ? " (partitioned)" : "",
+                engine_set ? InferEngineName(engine) : "mutable");
     fleet = StartLocalFleet(shards, rooms, users, threads, partitioned,
-                            partitioned ? replication : 0, durable_dir);
+                            partitioned ? replication : 0, durable_dir,
+                            engine_set, engine);
     if (fleet == nullptr) return 1;
     host = fleet->router_net->host();
     port = fleet->router_net->port();
@@ -692,6 +731,8 @@ int Main(int argc, char** argv) {
     }
     out << "{\n"
         << "  \"bench\": \"net_throughput\",\n"
+        << "  \"engine\": \""
+        << (engine_set ? InferEngineName(engine) : "mutable") << "\",\n"
         << "  \"requests\": " << total << ",\n"
         << "  \"clients\": " << clients << ",\n"
         << "  \"partitioned\": " << (partitioned ? "true" : "false") << ",\n"

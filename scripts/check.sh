@@ -27,6 +27,16 @@
 #            the same suites split by ctest regex (-E '^serve/' vs
 #            -R '^serve/') so CI can run both halves in parallel with
 #            per-lane build caches
+#   release-serve-f64
+#            the release serve/ split re-run with AFTER_INFER_ENGINE=f64,
+#            so the f64 reference inference engine keeps passing the
+#            concurrent serving suite even though f32 is the default
+#            (docs/inference.md)
+#   infer-native
+#            configure with -DAFTER_INFER_NATIVE=ON and build the
+#            after_infer library alone: proves the -march=native build of
+#            the inference kernels stays compilable (the runtime CPUID
+#            dispatch is what ships; this guards the opt-in native path)
 #   bench    smoke-config serving benchmarks: serve_throughput
 #            (in-process) and net_throughput (TCP fleet with mid-run
 #            shard kill, then a partitioned fleet with live migration),
@@ -34,11 +44,12 @@
 #            failing on malformed output. Not in the default set: CI
 #            runs it as a non-blocking job.
 #   bench-regression
-#            runs both benches in the baseline config and gates them
-#            against bench/baselines/*.json with
-#            scripts/bench_compare.py (>25% p99/throughput regression,
-#            lost/errors != 0, or degraded-share growth fails). This one
-#            IS blocking in CI.
+#            runs both benches in the baseline config — once on the
+#            default primary and once with --engine=f32 (the fused
+#            inference engine) — and gates all four runs against
+#            bench/baselines/*.json with scripts/bench_compare.py
+#            (>25% p99/throughput regression, lost/errors != 0, or
+#            degraded-share growth fails). This one IS blocking in CI.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -94,6 +105,16 @@ run_docs_lane() {
               shard_control kRoomRecover kDataLoss durable_dir; do
     if ! grep -q "${term}" docs/serving.md; then
       echo "docs: ${term} is not mentioned in docs/serving.md"
+      fail=1
+    fi
+  done
+  # The inference page must keep covering the engine vocabulary: the two
+  # engines, the runtime knobs, the SIMD tiers, the workspace machinery,
+  # and the numeric tolerance contract.
+  for term in kFusedF32 kReferenceF64 AFTER_INFER_ENGINE AFTER_INFER_SIMD \
+              AVX2 FMA WorkspacePool arena tolerance engine=f64; do
+    if ! grep -q "${term}" docs/inference.md; then
+      echo "docs: ${term} is not mentioned in docs/inference.md"
       fail=1
     fi
   done
@@ -177,12 +198,22 @@ run_bench_regression_lane() {
   ./build/bench/net_throughput --partitioned --shards=3 --rooms=12 \
     --users=24 --clients=4 --requests=8000 --kill_shard_ms=300 \
     --json=build/BENCH_net.json
+  echo "---- serve_throughput (baseline config, fused f32 engine) ----"
+  ./build/bench/serve_throughput --rooms=2 --threads=2 --clients=4 \
+    --requests=4000 --users=24 --engine=f32 \
+    --json=build/BENCH_serve_f32.json
+  echo "---- net_throughput (baseline config, fused f32 engine) ----"
+  ./build/bench/net_throughput --partitioned --shards=3 --rooms=12 \
+    --users=24 --clients=4 --requests=8000 --kill_shard_ms=300 \
+    --engine=f32 --json=build/BENCH_net_f32.json
   echo "---- bench_compare self-check (gate the gate) ----"
   python3 scripts/bench_compare.py --self_check
   echo "---- compare against committed baselines ----"
   python3 scripts/bench_compare.py \
     bench/baselines/BENCH_serve.json build/BENCH_serve.json \
-    bench/baselines/BENCH_net.json build/BENCH_net.json
+    bench/baselines/BENCH_net.json build/BENCH_net.json \
+    bench/baselines/BENCH_serve_f32.json build/BENCH_serve_f32.json \
+    bench/baselines/BENCH_net_f32.json build/BENCH_net_f32.json
 }
 
 run_lane() {
@@ -193,6 +224,23 @@ run_lane() {
     format) run_format_lane; return ;;
     bench)  run_bench_lane;  return ;;
     bench-regression) run_bench_regression_lane; return ;;
+    release-serve-f64)
+      # The f32 engine is the default; this lane pins the f64 reference
+      # engine via the environment override and re-runs the concurrent
+      # serving suite against it.
+      cmake --preset release
+      cmake --build --preset release -j "${JOBS}"
+      AFTER_INFER_ENGINE=f64 ctest --test-dir build -R '^serve/' \
+        --output-on-failure -j "${JOBS}"
+      return ;;
+    infer-native)
+      # Opt-in -march=native build of the inference kernels must stay
+      # compilable; only the after_infer library is needed to prove it.
+      cmake -S . -B build-infer-native \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo -DAFTER_INFER_NATIVE=ON
+      cmake --build build-infer-native -j "${JOBS}" --target after_infer
+      echo "infer-native lane OK: after_infer builds with AFTER_INFER_NATIVE=ON"
+      return ;;
   esac
   # release-core / asan-serve / ... are the base preset plus a ctest
   # split: -core excludes the serving-runtime tests, -serve runs only

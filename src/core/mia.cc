@@ -16,24 +16,11 @@ std::vector<bool> Mia::PhysicallyBlocked(const StepContext& context) {
   const auto& positions = *context.positions;
   const auto& interfaces = *context.interfaces;
   const int n = static_cast<int>(positions.size());
-  std::vector<bool> blocked(n, false);
-  if (interfaces[context.target] != Interface::kMR) return blocked;
-
-  const std::vector<ViewArc> arcs =
-      ComputeViewArcs(positions, context.target, context.body_radius);
-  for (int w = 0; w < n; ++w) {
-    if (w == context.target) continue;
-    for (int u = 0; u < n; ++u) {
-      if (u == w || u == context.target) continue;
-      if (interfaces[u] != Interface::kMR) continue;  // only physical bodies
-      if (arcs[u].distance < arcs[w].distance &&
-          ArcsOverlap(arcs[u], arcs[w])) {
-        blocked[w] = true;
-        break;
-      }
-    }
-  }
-  return blocked;
+  std::vector<bool> is_physical(n, false);
+  for (int u = 0; u < n; ++u)
+    is_physical[u] = interfaces[u] == Interface::kMR;
+  return PhysicallyBlockedUsers(positions, context.target,
+                                context.body_radius, is_physical);
 }
 
 MiaOutput Mia::Process(const StepContext& context) {

@@ -78,6 +78,31 @@ DynamicOcclusionGraph BuildDynamicOcclusionGraph(
   return dog;
 }
 
+std::vector<bool> PhysicallyBlockedUsers(const std::vector<Vec2>& positions,
+                                         int target, double body_radius,
+                                         const std::vector<bool>& is_physical) {
+  const int n = static_cast<int>(positions.size());
+  AFTER_CHECK_EQ(static_cast<int>(is_physical.size()), n);
+  std::vector<bool> blocked(n, false);
+  if (!is_physical[target]) return blocked;
+
+  const std::vector<ViewArc> arcs =
+      ComputeViewArcs(positions, target, body_radius);
+  for (int w = 0; w < n; ++w) {
+    if (w == target) continue;
+    for (int u = 0; u < n; ++u) {
+      if (u == w || u == target) continue;
+      if (!is_physical[u]) continue;  // only physical bodies block
+      if (arcs[u].distance < arcs[w].distance &&
+          ArcsOverlap(arcs[u], arcs[w])) {
+        blocked[w] = true;
+        break;
+      }
+    }
+  }
+  return blocked;
+}
+
 std::vector<bool> ComputeVisibility(const std::vector<Vec2>& positions,
                                     int target, double body_radius,
                                     const std::vector<bool>& rendered) {

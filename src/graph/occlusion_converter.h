@@ -52,6 +52,18 @@ DynamicOcclusionGraph BuildDynamicOcclusionGraph(
     const std::vector<std::vector<Vec2>>& trajectory, int target,
     double body_radius);
 
+/// Hybrid-participation blocking (MIA's HP mask, Sec. IV-A): blocked[w]
+/// is true when a strictly nearer *physical* participant's arc covers
+/// w's arc center from the target's viewpoint. `is_physical[u]` marks
+/// users with a physical body in the target's space (MR interface).
+/// All-false when the target itself is not physical (a VR viewer sees
+/// rendered avatars, not bodies). Shared by core/mia.cc and the fused
+/// inference engine (infer/engine.cc) so both paths make identical mask
+/// decisions.
+std::vector<bool> PhysicallyBlockedUsers(const std::vector<Vec2>& positions,
+                                         int target, double body_radius,
+                                         const std::vector<bool>& is_physical);
+
 /// Visibility indicator 1[v => w at t] for a set of rendered users: w is
 /// visible iff w is rendered and no strictly-nearer rendered user's arc
 /// overlaps w's arc (the nearer user's image blocks w). The target index

@@ -1,0 +1,84 @@
+#include "infer/arena.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "infer/tensor.h"
+
+namespace after {
+namespace infer {
+
+Arena::Block::Block(std::size_t floats)
+    : data(AlignedAlloc(floats)), size(AlignedCount(floats)) {}
+
+Arena::Block::~Block() { AlignedFree(data); }
+
+Arena::Arena(std::size_t initial_floats) {
+  if (initial_floats > 0) {
+    blocks_.push_back(std::make_unique<Block>(initial_floats));
+    capacity_ = blocks_.back()->size;
+  }
+}
+
+float* Arena::Allocate(std::size_t count) {
+  const std::size_t aligned = AlignedCount(std::max<std::size_t>(count, 1));
+  if (blocks_.empty() ||
+      blocks_.back()->offset + aligned > blocks_.back()->size) {
+    // Overflow: chain a block big enough for this carve-out (and then
+    // some, to bound the number of chained blocks while warming up).
+    const std::size_t grown = std::max(aligned, std::max<std::size_t>(
+        capacity_, 4096 / sizeof(float)));
+    blocks_.push_back(std::make_unique<Block>(grown));
+    capacity_ += blocks_.back()->size;
+  }
+  Block& block = *blocks_.back();
+  float* out = block.data + block.offset;
+  block.offset += aligned;
+  used_ += aligned;
+  // Blocks are zeroed at birth, but a reused block carries the previous
+  // forward's activations.
+  std::memset(out, 0, aligned * sizeof(float));
+  return out;
+}
+
+void Arena::Reset() {
+  peak_ = std::max(peak_, used_);
+  used_ = 0;
+  if (blocks_.size() > 1 || (capacity_ > 0 && capacity_ < peak_)) {
+    // Coalesce: one block sized for the peak so the next forward runs
+    // without chaining.
+    blocks_.clear();
+    blocks_.push_back(std::make_unique<Block>(peak_));
+    capacity_ = blocks_.back()->size;
+  }
+  for (auto& block : blocks_) block->offset = 0;
+}
+
+WorkspacePool::Handle WorkspacePool::Acquire() {
+  std::unique_ptr<Workspace> workspace;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!free_.empty()) {
+      workspace = std::move(free_.back());
+      free_.pop_back();
+    } else {
+      ++created_;
+    }
+  }
+  if (workspace == nullptr) workspace = std::make_unique<Workspace>();
+  return Handle(this, std::move(workspace));
+}
+
+std::size_t WorkspacePool::created() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return created_;
+}
+
+void WorkspacePool::Release(std::unique_ptr<Workspace> workspace) {
+  workspace->arena.Reset();
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_.push_back(std::move(workspace));
+}
+
+}  // namespace infer
+}  // namespace after

@@ -1,0 +1,51 @@
+#include "infer/dispatch.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace after {
+namespace infer {
+namespace {
+
+SimdLevel ProbeCpu() {
+#if defined(__x86_64__) || defined(__i386__)
+  // __builtin_cpu_supports consults CPUID (and XGETBV for the OS-saves-
+  // YMM half of the contract), so a positive answer really means the
+  // AVX2 paths may execute.
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
+    return SimdLevel::kAvx2Fma;
+#endif
+  return SimdLevel::kScalar;
+}
+
+SimdLevel Clamp(SimdLevel hardware) {
+  const char* env = std::getenv("AFTER_INFER_SIMD");
+  if (env != nullptr && std::strcmp(env, "scalar") == 0)
+    return SimdLevel::kScalar;
+  return hardware;
+}
+
+}  // namespace
+
+SimdLevel DetectCpuSimdLevel() {
+  static const SimdLevel level = ProbeCpu();
+  return level;
+}
+
+SimdLevel ActiveSimdLevel() {
+  static const SimdLevel level = Clamp(DetectCpuSimdLevel());
+  return level;
+}
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2Fma:
+      return "avx2+fma";
+  }
+  return "unknown";
+}
+
+}  // namespace infer
+}  // namespace after

@@ -1,0 +1,34 @@
+#ifndef AFTER_INFER_DISPATCH_H_
+#define AFTER_INFER_DISPATCH_H_
+
+namespace after {
+namespace infer {
+
+/// Instruction-set tiers the fused kernels are compiled for. Dispatch
+/// is resolved at runtime (CPUID), never at compile time: the same
+/// binary runs the AVX2/FMA paths on capable hosts and the portable
+/// scalar fallbacks everywhere else. kernels_avx2.cc carries per-
+/// function target("avx2,fma") attributes, so the translation unit
+/// builds without -mavx2 and the vector instructions are only ever
+/// reached behind a positive CPUID probe.
+enum class SimdLevel {
+  kScalar = 0,
+  kAvx2Fma = 1,
+};
+
+/// Highest tier this CPU supports (CPUID probe, cached after the first
+/// call).
+SimdLevel DetectCpuSimdLevel();
+
+/// DetectCpuSimdLevel() clamped by the AFTER_INFER_SIMD environment
+/// variable ("scalar" forces the fallback paths; "avx2" is a no-op cap
+/// at the AVX2 tier). Unknown values are ignored. Cached.
+SimdLevel ActiveSimdLevel();
+
+/// "scalar" / "avx2+fma" — recorded by benches and the serving banner.
+const char* SimdLevelName(SimdLevel level);
+
+}  // namespace infer
+}  // namespace after
+
+#endif  // AFTER_INFER_DISPATCH_H_

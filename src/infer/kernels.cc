@@ -1,0 +1,98 @@
+#include "infer/kernels.h"
+
+#include <cstring>
+
+namespace after {
+namespace infer {
+namespace {
+
+void ApplyActRow(Act act, int out, float* row) {
+  switch (act) {
+    case Act::kNone:
+      break;
+    case Act::kRelu:
+      for (int j = 0; j < out; ++j)
+        if (row[j] < 0.0f) row[j] = 0.0f;
+      break;
+    case Act::kSigmoid:
+      for (int j = 0; j < out; ++j) row[j] = SigmoidF32(row[j]);
+      break;
+  }
+}
+
+// Broadcast-accumulate form: the k loop is outermost over the row so the
+// j loop is a pure axpy. The AVX2 variant vectorizes the same j loop with
+// the same k order, so scalar and vector tiers sum in the same order and
+// differ only by FMA contraction.
+void GcnLayerScalar(int n, int in, int out, const float* x, const float* ax,
+                    const float* w_self, const float* w_neigh,
+                    const float* bias, const float* deg, const float* deg_row,
+                    Act act, float* y) {
+  for (int i = 0; i < n; ++i) {
+    float* row = y + static_cast<std::size_t>(i) * out;
+    std::memcpy(row, bias, static_cast<std::size_t>(out) * sizeof(float));
+    const float* xi = x + static_cast<std::size_t>(i) * in;
+    for (int k = 0; k < in; ++k) {
+      const float v = xi[k];
+      if (v == 0.0f) continue;
+      const float* w = w_self + static_cast<std::size_t>(k) * out;
+      for (int j = 0; j < out; ++j) row[j] += v * w[j];
+    }
+    const float* axi = ax + static_cast<std::size_t>(i) * in;
+    for (int k = 0; k < in; ++k) {
+      const float v = axi[k];
+      if (v == 0.0f) continue;
+      const float* w = w_neigh + static_cast<std::size_t>(k) * out;
+      for (int j = 0; j < out; ++j) row[j] += v * w[j];
+    }
+    if (deg != nullptr && deg_row != nullptr) {
+      const float d = deg[i];
+      if (d != 0.0f)
+        for (int j = 0; j < out; ++j) row[j] += d * deg_row[j];
+    }
+    ApplyActRow(act, out, row);
+  }
+}
+
+void SumRowsScalar(const float* x, int cols, const int* idx, int count,
+                   float* dst) {
+  std::memset(dst, 0, static_cast<std::size_t>(cols) * sizeof(float));
+  for (int r = 0; r < count; ++r) {
+    const float* row = x + static_cast<std::size_t>(idx[r]) * cols;
+    for (int j = 0; j < cols; ++j) dst[j] += row[j];
+  }
+}
+
+void MatMulScalar(int n, int k, int m, const float* a, const float* b,
+                  float* c) {
+  for (int i = 0; i < n; ++i) {
+    float* row = c + static_cast<std::size_t>(i) * m;
+    std::memset(row, 0, static_cast<std::size_t>(m) * sizeof(float));
+    const float* ai = a + static_cast<std::size_t>(i) * k;
+    for (int p = 0; p < k; ++p) {
+      const float v = ai[p];
+      const float* bp = b + static_cast<std::size_t>(p) * m;
+      for (int j = 0; j < m; ++j) row[j] += v * bp[j];
+    }
+  }
+}
+
+}  // namespace
+
+const KernelOps& ScalarOps() {
+  static const KernelOps ops = {GcnLayerScalar, SumRowsScalar, MatMulScalar};
+  return ops;
+}
+
+const KernelOps& OpsFor(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return ScalarOps();
+    case SimdLevel::kAvx2Fma:
+      return Avx2Ops();
+  }
+  return ScalarOps();
+}
+
+}  // namespace infer
+}  // namespace after

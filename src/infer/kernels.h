@@ -1,0 +1,66 @@
+#ifndef AFTER_INFER_KERNELS_H_
+#define AFTER_INFER_KERNELS_H_
+
+#include <cmath>
+
+#include "infer/dispatch.h"
+
+namespace after {
+namespace infer {
+
+/// Activation fused into the kernel epilogues.
+enum class Act {
+  kNone,
+  kRelu,
+  kSigmoid,
+};
+
+/// Logistic sigmoid, float32. Deliberately a single scalar definition
+/// shared by every SIMD tier: given identical inputs the scalar and
+/// AVX2 engines produce bit-identical sigmoid outputs, so cross-tier
+/// drift can only enter through FMA contraction in the accumulations
+/// (bounded by the tolerance harness; docs/inference.md).
+inline float SigmoidF32(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+/// The fused kernel table for one SIMD tier. All pointers are to
+/// 64-byte-aligned buffers (infer/tensor.h) except the row-index lists.
+struct KernelOps {
+  /// Fused GCN layer (POSHGNN Eq. 1 at inference):
+  ///
+  ///   y = act( x * w_self + ax * w_neigh + bias [+ deg ⊗ deg_row] )
+  ///
+  /// x, ax: n x in (ax is the pre-aggregated A*x); w_self, w_neigh:
+  /// in x out; bias, deg_row: 1 x out; deg: n x 1; y: n x out. The
+  /// optional rank-1 degree term (deg/deg_row non-null together)
+  /// carries the LWP structural-difference column e0 after the load-
+  /// time weight fold (docs/inference.md).
+  void (*gcn_layer)(int n, int in, int out, const float* x, const float* ax,
+                    const float* w_self, const float* w_neigh,
+                    const float* bias, const float* deg, const float* deg_row,
+                    Act act, float* y);
+
+  /// dst (1 x cols) = sum of the `count` rows of x listed in idx — the
+  /// sparse adjacency aggregation (A*x one row at a time over neighbor
+  /// lists, skipping the dense n x n matrix entirely).
+  void (*sum_rows)(const float* x, int cols, const int* idx, int count,
+                   float* dst);
+
+  /// c (n x m) = a (n x k) * b (k x m). Plain dense matmul, kept for
+  /// the micro-kernel benchmarks' f64-vs-f32 comparison.
+  void (*matmul)(int n, int k, int m, const float* a, const float* b,
+                 float* c);
+};
+
+/// Kernel table for a tier. kAvx2Fma returns the scalar table when the
+/// binary was built without x86 support (the tier is then unreachable
+/// anyway — DetectCpuSimdLevel() reports kScalar).
+const KernelOps& OpsFor(SimdLevel level);
+
+/// Implementation tables (exposed for the dispatch-equivalence tests).
+const KernelOps& ScalarOps();
+const KernelOps& Avx2Ops();
+
+}  // namespace infer
+}  // namespace after
+
+#endif  // AFTER_INFER_KERNELS_H_

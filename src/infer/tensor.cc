@@ -1,0 +1,77 @@
+#include "infer/tensor.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "tensor/matrix.h"
+
+namespace after {
+namespace infer {
+
+float* AlignedAlloc(std::size_t count) {
+  if (count == 0) return nullptr;
+  const std::size_t bytes = AlignedCount(count) * sizeof(float);
+  void* ptr = std::aligned_alloc(kTensorAlignment, bytes);
+  AFTER_CHECK(ptr != nullptr);
+  std::memset(ptr, 0, bytes);
+  return static_cast<float*>(ptr);
+}
+
+void AlignedFree(float* ptr) { std::free(ptr); }
+
+std::size_t AlignedCount(std::size_t count) {
+  const std::size_t per_line = kTensorAlignment / sizeof(float);
+  return (count + per_line - 1) / per_line * per_line;
+}
+
+TensorF32::TensorF32(int rows, int cols) : rows_(rows), cols_(cols) {
+  AFTER_CHECK_GE(rows, 0);
+  AFTER_CHECK_GE(cols, 0);
+  data_ = AlignedAlloc(size());
+}
+
+TensorF32::~TensorF32() { AlignedFree(data_); }
+
+TensorF32::TensorF32(TensorF32&& other) noexcept
+    : rows_(other.rows_), cols_(other.cols_), data_(other.data_) {
+  other.rows_ = 0;
+  other.cols_ = 0;
+  other.data_ = nullptr;
+}
+
+TensorF32& TensorF32::operator=(TensorF32&& other) noexcept {
+  if (this != &other) {
+    AlignedFree(data_);
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+    data_ = other.data_;
+    other.rows_ = 0;
+    other.cols_ = 0;
+    other.data_ = nullptr;
+  }
+  return *this;
+}
+
+TensorF32 TensorF32::FromMatrix(const Matrix& source) {
+  TensorF32 out(source.rows(), source.cols());
+  const std::size_t total = out.size();
+  for (std::size_t i = 0; i < total; ++i)
+    out.data_[i] = static_cast<float>(source[i]);
+  return out;
+}
+
+TensorF32 TensorF32::SliceRows(int begin, int count) const {
+  AFTER_CHECK_GE(begin, 0);
+  AFTER_CHECK_GE(count, 0);
+  AFTER_CHECK_LE(begin + count, rows_);
+  TensorF32 out(count, cols_);
+  if (count > 0 && cols_ > 0)
+    std::memcpy(out.data_,
+                data_ + static_cast<std::size_t>(begin) * cols_,
+                static_cast<std::size_t>(count) * cols_ * sizeof(float));
+  return out;
+}
+
+}  // namespace infer
+}  // namespace after

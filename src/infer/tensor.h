@@ -1,0 +1,85 @@
+#ifndef AFTER_INFER_TENSOR_H_
+#define AFTER_INFER_TENSOR_H_
+
+#include <cstddef>
+
+#include "common/check.h"
+
+namespace after {
+
+class Matrix;
+
+namespace infer {
+
+/// Every float buffer the inference engine touches is aligned to this
+/// boundary so AVX2 loads never straddle a cache line and a future
+/// AVX-512 widening needs no layout change.
+inline constexpr std::size_t kTensorAlignment = 64;
+
+/// Allocates `count` floats aligned to kTensorAlignment. Counterpart of
+/// AlignedFree; never returns nullptr (aborts on exhaustion like the
+/// rest of the engine's CHECK discipline).
+float* AlignedAlloc(std::size_t count);
+void AlignedFree(float* ptr);
+
+/// Rounds `count` floats up so the *next* arena carve-out stays aligned.
+std::size_t AlignedCount(std::size_t count);
+
+/// Plain contiguous row-major float32 tensor: the inference-side
+/// counterpart of tensor/Matrix (double + autograd tape). Owns a
+/// 64-byte-aligned buffer, carries no gradient machinery, and is
+/// move-only — weights are converted into these exactly once at
+/// artifact load (see infer/engine.h) and then never touched again.
+class TensorF32 {
+ public:
+  TensorF32() = default;
+  /// Zero-initialized rows x cols tensor.
+  TensorF32(int rows, int cols);
+  ~TensorF32();
+
+  TensorF32(const TensorF32&) = delete;
+  TensorF32& operator=(const TensorF32&) = delete;
+  TensorF32(TensorF32&& other) noexcept;
+  TensorF32& operator=(TensorF32&& other) noexcept;
+
+  /// One-time weight conversion: narrows every double entry to float.
+  static TensorF32 FromMatrix(const Matrix& source);
+
+  /// Rows [begin, begin + count) as a fresh owning tensor (used to
+  /// pre-slice the LWP input weights at load; docs/inference.md).
+  TensorF32 SliceRows(int begin, int count) const;
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  std::size_t size() const {
+    return static_cast<std::size_t>(rows_) * static_cast<std::size_t>(cols_);
+  }
+
+  float* data() { return data_; }
+  const float* data() const { return data_; }
+
+  float& At(int r, int c) {
+    AFTER_CHECK_GE(r, 0);
+    AFTER_CHECK_LT(r, rows_);
+    AFTER_CHECK_GE(c, 0);
+    AFTER_CHECK_LT(c, cols_);
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+  float At(int r, int c) const {
+    AFTER_CHECK_GE(r, 0);
+    AFTER_CHECK_LT(r, rows_);
+    AFTER_CHECK_GE(c, 0);
+    AFTER_CHECK_LT(c, cols_);
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  float* data_ = nullptr;
+};
+
+}  // namespace infer
+}  // namespace after
+
+#endif  // AFTER_INFER_TENSOR_H_

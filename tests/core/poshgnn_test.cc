@@ -238,7 +238,10 @@ Poshgnn TrainedModel(const Dataset& dataset) {
 TEST(FrozenPoshgnnTest, BitExactAgainstMutableAtSessionStart) {
   const Dataset dataset = GenerateTimikLike(TinyConfig());
   Poshgnn mutable_model = TrainedModel(dataset);
-  FrozenPoshgnn frozen(mutable_model);
+  // Bit-exactness is the reference f64 engine's contract; the fused f32
+  // engine is tolerance-equal instead (tests/infer/engine_test.cc).
+  FrozenPoshgnn frozen(mutable_model, InferEngine::kReferenceF64);
+  EXPECT_EQ(frozen.engine(), InferEngine::kReferenceF64);
   EXPECT_TRUE(frozen.thread_safe());
   EXPECT_FALSE(mutable_model.thread_safe());
   EXPECT_EQ(frozen.name(), "POSHGNN (frozen)");

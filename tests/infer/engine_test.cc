@@ -1,0 +1,337 @@
+#include "infer/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <deque>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "core/poshgnn.h"
+#include "data/dataset.h"
+#include "graph/occlusion_converter.h"
+#include "infer/dispatch.h"
+
+namespace after {
+namespace {
+
+// Documented f32-vs-f64 tolerance of the fused engine
+// (docs/inference.md): |f32 - f64| <= kAtol + kRtol * |f64| per entry.
+// Observed drift on the table2-style datasets is below 1e-5; the bound
+// leaves an order of magnitude of headroom.
+constexpr double kAtol = 1e-4;
+constexpr double kRtol = 1e-4;
+
+DatasetConfig TinyConfig() {
+  DatasetConfig config;
+  config.num_users = 20;
+  config.num_steps = 12;
+  config.num_sessions = 2;
+  config.room_side = 6.0;
+  config.seed = 5;
+  return config;
+}
+
+PoshgnnConfig ModelConfig() {
+  PoshgnnConfig config;
+  config.hidden_dim = 8;
+  config.seed = 9;
+  return config;
+}
+
+Poshgnn TrainedModel(const Dataset& dataset, PoshgnnConfig config) {
+  Poshgnn model(config);
+  TrainOptions train;
+  train.epochs = 4;
+  train.targets_per_epoch = 3;
+  train.seed = 21;
+  model.Train(dataset, train);
+  EXPECT_TRUE(model.last_train_status().ok());
+  return model;
+}
+
+// Bundles a StepContext with the occlusion graph it points into.
+struct BoundContext {
+  BoundContext(const Dataset& dataset, int session, int t, int target)
+      : occlusion(BuildOcclusionGraph(
+            dataset.sessions[session].PositionsAt(t), target,
+            dataset.sessions[session].body_radius())) {
+    const XrWorld& world = dataset.sessions[session];
+    context.t = t;
+    context.target = target;
+    context.positions = &world.PositionsAt(t);
+    context.occlusion = &occlusion;
+    context.interfaces = &world.interfaces();
+    context.preference = &dataset.preference;
+    context.social_presence = &dataset.social_presence;
+    context.body_radius = world.body_radius();
+  }
+  OcclusionGraph occlusion;
+  StepContext context;
+};
+
+void ExpectWithinTolerance(const std::vector<float>& got, const Matrix& want,
+                           const char* label) {
+  ASSERT_EQ(static_cast<int>(got.size()), want.size()) << label;
+  for (int r = 0; r < want.rows(); ++r)
+    for (int c = 0; c < want.cols(); ++c) {
+      const double reference = want.At(r, c);
+      const double actual =
+          got[static_cast<std::size_t>(r) * want.cols() + c];
+      EXPECT_LE(std::abs(actual - reference),
+                kAtol + kRtol * std::abs(reference))
+          << label << " at (" << r << ", " << c << "): f32 " << actual
+          << " vs f64 " << reference;
+    }
+}
+
+// The reference double forward at session start, computed directly from
+// Poshgnn::Parameters() with plain Matrix arithmetic (independent of
+// both the autograd tape and the fused kernels).
+struct ReferenceForward {
+  Matrix features, mask, p_hat, s_hat, hidden, proto, sigma, rec;
+};
+
+Matrix GcnReference(const Matrix& x, const Matrix& adjacency,
+                    const Matrix& m1, const Matrix& m2, const Matrix& bias,
+                    bool relu) {
+  Matrix out = x.MatMul(m1) + adjacency.MatMul(x).MatMul(m2);
+  for (int r = 0; r < out.rows(); ++r)
+    for (int c = 0; c < out.cols(); ++c) {
+      const double z = out.At(r, c) + bias.At(0, c);
+      out.At(r, c) = relu ? (z > 0.0 ? z : 0.0) : 1.0 / (1.0 + std::exp(-z));
+    }
+  return out;
+}
+
+ReferenceForward ComputeReference(const Poshgnn& model,
+                                  const StepContext& context) {
+  const MiaOutput mia = model.AggregateFresh(context);
+  const int n = mia.features.rows();
+  const int k = model.config().hidden_dim;
+  std::vector<Matrix> params;
+  for (const Variable& p : model.Parameters()) params.push_back(p.value());
+
+  ReferenceForward ref;
+  ref.features = mia.features;
+  ref.mask = mia.mask;
+  ref.p_hat = mia.p_hat;
+  ref.s_hat = mia.s_hat;
+  ref.hidden = GcnReference(mia.features, mia.adjacency, params[0], params[1],
+                            params[2], /*relu=*/true);
+  ref.proto = GcnReference(ref.hidden, mia.adjacency, params[3], params[4],
+                           params[5], /*relu=*/false);
+  if (model.config().use_lwp) {
+    const Matrix lwp_input = mia.features.ConcatCols(mia.delta)
+                                 .ConcatCols(Matrix(n, k))
+                                 .ConcatCols(Matrix(n, 1));
+    Matrix h = GcnReference(lwp_input, mia.adjacency, params[6], params[7],
+                            params[8], /*relu=*/true);
+    h = GcnReference(h, mia.adjacency, params[9], params[10], params[11],
+                     /*relu=*/true);
+    ref.sigma = GcnReference(h, mia.adjacency, params[12], params[13],
+                             params[14], /*relu=*/false);
+    ref.rec = Matrix(n, 1);
+    for (int w = 0; w < n; ++w)
+      ref.rec.At(w, 0) = ref.mask.At(w, 0) * (1.0 - ref.sigma.At(w, 0)) *
+                         ref.proto.At(w, 0);
+  } else {
+    ref.rec = ref.mask.Hadamard(ref.proto);
+  }
+  return ref;
+}
+
+infer::PoshgnnInferEngine MakeEngine(
+    const Poshgnn& model,
+    infer::SimdLevel level = infer::ActiveSimdLevel()) {
+  infer::EngineConfig config;
+  config.hidden_dim = model.config().hidden_dim;
+  config.beta = model.config().beta;
+  config.threshold = model.config().threshold;
+  config.max_recommendations = model.config().max_recommendations;
+  config.use_mia = model.config().use_mia;
+  config.use_lwp = model.config().use_lwp;
+  std::vector<Matrix> values;
+  for (const Variable& p : model.Parameters()) values.push_back(p.value());
+  return infer::PoshgnnInferEngine(config, values, level);
+}
+
+TEST(InferEngineTest, EveryLayerWithinToleranceOfDoubleReference) {
+  const Dataset dataset = GenerateTimikLike(TinyConfig());
+  const Poshgnn model = TrainedModel(dataset, ModelConfig());
+  const infer::PoshgnnInferEngine engine = MakeEngine(model);
+
+  for (int target : {0, 3, 11, 19}) {
+    const BoundContext bound(dataset, 0, 0, target);
+    const infer::ForwardTrace trace = engine.Trace(bound.context);
+    const ReferenceForward ref = ComputeReference(model, bound.context);
+    ExpectWithinTolerance(trace.features, ref.features, "features");
+    ExpectWithinTolerance(trace.mask, ref.mask, "mask");
+    ExpectWithinTolerance(trace.p_hat, ref.p_hat, "p_hat");
+    ExpectWithinTolerance(trace.s_hat, ref.s_hat, "s_hat");
+    ExpectWithinTolerance(trace.pdr_hidden, ref.hidden, "pdr_hidden");
+    ExpectWithinTolerance(trace.prototype, ref.proto, "prototype");
+    ExpectWithinTolerance(trace.sigma, ref.sigma, "sigma");
+    ExpectWithinTolerance(trace.recommendation, ref.rec, "recommendation");
+  }
+}
+
+TEST(InferEngineTest, LwpWeightFoldMatchesFullConcatInput) {
+  // The engine never materializes the [x̂ | Δ | h | r] concatenation —
+  // the fold (bias + e0 self row, degree ⊗ e0 neighbor row, dropped
+  // zero rows) must be algebraically identical to the full product.
+  // An untrained model keeps weights at their random init, which is
+  // plenty to expose a wrong fold.
+  const Dataset dataset = GenerateTimikLike(TinyConfig());
+  const Poshgnn model(ModelConfig());
+  const infer::PoshgnnInferEngine engine = MakeEngine(model);
+  const BoundContext bound(dataset, 1, 2, 5);
+  const infer::ForwardTrace trace = engine.Trace(bound.context);
+  const ReferenceForward ref = ComputeReference(model, bound.context);
+  ExpectWithinTolerance(trace.sigma, ref.sigma, "sigma(folded LWP)");
+  ExpectWithinTolerance(trace.recommendation, ref.rec, "recommendation");
+}
+
+TEST(InferEngineTest, ScalarAndActiveTiersProduceSameSelections) {
+  const Dataset dataset = GenerateTimikLike(TinyConfig());
+  const Poshgnn model = TrainedModel(dataset, ModelConfig());
+  const infer::PoshgnnInferEngine scalar =
+      MakeEngine(model, infer::SimdLevel::kScalar);
+  const infer::PoshgnnInferEngine active = MakeEngine(model);
+  for (int target : {1, 8, 14}) {
+    const BoundContext bound(dataset, 0, 3, target);
+    EXPECT_EQ(scalar.Recommend(bound.context),
+              active.Recommend(bound.context))
+        << "target " << target;
+    // Intermediates agree to float round-off (FMA contraction only).
+    const infer::ForwardTrace a = scalar.Trace(bound.context);
+    const infer::ForwardTrace b = active.Trace(bound.context);
+    ASSERT_EQ(a.recommendation.size(), b.recommendation.size());
+    for (std::size_t i = 0; i < a.recommendation.size(); ++i)
+      EXPECT_NEAR(a.recommendation[i], b.recommendation[i], 1e-5f);
+  }
+}
+
+TEST(InferEngineTest, SelectionsMatchReferenceEngineForAllTargets) {
+  const Dataset dataset = GenerateTimikLike(TinyConfig());
+  const Poshgnn model = TrainedModel(dataset, ModelConfig());
+  FrozenPoshgnn fused(model, InferEngine::kFusedF32);
+  FrozenPoshgnn reference(model, InferEngine::kReferenceF64);
+  EXPECT_EQ(fused.engine(), InferEngine::kFusedF32);
+  for (int t : {0, 5, 11}) {
+    for (int target = 0; target < dataset.num_users(); ++target) {
+      const BoundContext bound(dataset, 1, t, target);
+      EXPECT_EQ(fused.Recommend(bound.context),
+                reference.Recommend(bound.context))
+          << "t " << t << " target " << target;
+    }
+  }
+}
+
+TEST(InferEngineTest, AblationConfigsMatchReferenceSelections) {
+  const Dataset dataset = GenerateTimikLike(TinyConfig());
+  for (const bool use_lwp : {false, true}) {
+    PoshgnnConfig config = ModelConfig();
+    config.use_lwp = use_lwp;
+    if (!use_lwp) config.use_mia = false;  // "Only PDR"
+    const Poshgnn model = TrainedModel(dataset, config);
+    FrozenPoshgnn fused(model, InferEngine::kFusedF32);
+    FrozenPoshgnn reference(model, InferEngine::kReferenceF64);
+    for (int target : {2, 9, 17}) {
+      const BoundContext bound(dataset, 0, 1, target);
+      EXPECT_EQ(fused.Recommend(bound.context),
+                reference.Recommend(bound.context))
+          << "use_lwp " << use_lwp << " target " << target;
+    }
+  }
+}
+
+TEST(InferEngineTest, EvalMetricsIdenticalToReferenceEngine) {
+  // End-to-end: the Table II-style evaluation must report identical
+  // metrics for both engines — same selections means same utilities,
+  // occlusion rates and budget usage everywhere.
+  const Dataset dataset = GenerateTimikLike(TinyConfig());
+  const Poshgnn model = TrainedModel(dataset, ModelConfig());
+  FrozenPoshgnn fused(model, InferEngine::kFusedF32);
+  FrozenPoshgnn reference(model, InferEngine::kReferenceF64);
+
+  EvalOptions options;
+  options.num_targets = 6;
+  const EvalResult fused_result =
+      EvaluateRecommender(fused, dataset, options);
+  const EvalResult reference_result =
+      EvaluateRecommender(reference, dataset, options);
+  EXPECT_TRUE(fused_result.diagnostics.clean());
+  EXPECT_TRUE(reference_result.diagnostics.clean());
+  EXPECT_DOUBLE_EQ(fused_result.after_utility,
+                   reference_result.after_utility);
+  EXPECT_DOUBLE_EQ(fused_result.preference_utility,
+                   reference_result.preference_utility);
+  EXPECT_DOUBLE_EQ(fused_result.social_presence_utility,
+                   reference_result.social_presence_utility);
+  EXPECT_DOUBLE_EQ(fused_result.view_occlusion_rate,
+                   reference_result.view_occlusion_rate);
+  EXPECT_DOUBLE_EQ(fused_result.avg_recommended_per_step,
+                   reference_result.avg_recommended_per_step);
+}
+
+TEST(InferEngineTest, BatchMatchesSequentialAndDedupesDuplicates) {
+  const Dataset dataset = GenerateTimikLike(TinyConfig());
+  const Poshgnn model = TrainedModel(dataset, ModelConfig());
+  FrozenPoshgnn fused(model, InferEngine::kFusedF32);
+
+  std::deque<BoundContext> bound;
+  std::vector<StepContext> contexts;
+  for (int target : {0, 5, 13}) bound.emplace_back(dataset, 0, 0, target);
+  for (const BoundContext& b : bound) contexts.push_back(b.context);
+  // Duplicate jobs (same snapshot pointers + target) must reuse the
+  // first forward's answer.
+  contexts.push_back(bound[1].context);
+  contexts.push_back(bound[0].context);
+
+  const std::vector<std::vector<bool>> batched =
+      fused.RecommendBatch(contexts);
+  ASSERT_EQ(batched.size(), contexts.size());
+  for (std::size_t i = 0; i < contexts.size(); ++i)
+    EXPECT_EQ(batched[i], fused.Recommend(contexts[i])) << "slot " << i;
+  EXPECT_EQ(batched[3], batched[1]);
+  EXPECT_EQ(batched[4], batched[0]);
+}
+
+TEST(InferEngineTest, SteadyStateServesFromOneWorkspace) {
+  const Dataset dataset = GenerateTimikLike(TinyConfig());
+  const Poshgnn model(ModelConfig());
+  const infer::PoshgnnInferEngine engine = MakeEngine(model);
+  for (int step = 0; step < 6; ++step) {
+    const BoundContext bound(dataset, 0, step % 4, (3 * step) % 20);
+    engine.Recommend(bound.context);
+  }
+  // Sequential traffic never needs a second workspace; the arena inside
+  // it stops growing after warm-up (ArenaTest covers the block math).
+  EXPECT_EQ(engine.pool().created(), 1u);
+}
+
+TEST(InferEngineTest, EngineNamesParseAndRoundTrip) {
+  EXPECT_STREQ(InferEngineName(InferEngine::kFusedF32), "f32");
+  EXPECT_STREQ(InferEngineName(InferEngine::kReferenceF64), "f64");
+  InferEngine engine = InferEngine::kFusedF32;
+  EXPECT_TRUE(ParseInferEngine("f64", &engine));
+  EXPECT_EQ(engine, InferEngine::kReferenceF64);
+  EXPECT_TRUE(ParseInferEngine("f32", &engine));
+  EXPECT_EQ(engine, InferEngine::kFusedF32);
+  EXPECT_FALSE(ParseInferEngine("f16", &engine));
+  EXPECT_EQ(engine, InferEngine::kFusedF32);  // untouched on failure
+}
+
+TEST(InferEngineTest, DefaultEngineHonorsEnvironmentOverride) {
+  ASSERT_EQ(::setenv("AFTER_INFER_ENGINE", "f64", 1), 0);
+  EXPECT_EQ(DefaultInferEngine(), InferEngine::kReferenceF64);
+  ASSERT_EQ(::setenv("AFTER_INFER_ENGINE", "bogus", 1), 0);
+  EXPECT_EQ(DefaultInferEngine(), InferEngine::kFusedF32);
+  ASSERT_EQ(::unsetenv("AFTER_INFER_ENGINE"), 0);
+  EXPECT_EQ(DefaultInferEngine(), InferEngine::kFusedF32);
+}
+
+}  // namespace
+}  // namespace after

@@ -21,6 +21,10 @@
 //                                              # to the file for scripts
 // Flags: --rooms=N --users=N --threads=N --queue=N --deadline_ms=F
 //        --tick_ms=F --seed=N --batch --weights=PATH --partitioned
+//        --engine=f32|f64 (pin the frozen inference engine: fused f32
+//                          kernels or the f64 reference, docs/inference.md;
+//                          without --weights it freezes an untrained model
+//                          instead of the default mutable per-stream one)
 //        --max_seconds=F (0 = run until SIGINT/SIGTERM)
 //
 // Durable rooms (docs/durability.md, requires --partitioned):
@@ -62,6 +66,8 @@ int Main(int argc, char** argv) {
   int seed = 4242, checkpoint_every_ticks = 256;
   double deadline_ms = 1000.0, tick_ms = 10.0, max_seconds = 0.0;
   bool batch = false, partitioned = false, journal_fsync = false;
+  bool engine_set = false;
+  InferEngine engine = InferEngine::kFusedF32;
   std::string port_file, weights, durable_dir;
   for (int i = 1; i < argc; ++i) {
     int value = 0;
@@ -88,6 +94,13 @@ int Main(int argc, char** argv) {
       durable_dir = buffer;
     else if (std::sscanf(argv[i], "--checkpoint_every_ticks=%d", &value) == 1)
       checkpoint_every_ticks = value;
+    else if (std::sscanf(argv[i], "--engine=%255s", buffer) == 1) {
+      if (!ParseInferEngine(buffer, &engine)) {
+        std::fprintf(stderr, "--engine=%s: want f32 or f64\n", buffer);
+        return 1;
+      }
+      engine_set = true;
+    }
     else if (std::strcmp(argv[i], "--journal_fsync") == 0)
       journal_fsync = true;
     else if (std::strcmp(argv[i], "--batch") == 0) batch = true;
@@ -151,14 +164,25 @@ int Main(int argc, char** argv) {
   serve::RecommenderFactory factory;
   if (trained) {
     const ModelArtifact* artifact_ptr = &artifact;
-    factory = [artifact_ptr]() -> std::unique_ptr<Recommender> {
-      auto frozen = FrozenPoshgnn::FromArtifact(*artifact_ptr);
+    const InferEngine frozen_engine =
+        engine_set ? engine : DefaultInferEngine();
+    factory = [artifact_ptr, frozen_engine]() -> std::unique_ptr<Recommender> {
+      auto frozen = FrozenPoshgnn::FromArtifact(*artifact_ptr, frozen_engine);
       if (!frozen.ok()) {
         std::fprintf(stderr, "frozen model: %s\n",
                      frozen.status().ToString().c_str());
         return nullptr;
       }
       return std::move(frozen).value();
+    };
+  } else if (engine_set) {
+    // --engine without --weights: freeze an untrained model so the shard
+    // still exercises the requested inference engine on the serving path.
+    PoshgnnConfig model_config;
+    model_config.seed = 42;
+    auto source = std::make_shared<Poshgnn>(model_config);
+    factory = [source, engine] {
+      return std::make_unique<FrozenPoshgnn>(*source, engine);
     };
   } else {
     PoshgnnConfig model_config;
@@ -222,18 +246,25 @@ int Main(int argc, char** argv) {
     std::ofstream out(port_file);
     out << net.port() << "\n";
   }
+  const std::string primary_desc =
+      trained ? std::string("frozen-trained/") +
+                    InferEngineName(engine_set ? engine
+                                               : DefaultInferEngine())
+      : engine_set ? std::string("frozen-untrained/") +
+                         InferEngineName(engine)
+                   : std::string("untrained-per-stream");
   if (partitioned)
     std::printf("[serve_shard] listening on %s:%d (partitioned: rooms "
                 "granted by router, %d users each, %d threads, "
                 "primary=%s%s)\n",
                 net.host().c_str(), net.port(), users, threads,
-                trained ? "frozen-trained" : "untrained-per-stream",
+                primary_desc.c_str(),
                 batch ? ", in-tick batching" : "");
   else
     std::printf("[serve_shard] listening on %s:%d (%d rooms x %d users, "
                 "%d threads, primary=%s%s)\n",
                 net.host().c_str(), net.port(), rooms, users, threads,
-                trained ? "frozen-trained" : "untrained-per-stream",
+                primary_desc.c_str(),
                 batch ? ", in-tick batching" : "");
   std::fflush(stdout);
 
