@@ -34,7 +34,24 @@
 // room comes back bit-exact with zero lost rooms; clients meanwhile
 // see a reconnect window (kUnavailable), never a protocol error.
 //
+// The connection-count axis (--connections=N) adds an idle swarm on
+// top of the closed-loop load: N extra connections that sit mostly
+// idle, with a rotating slice of them pinged in bursts every ~250 ms —
+// the C10k shape (many connections, few active at any instant). Every
+// ping must come back as a pong (correlated by request id); a missing
+// pong fails the run, so the epoll front is gated on never dropping a
+// mostly-idle connection even while the closed-loop clients saturate
+// it. The process raises RLIMIT_NOFILE to fit the swarm (self-
+// contained mode holds both ends of every socket, ~2 fds each).
+//
+// --pipeline=D switches the closed-loop clients to pipelined bursts:
+// each client keeps D requests in flight on its one connection
+// (NetClient::CallPipelined), exercising the server's request-ID
+// correlation path; the recorded latency is the burst round trip.
+//
 // Flags: --clients=N --requests=N --rooms=N --users=N --deadline_ms=F
+//        --connections=N (idle-swarm size, default 0)
+//        --pipeline=D (requests in flight per client, default 1)
 //        --threads=N (self-contained: worker threads per shard)
 //        --partitioned --replication=N (default 1, partitioned only)
 //        --kill_shard_ms=F --add_shard_ms=F
@@ -45,8 +62,17 @@
 //                          per-stream primary; docs/inference.md)
 //        --json=PATH (write a BENCH_serve.json-style summary)
 
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -159,6 +185,300 @@ void ClientLoop(const std::string& host, int port, int requests, int rooms,
     else
       Record(tally, result.status(), false, rtt.ElapsedMs());
   }
+}
+
+/// Closed-loop pipelined client: keeps `pipeline` requests in flight on
+/// one connection via CallPipelined, reconnecting on transport failure
+/// like ClientLoop. Each answer in a burst is tallied individually; the
+/// recorded latency is the burst's round trip.
+void PipelinedClientLoop(const std::string& host, int port, int requests,
+                         int pipeline, int rooms, int users,
+                         double deadline_ms, uint64_t seed, Tally* tally) {
+  Rng rng(seed);
+  std::unique_ptr<serve::NetClient> client;
+  int remaining = requests;
+  bool ever_connected = false;
+  while (remaining > 0) {
+    if (client == nullptr || client->broken()) {
+      auto connected = serve::NetClient::Connect(host, port);
+      if (!connected.ok()) {
+        // One unavailable per failed attempt, consuming one request of
+        // budget — same accounting contract as ClientLoop.
+        Record(tally, connected.status(), false, 0.0);
+        --remaining;
+        client.reset();
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        continue;
+      }
+      client = std::move(connected).value();
+      if (ever_connected)
+        tally->reconnects.fetch_add(1, std::memory_order_relaxed);
+      ever_connected = true;
+    }
+    const int burst = std::min(pipeline, remaining);
+    std::vector<serve::FriendRequest> batch(
+        static_cast<size_t>(burst));
+    for (auto& request : batch) {
+      request.room = rng.UniformInt(rooms);
+      request.user = rng.UniformInt(users);
+      request.deadline_ms = deadline_ms;
+    }
+    WallTimer rtt;
+    const auto results = client->CallPipelined(batch);
+    const double burst_ms = rtt.ElapsedMs();
+    for (const auto& result : results) {
+      if (result.ok())
+        Record(tally, result.value().status, result.value().used_fallback,
+               burst_ms);
+      else
+        Record(tally, result.status(), false, burst_ms);
+    }
+    remaining -= burst;
+  }
+}
+
+/// The connection-count axis: a swarm of mostly-idle connections held
+/// open against the front while the closed-loop clients run. Every
+/// ~250 ms a rotating slice (at most 1024) of them gets a ping burst —
+/// bursty wakeups over a large idle set, the C10k traffic shape. Pongs
+/// are collected off a private epoll set; the run gates on every ping
+/// answered (zero lost wakeups) unless a drill restarts the front.
+///
+/// The swarm runs in a FORKED CHILD process: RLIMIT_NOFILE is a
+/// per-process cap, and self-contained mode holds both ends of every
+/// socket — 10k connections would be 20k+ descriptors in one fd table,
+/// over the hard limit on locked-down containers (no
+/// CAP_SYS_RESOURCE). Split across two processes, each side holds ~10k
+/// and fits. The child closes every inherited descriptor first, so the
+/// kill/cold-restart drills keep their EOF semantics (a socket the
+/// parent closes must actually close).
+struct SwarmStats {
+  long long connected = 0;
+  long long pings = 0;
+  long long pongs = 0;
+  long long swarm_errors = 0;  // dials or sends that failed
+};
+
+/// Child-side body. Dials, reports "up <connected>" on stats_fd, runs
+/// ping bursts until stop_fd signals (the parent closes its write
+/// end), then drains and reports
+/// "done <connected> <pings> <pongs> <errors>".
+void SwarmChildLoop(const std::string& host, int port, int connections,
+                    int stop_fd, int stats_fd) {
+  SwarmStats stats;
+  struct SwarmConn {
+    int fd = -1;
+    std::string inbuf;
+  };
+  const int epoll_fd = ::epoll_create1(0);
+  if (epoll_fd < 0) return;
+  std::vector<SwarmConn> conns(static_cast<size_t>(connections));
+  for (int i = 0; i < connections; ++i) {
+    auto dialed = serve::net_detail::DialBlocking(host, port, 5000.0);
+    if (!dialed.ok()) {
+      ++stats.swarm_errors;
+      continue;
+    }
+    const int fd = dialed.value();
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    struct epoll_event event = {};
+    event.events = EPOLLIN;
+    event.data.u64 = static_cast<uint64_t>(i);
+    if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &event) != 0) {
+      ::close(fd);
+      ++stats.swarm_errors;
+      continue;
+    }
+    conns[static_cast<size_t>(i)].fd = fd;
+    ++stats.connected;
+  }
+  {
+    char line[64];
+    const int len =
+        std::snprintf(line, sizeof(line), "up %lld\n", stats.connected);
+    (void)!::write(stats_fd, line, static_cast<size_t>(len));
+  }
+
+  uint64_t next_id = 1;
+  size_t cursor = 0;
+  const auto drain = [&](int wait_ms) {
+    struct epoll_event events[256];
+    const int n = ::epoll_wait(epoll_fd, events, 256, wait_ms);
+    for (int e = 0; e < n; ++e) {
+      SwarmConn& conn = conns[static_cast<size_t>(events[e].data.u64)];
+      if (conn.fd < 0) continue;
+      char chunk[4096];
+      while (true) {
+        const ssize_t got = ::recv(conn.fd, chunk, sizeof(chunk), 0);
+        if (got > 0) {
+          conn.inbuf.append(chunk, static_cast<size_t>(got));
+          continue;
+        }
+        if (got < 0 && errno == EINTR) continue;
+        if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        // EOF or hard error: the front dropped us.
+        ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, conn.fd, nullptr);
+        ::close(conn.fd);
+        conn.fd = -1;
+        ++stats.swarm_errors;
+        break;
+      }
+      while (conn.fd >= 0) {
+        serve::wire::Frame frame;
+        size_t consumed = 0;
+        if (!serve::wire::ExtractFrame(conn.inbuf, &frame, &consumed).ok() ||
+            consumed == 0)
+          break;
+        conn.inbuf.erase(0, consumed);
+        if (frame.type == serve::wire::MessageType::kPong) ++stats.pongs;
+      }
+    }
+  };
+  const auto stop_requested = [stop_fd] {
+    struct pollfd probe = {stop_fd, POLLIN, 0};
+    return ::poll(&probe, 1, 0) > 0;  // data or HUP: parent said stop
+  };
+
+  // First burst fires immediately, so even a short run exercises the
+  // wakeup path over the idle set.
+  auto last_burst =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(250);
+  while (!stop_requested()) {
+    drain(/*wait_ms=*/50);
+    const auto now = std::chrono::steady_clock::now();
+    if (now - last_burst < std::chrono::milliseconds(250)) continue;
+    last_burst = now;
+    const size_t slice =
+        std::min<size_t>(1024, static_cast<size_t>(connections));
+    for (size_t k = 0; k < slice && !conns.empty(); ++k) {
+      SwarmConn& conn = conns[cursor++ % conns.size()];
+      if (conn.fd < 0) continue;
+      std::string ping;
+      serve::wire::AppendPingFrame(next_id++, &ping);
+      if (serve::net_detail::SendAllFd(conn.fd, ping).ok()) {
+        ++stats.pings;
+      } else {
+        ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, conn.fd, nullptr);
+        ::close(conn.fd);
+        conn.fd = -1;
+        ++stats.swarm_errors;
+      }
+    }
+  }
+  // Final drain: give in-flight pongs a bounded window to land.
+  WallTimer drain_timer;
+  while (drain_timer.ElapsedMs() < 2000.0 && stats.pongs < stats.pings)
+    drain(/*wait_ms=*/50);
+  for (SwarmConn& conn : conns)
+    if (conn.fd >= 0) ::close(conn.fd);
+  ::close(epoll_fd);
+  char line[128];
+  const int len =
+      std::snprintf(line, sizeof(line), "done %lld %lld %lld %lld\n",
+                    stats.connected, stats.pings, stats.pongs,
+                    stats.swarm_errors);
+  (void)!::write(stats_fd, line, static_cast<size_t>(len));
+}
+
+/// Parent-side handle for the forked swarm.
+struct SwarmHandle {
+  pid_t pid = -1;
+  int stop_fd = -1;       // closing it tells the child to wrap up
+  FILE* stats = nullptr;  // child's "up"/"done" reports
+  SwarmStats final_stats;
+
+  bool running() const { return pid > 0; }
+
+  /// Blocks until the child reports its dial phase finished; returns
+  /// the number of connections that made it.
+  long long WaitUp() {
+    char line[128];
+    long long connected = 0;
+    if (stats != nullptr && std::fgets(line, sizeof(line), stats) != nullptr)
+      std::sscanf(line, "up %lld", &connected);
+    final_stats.connected = connected;
+    return connected;
+  }
+
+  /// Signals stop, collects the final stats line, reaps the child.
+  void Finish() {
+    if (!running()) return;
+    ::close(stop_fd);
+    stop_fd = -1;
+    char line[128];
+    if (stats != nullptr && std::fgets(line, sizeof(line), stats) != nullptr)
+      std::sscanf(line, "done %lld %lld %lld %lld", &final_stats.connected,
+                  &final_stats.pings, &final_stats.pongs,
+                  &final_stats.swarm_errors);
+    if (stats != nullptr) std::fclose(stats);
+    stats = nullptr;
+    int wstatus = 0;
+    ::waitpid(pid, &wstatus, 0);
+    pid = -1;
+  }
+};
+
+/// Forks the swarm child. In the child every inherited descriptor is
+/// closed (so a parent-side Shutdown() still severs its sockets for
+/// the drills), then SwarmChildLoop runs and the child exits without
+/// ever touching the fleet. Returns a non-running handle on failure.
+SwarmHandle StartSwarm(const std::string& host, int port, int connections) {
+  SwarmHandle handle;
+  int stop_pipe[2] = {-1, -1}, stats_pipe[2] = {-1, -1};
+  if (::pipe(stop_pipe) != 0) return handle;
+  if (::pipe(stats_pipe) != 0) {
+    ::close(stop_pipe[0]);
+    ::close(stop_pipe[1]);
+    return handle;
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    for (int fd : {stop_pipe[0], stop_pipe[1], stats_pipe[0], stats_pipe[1]})
+      ::close(fd);
+    return handle;
+  }
+  if (pid == 0) {
+    // Child: drop every inherited fd except stdio and our two pipe ends.
+    struct rlimit limit = {};
+    ::getrlimit(RLIMIT_NOFILE, &limit);
+    for (int fd = 3; fd < static_cast<int>(limit.rlim_cur); ++fd)
+      if (fd != stop_pipe[0] && fd != stats_pipe[1]) ::close(fd);
+    SwarmChildLoop(host, port, connections, stop_pipe[0], stats_pipe[1]);
+    ::_exit(0);
+  }
+  ::close(stop_pipe[0]);
+  ::close(stats_pipe[1]);
+  handle.pid = pid;
+  handle.stop_fd = stop_pipe[1];
+  handle.stats = ::fdopen(stats_pipe[0], "r");
+  return handle;
+}
+
+/// Raises the soft RLIMIT_NOFILE toward `needed` descriptors, pushing
+/// the hard limit too when the container allows it. Returns the
+/// resulting soft limit, logging loudly if it is still short — never a
+/// silent cap.
+rlim_t EnsureFdLimit(rlim_t needed) {
+  struct rlimit limit = {};
+  if (::getrlimit(RLIMIT_NOFILE, &limit) != 0) return 0;
+  if (limit.rlim_cur >= needed) return limit.rlim_cur;
+  struct rlimit want = limit;
+  want.rlim_cur = needed;
+  if (want.rlim_max < needed) want.rlim_max = needed;  // root may raise it
+  if (::setrlimit(RLIMIT_NOFILE, &want) != 0) {
+    // No CAP_SYS_RESOURCE: the hard limit is the ceiling.
+    want.rlim_cur = limit.rlim_max;
+    want.rlim_max = limit.rlim_max;
+    if (::setrlimit(RLIMIT_NOFILE, &want) != 0) return limit.rlim_cur;
+  }
+  if (want.rlim_cur < needed)
+    std::fprintf(stderr,
+                 "[net_throughput] WARNING: RLIMIT_NOFILE %llu < %llu "
+                 "needed; the swarm may exhaust descriptors\n",
+                 static_cast<unsigned long long>(want.rlim_cur),
+                 static_cast<unsigned long long>(needed));
+  return want.rlim_cur;
 }
 
 /// Self-contained fleet: N shard servers plus a router front, all over
@@ -310,12 +630,19 @@ serve::RouterOptions FleetRouterOptions(int replication) {
 /// Builds the router's thread pool + TCP front over fleet->router.
 /// `port` 0 picks an ephemeral port; the cold-restart drill passes the
 /// pre-crash port so the closed-loop clients reconnect transparently.
-bool StartRouterFront(LocalFleet* fleet, int threads, int port) {
+/// `max_connections` sizes the front for the idle swarm on top of the
+/// closed-loop clients.
+bool StartRouterFront(LocalFleet* fleet, int threads, int port,
+                      int max_connections) {
   fleet->router_pool = std::make_unique<serve::ThreadPool>(threads, 1024);
   serve::ShardRouter* router = fleet->router.get();
   serve::ThreadPool* pool = fleet->router_pool.get();
   serve::NetServerOptions net_options;
   net_options.port = port;
+  net_options.max_connections = max_connections;
+  // Long enough that a swarm connection pinged every few seconds never
+  // looks idle; short enough that leaked connections do get reaped.
+  net_options.idle_timeout_ms = 30000.0;
   fleet->router_net = std::make_unique<serve::NetServer>(
       [router, pool](const serve::FriendRequest& request,
                      std::function<void(const serve::FriendResponse&)> done) {
@@ -362,7 +689,8 @@ std::unique_ptr<LocalFleet> StartLocalFleet(int num_shards, int rooms,
                                             bool partitioned, int replication,
                                             const std::string& durable_base,
                                             bool engine_set,
-                                            InferEngine engine) {
+                                            InferEngine engine,
+                                            int front_max_connections) {
   auto fleet = std::make_unique<LocalFleet>();
   fleet->engine_set = engine_set;
   fleet->engine = engine;
@@ -392,7 +720,9 @@ std::unique_ptr<LocalFleet> StartLocalFleet(int num_shards, int rooms,
       return nullptr;
     }
   }
-  if (!StartRouterFront(fleet.get(), threads, /*port=*/0)) return nullptr;
+  if (!StartRouterFront(fleet.get(), threads, /*port=*/0,
+                        front_max_connections))
+    return nullptr;
   StartTicker(fleet.get());
   return fleet;
 }
@@ -400,6 +730,7 @@ std::unique_ptr<LocalFleet> StartLocalFleet(int num_shards, int rooms,
 int Main(int argc, char** argv) {
   std::string host = "127.0.0.1", json_path, durable_dir;
   int port = 0, shards = 0, clients = 4, requests = 2000;
+  int connections = 0, pipeline = 1;
   int rooms = 2, users = 60, threads = 2, replication = 1;
   bool partitioned = false, rooms_given = false, engine_set = false;
   InferEngine engine = InferEngine::kFusedF32;
@@ -416,6 +747,10 @@ int Main(int argc, char** argv) {
       clients = value;
     else if (std::sscanf(argv[i], "--requests=%d", &value) == 1)
       requests = value;
+    else if (std::sscanf(argv[i], "--connections=%d", &value) == 1)
+      connections = value;
+    else if (std::sscanf(argv[i], "--pipeline=%d", &value) == 1)
+      pipeline = value;
     else if (std::sscanf(argv[i], "--rooms=%d", &value) == 1) {
       rooms = value;
       rooms_given = true;
@@ -488,6 +823,23 @@ int Main(int argc, char** argv) {
                  "--kill_shard_ms or --add_shard_ms\n");
     return 1;
   }
+  if (pipeline < 1) {
+    std::fprintf(stderr, "--pipeline must be >= 1\n");
+    return 1;
+  }
+  if (connections < 0) {
+    std::fprintf(stderr, "--connections must be >= 0\n");
+    return 1;
+  }
+
+  // The swarm's dial side lives in a forked child with its own fd
+  // table; this process still holds the accept side of every swarm
+  // socket plus client sockets, shard links, and durability files.
+  // Raise the limit before anything dials.
+  const int front_max_connections = connections + clients * 2 + 64;
+  if (connections > 0)
+    EnsureFdLimit(static_cast<rlim_t>(connections + 8 * clients +
+                                      64 * std::max(1, shards) + 512));
 
   std::unique_ptr<LocalFleet> fleet;
   if (shards > 0) {
@@ -498,7 +850,7 @@ int Main(int argc, char** argv) {
                 engine_set ? InferEngineName(engine) : "mutable");
     fleet = StartLocalFleet(shards, rooms, users, threads, partitioned,
                             partitioned ? replication : 0, durable_dir,
-                            engine_set, engine);
+                            engine_set, engine, front_max_connections);
     if (fleet == nullptr) return 1;
     host = fleet->router_net->host();
     port = fleet->router_net->port();
@@ -510,6 +862,23 @@ int Main(int argc, char** argv) {
   Tally tally;
   const int per_client = std::max(1, requests / std::max(1, clients));
   const int total = per_client * clients;
+  // The idle swarm dials before anything else — the drills and the
+  // closed-loop clients then run against a front already holding
+  // `connections` sockets, and qps measures the load phase, not the
+  // one-time dial.
+  SwarmHandle swarm;
+  if (connections > 0) {
+    std::printf("[net_throughput] dialing idle swarm: %d connection(s) "
+                "(forked load process)\n",
+                connections);
+    swarm = StartSwarm(host, port, connections);
+    if (!swarm.running()) {
+      std::fprintf(stderr, "FAIL: could not fork the swarm process\n");
+      return 2;
+    }
+    std::printf("[net_throughput] idle swarm up: %lld/%d connected\n",
+                swarm.WaitUp(), connections);
+  }
   WallTimer timer;
   std::thread killer;
   if (fleet != nullptr && kill_shard_ms > 0.0) {
@@ -558,7 +927,8 @@ int Main(int argc, char** argv) {
   if (drill_armed) {
     LocalFleet* fleet_ptr = fleet.get();
     restarter = std::thread([fleet_ptr, cold_restart_ms, rooms, threads,
-                             replication, &drill_recovered, &drill_discarded,
+                             replication, front_max_connections,
+                             &drill_recovered, &drill_discarded,
                              &drill_mismatches, &drill_lost, &drill_failed] {
       std::this_thread::sleep_for(
           std::chrono::duration<double, std::milli>(cold_restart_ms));
@@ -641,7 +1011,8 @@ int Main(int argc, char** argv) {
                   drill_mismatches.load());
       // Same port, so the clients' reconnect loops find the new front;
       // only then may ticking advance the recovered rooms.
-      if (!StartRouterFront(fleet_ptr, threads, router_port)) {
+      if (!StartRouterFront(fleet_ptr, threads, router_port,
+                            front_max_connections)) {
         drill_failed.store(true);
         return;
       }
@@ -651,15 +1022,23 @@ int Main(int argc, char** argv) {
   }
   std::vector<std::thread> client_threads;
   client_threads.reserve(clients);
-  for (int c = 0; c < clients; ++c)
-    client_threads.emplace_back(ClientLoop, host, port, per_client, rooms,
-                                users, deadline_ms,
-                                static_cast<uint64_t>(77 + 13 * c), &tally);
+  for (int c = 0; c < clients; ++c) {
+    const uint64_t seed = static_cast<uint64_t>(77 + 13 * c);
+    if (pipeline > 1)
+      client_threads.emplace_back(PipelinedClientLoop, host, port, per_client,
+                                  pipeline, rooms, users, deadline_ms, seed,
+                                  &tally);
+    else
+      client_threads.emplace_back(ClientLoop, host, port, per_client, rooms,
+                                  users, deadline_ms, seed, &tally);
+  }
   for (auto& thread : client_threads) thread.join();
   const double elapsed_s = timer.ElapsedSeconds();
   if (killer.joinable()) killer.join();
   if (adder.joinable()) adder.join();
   if (restarter.joinable()) restarter.join();
+  swarm.Finish();
+  const SwarmStats& swarm_stats = swarm.final_stats;
 
   const long long accounted = tally.accounted();
   const long long lost = total - accounted;
@@ -680,6 +1059,11 @@ int Main(int argc, char** argv) {
   if (tally.reconnects.load() > 0)
     std::printf("reconnects: %lld (transport failures retried by "
                 "clients)\n", tally.reconnects.load());
+  if (connections > 0)
+    std::printf("idle swarm: %lld/%d connected, pings=%lld pongs=%lld "
+                "errors=%lld\n",
+                swarm_stats.connected, connections, swarm_stats.pings,
+                swarm_stats.pongs, swarm_stats.swarm_errors);
 
   // Partitioned post-mortem: the final ownership table must still be
   // balanced across the healthy shards (acceptance gate for live
@@ -735,6 +1119,10 @@ int Main(int argc, char** argv) {
         << (engine_set ? InferEngineName(engine) : "mutable") << "\",\n"
         << "  \"requests\": " << total << ",\n"
         << "  \"clients\": " << clients << ",\n"
+        << "  \"connections\": " << connections << ",\n"
+        << "  \"pipeline\": " << pipeline << ",\n"
+        << "  \"swarm_pings\": " << swarm_stats.pings << ",\n"
+        << "  \"swarm_pongs\": " << swarm_stats.pongs << ",\n"
         << "  \"partitioned\": " << (partitioned ? "true" : "false") << ",\n"
         << "  \"ok\": " << tally.ok.load() << ",\n"
         << "  \"degraded\": " << tally.degraded.load() << ",\n"
@@ -773,6 +1161,24 @@ int Main(int argc, char** argv) {
     return 2;
   }
   if (!balanced) return 2;
+  // Idle-swarm contract: every connection dialed, every ping answered.
+  // The cold-restart drill is exempt — tearing down the front severs
+  // the swarm by design.
+  if (connections > 0 && cold_restart_ms <= 0.0) {
+    if (swarm_stats.connected != connections) {
+      std::fprintf(stderr, "FAIL: idle swarm connected %lld/%d\n",
+                   swarm_stats.connected, connections);
+      return 2;
+    }
+    if (swarm_stats.pongs != swarm_stats.pings) {
+      std::fprintf(stderr,
+                   "FAIL: idle swarm lost %lld ping(s) (%lld sent, "
+                   "%lld answered)\n",
+                   swarm_stats.pings - swarm_stats.pongs, swarm_stats.pings,
+                   swarm_stats.pongs);
+      return 2;
+    }
+  }
   // Cold-restart contract: the drill must complete, every room must
   // come back (from disk, not fresh), and every recovered room must be
   // bit-exact against its pre-crash primary.

@@ -12,7 +12,8 @@
 #   docs     no build: every intra-repo markdown link resolves
 #            (relative and repo-absolute), docs/ARCHITECTURE.md mentions
 #            every src/* subsystem, docs/serving.md covers the
-#            partitioned-serving vocabulary, and shellcheck (when
+#            partitioned-serving vocabulary, docs/networking.md covers
+#            the reactor/pipelining vocabulary, and shellcheck (when
 #            installed) passes on tracked shell scripts
 #   format   clang-format --dry-run over tracked C++ sources; skipped
 #            with a notice when clang-format is not installed
@@ -39,17 +40,21 @@
 #            dispatch is what ships; this guards the opt-in native path)
 #   bench    smoke-config serving benchmarks: serve_throughput
 #            (in-process) and net_throughput (TCP fleet with mid-run
-#            shard kill, then a partitioned fleet with live migration),
+#            shard kill, then a partitioned fleet with live migration,
+#            then a 500-connection idle swarm with pipelined clients),
 #            writing build/BENCH_serve.json + build/BENCH_net.json and
 #            failing on malformed output. Not in the default set: CI
 #            runs it as a non-blocking job.
 #   bench-regression
 #            runs both benches in the baseline config — once on the
 #            default primary and once with --engine=f32 (the fused
-#            inference engine) — and gates all four runs against
-#            bench/baselines/*.json with scripts/bench_compare.py
-#            (>25% p99/throughput regression, lost/errors != 0, or
-#            degraded-share growth fails). This one IS blocking in CI.
+#            inference engine) — plus the C10k config (10k idle
+#            connections + pipelined bursts; the run itself fails on
+#            any unconnected swarm client or lost ping), and gates all
+#            five runs against bench/baselines/*.json with
+#            scripts/bench_compare.py (>25% p99/throughput regression,
+#            lost/errors != 0, or degraded-share growth fails). This
+#            one IS blocking in CI.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -118,6 +123,17 @@ run_docs_lane() {
       fail=1
     fi
   done
+  # The networking page must keep covering the event-driven front's
+  # vocabulary: the reactor mechanics, the pipelining + correlation
+  # contract, the slow-peer knobs, and the router's multiplexed links.
+  for term in epoll reactor EPOLLET "request ID" pipelining backpressure \
+              idle_timeout_ms max_connections write_close_bytes MuxLink \
+              mux_links "--connections"; do
+    if ! grep -q -- "${term}" docs/networking.md; then
+      echo "docs: ${term} is not mentioned in docs/networking.md"
+      fail=1
+    fi
+  done
   # Tracked shell scripts must be shellcheck-clean where the tool
   # exists (CI installs it; a bare container may not have it).
   if command -v shellcheck > /dev/null 2>&1; then
@@ -163,6 +179,10 @@ run_bench_lane() {
   ./build/bench/net_throughput --partitioned --shards=3 --rooms=12 \
     --users=24 --clients=4 --requests=4000 --kill_shard_ms=200 \
     --add_shard_ms=400 --json=build/BENCH_net.json
+  echo "---- net_throughput (connection-count axis smoke: idle swarm ----"
+  echo "---- + pipelined bursts) ----"
+  ./build/bench/net_throughput --shards=2 --rooms=4 --users=24 \
+    --clients=4 --requests=800 --pipeline=4 --connections=500
   # A benchmark that silently emits garbage is worse than one that
   # fails: validate the summaries before anything downstream trusts
   # them. The net summary must carry the degraded counter so "all
@@ -206,6 +226,11 @@ run_bench_regression_lane() {
   ./build/bench/net_throughput --partitioned --shards=3 --rooms=12 \
     --users=24 --clients=4 --requests=8000 --kill_shard_ms=300 \
     --engine=f32 --json=build/BENCH_net_f32.json
+  echo "---- net_throughput (C10k baseline: 10k idle connections + ----"
+  echo "---- pipelined bursts) ----"
+  ./build/bench/net_throughput --shards=2 --rooms=8 --users=24 \
+    --clients=4 --requests=6000 --pipeline=8 --connections=10000 \
+    --json=build/BENCH_net_c10k.json
   echo "---- bench_compare self-check (gate the gate) ----"
   python3 scripts/bench_compare.py --self_check
   echo "---- compare against committed baselines ----"
@@ -213,7 +238,8 @@ run_bench_regression_lane() {
     bench/baselines/BENCH_serve.json build/BENCH_serve.json \
     bench/baselines/BENCH_net.json build/BENCH_net.json \
     bench/baselines/BENCH_serve_f32.json build/BENCH_serve_f32.json \
-    bench/baselines/BENCH_net_f32.json build/BENCH_net_f32.json
+    bench/baselines/BENCH_net_f32.json build/BENCH_net_f32.json \
+    bench/baselines/BENCH_net_c10k.json build/BENCH_net_c10k.json
 }
 
 run_lane() {

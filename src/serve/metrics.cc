@@ -160,5 +160,43 @@ void ServerMetrics::Reset() {
   latency.Reset();
 }
 
+void NetFrontMetrics::NoteOpenConnections(int32_t open) {
+  open_connections.store(open, std::memory_order_relaxed);
+  int32_t seen = max_open_connections.load(std::memory_order_relaxed);
+  while (open > seen && !max_open_connections.compare_exchange_weak(
+                            seen, open, std::memory_order_relaxed)) {
+  }
+}
+
+std::string NetFrontMetrics::DebugString() const {
+  std::string out;
+  char line[192];
+  std::snprintf(line, sizeof(line),
+                "connections: accepted %lld | rejected %lld | open %d "
+                "(max %d)\n",
+                static_cast<long long>(connections_accepted.load()),
+                static_cast<long long>(connections_rejected.load()),
+                open_connections.load(), max_open_connections.load());
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "slow peers: idle_closed %lld | backpressure_closed %lld\n",
+                static_cast<long long>(idle_closed.load()),
+                static_cast<long long>(backpressure_closed.load()));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "frames: in %lld | rejected %lld | not_owner %lld | "
+                "control %lld\n",
+                static_cast<long long>(frames_in.load()),
+                static_cast<long long>(frames_rejected.load()),
+                static_cast<long long>(not_owner_replies.load()),
+                static_cast<long long>(control_frames.load()));
+  out += line;
+  std::snprintf(line, sizeof(line), "bytes: in %lld | out %lld\n",
+                static_cast<long long>(bytes_in.load()),
+                static_cast<long long>(bytes_out.load()));
+  out += line;
+  return out;
+}
+
 }  // namespace serve
 }  // namespace after

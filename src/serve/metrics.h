@@ -109,6 +109,45 @@ struct ServerMetrics {
   void Reset();
 };
 
+/// Network-front counters for the epoll reactor (serve/net_server.h).
+/// Same contract as ServerMetrics: every event is one relaxed atomic
+/// increment, gauges are racy-but-monotone snapshots. These are the
+/// knob-observability surface for slow-peer handling: a rising
+/// `connections_rejected` means max_connections is the bottleneck,
+/// `idle_closed` counts reaped dead clients, and
+/// `backpressure_closed` counts peers that stopped reading their
+/// responses past the write_close_bytes cap.
+struct NetFrontMetrics {
+  std::atomic<int64_t> connections_accepted{0};
+  /// Accepts closed immediately because max_connections was reached
+  /// (the network-layer analogue of queue-full shedding).
+  std::atomic<int64_t> connections_rejected{0};
+  /// Connections reaped by the idle sweep (no bytes in either direction
+  /// for idle_timeout_ms).
+  std::atomic<int64_t> idle_closed{0};
+  /// Slow peers disconnected because their pending output exceeded
+  /// write_close_bytes (they stopped draining responses).
+  std::atomic<int64_t> backpressure_closed{0};
+  /// Malformed frames (framing errors and undecodable payloads).
+  std::atomic<int64_t> frames_rejected{0};
+  std::atomic<int64_t> not_owner_replies{0};
+  std::atomic<int64_t> control_frames{0};
+  /// Complete frames dispatched and raw byte counts, both directions.
+  std::atomic<int64_t> frames_in{0};
+  std::atomic<int64_t> bytes_in{0};
+  std::atomic<int64_t> bytes_out{0};
+  /// Live-connection gauge and its high-water mark.
+  std::atomic<int32_t> open_connections{0};
+  std::atomic<int32_t> max_open_connections{0};
+
+  /// Records a new connection-count sample, maintaining the high-water
+  /// mark.
+  void NoteOpenConnections(int32_t open);
+
+  /// Multi-line human-readable dump.
+  std::string DebugString() const;
+};
+
 }  // namespace serve
 }  // namespace after
 

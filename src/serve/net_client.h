@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
@@ -12,6 +14,22 @@
 
 namespace after {
 namespace serve {
+
+/// Shared socket plumbing for the two wire-protocol clients (NetClient
+/// here, MuxLink in serve/net_mux.h). Both helpers are robust against
+/// the classic POSIX sharp edges: EINTR at every call site (with the
+/// remaining connect budget recomputed, not restarted) and short
+/// write()s (send keeps going until every byte is accepted, polling for
+/// writability on EAGAIN so it also holds on nonblocking sockets).
+namespace net_detail {
+/// Dials host:port with a bounded nonblocking connect, then returns a
+/// connected *blocking* fd with TCP_NODELAY set. kUnavailable on
+/// timeout or refusal, kInvalidArgument on an unparseable address.
+Result<int> DialBlocking(const std::string& host, int port,
+                         double connect_timeout_ms);
+/// Writes all of `bytes` to fd. kUnavailable on a hard transport error.
+Status SendAllFd(int fd, std::string_view bytes);
+}  // namespace net_detail
 
 struct NetClientOptions {
   /// TCP connect budget.
@@ -22,9 +40,12 @@ struct NetClientOptions {
 };
 
 /// Synchronous client for the wire protocol (serve/wire.h): one TCP
-/// connection, one in-flight call at a time, correlation ids checked on
-/// every response. NOT thread-safe — use one client per thread, or pool
-/// them (serve/router.h does exactly that).
+/// connection, correlation ids checked on every response. Call() keeps
+/// one request in flight; CallPipelined() bursts many length-prefixed
+/// frames before reading anything back, which is how a closed-loop
+/// client exercises the server's pipelining path. NOT thread-safe — use
+/// one client per thread, or let ShardRouter multiplex calls over its
+/// persistent per-shard links (serve/net_mux.h).
 ///
 /// Error taxonomy, chosen so the shard router can decide retries:
 ///  - kUnavailable: transport-level failure (connect/send/recv error,
@@ -49,6 +70,17 @@ class NetClient {
   /// whose status is kNotOwner — the shard is healthy, the request just
   /// has to be re-routed to the room's current owner.
   Result<FriendResponse> Call(const FriendRequest& request);
+
+  /// Pipelined batch: writes every request frame back-to-back on the
+  /// single connection, then collects the responses in whatever order
+  /// the server finishes them, matched by correlation id. One network
+  /// round trip of latency for the whole burst instead of one per call.
+  /// The returned vector is index-aligned with `requests`; a transport
+  /// failure mid-collect fails every still-unanswered slot with
+  /// kUnavailable (the whole connection is then broken()). The
+  /// io_timeout_ms budget covers the entire batch.
+  std::vector<Result<FriendResponse>> CallPipelined(
+      const std::vector<FriendRequest>& requests);
 
   /// Round-trips a ping frame; OK means the backend is alive and
   /// speaking the protocol.

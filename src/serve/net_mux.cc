@@ -1,0 +1,295 @@
+#include "serve/net_mux.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "common/timer.h"
+
+namespace after {
+namespace serve {
+
+namespace {
+
+Status Transport(const std::string& what, int saved_errno) {
+  std::ostringstream oss;
+  oss << what;
+  if (saved_errno != 0) oss << ": " << std::strerror(saved_errno);
+  return UnavailableError(oss.str());
+}
+
+}  // namespace
+
+MuxLink::MuxLink(int fd, std::string host, int port,
+                 const NetClientOptions& options)
+    : fd_(fd), host_(std::move(host)), port_(port), options_(options) {}
+
+Result<std::shared_ptr<MuxLink>> MuxLink::Connect(
+    const std::string& host, int port, const NetClientOptions& options) {
+  Result<int> fd =
+      net_detail::DialBlocking(host, port, options.connect_timeout_ms);
+  if (!fd.ok()) return fd.status();
+  std::shared_ptr<MuxLink> link(
+      new MuxLink(fd.value(), host, port, options));
+  link->reader_ = std::thread(&MuxLink::ReaderLoop, link.get());
+  return link;
+}
+
+MuxLink::~MuxLink() {
+  broken_.store(true, std::memory_order_release);
+  ::shutdown(fd_, SHUT_RDWR);  // wakes the reader's blocking recv
+  if (reader_.joinable()) reader_.join();
+  ::close(fd_);
+}
+
+int MuxLink::inflight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(waiters_.size());
+}
+
+void MuxLink::FailAll(const Status& status) {
+  broken_.store(true, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [id, waiter] : waiters_) {
+    if (waiter.done) continue;
+    waiter.done = true;
+    waiter.status = status;
+  }
+  cv_.notify_all();
+}
+
+void MuxLink::ReaderLoop() {
+  std::string buffer;
+  char chunk[65536];
+  while (true) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      FailAll(Transport("peer closed the connection", 0));
+      return;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      FailAll(Transport("recv", errno));
+      return;
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+    while (true) {
+      wire::Frame frame;
+      size_t consumed = 0;
+      const Status framing = wire::ExtractFrame(buffer, &frame, &consumed);
+      if (!framing.ok()) {
+        // Mid-stream garbage is unrecoverable; the peer broke protocol.
+        FailAll(framing);
+        return;
+      }
+      if (consumed == 0) break;  // incomplete; read more
+      buffer.erase(0, consumed);
+      uint64_t id = 0;
+      if (!wire::PeekCorrelationId(frame.payload, &id)) {
+        FailAll(
+            InvalidArgumentError("wire: response payload too short for id"));
+        return;
+      }
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = waiters_.find(id);
+      if (it == waiters_.end()) continue;  // a caller that timed out
+      it->second.done = true;
+      it->second.frame = std::move(frame);
+      cv_.notify_all();
+    }
+  }
+}
+
+Result<wire::Frame> MuxLink::Roundtrip(const std::string& frame_bytes,
+                                       uint64_t id) {
+  if (broken())
+    return Transport("link to " + host_ + " already broken", 0);
+
+  // Register before sending: the response could race back before this
+  // thread ever re-takes the lock.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    waiters_.emplace(id, Waiter{});
+  }
+
+  Status sent;
+  {
+    std::lock_guard<std::mutex> lock(send_mutex_);
+    sent = net_detail::SendAllFd(fd_, frame_bytes);
+  }
+  if (!sent.ok()) {
+    // The connection is dead for everyone, not just this call.
+    ::shutdown(fd_, SHUT_RDWR);
+    FailAll(sent);
+    std::lock_guard<std::mutex> lock(mutex_);
+    waiters_.erase(id);
+    return sent;
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  const bool answered = cv_.wait_for(
+      lock,
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(options_.io_timeout_ms)),
+      [this, id] {
+        auto it = waiters_.find(id);
+        return it == waiters_.end() || it->second.done;
+      });
+  auto it = waiters_.find(id);
+  if (it == waiters_.end()) {
+    // Should not happen (only this thread erases its entry), but treat
+    // it as a transport failure rather than a crash.
+    return Transport("response lost", 0);
+  }
+  Waiter waiter = std::move(it->second);
+  waiters_.erase(it);
+  if (!answered || !waiter.done) {
+    lock.unlock();
+    // A link that stops answering is indistinguishable from a dead
+    // backend; poison it so in-flight peers fail over too, exactly like
+    // NetClient's timeout contract.
+    ::shutdown(fd_, SHUT_RDWR);
+    FailAll(Transport("response timed out", 0));
+    return Transport("response timed out", 0);
+  }
+  if (!waiter.status.ok()) return waiter.status;
+  return std::move(waiter.frame);
+}
+
+Result<FriendResponse> MuxLink::Call(const FriendRequest& request) {
+  const uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  std::string out;
+  wire::AppendRequestFrame(id, request, &out);
+  Result<wire::Frame> frame = Roundtrip(out, id);
+  if (!frame.ok()) return frame.status();
+  if (frame.value().type == wire::MessageType::kNotOwner) {
+    auto not_owner = wire::DecodeNotOwner(frame.value().payload);
+    if (!not_owner.ok()) {
+      broken_.store(true, std::memory_order_release);
+      return not_owner.status();
+    }
+    FriendResponse response;
+    std::ostringstream oss;
+    oss << "shard does not own room " << not_owner.value().room << " (epoch "
+        << not_owner.value().epoch << ")";
+    response.status = NotOwnerError(oss.str());
+    return response;
+  }
+  if (frame.value().type != wire::MessageType::kResponse) {
+    broken_.store(true, std::memory_order_release);
+    return InvalidArgumentError("wire: unexpected frame type from server");
+  }
+  auto decoded = wire::DecodeResponse(frame.value().payload);
+  if (!decoded.ok()) {
+    broken_.store(true, std::memory_order_release);
+    return decoded.status();
+  }
+  return std::move(decoded).value().response;
+}
+
+Status MuxLink::Ping() {
+  const uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  std::string out;
+  wire::AppendPingFrame(id, &out);
+  Result<wire::Frame> frame = Roundtrip(out, id);
+  if (!frame.ok()) return frame.status();
+  if (frame.value().type != wire::MessageType::kPong) {
+    broken_.store(true, std::memory_order_release);
+    return InvalidArgumentError("wire: unexpected frame type from server");
+  }
+  auto decoded = wire::DecodePingPong(frame.value().payload);
+  if (!decoded.ok()) {
+    broken_.store(true, std::memory_order_release);
+    return decoded.status();
+  }
+  return OkStatus();
+}
+
+Status MuxLink::AssignRoom(int room, uint64_t epoch,
+                           const std::string& state, bool primary) {
+  const uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  std::string out;
+  wire::AppendRoomAssignFrame(id, room, epoch, primary, state, &out);
+  Result<wire::Frame> frame = Roundtrip(out, id);
+  if (!frame.ok()) return frame.status();
+  if (frame.value().type != wire::MessageType::kResponse) {
+    broken_.store(true, std::memory_order_release);
+    return InvalidArgumentError("wire: unexpected frame type from server");
+  }
+  auto decoded = wire::DecodeResponse(frame.value().payload);
+  if (!decoded.ok()) {
+    broken_.store(true, std::memory_order_release);
+    return decoded.status();
+  }
+  return decoded.value().response.status;
+}
+
+Result<std::string> MuxLink::ReleaseRoom(int room, uint64_t epoch) {
+  const uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  std::string out;
+  wire::AppendRoomReleaseFrame(id, room, epoch, &out);
+  Result<wire::Frame> frame = Roundtrip(out, id);
+  if (!frame.ok()) return frame.status();
+  // Success acks arrive as a kRoomAssign frame carrying the final
+  // state; failures come back as a plain response frame.
+  if (frame.value().type == wire::MessageType::kRoomAssign) {
+    auto decoded = wire::DecodeRoomAssign(frame.value().payload);
+    if (!decoded.ok()) {
+      broken_.store(true, std::memory_order_release);
+      return decoded.status();
+    }
+    return std::move(decoded).value().state;
+  }
+  if (frame.value().type != wire::MessageType::kResponse) {
+    broken_.store(true, std::memory_order_release);
+    return InvalidArgumentError("wire: unexpected frame type from server");
+  }
+  auto decoded = wire::DecodeResponse(frame.value().payload);
+  if (!decoded.ok()) {
+    broken_.store(true, std::memory_order_release);
+    return decoded.status();
+  }
+  const Status& status = decoded.value().response.status;
+  if (status.ok())
+    return InvalidArgumentError("wire: release ack without state");
+  return status;
+}
+
+Result<std::vector<wire::RecoveredRoom>> MuxLink::RecoverRooms() {
+  const uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  std::string out;
+  wire::AppendRoomRecoverQueryFrame(id, &out);
+  Result<wire::Frame> frame = Roundtrip(out, id);
+  if (!frame.ok()) return frame.status();
+  // Success acks echo a kRoomRecover frame carrying the report;
+  // failures come back as a plain response frame.
+  if (frame.value().type == wire::MessageType::kRoomRecover) {
+    auto decoded = wire::DecodeRoomRecoverReport(frame.value().payload);
+    if (!decoded.ok()) {
+      broken_.store(true, std::memory_order_release);
+      return decoded.status();
+    }
+    return std::move(decoded).value().rooms;
+  }
+  if (frame.value().type != wire::MessageType::kResponse) {
+    broken_.store(true, std::memory_order_release);
+    return InvalidArgumentError("wire: unexpected frame type from server");
+  }
+  auto decoded = wire::DecodeResponse(frame.value().payload);
+  if (!decoded.ok()) {
+    broken_.store(true, std::memory_order_release);
+    return decoded.status();
+  }
+  const Status& status = decoded.value().response.status;
+  if (status.ok())
+    return InvalidArgumentError("wire: recover ack without report");
+  return status;
+}
+
+}  // namespace serve
+}  // namespace after

@@ -109,7 +109,8 @@ void ShardRouter::Shutdown() {
   std::shared_lock<std::shared_mutex> topology(topology_mutex_);
   for (auto& backend : backends_) {
     std::lock_guard<std::mutex> lock(backend->mutex);
-    backend->idle.clear();
+    backend->links.clear();
+    backend->next_link = 0;
   }
 }
 
@@ -169,7 +170,8 @@ void ShardRouter::Eject(Backend& backend) {
       Clock::now() + std::chrono::duration_cast<Clock::duration>(
                          std::chrono::duration<double, std::milli>(
                              options_.ejection_ms));
-  backend.idle.clear();  // pooled connections to a dead peer are useless
+  backend.links.clear();  // links to a dead peer are useless
+  backend.next_link = 0;
 }
 
 bool ShardRouter::backend_healthy(int index) const {
@@ -181,32 +183,43 @@ bool ShardRouter::backend_healthy(int index) const {
   return !Ejected(*backend);
 }
 
-std::unique_ptr<NetClient> ShardRouter::Acquire(Backend& backend,
-                                                bool* pooled) {
+std::shared_ptr<MuxLink> ShardRouter::AcquireLink(Backend& backend,
+                                                  bool* reused) {
+  *reused = false;
   {
     std::lock_guard<std::mutex> lock(backend.mutex);
-    while (!backend.idle.empty()) {
-      std::unique_ptr<NetClient> client = std::move(backend.idle.back());
-      backend.idle.pop_back();
-      if (client->broken()) continue;
-      *pooled = true;
-      return client;
+    auto& links = backend.links;
+    links.erase(
+        std::remove_if(links.begin(), links.end(),
+                       [](const std::shared_ptr<MuxLink>& link) {
+                         return link->broken();
+                       }),
+        links.end());
+    if (!links.empty()) {
+      if (backend.next_link >= links.size()) backend.next_link = 0;
+      std::shared_ptr<MuxLink> link = links[backend.next_link++];
+      // Multiplex onto the chosen link unless it already has calls in
+      // flight and the per-backend cap leaves room for one more — the
+      // only case worth paying a fresh dial for.
+      if (link->inflight() == 0 ||
+          static_cast<int>(links.size()) >= options_.mux_links) {
+        *reused = true;
+        return link;
+      }
     }
   }
-  *pooled = false;
-  auto connected = NetClient::Connect(backend.address.host,
-                                      backend.address.port, options_.client);
+  auto connected = MuxLink::Connect(backend.address.host,
+                                    backend.address.port, options_.client);
   if (!connected.ok()) return nullptr;
   metrics_.connects.fetch_add(1, std::memory_order_relaxed);
-  return std::move(connected).value();
-}
-
-void ShardRouter::Release(Backend& backend,
-                          std::unique_ptr<NetClient> client) {
-  if (client == nullptr || client->broken()) return;
+  std::shared_ptr<MuxLink> link = std::move(connected).value();
   std::lock_guard<std::mutex> lock(backend.mutex);
-  if (static_cast<int>(backend.idle.size()) < options_.pool_capacity)
-    backend.idle.push_back(std::move(client));
+  // Re-check the cap under the lock (a racing dial may have filled it);
+  // an over-cap link still serves this one call, then dies with its
+  // last reference.
+  if (static_cast<int>(backend.links.size()) < options_.mux_links)
+    backend.links.push_back(link);
+  return link;
 }
 
 FriendResponse ShardRouter::Route(const FriendRequest& request) {
@@ -264,15 +277,15 @@ FriendResponse ShardRouter::Route(const FriendRequest& request) {
           metrics_.retried.fetch_add(1, std::memory_order_relaxed);
         ++tried;
         ++tried_this_round;
-        bool pooled = false;
-        std::unique_ptr<NetClient> client = Acquire(backend, &pooled);
-        if (client == nullptr) {
+        bool reused = false;
+        std::shared_ptr<MuxLink> link = AcquireLink(backend, &reused);
+        if (link == nullptr) {
           last_error = UnavailableError(
               "connect to " + backend.address.ToString() + " failed");
           Eject(backend);
           continue;
         }
-        auto result = client->Call(request);
+        auto result = link->Call(request);
         if (result.ok()) {
           const StatusCode code = result.value().status.code();
           // kNotFound on a partitioned room is the drain-side twin of
@@ -287,12 +300,10 @@ FriendResponse ShardRouter::Route(const FriendRequest& request) {
             saw_not_owner = true;
             last_error =
                 result.value().status.Annotate(backend.address.ToString());
-            Release(backend, std::move(client));
             continue;
           }
-          if (pooled)
-            metrics_.pooled_reuse.fetch_add(1, std::memory_order_relaxed);
-          Release(backend, std::move(client));
+          if (reused)
+            metrics_.link_reuse.fetch_add(1, std::memory_order_relaxed);
           return std::move(result).value();
         }
         // Transport failure: the backend may be dead. Anything else (a
@@ -333,21 +344,19 @@ void ShardRouter::ProbeAll() {
   }
   for (Backend* backend_ptr : snapshot) {
     Backend& backend = *backend_ptr;
-    bool pooled = false;
-    std::unique_ptr<NetClient> client = Acquire(backend, &pooled);
-    if (client == nullptr) {
+    bool reused = false;
+    std::shared_ptr<MuxLink> link = AcquireLink(backend, &reused);
+    if (link == nullptr) {
       Eject(backend);
       continue;
     }
-    if (client->Ping().ok()) {
+    if (link->Ping().ok()) {
       // Lift any ejection early: the backend answered a full round trip.
       std::lock_guard<std::mutex> lock(backend.mutex);
       backend.ejected_until = Clock::time_point::min();
     } else {
-      Eject(backend);
-      continue;  // drop the broken client
+      Eject(backend);  // also drops the broken link
     }
-    Release(backend, std::move(client));
   }
 }
 
@@ -437,13 +446,12 @@ Status ShardRouter::SendAssign(int backend, int room, uint64_t epoch,
     std::shared_lock<std::shared_mutex> lock(topology_mutex_);
     target = backends_[backend].get();
   }
-  bool pooled = false;
-  std::unique_ptr<NetClient> client = Acquire(*target, &pooled);
-  if (client == nullptr)
+  bool reused = false;
+  std::shared_ptr<MuxLink> link = AcquireLink(*target, &reused);
+  if (link == nullptr)
     return UnavailableError("connect to " + target->address.ToString() +
                             " failed");
-  const Status status = client->AssignRoom(room, epoch, state, primary);
-  Release(*target, std::move(client));
+  const Status status = link->AssignRoom(room, epoch, state, primary);
   return status.Annotate("assign room " + std::to_string(room) + " to " +
                          target->address.ToString());
 }
@@ -455,13 +463,12 @@ Result<std::vector<wire::RecoveredRoom>> ShardRouter::SendRecover(
     std::shared_lock<std::shared_mutex> lock(topology_mutex_);
     target = backends_[backend].get();
   }
-  bool pooled = false;
-  std::unique_ptr<NetClient> client = Acquire(*target, &pooled);
-  if (client == nullptr)
+  bool reused = false;
+  std::shared_ptr<MuxLink> link = AcquireLink(*target, &reused);
+  if (link == nullptr)
     return UnavailableError("connect to " + target->address.ToString() +
                             " failed");
-  Result<std::vector<wire::RecoveredRoom>> report = client->RecoverRooms();
-  Release(*target, std::move(client));
+  Result<std::vector<wire::RecoveredRoom>> report = link->RecoverRooms();
   if (!report.ok())
     return report.status().Annotate("recover query to " +
                                     target->address.ToString());
@@ -475,13 +482,12 @@ Result<std::string> ShardRouter::SendRelease(int backend, int room,
     std::shared_lock<std::shared_mutex> lock(topology_mutex_);
     target = backends_[backend].get();
   }
-  bool pooled = false;
-  std::unique_ptr<NetClient> client = Acquire(*target, &pooled);
-  if (client == nullptr)
+  bool reused = false;
+  std::shared_ptr<MuxLink> link = AcquireLink(*target, &reused);
+  if (link == nullptr)
     return UnavailableError("connect to " + target->address.ToString() +
                             " failed");
-  Result<std::string> state = client->ReleaseRoom(room, epoch);
-  Release(*target, std::move(client));
+  Result<std::string> state = link->ReleaseRoom(room, epoch);
   if (!state.ok())
     return state.status().Annotate("release room " + std::to_string(room) +
                                    " from " + target->address.ToString());

@@ -15,6 +15,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "serve/net_client.h"
+#include "serve/net_mux.h"
 #include "serve/server_types.h"
 
 namespace after {
@@ -33,9 +34,13 @@ struct RouterOptions {
   /// Distinct backends tried per request before giving up with
   /// kUnavailable. 1 disables failover.
   int max_attempts = 3;
-  /// Idle connections kept per backend; extra connections are closed on
-  /// release rather than pooled.
-  int pool_capacity = 8;
+  /// Persistent multiplexed links kept per backend (serve/net_mux.h).
+  /// All in-flight calls to a shard share these links, correlated by
+  /// request id — C10k client fan-in collapses onto
+  /// backends x mux_links shard-side sockets. The first link is dialed
+  /// on demand; extras are added only when the chosen link already has
+  /// calls in flight.
+  int mux_links = 2;
   /// How long a backend stays ejected (skipped by routing) after a
   /// transport failure. Passive recovery: once the cooldown lapses the
   /// next request tries it again.
@@ -78,7 +83,10 @@ struct RouterOptions {
 /// and ownership misses, never degradation decisions.
 ///
 /// Thread-safe: Route() may be called from many connection threads;
-/// each backend keeps a mutex-guarded connection pool and health state.
+/// calls to one backend multiplex over a few persistent MuxLinks
+/// (request-id correlation, serve/net_mux.h) behind a per-backend
+/// mutex that guards only link selection and health state — never the
+/// wire I/O itself.
 class ShardRouter {
  public:
   ShardRouter(std::vector<BackendAddress> backends,
@@ -147,9 +155,9 @@ class ShardRouter {
   bool partitioned() const;
   std::unordered_map<int, RoomAssignment> AssignmentSnapshot() const;
 
-  /// Pings every backend once (pooled connection or a fresh one),
-  /// updating health state. The background prober calls this on its
-  /// interval; tests and tools may call it directly.
+  /// Pings every backend once (over an existing mux link or a fresh
+  /// one), updating health state. The background prober calls this on
+  /// its interval; tests and tools may call it directly.
   void ProbeAll();
 
   int num_backends() const;
@@ -163,8 +171,8 @@ class ShardRouter {
     std::atomic<int64_t> retried{0};       // attempts beyond the first
     std::atomic<int64_t> ejections{0};     // backend marked unhealthy
     std::atomic<int64_t> exhausted{0};     // all attempts kUnavailable
-    std::atomic<int64_t> pooled_reuse{0};  // calls served by a pooled conn
-    std::atomic<int64_t> connects{0};      // fresh connections dialed
+    std::atomic<int64_t> link_reuse{0};    // calls served by a live mux link
+    std::atomic<int64_t> connects{0};      // fresh links dialed
     std::atomic<int64_t> not_owner{0};     // kNotOwner answers re-routed
     std::atomic<int64_t> migrations{0};    // rooms moved with state handoff
     std::atomic<int64_t> repairs{0};       // rooms re-owned by repair
@@ -173,7 +181,7 @@ class ShardRouter {
   };
   const Metrics& metrics() const { return metrics_; }
 
-  /// Stops the health prober and closes every pooled connection.
+  /// Stops the health prober and drops every mux link.
   void Shutdown();
 
  private:
@@ -182,7 +190,11 @@ class ShardRouter {
   struct Backend {
     BackendAddress address;
     std::mutex mutex;
-    std::vector<std::unique_ptr<NetClient>> idle;  // pooled connections
+    /// Persistent multiplexed links, round-robined across calls; broken
+    /// links are pruned on the next acquire. Grows on demand up to
+    /// options.mux_links.
+    std::vector<std::shared_ptr<MuxLink>> links;
+    size_t next_link = 0;
     Clock::time_point ejected_until = Clock::time_point::min();
   };
 
@@ -192,8 +204,12 @@ class ShardRouter {
   std::vector<int> RingOrderLocked(int room) const;
   void RebuildRingLocked();
 
-  std::unique_ptr<NetClient> Acquire(Backend& backend, bool* pooled);
-  void Release(Backend& backend, std::unique_ptr<NetClient> client);
+  /// Picks a live link for the backend (pruning broken ones), dialing a
+  /// fresh link when none exist or the round-robin choice is busy and
+  /// the per-backend cap has headroom. `*reused` reports whether an
+  /// existing link served the call (feeds metrics.link_reuse). Null on
+  /// connect failure.
+  std::shared_ptr<MuxLink> AcquireLink(Backend& backend, bool* reused);
   void Eject(Backend& backend);
   bool Ejected(Backend& backend) const;
 
@@ -204,8 +220,9 @@ class ShardRouter {
   std::unordered_map<int, std::vector<int>> ComputeAssignment(
       const std::vector<int>& active, int num_rooms) const;
 
-  /// Control-plane sends (pooled connection per call, best-effort pool
-  /// return). Held locks: none — callers must not hold partition_mutex_.
+  /// Control-plane sends, multiplexed over the backend's links like data
+  /// traffic (each blocks for its ack, so migration steps stay ordered).
+  /// Held locks: none — callers must not hold partition_mutex_.
   Status SendAssign(int backend, int room, uint64_t epoch,
                     const std::string& state, bool primary);
   Result<std::string> SendRelease(int backend, int room, uint64_t epoch);

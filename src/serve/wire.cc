@@ -221,6 +221,15 @@ void AppendNotOwnerFrame(uint64_t id, int32_t room, uint64_t epoch,
   AppendFramed(MessageType::kNotOwner, payload, out);
 }
 
+bool PeekCorrelationId(std::string_view payload, uint64_t* id) {
+  if (payload.size() < 8) return false;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(payload[i])) << (8 * i);
+  *id = v;
+  return true;
+}
+
 Status ExtractFrame(std::string_view buffer, Frame* frame, size_t* consumed) {
   *consumed = 0;
   if (buffer.size() < kHeaderBytes) return OkStatus();  // incomplete

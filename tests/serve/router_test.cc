@@ -142,21 +142,21 @@ TEST(RouterTest, RoutesToTheHomeShard) {
   EXPECT_EQ(fleet.router->metrics().exhausted.load(), 0);
 }
 
-TEST(RouterTest, PooledConnectionsAreReused) {
+TEST(RouterTest, MuxLinksAreReusedAcrossCalls) {
   TestFleet fleet(/*num_shards=*/1, /*rooms=*/2);
   for (int i = 0; i < 10; ++i) {
     ASSERT_TRUE(fleet.router
                     ->Route({.room = i % 2, .user = i, .deadline_ms = -1.0})
                     .status.ok());
   }
-  EXPECT_GE(fleet.router->metrics().pooled_reuse.load(), 8);
+  EXPECT_GE(fleet.router->metrics().link_reuse.load(), 8);
   EXPECT_LE(fleet.router->metrics().connects.load(), 2);
 }
 
 TEST(RouterTest, FailoverOnADeadBackendLosesNothing) {
   TestFleet fleet(/*num_shards=*/2, /*rooms=*/4);
   // Pick a room homed on the shard we are about to kill, and warm a
-  // pooled connection to it so the failure is discovered mid-call.
+  // mux link to it so the failure is discovered mid-call.
   const int victim_room = 0;
   const int victim = fleet.router->ShardFor(victim_room);
   const int survivor = 1 - victim;

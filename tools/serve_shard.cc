@@ -25,6 +25,10 @@
 //                          kernels or the f64 reference, docs/inference.md;
 //                          without --weights it freezes an untrained model
 //                          instead of the default mutable per-stream one)
+//        --max_connections=N (reactor connection cap; accepts beyond it
+//                             are shed at the socket)
+//        --idle_timeout_ms=F (reap connections silent this long;
+//                             0 = never, the default)
 //        --max_seconds=F (0 = run until SIGINT/SIGTERM)
 //
 // Durable rooms (docs/durability.md, requires --partitioned):
@@ -63,8 +67,9 @@ void HandleSignal(int) { g_stop = 1; }
 
 int Main(int argc, char** argv) {
   int port = 0, rooms = 2, users = 60, threads = 2, queue = 1024;
-  int seed = 4242, checkpoint_every_ticks = 256;
+  int seed = 4242, checkpoint_every_ticks = 256, max_connections = 0;
   double deadline_ms = 1000.0, tick_ms = 10.0, max_seconds = 0.0;
+  double idle_timeout_ms = 0.0;
   bool batch = false, partitioned = false, journal_fsync = false;
   bool engine_set = false;
   InferEngine engine = InferEngine::kFusedF32;
@@ -86,6 +91,10 @@ int Main(int argc, char** argv) {
       tick_ms = fvalue;
     else if (std::sscanf(argv[i], "--max_seconds=%lf", &fvalue) == 1)
       max_seconds = fvalue;
+    else if (std::sscanf(argv[i], "--max_connections=%d", &value) == 1)
+      max_connections = value;
+    else if (std::sscanf(argv[i], "--idle_timeout_ms=%lf", &fvalue) == 1)
+      idle_timeout_ms = fvalue;
     else if (std::sscanf(argv[i], "--port_file=%255s", buffer) == 1)
       port_file = buffer;
     else if (std::sscanf(argv[i], "--weights=%255s", buffer) == 1)
@@ -232,6 +241,8 @@ int Main(int argc, char** argv) {
 
   serve::NetServerOptions net_options;
   net_options.port = port;
+  if (max_connections > 0) net_options.max_connections = max_connections;
+  net_options.idle_timeout_ms = idle_timeout_ms;
   serve::NetServer net(serve::NetServer::HandlerFor(&server), net_options);
   if (partitioned)
     net.set_room_control(serve::NetServer::ControlFor(&control));

@@ -18,6 +18,10 @@
 //        recovery: ask every backend to replay its durable state first
 //        and reconcile the survivors; docs/durability.md)
 //        --replication=N (warm standby copies per room, partitioned only)
+//        --max_connections=N (reactor connection cap; accepts beyond it
+//        are shed at the socket — raise RLIMIT_NOFILE with it for C10k)
+//        --idle_timeout_ms=F (reap connections silent this long; 0 =
+//        never, the default — idle XR clients are legitimate)
 //        --max_seconds=F (0 = run until SIGINT/SIGTERM)
 
 #include <chrono>
@@ -54,7 +58,9 @@ bool ParseBackend(const std::string& spec, serve::BackendAddress* out) {
 int Main(int argc, char** argv) {
   int port = 0, threads = 4, queue = 1024, max_attempts = 3;
   int partition_rooms = 0, recover_rooms = 0, replication = 0;
+  int max_connections = 0;
   double ejection_ms = 1000.0, health_ms = 250.0, max_seconds = 0.0;
+  double idle_timeout_ms = 0.0;
   std::string port_file;
   std::vector<serve::BackendAddress> backends;
   for (int i = 1; i < argc; ++i) {
@@ -73,6 +79,10 @@ int Main(int argc, char** argv) {
       recover_rooms = value;
     else if (std::sscanf(argv[i], "--replication=%d", &value) == 1)
       replication = value;
+    else if (std::sscanf(argv[i], "--max_connections=%d", &value) == 1)
+      max_connections = value;
+    else if (std::sscanf(argv[i], "--idle_timeout_ms=%lf", &fvalue) == 1)
+      idle_timeout_ms = fvalue;
     else if (std::sscanf(argv[i], "--ejection_ms=%lf", &fvalue) == 1)
       ejection_ms = fvalue;
     else if (std::sscanf(argv[i], "--health_ms=%lf", &fvalue) == 1)
@@ -162,6 +172,8 @@ int Main(int argc, char** argv) {
 
   serve::NetServerOptions net_options;
   net_options.port = port;
+  if (max_connections > 0) net_options.max_connections = max_connections;
+  net_options.idle_timeout_ms = idle_timeout_ms;
   serve::NetServer net(std::move(handler), net_options);
   const Status started = net.Start();
   if (!started.ok()) {
@@ -199,14 +211,14 @@ int Main(int argc, char** argv) {
   const auto& m = router.metrics();
   std::printf("[shard_router] exiting after %.1f s: routed=%lld "
               "retried=%lld ejections=%lld exhausted=%lld "
-              "pooled_reuse=%lld connects=%lld not_owner=%lld "
+              "link_reuse=%lld connects=%lld not_owner=%lld "
               "migrations=%lld repairs=%lld\n",
               timer.ElapsedSeconds(),
               static_cast<long long>(m.routed.load()),
               static_cast<long long>(m.retried.load()),
               static_cast<long long>(m.ejections.load()),
               static_cast<long long>(m.exhausted.load()),
-              static_cast<long long>(m.pooled_reuse.load()),
+              static_cast<long long>(m.link_reuse.load()),
               static_cast<long long>(m.connects.load()),
               static_cast<long long>(m.not_owner.load()),
               static_cast<long long>(m.migrations.load()),
