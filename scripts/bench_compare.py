@@ -9,8 +9,10 @@ Every failure mode is a one-line diagnosis, never a stack trace: a
 missing or unreadable file, a benchmark summary missing a metric key,
 or a metric that is not a number all name the offending file and key.
 --self_check exercises the gate logic itself against synthetic
-baseline/current pairs (the bench-regression lane runs it before
-trusting the real comparison).
+baseline/current pairs and then validates every committed baseline
+(bench/baselines/BENCH_*.json must exist and pass a self-comparison),
+so a malformed new baseline cannot land unvalidated (the
+bench-regression lane runs it before trusting the real comparison).
 
 Each pair is a baseline JSON (committed under bench/baselines/) and a
 fresh run of the same benchmark (serve_throughput --json / net_throughput
@@ -37,6 +39,7 @@ refresh them only when a deliberate change moves the numbers, with
 and commit the result together with the change that justified it.
 """
 
+import glob
 import json
 import os
 import sys
@@ -174,7 +177,28 @@ def self_check():
     else:
         raise SystemExit("self-check: missing file did not fail")
 
-    print(f"self-check OK: {len(scenarios) + 1} scenarios")
+    # Every committed baseline must itself pass the gate against itself:
+    # a baseline missing qps/p99_ms, carrying non-zero lost/errors, or
+    # unparseable would otherwise sit dormant until the first real
+    # comparison against it — i.e. a new baseline could land in
+    # bench/baselines/ without ever having been validated.
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    baselines = sorted(
+        glob.glob(os.path.join(repo_root, "bench", "baselines",
+                               "BENCH_*.json")))
+    if not baselines:
+        raise SystemExit(
+            "self-check: no committed baselines match "
+            "bench/baselines/BENCH_*.json")
+    for path in baselines:
+        name, failures = compare(path, path)
+        if failures:
+            raise SystemExit(
+                f"self-check: committed baseline {path} ({name}) does not "
+                f"pass the gate against itself: {failures}")
+
+    print(f"self-check OK: {len(scenarios) + 1} scenarios, "
+          f"{len(baselines)} committed baselines validated")
     return 0
 
 

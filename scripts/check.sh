@@ -6,6 +6,7 @@
 #   scripts/check.sh              # docs + format + release + asan + tsan
 #   scripts/check.sh release      # just one lane
 #   scripts/check.sh bench        # serving benchmarks, smoke config
+#   scripts/check.sh --list       # print every lane + one-line purpose
 #   TSAN_FILTER=. scripts/check.sh tsan   # widen the tsan test filter
 #
 # Lanes:
@@ -39,31 +40,78 @@
 #            the inference kernels stays compilable (the runtime CPUID
 #            dispatch is what ships; this guards the opt-in native path)
 #   bench    smoke-config serving benchmarks: serve_throughput
-#            (in-process) and net_throughput (TCP fleet with mid-run
+#            (in-process), net_throughput (TCP fleet with mid-run
 #            shard kill, then a partitioned fleet with live migration,
 #            then a 500-connection idle swarm with pipelined clients),
-#            writing build/BENCH_serve.json + build/BENCH_net.json and
-#            failing on malformed output. Not in the default set: CI
-#            runs it as a non-blocking job.
+#            and tick_throughput (delta-vs-scratch room ticking plus
+#            the stale-cache recovery drill), writing
+#            build/BENCH_*.json and failing on malformed output. Not
+#            in the default set: CI runs it as a non-blocking job.
 #   bench-regression
-#            runs both benches in the baseline config — once on the
-#            default primary and once with --engine=f32 (the fused
-#            inference engine) — plus the C10k config (10k idle
+#            runs the serve/net benches in the baseline config — once
+#            on the default primary and once with --engine=f32 (the
+#            fused inference engine) — plus the C10k config (10k idle
 #            connections + pipelined bursts; the run itself fails on
-#            any unconnected swarm client or lost ping), and gates all
-#            five runs against bench/baselines/*.json with
+#            any unconnected swarm client or lost ping) and the
+#            tick_throughput baseline (512-user room, 5% movers, which
+#            must hold a >=3x delta-vs-scratch speedup), and gates all
+#            six runs against bench/baselines/*.json with
 #            scripts/bench_compare.py (>25% p99/throughput regression,
 #            lost/errors != 0, or degraded-share growth fails). This
 #            one IS blocking in CI.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Lane registry: every runnable lane in display order, with a one-line
+# purpose. `scripts/check.sh --list` prints it, and an unknown lane
+# name fails fast with the same list instead of dying inside cmake
+# with a missing-preset error.
+LANE_ORDER=(docs format release asan ubsan tsan release-core release-serve
+  asan-core asan-serve release-serve-f64 infer-native bench bench-regression)
+declare -A LANE_PURPOSE=(
+  [docs]="markdown link integrity, subsystem + vocabulary coverage, shellcheck"
+  [format]="clang-format --dry-run over tracked C++ sources"
+  [release]="RelWithDebInfo build, full ctest suite (the tier-1 gate)"
+  [asan]="address+undefined sanitizers, full ctest suite"
+  [ubsan]="undefined-behavior sanitizer alone, full ctest suite"
+  [tsan]="thread sanitizer over the concurrent serving tests (TSAN_FILTER)"
+  [release-core]="release suite minus serve/ (CI cache-split half)"
+  [release-serve]="release suite, serve/ tests only (CI cache-split half)"
+  [asan-core]="asan suite minus serve/ (CI cache-split half)"
+  [asan-serve]="asan suite, serve/ tests only (CI cache-split half)"
+  [release-serve-f64]="serve/ suite with the f64 reference engine pinned"
+  [infer-native]="proves the -march=native after_infer build stays compilable"
+  [bench]="smoke-config serving + delta-tick benchmarks (non-blocking in CI)"
+  [bench-regression]="baseline-config benches gated vs bench/baselines (blocking)"
+)
+
+list_lanes() {
+  local lane
+  echo "Lanes:"
+  for lane in "${LANE_ORDER[@]}"; do
+    printf '  %-18s %s\n' "${lane}" "${LANE_PURPOSE[${lane}]}"
+  done
+}
+
 JOBS="${JOBS:-$(nproc)}"
 TSAN_FILTER="${TSAN_FILTER:-^serve/}"
 LANES=("$@")
+for lane in "${LANES[@]}"; do
+  if [ "${lane}" = "--list" ] || [ "${lane}" = "-l" ]; then
+    list_lanes
+    exit 0
+  fi
+done
 if [ "${#LANES[@]}" -eq 0 ]; then
   LANES=(docs format release asan tsan)
 fi
+for lane in "${LANES[@]}"; do
+  if [ -z "${LANE_PURPOSE[${lane}]+x}" ]; then
+    echo "check.sh: unknown lane '${lane}'" >&2
+    list_lanes >&2
+    exit 1
+  fi
+done
 
 run_docs_lane() {
   local fail=0
@@ -134,6 +182,18 @@ run_docs_lane() {
       fail=1
     fi
   done
+  # The ticking page must keep covering the delta-tick vocabulary: the
+  # snapshot-delta lifecycle, the fallback knob, the pruning contract,
+  # and the recovery-rebuilds-caches rule.
+  for term in delta_snapshots delta_rebuild_fraction "moved set" \
+              built_by_delta TemporalIndex max_candidates \
+              co_presence_radius tick_throughput "stale-cache" \
+              bit-exact; do
+    if ! grep -q -- "${term}" docs/ticking.md; then
+      echo "docs: ${term} is not mentioned in docs/ticking.md"
+      fail=1
+    fi
+  done
   # Tracked shell scripts must be shellcheck-clean where the tool
   # exists (CI installs it; a bare container may not have it).
   if command -v shellcheck > /dev/null 2>&1; then
@@ -168,7 +228,7 @@ run_format_lane() {
 run_bench_lane() {
   cmake --preset release
   cmake --build --preset release -j "${JOBS}" \
-    --target serve_throughput net_throughput
+    --target serve_throughput net_throughput tick_throughput
   echo "---- serve_throughput (in-process smoke) ----"
   ./build/bench/serve_throughput --rooms=2 --threads=2 --requests=200 \
     --users=24 --json=build/BENCH_serve.json
@@ -183,11 +243,17 @@ run_bench_lane() {
   echo "---- + pipelined bursts) ----"
   ./build/bench/net_throughput --shards=2 --rooms=4 --users=24 \
     --clients=4 --requests=800 --pipeline=4 --connections=500
+  echo "---- tick_throughput (delta-tick smoke + stale-cache drill) ----"
+  ./build/bench/tick_throughput --users=96 --hot=16 --move_fraction=0.1 \
+    --ticks=10 --warmup=2 --json=build/BENCH_tick_smoke.json
+  ./build/bench/tick_throughput --stale_cache_drill --users=96 \
+    --move_fraction=0.1 --durable_dir=build/tick-stale-cache-drill
   # A benchmark that silently emits garbage is worse than one that
   # fails: validate the summaries before anything downstream trusts
   # them. The net summary must carry the degraded counter so "all
   # served" and "all served by the fallback" stay distinguishable.
-  python3 - build/BENCH_serve.json build/BENCH_net.json <<'PY'
+  python3 - build/BENCH_serve.json build/BENCH_net.json \
+    build/BENCH_tick_smoke.json <<'PY'
 import json, sys
 for path in sys.argv[1:]:
     with open(path) as handle:
@@ -210,7 +276,7 @@ PY
 run_bench_regression_lane() {
   cmake --preset release
   cmake --build --preset release -j "${JOBS}" \
-    --target serve_throughput net_throughput
+    --target serve_throughput net_throughput tick_throughput
   echo "---- serve_throughput (baseline config) ----"
   ./build/bench/serve_throughput --rooms=2 --threads=2 --clients=4 \
     --requests=4000 --users=24 --json=build/BENCH_serve.json
@@ -231,6 +297,10 @@ run_bench_regression_lane() {
   ./build/bench/net_throughput --shards=2 --rooms=8 --users=24 \
     --clients=4 --requests=6000 --pipeline=8 --connections=10000 \
     --json=build/BENCH_net_c10k.json
+  echo "---- tick_throughput (baseline config: 512-user room, 5% ----"
+  echo "---- movers, 3x delta-vs-scratch gate) ----"
+  ./build/bench/tick_throughput --users=512 --hot=64 --move_fraction=0.05 \
+    --ticks=40 --warmup=8 --min_speedup=3 --json=build/BENCH_tick.json
   echo "---- bench_compare self-check (gate the gate) ----"
   python3 scripts/bench_compare.py --self_check
   echo "---- compare against committed baselines ----"
@@ -239,7 +309,8 @@ run_bench_regression_lane() {
     bench/baselines/BENCH_net.json build/BENCH_net.json \
     bench/baselines/BENCH_serve_f32.json build/BENCH_serve_f32.json \
     bench/baselines/BENCH_net_f32.json build/BENCH_net_f32.json \
-    bench/baselines/BENCH_net_c10k.json build/BENCH_net_c10k.json
+    bench/baselines/BENCH_net_c10k.json build/BENCH_net_c10k.json \
+    bench/baselines/BENCH_tick.json build/BENCH_tick.json
 }
 
 run_lane() {

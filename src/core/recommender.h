@@ -43,6 +43,15 @@ struct StepContext {
   /// modification of the MIA mask"). blocklist[w] == true means user w
   /// must never be rendered for the target; MIA zeroes its mask slot and
   /// utilities. nullptr = no blocklist.
+  ///
+  /// The serving runtime reuses this channel for temporal candidate
+  /// pruning (ServerOptions::max_candidates, docs/ticking.md): the mask
+  /// blocks everyone outside the target's top-k recently co-present
+  /// candidates. Implementations must therefore treat the blocklist as
+  /// a hard candidate filter with no side effects on the survivors —
+  /// the scores/ordering of unblocked users must be identical to an
+  /// unpruned call (that is what makes the "exact ranking within the
+  /// pruned set" contract hold end to end).
   const std::vector<bool>* blocklist = nullptr;
 };
 
@@ -104,6 +113,11 @@ class Recommender {
   /// batch-aware models (FrozenPoshgnn) override it to share per-scene
   /// work across targets. Returns one Recommend-shaped vector per
   /// context, in order.
+  ///
+  /// Contexts in one batch may carry different (or no) blocklists —
+  /// the batcher attaches per-target prune masks — so overrides that
+  /// dedupe or share work across contexts must key on the blocklist
+  /// too, not just the target (infer/engine.cc's SameJob does).
   virtual std::vector<std::vector<bool>> RecommendBatch(
       const std::vector<StepContext>& contexts) {
     std::vector<std::vector<bool>> out;

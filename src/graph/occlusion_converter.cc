@@ -63,7 +63,110 @@ OcclusionGraph BuildOcclusionGraph(const std::vector<Vec2>& positions,
     if (!arcs[i].valid) continue;
     for (int j = i + 1; j < n; ++j) {
       if (!arcs[j].valid) continue;
-      if (ArcsOverlap(arcs[i], arcs[j])) graph.AddEdge(i, j);
+      if (ArcsOverlap(arcs[i], arcs[j])) graph.AddEdgeUnchecked(i, j);
+    }
+  }
+  return graph;
+}
+
+OcclusionGraph BuildOcclusionGraphFromArcs(const std::vector<ViewArc>& arcs) {
+  const int n = static_cast<int>(arcs.size());
+  OcclusionGraph graph(n);
+  for (int i = 0; i < n; ++i) {
+    if (!arcs[i].valid) continue;
+    for (int j = i + 1; j < n; ++j) {
+      if (!arcs[j].valid) continue;
+      if (ArcsOverlap(arcs[i], arcs[j])) graph.AddEdgeUnchecked(i, j);
+    }
+  }
+  return graph;
+}
+
+void UpdateViewArcs(const std::vector<Vec2>& positions, int target,
+                    double body_radius, const std::vector<int>& moved,
+                    std::vector<ViewArc>* arcs) {
+  AFTER_CHECK(arcs != nullptr);
+  AFTER_CHECK_EQ(arcs->size(), positions.size());
+  AFTER_CHECK_GE(target, 0);
+  AFTER_CHECK_LT(target, static_cast<int>(positions.size()));
+  for (int m : moved) {
+    AFTER_CHECK(m != target);
+    (*arcs)[m] =
+        ComputeViewArc(positions[target], positions[m], body_radius);
+  }
+}
+
+OcclusionGraph UpdateOcclusionGraph(const OcclusionGraph& previous,
+                                    const std::vector<ViewArc>& arcs,
+                                    const std::vector<int>& moved,
+                                    const std::vector<bool>& is_moved) {
+  const int n = static_cast<int>(arcs.size());
+  AFTER_CHECK_EQ(previous.num_nodes(), n);
+  AFTER_CHECK_EQ(static_cast<int>(is_moved.size()), n);
+
+  // Both streams below are produced in lexicographic (i, j) order and
+  // cover disjoint pair sets, so a single sorted merge reproduces the
+  // exact AddEdge sequence of a from-scratch build (which iterates
+  // i < j lexicographically). That makes the result structurally
+  // identical, not just edge-set equal.
+  // Stream 1 is the surviving edges — both endpoints unmoved, overlap
+  // unchanged — consumed straight off previous.edges() with an inline
+  // filter (skipping moved endpoints) so the old lexicographic order is
+  // preserved without materializing an intermediate vector.
+  const std::vector<std::pair<int, int>>& old_edges = previous.edges();
+
+  // Stream 2: every pair with at least one moved endpoint, re-tested.
+  // For a moved i we test all j > i; for an unmoved i only the moved
+  // j > i (`moved` is sorted, so j ascends). Pairs where both ends
+  // moved appear exactly once, via the moved-i branch.
+  std::vector<std::pair<int, int>> fresh;
+  for (int i = 0; i < n; ++i) {
+    if (!arcs[i].valid) continue;
+    if (is_moved[i]) {
+      for (int j = i + 1; j < n; ++j) {
+        if (!arcs[j].valid) continue;
+        if (ArcsOverlap(arcs[i], arcs[j])) fresh.emplace_back(i, j);
+      }
+    } else {
+      for (int m : moved) {
+        if (m <= i) continue;
+        if (!arcs[m].valid) continue;
+        if (ArcsOverlap(arcs[i], arcs[m])) fresh.emplace_back(i, m);
+      }
+    }
+  }
+
+  OcclusionGraph graph(n);
+  graph.ReserveEdges(previous.num_edges() + static_cast<int>(fresh.size()));
+  {
+    // Capacity hints: an unmoved node keeps at most its previous degree
+    // and gains its fresh incident edges; a moved node's edges are all
+    // re-derived, so only the fresh count bounds it.
+    std::vector<int> fresh_degree(n, 0);
+    for (const auto& e : fresh) {
+      ++fresh_degree[e.first];
+      ++fresh_degree[e.second];
+    }
+    for (int u = 0; u < n; ++u) {
+      const int cap =
+          (is_moved[u] ? 0 : previous.Degree(u)) + fresh_degree[u];
+      if (cap > 0) graph.ReserveNeighbors(u, cap);
+    }
+  }
+  size_t k = 0;
+  size_t f = 0;
+  while (true) {
+    while (k < old_edges.size() &&
+           (is_moved[old_edges[k].first] || is_moved[old_edges[k].second]))
+      ++k;
+    if (k == old_edges.size() && f == fresh.size()) break;
+    if (f == fresh.size() ||
+        (k < old_edges.size() && old_edges[k] < fresh[f])) {
+      graph.AddEdgeUnchecked(old_edges[k].first, old_edges[k].second);
+      ++k;
+    } else {
+      graph.AddEdgeUnchecked(fresh[f].first, fresh[f].second);
+      ++f;
     }
   }
   return graph;

@@ -46,6 +46,35 @@ std::vector<ViewArc> ComputeViewArcs(const std::vector<Vec2>& positions,
 OcclusionGraph BuildOcclusionGraph(const std::vector<Vec2>& positions,
                                    int target, double body_radius);
 
+/// Same graph, built from precomputed arcs (ComputeViewArcs). Lets the
+/// delta-tick path cache a target's arcs across ticks and still produce
+/// a graph bitwise-identical to the position-based overload.
+OcclusionGraph BuildOcclusionGraphFromArcs(const std::vector<ViewArc>& arcs);
+
+/// Incremental counterpart of ComputeViewArcs for delta ticks
+/// (docs/ticking.md): `arcs` holds the target's arcs from the previous
+/// tick and only the entries for the agents in `moved` (sorted
+/// ascending, never containing `target`) are recomputed against the new
+/// positions. An arc depends only on the target's and the arc owner's
+/// positions, so untouched entries are exactly what ComputeViewArcs
+/// would produce.
+void UpdateViewArcs(const std::vector<Vec2>& positions, int target,
+                    double body_radius, const std::vector<int>& moved,
+                    std::vector<ViewArc>* arcs);
+
+/// Delta-rebuilds the target's static occlusion graph: edges between
+/// two unmoved agents are carried over from `previous`; every pair with
+/// at least one endpoint in `moved` is re-tested against the (already
+/// patched, see UpdateViewArcs) `arcs`. Requirements: `target` is not
+/// in `moved`, `moved` is sorted ascending, and `is_moved` is its
+/// indicator vector. Cost O(E + |moved| * n) instead of O(n^2), and the
+/// result — including edge insertion order and adjacency order — is
+/// bitwise-identical to BuildOcclusionGraphFromArcs(arcs).
+OcclusionGraph UpdateOcclusionGraph(const OcclusionGraph& previous,
+                                    const std::vector<ViewArc>& arcs,
+                                    const std::vector<int>& moved,
+                                    const std::vector<bool>& is_moved);
+
 /// Builds the dynamic occlusion graph over a trajectory: one static graph
 /// per time step. `trajectory[t][i]` is user i's position at time t.
 DynamicOcclusionGraph BuildDynamicOcclusionGraph(

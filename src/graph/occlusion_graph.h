@@ -24,6 +24,24 @@ class OcclusionGraph {
   /// Adds an undirected edge (deduplicated).
   void AddEdge(int u, int v);
 
+  /// Bulk-insertion fast path for builders that generate each edge
+  /// exactly once with u < v (the occlusion converters' lexicographic
+  /// i < j loops do): skips AddEdge's dedup scan — which is O(degree)
+  /// per call and quadratic on high-degree hubs — while producing the
+  /// exact same adjacency/edge layout. Feeding it a duplicate or an
+  /// unordered pair corrupts the graph; callers own that invariant.
+  void AddEdgeUnchecked(int u, int v) {
+    adjacency_[u].push_back(v);
+    adjacency_[v].push_back(u);
+    edges_.emplace_back(u, v);
+  }
+
+  /// Capacity hints for bulk builders; contents and layout unchanged.
+  void ReserveEdges(int num_edges) { edges_.reserve(num_edges); }
+  void ReserveNeighbors(int u, int capacity) {
+    adjacency_[u].reserve(capacity);
+  }
+
   bool HasEdge(int u, int v) const;
 
   const std::vector<int>& Neighbors(int u) const { return adjacency_[u]; }
@@ -38,6 +56,18 @@ class OcclusionGraph {
   /// Number of edges with both endpoints selected; 0 means `selected`
   /// is an independent set.
   int CountConflicts(const std::vector<bool>& selected) const;
+
+  /// Structural identity, including internal layout: equal graphs have
+  /// the same edge insertion order and the same per-node adjacency
+  /// order. This is the bit-exactness contract the delta-tick fuzz
+  /// leans on — a delta-updated graph must be indistinguishable from a
+  /// from-scratch rebuild even to order-sensitive consumers.
+  friend bool operator==(const OcclusionGraph& a, const OcclusionGraph& b) {
+    return a.adjacency_ == b.adjacency_ && a.edges_ == b.edges_;
+  }
+  friend bool operator!=(const OcclusionGraph& a, const OcclusionGraph& b) {
+    return !(a == b);
+  }
 
  private:
   std::vector<std::vector<int>> adjacency_;

@@ -1,0 +1,149 @@
+#include "graph/temporal_index.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace after {
+
+void TemporalView::FillPruneMask(int target, int k,
+                                 std::vector<bool>* mask) const {
+  AFTER_CHECK(mask != nullptr);
+  AFTER_CHECK_GE(target, 0);
+  AFTER_CHECK_LT(target, n_);
+  mask->assign(n_, false);
+  if (k <= 0 || k >= n_ - 1) return;  // nothing to prune
+  std::vector<int> cand;
+  cand.reserve(n_ - 1);
+  for (int i = 0; i < n_; ++i) {
+    if (i != target) cand.push_back(i);
+  }
+  // (score desc, index asc) is a strict total order, so the top-k set is
+  // unique and the mask deterministic.
+  const auto better = [this, target](int a, int b) {
+    const std::int32_t sa = score(target, a);
+    const std::int32_t sb = score(target, b);
+    if (sa != sb) return sa > sb;
+    return a < b;
+  };
+  std::nth_element(cand.begin(), cand.begin() + k, cand.end(), better);
+  for (auto it = cand.begin() + k; it != cand.end(); ++it) {
+    (*mask)[*it] = true;
+  }
+}
+
+std::vector<int> TemporalView::TopCandidates(int target, int k) const {
+  AFTER_CHECK_GE(target, 0);
+  AFTER_CHECK_LT(target, n_);
+  std::vector<int> cand;
+  cand.reserve(n_ - 1);
+  for (int i = 0; i < n_; ++i) {
+    if (i != target) cand.push_back(i);
+  }
+  const auto better = [this, target](int a, int b) {
+    const std::int32_t sa = score(target, a);
+    const std::int32_t sb = score(target, b);
+    if (sa != sb) return sa > sb;
+    return a < b;
+  };
+  const size_t take = std::min<size_t>(k < 0 ? 0 : k, cand.size());
+  std::partial_sort(cand.begin(), cand.begin() + take, cand.end(), better);
+  cand.resize(take);
+  return cand;
+}
+
+void TemporalIndex::Rebuild(const std::vector<Vec2>& positions,
+                            std::int64_t tick) {
+  n_ = static_cast<int>(positions.size());
+  scores_.assign(static_cast<size_t>(n_) * n_, TemporalView::kNever);
+  for (int i = 0; i < n_; ++i) {
+    for (int j = i + 1; j < n_; ++j) {
+      if (CoPresent(positions[i], positions[j])) {
+        At(scores_, i, j) = TemporalView::kCoPresent;
+        At(scores_, j, i) = TemporalView::kCoPresent;
+      }
+    }
+  }
+  last_tick_ = tick;
+  ++version_;
+  // History is gone, so views from before the rebuild are no longer
+  // patchable; dropping the ring makes PublishView fall back to copies.
+  ring_.clear();
+}
+
+void TemporalIndex::Update(const std::vector<Vec2>& positions,
+                           const std::vector<int>& moved,
+                           std::int64_t tick) {
+  AFTER_CHECK_EQ(static_cast<int>(positions.size()), n_);
+  for (int m : moved) {
+    AFTER_CHECK_GE(m, 0);
+    AFTER_CHECK_LT(m, n_);
+    for (int c = 0; c < n_; ++c) {
+      if (c == m) continue;
+      std::int32_t& s = At(scores_, m, c);
+      std::int32_t& mirror = At(scores_, c, m);
+      if (CoPresent(positions[m], positions[c])) {
+        s = TemporalView::kCoPresent;
+        mirror = TemporalView::kCoPresent;
+      } else if (s == TemporalView::kCoPresent) {
+        // The pair just separated; it was last co-present at the
+        // previous update. (A doubly-moved pair hits this branch only
+        // on its first visit — the second sees the stamped tick.)
+        s = static_cast<std::int32_t>(last_tick_);
+        mirror = s;
+      }
+    }
+  }
+  last_tick_ = tick;
+  ++version_;
+  ring_.push_back(RingEntry{version_, moved});
+  while (ring_.size() > kRingCapacity) ring_.pop_front();
+}
+
+std::shared_ptr<const TemporalView> TemporalIndex::PublishView() {
+  // Pick the freshest pooled buffer nobody else holds — the fresher the
+  // buffer, the smaller the patch.
+  std::shared_ptr<TemporalView> buf;
+  for (const auto& p : pool_) {
+    if (p.use_count() == 1 && (!buf || p->version_ > buf->version_)) {
+      buf = p;
+    }
+  }
+  if (!buf) {
+    buf = std::make_shared<TemporalView>();
+    if (pool_.size() < kPoolCapacity) pool_.push_back(buf);
+  }
+
+  bool patchable = buf->n_ == n_ && buf->version_ >= 0 &&
+                   buf->version_ <= version_;
+  if (patchable && buf->version_ < version_) {
+    patchable = !ring_.empty() && ring_.back().version == version_ &&
+                ring_.front().version <= buf->version_ + 1;
+  }
+  if (patchable) {
+    if (buf->version_ < version_) {
+      std::vector<bool> touched(n_, false);
+      for (const auto& e : ring_) {
+        if (e.version <= buf->version_) continue;
+        for (int m : e.moved) touched[m] = true;
+      }
+      for (int m = 0; m < n_; ++m) {
+        if (!touched[m]) continue;
+        const size_t row = static_cast<size_t>(m) * n_;
+        std::copy(scores_.begin() + row, scores_.begin() + row + n_,
+                  buf->scores_.begin() + row);
+        for (int t = 0; t < n_; ++t) {
+          buf->scores_[static_cast<size_t>(t) * n_ + m] =
+              scores_[static_cast<size_t>(t) * n_ + m];
+        }
+      }
+    }
+  } else {
+    buf->n_ = n_;
+    buf->scores_ = scores_;
+  }
+  buf->version_ = version_;
+  return buf;
+}
+
+}  // namespace after

@@ -1,0 +1,132 @@
+#ifndef AFTER_GRAPH_TEMPORAL_INDEX_H_
+#define AFTER_GRAPH_TEMPORAL_INDEX_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace after {
+
+/// Temporal candidate pre-filter (docs/ticking.md, TGLib idiom from
+/// PAPERS.md): a per-(target, candidate) recency/co-presence score that
+/// caps the candidate set handed to the POSHGNN ranker in large rooms.
+///
+/// The score is a sentinel-encoded "last co-presence" value:
+///   - kCoPresent  — the pair is within `co_presence_radius` right now;
+///   - a tick      — the last tick at which the pair was co-present;
+///   - kNever      — the pair has never been co-present (since the last
+///                   full Rebuild, which forgets history by design).
+/// Ranking candidates by (score descending, index ascending) is exactly
+/// recency ranking — currently-co-present first, then most recently
+/// co-present, then never-met — without any decay arithmetic, which is
+/// what makes the incremental update cheap: a pair's score can only
+/// change when one of its endpoints moved, so a tick with |M| movers
+/// costs O(|M| * n) instead of O(n^2).
+
+/// Immutable published view of the score matrix. Snapshots hold one of
+/// these via shared_ptr; the index recycles view buffers whose refcount
+/// dropped back to one (see TemporalIndex::PublishView).
+class TemporalView {
+ public:
+  static constexpr std::int32_t kCoPresent = INT32_MAX;
+  static constexpr std::int32_t kNever = INT32_MIN;
+
+  int num_users() const { return n_; }
+  std::int64_t version() const { return version_; }
+
+  /// Score for candidate `c` in target `t`'s view (symmetric).
+  std::int32_t score(int t, int c) const {
+    return scores_[static_cast<size_t>(t) * n_ + c];
+  }
+
+  /// Fills `mask` (resized to n) with true for every candidate that is
+  /// NOT in the target's top-`k` by (score desc, index asc). The target
+  /// itself is never masked. With k <= 0 or k >= n-1 nothing is pruned.
+  /// The mask plugs into StepContext::blocklist, so ranking among the
+  /// surviving candidates is exactly the unpruned ranking restricted to
+  /// them (the accuracy contract of ServerOptions::max_candidates).
+  void FillPruneMask(int target, int k, std::vector<bool>* mask) const;
+
+  /// The target's top-`k` candidate indices in rank order (for tests
+  /// and introspection).
+  std::vector<int> TopCandidates(int target, int k) const;
+
+ private:
+  friend class TemporalIndex;
+  int n_ = 0;
+  std::int64_t version_ = -1;
+  std::vector<std::int32_t> scores_;
+};
+
+/// Incrementally maintained recency/co-presence index owned by a Room
+/// and updated under its tick lock. Not thread-safe by itself; the
+/// published views are immutable and safe to read from any thread.
+class TemporalIndex {
+ public:
+  struct Options {
+    /// Pairs within this distance count as co-present.
+    double co_presence_radius = 2.0;
+  };
+
+  explicit TemporalIndex(const Options& options) : options_(options) {}
+
+  int num_users() const { return n_; }
+
+  /// Rebuilds from scratch at `tick`: currently-co-present pairs score
+  /// kCoPresent, everything else kNever. Historical recency is lost —
+  /// the documented behavior after migration / cold-restart recovery.
+  void Rebuild(const std::vector<Vec2>& positions, std::int64_t tick);
+
+  /// Incremental tick update: re-evaluates only pairs with at least one
+  /// endpoint in `moved` (sorted ascending). A pair leaving co-presence
+  /// is stamped with the previous update's tick (its last co-present
+  /// tick); untouched pairs cannot have changed co-presence status, so
+  /// their scores are already correct. Idempotent for doubly-moved
+  /// pairs.
+  void Update(const std::vector<Vec2>& positions,
+              const std::vector<int>& moved, std::int64_t tick);
+
+  /// Publishes an immutable view of the current scores. Reuses a pooled
+  /// buffer whose only owner is the pool (use_count() == 1), patching
+  /// just the rows/columns touched since that buffer's version via the
+  /// recent-mover ring; falls back to a full copy when the buffer is
+  /// too stale (ring no longer covers its version) or the pool is
+  /// exhausted.
+  std::shared_ptr<const TemporalView> PublishView();
+
+ private:
+  std::int32_t& At(std::vector<std::int32_t>& s, int t, int c) const {
+    return s[static_cast<size_t>(t) * n_ + c];
+  }
+  bool CoPresent(const Vec2& a, const Vec2& b) const {
+    const double r = options_.co_presence_radius;
+    return (a - b).NormSq() <= r * r;
+  }
+
+  Options options_;
+  int n_ = 0;
+  std::int64_t last_tick_ = -1;
+  /// Bumped by every Rebuild/Update; views remember the version they
+  /// were copied at so PublishView knows what to patch.
+  std::int64_t version_ = 0;
+  std::vector<std::int32_t> scores_;
+
+  /// Ring of per-update mover lists, newest last. A pooled view at
+  /// version v is patchable when every entry with version > v is still
+  /// in the ring.
+  struct RingEntry {
+    std::int64_t version;
+    std::vector<int> moved;
+  };
+  static constexpr size_t kRingCapacity = 64;
+  static constexpr size_t kPoolCapacity = 8;
+  std::deque<RingEntry> ring_;
+  std::vector<std::shared_ptr<TemporalView>> pool_;
+};
+
+}  // namespace after
+
+#endif  // AFTER_GRAPH_TEMPORAL_INDEX_H_

@@ -88,10 +88,16 @@ std::string ServerMetrics::DebugString() const {
       static_cast<long long>(errors.load()));
   out += line;
   std::snprintf(line, sizeof(line),
-                "queue: depth %d (max %d) | ticks %lld\n",
+                "queue: depth %d (max %d) | ticks %lld (%lld delta)\n",
                 queue_depth.load(), max_queue_depth.load(),
-                static_cast<long long>(ticks.load()));
+                static_cast<long long>(ticks.load()),
+                static_cast<long long>(delta_ticks.load()));
   out += line;
+  if (pruned_requests.load() > 0) {
+    std::snprintf(line, sizeof(line), "pruned: %lld requests\n",
+                  static_cast<long long>(pruned_requests.load()));
+    out += line;
+  }
   if (rooms_assigned.load() > 0 || rooms_released.load() > 0) {
     std::snprintf(line, sizeof(line),
                   "partition: %lld assigned (%lld migrated in) | "
@@ -146,6 +152,8 @@ void ServerMetrics::Reset() {
   batched_requests.store(0);
   coalesced.store(0);
   ticks.store(0);
+  delta_ticks.store(0);
+  pruned_requests.store(0);
   rooms_assigned.store(0);
   rooms_released.store(0);
   migrations_in.store(0);

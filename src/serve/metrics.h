@@ -71,6 +71,12 @@ struct ServerMetrics {
   std::atomic<int64_t> coalesced{0};
   /// Room ticks published.
   std::atomic<int64_t> ticks{0};
+  /// Delta ticks (docs/ticking.md): ticks whose published snapshot was
+  /// delta-built from its predecessor instead of from scratch.
+  std::atomic<int64_t> delta_ticks{0};
+  /// Requests answered against a temporally pruned candidate set
+  /// (ServerOptions::max_candidates).
+  std::atomic<int64_t> pruned_requests{0};
   /// Partitioned serving (serve/shard_control.h): ownership grants and
   /// releases processed by this shard, and how many of the grants
   /// carried migrated state (as opposed to fresh-seeded rooms).

@@ -14,7 +14,9 @@
 #include "common/status.h"
 #include "core/recommender.h"
 #include "data/dataset.h"
+#include "graph/occlusion_converter.h"
 #include "graph/occlusion_graph.h"
+#include "graph/temporal_index.h"
 #include "sim/crowd_simulator.h"
 #include "sim/xr_world.h"
 
@@ -28,12 +30,31 @@ namespace serve {
 /// published; each target's static occlusion graph (Definition 4) is
 /// built lazily on first demand (std::call_once) and then reused by all
 /// concurrent requests for that target.
+///
+/// Snapshots are persistent structures updated by deltas
+/// (docs/ticking.md): the delta constructor carries the predecessor's
+/// built occlusion state forward, re-testing only arc pairs that touch
+/// a moved agent, and the result is bit-identical to a from-scratch
+/// build — including edge order — so order-sensitive consumers (MIA
+/// tie-breaks, POSHGNN aggregation) cannot tell the difference.
 class RoomSnapshot {
  public:
   RoomSnapshot(int tick, std::vector<Vec2> positions,
                const std::vector<Interface>* interfaces,
                const Matrix* preference, const Matrix* social_presence,
-               double beta, double body_radius);
+               double beta, double body_radius,
+               std::shared_ptr<const TemporalView> temporal = nullptr);
+
+  /// Delta constructor: `moved` (sorted ascending) lists every user
+  /// whose position/goal/active state changed since `previous` was
+  /// published. Targets the predecessor had built and that did not
+  /// themselves move get their occlusion graph delta-updated eagerly
+  /// (cost O(E + |moved| * n) each); moved or never-built targets stay
+  /// lazy. The predecessor is only read during construction — no
+  /// reference is retained, so snapshots never chain.
+  RoomSnapshot(int tick, std::vector<Vec2> positions,
+               const RoomSnapshot& previous, std::vector<int> moved,
+               std::shared_ptr<const TemporalView> temporal);
 
   int tick() const { return tick_; }
   int num_users() const { return static_cast<int>(positions_.size()); }
@@ -56,6 +77,33 @@ class RoomSnapshot {
   /// graphs built (once) for every requested target up front.
   std::vector<StepContext> ContextsFor(const std::vector<int>& targets) const;
 
+  /// Temporal recency view attached at publish (null when the room's
+  /// temporal index is off).
+  const std::shared_ptr<const TemporalView>& temporal_view() const {
+    return temporal_;
+  }
+
+  /// Fills `mask` as a StepContext::blocklist keeping only the target's
+  /// top-`max_candidates` candidates by temporal recency. Returns false
+  /// (mask untouched) when there is no temporal view or nothing would
+  /// be pruned (max_candidates <= 0 or >= n-1). Ranking among surviving
+  /// candidates is exactly the unpruned ranking restricted to them.
+  bool PruneCandidates(int target, int max_candidates,
+                       std::vector<bool>* mask) const;
+
+  /// Introspection for tests, metrics, and the stale-cache drill.
+  bool built_by_delta() const { return built_by_delta_; }
+  /// Size of the moved set this snapshot was delta-built from; -1 for
+  /// from-scratch snapshots.
+  int num_moved() const { return num_moved_; }
+  /// Number of targets whose occlusion state was carried forward from
+  /// the predecessor by the delta constructor.
+  int delta_carried() const { return delta_carried_; }
+  /// Whether `target`'s occlusion graph is materialized right now.
+  bool occlusion_built(int target) const {
+    return occlusion_built_[target].load(std::memory_order_acquire);
+  }
+
  private:
   int tick_;
   std::vector<Vec2> positions_;
@@ -65,7 +113,18 @@ class RoomSnapshot {
   double beta_;
   double body_radius_;
   mutable std::vector<OcclusionGraph> occlusion_;
+  /// Per-target view arcs cached alongside the graph so successor
+  /// snapshots can delta-update instead of recomputing O(n) trig.
+  mutable std::vector<std::vector<ViewArc>> arcs_;
   std::unique_ptr<std::once_flag[]> occlusion_once_;
+  /// True once occlusion_[t]/arcs_[t] are fully built (release store;
+  /// readers acquire). Lets the delta constructor read the
+  /// predecessor's hot set without touching its once_flags.
+  std::unique_ptr<std::atomic<bool>[]> occlusion_built_;
+  std::shared_ptr<const TemporalView> temporal_;
+  bool built_by_delta_ = false;
+  int num_moved_ = -1;
+  int delta_carried_ = 0;
 };
 
 /// Published frames retained for migration handoff: the room keeps the
@@ -99,6 +158,27 @@ class Room {
     uint64_t seed = 99;
     double max_speed = 1.2;
     double room_side = 10.0;
+    /// Delta ticks (docs/ticking.md): Tick() diffs the new frame
+    /// against the previous one and publishes a snapshot that carries
+    /// the predecessor's occlusion state forward for unchanged targets.
+    /// Off = every tick publishes a from-scratch snapshot.
+    bool delta_snapshots = true;
+    /// Full-rebuild fallback: when more than this fraction of users
+    /// moved in one tick, a delta would re-test nearly everything, so
+    /// Tick() publishes a from-scratch snapshot instead.
+    double delta_rebuild_fraction = 0.35;
+    /// Live mode: fraction of agents walking at any moment. 1.0 keeps
+    /// the historical everybody-walks behavior; below 1.0 the room uses
+    /// a walker-swap model — exactly round(move_fraction * n) agents
+    /// walk, the rest are held bit-exactly stationary (SetHold), and an
+    /// arriving walker parks and wakes a random parked agent.
+    double move_fraction = 1.0;
+    /// Maintain the temporal recency index (graph/temporal_index.h) and
+    /// attach a view to every published snapshot so the server can cap
+    /// POSHGNN's candidate set (ServerOptions::max_candidates).
+    bool temporal_index = false;
+    /// Co-presence distance for the temporal index.
+    double co_presence_radius = 2.0;
   };
 
   /// Validates the dataset/session (mirroring the evaluator's checks)
@@ -122,6 +202,23 @@ class Room {
 
   /// The current snapshot; never null after Create().
   std::shared_ptr<const RoomSnapshot> snapshot() const;
+
+  /// Churn hooks (live mode; kFailedPrecondition in replay, whose only
+  /// trajectory source is the recording). Both mark the user dirty so
+  /// the next Tick()'s moved set includes them even when the position
+  /// is bitwise unchanged; the published snapshot changes at that tick.
+  Status TeleportUser(int user, const Vec2& position);
+  Status SetUserActive(int user, bool active);
+
+  /// Snapshot-kind counters: ticks published via the delta constructor
+  /// vs from-scratch (includes fallback rebuilds, excludes the
+  /// non-Tick publishes from Create/ApplyState/ApplyTickFrame).
+  uint64_t delta_ticks() const {
+    return delta_ticks_.load(std::memory_order_relaxed);
+  }
+  uint64_t scratch_ticks() const {
+    return scratch_ticks_.load(std::memory_order_relaxed);
+  }
 
   /// Serializes the room's migratable state — tick, current positions,
   /// live-mode goals, and the trajectory window — as an nn/serialize
@@ -167,7 +264,22 @@ class Room {
  private:
   Room(const Options& options, const Dataset* dataset, const XrWorld* world);
 
+  /// From-scratch publish (Create / ApplyState / ApplyTickFrame): drops
+  /// dirty state, rebuilds the temporal index (recovered and migrated
+  /// rooms must never trust inherited caches), publishes a scratch
+  /// snapshot.
   void Publish(std::vector<Vec2> positions, int tick);
+  /// Tick-path publish: computes the moved set against the previous
+  /// frame (bitwise position diff + churn-dirtied users), incrementally
+  /// updates the temporal index, and publishes a delta snapshot unless
+  /// the moved fraction crosses delta_rebuild_fraction (or deltas are
+  /// off). Caller holds tick_mutex_.
+  void PublishTick(std::vector<Vec2> positions, int tick);
+  /// Live partial motion: held/walking bookkeeping around sim_->Step().
+  void StepLive();
+  /// Re-derives the walker set from goal distances after a state
+  /// teleport (migration / recovery) when move_fraction < 1.
+  void RederiveWalkers();
   Vec2 RandomWaypoint();
 
   Options options_;
@@ -178,6 +290,15 @@ class Room {
   /// Live-mode state, all guarded by tick_mutex_.
   std::unique_ptr<CrowdSimulator> sim_;
   Rng rng_;
+  /// Walker-swap bookkeeping (move_fraction < 1): walking_[u] iff u is
+  /// currently un-held and navigating to a waypoint.
+  std::vector<bool> walking_;
+  /// Users churned (teleported / [de]activated) since the last publish;
+  /// folded into the next moved set. Guarded by tick_mutex_.
+  std::vector<int> dirty_;
+  /// Temporal recency index (present iff options_.temporal_index);
+  /// mutated under tick_mutex_, published views are immutable.
+  std::unique_ptr<TemporalIndex> temporal_;
 
   mutable std::mutex tick_mutex_;
   /// Last <= kTrajectoryWindowFrames published frames, oldest first;
@@ -186,6 +307,8 @@ class Room {
   mutable std::mutex snapshot_mutex_;
   std::shared_ptr<const RoomSnapshot> snapshot_;
   std::atomic<int> tick_{0};
+  std::atomic<uint64_t> delta_ticks_{0};
+  std::atomic<uint64_t> scratch_ticks_{0};
 };
 
 }  // namespace serve

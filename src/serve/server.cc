@@ -111,6 +111,9 @@ Status RecommendationServer::TickRoom(int room) {
   const Status status = hosted->Tick();
   if (status.ok()) {
     metrics_.ticks.fetch_add(1, std::memory_order_relaxed);
+    const std::shared_ptr<const RoomSnapshot> published = hosted->snapshot();
+    if (published != nullptr && published->built_by_delta())
+      metrics_.delta_ticks.fetch_add(1, std::memory_order_relaxed);
     // Journal the published frame (and run the checkpoint budgets). A
     // durability failure degrades recoverability, not serving: count it
     // and keep ticking.
@@ -316,7 +319,20 @@ void RecommendationServer::ProcessBatch(
   std::vector<int> targets;
   targets.reserve(groups.size());
   for (const Group& group : groups) targets.push_back(group.user);
-  const std::vector<StepContext> contexts = snapshot->ContextsFor(targets);
+  std::vector<StepContext> contexts = snapshot->ContextsFor(targets);
+  // Temporal candidate pruning, batch edition: one mask per distinct
+  // target. Sized up front so the addresses stored in the contexts stay
+  // stable, and kept alive past every model call below.
+  std::vector<std::vector<bool>> prune_masks(groups.size());
+  if (options_.max_candidates > 0) {
+    for (size_t g = 0; g < groups.size(); ++g) {
+      if (snapshot->PruneCandidates(targets[g], options_.max_candidates,
+                                    &prune_masks[g])) {
+        contexts[g].blocklist = &prune_masks[g];
+        metrics_.pruned_requests.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
 
   // One coalesced inference job for the whole batch. A shared primary
   // answers every distinct target in one RecommendBatch call; per-stream
@@ -441,7 +457,16 @@ FriendResponse RecommendationServer::Process(const FriendRequest& request,
 
   const std::shared_ptr<const RoomSnapshot> snapshot = room.snapshot();
   response.tick = snapshot->tick();
-  const StepContext context = snapshot->ContextFor(request.user);
+  StepContext context = snapshot->ContextFor(request.user);
+  // Temporal candidate pruning: cap the candidate set to the target's
+  // most-recently co-present users. The mask must outlive the model
+  // calls below (fallback included), hence the local here.
+  std::vector<bool> prune_mask;
+  if (snapshot->PruneCandidates(request.user, options_.max_candidates,
+                                &prune_mask)) {
+    context.blocklist = &prune_mask;
+    metrics_.pruned_requests.fetch_add(1, std::memory_order_relaxed);
+  }
 
   std::vector<bool> recommended;
   if (primary_shared_ != nullptr) {

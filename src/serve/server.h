@@ -41,6 +41,15 @@ struct ServerOptions {
   /// default: the per-request path remains the latency-optimal choice
   /// for idle rooms; batching is the throughput choice under load.
   bool batch_requests = false;
+  /// Temporal candidate pruning (docs/ticking.md): when > 0 and the
+  /// room maintains a temporal index (Room::Options::temporal_index),
+  /// each request's StepContext carries a blocklist keeping only the
+  /// target's `max_candidates` most-recently co-present candidates, so
+  /// the primary ranks a capped set in large rooms. 0 = off. Accuracy
+  /// contract: ranking among the surviving candidates is exactly the
+  /// unpruned ranking restricted to them — pruning changes who is
+  /// considered, never how the considered are ordered.
+  int max_candidates = 0;
 };
 
 /// In-process online serving runtime: shards N conference rooms across a

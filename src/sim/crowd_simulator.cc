@@ -56,6 +56,13 @@ bool CrowdSimulator::AgentActive(int agent) const {
   return agents_[agent].active;
 }
 
+void CrowdSimulator::SetHold(int agent, bool hold) {
+  agents_[agent].held = hold;
+  if (hold) agents_[agent].velocity = Vec2(0.0, 0.0);
+}
+
+bool CrowdSimulator::Held(int agent) const { return agents_[agent].held; }
+
 const Vec2& CrowdSimulator::Position(int agent) const {
   return agents_[agent].position;
 }
@@ -88,7 +95,7 @@ void CrowdSimulator::ComputePreferredVelocity(Agent& agent) const {
 void CrowdSimulator::Step() {
   for (size_t i = 0; i < agents_.size(); ++i) {
     Agent& agent = agents_[i];
-    if (!agent.active) continue;
+    if (!agent.active || agent.held) continue;
     ComputePreferredVelocity(agent);
     if (agent.params.right_of_way_bias != 0.0 && !agent.has_explicit_pref) {
       // Apply the bias only under congestion (a neighbor within 4 body
@@ -112,11 +119,12 @@ void CrowdSimulator::Step() {
 
   std::vector<Vec2> new_velocities(agents_.size());
   for (int i = 0; i < num_agents(); ++i)
-    new_velocities[i] =
-        agents_[i].active ? ComputeNewVelocity(i) : Vec2(0.0, 0.0);
+    new_velocities[i] = agents_[i].active && !agents_[i].held
+                            ? ComputeNewVelocity(i)
+                            : Vec2(0.0, 0.0);
 
   for (int i = 0; i < num_agents(); ++i) {
-    if (!agents_[i].active) continue;
+    if (!agents_[i].active || agents_[i].held) continue;
     agents_[i].velocity = new_velocities[i];
     agents_[i].position += agents_[i].velocity * time_step_;
     agents_[i].has_explicit_pref = false;

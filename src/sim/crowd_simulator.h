@@ -54,6 +54,16 @@ class CrowdSimulator {
   void SetAgentActive(int agent, bool active);
   bool AgentActive(int agent) const;
 
+  /// Holds / releases an agent in place. A held agent stands still
+  /// (zero velocity, its own planning skipped, position bit-identical
+  /// across steps) but — unlike an inactive agent — remains a physical
+  /// obstacle that constrains everyone else's ORCA solution. This is
+  /// how partial-motion rooms (Room::Options::move_fraction) keep
+  /// parked agents exactly stationary so delta ticks see a small moved
+  /// set.
+  void SetHold(int agent, bool hold);
+  bool Held(int agent) const;
+
   /// Advances the simulation by one time step.
   void Step();
 
@@ -74,6 +84,7 @@ class CrowdSimulator {
     Vec2 preferred_velocity;
     bool has_explicit_pref = false;
     bool active = true;
+    bool held = false;
     AgentParams params;
   };
 

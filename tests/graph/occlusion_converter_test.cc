@@ -180,5 +180,113 @@ TEST(ComputeVisibilityTest, VisibleSetConsistentWithOcclusionGraph) {
   }
 }
 
+bool SameArc(const ViewArc& a, const ViewArc& b) {
+  return a.valid == b.valid && a.center == b.center &&
+         a.half_width == b.half_width && a.distance == b.distance;
+}
+
+bool SameGraph(const OcclusionGraph& a, const OcclusionGraph& b) {
+  if (!(a == b)) return false;
+  // operator== already compares adjacency and the edge list including
+  // order; double-check the edge stream explicitly since bit-exact
+  // insertion order is the delta path's whole contract.
+  return a.edges() == b.edges();
+}
+
+TEST(DeltaConverterTest, UpdateViewArcsMatchesFullRecompute) {
+  Rng rng(31337);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = 4 + rng.UniformInt(29);
+    const int target = rng.UniformInt(n);
+    std::vector<Vec2> positions;
+    for (int i = 0; i < n; ++i)
+      positions.emplace_back(rng.Uniform(-5, 5), rng.Uniform(-5, 5));
+    auto arcs = ComputeViewArcs(positions, target, kBody);
+
+    std::vector<int> moved;
+    for (int i = 0; i < n; ++i) {
+      if (i == target || rng.UniformInt(3) != 0) continue;
+      moved.push_back(i);
+      positions[i] += Vec2(rng.Uniform(-1, 1), rng.Uniform(-1, 1));
+    }
+    UpdateViewArcs(positions, target, kBody, moved, &arcs);
+
+    const auto fresh = ComputeViewArcs(positions, target, kBody);
+    ASSERT_EQ(arcs.size(), fresh.size());
+    for (int i = 0; i < n; ++i)
+      ASSERT_TRUE(SameArc(arcs[i], fresh[i]))
+          << "arc " << i << " trial " << trial;
+  }
+}
+
+/// The core delta-tick invariant: patching the previous graph with the
+/// moved set yields the same AddEdge stream — and therefore a bitwise-
+/// identical graph — as rebuilding from scratch.
+TEST(DeltaConverterTest, UpdateOcclusionGraphIsBitExact) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int n = 4 + rng.UniformInt(29);
+    const int target = rng.UniformInt(n);
+    std::vector<Vec2> positions;
+    for (int i = 0; i < n; ++i)
+      positions.emplace_back(rng.Uniform(-3, 3), rng.Uniform(-3, 3));
+    auto arcs = ComputeViewArcs(positions, target, kBody);
+    OcclusionGraph graph = BuildOcclusionGraphFromArcs(arcs);
+    ASSERT_TRUE(SameGraph(graph, BuildOcclusionGraph(positions, target, kBody)))
+        << "trial " << trial;
+
+    // Walk several ticks so errors would compound if carried edges ever
+    // diverged from the scratch build.
+    for (int step = 0; step < 6; ++step) {
+      std::vector<int> moved;
+      std::vector<bool> is_moved(n, false);
+      for (int i = 0; i < n; ++i) {
+        if (i == target || rng.UniformInt(4) != 0) continue;
+        moved.push_back(i);
+        is_moved[i] = true;
+        positions[i] += Vec2(rng.Uniform(-2, 2), rng.Uniform(-2, 2));
+      }
+      UpdateViewArcs(positions, target, kBody, moved, &arcs);
+      graph = UpdateOcclusionGraph(graph, arcs, moved, is_moved);
+      ASSERT_TRUE(
+          SameGraph(graph, BuildOcclusionGraph(positions, target, kBody)))
+          << "trial " << trial << " step " << step;
+    }
+  }
+}
+
+TEST(DeltaConverterTest, EmptyMovedSetIsIdentity) {
+  Rng rng(5);
+  const int n = 12;
+  std::vector<Vec2> positions;
+  for (int i = 0; i < n; ++i)
+    positions.emplace_back(rng.Uniform(-2, 2), rng.Uniform(-2, 2));
+  auto arcs = ComputeViewArcs(positions, 0, kBody);
+  const OcclusionGraph graph = BuildOcclusionGraphFromArcs(arcs);
+  const OcclusionGraph updated =
+      UpdateOcclusionGraph(graph, arcs, {}, std::vector<bool>(n, false));
+  EXPECT_TRUE(SameGraph(graph, updated));
+}
+
+TEST(DeltaConverterTest, AddEdgeUncheckedMatchesAddEdgeLayout) {
+  // The bulk path skips the dedup scan but must leave the same
+  // adjacency and edge layout for a lexicographic duplicate-free
+  // stream — the only stream the builders produce.
+  Rng rng(77);
+  const int n = 16;
+  std::vector<std::pair<int, int>> stream;
+  for (int u = 0; u < n; ++u)
+    for (int v = u + 1; v < n; ++v)
+      if (rng.UniformInt(2) == 0) stream.emplace_back(u, v);
+  OcclusionGraph checked(n);
+  OcclusionGraph unchecked(n);
+  unchecked.ReserveEdges(static_cast<int>(stream.size()));
+  for (const auto& e : stream) {
+    checked.AddEdge(e.first, e.second);
+    unchecked.AddEdgeUnchecked(e.first, e.second);
+  }
+  EXPECT_TRUE(SameGraph(checked, unchecked));
+}
+
 }  // namespace
 }  // namespace after

@@ -1,0 +1,237 @@
+#include "graph/temporal_index.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace after {
+namespace {
+
+constexpr double kRadius = 2.0;
+
+TemporalIndex::Options Opts() {
+  TemporalIndex::Options options;
+  options.co_presence_radius = kRadius;
+  return options;
+}
+
+bool CoPresent(const Vec2& a, const Vec2& b) {
+  return (a - b).NormSq() <= kRadius * kRadius;
+}
+
+TEST(TemporalIndexTest, RebuildScoresCoPresenceOnly) {
+  // 0 and 1 within radius; 2 far from both.
+  const std::vector<Vec2> positions = {{0, 0}, {1, 0}, {10, 10}};
+  TemporalIndex index(Opts());
+  index.Rebuild(positions, /*tick=*/0);
+  const auto view = index.PublishView();
+  EXPECT_EQ(view->score(0, 1), TemporalView::kCoPresent);
+  EXPECT_EQ(view->score(1, 0), TemporalView::kCoPresent);
+  EXPECT_EQ(view->score(0, 2), TemporalView::kNever);
+  EXPECT_EQ(view->score(2, 1), TemporalView::kNever);
+}
+
+TEST(TemporalIndexTest, DepartingPairIsStampedWithItsLastCoPresentTick) {
+  std::vector<Vec2> positions = {{0, 0}, {1, 0}};
+  TemporalIndex index(Opts());
+  index.Rebuild(positions, 0);
+  // Still together at ticks 1..3 (agent 1 jitters in range), apart at 4.
+  for (std::int64_t tick = 1; tick <= 3; ++tick) {
+    positions[1].x = 1.0 + 0.1 * tick;
+    index.Update(positions, {1}, tick);
+    EXPECT_EQ(index.PublishView()->score(0, 1), TemporalView::kCoPresent);
+  }
+  positions[1].x = 50.0;
+  index.Update(positions, {1}, 4);
+  // The stamp is the previous update's tick — the last tick at which
+  // the pair was actually co-present.
+  EXPECT_EQ(index.PublishView()->score(0, 1), 3);
+  EXPECT_EQ(index.PublishView()->score(1, 0), 3);
+  // Coming back together restores kCoPresent; drifting apart again
+  // restamps with the newer tick.
+  positions[1].x = 0.5;
+  index.Update(positions, {1}, 5);
+  EXPECT_EQ(index.PublishView()->score(0, 1), TemporalView::kCoPresent);
+  positions[1].x = 50.0;
+  index.Update(positions, {1}, 6);
+  EXPECT_EQ(index.PublishView()->score(0, 1), 5);
+}
+
+TEST(TemporalIndexTest, RebuildForgetsHistory) {
+  std::vector<Vec2> positions = {{0, 0}, {1, 0}};
+  TemporalIndex index(Opts());
+  index.Rebuild(positions, 0);
+  positions[1].x = 50.0;
+  index.Update(positions, {1}, 1);
+  EXPECT_EQ(index.PublishView()->score(0, 1), 0);
+  index.Rebuild(positions, 2);
+  EXPECT_EQ(index.PublishView()->score(0, 1), TemporalView::kNever);
+}
+
+/// Fuzz the incremental update against an exhaustively maintained
+/// reference over a random walk, including doubly-moved pairs (both
+/// endpoints in one moved set must behave idempotently).
+TEST(TemporalIndexTest, UpdateMatchesExhaustiveReference) {
+  Rng rng(4242);
+  const int n = 12;
+  std::vector<Vec2> positions;
+  for (int i = 0; i < n; ++i)
+    positions.emplace_back(rng.Uniform(0, 8), rng.Uniform(0, 8));
+
+  TemporalIndex index(Opts());
+  index.Rebuild(positions, 0);
+  // reference[t][c]: kCoPresent / last co-present tick / kNever.
+  std::vector<std::vector<std::int32_t>> reference(
+      n, std::vector<std::int32_t>(n, TemporalView::kNever));
+  for (int t = 0; t < n; ++t)
+    for (int c = 0; c < n; ++c)
+      if (t != c && CoPresent(positions[t], positions[c]))
+        reference[t][c] = TemporalView::kCoPresent;
+
+  std::int64_t previous_tick = 0;
+  for (std::int64_t tick = 1; tick <= 40; ++tick) {
+    std::vector<int> moved;
+    for (int i = 0; i < n; ++i) {
+      if (rng.UniformInt(3) != 0) continue;
+      moved.push_back(i);
+      positions[i].x += rng.Uniform(-3, 3);
+      positions[i].y += rng.Uniform(-3, 3);
+    }
+    index.Update(positions, moved, tick);
+    // Reference semantics: a pair's status can only change if an
+    // endpoint moved; leaving co-presence stamps the previous tick.
+    for (int t = 0; t < n; ++t) {
+      for (int c = 0; c < n; ++c) {
+        if (t == c) continue;
+        const bool now = CoPresent(positions[t], positions[c]);
+        if (now) {
+          reference[t][c] = TemporalView::kCoPresent;
+        } else if (reference[t][c] == TemporalView::kCoPresent) {
+          reference[t][c] = static_cast<std::int32_t>(previous_tick);
+        }
+      }
+    }
+    previous_tick = tick;
+
+    const auto view = index.PublishView();
+    for (int t = 0; t < n; ++t)
+      for (int c = 0; c < n; ++c)
+        if (t != c)
+          ASSERT_EQ(view->score(t, c), reference[t][c])
+              << "pair (" << t << "," << c << ") at tick " << tick;
+  }
+}
+
+/// Views produced through the patch-from-pooled-buffer fast path must
+/// be indistinguishable from full copies. Index A publishes every tick
+/// (and drops most views, so its pool recycles + patches); index B is
+/// fed identically but publishes only at the end (always a fresh copy).
+TEST(TemporalIndexTest, PatchedViewsEqualFullCopies) {
+  Rng rng(99);
+  const int n = 10;
+  std::vector<Vec2> positions;
+  for (int i = 0; i < n; ++i)
+    positions.emplace_back(rng.Uniform(0, 6), rng.Uniform(0, 6));
+
+  TemporalIndex patched(Opts());
+  TemporalIndex copied(Opts());
+  patched.Rebuild(positions, 0);
+  copied.Rebuild(positions, 0);
+  std::shared_ptr<const TemporalView> held;  // keeps one buffer busy
+  for (std::int64_t tick = 1; tick <= 30; ++tick) {
+    std::vector<int> moved;
+    for (int i = 0; i < n; ++i) {
+      if (rng.UniformInt(4) != 0) continue;
+      moved.push_back(i);
+      positions[i].x += rng.Uniform(-2, 2);
+      positions[i].y += rng.Uniform(-2, 2);
+    }
+    patched.Update(positions, moved, tick);
+    copied.Update(positions, moved, tick);
+    const auto view = patched.PublishView();
+    if (tick % 7 == 0) held = view;  // sometimes pin a view alive
+  }
+  const auto a = patched.PublishView();
+  const auto b = copied.PublishView();
+  for (int t = 0; t < n; ++t)
+    for (int c = 0; c < n; ++c)
+      ASSERT_EQ(a->score(t, c), b->score(t, c))
+          << "pair (" << t << "," << c << ")";
+}
+
+TEST(TemporalViewTest, FillPruneMaskKeepsExactlyTopK) {
+  Rng rng(7);
+  const int n = 9;
+  std::vector<Vec2> positions;
+  for (int i = 0; i < n; ++i)
+    positions.emplace_back(rng.Uniform(0, 10), rng.Uniform(0, 10));
+  TemporalIndex index(Opts());
+  index.Rebuild(positions, 0);
+  for (std::int64_t tick = 1; tick <= 6; ++tick) {
+    std::vector<int> moved;
+    for (int i = 0; i < n; ++i)
+      if (rng.UniformInt(2) == 0) {
+        moved.push_back(i);
+        positions[i].x += rng.Uniform(-4, 4);
+      }
+    index.Update(positions, moved, tick);
+  }
+  const auto view = index.PublishView();
+
+  for (int target = 0; target < n; ++target) {
+    const int k = 3;
+    std::vector<bool> mask;
+    view->FillPruneMask(target, k, &mask);
+    ASSERT_EQ(static_cast<int>(mask.size()), n);
+    EXPECT_FALSE(mask[target]);
+    int pruned = 0;
+    for (int c = 0; c < n; ++c) pruned += mask[c] ? 1 : 0;
+    EXPECT_EQ(pruned, n - 1 - k);
+    // Survivors are exactly the ranked top-k.
+    const std::vector<int> top = view->TopCandidates(target, k);
+    ASSERT_EQ(static_cast<int>(top.size()), k);
+    for (int c : top) EXPECT_FALSE(mask[c]) << "candidate " << c;
+    // Determinism: a second fill is identical.
+    std::vector<bool> again;
+    view->FillPruneMask(target, k, &again);
+    EXPECT_EQ(mask, again);
+  }
+
+  // Degenerate k prunes nothing.
+  for (int k : {0, -1, n - 1, n, n + 5}) {
+    std::vector<bool> mask;
+    view->FillPruneMask(0, k, &mask);
+    EXPECT_EQ(std::count(mask.begin(), mask.end(), true), 0)
+        << "k=" << k;
+  }
+}
+
+TEST(TemporalViewTest, RankingPrefersCoPresentThenRecentThenIndex) {
+  // Candidate layout around target 0: 1 is co-present now, 2 left at
+  // tick 5, 3 left at tick 2, 4 was never close. 5 is co-present too —
+  // ties break by lower index.
+  std::vector<Vec2> positions = {{0, 0}, {1, 0}, {0, 1},
+                                 {1, 1}, {40, 40}, {0.5, 0.5}};
+  TemporalIndex index(Opts());
+  index.Rebuild(positions, 0);
+  positions[3] = {30, 30};
+  index.Update(positions, {3}, 2);
+  positions[3] = {31, 30};  // keep 3 away; move 2 away later
+  index.Update(positions, {3}, 5);
+  positions[2] = {-30, 30};
+  index.Update(positions, {2}, 6);
+  const auto view = index.PublishView();
+
+  ASSERT_EQ(view->score(0, 1), TemporalView::kCoPresent);
+  ASSERT_EQ(view->score(0, 5), TemporalView::kCoPresent);
+  ASSERT_EQ(view->score(0, 2), 5);
+  ASSERT_EQ(view->score(0, 3), 0);
+  ASSERT_EQ(view->score(0, 4), TemporalView::kNever);
+  EXPECT_EQ(view->TopCandidates(0, 4), (std::vector<int>{1, 5, 2, 3}));
+}
+
+}  // namespace
+}  // namespace after

@@ -30,6 +30,10 @@
 //        --idle_timeout_ms=F (reap connections silent this long;
 //                             0 = never, the default)
 //        --max_seconds=F (0 = run until SIGINT/SIGTERM)
+//        --max_candidates=N (temporal candidate pruning, docs/ticking.md:
+//                            rooms maintain a co-presence recency index
+//                            and each request's candidate set is capped
+//                            at its top-N recent contacts; 0 = off)
 //
 // Durable rooms (docs/durability.md, requires --partitioned):
 //   --durable_dir=PATH          journal + checkpoints live here; at boot
@@ -68,6 +72,7 @@ void HandleSignal(int) { g_stop = 1; }
 int Main(int argc, char** argv) {
   int port = 0, rooms = 2, users = 60, threads = 2, queue = 1024;
   int seed = 4242, checkpoint_every_ticks = 256, max_connections = 0;
+  int max_candidates = 0;
   double deadline_ms = 1000.0, tick_ms = 10.0, max_seconds = 0.0;
   double idle_timeout_ms = 0.0;
   bool batch = false, partitioned = false, journal_fsync = false;
@@ -91,6 +96,8 @@ int Main(int argc, char** argv) {
       tick_ms = fvalue;
     else if (std::sscanf(argv[i], "--max_seconds=%lf", &fvalue) == 1)
       max_seconds = fvalue;
+    else if (std::sscanf(argv[i], "--max_candidates=%d", &value) == 1)
+      max_candidates = value;
     else if (std::sscanf(argv[i], "--max_connections=%d", &value) == 1)
       max_connections = value;
     else if (std::sscanf(argv[i], "--idle_timeout_ms=%lf", &fvalue) == 1)
@@ -144,11 +151,12 @@ int Main(int argc, char** argv) {
   // statistical world. The partitioned path reuses the exact recipe
   // through the room factory below.
   const auto make_room =
-      [&dataset](int r) -> Result<std::unique_ptr<serve::Room>> {
+      [&dataset, max_candidates](int r) -> Result<std::unique_ptr<serve::Room>> {
     serve::Room::Options room_options;
     room_options.id = r;
     room_options.mode = serve::Room::Mode::kLive;
     room_options.seed = 900 + r;
+    room_options.temporal_index = max_candidates > 0;
     return serve::Room::Create(room_options, &dataset);
   };
 
@@ -170,6 +178,7 @@ int Main(int argc, char** argv) {
   server_options.queue_capacity = queue;
   server_options.default_deadline_ms = deadline_ms;
   server_options.batch_requests = batch;
+  server_options.max_candidates = max_candidates;
   serve::RecommenderFactory factory;
   if (trained) {
     const ModelArtifact* artifact_ptr = &artifact;
