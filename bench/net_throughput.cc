@@ -85,17 +85,16 @@
 #include <unordered_map>
 #include <vector>
 
+#include "bench/fleet_harness.h"
 #include "common/rng.h"
 #include "common/timer.h"
 #include "core/poshgnn.h"
 #include "data/dataset.h"
-#include "serve/checkpoint.h"
 #include "serve/metrics.h"
 #include "serve/net_client.h"
 #include "serve/net_server.h"
 #include "serve/router.h"
 #include "serve/server.h"
-#include "serve/shard_control.h"
 #include "serve/thread_pool.h"
 
 namespace after {
@@ -481,252 +480,9 @@ rlim_t EnsureFdLimit(rlim_t needed) {
   return want.rlim_cur;
 }
 
-/// Self-contained fleet: N shard servers plus a router front, all over
-/// real loopback sockets in this process.
-struct LocalFleet {
-  Dataset dataset;
-  /// --engine given: every shard (including ones added mid-run or
-  /// rebuilt by the cold-restart drill) freezes its primary on this
-  /// inference engine instead of serving the mutable model.
-  bool engine_set = false;
-  InferEngine engine = InferEngine::kFusedF32;
-  /// Guards the three shard vectors: AddShard (mid-run fleet growth)
-  /// races the ticker thread otherwise.
-  std::mutex mutex;
-  /// Declared before the servers that borrow them, so destruction
-  /// (reverse order) tears the servers down first.
-  std::vector<std::unique_ptr<serve::DurabilityManager>> durabilities;
-  /// One durable dir per durable shard, in shard order — the restart
-  /// half of the cold-restart drill reopens exactly these.
-  std::vector<std::string> durable_dirs;
-  std::vector<std::unique_ptr<serve::RecommendationServer>> shards;
-  std::vector<std::unique_ptr<serve::ShardControl>> controls;
-  std::vector<std::unique_ptr<serve::NetServer>> shard_nets;
-  std::unique_ptr<serve::ShardRouter> router;
-  std::unique_ptr<serve::ThreadPool> router_pool;
-  std::unique_ptr<serve::NetServer> router_net;
-  std::atomic<bool> stop{false};
-  std::thread ticker;
-
-  ~LocalFleet() {
-    stop.store(true);
-    if (ticker.joinable()) ticker.join();
-    if (router_net) router_net->Shutdown();
-    if (router_pool) router_pool->Shutdown();
-    if (router) router->Shutdown();
-    for (auto& net : shard_nets) net->Shutdown();
-    for (auto& shard : shards) shard->Shutdown();
-  }
-};
-
-/// Starts one shard worker and appends it to the fleet. Partitioned
-/// shards start empty and host whatever the router grants them (same
-/// room recipe via the factory); full-replication shards pre-build all
-/// `rooms` rooms. A non-empty `durable_dir` attaches a journal +
-/// checkpoint subsystem there and replays whatever durable state the
-/// dir already holds before the shard starts serving. Returns false
-/// (with a message) on failure.
-bool AddShard(LocalFleet* fleet, int rooms, int threads, bool partitioned,
-              const std::string& durable_dir,
-              serve::BackendAddress* address) {
-  const Dataset* dataset = &fleet->dataset;
-  const auto make_room =
-      [dataset](int r) -> Result<std::unique_ptr<serve::Room>> {
-    serve::Room::Options room_options;
-    room_options.id = r;
-    room_options.mode = serve::Room::Mode::kLive;
-    room_options.seed = 900 + r;
-    return serve::Room::Create(room_options, dataset);
-  };
-
-  std::vector<std::unique_ptr<serve::Room>> room_list;
-  if (!partitioned) {
-    for (int r = 0; r < rooms; ++r) {
-      auto created = make_room(r);
-      if (!created.ok()) {
-        std::fprintf(stderr, "shard room %d: %s\n", r,
-                     created.status().ToString().c_str());
-        return false;
-      }
-      room_list.push_back(std::move(created).value());
-    }
-  }
-  serve::ServerOptions server_options;
-  server_options.num_threads = threads;
-  server_options.default_deadline_ms = 1000.0;
-  PoshgnnConfig model_config;
-  model_config.seed = 42;
-  serve::RecommenderFactory factory;
-  if (fleet->engine_set) {
-    auto source = std::make_shared<Poshgnn>(model_config);
-    const InferEngine engine = fleet->engine;
-    factory = [source, engine] {
-      return std::make_unique<FrozenPoshgnn>(*source, engine);
-    };
-  } else {
-    factory = [model_config] {
-      return std::make_unique<Poshgnn>(model_config);
-    };
-  }
-  auto server = std::make_unique<serve::RecommendationServer>(
-      std::move(room_list), std::move(factory), server_options);
-  auto control = std::make_unique<serve::ShardControl>(server.get(), make_room);
-  std::unique_ptr<serve::DurabilityManager> durability;
-  if (!durable_dir.empty()) {
-    std::error_code ignored;
-    std::filesystem::create_directories(durable_dir, ignored);
-    serve::DurabilityManager::Options durable_options;
-    durable_options.dir = durable_dir;
-    durable_options.checkpoint_every_ticks = 64;
-    auto opened = serve::DurabilityManager::Open(durable_options);
-    if (!opened.ok()) {
-      std::fprintf(stderr, "durability %s: %s\n", durable_dir.c_str(),
-                   opened.status().ToString().c_str());
-      return false;
-    }
-    durability = std::move(opened).value();
-    durability->Attach(server.get());
-    server->set_durability(durability.get());
-    control->set_durability(durability.get());
-    // Replay before serving: a restarted shard must never answer for a
-    // room it has not finished rebuilding.
-    auto recovered = control->RecoverFromDurable();
-    if (!recovered.ok()) {
-      std::fprintf(stderr, "RecoverFromDurable %s: %s\n",
-                   durable_dir.c_str(),
-                   recovered.status().ToString().c_str());
-      return false;
-    }
-  }
-  auto net = std::make_unique<serve::NetServer>(
-      serve::NetServer::HandlerFor(server.get()), serve::NetServerOptions{});
-  if (partitioned)
-    net->set_room_control(serve::NetServer::ControlFor(control.get()));
-  const Status started = net->Start();
-  if (!started.ok()) {
-    std::fprintf(stderr, "shard start: %s\n", started.ToString().c_str());
-    return false;
-  }
-  *address = {net->host(), net->port()};
-  std::lock_guard<std::mutex> lock(fleet->mutex);
-  if (durability != nullptr) {
-    fleet->durabilities.push_back(std::move(durability));
-    fleet->durable_dirs.push_back(durable_dir);
-  }
-  fleet->shards.push_back(std::move(server));
-  fleet->controls.push_back(std::move(control));
-  fleet->shard_nets.push_back(std::move(net));
-  return true;
-}
-
-serve::RouterOptions FleetRouterOptions(int replication) {
-  serve::RouterOptions router_options;
-  router_options.ejection_ms = 200.0;
-  router_options.health_check_interval_ms = 100.0;
-  router_options.replication_factor = replication;
-  return router_options;
-}
-
-/// Builds the router's thread pool + TCP front over fleet->router.
-/// `port` 0 picks an ephemeral port; the cold-restart drill passes the
-/// pre-crash port so the closed-loop clients reconnect transparently.
-/// `max_connections` sizes the front for the idle swarm on top of the
-/// closed-loop clients.
-bool StartRouterFront(LocalFleet* fleet, int threads, int port,
-                      int max_connections) {
-  fleet->router_pool = std::make_unique<serve::ThreadPool>(threads, 1024);
-  serve::ShardRouter* router = fleet->router.get();
-  serve::ThreadPool* pool = fleet->router_pool.get();
-  serve::NetServerOptions net_options;
-  net_options.port = port;
-  net_options.max_connections = max_connections;
-  // Long enough that a swarm connection pinged every few seconds never
-  // looks idle; short enough that leaked connections do get reaped.
-  net_options.idle_timeout_ms = 30000.0;
-  fleet->router_net = std::make_unique<serve::NetServer>(
-      [router, pool](const serve::FriendRequest& request,
-                     std::function<void(const serve::FriendResponse&)> done) {
-        auto done_ptr = std::make_shared<
-            std::function<void(const serve::FriendResponse&)>>(
-            std::move(done));
-        if (!pool->TrySubmit([router, request, done_ptr] {
-              (*done_ptr)(router->Route(request));
-            })) {
-          serve::FriendResponse response;
-          response.status =
-              ResourceExhaustedError("router queue full; load shed");
-          (*done_ptr)(response);
-        }
-      },
-      net_options);
-  const Status started = fleet->router_net->Start();
-  if (!started.ok()) {
-    std::fprintf(stderr, "router: %s\n", started.ToString().c_str());
-    return false;
-  }
-  return true;
-}
-
-void StartTicker(LocalFleet* fleet) {
-  fleet->ticker = std::thread([fleet] {
-    while (!fleet->stop.load(std::memory_order_relaxed)) {
-      {
-        std::lock_guard<std::mutex> lock(fleet->mutex);
-        for (auto& shard : fleet->shards) shard->TickAll();
-      }
-      std::this_thread::sleep_for(std::chrono::milliseconds(10));
-    }
-  });
-}
-
-std::string ShardDurableDir(const std::string& base, int shard) {
-  return base.empty() ? std::string()
-                      : base + "/shard-" + std::to_string(shard);
-}
-
-std::unique_ptr<LocalFleet> StartLocalFleet(int num_shards, int rooms,
-                                            int users, int threads,
-                                            bool partitioned, int replication,
-                                            const std::string& durable_base,
-                                            bool engine_set,
-                                            InferEngine engine,
-                                            int front_max_connections) {
-  auto fleet = std::make_unique<LocalFleet>();
-  fleet->engine_set = engine_set;
-  fleet->engine = engine;
-  DatasetConfig config;
-  config.num_users = users;
-  config.num_steps = 2;
-  config.num_sessions = 1;
-  config.seed = 4242;
-  fleet->dataset = GenerateTimikLike(config);
-
-  std::vector<serve::BackendAddress> backends;
-  for (int s = 0; s < num_shards; ++s) {
-    serve::BackendAddress address;
-    if (!AddShard(fleet.get(), rooms, threads, partitioned,
-                  ShardDurableDir(durable_base, s), &address))
-      return nullptr;
-    backends.push_back(address);
-  }
-
-  fleet->router = std::make_unique<serve::ShardRouter>(
-      backends, FleetRouterOptions(replication));
-  if (partitioned) {
-    const Status enabled = fleet->router->EnablePartition(rooms);
-    if (!enabled.ok()) {
-      std::fprintf(stderr, "EnablePartition(%d): %s\n", rooms,
-                   enabled.ToString().c_str());
-      return nullptr;
-    }
-  }
-  if (!StartRouterFront(fleet.get(), threads, /*port=*/0,
-                        front_max_connections))
-    return nullptr;
-  StartTicker(fleet.get());
-  return fleet;
-}
-
+/// Self-contained fleet: see bench/fleet_harness.h (shared with
+/// bench/world_sim). This driver keeps only the room recipe: uniform
+/// rooms, all built from one generated dataset.
 int Main(int argc, char** argv) {
   std::string host = "127.0.0.1", json_path, durable_dir;
   int port = 0, shards = 0, clients = 4, requests = 2000;
@@ -841,16 +597,41 @@ int Main(int argc, char** argv) {
     EnsureFdLimit(static_cast<rlim_t>(connections + 8 * clients +
                                       64 * std::max(1, shards) + 512));
 
-  std::unique_ptr<LocalFleet> fleet;
+  // The dataset outlives the fleet (declared first): mid-run AddShard
+  // and cold-restart rebuilds call the room factory long after startup.
+  Dataset dataset;
+  std::unique_ptr<bench::LocalFleet> fleet;
   if (shards > 0) {
     std::printf("[net_throughput] starting local fleet: %d shard(s) x "
                 "%d rooms x %d users + router%s, primary engine=%s...\n",
                 shards, rooms, users,
                 partitioned ? " (partitioned)" : "",
                 engine_set ? InferEngineName(engine) : "mutable");
-    fleet = StartLocalFleet(shards, rooms, users, threads, partitioned,
-                            partitioned ? replication : 0, durable_dir,
-                            engine_set, engine, front_max_connections);
+    DatasetConfig config;
+    config.num_users = users;
+    config.num_steps = 2;
+    config.num_sessions = 1;
+    config.seed = 4242;
+    dataset = GenerateTimikLike(config);
+    bench::FleetConfig fleet_config;
+    fleet_config.shards = shards;
+    fleet_config.rooms = rooms;
+    fleet_config.threads = threads;
+    fleet_config.partitioned = partitioned;
+    fleet_config.replication = partitioned ? replication : 0;
+    fleet_config.durable_base = durable_dir;
+    fleet_config.engine_set = engine_set;
+    fleet_config.engine = engine;
+    fleet_config.front_max_connections = front_max_connections;
+    fleet = bench::StartLocalFleet(
+        fleet_config,
+        [&dataset](int r) -> Result<std::unique_ptr<serve::Room>> {
+          serve::Room::Options room_options;
+          room_options.id = r;
+          room_options.mode = serve::Room::Mode::kLive;
+          room_options.seed = 900 + r;
+          return serve::Room::Create(room_options, &dataset);
+        });
     if (fleet == nullptr) return 1;
     host = fleet->router_net->host();
     port = fleet->router_net->port();
@@ -882,7 +663,7 @@ int Main(int argc, char** argv) {
   WallTimer timer;
   std::thread killer;
   if (fleet != nullptr && kill_shard_ms > 0.0) {
-    LocalFleet* fleet_ptr = fleet.get();
+    bench::LocalFleet* fleet_ptr = fleet.get();
     killer = std::thread([fleet_ptr, kill_shard_ms] {
       std::this_thread::sleep_for(
           std::chrono::duration<double, std::milli>(kill_shard_ms));
@@ -892,14 +673,14 @@ int Main(int argc, char** argv) {
   }
   std::thread adder;
   if (fleet != nullptr && add_shard_ms > 0.0) {
-    LocalFleet* fleet_ptr = fleet.get();
+    bench::LocalFleet* fleet_ptr = fleet.get();
     adder = std::thread([fleet_ptr, add_shard_ms, rooms, threads,
                          partitioned] {
       std::this_thread::sleep_for(
           std::chrono::duration<double, std::milli>(add_shard_ms));
       std::printf("[net_throughput] adding a shard mid-run\n");
       serve::BackendAddress address;
-      if (!AddShard(fleet_ptr, rooms, threads, partitioned,
+      if (!bench::AddShard(fleet_ptr, rooms, threads, partitioned,
                     /*durable_dir=*/"", &address))
         return;
       auto added = fleet_ptr->router->AddBackendLive(address);
@@ -925,7 +706,7 @@ int Main(int argc, char** argv) {
   const bool drill_armed = fleet != nullptr && cold_restart_ms > 0.0;
   std::thread restarter;
   if (drill_armed) {
-    LocalFleet* fleet_ptr = fleet.get();
+    bench::LocalFleet* fleet_ptr = fleet.get();
     restarter = std::thread([fleet_ptr, cold_restart_ms, rooms, threads,
                              replication, front_max_connections,
                              &drill_recovered, &drill_discarded,
@@ -968,7 +749,7 @@ int Main(int argc, char** argv) {
       std::vector<serve::BackendAddress> backends;
       for (const std::string& dir : dirs) {
         serve::BackendAddress address;
-        if (!AddShard(fleet_ptr, rooms, threads, /*partitioned=*/true, dir,
+        if (!bench::AddShard(fleet_ptr, rooms, threads, /*partitioned=*/true, dir,
                       &address)) {
           drill_failed.store(true);
           return;
@@ -976,7 +757,7 @@ int Main(int argc, char** argv) {
         backends.push_back(address);
       }
       fleet_ptr->router = std::make_unique<serve::ShardRouter>(
-          backends, FleetRouterOptions(replication));
+          backends, bench::FleetRouterOptions(replication));
       const Status recovered = fleet_ptr->router->RecoverPartition(rooms);
       if (!recovered.ok()) {
         std::fprintf(stderr, "RecoverPartition(%d): %s\n", rooms,
@@ -1011,13 +792,13 @@ int Main(int argc, char** argv) {
                   drill_mismatches.load());
       // Same port, so the clients' reconnect loops find the new front;
       // only then may ticking advance the recovered rooms.
-      if (!StartRouterFront(fleet_ptr, threads, router_port,
+      if (!bench::StartRouterFront(fleet_ptr, threads, router_port,
                             front_max_connections)) {
         drill_failed.store(true);
         return;
       }
       fleet_ptr->stop.store(false);
-      StartTicker(fleet_ptr);
+      bench::StartTicker(fleet_ptr);
     });
   }
   std::vector<std::thread> client_threads;

@@ -57,8 +57,22 @@
 #            must hold a >=3x delta-vs-scratch speedup), and gates all
 #            six runs against bench/baselines/*.json with
 #            scripts/bench_compare.py (>25% p99/throughput regression,
-#            lost/errors != 0, or degraded-share growth fails). This
-#            one IS blocking in CI.
+#            lost/errors != 0, or degraded-share growth fails), then
+#            runs the world_sim macro-driver in its baseline config
+#            (Zipf fleet + diurnal curve + kill-at-peak reconnect
+#            storm + co-evolution) and gates it with
+#            `bench_compare.py --profile world` against
+#            bench/baselines/BENCH_world.json. This one IS blocking
+#            in CI.
+#   world-sim
+#            macro-scenario smoke: a small Zipf-skewed partitioned
+#            fleet under a diurnal load curve with a flash-crowd
+#            hotspot and a kill-at-peak reconnect storm. The binary
+#            itself exits nonzero on any lost request or a primary-
+#            balance breach; the lane additionally runs the scenario
+#            twice and fails unless both runs emit the same
+#            scenario_fingerprint (the bit-identical-plan contract
+#            that makes failures reproducible from a seed).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -67,7 +81,8 @@ cd "$(dirname "$0")/.."
 # name fails fast with the same list instead of dying inside cmake
 # with a missing-preset error.
 LANE_ORDER=(docs format release asan ubsan tsan release-core release-serve
-  asan-core asan-serve release-serve-f64 infer-native bench bench-regression)
+  asan-core asan-serve release-serve-f64 infer-native bench bench-regression
+  world-sim)
 declare -A LANE_PURPOSE=(
   [docs]="markdown link integrity, subsystem + vocabulary coverage, shellcheck"
   [format]="clang-format --dry-run over tracked C++ sources"
@@ -83,6 +98,7 @@ declare -A LANE_PURPOSE=(
   [infer-native]="proves the -march=native after_infer build stays compilable"
   [bench]="smoke-config serving + delta-tick benchmarks (non-blocking in CI)"
   [bench-regression]="baseline-config benches gated vs bench/baselines (blocking)"
+  [world-sim]="macro-scenario smoke: Zipf fleet + flash crowd + reconnect storm"
 )
 
 list_lanes() {
@@ -194,6 +210,28 @@ run_docs_lane() {
       fail=1
     fi
   done
+  # The world-sim page must keep covering the macro-scenario
+  # vocabulary: the four workload axes, the reconnect storm, and the
+  # reproducibility + gating knobs.
+  for term in Zipf diurnal flash-crowd co-evolution "reconnect storm" \
+              scenario_fingerprint balance_cap storm_recovery_ms \
+              degraded_share "--profile world"; do
+    if ! grep -q -- "${term}" docs/world_sim.md; then
+      echo "docs: ${term} is not mentioned in docs/world_sim.md"
+      fail=1
+    fi
+  done
+  # The nightly chaos matrix must keep every drill it has ever grown:
+  # a matrix refactor that silently drops an entry would otherwise go
+  # unnoticed until the drill it ran stops catching regressions.
+  local drill
+  for drill in fault-injection-eval kill-a-shard c10k-kill \
+               partitioned-migration cold-restart stale-cache world-sim; do
+    if ! grep -q "name: ${drill}" .github/workflows/ci.yml; then
+      echo "docs: nightly drill '${drill}' missing from ci.yml chaos matrix"
+      fail=1
+    fi
+  done
   # Tracked shell scripts must be shellcheck-clean where the tool
   # exists (CI installs it; a bare container may not have it).
   if command -v shellcheck > /dev/null 2>&1; then
@@ -276,7 +314,7 @@ PY
 run_bench_regression_lane() {
   cmake --preset release
   cmake --build --preset release -j "${JOBS}" \
-    --target serve_throughput net_throughput tick_throughput
+    --target serve_throughput net_throughput tick_throughput world_sim
   echo "---- serve_throughput (baseline config) ----"
   ./build/bench/serve_throughput --rooms=2 --threads=2 --clients=4 \
     --requests=4000 --users=24 --json=build/BENCH_serve.json
@@ -311,6 +349,54 @@ run_bench_regression_lane() {
     bench/baselines/BENCH_net_f32.json build/BENCH_net_f32.json \
     bench/baselines/BENCH_net_c10k.json build/BENCH_net_c10k.json \
     bench/baselines/BENCH_tick.json build/BENCH_tick.json
+  echo "---- world_sim (baseline config: Zipf + diurnal + kill-at- ----"
+  echo "---- peak storm + co-evolution) ----"
+  ./build/bench/world_sim --shards=3 --rooms=12 --clients=4 \
+    --requests=4000 --slices=6 --kill_at_peak --coevolve --seed=1 \
+    --json=build/BENCH_world.json
+  echo "---- compare against the committed world baseline ----"
+  python3 scripts/bench_compare.py --profile world \
+    bench/baselines/BENCH_world.json build/BENCH_world.json
+}
+
+run_world_sim_lane() {
+  cmake --preset release
+  cmake --build --preset release -j "${JOBS}" --target world_sim
+  echo "---- world_sim (Zipf fleet + flash crowd + kill-at-peak storm) ----"
+  # The binary is its own gate: exit 2 on any lost request, any
+  # client/storm error, or a primary-balance breach.
+  ./build/bench/world_sim --shards=3 --rooms=12 --clients=4 \
+    --requests=1200 --slices=6 --kill_at_peak --storm_wave=8 --seed=1 \
+    --json=build/BENCH_world_smoke.json
+  echo "---- world_sim (same seed again: bit-identical-plan check) ----"
+  ./build/bench/world_sim --shards=3 --rooms=12 --clients=4 \
+    --requests=1200 --slices=6 --kill_at_peak --storm_wave=8 --seed=1 \
+    --json=build/BENCH_world_smoke_rerun.json
+  # Same seed, same flags => the generated scenario (room sizes,
+  # diurnal slice totals, churned populations, request schedule) must
+  # be bit-identical; live latency numbers may differ, the plan not.
+  python3 - build/BENCH_world_smoke.json \
+    build/BENCH_world_smoke_rerun.json <<'PY'
+import json, sys
+runs = []
+for path in sys.argv[1:]:
+    with open(path) as handle:
+        runs.append(json.load(handle))
+for data, path in zip(runs, sys.argv[1:]):
+    for key in ("scenario_fingerprint", "requests", "lost", "errors",
+                "primary_balance", "peak_p99_ms", "degraded_share",
+                "storm_recovery_ms", "storm_errors"):
+        if key not in data:
+            raise SystemExit(f"{path}: missing key {key!r}")
+a, b = runs
+if a["scenario_fingerprint"] != b["scenario_fingerprint"]:
+    raise SystemExit(
+        "world-sim: rerun with the same seed produced a different "
+        f"scenario_fingerprint: {a['scenario_fingerprint']} vs "
+        f"{b['scenario_fingerprint']}")
+print("world-sim lane OK: zero lost requests, balance within gate,",
+      "fingerprint", a["scenario_fingerprint"], "reproduced")
+PY
 }
 
 run_lane() {
@@ -321,6 +407,7 @@ run_lane() {
     format) run_format_lane; return ;;
     bench)  run_bench_lane;  return ;;
     bench-regression) run_bench_regression_lane; return ;;
+    world-sim) run_world_sim_lane; return ;;
     release-serve-f64)
       # The f32 engine is the default; this lane pins the f64 reference
       # engine via the environment override and re-runs the concurrent

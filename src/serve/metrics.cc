@@ -166,6 +166,7 @@ void ServerMetrics::Reset() {
   queue_depth.store(0);
   max_queue_depth.store(0);
   latency.Reset();
+  room_requests.Reset();
 }
 
 void NetFrontMetrics::NoteOpenConnections(int32_t open) {

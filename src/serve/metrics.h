@@ -3,7 +3,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 
 namespace after {
 namespace serve {
@@ -38,6 +40,43 @@ class LatencyHistogram {
   static double BucketMidpointUs(int index);
 
   std::atomic<int64_t> buckets_[kNumBuckets] = {};
+};
+
+/// Per-room request histogram: how many requests each room id has
+/// received since start (or Reset). Unlike the rest of ServerMetrics
+/// this is a mutex-guarded map, not a lock-free counter — the room-id
+/// space is open-ended (partitioned shards host whatever the router
+/// grants), and one short uncontended lock per request is cheap next to
+/// a model forward pass. Skew-aware drivers (bench/world_sim) read the
+/// snapshot to verify that offered Zipf load actually reached the
+/// rooms it targeted.
+class PerRoomCounters {
+ public:
+  void Note(int room) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counts_[room];
+  }
+
+  std::unordered_map<int, int64_t> Snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counts_;
+  }
+
+  int64_t Total() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    int64_t total = 0;
+    for (const auto& entry : counts_) total += entry.second;
+    return total;
+  }
+
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    counts_.clear();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<int, int64_t> counts_;
 };
 
 /// Serving-side counters for the RecommendationServer. All counters are
@@ -100,6 +139,8 @@ struct ServerMetrics {
   std::atomic<int32_t> max_queue_depth{0};
   /// End-to-end latency (admission -> response) of non-shed requests.
   LatencyHistogram latency;
+  /// Per-room request histogram (see PerRoomCounters).
+  PerRoomCounters room_requests;
 
   int64_t total_fallbacks() const {
     return fallbacks_deadline.load(std::memory_order_relaxed) +

@@ -49,6 +49,7 @@ void RecommendationServer::Submit(
     const FriendRequest& request,
     std::function<void(const FriendResponse&)> done) {
   metrics_.requests_submitted.fetch_add(1, std::memory_order_relaxed);
+  metrics_.room_requests.Note(request.room);
   const double budget_ms = request.deadline_ms == 0.0
                                ? options_.default_deadline_ms
                                : request.deadline_ms;
